@@ -1,0 +1,83 @@
+// Ablation (Fig. 9 / §3.4): active-standby-switch vs direct locked install.
+//
+// A datapath issues inference queries at a steady rate while snapshot
+// updates happen periodically.  The direct approach holds the lock for the
+// whole parameter transfer + install; LiteFlow's inference router holds it
+// only for a pointer flip.  We measure the stall distribution the datapath
+// sees under each policy.
+#include "bench_common.hpp"
+
+#include "codegen/snapshot.hpp"
+#include "kernelsim/spinlock.hpp"
+#include "nn/mlp.hpp"
+#include "sim/sim.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace lf;
+  using namespace lf::bench;
+
+  print_header("Ablation (Fig. 9)",
+               "snapshot update locking: direct vs active-standby switch");
+
+  rng g{123};
+  const auto aurora = nn::make_aurora_net(g);
+  const auto mocc = nn::make_mocc_net(g);
+  kernelsim::cost_model costs;
+
+  struct policy_case {
+    std::string name;
+    double lock_hold;  ///< seconds the update holds the lock
+  };
+
+  text_table table{{"model", "policy", "lock-hold",
+                    "stalled-queries", "mean-stall", "max-stall"}};
+
+  for (const auto* net : {&aurora, &mocc}) {
+    const auto snap = codegen::generate_snapshot(
+        *net, net == &aurora ? "aurora" : "mocc", 1);
+    const double install_hold =
+        static_cast<double>(snap.program.parameter_bytes()) *
+        costs.snapshot_install_per_byte;
+    const policy_case policies[] = {
+        {"direct-lock", install_hold},
+        {"active-standby", costs.router_switch_lock_hold},
+    };
+    for (const auto& pol : policies) {
+      sim::simulation s;
+      kernelsim::spinlock lock{s};
+      const double query_gap = 50e-6;   // datapath query every 50us
+      const double update_gap = 0.1;    // snapshot update every 100ms
+      const double duration = dur(5.0, 1.0);
+      running_stats stalls;
+      std::uint64_t stalled = 0;
+
+      for (double t = update_gap; t < duration; t += update_gap) {
+        s.schedule_at(t, [&lock, hold = pol.lock_hold]() {
+          lock.acquire(hold);
+        });
+      }
+      for (double t = 0.0; t < duration; t += query_gap) {
+        s.schedule_at(t, [&]() {
+          // The datapath grabs the same lock briefly around the pointer
+          // read (a few ns).
+          const double wait = lock.acquire(5e-9);
+          if (wait > 0.0) ++stalled;
+          stalls.add(wait);
+        });
+      }
+      s.run();
+      table.add_row(
+          {net == &aurora ? "Aurora" : "MOCC", pol.name,
+           text_table::num(pol.lock_hold * 1e6, 3) + "us",
+           std::to_string(stalled),
+           text_table::num(stalls.mean() * 1e9, 2) + "ns",
+           text_table::num(stalls.max() * 1e6, 3) + "us"});
+    }
+  }
+  std::cout << "\n" << table.to_string();
+  std::cout << "\nDesign point: the pointer flip holds the lock for tens of "
+               "nanoseconds, so datapath stalls vanish; a direct install "
+               "stalls queries for the whole parameter copy.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Micro-benchmarks (google-benchmark) for the snapshot pipeline itself:
+// FP32 forward vs integer-interpreter inference vs real GCC-compiled
+// snapshot inference, plus snapshot generation (quantize + translate) and
+// template rendering.  These back the Fig. 15 latency story with real
+// wall-clock numbers on this machine.
+#include <benchmark/benchmark.h>
+
+#include "codegen/compiled_snapshot.hpp"
+#include "codegen/snapshot.hpp"
+#include "codegen/template_engine.hpp"
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lf;
+
+nn::mlp& aurora() {
+  static rng g{7};
+  static nn::mlp net = nn::make_aurora_net(g);
+  return net;
+}
+
+nn::mlp& ffnn() {
+  static rng g{8};
+  static nn::mlp net = nn::make_ffnn_flow_size_net(g);
+  return net;
+}
+
+void bm_float_forward_aurora(benchmark::State& state) {
+  auto& net = aurora();
+  std::vector<double> x(net.input_size(), 0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(x));
+  }
+}
+BENCHMARK(bm_float_forward_aurora);
+
+void bm_quantized_infer_aurora(benchmark::State& state) {
+  static const auto snap = codegen::generate_snapshot(aurora(), "a", 1);
+  std::vector<fp::s64> x(snap.input_size(), 250);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snap.program.infer(x));
+  }
+}
+BENCHMARK(bm_quantized_infer_aurora);
+
+void bm_compiled_infer_aurora(benchmark::State& state) {
+  static const auto snap = codegen::generate_snapshot(aurora(), "a", 1);
+  if (!codegen::compiler_available()) {
+    state.SkipWithError("gcc not available");
+    return;
+  }
+  static const auto compiled = codegen::compiled_snapshot::compile(snap.c_source);
+  std::vector<fp::s64> x(snap.input_size(), 250);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.infer(x, snap.output_size()));
+  }
+}
+BENCHMARK(bm_compiled_infer_aurora);
+
+void bm_compiled_infer_ffnn(benchmark::State& state) {
+  static const auto snap = codegen::generate_snapshot(ffnn(), "f", 1);
+  if (!codegen::compiler_available()) {
+    state.SkipWithError("gcc not available");
+    return;
+  }
+  static const auto compiled = codegen::compiled_snapshot::compile(snap.c_source);
+  std::vector<fp::s64> x(snap.input_size(), 500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.infer(x, snap.output_size()));
+  }
+}
+BENCHMARK(bm_compiled_infer_ffnn);
+
+void bm_snapshot_generation_aurora(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codegen::generate_snapshot(aurora(), "a", 1));
+  }
+}
+BENCHMARK(bm_snapshot_generation_aurora);
+
+void bm_template_render_fc_layer(benchmark::State& state) {
+  codegen::tcontext ctx;
+  ctx["prefix"] = std::int64_t{3};
+  ctx["n"] = std::int64_t{16};
+  const std::string tmpl =
+      "static void fc_{{ prefix }}_comp(void) {"
+      "{% for i in range(0, n) %}x[{{ i }}]"
+      "{% if not loop.last %}, {% endif %}{% endfor %}}";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codegen::render_template(tmpl, ctx));
+  }
+}
+BENCHMARK(bm_template_render_fc_layer);
+
+}  // namespace
+
+BENCHMARK_MAIN();

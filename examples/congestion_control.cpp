@@ -1,0 +1,44 @@
+// Example: LiteFlow-deployed Aurora congestion control on the dumbbell
+// testbed (the paper's §5.1 scenario, condensed).
+//
+// A single LF-Aurora flow drives a 1 Gbps bottleneck with background UDP;
+// mid-run the path turns lossy and the slow path adapts: watch the batch
+// deliveries, snapshot updates, and the goodput recovering.
+//
+// Build & run:  ./build/examples/congestion_control
+#include <cstdio>
+#include <iostream>
+
+#include "apps/cc/cc_experiment.hpp"
+
+int main() {
+  using namespace lf;
+  using namespace lf::apps;
+
+  cc_single_flow_config cfg;
+  cfg.scheme = cc_scheme::lf_aurora;
+  cfg.duration = 24.0;
+  cfg.warmup = 2.0;
+  cfg.pretrain_iterations = 600;
+  cfg.net.bottleneck_bps = 1e9;
+  cfg.net.rtt = 10e-3;
+  cfg.net.buffer_bytes = 150 * 1000;
+  cfg.bg_bps = 0.1e9;
+  cfg.bg_schedule = {{12.0, 0.1e9, 0.08}};  // the path turns lossy at t=12s
+
+  std::cout << "running LF-Aurora on a 1 Gbps dumbbell (10 ms RTT); the\n"
+               "path turns 8% lossy at t=12s — the slow path must adapt...\n\n";
+  const auto r = run_cc_single_flow(cfg);
+
+  std::cout << "goodput (Mbps, 1s buckets):\n";
+  for (const auto& [t, v] : r.goodput.resample(0, cfg.duration, 1.0)) {
+    std::printf("  t=%5.1fs  %7.1f  %s\n", t, v / 1e6,
+                t > 12.0 ? "(lossy)" : "");
+  }
+  std::cout << "\nmean goodput " << r.mean_goodput / 1e6 << " Mbps, "
+            << r.snapshot_updates << " snapshot updates, softirq share "
+            << r.softirq_share * 100 << "%\n";
+  std::cout << "\nCompare: re-run with cfg.scheme = cc_scheme::lf_aurora_noa\n"
+               "to see the frozen snapshot stay collapsed after t=12s.\n";
+  return 0;
+}

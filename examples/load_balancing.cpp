@@ -1,0 +1,44 @@
+// Example: NN-driven load balancing with LiteFlow (the paper's §5.3
+// scenario, condensed).
+//
+// 8 hosts on a 2x2 spine-leaf; a background hotspot congests one spine and
+// hops to the other every 300 ms.  The LB MLP reads per-path {ECN fraction,
+// smoothed RTT, utilization} and picks the uplink per flow(let); ECMP
+// hashes blindly into the hotspot half the time.
+//
+// Build & run:  ./build/examples/load_balancing
+#include <cstdio>
+#include <iostream>
+
+#include "apps/lb/lb_experiment.hpp"
+
+int main() {
+  using namespace lf;
+  using namespace lf::apps;
+
+  std::cout << "load balancing on a 2x2 spine-leaf (8 hosts) with a moving\n"
+               "7 Gbps hotspot, 500 web-search flows:\n\n";
+  std::printf("%-14s %14s %14s %14s %10s\n", "deployment", "short mean(us)",
+              "mid mean(us)", "long mean(us)", "selects");
+  for (const auto d :
+       {lb_deployment::liteflow, lb_deployment::ecmp, lb_deployment::chardev}) {
+    lb_experiment_config cfg;
+    cfg.deployment = d;
+    cfg.hosts_per_leaf = 4;
+    cfg.arrival_rate = 1500.0;
+    cfg.total_flows = 500;
+    cfg.pretrain_samples = 1500;
+    cfg.pretrain_epochs = 200;
+    const auto r = run_lb_experiment(cfg);
+    std::printf("%-14s %14.0f %14.0f %14.0f %10llu\n",
+                std::string{to_string(d)}.c_str(),
+                r.short_flows.mean_seconds * 1e6,
+                r.mid_flows.mean_seconds * 1e6,
+                r.long_flows.mean_seconds * 1e6,
+                static_cast<unsigned long long>(r.selector_calls));
+  }
+  std::cout << "\nThe learned selector dodges the hotspot; ECMP cannot, and\n"
+               "the char-device deployment pays a cross-space round trip per\n"
+               "selection on top.\n";
+  return 0;
+}

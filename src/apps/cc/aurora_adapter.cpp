@@ -1,0 +1,125 @@
+#include "apps/cc/aurora_adapter.hpp"
+
+#include <algorithm>
+
+#include "nn/serialize.hpp"
+
+namespace lf::apps {
+namespace {
+
+nn::mlp make_net(cc_model model, std::size_t history, rng& gen) {
+  return model == cc_model::aurora ? nn::make_aurora_net(gen, history)
+                                   : nn::make_mocc_net(gen, history);
+}
+
+}  // namespace
+
+aurora_adapter::aurora_adapter(aurora_adapter_config config)
+    : config_{config}, gen_{config.seed},
+      net_{make_net(config.model, config.history, gen_)} {
+  // Pretraining runs on the clean fluid model — the resulting policy is as
+  // narrowly fitted as the paper's Aurora (it reads any sustained
+  // send-ratio offset as congestion).  Online adaptation later retrains
+  // with observation noise matched to real monitor intervals (see adapt()),
+  // which is what teaches the tuned policy to survive the new environment.
+  auto env_config = config_.env;
+  env_config.history = config_.history;
+  if (config_.model == cc_model::mocc) {
+    // MOCC's multi-objective reward adds an explicit latency objective and
+    // trains with more episodes per update, which is what makes it adapt
+    // faster than Aurora in the paper's Fig. 12.
+    env_config.latency_weight *= 2.0;
+    config_.trainer.episodes_per_iteration =
+        std::max<std::size_t>(config_.trainer.episodes_per_iteration, 6);
+  }
+  env_ = std::make_unique<rl::link_env>(env_config, gen_.split());
+  trainer_ = std::make_unique<rl::pg_trainer>(net_, *env_, config_.trainer,
+                                              gen_.split());
+}
+
+void aurora_adapter::pretrain(std::size_t iterations) {
+  for (std::size_t i = 0; i < iterations; ++i) trainer_->iterate();
+}
+
+std::string aurora_adapter::freeze_model() {
+  return nn::save_mlp_to_string(net_);
+}
+
+double aurora_adapter::stability_value() const {
+  // Policy-gradient per-iteration rewards are noisy even at convergence; an
+  // EWMA gives the sync evaluator a metric whose spread actually narrows
+  // once exploration settles (§3.3 lets users pick their metric).
+  return ewma_reward_;
+}
+
+std::vector<double> aurora_adapter::evaluate(
+    std::span<const double> input) const {
+  return net_.forward(input);
+}
+
+std::size_t aurora_adapter::parameter_count() const {
+  return net_.parameter_count();
+}
+
+void aurora_adapter::adapt(std::span<const core::train_sample> batch) {
+  // Re-estimate the environment from the batch aux data:
+  //   bandwidth ~ the highest delivery rate any interval achieved,
+  //   rtt       ~ the smallest min-RTT seen,
+  //   loss      ~ the loss floor (loss present even without queue growth
+  //               indicates stochastic loss, not congestion).
+  double bw = 0.0;
+  double rtt = 0.0;
+  double loss_num = 0.0;
+  double loss_den = 0.0;
+  std::size_t valid = 0;
+  for (const auto& sample : batch) {
+    if (sample.aux.size() < k_aux_size) continue;
+    ++valid;
+    bw = std::max(bw, sample.aux[0]);
+    if (sample.aux[2] > 0.0) {
+      rtt = rtt == 0.0 ? sample.aux[2] : std::min(rtt, sample.aux[2]);
+    }
+    // Send-rate-weighted loss: intervals that carried traffic dominate, so
+    // a trickle of near-empty intervals (loss 0 or 1 by quantization) does
+    // not swamp the estimate.
+    loss_num += sample.aux[3] * sample.aux[1];
+    loss_den += sample.aux[1];
+  }
+  const double loss_floor =
+      loss_den > 0.0 ? std::min(loss_num / loss_den, 0.5) : 0.0;
+  if (valid > 0 && bw > 0.0 && rtt > 0.0) {
+    // A congestion-collapsed flow observes tiny throughput; taking that at
+    // face value would re-parameterize the training link to ~0 and the
+    // policy would learn to stay collapsed.  The bandwidth estimate may
+    // therefore rise instantly but only decays slowly (10% per batch), so
+    // the simulator keeps giving the policy headroom to re-probe.
+    if (est_bandwidth_ == 0.0) {
+      est_bandwidth_ = std::max(bw, env_->available_bandwidth());
+    } else {
+      // ~0.2% decay per batch (a few percent per second at T=100ms): fast
+      // enough to track a genuinely shrinking link within tens of seconds,
+      // slow enough that a collapsed flow cannot drag the model down
+      // before retraining rescues it.
+      est_bandwidth_ = std::max(bw, 0.998 * est_bandwidth_);
+    }
+    est_rtt_ = rtt;
+    est_loss_ = loss_floor;
+    // The fluid env models background traffic separately; fold the whole
+    // observed capacity into `bandwidth` and zero the background so the
+    // policy's target rate matches what the datapath actually measured.
+    env_->set_background(0.0);
+    env_->set_link(est_bandwidth_, est_rtt_, est_loss_);
+    // Online adaptation trains against realistically noisy observations
+    // (packet-quantized monitor intervals), unlike the clean pretraining.
+    env_->set_feature_noise(0.15);
+  }
+  for (std::size_t i = 0; i < config_.iterations_per_batch; ++i) {
+    trainer_->iterate();
+    ewma_reward_ = ewma_initialized_
+                       ? 0.9 * ewma_reward_ + 0.1 * trainer_->last_mean_reward()
+                       : trainer_->last_mean_reward();
+    ewma_initialized_ = true;
+  }
+}
+
+}  // namespace lf::apps

@@ -1,0 +1,74 @@
+// Userspace slow-path implementation for Aurora/MOCC congestion control.
+//
+// Implements core::adaptation_interface the way the paper's users would in
+// Python: the model trains in a Gym-style fluid link simulator (rl::link_env
+// — Aurora's own training rig), and online adaptation re-estimates the
+// environment parameters {bandwidth, base RTT, stochastic loss} from each
+// kernel batch, re-parameterizes the simulator, and continues policy
+// iterations against it.  This is exactly the paper's observation that
+// batched and online RL tuning coincide when training runs in a simulator
+// (§3.2).
+#pragma once
+
+#include <memory>
+
+#include "core/userspace_service.hpp"
+#include "rl/link_env.hpp"
+#include "rl/pg_trainer.hpp"
+
+namespace lf::apps {
+
+enum class cc_model { aurora, mocc };
+
+struct aurora_adapter_config {
+  cc_model model = cc_model::aurora;
+  std::size_t history = 10;
+  rl::link_env_config env{};
+  rl::pg_config trainer{};
+  /// Policy-gradient iterations run per delivered batch.
+  std::size_t iterations_per_batch = 20;
+  std::uint64_t seed = 1;
+};
+
+class aurora_adapter final : public core::adaptation_interface {
+ public:
+  explicit aurora_adapter(aurora_adapter_config config);
+
+  /// Offline pre-training before deployment (the paper trains Aurora to
+  /// convergence in the simulator first).
+  void pretrain(std::size_t iterations);
+
+  // core::adaptation_interface
+  std::string freeze_model() override;
+  double stability_value() const override;
+  std::vector<double> evaluate(std::span<const double> input) const override;
+  void adapt(std::span<const core::train_sample> batch) override;
+  std::size_t parameter_count() const override;
+
+  nn::mlp& model() noexcept { return net_; }
+  rl::pg_trainer& trainer() noexcept { return *trainer_; }
+  rl::link_env& environment() noexcept { return *env_; }
+
+  /// Environment parameters last estimated from a kernel batch.
+  double estimated_bandwidth() const noexcept { return est_bandwidth_; }
+  double estimated_rtt() const noexcept { return est_rtt_; }
+  double estimated_loss() const noexcept { return est_loss_; }
+
+  /// Layout of the aux vector the CC input collector ships per sample.
+  /// aux = {throughput_bps, send_rate_bps, min_rtt, loss_rate}.
+  static constexpr std::size_t k_aux_size = 4;
+
+ private:
+  aurora_adapter_config config_;
+  rng gen_;
+  nn::mlp net_;
+  std::unique_ptr<rl::link_env> env_;
+  std::unique_ptr<rl::pg_trainer> trainer_;
+  double est_bandwidth_ = 0.0;
+  double est_rtt_ = 0.0;
+  double est_loss_ = 0.0;
+  double ewma_reward_ = 0.0;
+  bool ewma_initialized_ = false;
+};
+
+}  // namespace lf::apps

@@ -1,0 +1,133 @@
+// Deployment-specific rate controllers for NN congestion control.
+//
+// The same trained network is deployed four ways, matching the paper's
+// comparison set:
+//  - liteflow_cc_controller: fast-path inference through the kernel
+//    snapshot (lf_query_model), signals batched to the slow path (§4.2,
+//    "LiteFlow Congestion Control Module");
+//  - ccp_cc_controller: CCP-style userspace deployment — every interval T
+//    the kernel ships signals up and a rate comes back, paying a softirq
+//    round trip (CCP-Aurora / CCP-MOCC, intervals per-ACK .. 100ms);
+//  - kernel_train_controller: the §2.3 anti-pattern — both inference and
+//    SGD in kernel space, crushing the datapath;
+//  - a frozen deployment is liteflow with adaptation disabled (N-O-A).
+#pragma once
+
+#include <deque>
+
+#include "core/batch_collector.hpp"
+#include "core/liteflow_core.hpp"
+#include "transport/cong_ctrl.hpp"
+
+namespace lf::apps {
+
+struct cc_controller_config {
+  std::size_t history = 10;   ///< observation intervals (Aurora k)
+  double action_delta = 0.05; ///< multiplicative rate step
+  double min_rate_bps = 1e6;
+  double max_rate_bps = 20e9;
+};
+
+/// Sliding window of the last k intervals' features, zero-padded at start.
+class feature_history {
+ public:
+  explicit feature_history(std::size_t k);
+  void push(const transport::mi_observation& obs);
+  const std::vector<double>& features() const noexcept { return flat_; }
+
+ private:
+  std::size_t k_;
+  std::deque<double> window_;
+  std::vector<double> flat_;
+};
+
+// ------------------------------------------------------------- liteflow --
+
+class liteflow_cc_controller final : public transport::rate_controller {
+ public:
+  /// `collector` may be null (no slow path, pure frozen inference).
+  liteflow_cc_controller(core::liteflow_core& core,
+                         core::batch_collector* collector,
+                         netsim::flow_id_t flow, cc_controller_config config);
+
+  void on_monitor_interval(const transport::mi_observation& obs,
+                           std::function<void(double)> set_rate) override;
+  void on_flow_close() override;
+
+ private:
+  core::liteflow_core& core_;
+  core::batch_collector* collector_;
+  netsim::flow_id_t flow_;
+  cc_controller_config config_;
+  feature_history history_;
+};
+
+// ------------------------------------------------------------------ ccp --
+
+class ccp_cc_controller final : public transport::rate_controller {
+ public:
+  /// interval == 0 means "per ACK": a round trip on every monitor interval.
+  ccp_cc_controller(sim::simulation& sim, kernelsim::crossspace_channel& ipc,
+                    const kernelsim::cost_model& costs, const nn::mlp& model,
+                    double interval, cc_controller_config config);
+
+  void on_monitor_interval(const transport::mi_observation& obs,
+                           std::function<void(double)> set_rate) override;
+  void on_flow_close() override;
+
+  std::uint64_t decisions() const noexcept { return decisions_; }
+
+ private:
+  void tick();
+  void request_decision();
+
+  sim::simulation& sim_;
+  kernelsim::crossspace_channel& ipc_;
+  const kernelsim::cost_model& costs_;
+  const nn::mlp& model_;
+  double interval_;
+  cc_controller_config config_;
+  feature_history history_;
+  std::function<void(double)> set_rate_;
+  double last_send_rate_ = 0.0;
+  bool timer_started_ = false;
+  bool closed_ = false;
+  int in_flight_ = 0;
+  std::uint64_t decisions_ = 0;
+};
+
+// --------------------------------------------------------- kernel train --
+
+class kernel_train_controller final : public transport::rate_controller {
+ public:
+  /// `train_interval`: how often the in-kernel optimizer runs (the paper
+  /// observed up to 90% throughput loss even with mini-batching).
+  kernel_train_controller(sim::simulation& sim, kernelsim::cpu_model& cpu,
+                          const kernelsim::cost_model& costs, nn::mlp& model,
+                          double train_interval, std::size_t batch_size,
+                          cc_controller_config config);
+
+  void on_monitor_interval(const transport::mi_observation& obs,
+                           std::function<void(double)> set_rate) override;
+  void on_flow_close() override;
+
+  std::uint64_t train_rounds() const noexcept { return train_rounds_; }
+
+ private:
+  void train_tick();
+
+  sim::simulation& sim_;
+  kernelsim::cpu_model& cpu_;
+  const kernelsim::cost_model& costs_;
+  nn::mlp& model_;
+  double train_interval_;
+  std::size_t batch_size_;
+  cc_controller_config config_;
+  feature_history history_;
+  bool timer_started_ = false;
+  bool closed_ = false;
+  std::size_t pending_samples_ = 0;
+  std::uint64_t train_rounds_ = 0;
+};
+
+}  // namespace lf::apps

@@ -1,0 +1,113 @@
+// Per-host deployment stacks for NN congestion control.
+//
+// A "stack" owns everything one sender host needs for a deployment style
+// and hands out rate controllers for individual flows:
+//  - liteflow_cc_stack: LiteFlow core module + netlink server + batch
+//    collector + userspace service + Aurora/MOCC slow path (LF-Aurora /
+//    LF-MOCC; set adaptation=false for the N-O-A ablation);
+//  - ccp_cc_stack: a userspace agent holding the FP32 model, reached over
+//    a CCP IPC channel at a configurable interval (CCP-Aurora-1ms etc.);
+//  - kernel_train_cc_stack: the all-in-kernel §2.3 anti-pattern.
+#pragma once
+
+#include <memory>
+
+#include "apps/cc/aurora_adapter.hpp"
+#include "apps/cc/cc_controllers.hpp"
+#include "core/userspace_service.hpp"
+#include "netsim/host.hpp"
+
+namespace lf::apps {
+
+struct liteflow_cc_options {
+  cc_model model = cc_model::aurora;
+  double batch_interval = 0.100;  ///< T (Fig. 14 recommends 100ms-1000ms)
+  bool adaptation = true;         ///< false = LF-*-N-O-A
+  std::size_t pretrain_iterations = 400;
+  std::uint64_t seed = 7;
+  aurora_adapter_config adapter{};
+  cc_controller_config controller{};
+  quant::quantizer_config quantizer{};
+  core::sync_config sync{};
+};
+
+class liteflow_cc_stack {
+ public:
+  liteflow_cc_stack(netsim::host& h, liteflow_cc_options options);
+
+  /// Pretrain the slow-path model and install snapshot v1.
+  void start();
+
+  std::unique_ptr<transport::rate_controller> make_controller(
+      netsim::flow_id_t flow);
+
+  core::liteflow_core& core() noexcept { return *core_; }
+  core::userspace_service& service() noexcept { return *service_; }
+  aurora_adapter& adapter() noexcept { return *adapter_; }
+  core::batch_collector& collector() noexcept { return *collector_; }
+  kernelsim::crossspace_channel& netlink() noexcept { return *netlink_; }
+  const liteflow_cc_options& options() const noexcept { return options_; }
+
+ private:
+  netsim::host& host_;
+  liteflow_cc_options options_;
+  std::unique_ptr<kernelsim::crossspace_channel> netlink_;
+  std::unique_ptr<core::liteflow_core> core_;
+  std::unique_ptr<core::batch_collector> collector_;
+  std::unique_ptr<aurora_adapter> adapter_;
+  std::unique_ptr<core::userspace_service> service_;
+};
+
+struct ccp_cc_options {
+  cc_model model = cc_model::aurora;
+  /// Cross-space decision interval in seconds; 0 = per ACK.
+  double interval = 10e-3;
+  std::size_t pretrain_iterations = 400;
+  std::uint64_t seed = 7;
+  aurora_adapter_config adapter{};
+  cc_controller_config controller{};
+};
+
+class ccp_cc_stack {
+ public:
+  ccp_cc_stack(netsim::host& h, ccp_cc_options options);
+
+  void start();  ///< pretrain the userspace model
+
+  std::unique_ptr<transport::rate_controller> make_controller();
+
+  kernelsim::crossspace_channel& channel() noexcept { return *ipc_; }
+  aurora_adapter& adapter() noexcept { return *adapter_; }
+
+ private:
+  netsim::host& host_;
+  ccp_cc_options options_;
+  std::unique_ptr<kernelsim::crossspace_channel> ipc_;
+  std::unique_ptr<aurora_adapter> adapter_;
+};
+
+struct kernel_train_cc_options {
+  cc_model model = cc_model::aurora;
+  double train_interval = 0.100;  ///< mini-batch cadence
+  std::size_t batch_size = 32;
+  std::size_t pretrain_iterations = 400;
+  std::uint64_t seed = 7;
+  aurora_adapter_config adapter{};
+  cc_controller_config controller{};
+};
+
+class kernel_train_cc_stack {
+ public:
+  kernel_train_cc_stack(netsim::host& h, kernel_train_cc_options options);
+
+  void start();
+
+  std::unique_ptr<transport::rate_controller> make_controller();
+
+ private:
+  netsim::host& host_;
+  kernel_train_cc_options options_;
+  std::unique_ptr<aurora_adapter> adapter_;
+};
+
+}  // namespace lf::apps

@@ -1,0 +1,309 @@
+#include "apps/cc/cc_experiment.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "apps/common/probes.hpp"
+#include "netsim/workload.hpp"
+#include "transport/bbr.hpp"
+#include "transport/cubic.hpp"
+#include "transport/rate_sender.hpp"
+#include "transport/window_sender.hpp"
+
+namespace lf::apps {
+
+std::string_view to_string(cc_scheme s) noexcept {
+  switch (s) {
+    case cc_scheme::lf_aurora:
+      return "LF-Aurora";
+    case cc_scheme::lf_mocc:
+      return "LF-MOCC";
+    case cc_scheme::lf_aurora_noa:
+      return "LF-Aurora-N-O-A";
+    case cc_scheme::lf_dummy:
+      return "LF-Dummy-NN";
+    case cc_scheme::ccp_aurora:
+      return "CCP-Aurora";
+    case cc_scheme::ccp_mocc:
+      return "CCP-MOCC";
+    case cc_scheme::kernel_train_aurora:
+      return "Kernel-Train-Aurora";
+    case cc_scheme::bbr:
+      return "BBR";
+    case cc_scheme::cubic:
+      return "CUBIC";
+  }
+  return "?";
+}
+
+bool is_rate_based(cc_scheme s) noexcept {
+  return s != cc_scheme::bbr && s != cc_scheme::cubic;
+}
+
+bool bench_fast_mode() {
+  const char* v = std::getenv("LF_BENCH_FAST");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+namespace {
+
+/// Owns whichever deployment stack the scheme needs and hands out
+/// controllers / senders uniformly.
+struct scheme_runtime {
+  std::unique_ptr<liteflow_cc_stack> lf;
+  std::unique_ptr<ccp_cc_stack> ccp;
+  std::unique_ptr<kernel_train_cc_stack> ktrain;
+
+  std::vector<std::unique_ptr<transport::rate_sender>> rate_flows;
+  std::vector<std::unique_ptr<transport::window_sender>> window_flows;
+};
+
+aurora_adapter_config env_matched_adapter(double bottleneck_bps, double bg_bps,
+                                          double rtt,
+                                          std::uint64_t buffer_bytes) {
+  aurora_adapter_config a;
+  a.env.bandwidth_bps = bottleneck_bps;
+  a.env.background_bps = std::min(bg_bps, 0.9 * bottleneck_bps);
+  a.env.base_rtt = rtt;
+  a.env.queue_bytes = static_cast<double>(buffer_bytes);
+  return a;
+}
+
+void setup_scheme(scheme_runtime& rt, cc_scheme scheme, netsim::host& sender,
+                  double bottleneck_bps, double bg_bps, double rtt,
+                  std::uint64_t buffer_bytes, double ccp_interval,
+                  double batch_interval, std::size_t pretrain,
+                  std::uint64_t seed, double sync_alpha = 0.05) {
+  switch (scheme) {
+    case cc_scheme::lf_aurora:
+    case cc_scheme::lf_mocc:
+    case cc_scheme::lf_aurora_noa:
+    case cc_scheme::lf_dummy: {
+      liteflow_cc_options o;
+      o.model = scheme == cc_scheme::lf_mocc ? cc_model::mocc
+                                             : cc_model::aurora;
+      o.adaptation = scheme == cc_scheme::lf_aurora ||
+                     scheme == cc_scheme::lf_mocc;
+      o.batch_interval = batch_interval;
+      o.pretrain_iterations =
+          scheme == cc_scheme::lf_dummy ? 0 : pretrain;
+      o.seed = seed;
+      o.adapter = env_matched_adapter(bottleneck_bps, bg_bps, rtt,
+                                      buffer_bytes);
+      o.controller.min_rate_bps = 0.05 * bottleneck_bps;
+      o.controller.max_rate_bps = 2.0 * bottleneck_bps;
+      o.sync.alpha = sync_alpha;
+      rt.lf = std::make_unique<liteflow_cc_stack>(sender, o);
+      if (scheme == cc_scheme::lf_dummy) {
+        // LF-Dummy-NN (§5.1): same structure as Aurora, but the generated
+        // code always emits the max action -> the flow pins line rate.
+        auto& model = rt.lf->adapter().model();
+        std::vector<double> params(model.parameter_count(), 0.0);
+        // Final layer bias saturates tanh at ~+1.
+        params.back() = 6.0;
+        model.set_parameters(params);
+      }
+      rt.lf->start();
+      break;
+    }
+    case cc_scheme::ccp_aurora:
+    case cc_scheme::ccp_mocc: {
+      ccp_cc_options o;
+      o.model = scheme == cc_scheme::ccp_mocc ? cc_model::mocc
+                                              : cc_model::aurora;
+      o.interval = ccp_interval;
+      o.pretrain_iterations = pretrain;
+      o.seed = seed;
+      o.adapter = env_matched_adapter(bottleneck_bps, bg_bps, rtt,
+                                      buffer_bytes);
+      o.controller.min_rate_bps = 0.05 * bottleneck_bps;
+      o.controller.max_rate_bps = 2.0 * bottleneck_bps;
+      rt.ccp = std::make_unique<ccp_cc_stack>(sender, o);
+      rt.ccp->start();
+      break;
+    }
+    case cc_scheme::kernel_train_aurora: {
+      kernel_train_cc_options o;
+      o.pretrain_iterations = pretrain;
+      o.seed = seed;
+      o.adapter = env_matched_adapter(bottleneck_bps, bg_bps, rtt,
+                                      buffer_bytes);
+      o.controller.min_rate_bps = 0.05 * bottleneck_bps;
+      o.controller.max_rate_bps = 2.0 * bottleneck_bps;
+      rt.ktrain = std::make_unique<kernel_train_cc_stack>(sender, o);
+      rt.ktrain->start();
+      break;
+    }
+    case cc_scheme::bbr:
+    case cc_scheme::cubic:
+      break;  // window transports need no stack
+  }
+}
+
+void launch_flow(scheme_runtime& rt, cc_scheme scheme, netsim::host& sender,
+                 netsim::host_id_t dst, netsim::flow_id_t id,
+                 double bottleneck_bps, double initial_rate_bps) {
+  if (is_rate_based(scheme)) {
+    transport::rate_sender_config rc;
+    rc.initial_rate_bps =
+        scheme == cc_scheme::lf_dummy ? bottleneck_bps : initial_rate_bps;
+    rc.max_rate_bps = 2.0 * bottleneck_bps;
+    // Keep >= ~5% of line rate so monitor intervals still carry enough
+    // packets for meaningful signal statistics.
+    rc.min_rate_bps = 0.05 * bottleneck_bps;
+    std::unique_ptr<transport::rate_controller> ctrl;
+    if (rt.lf) {
+      ctrl = rt.lf->make_controller(id);
+    } else if (rt.ccp) {
+      ctrl = rt.ccp->make_controller();
+    } else {
+      ctrl = rt.ktrain->make_controller();
+    }
+    auto flow = std::make_unique<transport::rate_sender>(
+        sender, dst, id, rc, std::move(ctrl));
+    flow->start();
+    rt.rate_flows.push_back(std::move(flow));
+  } else {
+    std::unique_ptr<transport::cong_ctrl> cc;
+    if (scheme == cc_scheme::bbr) {
+      cc = std::make_unique<transport::bbr>();
+    } else {
+      cc = std::make_unique<transport::cubic>();
+    }
+    auto flow = std::make_unique<transport::window_sender>(
+        sender, dst, id, std::uint64_t{1} << 50, transport::window_sender_config{},
+        std::move(cc));
+    flow->start();
+    rt.window_flows.push_back(std::move(flow));
+  }
+}
+
+}  // namespace
+
+cc_single_flow_result run_cc_single_flow(const cc_single_flow_config& config) {
+  sim::simulation simu;
+  netsim::dumbbell net{simu, config.net};
+  if (config.trace_queue) net.bottleneck().enable_queue_trace();
+
+  netsim::cbr_source bg{simu, net.bg_sender(), netsim::dumbbell::receiver_id,
+                        999'999, config.bg_bps};
+  if (config.bg_bps > 0.0) bg.start();
+  for (const auto& phase : config.bg_schedule) {
+    simu.schedule_at(phase.at, [&bg, &net, rate = phase.bg_bps,
+                                loss = phase.random_loss]() {
+      bg.set_rate(rate);
+      if (rate > 0.0) bg.start();
+      net.bottleneck().set_random_loss(loss);
+    });
+  }
+
+  scheme_runtime rt;
+  setup_scheme(rt, config.scheme, net.sender(), config.net.bottleneck_bps,
+               config.bg_bps, config.net.rtt, config.net.buffer_bytes,
+               config.ccp_interval, config.batch_interval,
+               config.pretrain_iterations, config.seed, config.lf_sync_alpha);
+  launch_flow(rt, config.scheme, net.sender(), netsim::dumbbell::receiver_id,
+              1, config.net.bottleneck_bps, 0.1 * config.net.bottleneck_bps);
+
+  // Goodput sampling counts only the test flow (exclude background):
+  // sample the receiver's per-flow state.
+  time_series goodput{"goodput_bps"};
+  std::uint64_t last_bytes = 0;
+  auto sampler = std::make_shared<std::function<void()>>();
+  *sampler = [&, sampler]() {
+    const auto* st = net.receiver().flow_state(1);
+    const std::uint64_t bytes = st ? st->delivered_payload : 0;
+    goodput.record(simu.now(), static_cast<double>(bytes - last_bytes) * 8.0 /
+                                   config.sample_interval);
+    last_bytes = bytes;
+    simu.schedule(config.sample_interval, *sampler);
+  };
+  simu.schedule(config.sample_interval, *sampler);
+
+  simu.run_until(config.duration);
+
+  cc_single_flow_result result;
+  running_stats stats;
+  for (const auto& [t, v] : goodput.points()) {
+    if (t >= config.warmup) stats.add(v);
+  }
+  result.mean_goodput = stats.mean();
+  result.stddev_goodput = stats.stddev();
+  result.goodput = std::move(goodput);
+  if (config.trace_queue) result.queue = net.bottleneck().queue_trace();
+  if (rt.lf) result.snapshot_updates = rt.lf->service().snapshot_updates();
+  const auto& cpu = net.sender().cpu();
+  const double total = cpu.total_busy_seconds();
+  result.softirq_share =
+      total > 0.0
+          ? cpu.busy_seconds(kernelsim::task_category::softirq) / total
+          : 0.0;
+  for (auto& f : rt.rate_flows) f->stop();
+  return result;
+}
+
+cc_overhead_result run_cc_overhead(const cc_overhead_config& config) {
+  sim::simulation simu;
+  netsim::dumbbell_config dc;
+  dc.bottleneck_bps = config.bottleneck_bps;
+  dc.rtt = 10e-3;
+  // Generous BDP-scale buffer: this mode studies CPU overhead, not loss.
+  dc.buffer_bytes = static_cast<std::uint64_t>(
+      3.0 * config.bottleneck_bps / 8.0 * dc.rtt);
+  netsim::dumbbell net{simu, dc};
+
+  scheme_runtime rt;
+  setup_scheme(rt, config.scheme, net.sender(), config.bottleneck_bps,
+               /*bg=*/0.0, dc.rtt, dc.buffer_bytes, config.ccp_interval,
+               config.batch_interval, config.pretrain_iterations, config.seed);
+  for (std::size_t i = 0; i < config.n_flows; ++i) {
+    // Overhead runs study steady state, not ramp-up: start near fair share.
+    launch_flow(rt, config.scheme, net.sender(), netsim::dumbbell::receiver_id,
+                static_cast<netsim::flow_id_t>(i + 1), config.bottleneck_bps,
+                0.8 * config.bottleneck_bps /
+                    static_cast<double>(config.n_flows));
+  }
+
+  // Snapshot CPU accounting and delivered bytes at the end of warmup.
+  std::uint64_t bytes_at_warmup = 0;
+  double softirq_at_warmup = 0.0;
+  double datapath_at_warmup = 0.0;
+  double slowpath_at_warmup = 0.0;
+  double busy_at_warmup = 0.0;
+  simu.schedule_at(config.warmup, [&]() {
+    bytes_at_warmup = net.receiver().total_delivered_payload();
+    const auto& cpu = net.sender().cpu();
+    softirq_at_warmup = cpu.busy_seconds(kernelsim::task_category::softirq);
+    datapath_at_warmup = cpu.busy_seconds(kernelsim::task_category::datapath);
+    slowpath_at_warmup =
+        cpu.busy_seconds(kernelsim::task_category::user_train) +
+        cpu.busy_seconds(kernelsim::task_category::user_nn);
+    busy_at_warmup = cpu.total_busy_seconds();
+  });
+
+  simu.run_until(config.duration);
+
+  cc_overhead_result result;
+  const double window = config.duration - config.warmup;
+  result.aggregate_bps =
+      static_cast<double>(net.receiver().total_delivered_payload() -
+                          bytes_at_warmup) *
+      8.0 / window;
+  const auto& cpu = net.sender().cpu();
+  result.softirq_seconds =
+      cpu.busy_seconds(kernelsim::task_category::softirq) - softirq_at_warmup;
+  result.datapath_seconds =
+      cpu.busy_seconds(kernelsim::task_category::datapath) -
+      datapath_at_warmup;
+  result.slowpath_seconds =
+      cpu.busy_seconds(kernelsim::task_category::user_train) +
+      cpu.busy_seconds(kernelsim::task_category::user_nn) -
+      slowpath_at_warmup;
+  const double busy = cpu.total_busy_seconds() - busy_at_warmup;
+  result.softirq_share = busy > 0.0 ? result.softirq_seconds / busy : 0.0;
+  result.cpu_utilization = busy / (cpu.capacity() * window);
+  for (auto& f : rt.rate_flows) f->stop();
+  return result;
+}
+
+}  // namespace lf::apps

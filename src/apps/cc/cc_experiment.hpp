@@ -1,0 +1,99 @@
+// Reusable congestion-control experiment harnesses on the dumbbell testbed,
+// shared by the benchmark binaries (Figs. 1-5, 11-14) and the examples.
+//
+// Two shapes cover the paper's CC evaluation:
+//  - single-flow goodput runs under emulated congestion (optionally with a
+//    schedule of background-traffic changes for the adaptation figures), and
+//  - N-flow overhead runs in a non-congested setting where the sender CPU
+//    is the bottleneck and cross-space communication eats into it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/cc/cc_deployment.hpp"
+#include "kernelsim/cpu.hpp"
+#include "netsim/topology.hpp"
+#include "util/time_series.hpp"
+
+namespace lf::apps {
+
+enum class cc_scheme {
+  lf_aurora,
+  lf_mocc,
+  lf_aurora_noa,       ///< LiteFlow, adaptation disabled
+  lf_dummy,            ///< LF-Dummy-NN: snapshot always emits line rate
+  ccp_aurora,          ///< userspace deployment, interval configurable
+  ccp_mocc,
+  kernel_train_aurora, ///< §2.3 all-in-kernel anti-pattern
+  bbr,
+  cubic,
+};
+
+std::string_view to_string(cc_scheme s) noexcept;
+bool is_rate_based(cc_scheme s) noexcept;
+
+struct bg_phase {
+  double at = 0.0;          ///< absolute time the phase starts
+  double bg_bps = 0.0;      ///< background UDP rate from then on
+  double random_loss = 0.0; ///< stochastic loss on the bottleneck from then on
+};
+
+struct cc_single_flow_config {
+  cc_scheme scheme = cc_scheme::lf_aurora;
+  netsim::dumbbell_config net{};
+  double duration = 10.0;
+  double warmup = 1.0;              ///< excluded from summary stats
+  double bg_bps = 0.1e9;            ///< paper: 0.1 Gbps constant UDP
+  std::vector<bg_phase> bg_schedule;  ///< optional dynamics (Figs. 5/12)
+  double ccp_interval = 10e-3;      ///< for ccp_* schemes (0 = per ACK)
+  double batch_interval = 0.100;    ///< LiteFlow slow-path T
+  double lf_sync_alpha = 0.05;      ///< necessity threshold (§3.3)
+  std::size_t pretrain_iterations = 400;
+  std::uint64_t seed = 7;
+  double sample_interval = 0.1;     ///< goodput sampling (paper: 0.1 s)
+  bool trace_queue = false;
+};
+
+struct cc_single_flow_result {
+  time_series goodput;        ///< bps, sampled every sample_interval
+  double mean_goodput = 0.0;  ///< over [warmup, duration]
+  double stddev_goodput = 0.0;
+  time_series queue;          ///< bottleneck queue bytes (if traced)
+  std::uint64_t snapshot_updates = 0;
+  double softirq_share = 0.0; ///< softirq / total busy CPU at the sender
+};
+
+cc_single_flow_result run_cc_single_flow(const cc_single_flow_config& config);
+
+struct cc_overhead_config {
+  cc_scheme scheme = cc_scheme::bbr;
+  std::size_t n_flows = 10;
+  double duration = 1.5;
+  double warmup = 0.3;
+  double ccp_interval = 10e-3;
+  double batch_interval = 0.100;
+  /// Non-congested setting: generous link, CPU becomes the bottleneck.
+  double bottleneck_bps = 5e9;
+  std::size_t pretrain_iterations = 300;
+  std::uint64_t seed = 7;
+};
+
+struct cc_overhead_result {
+  double aggregate_bps = 0.0;     ///< goodput over [warmup, duration]
+  double softirq_seconds = 0.0;   ///< sender softirq CPU in the window
+  double softirq_share = 0.0;     ///< softirq / total busy
+  double cpu_utilization = 0.0;   ///< total busy / capacity
+  double datapath_seconds = 0.0;
+  /// Userspace slow-path CPU (inference + training) in the window.
+  double slowpath_seconds = 0.0;
+};
+
+cc_overhead_result run_cc_overhead(const cc_overhead_config& config);
+
+/// True if the LF_BENCH_FAST environment variable is set: benchmarks then
+/// shrink durations/flow counts for quick iteration.
+bool bench_fast_mode();
+
+}  // namespace lf::apps

@@ -1,0 +1,30 @@
+#include "apps/common/liteflow_stack.hpp"
+
+namespace lf::apps {
+
+liteflow_stack::liteflow_stack(netsim::host& h,
+                               core::adaptation_interface& user,
+                               liteflow_stack_options options)
+    : host_{h} {
+  auto& sim = host_.simulator();
+  netlink_ = std::make_unique<kernelsim::crossspace_channel>(
+      sim, host_.cpu(), host_.costs(), kernelsim::channel_kind::netlink);
+  core_ = std::make_unique<core::liteflow_core>(sim, host_.cpu(),
+                                                host_.costs());
+  core::batch_collector_config bc;
+  bc.interval = options.batch_interval;
+  collector_ = std::make_unique<core::batch_collector>(sim, *netlink_, bc);
+
+  core::service_config sc;
+  sc.model_name = options.model_name;
+  sc.quantizer = options.quantizer;
+  sc.sync = options.sync;
+  sc.adaptation_enabled = options.adaptation;
+  service_ = std::make_unique<core::userspace_service>(
+      sim, host_.cpu(), host_.costs(), *netlink_, *core_, *collector_, user,
+      sc);
+}
+
+void liteflow_stack::start() { service_->start(); }
+
+}  // namespace lf::apps

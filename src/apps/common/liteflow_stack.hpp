@@ -1,0 +1,45 @@
+// Generic per-host LiteFlow deployment bundle: netlink server module +
+// core module + batch collector + userspace service, wired around any
+// user-provided adaptation_interface.  The flow-scheduling and
+// load-balancing modules deploy through this; congestion control uses the
+// specialized liteflow_cc_stack (same layout plus the RL slow path).
+#pragma once
+
+#include <memory>
+
+#include "core/userspace_service.hpp"
+#include "netsim/host.hpp"
+
+namespace lf::apps {
+
+struct liteflow_stack_options {
+  std::string model_name = "model";
+  double batch_interval = 0.100;
+  bool adaptation = true;
+  quant::quantizer_config quantizer{};
+  core::sync_config sync{};
+};
+
+class liteflow_stack {
+ public:
+  liteflow_stack(netsim::host& h, core::adaptation_interface& user,
+                 liteflow_stack_options options);
+
+  /// Installs snapshot v1 and starts batch delivery.
+  void start();
+
+  core::liteflow_core& core() noexcept { return *core_; }
+  core::batch_collector& collector() noexcept { return *collector_; }
+  core::userspace_service& service() noexcept { return *service_; }
+  kernelsim::crossspace_channel& netlink() noexcept { return *netlink_; }
+  netsim::host& host() noexcept { return host_; }
+
+ private:
+  netsim::host& host_;
+  std::unique_ptr<kernelsim::crossspace_channel> netlink_;
+  std::unique_ptr<core::liteflow_core> core_;
+  std::unique_ptr<core::batch_collector> collector_;
+  std::unique_ptr<core::userspace_service> service_;
+};
+
+}  // namespace lf::apps

@@ -1,0 +1,36 @@
+#include "apps/common/probes.hpp"
+
+namespace lf::apps {
+
+goodput_probe::goodput_probe(netsim::host& receiver, double sample_interval)
+    : receiver_{receiver}, dt_{sample_interval} {}
+
+void goodput_probe::start() {
+  if (running_) return;
+  running_ = true;
+  last_bytes_ = receiver_.total_delivered_payload();
+  receiver_.simulator().schedule(dt_, [this]() { sample(); });
+}
+
+void goodput_probe::sample() {
+  if (!running_) return;
+  const std::uint64_t bytes = receiver_.total_delivered_payload();
+  const double bps = static_cast<double>(bytes - last_bytes_) * 8.0 / dt_;
+  last_bytes_ = bytes;
+  series_.record(receiver_.simulator().now(), bps);
+  receiver_.simulator().schedule(dt_, [this]() { sample(); });
+}
+
+double goodput_probe::average_bps(double t0, double t1) const {
+  return series_.average(t0, t1);
+}
+
+double aggregate_goodput_bps(const netsim::host& receiver, double t0, double t1,
+                             std::uint64_t bytes_at_t0) {
+  const double window = t1 - t0;
+  if (window <= 0.0) return 0.0;
+  return static_cast<double>(receiver.total_delivered_payload() - bytes_at_t0) *
+         8.0 / window;
+}
+
+}  // namespace lf::apps

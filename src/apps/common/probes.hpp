@@ -1,0 +1,40 @@
+// Measurement probes shared by examples, tests and benchmarks.
+#pragma once
+
+#include <functional>
+
+#include "netsim/host.hpp"
+#include "util/time_series.hpp"
+
+namespace lf::apps {
+
+/// Samples a receiver host's delivered payload every dt seconds and records
+/// the resulting goodput (bps) as a time series — how the paper measures
+/// "average goodput of the flow every 0.1 seconds" (Fig. 1a).
+class goodput_probe {
+ public:
+  goodput_probe(netsim::host& receiver, double sample_interval);
+
+  void start();
+  void stop() noexcept { running_ = false; }
+
+  const time_series& series() const noexcept { return series_; }
+
+  /// Average goodput over [t0, t1] from total byte deltas.
+  double average_bps(double t0, double t1) const;
+
+ private:
+  void sample();
+
+  netsim::host& receiver_;
+  double dt_;
+  bool running_ = false;
+  std::uint64_t last_bytes_ = 0;
+  time_series series_{"goodput_bps"};
+};
+
+/// Tracks aggregate throughput over a whole run: delivered bytes / elapsed.
+double aggregate_goodput_bps(const netsim::host& receiver, double t0,
+                             double t1, std::uint64_t bytes_at_t0);
+
+}  // namespace lf::apps

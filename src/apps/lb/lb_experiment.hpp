@@ -1,0 +1,56 @@
+// End-to-end load-balancing experiment (paper §5.3, Fig. 17).
+//
+// 2x2 spine-leaf with 8 servers, DCTCP, web-search flow sizes.  A moving
+// background hotspot congests one spine at a time; the path selector decides
+// each flow's uplink, and active flows re-select per flowlet interval.
+// Reports FCT statistics split into short/mid/long classes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/sched/sched_experiment.hpp"  // class_fct_stats
+
+namespace lf::apps {
+
+enum class lb_deployment {
+  liteflow,      ///< LF-MLP
+  liteflow_noa,  ///< LF-MLP-N-O-A
+  chardev,       ///< char-MLP (userspace over a char device)
+  ecmp,          ///< hash-based baseline
+};
+
+std::string_view to_string(lb_deployment d) noexcept;
+
+struct lb_experiment_config {
+  lb_deployment deployment = lb_deployment::liteflow;
+  std::size_t hosts_per_leaf = 4;  ///< 8 servers (paper)
+  double arrival_rate = 2000.0;
+  std::size_t total_flows = 2000;
+  std::uint64_t seed = 1;
+  double batch_interval = 0.100;
+  double host_bps = 10e9;
+  double fabric_bps = 10e9;
+  bool cpu_gating = true;
+  /// Background hotspot pinned to one spine, hopping every period.
+  double hotspot_bps = 7e9;
+  double hotspot_switch_period = 0.5;
+  /// Flowlet re-selection cadence for active flows (0 disables).
+  double reselect_interval = 2e-3;
+  std::size_t pretrain_samples = 2000;
+  std::size_t pretrain_epochs = 400;
+  double max_sim_time = 30.0;
+};
+
+struct lb_result {
+  class_fct_stats short_flows;
+  class_fct_stats mid_flows;
+  class_fct_stats long_flows;
+  std::size_t completed = 0;
+  std::uint64_t selector_calls = 0;
+  std::uint64_t snapshot_updates = 0;
+};
+
+lb_result run_lb_experiment(const lb_experiment_config& config);
+
+}  // namespace lf::apps

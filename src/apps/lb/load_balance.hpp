@@ -1,0 +1,101 @@
+// NN-driven load balancing (§5.3): an MLP at each end host picks the uplink
+// path (spine) for its flows from locally observed per-path congestion
+// signals (ECN fraction, smoothed RTT, recent throughput), enforced through
+// XPath-style explicit path tags (the LiteFlow Path Selection Module).
+// Baselines: ECMP hashing, a userspace char-device deployment of the same
+// MLP, and the frozen no-adaptation variant.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "apps/common/liteflow_stack.hpp"
+#include "apps/sched/flow_sched.hpp"  // supervised_adapter
+#include "kernelsim/channel.hpp"
+#include "transport/cong_ctrl.hpp"
+
+namespace lf::apps {
+
+/// Per-host, per-path congestion signal tracker fed by ACK events of flows
+/// routed over each path.  Produces the MLP's input features:
+/// {ecn_ewma, rtt_norm, util} per path.
+class path_stats_tracker {
+ public:
+  explicit path_stats_tracker(std::size_t paths);
+
+  /// path_tag in [1, paths]; events with tag 0 (ECMP) are ignored.
+  void on_ack(std::uint32_t path_tag, const transport::ack_event& ev);
+
+  std::vector<double> features() const;
+  std::size_t paths() const noexcept { return per_path_.size(); }
+
+ private:
+  struct path_state {
+    double ecn_ewma = 0.0;
+    double rtt_ewma = 0.0;
+    double bytes_ewma = 0.0;
+    bool seen = false;
+  };
+  std::vector<path_state> per_path_;
+  double min_rtt_ = 0.0;
+};
+
+/// Asynchronous path selection: done(path_tag), tag in [1, paths], or 0 to
+/// fall back to ECMP hashing.
+class path_selector {
+ public:
+  virtual ~path_selector() = default;
+  virtual void select(netsim::flow_id_t flow, std::vector<double> features,
+                      std::function<void(std::uint32_t)> done) = 0;
+};
+
+class ecmp_selector final : public path_selector {
+ public:
+  void select(netsim::flow_id_t, std::vector<double>,
+              std::function<void(std::uint32_t)> done) override {
+    done(0);
+  }
+};
+
+/// Weighted-random path choice from per-path scores.  Deterministic argmax
+/// would herd every host onto the momentarily-best path and overload it;
+/// sampling proportionally to (shifted) scores keeps the preference while
+/// spreading load — the standard fix for stampedes in adaptive LB.
+std::uint32_t weighted_path_choice(std::span<const double> scores, rng& gen);
+
+class liteflow_path_selector final : public path_selector {
+ public:
+  liteflow_path_selector(core::liteflow_core& core, std::size_t paths,
+                         std::uint64_t seed = 1);
+  void select(netsim::flow_id_t flow, std::vector<double> features,
+              std::function<void(std::uint32_t)> done) override;
+
+ private:
+  core::liteflow_core& core_;
+  std::size_t paths_;
+  rng gen_;
+};
+
+class userspace_path_selector final : public path_selector {
+ public:
+  userspace_path_selector(kernelsim::crossspace_channel& channel,
+                          const kernelsim::cost_model& costs,
+                          const nn::mlp& model, std::uint64_t seed = 1);
+  void select(netsim::flow_id_t flow, std::vector<double> features,
+              std::function<void(std::uint32_t)> done) override;
+
+ private:
+  kernelsim::crossspace_channel& channel_;
+  const kernelsim::cost_model& costs_;
+  const nn::mlp& model_;
+  rng gen_;
+};
+
+/// Synthetic pretraining set: per-path score = 1 - 0.7*ecn - 0.3*rtt_norm,
+/// teaching the prior "prefer uncongested, low-RTT paths".
+std::vector<nn::training_sample> make_lb_pretrain_dataset(std::size_t paths,
+                                                          std::size_t samples,
+                                                          std::uint64_t seed);
+
+}  // namespace lf::apps

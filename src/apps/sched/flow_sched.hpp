@@ -1,0 +1,156 @@
+// Flow scheduling with learned flow-size prediction (§5.2, FLUX's FFNN).
+//
+// The LiteFlow Flow Scheduling Module sits at the sender's egress
+// (netfilter in the paper): at flow start it extracts context features,
+// asks the FFNN for a size prediction, and tags the flow's packets with a
+// strict-priority class (information-agnostic scheduling a la PIAS/pFabric:
+// predicted-short flows ride high-priority bands).  Deployments differ in
+// where the FFNN runs: kernel snapshot (LF-FFNN), userspace behind a char
+// device (char-FFNN) or netlink socket (netlink-FFNN).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "apps/common/liteflow_stack.hpp"
+#include "kernelsim/channel.hpp"
+#include "nn/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace lf::apps {
+
+inline constexpr std::size_t k_sched_features = 8;
+
+/// Size <-> network-output encoding.  The FFNN predicts
+/// y = log10(bytes) / 10, which keeps outputs inside (0, 1) for sizes up to
+/// 10 GB — friendly to integer quantization with output scaling (§3.1).
+double encode_flow_size(double bytes) noexcept;
+double decode_flow_size(double y) noexcept;
+
+/// Priority band from a predicted size: predicted-short flows get the
+/// higher band.  Band 7 is the "unknown size" default.
+std::uint8_t priority_for_predicted_size(double bytes) noexcept;
+inline constexpr std::uint8_t k_unknown_priority = 7;
+
+/// Per-host flow-context bookkeeping: the feature source for predictions.
+class flow_context_tracker {
+ public:
+  /// Features for a new flow from src to dst starting now.
+  std::vector<double> features(std::size_t src, std::size_t dst,
+                               double now) const;
+
+  /// Account a newly started flow (for gap/active-count features).
+  void on_flow_start(std::size_t src, std::size_t dst, double now);
+
+  /// Account a completed flow with its actual size (the label source).
+  void on_flow_complete(std::size_t src, std::size_t dst, double now,
+                        std::uint64_t bytes);
+
+ private:
+  struct pair_state {
+    double prev_log_size = 0.0;
+    double ewma_log_size = 0.0;
+    bool has_history = false;
+    double last_start = -1.0;
+    std::uint64_t flows_seen = 0;
+  };
+  std::map<std::pair<std::size_t, std::size_t>, pair_state> pairs_;
+  std::map<std::size_t, std::uint64_t> active_per_src_;
+};
+
+// ----------------------------------------------------------- predictors --
+
+/// Asynchronous size prediction: done(bytes) fires when the prediction is
+/// available (immediately in-kernel; after a round trip for userspace).
+class size_predictor {
+ public:
+  virtual ~size_predictor() = default;
+  virtual void predict(netsim::flow_id_t flow, std::vector<double> features,
+                       std::function<void(double bytes)> done) = 0;
+};
+
+class liteflow_size_predictor final : public size_predictor {
+ public:
+  explicit liteflow_size_predictor(core::liteflow_core& core);
+  void predict(netsim::flow_id_t flow, std::vector<double> features,
+               std::function<void(double)> done) override;
+
+ private:
+  core::liteflow_core& core_;
+};
+
+class userspace_size_predictor final : public size_predictor {
+ public:
+  userspace_size_predictor(kernelsim::crossspace_channel& channel,
+                           const kernelsim::cost_model& costs,
+                           const nn::mlp& model);
+  void predict(netsim::flow_id_t flow, std::vector<double> features,
+               std::function<void(double)> done) override;
+
+ private:
+  kernelsim::crossspace_channel& channel_;
+  const kernelsim::cost_model& costs_;
+  const nn::mlp& model_;
+};
+
+// -------------------------------------------------- supervised slow path --
+
+/// adaptation_interface for supervised models (FFNN size prediction and the
+/// LB MLP): batches carry (features, aux[0] = target encoding ...) samples.
+class supervised_adapter final : public core::adaptation_interface {
+ public:
+  supervised_adapter(nn::mlp model, double learning_rate,
+                     std::size_t epochs_per_batch, std::uint64_t seed);
+
+  std::string freeze_model() override;
+  double stability_value() const override;
+  std::vector<double> evaluate(std::span<const double> input) const override;
+  void adapt(std::span<const core::train_sample> batch) override;
+  std::size_t parameter_count() const override;
+
+  /// Offline pre-training on synthetic (features, target) pairs.
+  void pretrain(std::span<const nn::training_sample> dataset,
+                std::size_t epochs);
+
+  nn::mlp& model() noexcept { return model_; }
+  double last_loss() const noexcept { return last_loss_; }
+
+ private:
+  nn::mlp model_;
+  nn::supervised_trainer trainer_;
+  std::size_t epochs_;
+  rng gen_;
+  double last_loss_ = 1.0;
+};
+
+// ---------------------------------------------- correlated flow workload --
+
+/// AR(1)-in-log-space flow size process per host pair: consecutive flows of
+/// one application correlate strongly, which is the signal FLUX's FFNN
+/// exploits.  shift_pattern() re-draws every pair's mean (the paper's
+/// "randomly change the traffic pattern" environment dynamics).
+class correlated_size_process {
+ public:
+  correlated_size_process(std::size_t hosts, double rho, std::uint64_t seed);
+
+  std::uint64_t next_size(std::size_t src, std::size_t dst);
+  void shift_pattern();
+
+ private:
+  struct pair_proc {
+    double mu = 10.0;  ///< mean of log(size)
+    double prev = 0.0;
+    bool started = false;
+  };
+  pair_proc& at(std::size_t src, std::size_t dst);
+  double draw_mu();
+
+  std::size_t hosts_;
+  double rho_;
+  double sigma_ = 0.8;
+  rng gen_;
+  std::map<std::pair<std::size_t, std::size_t>, pair_proc> pairs_;
+};
+
+}  // namespace lf::apps

@@ -1,0 +1,353 @@
+#include "apps/sched/sched_experiment.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "apps/sched/flow_sched.hpp"
+#include "netsim/topology.hpp"
+#include "netsim/workload.hpp"
+#include "nn/serialize.hpp"
+#include "transport/dctcp.hpp"
+#include "transport/window_sender.hpp"
+
+namespace lf::apps {
+namespace {
+
+using netsim::flow_id_t;
+
+/// Everything one sender host carries for its deployment flavour.
+struct host_deployment {
+  std::unique_ptr<supervised_adapter> adapter;
+  std::unique_ptr<liteflow_stack> lf;      // liteflow modes
+  std::unique_ptr<kernelsim::crossspace_channel> channel;  // userspace modes
+  std::unique_ptr<size_predictor> predictor;
+  flow_context_tracker tracker;
+  // Userspace modes still ship labels up in batches for adaptation.
+  std::vector<core::train_sample> pending_labels;
+};
+
+struct live_flow {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  std::uint64_t size = 0;
+  double arrival = 0.0;
+  std::vector<double> features;
+  std::unique_ptr<transport::window_sender> sender;
+};
+
+nn::mlp pretrained_ffnn(const sched_experiment_config& config) {
+  // Build a synthetic (features, encoded size) dataset by replaying the
+  // same AR(1) size process through a context tracker, then train.
+  rng gen{config.seed + 1000};
+  correlated_size_process sizes{config.hosts_per_leaf * 2,
+                                config.size_correlation, config.seed + 2000};
+  flow_context_tracker tracker;
+  std::vector<nn::training_sample> dataset;
+  const std::size_t hosts = config.hosts_per_leaf * 2;
+  double now = 0.0;
+  for (std::size_t i = 0; i < config.pretrain_flows; ++i) {
+    const auto src = static_cast<std::size_t>(gen.uniform_int(0, static_cast<std::int64_t>(hosts) - 1));
+    auto dst = static_cast<std::size_t>(gen.uniform_int(0, static_cast<std::int64_t>(hosts) - 2));
+    if (dst >= src) ++dst;
+    now += gen.exponential(config.arrival_rate);
+    const auto size = sizes.next_size(src, dst);
+    nn::training_sample ts;
+    ts.input = tracker.features(src, dst, now);
+    // Live hosts carry a varying number of in-flight flows; the replay
+    // completes each flow immediately, so emulate that feature's live
+    // distribution instead of letting the net overfit to "always zero".
+    ts.input[6] = gen.uniform(0.0, 0.2);
+    ts.target = {encode_flow_size(static_cast<double>(size))};
+    dataset.push_back(std::move(ts));
+    tracker.on_flow_start(src, dst, now);
+    tracker.on_flow_complete(src, dst, now, size);
+  }
+  // The FFNN is tiny (5/5 ReLU) and its inputs are non-negative, so an
+  // unlucky init can leave the first layer dead and the model collapses to
+  // the target mean.  Train with a few random restarts and keep the best.
+  std::unique_ptr<nn::mlp> best;
+  double best_loss = std::numeric_limits<double>::infinity();
+  for (std::uint64_t attempt = 0; attempt < 5; ++attempt) {
+    rng init{config.seed + 3000 + attempt * 7919};
+    supervised_adapter warmup{nn::make_ffnn_flow_size_net(init), 3e-3, 1,
+                              config.seed + attempt};
+    warmup.pretrain(dataset, config.pretrain_epochs);
+    if (warmup.last_loss() < best_loss) {
+      best_loss = warmup.last_loss();
+      best = std::make_unique<nn::mlp>(warmup.model());
+    }
+    if (best_loss < 0.004) break;  // clearly better than mean-only (~0.01)
+  }
+  return *best;
+}
+
+}  // namespace
+
+std::string_view to_string(sched_deployment d) noexcept {
+  switch (d) {
+    case sched_deployment::liteflow:
+      return "LF-FFNN";
+    case sched_deployment::liteflow_noa:
+      return "LF-FFNN-N-O-A";
+    case sched_deployment::chardev:
+      return "char-FFNN";
+    case sched_deployment::netlink_dev:
+      return "netlink-FFNN";
+    case sched_deployment::no_prediction:
+      return "no-prediction";
+    case sched_deployment::oracle:
+      return "oracle";
+  }
+  return "?";
+}
+
+sched_result run_sched_experiment(const sched_experiment_config& config) {
+  sim::simulation simu;
+  netsim::spine_leaf_config topo_config;
+  topo_config.hosts_per_leaf = config.hosts_per_leaf;
+  topo_config.host_bps = config.host_bps;
+  topo_config.fabric_bps = config.fabric_bps;
+  topo_config.cpu_gating = config.cpu_gating;
+  netsim::spine_leaf topo{simu, topo_config};
+  const std::size_t hosts = topo.host_count();
+
+  // Shared pretrained weights, copied into each host's deployment.
+  const bool needs_model = config.deployment != sched_deployment::no_prediction &&
+                           config.deployment != sched_deployment::oracle;
+  std::string frozen;
+  if (needs_model) {
+    frozen = nn::save_mlp_to_string(pretrained_ffnn(config));
+  }
+
+  std::vector<host_deployment> deploy(hosts);
+  for (std::size_t h = 0; h < hosts && needs_model; ++h) {
+    auto& d = deploy[h];
+    auto model = nn::load_mlp_from_string(frozen);
+    d.adapter = std::make_unique<supervised_adapter>(std::move(model), 3e-3,
+                                                     4, config.seed + h);
+    auto& host = topo.host_at(h);
+    switch (config.deployment) {
+      case sched_deployment::liteflow:
+      case sched_deployment::liteflow_noa: {
+        liteflow_stack_options opts;
+        opts.model_name = "ffnn";
+        opts.batch_interval = config.batch_interval;
+        opts.adaptation =
+            config.deployment == sched_deployment::liteflow;
+        // FFNN outputs live in (0, 1); necessity threshold scales with it.
+        opts.sync.output_min = 0.0;
+        opts.sync.output_max = 1.0;
+        d.lf = std::make_unique<liteflow_stack>(host, *d.adapter, opts);
+        d.lf->start();
+        d.predictor =
+            std::make_unique<liteflow_size_predictor>(d.lf->core());
+        break;
+      }
+      case sched_deployment::chardev:
+      case sched_deployment::netlink_dev: {
+        const auto kind = config.deployment == sched_deployment::chardev
+                              ? kernelsim::channel_kind::char_device
+                              : kernelsim::channel_kind::netlink;
+        d.channel = std::make_unique<kernelsim::crossspace_channel>(
+            simu, host.cpu(), host.costs(), kind);
+        d.predictor = std::make_unique<userspace_size_predictor>(
+            *d.channel, host.costs(), d.adapter->model());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Userspace deployments adapt too: labels batch up and cross to
+  // userspace on the same cadence as LiteFlow's collector.
+  const bool userspace_adapts =
+      config.deployment == sched_deployment::chardev ||
+      config.deployment == sched_deployment::netlink_dev;
+  if (userspace_adapts) {
+    for (std::size_t h = 0; h < hosts; ++h) {
+      auto& d = deploy[h];
+      auto& host = topo.host_at(h);
+      // Heap-allocate the periodic tick so the self-referencing closure
+      // outlives this loop iteration.
+      auto tick = std::make_shared<std::function<void()>>();
+      *tick = [&simu, &d, &host, &config, tick]() {
+        if (!d.pending_labels.empty()) {
+          auto batch = std::move(d.pending_labels);
+          d.pending_labels.clear();
+          d.channel->send_to_user(batch.size() * 64, [&d, &host,
+                                                      batch = std::move(
+                                                          batch)]() {
+            const double cost =
+                host.costs().user_train_fixed_cost +
+                static_cast<double>(batch.size() * d.adapter->parameter_count()) *
+                    host.costs().user_train_cost_per_sample_param;
+            host.cpu().submit(kernelsim::task_category::user_train, cost,
+                              [&d, batch = std::move(batch)]() {
+                                d.adapter->adapt(batch);
+                              });
+          });
+        }
+        simu.schedule(config.batch_interval, *tick);
+      };
+      simu.schedule(config.batch_interval, *tick);
+    }
+  }
+
+  correlated_size_process sizes{hosts, config.size_correlation,
+                                config.seed + 4000};
+  if (config.pattern_shift_period > 0.0) {
+    // Heap-allocate the self-referencing closure: the scheduled copies must
+    // outlive this if-block.
+    auto shift = std::make_shared<std::function<void()>>();
+    *shift = [&simu, &sizes, &config, shift]() {
+      sizes.shift_pattern();
+      simu.schedule(config.pattern_shift_period, *shift);
+    };
+    simu.schedule(config.pattern_shift_period, *shift);
+  }
+
+  sched_result result;
+  std::vector<double> fct_short, fct_mid, fct_long;
+  running_stats pred_latency;
+  running_stats pred_error;
+  std::vector<std::unique_ptr<live_flow>> flows;
+  flows.reserve(config.total_flows);
+
+  rng arrival_gen{config.seed + 5000};
+  flow_id_t next_flow = 1;
+  double next_arrival = 0.0;
+
+  // Open-loop Poisson arrivals, precomputed so we can cap total flows.
+  struct arrival_plan {
+    double t;
+    std::size_t src;
+    std::size_t dst;
+  };
+  std::vector<arrival_plan> plan;
+  plan.reserve(config.total_flows);
+  for (std::size_t i = 0; i < config.total_flows; ++i) {
+    next_arrival += arrival_gen.exponential(config.arrival_rate);
+    const auto src = static_cast<std::size_t>(
+        arrival_gen.uniform_int(0, static_cast<std::int64_t>(hosts) - 1));
+    auto dst = static_cast<std::size_t>(
+        arrival_gen.uniform_int(0, static_cast<std::int64_t>(hosts) - 2));
+    if (dst >= src) ++dst;
+    plan.push_back({next_arrival, src, dst});
+  }
+
+  auto start_flow = [&](const arrival_plan& ap) {
+    auto flow = std::make_unique<live_flow>();
+    flow->src = ap.src;
+    flow->dst = ap.dst;
+    flow->size = sizes.next_size(ap.src, ap.dst);
+    flow->arrival = simu.now();
+    auto& d = deploy[ap.src];
+    auto& src_host = topo.host_at(ap.src);
+    const flow_id_t id = next_flow++;
+    flow->features = needs_model
+                         ? d.tracker.features(ap.src, ap.dst, simu.now())
+                         : std::vector<double>{};
+    d.tracker.on_flow_start(ap.src, ap.dst, simu.now());
+    if (std::getenv("LF_DEBUG_FEATURES") && flow->features.size() == 8) { fprintf(stderr, "feat %zu->%zu: %.3f %.3f %.3f %.3f %.3f %.3f %.3f %.3f\n", ap.src, ap.dst, flow->features[0], flow->features[1], flow->features[2], flow->features[3], flow->features[4], flow->features[5], flow->features[6], flow->features[7]); }
+
+    live_flow* f = flow.get();
+    flows.push_back(std::move(flow));
+
+    auto launch = [&, f, id](std::uint8_t priority) {
+      transport::window_sender_config wc;
+      wc.priority = priority;
+      f->sender = std::make_unique<transport::window_sender>(
+          src_host, static_cast<netsim::host_id_t>(f->dst), id, f->size, wc,
+          std::make_unique<transport::dctcp>());
+      f->sender->set_done([&, f, id](double) {
+        // FCT counts from arrival, so prediction latency (the tagging
+        // happens before the first packet) is part of the completion time.
+        const double fct = simu.now() - f->arrival;
+        ++result.completed;
+        switch (netsim::classify_flow(f->size)) {
+          case netsim::flow_class::short_flow:
+            fct_short.push_back(fct);
+            break;
+          case netsim::flow_class::mid_flow:
+            fct_mid.push_back(fct);
+            break;
+          case netsim::flow_class::long_flow:
+            fct_long.push_back(fct);
+            break;
+        }
+        auto& dd = deploy[f->src];
+        dd.tracker.on_flow_complete(f->src, f->dst, simu.now(), f->size);
+        if (needs_model) {
+          core::train_sample label;
+          label.features = f->features;
+          label.aux = {encode_flow_size(static_cast<double>(f->size))};
+          if (dd.lf) {
+            dd.lf->collector().collect(std::move(label));
+          } else if (dd.channel) {
+            dd.pending_labels.push_back(std::move(label));
+          }
+        }
+        (void)id;
+      });
+      f->sender->start();
+    };
+
+    if (config.deployment == sched_deployment::no_prediction) {
+      launch(k_unknown_priority);
+    } else if (config.deployment == sched_deployment::oracle) {
+      launch(priority_for_predicted_size(static_cast<double>(f->size)));
+    } else {
+      const double t0 = simu.now();
+      d.predictor->predict(
+          id, f->features, [&, f, t0, launch](double predicted) {
+            pred_latency.add(simu.now() - t0);
+            result.prediction_latencies.push_back(simu.now() - t0);
+            if (predicted > 0.0) {
+              pred_error.add(std::abs(std::log10(
+                  predicted / static_cast<double>(f->size))));
+              result.predictions.emplace_back(predicted,
+                                              static_cast<double>(f->size));
+              launch(priority_for_predicted_size(predicted));
+            } else {
+              launch(k_unknown_priority);
+            }
+          });
+    }
+  };
+
+  for (const auto& ap : plan) {
+    simu.schedule_at(ap.t, [&, ap]() { start_flow(ap); });
+  }
+
+  // Run in slices and stop early once every planned flow has completed.
+  for (double t = 0.25; t <= config.max_sim_time; t += 0.25) {
+    simu.run_until(t);
+    if (result.completed >= plan.size()) break;
+  }
+
+  auto fill = [](std::vector<double>& v) {
+    class_fct_stats s;
+    s.count = v.size();
+    s.mean_seconds = mean_of(v);
+    s.p99_seconds = percentile(v, 99.0);
+    return s;
+  };
+  result.short_flows = fill(fct_short);
+  result.mid_flows = fill(fct_mid);
+  result.long_flows = fill(fct_long);
+  result.mean_prediction_latency = pred_latency.mean();
+  result.mean_abs_log_error = pred_error.mean();
+  for (std::size_t h = 0; h < hosts; ++h) {
+    if (deploy[h].lf) {
+      result.snapshot_updates += deploy[h].lf->service().snapshot_updates();
+    }
+  }
+  return result;
+}
+
+}  // namespace lf::apps

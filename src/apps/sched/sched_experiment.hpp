@@ -1,0 +1,67 @@
+// End-to-end flow-scheduling experiment (paper §5.2, Figs. 15/16).
+//
+// Spine-leaf fabric, DCTCP flows with Poisson arrivals and AR(1)-correlated
+// sizes; every new flow's priority band comes from a flow-size prediction
+// made by the configured deployment.  Reports FCT statistics split into the
+// paper's short/mid/long classes plus the measured prediction latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace lf::apps {
+
+enum class sched_deployment {
+  liteflow,       ///< LF-FFNN: kernel snapshot + slow path adaptation
+  liteflow_noa,   ///< LF-FFNN-N-O-A: kernel snapshot, no adaptation
+  chardev,        ///< char-FFNN: userspace inference over a char device
+  netlink_dev,    ///< netlink-FFNN: userspace inference over netlink
+  no_prediction,  ///< all flows share one band (no scheduling)
+  oracle,         ///< true size known in advance (upper bound)
+};
+
+std::string_view to_string(sched_deployment d) noexcept;
+
+struct sched_experiment_config {
+  sched_deployment deployment = sched_deployment::liteflow;
+  std::size_t hosts_per_leaf = 16;  ///< 2 leaves -> 32 hosts (paper)
+  double arrival_rate = 4000.0;     ///< flows per second, whole fabric
+  std::size_t total_flows = 4000;
+  std::uint64_t seed = 1;
+  double size_correlation = 0.85;  ///< AR(1) rho of the size process
+  double batch_interval = 0.100;
+  /// If > 0, every pair's size distribution re-draws at this period
+  /// (environment dynamics; exercises online adaptation).
+  double pattern_shift_period = 0.0;
+  double host_bps = 10e9;
+  double fabric_bps = 10e9;  ///< per leaf-spine uplink (2:1 oversubscribed)
+  bool cpu_gating = true;
+  std::size_t pretrain_flows = 3000;
+  std::size_t pretrain_epochs = 300;
+  double max_sim_time = 30.0;
+};
+
+struct class_fct_stats {
+  std::size_t count = 0;
+  double mean_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+struct sched_result {
+  class_fct_stats short_flows;
+  class_fct_stats mid_flows;
+  class_fct_stats long_flows;
+  std::size_t completed = 0;
+  double mean_prediction_latency = 0.0;
+  std::vector<double> prediction_latencies;  ///< per-prediction seconds
+  double mean_abs_log_error = 0.0;  ///< prediction quality, |log10 ratio|
+  /// (predicted bytes, actual bytes) per prediction, arrival order.
+  std::vector<std::pair<double, double>> predictions;
+  std::uint64_t snapshot_updates = 0;        ///< LF deployments only
+};
+
+sched_result run_sched_experiment(const sched_experiment_config& config);
+
+}  // namespace lf::apps

@@ -1,0 +1,29 @@
+// Emits the kernel-module C source for a quantized snapshot (§3.1,
+// Listings 1 and 2).
+//
+// The generated file is valid C99 and compiles in two environments:
+//  - as a Linux kernel module (the #ifdef __KERNEL__ section carries the
+//    module boilerplate that registers the model with the LiteFlow core
+//    module via lf_register_model), and
+//  - as a plain userspace translation unit exporting lf_nn_infer, which the
+//    test suite compiles with GCC and dlopens to golden-test the generated
+//    arithmetic against the in-memory interpreter (quant::quantized_mlp).
+// Both paths execute bit-identical integer arithmetic.
+#pragma once
+
+#include <string>
+
+#include "quant/quantized_mlp.hpp"
+
+namespace lf::codegen {
+
+struct emit_options {
+  std::string model_name = "model";
+  std::uint64_t version = 1;
+};
+
+/// Render the complete C source for the snapshot program.
+std::string emit_c_source(const quant::quantized_mlp& program,
+                          const emit_options& options);
+
+}  // namespace lf::codegen

@@ -1,0 +1,435 @@
+#include "codegen/template_engine.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace lf::codegen {
+
+std::int64_t tvalue::as_int() const {
+  if (!is_int()) throw std::runtime_error{"tvalue: not an integer"};
+  return int_;
+}
+
+const std::string& tvalue::as_string() const {
+  if (!is_string()) throw std::runtime_error{"tvalue: not a string"};
+  return str_;
+}
+
+const std::vector<tvalue>& tvalue::as_array() const {
+  if (!is_array()) throw std::runtime_error{"tvalue: not an array"};
+  return arr_;
+}
+
+bool tvalue::truthy() const noexcept {
+  switch (kind_) {
+    case kind::integer:
+      return int_ != 0;
+    case kind::string:
+      return !str_.empty();
+    case kind::array:
+      return !arr_.empty();
+  }
+  return false;
+}
+
+std::string tvalue::to_output() const {
+  switch (kind_) {
+    case kind::integer:
+      return std::to_string(int_);
+    case kind::string:
+      return str_;
+    case kind::array:
+      throw std::runtime_error{"tvalue: cannot render an array"};
+  }
+  return {};
+}
+
+template_error::template_error(const std::string& message, std::size_t offset)
+    : std::runtime_error{message + " (at offset " + std::to_string(offset) +
+                         ")"},
+      offset_{offset} {}
+
+namespace {
+
+// ---------------------------------------------------------------- tokens --
+
+enum class token_kind { text, output, tag };
+
+struct token {
+  token_kind kind;
+  std::string body;   // raw text, or trimmed inner content for output/tag
+  std::size_t offset; // source offset (diagnostics)
+};
+
+std::string strip(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string{s.substr(b, e - b)};
+}
+
+std::vector<token> tokenize(std::string_view tmpl) {
+  std::vector<token> tokens;
+  std::size_t pos = 0;
+  bool trim_leading = false;  // set by a preceding -%} / -}}
+  while (pos < tmpl.size()) {
+    std::size_t open = std::string_view::npos;
+    bool is_output = false;
+    const auto out_open = tmpl.find("{{", pos);
+    const auto tag_open = tmpl.find("{%", pos);
+    if (out_open != std::string_view::npos &&
+        (tag_open == std::string_view::npos || out_open < tag_open)) {
+      // "{{%" is a literal '{' followed by a tag, not an output marker.
+      if (tag_open == out_open + 1) {
+        open = tag_open;
+      } else {
+        open = out_open;
+        is_output = true;
+      }
+    } else {
+      open = tag_open;
+    }
+    if (open == std::string_view::npos) {
+      auto text = std::string{tmpl.substr(pos)};
+      if (trim_leading) {
+        const auto first = text.find_first_not_of(" \t\r\n");
+        text = first == std::string::npos ? std::string{} : text.substr(first);
+      }
+      if (!text.empty()) tokens.push_back({token_kind::text, text, pos});
+      break;
+    }
+    // Leading text before the tag.
+    if (open > pos) {
+      auto text = std::string{tmpl.substr(pos, open - pos)};
+      if (trim_leading) {
+        const auto first = text.find_first_not_of(" \t\r\n");
+        text = first == std::string::npos ? std::string{} : text.substr(first);
+      }
+      trim_leading = false;
+      // {{- or {%- trims trailing whitespace of the preceding text.
+      if (open + 2 < tmpl.size() && tmpl[open + 2] == '-') {
+        const auto last = text.find_last_not_of(" \t\r\n");
+        text = last == std::string::npos ? std::string{} : text.substr(0, last + 1);
+      }
+      if (!text.empty()) tokens.push_back({token_kind::text, text, pos});
+    } else {
+      trim_leading = false;
+    }
+    const std::string_view close_marker = is_output ? "}}" : "%}";
+    const auto close = tmpl.find(close_marker, open + 2);
+    if (close == std::string_view::npos) {
+      throw template_error{"unterminated tag", open};
+    }
+    std::string_view inner = tmpl.substr(open + 2, close - open - 2);
+    if (!inner.empty() && inner.front() == '-') inner.remove_prefix(1);
+    bool trim_after = false;
+    if (!inner.empty() && inner.back() == '-') {
+      inner.remove_suffix(1);
+      trim_after = true;
+    }
+    tokens.push_back({is_output ? token_kind::output : token_kind::tag,
+                      strip(inner), open});
+    pos = close + 2;
+    trim_leading = trim_after;
+  }
+  return tokens;
+}
+
+// ----------------------------------------------------------- expressions --
+
+struct scope {
+  const tcontext* globals;
+  const std::map<std::string, tvalue, std::less<>>* locals;  // may be null
+
+  const tvalue* find(std::string_view name) const {
+    if (locals) {
+      const auto it = locals->find(name);
+      if (it != locals->end()) return &it->second;
+    }
+    const auto it = globals->find(name);
+    if (it != globals->end()) return &it->second;
+    return nullptr;
+  }
+};
+
+class expr_parser {
+ public:
+  expr_parser(std::string_view text, std::size_t base_offset)
+      : text_{text}, base_{base_offset} {}
+
+  tvalue parse(const scope& sc) {
+    const tvalue v = parse_postfix(sc);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw template_error{"trailing characters in expression", base_ + pos_};
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  tvalue parse_postfix(const scope& sc) {
+    tvalue v = parse_primary(sc);
+    while (consume('[')) {
+      const tvalue idx = parse_postfix(sc);
+      if (!consume(']')) {
+        throw template_error{"expected ']'", base_ + pos_};
+      }
+      const auto& arr = v.as_array();
+      const auto i = idx.as_int();
+      if (i < 0 || static_cast<std::size_t>(i) >= arr.size()) {
+        throw template_error{"index out of range", base_ + pos_};
+      }
+      v = arr[static_cast<std::size_t>(i)];
+    }
+    return v;
+  }
+
+  tvalue parse_primary(const scope& sc) {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      throw template_error{"empty expression", base_ + pos_};
+    }
+    const char c = text_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      return parse_int();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string name = parse_identifier();
+      if (name == "range") return parse_range(sc);
+      // Dotted lookups (loop.last) resolve as flat keys.
+      while (consume('.')) name += "." + parse_identifier();
+      const tvalue* v = sc.find(name);
+      if (!v) throw template_error{"unknown variable '" + name + "'",
+                                   base_ + pos_};
+      return *v;
+    }
+    throw template_error{"unexpected character in expression", base_ + pos_};
+  }
+
+  tvalue parse_int() {
+    skip_ws();
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      throw template_error{"bad integer literal", base_ + start};
+    }
+    return tvalue{std::stoll(std::string{text_.substr(start, pos_ - start)})};
+  }
+
+  std::string parse_identifier() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      throw template_error{"expected identifier", base_ + start};
+    }
+    return std::string{text_.substr(start, pos_ - start)};
+  }
+
+  tvalue parse_range(const scope& sc) {
+    if (!consume('(')) throw template_error{"expected '('", base_ + pos_};
+    const auto lo = parse_postfix(sc).as_int();
+    if (!consume(',')) throw template_error{"expected ','", base_ + pos_};
+    const auto hi = parse_postfix(sc).as_int();
+    if (!consume(')')) throw template_error{"expected ')'", base_ + pos_};
+    std::vector<tvalue> out;
+    for (std::int64_t i = lo; i < hi; ++i) out.emplace_back(i);
+    return tvalue{std::move(out)};
+  }
+
+  std::string_view text_;
+  std::size_t base_;
+  std::size_t pos_ = 0;
+};
+
+tvalue eval_expr(std::string_view text, std::size_t offset, const scope& sc) {
+  return expr_parser{text, offset}.parse(sc);
+}
+
+// ------------------------------------------------------------------ AST --
+
+struct node {
+  virtual ~node() = default;
+  virtual void render(std::ostream& os, const scope& sc) const = 0;
+};
+
+using node_list = std::vector<std::unique_ptr<node>>;
+
+struct text_node final : node {
+  explicit text_node(std::string t) : text{std::move(t)} {}
+  void render(std::ostream& os, const scope&) const override { os << text; }
+  std::string text;
+};
+
+struct output_node final : node {
+  output_node(std::string e, std::size_t off) : expr{std::move(e)}, offset{off} {}
+  void render(std::ostream& os, const scope& sc) const override {
+    os << eval_expr(expr, offset, sc).to_output();
+  }
+  std::string expr;
+  std::size_t offset;
+};
+
+struct for_node final : node {
+  std::string var;
+  std::string expr;
+  std::size_t offset = 0;
+  node_list body;
+
+  void render(std::ostream& os, const scope& sc) const override {
+    const tvalue seq = eval_expr(expr, offset, sc);
+    const auto& items = seq.as_array();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      std::map<std::string, tvalue, std::less<>> locals;
+      if (sc.locals) locals = *sc.locals;  // allow nested loops
+      locals[var] = items[i];
+      locals["loop.index0"] = static_cast<std::int64_t>(i);
+      locals["loop.first"] = static_cast<std::int64_t>(i == 0 ? 1 : 0);
+      locals["loop.last"] =
+          static_cast<std::int64_t>(i + 1 == items.size() ? 1 : 0);
+      const scope inner{sc.globals, &locals};
+      for (const auto& n : body) n->render(os, inner);
+    }
+  }
+};
+
+struct if_node final : node {
+  bool negate = false;
+  std::string expr;
+  std::size_t offset = 0;
+  node_list body;
+
+  void render(std::ostream& os, const scope& sc) const override {
+    bool cond = eval_expr(expr, offset, sc).truthy();
+    if (negate) cond = !cond;
+    if (cond) {
+      for (const auto& n : body) n->render(os, sc);
+    }
+  }
+};
+
+// --------------------------------------------------------------- parser --
+
+class block_parser {
+ public:
+  explicit block_parser(const std::vector<token>& tokens) : tokens_{tokens} {}
+
+  /// Parse until end-of-tokens or until the named closing tag is consumed.
+  node_list parse(std::string_view until) {
+    node_list out;
+    while (pos_ < tokens_.size()) {
+      const token& t = tokens_[pos_];
+      switch (t.kind) {
+        case token_kind::text:
+          out.push_back(std::make_unique<text_node>(t.body));
+          ++pos_;
+          break;
+        case token_kind::output:
+          out.push_back(std::make_unique<output_node>(t.body, t.offset));
+          ++pos_;
+          break;
+        case token_kind::tag: {
+          std::istringstream is{t.body};
+          std::string keyword;
+          is >> keyword;
+          if (keyword == until) {
+            ++pos_;
+            return out;
+          }
+          if (keyword == "for") {
+            out.push_back(parse_for(t));
+          } else if (keyword == "if") {
+            out.push_back(parse_if(t));
+          } else {
+            throw template_error{"unexpected tag '" + keyword + "'", t.offset};
+          }
+          break;
+        }
+      }
+    }
+    if (!until.empty()) {
+      throw template_error{"missing closing tag '" + std::string{until} + "'",
+                           tokens_.empty() ? 0 : tokens_.back().offset};
+    }
+    return out;
+  }
+
+ private:
+  std::unique_ptr<node> parse_for(const token& t) {
+    std::istringstream is{t.body};
+    std::string kw;
+    std::string var;
+    std::string in_kw;
+    is >> kw >> var >> in_kw;
+    std::string expr;
+    std::getline(is, expr);
+    if (in_kw != "in" || var.empty() || strip(expr).empty()) {
+      throw template_error{"malformed for tag", t.offset};
+    }
+    auto n = std::make_unique<for_node>();
+    n->var = var;
+    n->expr = strip(expr);
+    n->offset = t.offset;
+    ++pos_;
+    n->body = parse("endfor");
+    return n;
+  }
+
+  std::unique_ptr<node> parse_if(const token& t) {
+    std::string rest = strip(t.body.substr(2));  // drop "if"
+    auto n = std::make_unique<if_node>();
+    if (rest.rfind("not ", 0) == 0) {
+      n->negate = true;
+      rest = strip(rest.substr(4));
+    }
+    if (rest.empty()) throw template_error{"malformed if tag", t.offset};
+    n->expr = rest;
+    n->offset = t.offset;
+    ++pos_;
+    n->body = parse("endif");
+    return n;
+  }
+
+  const std::vector<token>& tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string render_template(std::string_view tmpl, const tcontext& ctx) {
+  const auto tokens = tokenize(tmpl);
+  block_parser parser{tokens};
+  const node_list nodes = parser.parse("");
+  std::ostringstream os;
+  const scope sc{&ctx, nullptr};
+  for (const auto& n : nodes) n->render(os, sc);
+  return os.str();
+}
+
+}  // namespace lf::codegen

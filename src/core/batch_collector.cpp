@@ -1,0 +1,59 @@
+#include "core/batch_collector.hpp"
+
+#include <stdexcept>
+
+namespace lf::core {
+
+batch_collector::batch_collector(sim::simulation& sim,
+                                 kernelsim::crossspace_channel& netlink,
+                                 batch_collector_config config)
+    : sim_{sim}, netlink_{netlink}, config_{config} {
+  if (config_.interval <= 0.0) {
+    throw std::invalid_argument{"batch_collector: interval must be > 0"};
+  }
+}
+
+void batch_collector::collect(train_sample sample) {
+  if (buffer_.size() >= config_.max_samples) {
+    // Kernel buffer full: drop the oldest (ring semantics).
+    buffer_.erase(buffer_.begin());
+    ++dropped_;
+  }
+  sample.collected_at = sim_.now();
+  buffer_.push_back(std::move(sample));
+}
+
+void batch_collector::start() {
+  if (running_) return;
+  running_ = true;
+  ++epoch_;
+  sim_.schedule(config_.interval, [this, e = epoch_]() {
+    if (running_ && e == epoch_) deliver();
+  });
+}
+
+void batch_collector::set_interval(double interval) {
+  if (interval <= 0.0) {
+    throw std::invalid_argument{"batch_collector: interval must be > 0"};
+  }
+  config_.interval = interval;
+}
+
+void batch_collector::deliver() {
+  if (!buffer_.empty()) {
+    auto batch = std::move(buffer_);
+    buffer_.clear();
+    const std::size_t bytes = batch.size() * config_.bytes_per_sample;
+    ++batches_;
+    samples_ += batch.size();
+    netlink_.send_to_user(
+        bytes, [this, batch = std::move(batch)]() mutable {
+          if (consumer_) consumer_(std::move(batch));
+        });
+  }
+  sim_.schedule(config_.interval, [this, e = epoch_]() {
+    if (running_ && e == epoch_) deliver();
+  });
+}
+
+}  // namespace lf::core

@@ -1,0 +1,72 @@
+// Kernel-side training-data accumulation with batched netlink delivery
+// (§3.2, §4.2 "LiteFlow Netlink Server Module").
+//
+// Input collectors append samples cheaply in kernel space; every T seconds
+// the accumulated batch ships to userspace over the netlink channel in one
+// message, so the cross-space cost is paid once per interval instead of
+// once per packet.  The paper's micro-benchmark (Fig. 14) recommends
+// T in [100ms, 1000ms]; 100ms is the default.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "kernelsim/channel.hpp"
+#include "sim/sim.hpp"
+
+namespace lf::core {
+
+/// One slow-path training sample: the feature vector the snapshot saw plus
+/// any auxiliary measurements the tuner needs (observed rates, labels, ...).
+struct train_sample {
+  std::vector<double> features;
+  std::vector<double> aux;
+  double collected_at = 0.0;
+};
+
+struct batch_collector_config {
+  double interval = 0.100;        ///< T, the batch data delivery interval
+  std::size_t max_samples = 4096; ///< kernel buffer cap (drop-oldest beyond)
+  std::size_t bytes_per_sample = 64;  ///< serialized size estimate
+};
+
+class batch_collector {
+ public:
+  batch_collector(sim::simulation& sim, kernelsim::crossspace_channel& netlink,
+                  batch_collector_config config);
+
+  /// Kernel side: append a sample (cheap; no cross-space work).
+  void collect(train_sample sample);
+
+  /// Userspace side: consumer invoked when a batch lands in userspace.
+  using consumer = std::function<void(std::vector<train_sample>)>;
+  void set_consumer(consumer fn) { consumer_ = std::move(fn); }
+
+  /// Begin periodic delivery.
+  void start();
+  void stop() noexcept { running_ = false; }
+
+  void set_interval(double interval);
+  double interval() const noexcept { return config_.interval; }
+
+  std::uint64_t batches_delivered() const noexcept { return batches_; }
+  std::uint64_t samples_delivered() const noexcept { return samples_; }
+  std::uint64_t samples_dropped() const noexcept { return dropped_; }
+  std::size_t pending() const noexcept { return buffer_.size(); }
+
+ private:
+  void deliver();
+
+  sim::simulation& sim_;
+  kernelsim::crossspace_channel& netlink_;
+  batch_collector_config config_;
+  std::vector<train_sample> buffer_;
+  consumer consumer_;
+  bool running_ = false;
+  std::uint64_t batches_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace lf::core

@@ -1,0 +1,81 @@
+#include "core/inference_router.hpp"
+
+#include <stdexcept>
+
+namespace lf::core {
+
+inference_router::inference_router(sim::simulation& sim, nn_manager& manager,
+                                   router_config config)
+    : sim_{sim}, manager_{manager}, config_{config}, lock_{sim} {}
+
+void inference_router::install_standby(model_id id) {
+  if (!manager_.get(id)) {
+    throw std::invalid_argument{"install_standby: model not registered"};
+  }
+  // The standby slot itself keeps a reference so the module cannot be
+  // unloaded between install and switch.
+  if (standby_) manager_.release(*standby_);
+  standby_ = id;
+  manager_.add_ref(id);
+}
+
+double inference_router::switch_active() {
+  if (!standby_) {
+    throw std::logic_error{"switch_active: no standby snapshot installed"};
+  }
+  const double waited = lock_.acquire(config_.switch_lock_hold);
+  std::swap(active_, standby_);
+  ++switches_;
+  // Drop the standby slot's reference on the demoted model; if nothing else
+  // references it the caller can remove it.
+  if (standby_) {
+    manager_.release(*standby_);
+    standby_.reset();
+  }
+  return waited;
+}
+
+std::optional<model_id> inference_router::route(netsim::flow_id_t flow) {
+  if (!config_.flow_cache_enabled) {
+    return active_;
+  }
+  const auto it = cache_.find(flow);
+  if (it != cache_.end()) {
+    // Hit — but the pinned model may have been force-removed; fall back.
+    if (manager_.get(it->second.model)) {
+      ++hits_;
+      it->second.last_used = sim_.now();
+      return it->second.model;
+    }
+    cache_.erase(it);
+  }
+  ++misses_;
+  if (!active_) return std::nullopt;
+  manager_.add_ref(*active_);
+  cache_[flow] = cache_entry{*active_, sim_.now()};
+  return active_;
+}
+
+void inference_router::flow_finished(netsim::flow_id_t flow) {
+  const auto it = cache_.find(flow);
+  if (it == cache_.end()) return;
+  manager_.release(it->second.model);
+  cache_.erase(it);
+}
+
+std::size_t inference_router::expire_idle() {
+  const double now = sim_.now();
+  std::size_t evicted = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (now - it->second.last_used > config_.cache_idle_timeout) {
+      manager_.release(it->second.model);
+      it = cache_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace lf::core

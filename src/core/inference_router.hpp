@@ -1,0 +1,84 @@
+// Inference router with active/standby snapshots and a flow cache (§3.4).
+//
+// The router forwards inference requests to the *active* snapshot.  A new
+// snapshot installs as *standby* — a potentially long operation that takes
+// no lock because the datapath never touches the standby copy.  Switching
+// roles flips one pointer under a spinlock held for nanoseconds.
+//
+// Flow consistency: the flow cache (a kernel hash table: flow id -> model)
+// pins every flow to the snapshot that served its first packet, so one flow
+// never mixes decisions from two model generations (which would, e.g., make
+// a CC flow's rate jump mid-connection).  Cached entries hold a reference
+// on their model; FIN or idle-timeout eviction releases it, and a module
+// becomes removable only at refcount zero.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "core/nn_manager.hpp"
+#include "kernelsim/spinlock.hpp"
+#include "netsim/packet.hpp"
+#include "sim/sim.hpp"
+
+namespace lf::core {
+
+struct router_config {
+  bool flow_cache_enabled = true;  ///< users may disable per function (§3.4)
+  double cache_idle_timeout = 30.0;  ///< seconds; inactive entries evicted
+  /// Spinlock hold time of the pointer flip ("3 lines of code").
+  double switch_lock_hold = 20e-9;
+};
+
+class inference_router {
+ public:
+  inference_router(sim::simulation& sim, nn_manager& manager,
+                   router_config config);
+
+  /// Install a registered model as the standby snapshot (no lock taken).
+  void install_standby(model_id id);
+
+  /// Flip active/standby under the spinlock.  Returns the time the flip
+  /// waited on the lock.  The old active becomes standby (and is typically
+  /// removed by the caller once its refcount drains).
+  double switch_active();
+
+  /// Route one inference request: returns the model that must serve this
+  /// flow (honoring the flow cache), or nullopt if nothing is active.
+  std::optional<model_id> route(netsim::flow_id_t flow);
+
+  /// Flow terminated (TCP FIN): drop its cache entry, release the ref.
+  void flow_finished(netsim::flow_id_t flow);
+
+  /// Evict cache entries idle longer than the configured timeout.
+  std::size_t expire_idle();
+
+  std::optional<model_id> active() const noexcept { return active_; }
+  std::optional<model_id> standby() const noexcept { return standby_; }
+
+  std::uint64_t cache_hits() const noexcept { return hits_; }
+  std::uint64_t cache_misses() const noexcept { return misses_; }
+  std::uint64_t switches() const noexcept { return switches_; }
+  std::size_t cache_size() const noexcept { return cache_.size(); }
+  const kernelsim::spinlock& lock() const noexcept { return lock_; }
+
+ private:
+  struct cache_entry {
+    model_id model;
+    double last_used;
+  };
+
+  sim::simulation& sim_;
+  nn_manager& manager_;
+  router_config config_;
+  kernelsim::spinlock lock_;
+  std::optional<model_id> active_;
+  std::optional<model_id> standby_;
+  std::unordered_map<netsim::flow_id_t, cache_entry> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace lf::core

@@ -1,0 +1,81 @@
+#include "core/nn_manager.hpp"
+
+#include <stdexcept>
+
+namespace lf::core {
+
+model_id nn_manager::register_model(codegen::snapshot snap) {
+  for (const auto& [id, e] : models_) {
+    if (e.snap.name == snap.name && e.snap.version == snap.version) {
+      throw std::invalid_argument{"nn_manager: duplicate model " + snap.name +
+                                  " v" + std::to_string(snap.version)};
+    }
+  }
+  const model_id id = next_id_++;
+  models_.emplace(id, entry{std::move(snap), 0});
+  return id;
+}
+
+bool nn_manager::try_remove(model_id id) {
+  const auto it = models_.find(id);
+  if (it == models_.end()) return false;
+  if (it->second.refcount != 0) {
+    it->second.pending_removal = true;  // unload when the last ref drops
+    return false;
+  }
+  models_.erase(it);
+  return true;
+}
+
+const codegen::snapshot* nn_manager::get(model_id id) const {
+  const auto it = models_.find(id);
+  return it == models_.end() ? nullptr : &it->second.snap;
+}
+
+void nn_manager::add_ref(model_id id) {
+  const auto it = models_.find(id);
+  if (it == models_.end()) {
+    throw std::invalid_argument{"nn_manager::add_ref: unknown model"};
+  }
+  ++it->second.refcount;
+}
+
+void nn_manager::release(model_id id) {
+  const auto it = models_.find(id);
+  if (it == models_.end()) return;  // already removed
+  if (it->second.refcount == 0) {
+    throw std::logic_error{"nn_manager::release: refcount underflow"};
+  }
+  --it->second.refcount;
+  if (it->second.refcount == 0 && it->second.pending_removal) {
+    models_.erase(it);
+  }
+}
+
+std::uint64_t nn_manager::refcount(model_id id) const {
+  const auto it = models_.find(id);
+  return it == models_.end() ? 0 : it->second.refcount;
+}
+
+std::optional<model_id> nn_manager::find(std::string_view name,
+                                         std::uint64_t version) const {
+  for (const auto& [id, e] : models_) {
+    if (e.snap.name == name && e.snap.version == version) return id;
+  }
+  return std::nullopt;
+}
+
+std::optional<model_id> nn_manager::find_latest(std::string_view name) const {
+  std::optional<model_id> best;
+  std::uint64_t best_version = 0;
+  for (const auto& [id, e] : models_) {
+    if (e.snap.name == name &&
+        (!best || e.snap.version >= best_version)) {
+      best = id;
+      best_version = e.snap.version;
+    }
+  }
+  return best;
+}
+
+}  // namespace lf::core

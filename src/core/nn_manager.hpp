@@ -1,0 +1,58 @@
+// NN manager (§4.2, "LiteFlow Core Module").
+//
+// Kernel-side registry of installed snapshot modules.  Mirrors the paper's
+// semantics: snapshots are installed via lf_register_model (insmod of a
+// generated .ko), each carries a reference count that the flow cache
+// increments while flows are pinned to it, and a module may only be removed
+// once its reference count drops to zero.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "codegen/snapshot.hpp"
+
+namespace lf::core {
+
+using model_id = std::uint64_t;
+
+class nn_manager {
+ public:
+  /// lf_register_model: install a generated snapshot.  Returns its id.
+  /// Throws if a model with the same name+version is already installed.
+  model_id register_model(codegen::snapshot snap);
+
+  /// Remove a module.  Fails (returns false) while the reference count is
+  /// nonzero or the id is unknown — the kernel may not unload a module that
+  /// flows still use.  A failed removal marks the module for deferred
+  /// unload: it is erased automatically once its last reference drops.
+  bool try_remove(model_id id);
+
+  /// Executable program lookup; nullptr if not installed.
+  const codegen::snapshot* get(model_id id) const;
+
+  void add_ref(model_id id);
+  void release(model_id id);
+  std::uint64_t refcount(model_id id) const;
+
+  std::size_t installed_count() const noexcept { return models_.size(); }
+
+  /// Find by name (latest version); nullopt if absent.
+  std::optional<model_id> find_latest(std::string_view name) const;
+
+  /// Find an exact name + version; nullopt if absent.
+  std::optional<model_id> find(std::string_view name,
+                               std::uint64_t version) const;
+
+ private:
+  struct entry {
+    codegen::snapshot snap;
+    std::uint64_t refcount = 0;
+    bool pending_removal = false;
+  };
+  std::map<model_id, entry> models_;
+  model_id next_id_ = 1;
+};
+
+}  // namespace lf::core

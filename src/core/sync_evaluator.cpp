@@ -1,0 +1,47 @@
+#include "core/sync_evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lf::core {
+
+sync_evaluator::sync_evaluator(sync_config config) : config_{config} {
+  if (config_.stability_window < 2) {
+    throw std::invalid_argument{"sync_evaluator: window must be >= 2"};
+  }
+  if (config_.output_max <= config_.output_min) {
+    throw std::invalid_argument{"sync_evaluator: Omax must exceed Omin"};
+  }
+}
+
+void sync_evaluator::record_stability(double value) {
+  history_.push_back(value);
+  while (history_.size() > config_.stability_window) history_.pop_front();
+}
+
+bool sync_evaluator::converged() const {
+  if (history_.size() < config_.stability_window) return false;
+  const auto [lo, hi] = std::minmax_element(history_.begin(), history_.end());
+  double mean = 0.0;
+  for (const double v : history_) mean += v;
+  mean /= static_cast<double>(history_.size());
+  const double denom = std::max(std::abs(mean), 1e-9);
+  return (*hi - *lo) / denom < config_.stability_threshold;
+}
+
+sync_decision sync_evaluator::evaluate(
+    const nn::mlp& tuned, const quant::quantized_mlp& installed,
+    std::span<const std::vector<double>> batch_inputs) const {
+  sync_decision decision;
+  decision.converged = converged();
+  decision.fidelity = quant::evaluate_fidelity(tuned, installed, batch_inputs);
+  decision.necessary =
+      quant::update_necessary(decision.fidelity, config_.alpha,
+                              config_.output_min, config_.output_max);
+  return decision;
+}
+
+void sync_evaluator::reset_stability() { history_.clear(); }
+
+}  // namespace lf::core

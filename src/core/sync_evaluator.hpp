@@ -1,0 +1,62 @@
+// NN synchronization evaluation (§3.3): decide whether to push the tuned
+// userspace model into the kernel.
+//
+// Correctness: the snapshot must come from a *converged* model — LiteFlow
+// watches a user-defined stability metric (training loss / mean reward) and
+// declares convergence when its recent relative spread is small.  Updating
+// from a mid-exploration model would install garbage (Fig. 8).
+//
+// Necessity: updates interfere with the datapath (locks, §3.4), so sync
+// only when the models have drifted apart: the *minimum* fidelity loss
+// L(x) = |f'(x) - f(x)| over the batch must exceed alpha * (Omax - Omin)
+// (the paper sets alpha to 5%).
+#pragma once
+
+#include <deque>
+
+#include "quant/fidelity.hpp"
+
+namespace lf::core {
+
+struct sync_config {
+  double alpha = 0.05;               ///< necessity threshold factor
+  double output_min = -1.0;          ///< Omin of the NN
+  double output_max = 1.0;           ///< Omax of the NN
+  double stability_threshold = 0.25; ///< relative spread for convergence
+  std::size_t stability_window = 10; ///< metric samples considered
+};
+
+struct sync_decision {
+  bool converged = false;
+  bool necessary = false;
+  quant::fidelity_report fidelity{};
+  bool should_update() const noexcept { return converged && necessary; }
+};
+
+class sync_evaluator {
+ public:
+  explicit sync_evaluator(sync_config config);
+
+  /// Feed the user metric (NN Evaluation Interface, stability value).
+  void record_stability(double value);
+
+  /// Correctness check only.
+  bool converged() const;
+
+  /// Full decision for a candidate update.
+  sync_decision evaluate(const nn::mlp& tuned,
+                         const quant::quantized_mlp& installed,
+                         std::span<const std::vector<double>> batch_inputs) const;
+
+  /// Clear stability history (e.g. after an environment change restarts
+  /// exploration).
+  void reset_stability();
+
+  const sync_config& config() const noexcept { return config_; }
+
+ private:
+  sync_config config_;
+  std::deque<double> history_;
+};
+
+}  // namespace lf::core

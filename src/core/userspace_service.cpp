@@ -1,0 +1,117 @@
+#include "core/userspace_service.hpp"
+
+namespace lf::core {
+
+userspace_service::userspace_service(
+    sim::simulation& sim, kernelsim::cpu_model& cpu,
+    const kernelsim::cost_model& costs, kernelsim::crossspace_channel& netlink,
+    liteflow_core& core, batch_collector& collector, adaptation_interface& user,
+    service_config config)
+    : sim_{sim}, cpu_{cpu}, costs_{costs}, netlink_{netlink}, core_{core},
+      collector_{collector}, user_{user}, config_{std::move(config)},
+      evaluator_{config_.sync} {}
+
+void userspace_service::start() {
+  // Initial deployment: freeze the (pre-trained) model and install v1.
+  const auto frozen = user_.freeze_model();
+  const auto model = nn::load_mlp_from_string(frozen);
+  install_snapshot(codegen::generate_snapshot(model, config_.quantizer,
+                                              config_.model_name, ++version_));
+  collector_.set_consumer(
+      [this](std::vector<train_sample> batch) { on_batch(std::move(batch)); });
+  collector_.start();
+}
+
+double userspace_service::training_cost(std::size_t samples) const noexcept {
+  return costs_.user_train_fixed_cost +
+         static_cast<double>(samples) *
+             static_cast<double>(user_.parameter_count()) *
+             costs_.user_train_cost_per_sample_param;
+}
+
+void userspace_service::on_batch(std::vector<train_sample> batch) {
+  ++batches_;
+  if (!config_.adaptation_enabled || batch.empty()) return;
+  // Slow-path tuning competes for the shared CPU as user_train work; the
+  // actual model math runs when the simulated work completes.
+  cpu_.submit(kernelsim::task_category::user_train,
+              training_cost(batch.size()),
+              [this, batch = std::move(batch)]() {
+                user_.adapt(batch);
+                evaluator_.record_stability(user_.stability_value());
+                maybe_update(batch);
+              });
+}
+
+void userspace_service::maybe_update(std::span<const train_sample> batch) {
+  ++checks_;
+  const auto active = core_.router().active();
+  const auto* installed = active ? core_.manager().get(*active) : nullptr;
+  if (!installed) return;
+
+  const auto frozen = user_.freeze_model();
+  const auto tuned = nn::load_mlp_from_string(frozen);
+
+  // Fidelity inputs: a prefix of the batch's feature vectors (§3.3 computes
+  // L(x) over every x in the delivered batch; we cap for cost).
+  std::vector<std::vector<double>> inputs;
+  for (const auto& sample : batch) {
+    if (inputs.size() >= config_.fidelity_samples) break;
+    if (sample.features.size() == tuned.input_size()) {
+      inputs.push_back(sample.features);
+    }
+  }
+  if (inputs.empty()) return;
+
+  // Computing fidelity needs the *kernel* snapshot's outputs: one netlink
+  // round trip ships the inputs down and the outputs back (§4.2).
+  const std::size_t bytes = inputs.size() * tuned.input_size() * 8;
+  netlink_.round_trip(
+      bytes, bytes, 0.0, kernelsim::task_category::user_nn,
+      [this, tuned, inputs = std::move(inputs)](double) {
+        const auto active_now = core_.router().active();
+        const auto* snap =
+            active_now ? core_.manager().get(*active_now) : nullptr;
+        if (!snap) return;
+        last_decision_ = evaluator_.evaluate(tuned, snap->program, inputs);
+        if (!last_decision_.converged) {
+          ++skip_conv_;
+          return;
+        }
+        if (!last_decision_.necessary) {
+          ++skip_nec_;
+          return;
+        }
+        // Full §3.1 pipeline on the tuned model.
+        install_snapshot(codegen::generate_snapshot(
+            tuned, config_.quantizer, config_.model_name, ++version_));
+      });
+}
+
+void userspace_service::install_snapshot(codegen::snapshot snap) {
+  const std::size_t param_bytes = snap.program.parameter_bytes();
+  const bool is_initial = snap.version <= 1;
+  const auto prev_active = core_.router().active();
+  // Ship parameters into the kernel, pay the install cost, then register
+  // the module and stage it as standby (no lock), then flip the pointer.
+  netlink_.send_to_kernel(param_bytes, [this, snap = std::move(snap),
+                                        param_bytes, prev_active,
+                                        is_initial]() mutable {
+    cpu_.submit(
+        kernelsim::task_category::other,
+        static_cast<double>(param_bytes) * costs_.snapshot_install_per_byte,
+        [this, snap = std::move(snap), prev_active, is_initial]() mutable {
+          const auto id = core_.register_model(std::move(snap));
+          core_.router().install_standby(id);
+          core_.router().switch_active();
+          // The initial deployment is not a "snapshot update" (§3.3 counts
+          // only conservative re-syncs).
+          if (!is_initial) ++updates_;
+          // The demoted snapshot is removed once its flow-cache refs drain;
+          // opportunistically try now.
+          if (prev_active) core_.manager().try_remove(*prev_active);
+        });
+  });
+}
+
+}  // namespace lf::core

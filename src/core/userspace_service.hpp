@@ -1,0 +1,104 @@
+// LiteFlow userspace service (§4.1).
+//
+// Accepts a user object implementing the three paper interfaces —
+//   * NN Freezing Interface      -> freeze_model()
+//   * NN Evaluation Interface    -> stability_value() / evaluate()
+//   * NN Online Adaptation Intf. -> adapt()
+// — and drives the slow path: consume each kernel batch, run online
+// adaptation (paying userspace CPU on the shared core), check the sync
+// evaluator, and when an update is both correct and necessary, run the
+// full snapshot pipeline (freeze -> quantize -> translate -> compile) and
+// install it through the standby slot + pointer switch (§3.4).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/batch_collector.hpp"
+#include "core/liteflow_core.hpp"
+#include "core/sync_evaluator.hpp"
+#include "nn/serialize.hpp"
+#include "quant/quantizer.hpp"
+
+namespace lf::core {
+
+/// The user-implemented side of LiteFlow (a Python class in the paper).
+class adaptation_interface {
+ public:
+  virtual ~adaptation_interface() = default;
+
+  /// NN Freezing Interface: persist the current model; returns the
+  /// serialized form (the paper returns a file path; we return content).
+  virtual std::string freeze_model() = 0;
+
+  /// NN Evaluation Interface, part 1: a stability metric LiteFlow watches
+  /// for convergence (training loss, mean episode reward, ...).
+  virtual double stability_value() const = 0;
+
+  /// NN Evaluation Interface, part 2: userspace model output for a given
+  /// input (fidelity-loss computation).
+  virtual std::vector<double> evaluate(std::span<const double> input) const = 0;
+
+  /// NN Online Adaptation Interface: tune the model with one batch.
+  virtual void adapt(std::span<const train_sample> batch) = 0;
+
+  /// Parameter count (for training-cost accounting).
+  virtual std::size_t parameter_count() const = 0;
+};
+
+struct service_config {
+  std::string model_name = "model";
+  quant::quantizer_config quantizer{};
+  sync_config sync{};
+  /// Evaluate fidelity on at most this many batch samples.
+  std::size_t fidelity_samples = 32;
+  /// Allow disabling adaptation entirely (the paper's N-O-A ablations).
+  bool adaptation_enabled = true;
+};
+
+class userspace_service {
+ public:
+  userspace_service(sim::simulation& sim, kernelsim::cpu_model& cpu,
+                    const kernelsim::cost_model& costs,
+                    kernelsim::crossspace_channel& netlink,
+                    liteflow_core& core, batch_collector& collector,
+                    adaptation_interface& user, service_config config);
+
+  /// Generate and install the initial snapshot (v1) and hook the collector.
+  void start();
+
+  /// Statistics.
+  std::uint64_t batches_processed() const noexcept { return batches_; }
+  std::uint64_t snapshot_updates() const noexcept { return updates_; }
+  std::uint64_t update_checks() const noexcept { return checks_; }
+  std::uint64_t skipped_not_converged() const noexcept { return skip_conv_; }
+  std::uint64_t skipped_not_necessary() const noexcept { return skip_nec_; }
+  std::uint64_t current_version() const noexcept { return version_; }
+  const sync_decision& last_decision() const noexcept { return last_decision_; }
+  sync_evaluator& evaluator() noexcept { return evaluator_; }
+
+ private:
+  void on_batch(std::vector<train_sample> batch);
+  void maybe_update(std::span<const train_sample> batch);
+  void install_snapshot(codegen::snapshot snap);
+  double training_cost(std::size_t samples) const noexcept;
+
+  sim::simulation& sim_;
+  kernelsim::cpu_model& cpu_;
+  const kernelsim::cost_model& costs_;
+  kernelsim::crossspace_channel& netlink_;
+  liteflow_core& core_;
+  batch_collector& collector_;
+  adaptation_interface& user_;
+  service_config config_;
+  sync_evaluator evaluator_;
+  std::uint64_t version_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t updates_ = 0;
+  std::uint64_t checks_ = 0;
+  std::uint64_t skip_conv_ = 0;
+  std::uint64_t skip_nec_ = 0;
+  sync_decision last_decision_{};
+};
+
+}  // namespace lf::core

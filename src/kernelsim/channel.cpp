@@ -1,0 +1,107 @@
+#include "kernelsim/channel.hpp"
+
+namespace lf::kernelsim {
+
+std::string_view to_string(channel_kind k) noexcept {
+  switch (k) {
+    case channel_kind::ccp_ipc:
+      return "ccp-ipc";
+    case channel_kind::char_device:
+      return "char-device";
+    case channel_kind::netlink:
+      return "netlink";
+  }
+  return "?";
+}
+
+crossspace_channel::crossspace_channel(sim::simulation& sim, cpu_model& cpu,
+                                       const cost_model& costs,
+                                       channel_kind kind)
+    : sim_{sim}, cpu_{cpu}, costs_{costs}, kind_{kind} {}
+
+double crossspace_channel::kernel_side_cost(std::size_t bytes) const noexcept {
+  double base = 0.0;
+  switch (kind_) {
+    case channel_kind::ccp_ipc:
+      base = costs_.ccp_roundtrip_softirq_cost;
+      break;
+    case channel_kind::char_device:
+      base = costs_.chardev_roundtrip_softirq_cost;
+      break;
+    case channel_kind::netlink:
+      base = costs_.netlink_roundtrip_softirq_cost;
+      break;
+  }
+  return base + static_cast<double>(bytes) * costs_.crossspace_per_byte_cost;
+}
+
+double crossspace_channel::latency() const noexcept {
+  switch (kind_) {
+    case channel_kind::ccp_ipc:
+      return costs_.ccp_roundtrip_latency;
+    case channel_kind::char_device:
+      return costs_.chardev_roundtrip_latency;
+    case channel_kind::netlink:
+      return costs_.netlink_roundtrip_latency;
+  }
+  return 0.0;
+}
+
+void crossspace_channel::round_trip(std::size_t request_bytes,
+                                    std::size_t reply_bytes, double user_cost,
+                                    task_category user_category,
+                                    std::function<void(double)> done) {
+  ++round_trips_;
+  bytes_ += request_bytes + reply_bytes;
+  const double t_start = sim_.now();
+  const double wire = latency();
+  // Kernel-side softirq work to ship the request (half the round-trip cost;
+  // the other half pays for receiving the reply).
+  const double half_cost = 0.5 * kernel_side_cost(request_bytes + reply_bytes);
+  cpu_.submit(task_category::softirq, half_cost, [this, wire, user_cost,
+                                                  user_category, half_cost,
+                                                  t_start,
+                                                  done = std::move(done)]() {
+    sim_.schedule(0.5 * wire, [this, user_cost, user_category, half_cost, wire,
+                               t_start, done = std::move(done)]() {
+      cpu_.submit(user_category, user_cost, [this, half_cost, wire, t_start,
+                                             done = std::move(done)]() {
+        sim_.schedule(0.5 * wire, [this, half_cost, t_start,
+                                   done = std::move(done)]() {
+          cpu_.submit(task_category::softirq, half_cost,
+                      [this, t_start, done = std::move(done)]() {
+                        if (done) done(sim_.now() - t_start);
+                      });
+        });
+      });
+    });
+  });
+}
+
+void crossspace_channel::send_to_user(std::size_t bytes,
+                                      std::function<void()> delivered) {
+  ++one_way_;
+  bytes_ += bytes;
+  const double wire = latency();
+  cpu_.submit(task_category::softirq, kernel_side_cost(bytes),
+              [this, wire, delivered = std::move(delivered)]() {
+                sim_.schedule(0.5 * wire, [delivered = std::move(delivered)]() {
+                  if (delivered) delivered();
+                });
+              });
+}
+
+void crossspace_channel::send_to_kernel(std::size_t bytes,
+                                        std::function<void()> delivered) {
+  ++one_way_;
+  bytes_ += bytes;
+  const double wire = latency();
+  sim_.schedule(0.5 * wire, [this, bytes, delivered = std::move(delivered)]() {
+    cpu_.submit(task_category::softirq, kernel_side_cost(bytes),
+                [delivered = std::move(delivered)]() {
+                  if (delivered) delivered();
+                });
+  });
+}
+
+}  // namespace lf::kernelsim

@@ -1,0 +1,69 @@
+// Simulated kernel/user cross-space communication channels.
+//
+// Three channel flavours appear in the paper's evaluation:
+//  - ccp_ipc:     CCP's agent IPC (unix socket + process wakeup), used by the
+//                 userspace CC deployments (CCP-Aurora / CCP-MOCC);
+//  - char_device: blocking char-device read/write (char-FFNN, char-MLP);
+//  - netlink:     netlink socket (netlink-FFNN and LiteFlow's own batch
+//                 data delivery, §4.2).
+// Every round trip costs kernel CPU (accounted as softirq, which is what
+// mpstat shows exploding in Fig. 4), optionally userspace CPU for whatever
+// work runs on the far side, and wall-clock latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "kernelsim/cost_model.hpp"
+#include "kernelsim/cpu.hpp"
+#include "sim/sim.hpp"
+
+namespace lf::kernelsim {
+
+enum class channel_kind : std::uint8_t {
+  ccp_ipc,
+  char_device,
+  netlink,
+};
+
+std::string_view to_string(channel_kind k) noexcept;
+
+class crossspace_channel {
+ public:
+  crossspace_channel(sim::simulation& sim, cpu_model& cpu,
+                     const cost_model& costs, channel_kind kind);
+
+  /// Kernel -> user -> kernel round trip.  `user_cost` CPU-seconds of work
+  /// (e.g. model inference) run in userspace before the reply; `done` fires
+  /// when the reply is visible in kernel space and receives the end-to-end
+  /// latency in seconds.
+  void round_trip(std::size_t request_bytes, std::size_t reply_bytes,
+                  double user_cost, task_category user_category,
+                  std::function<void(double latency)> done);
+
+  /// One-way kernel -> user delivery (LiteFlow batch data delivery).
+  /// `delivered` fires when userspace has the data.
+  void send_to_user(std::size_t bytes, std::function<void()> delivered);
+
+  /// One-way user -> kernel delivery (snapshot parameter install traffic).
+  void send_to_kernel(std::size_t bytes, std::function<void()> delivered);
+
+  std::uint64_t round_trips() const noexcept { return round_trips_; }
+  std::uint64_t one_way_messages() const noexcept { return one_way_; }
+  std::uint64_t bytes_transferred() const noexcept { return bytes_; }
+  channel_kind kind() const noexcept { return kind_; }
+
+ private:
+  double kernel_side_cost(std::size_t bytes) const noexcept;
+  double latency() const noexcept;
+
+  sim::simulation& sim_;
+  cpu_model& cpu_;
+  const cost_model& costs_;
+  channel_kind kind_;
+  std::uint64_t round_trips_ = 0;
+  std::uint64_t one_way_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace lf::kernelsim

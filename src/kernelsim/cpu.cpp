@@ -1,0 +1,77 @@
+#include "kernelsim/cpu.hpp"
+
+#include <stdexcept>
+
+namespace lf::kernelsim {
+
+std::string_view to_string(task_category c) noexcept {
+  switch (c) {
+    case task_category::datapath:
+      return "datapath";
+    case task_category::softirq:
+      return "softirq";
+    case task_category::user_nn:
+      return "user_nn";
+    case task_category::user_train:
+      return "user_train";
+    case task_category::kernel_train:
+      return "kernel_train";
+    case task_category::other:
+      return "other";
+  }
+  return "?";
+}
+
+cpu_model::cpu_model(sim::simulation& sim, double capacity)
+    : sim_{sim}, capacity_{capacity} {
+  if (capacity <= 0.0) throw std::invalid_argument{"cpu capacity must be > 0"};
+}
+
+void cpu_model::submit(task_category category, double cost,
+                       std::function<void()> done) {
+  if (cost < 0.0) throw std::invalid_argument{"negative work cost"};
+  queue_.push_back(work_item{category, cost, std::move(done)});
+  if (!busy_) start_next();
+}
+
+void cpu_model::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  work_item item = std::move(queue_.front());
+  queue_.pop_front();
+  busy_seconds_[static_cast<std::size_t>(item.category)] += item.cost;
+  const double duration = item.cost / capacity_;
+  sim_.schedule(duration, [this, done = std::move(item.done)]() {
+    if (done) done();
+    start_next();
+  });
+}
+
+double cpu_model::busy_seconds(task_category category) const noexcept {
+  return busy_seconds_[static_cast<std::size_t>(category)];
+}
+
+double cpu_model::total_busy_seconds() const noexcept {
+  double total = 0.0;
+  for (const double s : busy_seconds_) total += s;
+  return total;
+}
+
+double cpu_model::utilization_since(double t0, double busy_at_t0) const noexcept {
+  const double window = sim_.now() - t0;
+  if (window <= 0.0) return 0.0;
+  return (total_busy_seconds() - busy_at_t0) / (capacity_ * window);
+}
+
+double cpu_model::backlog_clear_time() const noexcept {
+  double pending = 0.0;
+  for (const auto& item : queue_) pending += item.cost;
+  return sim_.now() + pending / capacity_;
+}
+
+void cpu_model::reset_accounting() noexcept { busy_seconds_.fill(0.0); }
+
+}  // namespace lf::kernelsim

@@ -1,0 +1,88 @@
+// A simulated host CPU with per-category time accounting (the `mpstat` of
+// this repository).
+//
+// The CPU is a single FIFO server: work items are submitted with a category
+// and a cost in CPU-seconds; each runs to completion in submission order and
+// fires its callback when done.  When offered load exceeds capacity the
+// queue grows and completions stretch out — exactly the saturation effect
+// behind the paper's Figs. 3/4/13.  Task categories mirror the paper's CPU
+// breakdown: datapath processing, softirq (cross-space communication and rx
+// interrupts), userspace NN work, and in-kernel training.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string_view>
+
+#include "sim/sim.hpp"
+
+namespace lf::kernelsim {
+
+enum class task_category : std::uint8_t {
+  datapath = 0,   ///< kernel packet/ACK processing
+  softirq,        ///< cross-space communication + rx interrupt handling
+  user_nn,        ///< userspace model inference
+  user_train,     ///< userspace slow-path tuning
+  kernel_train,   ///< in-kernel SGD (the §2.3 anti-pattern)
+  other,
+};
+
+inline constexpr std::size_t task_category_count = 6;
+
+std::string_view to_string(task_category c) noexcept;
+
+class cpu_model {
+ public:
+  /// `capacity` is the number of CPU-seconds available per wall second
+  /// (1.0 = one dedicated core, the paper's per-host normalization).
+  cpu_model(sim::simulation& sim, double capacity = 1.0);
+
+  cpu_model(const cpu_model&) = delete;
+  cpu_model& operator=(const cpu_model&) = delete;
+
+  /// Submit a work item costing `cost` CPU-seconds.  `done` (optional) fires
+  /// when the work completes.  Work is serviced FIFO at `capacity` speed.
+  void submit(task_category category, double cost,
+              std::function<void()> done = {});
+
+  /// CPU-seconds consumed so far by a category (completed + in-progress
+  /// work counts when it was started).
+  double busy_seconds(task_category category) const noexcept;
+
+  /// Sum of busy_seconds over all categories.
+  double total_busy_seconds() const noexcept;
+
+  /// Utilization over [t0, now]: busy seconds accumulated since t0 divided
+  /// by capacity * (now - t0).  Callers snapshot busy_seconds at t0.
+  double utilization_since(double t0, double busy_at_t0) const noexcept;
+
+  /// Time at which currently queued work will complete (>= now).
+  double backlog_clear_time() const noexcept;
+
+  /// Number of queued-but-not-started work items.
+  std::size_t queue_depth() const noexcept { return queue_.size(); }
+
+  double capacity() const noexcept { return capacity_; }
+
+  /// Zero all accounting (not the queue).
+  void reset_accounting() noexcept;
+
+ private:
+  struct work_item {
+    task_category category;
+    double cost;
+    std::function<void()> done;
+  };
+
+  void start_next();
+
+  sim::simulation& sim_;
+  double capacity_;
+  std::deque<work_item> queue_;
+  bool busy_ = false;
+  std::array<double, task_category_count> busy_seconds_{};
+};
+
+}  // namespace lf::kernelsim

@@ -1,0 +1,23 @@
+#include "kernelsim/spinlock.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lf::kernelsim {
+
+double spinlock::acquire(double hold_seconds) {
+  if (hold_seconds < 0.0) {
+    throw std::invalid_argument{"spinlock: negative hold time"};
+  }
+  const double now = sim_->now();
+  const double wait = std::max(0.0, busy_until_ - now);
+  busy_until_ = now + wait + hold_seconds;
+  ++acquisitions_;
+  if (wait > 0.0) ++contended_;
+  total_wait_ += wait;
+  total_hold_ += hold_seconds;
+  max_wait_ = std::max(max_wait_, wait);
+  return wait;
+}
+
+}  // namespace lf::kernelsim

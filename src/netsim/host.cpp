@@ -1,0 +1,149 @@
+#include "netsim/host.hpp"
+
+#include <stdexcept>
+
+namespace lf::netsim {
+
+host::host(sim::simulation& sim, host_id_t id, std::string name,
+           const kernelsim::cost_model& costs, double cpu_capacity)
+    : node{std::move(name)}, sim_{sim}, id_{id}, costs_{costs},
+      cpu_{sim, cpu_capacity} {}
+
+void host::send_packet(packet pkt) {
+  pkt.src = id_;
+  pkt.wire_bytes = pkt.is_ack ? k_ack_bytes : pkt.payload_bytes + k_header_bytes;
+  if (!cpu_gating_) {
+    transmit(pkt);
+    return;
+  }
+  cpu_.submit(kernelsim::task_category::datapath, costs_.datapath_packet_cost,
+              [this, pkt]() mutable { transmit(pkt); });
+}
+
+void host::send_packet_free(packet pkt) {
+  pkt.src = id_;
+  pkt.wire_bytes = pkt.is_ack ? k_ack_bytes : pkt.payload_bytes + k_header_bytes;
+  transmit(pkt);
+}
+
+void host::transmit(packet pkt) {
+  if (!egress_) throw std::logic_error{name() + ": no egress link"};
+  pkt.send_time = sim_.now();
+  egress_->enqueue(pkt);
+}
+
+void host::register_sender(flow_id_t flow, flow_sender* sender) {
+  if (!sender) throw std::invalid_argument{"null flow_sender"};
+  senders_[flow] = sender;
+}
+
+void host::unregister_sender(flow_id_t flow) { senders_.erase(flow); }
+
+void host::deliver(packet pkt) {
+  if (!cpu_gating_) {
+    if (pkt.is_ack) {
+      process_ack(pkt);
+    } else {
+      process_data(pkt);
+    }
+    return;
+  }
+  // Receive interrupt (softirq), then protocol processing (datapath).
+  cpu_.submit(kernelsim::task_category::softirq, costs_.rx_softirq_per_packet);
+  cpu_.submit(kernelsim::task_category::datapath, costs_.datapath_packet_cost,
+              [this, pkt]() {
+                if (pkt.is_ack) {
+                  process_ack(pkt);
+                } else {
+                  process_data(pkt);
+                }
+              });
+}
+
+void host::process_ack(const packet& pkt) {
+  const auto it = senders_.find(pkt.flow_id);
+  if (it != senders_.end()) it->second->on_ack(pkt);
+}
+
+void host::process_data(packet pkt) {
+  auto& state = receive_[pkt.flow_id];
+  if (state.delivered_payload == 0 && state.next_expected == 0) {
+    state.first_data_time = sim_.now();
+  }
+  const std::uint64_t begin = pkt.seq;
+  const std::uint64_t end = pkt.seq + pkt.payload_bytes;
+  std::uint64_t new_bytes = 0;
+
+  if (end > state.next_expected) {
+    // Insert [max(begin, next_expected), end) into the out-of-order set,
+    // counting genuinely new bytes.
+    std::uint64_t lo = std::max(begin, state.next_expected);
+    std::uint64_t hi = end;
+    // Merge with overlapping/adjacent intervals: the union replaces them
+    // all, and the genuinely new bytes are the union length minus what was
+    // already present.
+    std::uint64_t already_present = 0;
+    auto it = state.out_of_order.lower_bound(lo);
+    if (it != state.out_of_order.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= lo) it = prev;
+    }
+    while (it != state.out_of_order.end() && it->first <= hi) {
+      if (it->second >= lo) {
+        already_present += it->second - it->first;
+        lo = std::min(lo, it->first);
+        hi = std::max(hi, it->second);
+        it = state.out_of_order.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    new_bytes = (hi - lo) - already_present;
+    state.out_of_order[lo] = hi;
+    // Advance the cumulative watermark through contiguous intervals.
+    auto front = state.out_of_order.begin();
+    while (front != state.out_of_order.end() &&
+           front->first <= state.next_expected) {
+      state.next_expected = std::max(state.next_expected, front->second);
+      front = state.out_of_order.erase(front);
+    }
+  }
+  state.delivered_payload += new_bytes;
+  delivered_ += new_bytes;
+  if (new_bytes > 0 && on_delivery_) on_delivery_(pkt.flow_id, new_bytes);
+
+  if (pkt.fin) {
+    state.fin_seen = true;
+    state.fin_end = end;
+  }
+  const bool complete =
+      state.fin_seen && state.next_expected >= state.fin_end && !state.completed;
+  if (complete) {
+    state.completed = true;
+    state.complete_time = sim_.now();
+  }
+
+  // Generate an ACK (per packet, no delayed ACKs; NN-based CC wants a dense
+  // feedback signal).
+  packet ack;
+  ack.flow_id = pkt.flow_id;
+  ack.dst = pkt.src;
+  ack.is_ack = true;
+  ack.ack_seq = state.next_expected;
+  ack.ack_echo_seq = pkt.seq;
+  ack.ack_echo_send_time = pkt.send_time;
+  ack.ack_ecn_echo = pkt.ecn_marked;
+  ack.ecn_capable = false;
+  ack.fin_ack = complete;
+  ack.priority = 0;  // ACKs ride the highest band
+  send_packet(ack);
+
+  if (complete && on_complete_) on_complete_(pkt.flow_id, state);
+}
+
+const receive_state* host::flow_state(flow_id_t flow) const {
+  const auto it = receive_.find(flow);
+  return it == receive_.end() ? nullptr : &it->second;
+}
+
+}  // namespace lf::netsim

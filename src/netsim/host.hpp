@@ -1,0 +1,104 @@
+// End host: the simulated machine running the kernel datapath.
+//
+// A host owns a simulated CPU (kernelsim::cpu_model).  Every packet it
+// sends or receives costs datapath CPU before touching the wire — this is
+// what couples network throughput to the cross-space communication overhead
+// in the paper's Figs. 3/4/13/14: softirq work from NN deployments competes
+// with packet processing on the same CPU.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "kernelsim/cost_model.hpp"
+#include "kernelsim/cpu.hpp"
+#include "netsim/node.hpp"
+#include "netsim/packet.hpp"
+#include "sim/sim.hpp"
+
+namespace lf::netsim {
+
+/// Sender-side transport interface: hosts dispatch ACKs to these.
+class flow_sender {
+ public:
+  virtual ~flow_sender() = default;
+  virtual void on_ack(const packet& ack) = 0;
+};
+
+/// Receiver-side per-flow reassembly and delivery accounting.
+struct receive_state {
+  std::uint64_t next_expected = 0;  ///< cumulative in-order watermark
+  /// Out-of-order byte intervals [first, second), disjoint, sorted.
+  std::map<std::uint64_t, std::uint64_t> out_of_order;
+  std::uint64_t delivered_payload = 0;  ///< unique payload bytes received
+  bool fin_seen = false;
+  std::uint64_t fin_end = 0;  ///< byte offset one past the last flow byte
+  bool completed = false;
+  double first_data_time = 0.0;
+  double complete_time = 0.0;
+};
+
+class host final : public node {
+ public:
+  host(sim::simulation& sim, host_id_t id, std::string name,
+       const kernelsim::cost_model& costs, double cpu_capacity = 1.0);
+
+  host_id_t id() const noexcept { return id_; }
+  kernelsim::cpu_model& cpu() noexcept { return cpu_; }
+  const kernelsim::cost_model& costs() const noexcept { return costs_; }
+  sim::simulation& simulator() noexcept { return sim_; }
+
+  /// The host's single uplink (set by the topology builder; not owned).
+  void set_egress(link* uplink) noexcept { egress_ = uplink; }
+  link* egress() noexcept { return egress_; }
+
+  /// Transport entry point: pay datapath CPU, then put the packet on the
+  /// wire.  Fills in wire_bytes/send_time/src.
+  void send_packet(packet pkt);
+
+  /// Emit without CPU cost (background/UDP traffic generators — the paper's
+  /// congestion emulation traffic originates outside the host under test).
+  void send_packet_free(packet pkt);
+
+  void register_sender(flow_id_t flow, flow_sender* sender);
+  void unregister_sender(flow_id_t flow);
+
+  /// Fires when a flow completes (all bytes + FIN delivered) at this host.
+  using completion_hook =
+      std::function<void(flow_id_t, const receive_state&)>;
+  void set_completion_hook(completion_hook hook) { on_complete_ = std::move(hook); }
+
+  /// Observes every delivered (unique) payload chunk: (flow, new bytes).
+  using delivery_hook = std::function<void(flow_id_t, std::uint64_t)>;
+  void set_delivery_hook(delivery_hook hook) { on_delivery_ = std::move(hook); }
+
+  void deliver(packet pkt) override;
+
+  const receive_state* flow_state(flow_id_t flow) const;
+  std::uint64_t total_delivered_payload() const noexcept { return delivered_; }
+
+  /// Disable/enable ACK generation CPU cost modeling (on by default).
+  void set_cpu_gating(bool enabled) noexcept { cpu_gating_ = enabled; }
+
+ private:
+  void process_data(packet pkt);
+  void process_ack(const packet& pkt);
+  void transmit(packet pkt);
+
+  sim::simulation& sim_;
+  host_id_t id_;
+  const kernelsim::cost_model& costs_;
+  kernelsim::cpu_model cpu_;
+  link* egress_ = nullptr;
+  bool cpu_gating_ = true;
+
+  std::map<flow_id_t, flow_sender*> senders_;
+  std::map<flow_id_t, receive_state> receive_;
+  std::uint64_t delivered_ = 0;
+  completion_hook on_complete_;
+  delivery_hook on_delivery_;
+};
+
+}  // namespace lf::netsim

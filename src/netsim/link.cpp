@@ -1,0 +1,77 @@
+#include "netsim/link.hpp"
+
+#include <stdexcept>
+
+#include "netsim/node.hpp"
+
+namespace lf::netsim {
+
+link::link(sim::simulation& sim, link_config config, node& dst)
+    : sim_{sim}, config_{std::move(config)}, dst_{dst},
+      drop_gen_{config_.drop_seed} {
+  if (config_.rate_bps <= 0.0) {
+    throw std::invalid_argument{"link rate must be positive"};
+  }
+}
+
+void link::record_queue() {
+  if (trace_enabled_) {
+    queue_trace_.record(sim_.now(), static_cast<double>(queued_bytes_));
+  }
+}
+
+void link::enqueue(packet pkt) {
+  ++enqueued_;
+  if (config_.random_loss_prob > 0.0 &&
+      drop_gen_.bernoulli(config_.random_loss_prob)) {
+    ++random_dropped_;
+    return;
+  }
+  if (queued_bytes_ + pkt.wire_bytes > config_.buffer_bytes) {
+    ++dropped_;
+    return;
+  }
+  if (pkt.ecn_capable && queued_bytes_ >= config_.ecn_threshold_bytes) {
+    pkt.ecn_marked = true;
+    ++marked_;
+  }
+  const auto band = static_cast<std::size_t>(
+      pkt.priority < k_priority_bands ? pkt.priority : k_priority_bands - 1);
+  queued_bytes_ += pkt.wire_bytes;
+  bands_[band].push_back(pkt);
+  record_queue();
+  if (!transmitting_) try_transmit();
+}
+
+void link::try_transmit() {
+  // Strict priority: lowest band index first.
+  std::size_t band = k_priority_bands;
+  for (std::size_t b = 0; b < k_priority_bands; ++b) {
+    if (!bands_[b].empty()) {
+      band = b;
+      break;
+    }
+  }
+  if (band == k_priority_bands) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  packet pkt = bands_[band].front();
+  bands_[band].pop_front();
+  queued_bytes_ -= pkt.wire_bytes;
+  record_queue();
+  const double tx_time =
+      static_cast<double>(pkt.wire_bytes) * 8.0 / config_.rate_bps;
+  sim_.schedule(tx_time, [this, pkt]() mutable {
+    ++transmitted_;
+    tx_bytes_ += pkt.wire_bytes;
+    if (tx_hook_) tx_hook_(pkt);
+    // Propagation happens in parallel with the next serialization.
+    sim_.schedule(config_.propagation_delay,
+                  [this, pkt]() mutable { dst_.deliver(pkt); });
+    try_transmit();
+  });
+}
+
+}  // namespace lf::netsim

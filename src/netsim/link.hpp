@@ -1,0 +1,101 @@
+// Unidirectional link with a strict-priority, drop-tail, optionally
+// ECN-marking egress queue.
+//
+// This is the bottleneck-queue abstraction behind every figure in the
+// paper's evaluation: Fig. 1b plots exactly this queue's depth, DCTCP
+// needs its ECN threshold, and pFabric-style flow scheduling uses its
+// priority bands.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "netsim/packet.hpp"
+#include "sim/sim.hpp"
+#include "util/rng.hpp"
+#include "util/time_series.hpp"
+
+namespace lf::netsim {
+
+class node;  // fwd
+
+inline constexpr std::size_t k_priority_bands = 8;
+
+struct link_config {
+  double rate_bps = 1e9;
+  double propagation_delay = 10e-6;
+  /// Total buffer across all bands, bytes.  Drop-tail when exceeded.
+  std::uint64_t buffer_bytes = 150 * 1000;
+  /// ECN marking threshold in bytes; packets enqueued beyond it get CE.
+  /// Default: no marking.
+  std::uint64_t ecn_threshold_bytes = std::numeric_limits<std::uint64_t>::max();
+  /// Stochastic (non-congestion) loss probability per packet; emulates a
+  /// lossy segment.  Adjustable at runtime via set_random_loss().
+  double random_loss_prob = 0.0;
+  std::uint64_t drop_seed = 0x10552;
+  std::string name = "link";
+};
+
+class link {
+ public:
+  link(sim::simulation& sim, link_config config, node& dst);
+
+  link(const link&) = delete;
+  link& operator=(const link&) = delete;
+
+  /// Enqueue for transmission; may drop (drop-tail) and/or CE-mark.
+  void enqueue(packet pkt);
+
+  // Statistics.
+  std::uint64_t enqueued_packets() const noexcept { return enqueued_; }
+  std::uint64_t dropped_packets() const noexcept { return dropped_; }
+  std::uint64_t transmitted_packets() const noexcept { return transmitted_; }
+  std::uint64_t transmitted_bytes() const noexcept { return tx_bytes_; }
+  std::uint64_t marked_packets() const noexcept { return marked_; }
+  std::uint64_t queued_bytes() const noexcept { return queued_bytes_; }
+
+  const link_config& config() const noexcept { return config_; }
+
+  /// When enabled, records (time, queued_bytes) on every change.
+  void enable_queue_trace() { trace_enabled_ = true; }
+  const time_series& queue_trace() const noexcept { return queue_trace_; }
+
+  /// Optional hook observing every transmitted packet (throughput probes).
+  void set_tx_hook(std::function<void(const packet&)> hook) {
+    tx_hook_ = std::move(hook);
+  }
+
+  /// Adjust stochastic loss at runtime (environment-dynamics experiments).
+  void set_random_loss(double prob) noexcept {
+    config_.random_loss_prob = prob;
+  }
+  std::uint64_t random_dropped_packets() const noexcept { return random_dropped_; }
+
+ private:
+  void try_transmit();
+  void record_queue();
+
+  sim::simulation& sim_;
+  link_config config_;
+  node& dst_;
+  std::array<std::deque<packet>, k_priority_bands> bands_;
+  std::uint64_t queued_bytes_ = 0;
+  bool transmitting_ = false;
+
+  rng drop_gen_;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t random_dropped_ = 0;
+  std::uint64_t transmitted_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t marked_ = 0;
+  bool trace_enabled_ = false;
+  time_series queue_trace_{"queue_bytes"};
+  std::function<void(const packet&)> tx_hook_;
+};
+
+}  // namespace lf::netsim

@@ -1,0 +1,21 @@
+#include "netsim/node.hpp"
+
+#include <stdexcept>
+
+namespace lf::netsim {
+
+link& switch_node::add_port(std::unique_ptr<link> port) {
+  ports_.push_back(std::move(port));
+  return *ports_.back();
+}
+
+void switch_node::deliver(packet pkt) {
+  if (!route_) throw std::logic_error{name() + ": no route function"};
+  const std::size_t port_index = route_(pkt);
+  if (port_index >= ports_.size()) {
+    throw std::logic_error{name() + ": route returned bad port"};
+  }
+  ports_[port_index]->enqueue(pkt);
+}
+
+}  // namespace lf::netsim

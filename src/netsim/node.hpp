@@ -1,0 +1,59 @@
+// Node interface plus the switch implementation.
+//
+// A switch forwards by destination host via a routing function installed by
+// the topology builder.  Spine-leaf builders install functions that consult
+// the packet's explicit path tag (XPath-style, §4.2 "LiteFlow Path
+// Selection Module") or an ECMP hash when no tag is set.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netsim/link.hpp"
+#include "netsim/packet.hpp"
+
+namespace lf::netsim {
+
+class node {
+ public:
+  explicit node(std::string name) : name_(std::move(name)) {}
+  virtual ~node() = default;
+
+  node(const node&) = delete;
+  node& operator=(const node&) = delete;
+
+  /// A packet arrives at this node (after link propagation).
+  virtual void deliver(packet pkt) = 0;
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class switch_node final : public node {
+ public:
+  /// Chooses the egress port index for a packet.
+  using route_fn = std::function<std::size_t(const packet&)>;
+
+  explicit switch_node(std::string name) : node{std::move(name)} {}
+
+  /// Ports are owned by the switch; add in index order.
+  link& add_port(std::unique_ptr<link> port);
+
+  void set_route(route_fn fn) { route_ = std::move(fn); }
+
+  void deliver(packet pkt) override;
+
+  std::size_t port_count() const noexcept { return ports_.size(); }
+  link& port(std::size_t i) { return *ports_.at(i); }
+  const link& port(std::size_t i) const { return *ports_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<link>> ports_;
+  route_fn route_;
+};
+
+}  // namespace lf::netsim

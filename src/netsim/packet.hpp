@@ -1,0 +1,56 @@
+// Packet representation for the packet-level network simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace lf::netsim {
+
+using flow_id_t = std::uint64_t;
+using host_id_t = std::uint32_t;
+
+inline constexpr std::uint32_t k_default_mtu = 1500;
+inline constexpr std::uint32_t k_header_bytes = 40;
+inline constexpr std::uint32_t k_ack_bytes = 40;
+
+struct packet {
+  flow_id_t flow_id = 0;
+  host_id_t src = 0;
+  host_id_t dst = 0;
+
+  /// First payload byte offset carried by this packet (data packets).
+  std::uint64_t seq = 0;
+  /// Payload bytes (data packets); 0 for pure ACKs.
+  std::uint32_t payload_bytes = 0;
+  /// Total wire size including headers.
+  std::uint32_t wire_bytes = 0;
+
+  bool is_ack = false;
+  /// Cumulative ACK: next byte expected by the receiver (ACK packets).
+  std::uint64_t ack_seq = 0;
+  /// Echo of the data packet's seq this ACK acknowledges (selective info).
+  std::uint64_t ack_echo_seq = 0;
+  /// Echo of the acknowledged data packet's send timestamp (RTT sampling).
+  double ack_echo_send_time = 0.0;
+
+  /// Sender marks this flag when the flow's last byte is in this packet.
+  bool fin = false;
+  /// ACK of a fin-carrying packet.
+  bool fin_ack = false;
+
+  // ECN (RFC 3168-style simplified).
+  bool ecn_capable = false;
+  bool ecn_marked = false;   ///< CE set by a congested queue
+  bool ack_ecn_echo = false; ///< receiver echoes CE on the ACK
+
+  /// Scheduling priority: 0 is served first (strict priority queues).
+  std::uint8_t priority = 0;
+
+  /// Explicit path tag (XPath-style source routing); switches may use it to
+  /// pick an uplink.  0 means "no explicit path" (ECMP hash instead).
+  std::uint32_t path_tag = 0;
+
+  /// Timestamp when the sender handed the packet to the NIC.
+  double send_time = 0.0;
+};
+
+}  // namespace lf::netsim

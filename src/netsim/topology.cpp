@@ -1,0 +1,175 @@
+#include "netsim/topology.hpp"
+
+#include <stdexcept>
+
+namespace lf::netsim {
+
+// ------------------------------------------------------------- dumbbell --
+
+dumbbell::dumbbell(sim::simulation& sim, dumbbell_config config)
+    : config_{std::move(config)} {
+  sw_ = std::make_unique<switch_node>("sw");
+  sender_ = std::make_unique<host>(sim, sender_id, "sender", config_.costs,
+                                   config_.sender_cpu_capacity);
+  bg_sender_ = std::make_unique<host>(sim, bg_sender_id, "bg", config_.costs);
+  bg_sender_->set_cpu_gating(false);
+  receiver_ = std::make_unique<host>(sim, receiver_id, "receiver",
+                                     config_.costs);
+
+  const double tiny = 0.5e-6;  // access link propagation
+  // The emulated RTT is split between the forward bottleneck and the
+  // reverse path, like netem applied on both directions.
+  const double one_way = 0.5 * config_.rtt;
+
+  // Switch egress ports.
+  link_config fwd;
+  fwd.rate_bps = config_.bottleneck_bps;
+  fwd.propagation_delay = one_way;
+  fwd.buffer_bytes = config_.buffer_bytes;
+  fwd.ecn_threshold_bytes = config_.ecn_threshold_bytes;
+  fwd.name = "bottleneck";
+  bottleneck_ = &sw_->add_port(std::make_unique<link>(sim, fwd, *receiver_));
+
+  link_config rev;
+  rev.rate_bps = config_.access_bps;
+  rev.propagation_delay = one_way;
+  rev.buffer_bytes = 4u << 20;
+  rev.name = "reverse-to-sender";
+  sw_->add_port(std::make_unique<link>(sim, rev, *sender_));
+
+  link_config rev_bg = rev;
+  rev_bg.name = "reverse-to-bg";
+  sw_->add_port(std::make_unique<link>(sim, rev_bg, *bg_sender_));
+
+  sw_->set_route([](const packet& pkt) -> std::size_t {
+    switch (pkt.dst) {
+      case receiver_id:
+        return 0;
+      case sender_id:
+        return 1;
+      case bg_sender_id:
+        return 2;
+      default:
+        throw std::logic_error{"dumbbell: unknown destination"};
+    }
+  });
+
+  // Access links host -> switch.
+  link_config acc;
+  acc.rate_bps = config_.access_bps;
+  acc.propagation_delay = tiny;
+  acc.buffer_bytes = 4u << 20;
+  acc.name = "access";
+  for (host* h : {sender_.get(), bg_sender_.get(), receiver_.get()}) {
+    access_links_.push_back(std::make_unique<link>(sim, acc, *sw_));
+    h->set_egress(access_links_.back().get());
+  }
+}
+
+// ------------------------------------------------------------ spine-leaf --
+
+spine_leaf::spine_leaf(sim::simulation& sim, spine_leaf_config config)
+    : config_{std::move(config)} {
+  if (config_.leaves == 0 || config_.spines == 0 ||
+      config_.hosts_per_leaf == 0) {
+    throw std::invalid_argument{"spine_leaf: empty dimension"};
+  }
+  const std::size_t n_hosts = config_.leaves * config_.hosts_per_leaf;
+
+  for (std::size_t l = 0; l < config_.leaves; ++l) {
+    leaves_.push_back(
+        std::make_unique<switch_node>("leaf" + std::to_string(l)));
+  }
+  for (std::size_t s = 0; s < config_.spines; ++s) {
+    spines_.push_back(
+        std::make_unique<switch_node>("spine" + std::to_string(s)));
+  }
+  for (std::size_t h = 0; h < n_hosts; ++h) {
+    hosts_.push_back(std::make_unique<host>(
+        sim, static_cast<host_id_t>(h), "h" + std::to_string(h),
+        config_.costs, config_.host_cpu_capacity));
+    hosts_.back()->set_cpu_gating(config_.cpu_gating);
+  }
+
+  link_config down;
+  down.rate_bps = config_.host_bps;
+  down.propagation_delay = config_.link_delay;
+  down.buffer_bytes = config_.buffer_bytes;
+  down.ecn_threshold_bytes = config_.ecn_threshold_bytes;
+
+  link_config up;
+  up.rate_bps = config_.fabric_bps;
+  up.propagation_delay = config_.link_delay;
+  up.buffer_bytes = config_.buffer_bytes;
+  up.ecn_threshold_bytes = config_.ecn_threshold_bytes;
+
+  leaf_uplink_port_.assign(config_.leaves,
+                           std::vector<std::size_t>(config_.spines, 0));
+
+  // Leaf ports: hosts_per_leaf downlinks, then one uplink per spine.
+  for (std::size_t l = 0; l < config_.leaves; ++l) {
+    for (std::size_t i = 0; i < config_.hosts_per_leaf; ++i) {
+      auto cfg = down;
+      cfg.name = "leaf" + std::to_string(l) + "->h";
+      leaves_[l]->add_port(std::make_unique<link>(
+          sim, cfg, *hosts_[l * config_.hosts_per_leaf + i]));
+    }
+    for (std::size_t s = 0; s < config_.spines; ++s) {
+      auto cfg = up;
+      cfg.name = "leaf" + std::to_string(l) + "->spine" + std::to_string(s);
+      leaves_[l]->add_port(std::make_unique<link>(sim, cfg, *spines_[s]));
+      leaf_uplink_port_[l][s] = config_.hosts_per_leaf + s;
+    }
+    const std::size_t hosts_per_leaf = config_.hosts_per_leaf;
+    const std::size_t spines = config_.spines;
+    const std::size_t this_leaf = l;
+    leaves_[l]->set_route([this_leaf, hosts_per_leaf,
+                           spines](const packet& pkt) -> std::size_t {
+      const auto dst_leaf = static_cast<std::size_t>(pkt.dst) / hosts_per_leaf;
+      if (dst_leaf == this_leaf) {
+        return static_cast<std::size_t>(pkt.dst) % hosts_per_leaf;
+      }
+      // Uplink: explicit path tag wins (XPath), else ECMP on flow id.
+      std::size_t spine;
+      if (pkt.path_tag != 0) {
+        spine = (pkt.path_tag - 1) % spines;
+      } else {
+        spine = static_cast<std::size_t>(pkt.flow_id * 2654435761u) % spines;
+      }
+      return hosts_per_leaf + spine;
+    });
+  }
+
+  // Spine ports: one downlink per leaf.
+  for (std::size_t s = 0; s < config_.spines; ++s) {
+    for (std::size_t l = 0; l < config_.leaves; ++l) {
+      auto cfg = up;
+      cfg.name = "spine" + std::to_string(s) + "->leaf" + std::to_string(l);
+      spines_[s]->add_port(std::make_unique<link>(sim, cfg, *leaves_[l]));
+    }
+    const std::size_t hosts_per_leaf = config_.hosts_per_leaf;
+    spines_[s]->set_route([hosts_per_leaf](const packet& pkt) -> std::size_t {
+      return static_cast<std::size_t>(pkt.dst) / hosts_per_leaf;
+    });
+  }
+
+  // Host access links (host -> its leaf).
+  link_config acc;
+  acc.rate_bps = config_.host_bps;
+  acc.propagation_delay = config_.link_delay;
+  acc.buffer_bytes = config_.buffer_bytes;
+  acc.ecn_threshold_bytes = config_.ecn_threshold_bytes;
+  for (std::size_t h = 0; h < n_hosts; ++h) {
+    auto cfg = acc;
+    cfg.name = "h" + std::to_string(h) + "->leaf";
+    access_links_.push_back(std::make_unique<link>(
+        sim, cfg, *leaves_[h / config_.hosts_per_leaf]));
+    hosts_[h]->set_egress(access_links_.back().get());
+  }
+}
+
+link& spine_leaf::uplink(std::size_t l, std::size_t s) {
+  return leaves_.at(l)->port(leaf_uplink_port_.at(l).at(s));
+}
+
+}  // namespace lf::netsim

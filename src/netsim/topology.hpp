@@ -1,0 +1,110 @@
+// Topology builders for the paper's three experimental setups:
+//  - dumbbell: 2 servers + switch + emulated-RTT bottleneck (the CC testbed
+//    of §2.2/§5.1, and the Mahimahi toy link of Fig. 2),
+//  - spine_leaf: the 2x2 spine-leaf fabric used for flow scheduling (§5.2,
+//    32 hosts) and load balancing (§5.3, 8 hosts).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kernelsim/cost_model.hpp"
+#include "netsim/host.hpp"
+#include "netsim/node.hpp"
+#include "sim/sim.hpp"
+
+namespace lf::netsim {
+
+// ------------------------------------------------------------- dumbbell --
+
+struct dumbbell_config {
+  double bottleneck_bps = 1e9;
+  double rtt = 10e-3;  ///< end-to-end round trip (netem emulation)
+  std::uint64_t buffer_bytes = 150 * 1000;  ///< paper: 150KB bottleneck buffer
+  std::uint64_t ecn_threshold_bytes =
+      std::numeric_limits<std::uint64_t>::max();
+  double access_bps = 100e9;  ///< server NIC rate (100GbE testbed)
+  double sender_cpu_capacity = 1.0;
+  kernelsim::cost_model costs{};
+};
+
+/// sender ---access--> [switch] ---bottleneck---> receiver
+///   ^                                               |
+///   +---------------- reverse path <----------------+
+/// A second, CPU-free host injects background UDP traffic ahead of the
+/// bottleneck to emulate congestion, exactly like the paper's 0.1 Gbps
+/// constant-rate UDP stream.
+class dumbbell {
+ public:
+  dumbbell(sim::simulation& sim, dumbbell_config config);
+
+  host& sender() noexcept { return *sender_; }
+  host& bg_sender() noexcept { return *bg_sender_; }
+  host& receiver() noexcept { return *receiver_; }
+  link& bottleneck() noexcept { return *bottleneck_; }
+  const dumbbell_config& config() const noexcept { return config_; }
+  const kernelsim::cost_model& costs() const noexcept { return config_.costs; }
+
+  static constexpr host_id_t sender_id = 1;
+  static constexpr host_id_t bg_sender_id = 2;
+  static constexpr host_id_t receiver_id = 3;
+
+ private:
+  dumbbell_config config_;
+  std::unique_ptr<switch_node> sw_;
+  std::unique_ptr<host> sender_;
+  std::unique_ptr<host> bg_sender_;
+  std::unique_ptr<host> receiver_;
+  // Access links (host -> switch) owned here; switch owns its egress ports.
+  std::vector<std::unique_ptr<link>> access_links_;
+  link* bottleneck_ = nullptr;
+};
+
+// ------------------------------------------------------------ spine-leaf --
+
+struct spine_leaf_config {
+  std::size_t leaves = 2;
+  std::size_t spines = 2;
+  std::size_t hosts_per_leaf = 16;  ///< 32 hosts total for flow scheduling
+  double host_bps = 10e9;
+  double fabric_bps = 40e9;  ///< leaf<->spine links
+  double link_delay = 2e-6;
+  std::uint64_t buffer_bytes = 250 * 1500;
+  /// DCTCP marking threshold (K): ~65 full-size packets at 10G.
+  std::uint64_t ecn_threshold_bytes = 65 * 1500;
+  double host_cpu_capacity = 1.0;
+  bool cpu_gating = false;  ///< FCT experiments disable per-packet CPU cost
+  kernelsim::cost_model costs{};
+};
+
+/// Standard two-tier Clos.  Uplink selection at the leaf: packets with
+/// path_tag != 0 take spine (path_tag - 1) (XPath-style explicit path
+/// control); otherwise an ECMP hash of the flow id picks the spine.
+class spine_leaf {
+ public:
+  spine_leaf(sim::simulation& sim, spine_leaf_config config);
+
+  std::size_t host_count() const noexcept { return hosts_.size(); }
+  host& host_at(std::size_t i) { return *hosts_.at(i); }
+  std::size_t leaf_of(std::size_t host_index) const noexcept {
+    return host_index / config_.hosts_per_leaf;
+  }
+  switch_node& leaf(std::size_t i) { return *leaves_.at(i); }
+  switch_node& spine(std::size_t i) { return *spines_.at(i); }
+  const spine_leaf_config& config() const noexcept { return config_; }
+  const kernelsim::cost_model& costs() const noexcept { return config_.costs; }
+
+  /// Uplink (leaf -> spine s) of leaf l, for congestion probing.
+  link& uplink(std::size_t l, std::size_t s);
+
+ private:
+  spine_leaf_config config_;
+  std::vector<std::unique_ptr<switch_node>> leaves_;
+  std::vector<std::unique_ptr<switch_node>> spines_;
+  std::vector<std::unique_ptr<host>> hosts_;
+  std::vector<std::unique_ptr<link>> access_links_;
+  // leaf_uplink_port_[l][s]: port index on leaf l reaching spine s.
+  std::vector<std::vector<std::size_t>> leaf_uplink_port_;
+};
+
+}  // namespace lf::netsim

@@ -1,0 +1,110 @@
+#include "netsim/workload.hpp"
+
+#include <stdexcept>
+
+namespace lf::netsim {
+
+cbr_source::cbr_source(sim::simulation& sim, host& src, host_id_t dst,
+                       flow_id_t flow, double rate_bps,
+                       std::uint32_t packet_bytes)
+    : sim_{sim}, src_{src}, dst_{dst}, flow_{flow}, rate_bps_{rate_bps},
+      packet_bytes_{packet_bytes} {
+  if (packet_bytes == 0) throw std::invalid_argument{"cbr: zero packet size"};
+}
+
+void cbr_source::start() {
+  if (running_) return;
+  running_ = true;
+  emit();
+}
+
+void cbr_source::emit() {
+  if (!running_) return;
+  if (rate_bps_ > 0.0) {
+    packet pkt;
+    pkt.flow_id = flow_;
+    pkt.dst = dst_;
+    pkt.seq = next_seq_;
+    pkt.payload_bytes = packet_bytes_;
+    next_seq_ += packet_bytes_;
+    // Background traffic bypasses the host CPU: it emulates congestion
+    // originating elsewhere in the network.
+    src_.send_packet_free(pkt);
+  }
+  const double gap =
+      rate_bps_ > 0.0
+          ? static_cast<double>(packet_bytes_ + k_header_bytes) * 8.0 / rate_bps_
+          : 1e-3;  // idle poll while rate is zero
+  sim_.schedule(gap, [this]() { emit(); });
+}
+
+empirical_cdf web_search_flow_sizes() {
+  // Digitized from the DCTCP paper's web-search workload CDF; values in
+  // bytes.  Heavy-tailed: >95% of bytes come from >1MB flows while most
+  // flows are small.
+  return empirical_cdf::from_knots({
+      {1000, 0.0},
+      {6000, 0.15},
+      {13000, 0.20},
+      {19000, 0.30},
+      {33000, 0.40},
+      {53000, 0.53},
+      {133000, 0.60},
+      {667000, 0.70},
+      {1333000, 0.80},
+      {3333000, 0.90},
+      {6667000, 0.95},
+      {20000000, 1.0},
+  });
+}
+
+flow_class classify_flow(std::uint64_t bytes) noexcept {
+  if (bytes < 10'000) return flow_class::short_flow;
+  if (bytes <= 100'000) return flow_class::mid_flow;
+  return flow_class::long_flow;
+}
+
+std::string_view to_string(flow_class c) noexcept {
+  switch (c) {
+    case flow_class::short_flow:
+      return "short(<10KB)";
+    case flow_class::mid_flow:
+      return "mid(10-100KB)";
+    case flow_class::long_flow:
+      return "long(>100KB)";
+  }
+  return "?";
+}
+
+poisson_flow_generator::poisson_flow_generator(
+    sim::simulation& sim, rng gen, double arrivals_per_sec, empirical_cdf sizes,
+    pair_chooser choose, flow_starter start)
+    : sim_{sim}, gen_{gen}, rate_{arrivals_per_sec}, sizes_{std::move(sizes)},
+      choose_{std::move(choose)}, start_flow_{std::move(start)} {
+  if (rate_ <= 0.0) throw std::invalid_argument{"poisson rate must be > 0"};
+  if (!choose_ || !start_flow_) {
+    throw std::invalid_argument{"poisson generator needs chooser and starter"};
+  }
+}
+
+void poisson_flow_generator::start(std::size_t max_flows) {
+  max_flows_ = max_flows;
+  sim_.schedule(gen_.exponential(rate_), [this]() { arrival(); });
+}
+
+void poisson_flow_generator::arrival() {
+  if (max_flows_ != 0 && generated_ >= max_flows_) return;
+  ++generated_;
+  flow_request req;
+  req.id = next_id_++;
+  const auto [src, dst] = choose_(gen_);
+  req.src = src;
+  req.dst = dst;
+  req.size_bytes =
+      static_cast<std::uint64_t>(std::max(1.0, sizes_.quantile(gen_.uniform())));
+  req.start_time = sim_.now();
+  start_flow_(req);
+  sim_.schedule(gen_.exponential(rate_), [this]() { arrival(); });
+}
+
+}  // namespace lf::netsim

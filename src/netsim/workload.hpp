@@ -1,0 +1,90 @@
+// Workload generation: constant-rate background traffic (the paper's
+// congestion emulation UDP stream), time-varying traffic patterns (for the
+// online-adaptation experiments), Poisson flow arrivals with empirical
+// flow-size distributions (DCTCP web-search workload for §5.2/§5.3).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "netsim/host.hpp"
+#include "netsim/packet.hpp"
+#include "sim/sim.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace lf::netsim {
+
+/// Constant-bit-rate UDP source attached to a host; rate adjustable at
+/// runtime to emulate changing traffic patterns (Fig. 5 / Fig. 12).
+class cbr_source {
+ public:
+  cbr_source(sim::simulation& sim, host& src, host_id_t dst, flow_id_t flow,
+             double rate_bps, std::uint32_t packet_bytes = 1460);
+
+  void start();
+  void stop() noexcept { running_ = false; }
+  /// Change the sending rate; takes effect at the next packet.
+  void set_rate(double rate_bps) noexcept { rate_bps_ = rate_bps; }
+  double rate() const noexcept { return rate_bps_; }
+
+ private:
+  void emit();
+
+  sim::simulation& sim_;
+  host& src_;
+  host_id_t dst_;
+  flow_id_t flow_;
+  double rate_bps_;
+  std::uint32_t packet_bytes_;
+  bool running_ = false;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// The web-search flow-size distribution from the DCTCP paper (Alizadeh et
+/// al., SIGCOMM'10, Fig. 4), as (bytes, cumulative probability) knots.
+empirical_cdf web_search_flow_sizes();
+
+/// Short/medium/long classification used in the paper's Figs. 16/17.
+enum class flow_class { short_flow, mid_flow, long_flow };
+flow_class classify_flow(std::uint64_t bytes) noexcept;
+std::string_view to_string(flow_class c) noexcept;
+
+/// Poisson open-loop flow generator: every arrival draws a size from the
+/// CDF and a (src, dst) pair via the chooser, then invokes start_flow.
+class poisson_flow_generator {
+ public:
+  struct flow_request {
+    flow_id_t id;
+    std::size_t src;
+    std::size_t dst;
+    std::uint64_t size_bytes;
+    double start_time;
+  };
+  using pair_chooser = std::function<std::pair<std::size_t, std::size_t>(rng&)>;
+  using flow_starter = std::function<void(const flow_request&)>;
+
+  poisson_flow_generator(sim::simulation& sim, rng gen, double arrivals_per_sec,
+                         empirical_cdf sizes, pair_chooser choose,
+                         flow_starter start);
+
+  /// Begin generating; stops after max_flows arrivals (0 = unbounded).
+  void start(std::size_t max_flows);
+
+  std::size_t generated() const noexcept { return generated_; }
+
+ private:
+  void arrival();
+
+  sim::simulation& sim_;
+  rng gen_;
+  double rate_;
+  empirical_cdf sizes_;
+  pair_chooser choose_;
+  flow_starter start_flow_;
+  std::size_t max_flows_ = 0;
+  std::size_t generated_ = 0;
+  flow_id_t next_id_ = 1;
+};
+
+}  // namespace lf::netsim

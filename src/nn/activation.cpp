@@ -1,0 +1,63 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace lf::nn {
+
+double activate(activation a, double x) noexcept {
+  switch (a) {
+    case activation::linear:
+      return x;
+    case activation::relu:
+      return x > 0.0 ? x : 0.0;
+    case activation::tanh_act:
+      return std::tanh(x);
+    case activation::sigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+  }
+  return x;
+}
+
+double activate_grad(activation a, double x) noexcept {
+  switch (a) {
+    case activation::linear:
+      return 1.0;
+    case activation::relu:
+      return x > 0.0 ? 1.0 : 0.0;
+    case activation::tanh_act: {
+      const double t = std::tanh(x);
+      return 1.0 - t * t;
+    }
+    case activation::sigmoid: {
+      const double s = 1.0 / (1.0 + std::exp(-x));
+      return s * (1.0 - s);
+    }
+  }
+  return 1.0;
+}
+
+std::string_view to_string(activation a) noexcept {
+  switch (a) {
+    case activation::linear:
+      return "linear";
+    case activation::relu:
+      return "relu";
+    case activation::tanh_act:
+      return "tanh";
+    case activation::sigmoid:
+      return "sigmoid";
+  }
+  return "linear";
+}
+
+activation activation_from_string(std::string_view name) {
+  if (name == "linear") return activation::linear;
+  if (name == "relu") return activation::relu;
+  if (name == "tanh") return activation::tanh_act;
+  if (name == "sigmoid") return activation::sigmoid;
+  throw std::invalid_argument{"unknown activation: " + std::string{name}};
+}
+
+}  // namespace lf::nn

@@ -1,0 +1,30 @@
+// Activation functions for the userspace (slow-path) network.  The
+// kernel-space snapshot replaces tanh/sigmoid with lookup tables (see
+// src/quant/lut.hpp); these are the exact reference implementations those
+// tables approximate.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace lf::nn {
+
+enum class activation {
+  linear,
+  relu,
+  tanh_act,
+  sigmoid,
+};
+
+/// f(x)
+double activate(activation a, double x) noexcept;
+
+/// f'(x) expressed in terms of x (not of f(x)).
+double activate_grad(activation a, double x) noexcept;
+
+std::string_view to_string(activation a) noexcept;
+
+/// Parse the names produced by to_string; throws std::invalid_argument.
+activation activation_from_string(std::string_view name);
+
+}  // namespace lf::nn

@@ -1,0 +1,71 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lf::nn {
+
+dense_layer::dense_layer(std::size_t input_size, std::size_t output_size,
+                         activation act, rng& gen)
+    : dense_layer{input_size, output_size, act} {
+  // Glorot-uniform; relu gets the He sqrt(2) correction.
+  double limit = std::sqrt(6.0 / static_cast<double>(in_ + out_));
+  if (act == activation::relu) limit *= std::sqrt(2.0);
+  for (auto& w : w_) w = gen.uniform(-limit, limit);
+  // Biases start at zero.
+}
+
+dense_layer::dense_layer(std::size_t input_size, std::size_t output_size,
+                         activation act)
+    : in_{input_size}, out_{output_size}, act_{act},
+      w_(input_size * output_size, 0.0), b_(output_size, 0.0) {
+  if (input_size == 0 || output_size == 0) {
+    throw std::invalid_argument{"dense_layer sizes must be nonzero"};
+  }
+}
+
+void dense_layer::forward(std::span<const double> x, std::span<double> y,
+                          std::span<double> pre) const {
+  if (x.size() != in_ || y.size() != out_) {
+    throw std::invalid_argument{"dense_layer::forward size mismatch"};
+  }
+  if (!pre.empty() && pre.size() != out_) {
+    throw std::invalid_argument{"dense_layer::forward pre size mismatch"};
+  }
+  for (std::size_t i = 0; i < out_; ++i) {
+    double acc = b_[i];
+    const double* row = &w_[i * in_];
+    for (std::size_t j = 0; j < in_; ++j) acc += row[j] * x[j];
+    if (!pre.empty()) pre[i] = acc;
+    y[i] = activate(act_, acc);
+  }
+}
+
+void dense_layer::backward(std::span<const double> x,
+                           std::span<const double> pre,
+                           std::span<const double> grad_y,
+                           std::span<double> grad_x, std::span<double> grad_w,
+                           std::span<double> grad_b) const {
+  if (x.size() != in_ || pre.size() != out_ || grad_y.size() != out_ ||
+      grad_w.size() != w_.size() || grad_b.size() != b_.size()) {
+    throw std::invalid_argument{"dense_layer::backward size mismatch"};
+  }
+  if (!grad_x.empty() && grad_x.size() != in_) {
+    throw std::invalid_argument{"dense_layer::backward grad_x size mismatch"};
+  }
+  for (auto& g : grad_x) g = 0.0;
+  for (std::size_t i = 0; i < out_; ++i) {
+    const double dpre = grad_y[i] * activate_grad(act_, pre[i]);
+    grad_b[i] += dpre;
+    const double* row = &w_[i * in_];
+    double* grow = &grad_w[i * in_];
+    for (std::size_t j = 0; j < in_; ++j) {
+      grow[j] += dpre * x[j];
+      if (!grad_x.empty()) grad_x[j] += dpre * row[j];
+    }
+  }
+}
+
+}  // namespace lf::nn

@@ -1,0 +1,69 @@
+// A fully-connected layer: y = act(W x + b).
+//
+// Weights are stored row-major (output-major), matching both the paper's
+// Listing 1 template ("weights[i][j]" with i over outputs) and the layout the
+// code generator emits, so the quantizer can hand rows straight through.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/activation.hpp"
+
+namespace lf {
+class rng;
+}
+
+namespace lf::nn {
+
+class dense_layer {
+ public:
+  /// Xavier/Glorot-uniform initialization (scaled for tanh/sigmoid; He-style
+  /// doubling for relu).
+  dense_layer(std::size_t input_size, std::size_t output_size, activation act,
+              rng& gen);
+
+  /// All-zero weights (used by deserialization).
+  dense_layer(std::size_t input_size, std::size_t output_size, activation act);
+
+  std::size_t input_size() const noexcept { return in_; }
+  std::size_t output_size() const noexcept { return out_; }
+  activation act() const noexcept { return act_; }
+
+  /// y = act(Wx + b). pre (optional) receives the pre-activation Wx + b for
+  /// use by backward(); pass {} to skip.
+  void forward(std::span<const double> x, std::span<double> y,
+               std::span<double> pre) const;
+
+  /// Backpropagate grad_y (dL/dy) through this layer.
+  ///   - x: the input used in forward
+  ///   - pre: the cached pre-activation
+  ///   - grad_x: receives dL/dx (may be empty for the first layer)
+  ///   - grad_w/grad_b: accumulated (+=) parameter gradients
+  void backward(std::span<const double> x, std::span<const double> pre,
+                std::span<const double> grad_y, std::span<double> grad_x,
+                std::span<double> grad_w, std::span<double> grad_b) const;
+
+  /// weight(i, j): weight from input j to output i.
+  double weight(std::size_t i, std::size_t j) const {
+    return w_[i * in_ + j];
+  }
+  double bias(std::size_t i) const { return b_[i]; }
+
+  std::span<double> weights() noexcept { return w_; }
+  std::span<const double> weights() const noexcept { return w_; }
+  std::span<double> biases() noexcept { return b_; }
+  std::span<const double> biases() const noexcept { return b_; }
+
+  std::size_t param_count() const noexcept { return w_.size() + b_.size(); }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  activation act_;
+  std::vector<double> w_;  // out_ x in_, row-major
+  std::vector<double> b_;  // out_
+};
+
+}  // namespace lf::nn

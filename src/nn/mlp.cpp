@@ -1,0 +1,206 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lf::nn {
+
+mlp::mlp(std::size_t input_size, std::span<const layer_spec> layers, rng& gen)
+    : input_size_{input_size} {
+  if (layers.empty()) throw std::invalid_argument{"mlp needs >= 1 layer"};
+  std::size_t in = input_size;
+  layers_.reserve(layers.size());
+  for (const auto& spec : layers) {
+    layers_.emplace_back(in, spec.output_size, spec.act, gen);
+    in = spec.output_size;
+  }
+}
+
+mlp::mlp(std::size_t input_size, std::span<const layer_spec> layers)
+    : input_size_{input_size} {
+  if (layers.empty()) throw std::invalid_argument{"mlp needs >= 1 layer"};
+  std::size_t in = input_size;
+  layers_.reserve(layers.size());
+  for (const auto& spec : layers) {
+    layers_.emplace_back(in, spec.output_size, spec.act);
+    in = spec.output_size;
+  }
+}
+
+std::size_t mlp::output_size() const noexcept {
+  return layers_.back().output_size();
+}
+
+std::vector<double> mlp::forward(std::span<const double> x) const {
+  if (x.size() != input_size_) {
+    throw std::invalid_argument{"mlp::forward input size mismatch"};
+  }
+  std::vector<double> cur(x.begin(), x.end());
+  std::vector<double> next;
+  for (const auto& layer : layers_) {
+    next.assign(layer.output_size(), 0.0);
+    layer.forward(cur, next, {});
+    cur.swap(next);
+  }
+  return cur;
+}
+
+std::vector<double> mlp::accumulate_gradient(std::span<const double> x,
+                                             std::span<const double> grad_out,
+                                             std::span<double> grad) const {
+  if (grad.size() != parameter_count()) {
+    throw std::invalid_argument{"mlp::accumulate_gradient grad size mismatch"};
+  }
+  // Forward pass caching activations and pre-activations per layer.
+  std::vector<std::vector<double>> acts;   // acts[0] = input, acts[i] = layer i-1 output
+  std::vector<std::vector<double>> pres;   // pres[i] = layer i pre-activation
+  acts.reserve(layers_.size() + 1);
+  pres.reserve(layers_.size());
+  acts.emplace_back(x.begin(), x.end());
+  for (const auto& layer : layers_) {
+    pres.emplace_back(layer.output_size(), 0.0);
+    std::vector<double> out(layer.output_size(), 0.0);
+    layer.forward(acts.back(), out, pres.back());
+    acts.push_back(std::move(out));
+  }
+  if (grad_out.size() != layers_.back().output_size()) {
+    throw std::invalid_argument{"mlp::accumulate_gradient grad_out mismatch"};
+  }
+  // Backward pass.
+  std::vector<double> grad_cur(grad_out.begin(), grad_out.end());
+  std::vector<double> grad_prev;
+  // Locate each layer's slice inside the flat grad vector.
+  std::vector<std::size_t> offsets(layers_.size());
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    offsets[i] = off;
+    off += layers_[i].param_count();
+  }
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    const auto& layer = layers_[li];
+    grad_prev.assign(layer.input_size(), 0.0);
+    auto gw = grad.subspan(offsets[li], layer.weights().size());
+    auto gb = grad.subspan(offsets[li] + layer.weights().size(),
+                           layer.biases().size());
+    layer.backward(acts[li], pres[li], grad_cur,
+                   li == 0 ? std::span<double>{} : std::span<double>{grad_prev},
+                   gw, gb);
+    grad_cur.swap(grad_prev);
+  }
+  return acts.back();
+}
+
+std::vector<double> mlp::parameters() const {
+  std::vector<double> out;
+  out.reserve(parameter_count());
+  for (const auto& layer : layers_) {
+    out.insert(out.end(), layer.weights().begin(), layer.weights().end());
+    out.insert(out.end(), layer.biases().begin(), layer.biases().end());
+  }
+  return out;
+}
+
+void mlp::set_parameters(std::span<const double> params) {
+  if (params.size() != parameter_count()) {
+    throw std::invalid_argument{"mlp::set_parameters size mismatch"};
+  }
+  std::size_t off = 0;
+  for (auto& layer : layers_) {
+    for (auto& w : layer.weights()) w = params[off++];
+    for (auto& b : layer.biases()) b = params[off++];
+  }
+}
+
+std::size_t mlp::parameter_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer.param_count();
+  return n;
+}
+
+double mlp::parameter_distance(const mlp& other) const {
+  if (!same_structure(other)) {
+    throw std::invalid_argument{"parameter_distance: structure mismatch"};
+  }
+  const auto a = parameters();
+  const auto b = other.parameters();
+  double ss = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(a.size()));
+}
+
+std::string mlp::describe() const {
+  std::ostringstream os;
+  os << input_size_;
+  for (const auto& layer : layers_) {
+    os << " -> " << layer.output_size() << "(" << to_string(layer.act()) << ")";
+  }
+  return os.str();
+}
+
+bool mlp::same_structure(const mlp& other) const noexcept {
+  if (input_size_ != other.input_size_ ||
+      layers_.size() != other.layers_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].output_size() != other.layers_[i].output_size() ||
+        layers_[i].act() != other.layers_[i].act()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+mlp make_aurora_net(rng& gen, std::size_t history) {
+  // Aurora (Jay et al., ICML'19): k-step history of {latency gradient,
+  // latency ratio, sending ratio}; two hidden FC layers of 32 and 16;
+  // scalar rate-change output in [-1, 1] via tanh.
+  const layer_spec specs[] = {
+      {32, activation::tanh_act},
+      {16, activation::tanh_act},
+      {1, activation::tanh_act},
+  };
+  return mlp{history * 3, specs, gen};
+}
+
+mlp make_mocc_net(rng& gen, std::size_t history) {
+  // MOCC (Ma et al., EuroSys'22): Aurora-style observations, hidden layers
+  // of 64 and 32.
+  const layer_spec specs[] = {
+      {64, activation::tanh_act},
+      {32, activation::tanh_act},
+      {1, activation::tanh_act},
+  };
+  return mlp{history * 3, specs, gen};
+}
+
+mlp make_ffnn_flow_size_net(rng& gen) {
+  // FFNN (FLUX, NSDI'19): flow-size predictor with two 5-neuron relu hidden
+  // layers.  Inputs: 8 flow-context features (see apps/flow_sched).
+  const layer_spec specs[] = {
+      {5, activation::relu},
+      {5, activation::relu},
+      {1, activation::linear},
+  };
+  return mlp{8, specs, gen};
+}
+
+mlp make_lb_mlp_net(rng& gen, std::size_t paths) {
+  // Load-balancing MLP (paper §5.3): two 12-neuron relu hidden layers;
+  // inputs: per-path {ECN fraction, sRTT, recent utilization} (3 per path);
+  // outputs: one score per path.
+  const layer_spec specs[] = {
+      {12, activation::relu},
+      {12, activation::relu},
+      {paths, activation::linear},
+  };
+  return mlp{paths * 3, specs, gen};
+}
+
+}  // namespace lf::nn

@@ -1,0 +1,77 @@
+// Multi-layer perceptron — the model family every NN in the paper belongs to
+// (Aurora: 32/16 tanh, MOCC: 64/32 tanh, FFNN: 5/5 relu, LB-MLP: 12/12 relu).
+//
+// Parameters are exposed as one flat vector so optimizers and the
+// quantizer/code-generator can treat the model generically.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+
+namespace lf {
+class rng;
+}
+
+namespace lf::nn {
+
+struct layer_spec {
+  std::size_t output_size = 0;
+  activation act = activation::linear;
+};
+
+class mlp {
+ public:
+  /// Random (Xavier) initialization.
+  mlp(std::size_t input_size, std::span<const layer_spec> layers, rng& gen);
+
+  /// Zero-initialized (for deserialization).
+  mlp(std::size_t input_size, std::span<const layer_spec> layers);
+
+  std::size_t input_size() const noexcept { return input_size_; }
+  std::size_t output_size() const noexcept;
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+  const dense_layer& layer(std::size_t i) const { return layers_.at(i); }
+  dense_layer& layer(std::size_t i) { return layers_.at(i); }
+
+  /// Inference: returns the output vector.
+  std::vector<double> forward(std::span<const double> x) const;
+
+  /// Backpropagation for a single sample.  Runs forward internally, then
+  /// accumulates (+=) parameter gradients for the loss whose output gradient
+  /// is grad_out (dL/dy).  Returns the forward output (useful when the
+  /// caller computes grad_out from it in two passes).
+  std::vector<double> accumulate_gradient(std::span<const double> x,
+                                          std::span<const double> grad_out,
+                                          std::span<double> grad) const;
+
+  /// Flattened parameters (layer 0 weights, layer 0 biases, layer 1 ...).
+  std::vector<double> parameters() const;
+  void set_parameters(std::span<const double> params);
+  std::size_t parameter_count() const noexcept;
+
+  /// Mean L2 distance between this model's parameters and another's.
+  double parameter_distance(const mlp& other) const;
+
+  /// Structure description, e.g. "3 -> 32(tanh) -> 16(tanh) -> 1(linear)".
+  std::string describe() const;
+
+  /// Structure equality (same shapes + activations).
+  bool same_structure(const mlp& other) const noexcept;
+
+ private:
+  std::size_t input_size_;
+  std::vector<dense_layer> layers_;
+};
+
+/// Convenience builders matching the paper's four evaluated networks.
+mlp make_aurora_net(rng& gen, std::size_t history = 10);
+mlp make_mocc_net(rng& gen, std::size_t history = 10);
+mlp make_ffnn_flow_size_net(rng& gen);
+mlp make_lb_mlp_net(rng& gen, std::size_t paths = 2);
+
+}  // namespace lf::nn

@@ -1,0 +1,64 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lf::nn {
+namespace {
+
+void check_sizes(std::span<double> params, std::span<const double> grads) {
+  if (params.size() != grads.size()) {
+    throw std::invalid_argument{"optimizer: params/grads size mismatch"};
+  }
+}
+
+}  // namespace
+
+void sgd::step(std::span<double> params, std::span<const double> grads) {
+  check_sizes(params, grads);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i] -= lr_ * grads[i];
+  }
+}
+
+void momentum_sgd::step(std::span<double> params,
+                        std::span<const double> grads) {
+  check_sizes(params, grads);
+  if (velocity_.size() != params.size()) velocity_.assign(params.size(), 0.0);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    velocity_[i] = beta_ * velocity_[i] + grads[i];
+    params[i] -= lr_ * velocity_[i];
+  }
+}
+
+void adam::step(std::span<double> params, std::span<const double> grads) {
+  check_sizes(params, grads);
+  if (m_.size() != params.size()) {
+    m_.assign(params.size(), 0.0);
+    v_.assign(params.size(), 0.0);
+    t_ = 0;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grads[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grads[i] * grads[i];
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    params[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+double clip_gradient_norm(std::span<double> grads, double max_norm) {
+  double ss = 0.0;
+  for (const double g : grads) ss += g * g;
+  const double norm = std::sqrt(ss);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (auto& g : grads) g *= scale;
+  }
+  return norm;
+}
+
+}  // namespace lf::nn

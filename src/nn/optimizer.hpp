@@ -1,0 +1,80 @@
+// First-order optimizers for the userspace slow path.  The paper notes that
+// implementing SGD/ADAM in kernel space is what kills datapath performance
+// (§2.3); here they live safely in userspace (simulated) where floating
+// point is free.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace lf::nn {
+
+class optimizer {
+ public:
+  virtual ~optimizer() = default;
+
+  /// Apply one update: params -= f(grads). Both spans must have equal,
+  /// stable sizes across calls (internal state is sized on first use).
+  virtual void step(std::span<double> params,
+                    std::span<const double> grads) = 0;
+
+  virtual void reset() = 0;
+  virtual double learning_rate() const noexcept = 0;
+  virtual void set_learning_rate(double lr) noexcept = 0;
+};
+
+class sgd final : public optimizer {
+ public:
+  explicit sgd(double lr) : lr_{lr} {}
+  void step(std::span<double> params, std::span<const double> grads) override;
+  void reset() override {}
+  double learning_rate() const noexcept override { return lr_; }
+  void set_learning_rate(double lr) noexcept override { lr_ = lr; }
+
+ private:
+  double lr_;
+};
+
+class momentum_sgd final : public optimizer {
+ public:
+  momentum_sgd(double lr, double beta = 0.9) : lr_{lr}, beta_{beta} {}
+  void step(std::span<double> params, std::span<const double> grads) override;
+  void reset() override { velocity_.clear(); }
+  double learning_rate() const noexcept override { return lr_; }
+  void set_learning_rate(double lr) noexcept override { lr_ = lr; }
+
+ private:
+  double lr_;
+  double beta_;
+  std::vector<double> velocity_;
+};
+
+class adam final : public optimizer {
+ public:
+  explicit adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8)
+      : lr_{lr}, beta1_{beta1}, beta2_{beta2}, eps_{eps} {}
+  void step(std::span<double> params, std::span<const double> grads) override;
+  void reset() override {
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+  }
+  double learning_rate() const noexcept override { return lr_; }
+  void set_learning_rate(double lr) noexcept override { lr_ = lr; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+  long t_ = 0;
+};
+
+/// Clip gradient L2 norm in place to max_norm; returns the pre-clip norm.
+double clip_gradient_norm(std::span<double> grads, double max_norm);
+
+}  // namespace lf::nn

@@ -1,0 +1,89 @@
+#include "nn/serialize.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace lf::nn {
+
+void save_mlp(const mlp& model, std::ostream& os) {
+  os << "liteflow-mlp v1\n";
+  os << "input " << model.input_size() << "\n";
+  os << "layers " << model.layer_count() << "\n";
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    const auto& layer = model.layer(i);
+    os << "layer " << layer.output_size() << " " << to_string(layer.act())
+       << "\n";
+  }
+  const auto params = model.parameters();
+  os << "params " << params.size() << "\n";
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    os << params[i] << ((i + 1) % 8 == 0 ? "\n" : " ");
+  }
+  os << "\n";
+}
+
+std::string save_mlp_to_string(const mlp& model) {
+  std::ostringstream os;
+  save_mlp(model, os);
+  return os.str();
+}
+
+namespace {
+
+void expect_token(std::istream& is, const std::string& want) {
+  std::string got;
+  if (!(is >> got) || got != want) {
+    throw std::runtime_error{"mlp load: expected '" + want + "', got '" + got +
+                             "'"};
+  }
+}
+
+}  // namespace
+
+mlp load_mlp(std::istream& is) {
+  expect_token(is, "liteflow-mlp");
+  expect_token(is, "v1");
+  expect_token(is, "input");
+  std::size_t input_size = 0;
+  if (!(is >> input_size) || input_size == 0) {
+    throw std::runtime_error{"mlp load: bad input size"};
+  }
+  expect_token(is, "layers");
+  std::size_t n_layers = 0;
+  if (!(is >> n_layers) || n_layers == 0) {
+    throw std::runtime_error{"mlp load: bad layer count"};
+  }
+  std::vector<layer_spec> specs;
+  specs.reserve(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    expect_token(is, "layer");
+    std::size_t out = 0;
+    std::string act;
+    if (!(is >> out >> act) || out == 0) {
+      throw std::runtime_error{"mlp load: bad layer spec"};
+    }
+    specs.push_back({out, activation_from_string(act)});
+  }
+  mlp model{input_size, specs};
+  expect_token(is, "params");
+  std::size_t count = 0;
+  if (!(is >> count) || count != model.parameter_count()) {
+    throw std::runtime_error{"mlp load: parameter count mismatch"};
+  }
+  std::vector<double> params(count);
+  for (auto& p : params) {
+    if (!(is >> p)) throw std::runtime_error{"mlp load: truncated parameters"};
+  }
+  model.set_parameters(params);
+  return model;
+}
+
+mlp load_mlp_from_string(const std::string& text) {
+  std::istringstream is{text};
+  return load_mlp(is);
+}
+
+}  // namespace lf::nn

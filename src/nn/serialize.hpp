@@ -1,0 +1,28 @@
+// Text (de)serialization of MLP models.  This is the "NN Freezing Interface"
+// artifact (§4.1): the userspace service saves the model, and the snapshot
+// pipeline reads it back for quantization and code generation — exactly the
+// file hand-off the paper describes between the trainer and LiteFlow.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/mlp.hpp"
+
+namespace lf::nn {
+
+/// Format:
+///   liteflow-mlp v1
+///   input <n>
+///   layers <k>
+///   layer <out> <activation>       (k times)
+///   params <count>
+///   <count whitespace-separated doubles, full precision>
+void save_mlp(const mlp& model, std::ostream& os);
+std::string save_mlp_to_string(const mlp& model);
+
+/// Throws std::runtime_error on malformed input.
+mlp load_mlp(std::istream& is);
+mlp load_mlp_from_string(const std::string& text);
+
+}  // namespace lf::nn

@@ -1,0 +1,77 @@
+// Decision-tree snapshot: the paper's other "lightweight NN" option.
+//
+// §2.3 discusses converting a NN into a C/C++-compatible decision tree
+// (NuevoMatch-style) as an alternative kernel-deployable inference artifact.
+// This implements that comparator: a CART regression tree *distilled* from
+// a trained MLP by sampling its input domain.  The tree is integer-only
+// (quantized thresholds and leaf values) and evaluates in O(depth) with no
+// multiplications at all — cheaper than the quantized MLP — but it is a
+// static approximation: it cannot be tuned online, which is precisely the
+// property LiteFlow's slow path restores.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "util/fixed_point.hpp"
+#include "util/rng.hpp"
+
+namespace lf::quant {
+
+using fp::s64;
+
+struct dt_config {
+  std::size_t max_depth = 10;
+  std::size_t min_samples_leaf = 16;
+  std::size_t training_samples = 4096;
+  /// Input-domain box the teacher model is sampled over.
+  double input_low = -1.0;
+  double input_high = 1.0;
+  /// Candidate split thresholds probed per feature (quantile grid).
+  std::size_t candidate_thresholds = 8;
+  s64 io_scale = 1000;
+  std::uint64_t seed = 1;
+};
+
+class decision_tree_snapshot {
+ public:
+  /// Distill a tree from the teacher model.
+  static decision_tree_snapshot distill(const nn::mlp& teacher,
+                                        const dt_config& config);
+
+  /// Integer-only inference: inputs/outputs at io_scale fixed point.
+  std::vector<s64> infer(std::span<const s64> input_q) const;
+
+  /// Float convenience wrapper (quantize, walk, dequantize).
+  std::vector<double> infer_float(std::span<const double> input) const;
+
+  std::size_t input_size() const noexcept { return input_size_; }
+  std::size_t output_size() const noexcept { return output_size_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t leaf_count() const noexcept;
+  std::size_t depth() const noexcept;
+  s64 io_scale() const noexcept { return io_scale_; }
+
+  /// Mean absolute error vs the teacher over fresh random inputs.
+  double mean_abs_error(const nn::mlp& teacher, std::size_t probes,
+                        std::uint64_t seed) const;
+
+ private:
+  struct node {
+    int feature = -1;      ///< -1 marks a leaf
+    s64 threshold_q = 0;   ///< go left if input[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    std::vector<s64> leaf_value_q;  ///< outputs, io_scale fixed point
+  };
+
+  decision_tree_snapshot() = default;
+
+  std::size_t input_size_ = 0;
+  std::size_t output_size_ = 0;
+  s64 io_scale_ = 1;
+  std::vector<node> nodes_;  ///< nodes_[0] is the root
+};
+
+}  // namespace lf::quant

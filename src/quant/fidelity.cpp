@@ -1,0 +1,43 @@
+#include "quant/fidelity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lf::quant {
+
+fidelity_report evaluate_fidelity(const nn::mlp& f,
+                                  const quantized_mlp& f_prime,
+                                  std::span<const std::vector<double>> batch) {
+  fidelity_report report;
+  if (batch.empty()) return report;
+  if (f.input_size() != f_prime.input_size() ||
+      f.output_size() != f_prime.output_size()) {
+    throw std::invalid_argument{"evaluate_fidelity: model shape mismatch"};
+  }
+  report.min_loss = std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  for (const auto& x : batch) {
+    const auto y = f.forward(x);
+    const auto y_prime = f_prime.infer_float(x);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      loss = std::max(loss, std::abs(y_prime[i] - y[i]));
+    }
+    report.min_loss = std::min(report.min_loss, loss);
+    report.max_loss = std::max(report.max_loss, loss);
+    total += loss;
+  }
+  report.samples = batch.size();
+  report.mean_loss = total / static_cast<double>(batch.size());
+  return report;
+}
+
+bool update_necessary(const fidelity_report& report, double alpha,
+                      double o_min, double o_max) {
+  if (report.samples == 0) return false;
+  return report.min_loss > alpha * (o_max - o_min);
+}
+
+}  // namespace lf::quant

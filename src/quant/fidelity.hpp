@@ -1,0 +1,32 @@
+// Fidelity loss (§3.3, Eq. 1): L(x) = |f'(x) - f(x)| between the userspace
+// model f and the kernel snapshot f'.  LiteFlow updates the snapshot only
+// when min over the batch of L(x) exceeds alpha * (Omax - Omin) — the most
+// conservative choice, minimizing snapshot-update interference.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "quant/quantized_mlp.hpp"
+
+namespace lf::quant {
+
+struct fidelity_report {
+  double min_loss = 0.0;
+  double max_loss = 0.0;
+  double mean_loss = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Evaluate |f'(x) - f(x)| over a batch of inputs.  Multi-output models use
+/// the max over output dimensions per sample.
+fidelity_report evaluate_fidelity(const nn::mlp& f, const quantized_mlp& f_prime,
+                                  std::span<const std::vector<double>> batch);
+
+/// The paper's necessity test: update only if the *minimum* fidelity loss
+/// exceeds alpha * (o_max - o_min).
+bool update_necessary(const fidelity_report& report, double alpha,
+                      double o_min, double o_max);
+
+}  // namespace lf::quant

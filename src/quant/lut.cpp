@@ -1,0 +1,76 @@
+#include "quant/lut.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lf::quant {
+
+lookup_table::lookup_table(const std::function<double(double)>& f, double lo,
+                           double hi, std::size_t entries, s64 scale)
+    : lo_{lo}, hi_{hi}, scale_{scale} {
+  if (entries < 2) throw std::invalid_argument{"lut needs >= 2 entries"};
+  if (hi <= lo) throw std::invalid_argument{"lut needs hi > lo"};
+  if (scale <= 0) throw std::invalid_argument{"lut scale must be positive"};
+  lo_q_ = static_cast<s64>(std::llround(lo * static_cast<double>(scale)));
+  const s64 hi_q = static_cast<s64>(std::llround(hi * static_cast<double>(scale)));
+  step_num_ = hi_q - lo_q_;
+  values_.reserve(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) /
+                              static_cast<double>(entries - 1);
+    values_.push_back(
+        static_cast<s64>(std::llround(f(x) * static_cast<double>(scale))));
+  }
+}
+
+lookup_table lookup_table::for_activation(nn::activation act,
+                                          std::size_t entries, s64 scale) {
+  switch (act) {
+    case nn::activation::tanh_act:
+      // tanh saturates to +-1 outside ~[-8, 8] well below the table's own
+      // resolution, so clamping at the boundary entries is exact there.
+      return lookup_table{[](double x) { return std::tanh(x); }, -8.0, 8.0,
+                          entries, scale};
+    case nn::activation::sigmoid:
+      return lookup_table{[](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+                          -12.0, 12.0, entries, scale};
+    default:
+      throw std::invalid_argument{
+          "lookup_table only approximates tanh/sigmoid"};
+  }
+}
+
+s64 lookup_table::eval(s64 x_q) const noexcept {
+  const auto n = static_cast<s64>(values_.size());
+  if (x_q <= lo_q_) return values_.front();
+  if (x_q >= lo_q_ + step_num_) return values_.back();
+  // Position within the table in units of 1/(n-1) of the domain:
+  // pos = (x_q - lo_q) * (n-1) / step_num, with remainder for interpolation.
+  const s64 off = x_q - lo_q_;
+  const __int128 scaled = static_cast<__int128>(off) * (n - 1);
+  auto idx = static_cast<s64>(scaled / step_num_);
+  if (idx >= n - 1) return values_.back();
+  const auto rem = static_cast<s64>(scaled % step_num_);  // in [0, step_num)
+  const s64 y0 = values_[static_cast<std::size_t>(idx)];
+  const s64 y1 = values_[static_cast<std::size_t>(idx) + 1];
+  return y0 + fp::mul_div(y1 - y0, rem, step_num_);
+}
+
+double lookup_table::eval_float(double x) const noexcept {
+  const auto x_q =
+      static_cast<s64>(std::llround(x * static_cast<double>(scale_)));
+  return static_cast<double>(eval(x_q)) / static_cast<double>(scale_);
+}
+
+double lookup_table::max_abs_error(const std::function<double(double)>& f,
+                                   std::size_t probes) const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < probes; ++i) {
+    const double x = lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                              static_cast<double>(probes - 1);
+    worst = std::max(worst, std::abs(eval_float(x) - f(x)));
+  }
+  return worst;
+}
+
+}  // namespace lf::quant

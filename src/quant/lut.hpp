@@ -1,0 +1,64 @@
+// Integer lookup-table approximation of nonlinear activations (§3.1).
+//
+// The kernel cannot call tanh(); the paper's snapshot generator replaces such
+// layers with a lookup table because (unlike a Taylor expansion) the table
+// keeps a uniform precision over its whole domain and evaluates in constant
+// time.  We store pre-scaled integer outputs and interpolate linearly between
+// entries using only 64-bit integer arithmetic, so the generated C code and
+// this in-memory engine agree exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "util/fixed_point.hpp"
+
+namespace lf::quant {
+
+using fp::s64;
+
+class lookup_table {
+ public:
+  /// Build a table of `entries` samples of `f` over [lo, hi].  Inputs and
+  /// outputs are fixed-point integers with scale `scale` (value ~= q/scale).
+  /// Inputs outside the domain clamp to the boundary entries, which is the
+  /// right behaviour for saturating activations (tanh, sigmoid).
+  lookup_table(const std::function<double(double)>& f, double lo, double hi,
+               std::size_t entries, s64 scale);
+
+  /// Convenience for the supported activations.
+  static lookup_table for_activation(nn::activation act, std::size_t entries,
+                                     s64 scale);
+
+  /// Integer-only evaluation with linear interpolation between entries.
+  s64 eval(s64 x_q) const noexcept;
+
+  /// Evaluate through the table in the float domain (quantize, eval,
+  /// dequantize).  Used by precision tests.
+  double eval_float(double x) const noexcept;
+
+  /// Maximum absolute error vs. the reference function, probed on a dense
+  /// grid of `probes` points across the domain.
+  double max_abs_error(const std::function<double(double)>& f,
+                       std::size_t probes = 4096) const;
+
+  std::size_t size() const noexcept { return values_.size(); }
+  s64 scale() const noexcept { return scale_; }
+  s64 domain_low_q() const noexcept { return lo_q_; }
+  s64 domain_span_q() const noexcept { return step_num_; }
+  double domain_low() const noexcept { return lo_; }
+  double domain_high() const noexcept { return hi_; }
+  const std::vector<s64>& values() const noexcept { return values_; }
+
+ private:
+  double lo_;
+  double hi_;
+  s64 scale_;
+  s64 lo_q_;       // lo * scale
+  s64 step_num_;   // (hi-lo)*scale, numerator of the step between entries
+  std::vector<s64> values_;
+};
+
+}  // namespace lf::quant

@@ -1,0 +1,107 @@
+#include "quant/quantized_mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lf::quant {
+
+quantized_mlp::quantized_mlp(std::size_t input_size, s64 io_scale,
+                             std::vector<qdense_layer> layers)
+    : input_size_{input_size}, io_scale_{io_scale}, layers_{std::move(layers)} {
+  if (layers_.empty()) throw std::invalid_argument{"quantized_mlp: no layers"};
+  if (io_scale <= 0) throw std::invalid_argument{"quantized_mlp: bad scale"};
+  std::size_t in = input_size_;
+  for (const auto& layer : layers_) {
+    if (layer.input_size != in) {
+      throw std::invalid_argument{"quantized_mlp: layer size chain broken"};
+    }
+    if (layer.weights.size() != layer.input_size * layer.output_size ||
+        layer.biases.size() != layer.output_size) {
+      throw std::invalid_argument{"quantized_mlp: parameter shape mismatch"};
+    }
+    if (layer.weight_scale <= 0) {
+      throw std::invalid_argument{"quantized_mlp: bad weight scale"};
+    }
+    const bool needs_lut = layer.act == nn::activation::tanh_act ||
+                           layer.act == nn::activation::sigmoid;
+    if (needs_lut != layer.lut.has_value()) {
+      throw std::invalid_argument{
+          "quantized_mlp: lut presence inconsistent with activation"};
+    }
+    in = layer.output_size;
+  }
+}
+
+std::size_t quantized_mlp::output_size() const noexcept {
+  return layers_.back().output_size;
+}
+
+std::vector<s64> quantized_mlp::infer(std::span<const s64> input_q) const {
+  if (input_q.size() != input_size_) {
+    throw std::invalid_argument{"quantized_mlp::infer input size mismatch"};
+  }
+  std::vector<s64> cur(input_q.begin(), input_q.end());
+  std::vector<s64> next;
+  for (const auto& layer : layers_) {
+    next.assign(layer.output_size, 0);
+    for (std::size_t i = 0; i < layer.output_size; ++i) {
+      // MAC at scale weight_scale * io_scale; biases are pre-scaled to match.
+      s64 acc = layer.biases[i];
+      const s64* row = &layer.weights[i * layer.input_size];
+      for (std::size_t j = 0; j < layer.input_size; ++j) {
+        acc = fp::sat_add(acc, fp::sat_mul(row[j], cur[j]));
+      }
+      // Requantize back to io_scale before the activation.
+      const s64 pre = fp::div_round(acc, layer.weight_scale);
+      switch (layer.act) {
+        case nn::activation::linear:
+          next[i] = pre;
+          break;
+        case nn::activation::relu:
+          next[i] = pre > 0 ? pre : 0;
+          break;
+        case nn::activation::tanh_act:
+        case nn::activation::sigmoid:
+          next[i] = layer.lut->eval(pre);
+          break;
+      }
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
+std::vector<double> quantized_mlp::infer_float(
+    std::span<const double> input) const {
+  if (input.size() != input_size_) {
+    throw std::invalid_argument{"quantized_mlp::infer_float size mismatch"};
+  }
+  std::vector<s64> q(input.size());
+  const auto scale = static_cast<double>(io_scale_);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    q[i] = static_cast<s64>(std::llround(input[i] * scale));
+  }
+  const auto out_q = infer(q);
+  std::vector<double> out(out_q.size());
+  for (std::size_t i = 0; i < out_q.size(); ++i) {
+    out[i] = static_cast<double>(out_q[i]) / scale;
+  }
+  return out;
+}
+
+std::size_t quantized_mlp::mac_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer.input_size * layer.output_size;
+  return n;
+}
+
+std::size_t quantized_mlp::parameter_bytes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    n += (layer.weights.size() + layer.biases.size()) * sizeof(s64);
+    if (layer.lut) n += layer.lut->values().size() * sizeof(s64);
+  }
+  return n;
+}
+
+}  // namespace lf::quant

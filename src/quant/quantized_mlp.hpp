@@ -1,0 +1,69 @@
+// The integer-only snapshot program (§3.1).
+//
+// A quantized_mlp is what the paper installs into the kernel as a generated
+// module: weights, biases and activation lookup tables baked into integer
+// arrays, evaluated with 64-bit integer arithmetic only.  src/codegen emits
+// this same program as C source text; this class is the executable form the
+// simulated kernel runs (and the oracle the generated code is golden-tested
+// against).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "quant/lut.hpp"
+#include "util/fixed_point.hpp"
+
+namespace lf::quant {
+
+using fp::s64;
+
+/// One quantized fully-connected layer followed by its activation.
+struct qdense_layer {
+  std::size_t input_size = 0;
+  std::size_t output_size = 0;
+  std::vector<s64> weights;  ///< output-major, scale = weight_scale
+  std::vector<s64> biases;   ///< scale = weight_scale * io_scale
+  s64 weight_scale = 1;      ///< divisor applied after the MAC to requantize
+  nn::activation act = nn::activation::linear;
+  std::optional<lookup_table> lut;  ///< present iff act is tanh/sigmoid
+};
+
+class quantized_mlp {
+ public:
+  quantized_mlp(std::size_t input_size, s64 io_scale,
+                std::vector<qdense_layer> layers);
+
+  std::size_t input_size() const noexcept { return input_size_; }
+  std::size_t output_size() const noexcept;
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+  const qdense_layer& layer(std::size_t i) const { return layers_.at(i); }
+
+  /// Fixed-point scale of inputs and outputs: q ~= value * io_scale.
+  /// This is the paper's scaling factor C ("1000x scaling").
+  s64 io_scale() const noexcept { return io_scale_; }
+
+  /// Integer fast-path inference (this is the exact arithmetic the kernel
+  /// snapshot performs; no floating point anywhere on this path).
+  std::vector<s64> infer(std::span<const s64> input_q) const;
+
+  /// Float convenience wrapper: quantize inputs, run the integer program,
+  /// dequantize outputs.  Used for fidelity evaluation against the FP model.
+  std::vector<double> infer_float(std::span<const double> input) const;
+
+  /// Integer multiply-accumulate count of one inference (cost model input).
+  std::size_t mac_count() const noexcept;
+
+  /// Total bytes of baked parameters (weights + biases + LUTs).
+  std::size_t parameter_bytes() const noexcept;
+
+ private:
+  std::size_t input_size_;
+  s64 io_scale_;
+  std::vector<qdense_layer> layers_;
+};
+
+}  // namespace lf::quant

@@ -1,0 +1,69 @@
+#include "quant/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lf::quant {
+namespace {
+
+/// Largest power-of-two scale S such that |w_max| * S still leaves ample
+/// headroom in the 64-bit MAC, capped by max_scale.  Larger S = finer weight
+/// resolution.
+s64 choose_weight_scale(std::span<const double> weights, s64 max_scale) {
+  double w_max = 0.0;
+  for (const double w : weights) w_max = std::max(w_max, std::abs(w));
+  if (w_max == 0.0) return max_scale;
+  // Keep |w_q| below 2^31 so that (w_q * x_q) stays far from s64 overflow
+  // even after summing thousands of terms.
+  s64 scale = 1;
+  while (scale < max_scale &&
+         w_max * static_cast<double>(scale * 2) < 2147483647.0) {
+    scale *= 2;
+  }
+  return scale;
+}
+
+}  // namespace
+
+quantized_mlp quantize(const nn::mlp& model, const quantizer_config& config) {
+  if (config.io_scale <= 0) {
+    throw std::invalid_argument{"quantizer: io_scale must be positive"};
+  }
+  std::vector<qdense_layer> layers;
+  layers.reserve(model.layer_count());
+  const auto io_scale = static_cast<double>(config.io_scale);
+  for (std::size_t li = 0; li < model.layer_count(); ++li) {
+    const auto& fl = model.layer(li);
+    qdense_layer ql;
+    ql.input_size = fl.input_size();
+    ql.output_size = fl.output_size();
+    ql.act = fl.act();
+    ql.weight_scale =
+        choose_weight_scale(fl.weights(), config.max_weight_scale);
+    const auto w_scale = static_cast<double>(ql.weight_scale);
+    ql.weights.reserve(fl.weights().size());
+    for (const double w : fl.weights()) {
+      ql.weights.push_back(static_cast<s64>(std::llround(w * w_scale)));
+    }
+    ql.biases.reserve(fl.biases().size());
+    for (const double b : fl.biases()) {
+      // Bias participates in the MAC whose scale is weight_scale * io_scale.
+      ql.biases.push_back(
+          static_cast<s64>(std::llround(b * w_scale * io_scale)));
+    }
+    if (ql.act == nn::activation::tanh_act ||
+        ql.act == nn::activation::sigmoid) {
+      ql.lut = lookup_table::for_activation(ql.act, config.lut_entries,
+                                            config.io_scale);
+    }
+    layers.push_back(std::move(ql));
+  }
+  return quantized_mlp{model.input_size(), config.io_scale, std::move(layers)};
+}
+
+quantized_mlp quantize(const nn::mlp& model) {
+  return quantize(model, quantizer_config{});
+}
+
+}  // namespace lf::quant

@@ -1,0 +1,28 @@
+// Gym-style environment interface (the paper trains Aurora with OpenAI GYM
+// and a Python network simulator; ns3-gym for flow scheduling).  LiteFlow's
+// userspace slow path is framework-agnostic — this is the interface our
+// bundled trainer programs against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace lf::rl {
+
+struct step_result {
+  std::vector<double> observation;
+  double reward = 0.0;
+  bool done = false;
+};
+
+class env {
+ public:
+  virtual ~env() = default;
+
+  virtual std::vector<double> reset() = 0;
+  virtual step_result step(std::span<const double> action) = 0;
+  virtual std::size_t observation_size() const noexcept = 0;
+  virtual std::size_t action_size() const noexcept = 0;
+};
+
+}  // namespace lf::rl

@@ -1,0 +1,119 @@
+#include "rl/link_env.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "transport/cong_ctrl.hpp"
+
+namespace lf::rl {
+
+link_env::link_env(link_env_config config, rng gen)
+    : config_{config}, gen_{gen} {
+  if (config_.history == 0 || config_.bandwidth_bps <= 0.0) {
+    throw std::invalid_argument{"link_env: bad config"};
+  }
+}
+
+std::vector<double> link_env::reset() {
+  rate_bps_ = available_bandwidth() *
+              gen_.uniform(config_.init_rate_frac_min,
+                           config_.init_rate_frac_max);
+  queue_bytes_ = 0.0;
+  prev_latency_ = config_.base_rtt;
+  steps_ = 0;
+  features_.assign(config_.history * 3, 0.0);
+  return observation();
+}
+
+void link_env::push_features(double grad, double lat_ratio,
+                             double send_ratio) {
+  features_.push_back(std::clamp(grad, -10.0, 10.0));
+  features_.push_back(std::clamp(lat_ratio, 0.0, 10.0));
+  features_.push_back(std::clamp(send_ratio, 0.0, 10.0));
+  while (features_.size() > config_.history * 3) features_.pop_front();
+}
+
+std::vector<double> link_env::observation() const {
+  return {features_.begin(), features_.end()};
+}
+
+step_result link_env::step(std::span<const double> action) {
+  if (action.size() != 1) throw std::invalid_argument{"link_env: bad action"};
+  rate_bps_ = transport::apply_rate_action(
+      rate_bps_, action[0], config_.action_delta, 0.01 * available_bandwidth(),
+      4.0 * config_.bandwidth_bps);
+
+  const double dt = config_.mi_seconds;
+  const double capacity = config_.bandwidth_bps;
+  const double offered = rate_bps_ + config_.background_bps;
+
+  // Fluid queue dynamics over the interval.
+  const double sent_bytes = rate_bps_ * dt / 8.0;
+  double queue_in = (offered - capacity) * dt / 8.0;
+  double dropped_bytes = 0.0;
+  if (queue_in > 0.0) {
+    const double free = config_.queue_bytes - queue_bytes_;
+    if (queue_in > free) {
+      dropped_bytes = (queue_in - free) * (rate_bps_ / offered);
+      queue_in = free;
+    }
+    queue_bytes_ += std::max(0.0, queue_in);
+  } else {
+    queue_bytes_ = std::max(0.0, queue_bytes_ + queue_in);
+  }
+
+  // Random (non-congestion) loss.
+  const double random_lost = sent_bytes * config_.random_loss;
+  const double delivered =
+      std::max(0.0, sent_bytes - dropped_bytes - random_lost);
+  const double throughput_bps =
+      std::min(delivered * 8.0 / dt,
+               capacity * rate_bps_ / std::max(offered, 1.0));
+
+  const double latency = config_.base_rtt + queue_bytes_ * 8.0 / capacity;
+  const double grad = (latency - prev_latency_) / dt;
+  prev_latency_ = latency;
+
+  double lat_ratio = latency / config_.base_rtt - 1.0;
+  double send_ratio =
+      throughput_bps > 0.0 ? rate_bps_ / throughput_bps - 1.0 : 10.0;
+  const double loss_rate =
+      sent_bytes > 0.0 ? (dropped_bytes + random_lost) / sent_bytes : 0.0;
+  if (config_.feature_noise > 0.0) {
+    lat_ratio = std::max(0.0, lat_ratio + gen_.normal(0.0, config_.feature_noise));
+    send_ratio += gen_.normal(0.0, config_.feature_noise);
+  }
+  push_features(grad, lat_ratio, send_ratio);
+
+  // Aurora-style reward, normalized by the available bandwidth so the same
+  // weights work across environments.
+  const double avail = available_bandwidth();
+  const double reward = config_.throughput_weight * (throughput_bps / avail) -
+                        config_.latency_weight * lat_ratio -
+                        config_.loss_weight * loss_rate;
+
+  step_result result;
+  result.observation = observation();
+  result.reward = reward;
+  result.done = ++steps_ >= config_.steps_per_episode;
+  return result;
+}
+
+void link_env::set_link(double bandwidth_bps, double base_rtt,
+                        double random_loss) {
+  if (bandwidth_bps <= 0.0 || base_rtt <= 0.0) {
+    throw std::invalid_argument{"link_env::set_link: bad parameters"};
+  }
+  config_.bandwidth_bps = bandwidth_bps;
+  config_.base_rtt = base_rtt;
+  config_.random_loss = std::clamp(random_loss, 0.0, 0.9);
+}
+
+void link_env::set_background(double background_bps) {
+  if (background_bps < 0.0 || background_bps >= config_.bandwidth_bps) {
+    throw std::invalid_argument{"link_env::set_background: bad rate"};
+  }
+  config_.background_bps = background_bps;
+}
+
+}  // namespace lf::rl

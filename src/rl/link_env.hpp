@@ -1,0 +1,98 @@
+// Fluid-model single-link congestion-control environment, mirroring the
+// Python Gym simulator Aurora trains in (PCC-RL's src/gym).
+//
+// One step is one monitor interval: the sender offers rate r into a link of
+// bandwidth B with a drop-tail queue of Q bytes and base RTT.  Queue, loss
+// and latency evolve with fluid dynamics; observations are the same
+// scale-free Aurora features the kernel datapath collects (latency
+// gradient, latency ratio, send ratio) over a k-interval history, so a
+// policy trained here drops directly into the snapshot pipeline.
+//
+// The environment doubles as LiteFlow's online-adaptation vehicle: the
+// slow path re-estimates {bandwidth, rtt, random loss} from each kernel
+// batch (see core/userspace_service) and continues training against the
+// re-parameterized env — the paper's "feed the batched data into the
+// simulator" mode (§3.2).
+#pragma once
+
+#include <deque>
+
+#include "rl/env.hpp"
+#include "util/rng.hpp"
+
+namespace lf::rl {
+
+struct link_env_config {
+  double bandwidth_bps = 1e9;
+  double base_rtt = 10e-3;
+  double queue_bytes = 150 * 1000;
+  /// Stochastic (non-congestion) loss probability, per interval.
+  double random_loss = 0.0;
+  /// Constant-rate background traffic sharing the link.
+  double background_bps = 0.1e9;
+  std::size_t history = 10;  ///< observation history length (Aurora: k=10)
+  std::size_t steps_per_episode = 80;
+  double mi_seconds = 10e-3;  ///< one monitor interval
+  /// Initial sender rate as a fraction of bandwidth, randomized per episode
+  /// in [min, max].
+  double init_rate_frac_min = 0.3;
+  double init_rate_frac_max = 1.5;
+  /// Aurora's rate-change step size.
+  double action_delta = 0.05;
+  /// Std-dev of Gaussian observation noise added to the latency-ratio and
+  /// send-ratio features each step.  Real monitor intervals carry heavy
+  /// packet-quantization noise; training with matching noise forces the
+  /// policy to average over its history window instead of overreacting to
+  /// one interval (domain randomization).
+  double feature_noise = 0.0;
+  // Reward weights (Aurora-flavoured: reward throughput, penalize latency
+  // inflation and loss).
+  double throughput_weight = 10.0;
+  double latency_weight = 5.0;
+  double loss_weight = 20.0;
+};
+
+class link_env final : public env {
+ public:
+  link_env(link_env_config config, rng gen);
+
+  std::vector<double> reset() override;
+  step_result step(std::span<const double> action) override;
+
+  std::size_t observation_size() const noexcept override {
+    return config_.history * 3;
+  }
+  std::size_t action_size() const noexcept override { return 1; }
+
+  double current_rate_bps() const noexcept { return rate_bps_; }
+  double available_bandwidth() const noexcept {
+    return config_.bandwidth_bps - config_.background_bps;
+  }
+  const link_env_config& config() const noexcept { return config_; }
+
+  /// Re-parameterize the environment (online adaptation to fresh kernel
+  /// measurements) without resetting the episode counter.
+  void set_link(double bandwidth_bps, double base_rtt, double random_loss);
+
+  /// Adjust the constant background traffic sharing the link.
+  void set_background(double background_bps);
+
+  /// Adjust the observation-noise level (domain randomization knob).
+  void set_feature_noise(double noise) noexcept {
+    config_.feature_noise = noise;
+  }
+
+ private:
+  std::vector<double> observation() const;
+  void push_features(double grad, double lat_ratio, double send_ratio);
+
+  link_env_config config_;
+  rng gen_;
+  double rate_bps_ = 0.0;
+  double queue_bytes_ = 0.0;
+  double prev_latency_ = 0.0;
+  std::size_t steps_ = 0;
+  std::deque<double> features_;  // history * 3, oldest first
+};
+
+}  // namespace lf::rl

@@ -1,0 +1,44 @@
+#include "rl/policy.hpp"
+
+#include <stdexcept>
+
+namespace lf::rl {
+
+gaussian_policy::gaussian_policy(nn::mlp& net, double sigma)
+    : net_{net}, sigma_{sigma} {
+  if (sigma <= 0.0) throw std::invalid_argument{"policy sigma must be > 0"};
+}
+
+void gaussian_policy::set_sigma(double sigma) {
+  if (sigma <= 0.0) throw std::invalid_argument{"policy sigma must be > 0"};
+  sigma_ = sigma;
+}
+
+std::vector<double> gaussian_policy::act_mean(
+    std::span<const double> obs) const {
+  return net_.forward(obs);
+}
+
+std::vector<double> gaussian_policy::act_sample(std::span<const double> obs,
+                                                rng& gen) const {
+  auto a = net_.forward(obs);
+  for (auto& v : a) v += gen.normal(0.0, sigma_);
+  return a;
+}
+
+void gaussian_policy::accumulate_logprob_gradient(
+    std::span<const double> obs, std::span<const double> action, double scale,
+    std::span<double> grad) const {
+  const auto mu = net_.forward(obs);
+  if (action.size() != mu.size()) {
+    throw std::invalid_argument{"policy gradient: action size mismatch"};
+  }
+  std::vector<double> grad_out(mu.size());
+  const double inv_var = 1.0 / (sigma_ * sigma_);
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    grad_out[i] = scale * (action[i] - mu[i]) * inv_var;
+  }
+  net_.accumulate_gradient(obs, grad_out, grad);
+}
+
+}  // namespace lf::rl

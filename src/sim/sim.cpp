@@ -1,0 +1,39 @@
+#include "sim/sim.hpp"
+
+#include <stdexcept>
+
+namespace lf::sim {
+
+void simulation::schedule_at(sim_time t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument{"schedule_at: time in the past"};
+  queue_.push(event{t, next_seq_++, std::move(fn)});
+}
+
+void simulation::schedule(sim_time delay, std::function<void()> fn) {
+  if (delay < 0.0) throw std::invalid_argument{"schedule: negative delay"};
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void simulation::run_until(sim_time t_end) {
+  while (!queue_.empty() && queue_.top().t <= t_end) {
+    // Copy out before pop so the handler may schedule freely.
+    auto fn = queue_.top().fn;
+    now_ = queue_.top().t;
+    queue_.pop();
+    ++executed_;
+    fn();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+void simulation::run() {
+  while (!queue_.empty()) {
+    auto fn = queue_.top().fn;
+    now_ = queue_.top().t;
+    queue_.pop();
+    ++executed_;
+    fn();
+  }
+}
+
+}  // namespace lf::sim

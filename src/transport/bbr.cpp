@@ -1,0 +1,123 @@
+#include "transport/bbr.hpp"
+
+#include <algorithm>
+
+namespace lf::transport {
+
+bbr::bbr(bbr_config config)
+    : config_{config}, pacing_gain_{config.startup_gain},
+      cwnd_{config.initial_cwnd_segments * config.mss} {}
+
+void bbr::on_ack(const ack_event& ev) {
+  // RTprop filter.
+  if (ev.rtt > 0.0) {
+    if (rtprop_ == 0.0 || ev.rtt < rtprop_ ||
+        ev.now - rtprop_stamp_ > config_.rtprop_window) {
+      rtprop_ = ev.rtt;
+      rtprop_stamp_ = ev.now;
+    }
+  }
+  // Delivery-rate sample: acked bytes over a ~1 RTT measurement epoch.
+  bool new_sample = false;
+  if (ev.newly_acked_bytes > 0) {
+    if (epoch_start_ < 0.0) epoch_start_ = ev.now;
+    delivered_bytes_ += static_cast<double>(ev.newly_acked_bytes);
+    const double epoch_len = std::max(rtprop_, 1e-4);
+    if (ev.now - epoch_start_ >= epoch_len) {
+      const double rate = delivered_bytes_ * 8.0 / (ev.now - epoch_start_);
+      delivered_bytes_ = 0.0;
+      epoch_start_ = ev.now;
+      new_sample = true;
+      add_rate_sample(ev.now, rate);
+    }
+  }
+  switch (mode_) {
+    case mode::startup:
+      // Plateau detection: bandwidth grew <25% across 3 consecutive rate
+      // samples (per-epoch, NOT per ACK — per-ACK checks would declare a
+      // plateau after three packets).
+      if (!new_sample) break;
+      if (btlbw_ > full_bw_ * 1.25) {
+        full_bw_ = btlbw_;
+        full_bw_count_ = 0;
+      } else if (++full_bw_count_ >= 3) {
+        mode_ = mode::drain;
+        pacing_gain_ = config_.drain_gain;
+        cycle_stamp_ = ev.now;
+      }
+      break;
+    case mode::drain:
+      if (ev.now - cycle_stamp_ > std::max(rtprop_, 1e-6)) {
+        mode_ = mode::probe_bw;
+        cycle_index_ = 2;  // start in a cruise phase
+        pacing_gain_ = k_cycle_gains[cycle_index_];
+        cycle_stamp_ = ev.now;
+      }
+      break;
+    case mode::probe_bw:
+      advance_cycle(ev.now);
+      break;
+  }
+  // cwnd cap: cwnd_gain * BDP.
+  if (btlbw_ > 0.0 && rtprop_ > 0.0) {
+    cwnd_ = std::max(4.0 * config_.mss,
+                     config_.cwnd_gain * btlbw_ / 8.0 * rtprop_);
+  } else {
+    cwnd_ += static_cast<double>(ev.newly_acked_bytes);
+  }
+}
+
+void bbr::add_rate_sample(double now, double rate) {
+  // Windowed max filter: BtlBw is the best delivery rate seen over the
+  // last btlbw_window RTTs, so one recovery-depressed sample cannot
+  // collapse the model.
+  rate_samples_.emplace_back(now, rate);
+  const double horizon =
+      config_.btlbw_window * std::max(rtprop_, 1e-3);
+  while (!rate_samples_.empty() &&
+         now - rate_samples_.front().first > horizon) {
+    rate_samples_.pop_front();
+  }
+  btlbw_ = 0.0;
+  for (const auto& [t, r] : rate_samples_) btlbw_ = std::max(btlbw_, r);
+}
+
+void bbr::advance_cycle(double now) {
+  if (now - cycle_stamp_ > std::max(rtprop_, 1e-6)) {
+    cycle_index_ = (cycle_index_ + 1) % k_cycle_gains.size();
+    pacing_gain_ = k_cycle_gains[cycle_index_];
+    cycle_stamp_ = now;
+  }
+}
+
+void bbr::on_loss(double) {
+  // BBR does not react to isolated losses; the cwnd cap bounds inflight.
+}
+
+void bbr::on_timeout(double) {
+  // Retain the path model (BtlBw/RTprop survive an RTO in BBR); just back
+  // off the window briefly and pace conservatively until ACKs restart.
+  cwnd_ = std::max(cwnd_ * 0.5, 4.0 * config_.mss);
+  if (mode_ == mode::startup) {
+    // Startup overshoot caused the timeout: move on to steady state.
+    mode_ = mode::probe_bw;
+    cycle_index_ = 2;
+    pacing_gain_ = k_cycle_gains[cycle_index_];
+  }
+  delivered_bytes_ = 0.0;
+  epoch_start_ = -1.0;
+}
+
+double bbr::cwnd_bytes() const { return cwnd_; }
+
+double bbr::pacing_bps() const {
+  if (btlbw_ <= 0.0) {
+    // Startup before any bandwidth estimate: pace at cwnd / rtprop or a
+    // permissive default.
+    if (rtprop_ > 0.0) return pacing_gain_ * cwnd_ * 8.0 / rtprop_;
+    return 0.0;  // unpaced until the first RTT sample
+  }
+  return pacing_gain_ * btlbw_;
+}
+
+}  // namespace lf::transport

@@ -1,0 +1,66 @@
+// BBR-style congestion control (Cardwell et al., 2016) — the paper's main
+// kernel-space baseline.  Simplified but faithful to the mechanism the
+// evaluation exercises: a windowed-max delivery-rate (BtlBw) filter, a
+// windowed-min RTT (RTprop) filter, pacing at gain * BtlBw with an 8-phase
+// gain cycle, and a 2*BDP cwnd cap.  Startup doubles the rate each RTT
+// until the bandwidth filter plateaus, then drains.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <utility>
+
+#include "transport/cong_ctrl.hpp"
+
+namespace lf::transport {
+
+struct bbr_config {
+  std::uint32_t mss = 1460;
+  double initial_cwnd_segments = 10.0;
+  double btlbw_window = 10.0;   ///< RTT counts for the max filter
+  double rtprop_window = 10.0;  ///< seconds for the min filter
+  double startup_gain = 2.885;
+  double drain_gain = 1.0 / 2.885;
+  double cwnd_gain = 2.0;
+};
+
+class bbr final : public cong_ctrl {
+ public:
+  explicit bbr(bbr_config config = {});
+
+  void on_ack(const ack_event& ev) override;
+  void on_loss(double now) override;
+  void on_timeout(double now) override;
+
+  double cwnd_bytes() const override;
+  double pacing_bps() const override;
+  const char* name() const override { return "bbr"; }
+
+  double btlbw_bps() const noexcept { return btlbw_; }
+  double rtprop() const noexcept { return rtprop_; }
+
+ private:
+  enum class mode { startup, drain, probe_bw };
+  void advance_cycle(double now);
+
+  void add_rate_sample(double now, double rate);
+
+  bbr_config config_;
+  mode mode_ = mode::startup;
+  double btlbw_ = 0.0;
+  std::deque<std::pair<double, double>> rate_samples_;  ///< (time, bps)
+  double rtprop_ = 0.0;
+  double rtprop_stamp_ = 0.0;
+  double pacing_gain_;
+  std::size_t cycle_index_ = 0;
+  double cycle_stamp_ = 0.0;
+  double delivered_bytes_ = 0.0;   ///< acked bytes in the current epoch
+  double epoch_start_ = -1.0;      ///< current rate-sample epoch start
+  double full_bw_ = 0.0;
+  int full_bw_count_ = 0;
+  double cwnd_;
+  static constexpr std::array<double, 8> k_cycle_gains{
+      1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+};
+
+}  // namespace lf::transport

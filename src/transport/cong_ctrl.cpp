@@ -1,0 +1,40 @@
+#include "transport/cong_ctrl.hpp"
+
+#include <algorithm>
+
+namespace lf::transport {
+
+std::vector<double> observation_features(const mi_observation& obs) {
+  // Aurora (ICML'19) statistics, normalized to be scale-free:
+  //  - latency gradient: d(RTT)/dt, dimensionless;
+  //  - latency ratio: avg RTT / min RTT, minus 1 so "no queueing" is 0;
+  //  - sending ratio: sent rate / delivered rate, minus 1 so "no loss" is 0.
+  double lat_ratio = 0.0;
+  if (obs.min_rtt > 0.0 && obs.avg_rtt > 0.0) {
+    lat_ratio = obs.avg_rtt / obs.min_rtt - 1.0;
+  }
+  double send_ratio = 0.0;
+  if (obs.throughput > 0.0) {
+    send_ratio = obs.send_rate / obs.throughput - 1.0;
+  } else if (obs.send_rate > 0.0) {
+    send_ratio = 10.0;  // sent plenty, delivered nothing: saturate the signal
+  }
+  const double clamp = [](double v, double lo, double hi) {
+    return std::min(std::max(v, lo), hi);
+  }(obs.rtt_gradient, -10.0, 10.0);
+  return {clamp, std::min(lat_ratio, 10.0), std::min(send_ratio, 10.0)};
+}
+
+double apply_rate_action(double current_bps, double action, double delta,
+                         double min_bps, double max_bps) {
+  action = std::clamp(action, -1.0, 1.0);
+  double next = current_bps;
+  if (action >= 0.0) {
+    next = current_bps * (1.0 + delta * action);
+  } else {
+    next = current_bps / (1.0 - delta * action);
+  }
+  return std::clamp(next, min_bps, max_bps);
+}
+
+}  // namespace lf::transport

@@ -1,0 +1,78 @@
+// Congestion-control interfaces.
+//
+// Two transport families cover the paper's experiments:
+//  - rate-based senders (Aurora/MOCC and their deployments) steered by a
+//    rate_controller that observes per-monitor-interval signals, and
+//  - window-based reliable senders (CUBIC, BBR, DCTCP) steered by a
+//    cong_ctrl that reacts to ACK/loss events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace lf::transport {
+
+/// Signals collected over one monitor interval (Aurora's observation).
+struct mi_observation {
+  double duration = 0.0;          ///< seconds
+  double send_rate = 0.0;         ///< bps offered by the sender
+  double throughput = 0.0;        ///< bps acknowledged
+  double avg_rtt = 0.0;           ///< seconds (0 if no samples)
+  double min_rtt = 0.0;           ///< seconds, lifetime minimum
+  double rtt_gradient = 0.0;      ///< d(avg_rtt)/dt over the interval
+  double loss_rate = 0.0;         ///< lost / sent in the interval
+  double ecn_fraction = 0.0;      ///< marked / acked in the interval
+};
+
+/// Aurora's normalized feature vector for one interval:
+/// {latency gradient, latency ratio - 1, send ratio - 1}.
+std::vector<double> observation_features(const mi_observation& obs);
+inline constexpr std::size_t k_features_per_interval = 3;
+
+/// Sender-side hook: the rate_sender reports each finished monitor interval;
+/// the controller calls set_rate whenever it has a decision (possibly
+/// asynchronously — cross-space deployments decide late).
+class rate_controller {
+ public:
+  virtual ~rate_controller() = default;
+
+  /// A monitor interval ended.  `set_rate` remains valid for the lifetime
+  /// of the flow and may be invoked at any later sim time.
+  virtual void on_monitor_interval(const mi_observation& obs,
+                                   std::function<void(double bps)> set_rate) = 0;
+
+  /// The flow is finishing; release resources.
+  virtual void on_flow_close() {}
+};
+
+/// Aurora's rate update rule: action a in [-1, 1] maps to a multiplicative
+/// rate change with step size delta (Aurora uses 0.025).
+double apply_rate_action(double current_bps, double action, double delta,
+                         double min_bps, double max_bps);
+
+// ---------------------------------------------------------------- window --
+
+struct ack_event {
+  std::uint64_t newly_acked_bytes = 0;
+  bool ecn_echo = false;
+  double rtt = 0.0;   ///< sample from this ACK (0 if invalid)
+  double now = 0.0;
+};
+
+/// Window-based congestion controller (cwnd in bytes).
+class cong_ctrl {
+ public:
+  virtual ~cong_ctrl() = default;
+
+  virtual void on_ack(const ack_event& ev) = 0;
+  virtual void on_loss(double now) = 0;     ///< fast-retransmit signal
+  virtual void on_timeout(double now) = 0;  ///< RTO fired
+
+  virtual double cwnd_bytes() const = 0;
+  /// Pacing rate in bps, or 0 to send as fast as cwnd allows.
+  virtual double pacing_bps() const { return 0.0; }
+  virtual const char* name() const = 0;
+};
+
+}  // namespace lf::transport

@@ -1,0 +1,82 @@
+#include "transport/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lf::transport {
+
+cubic::cubic(cubic_config config)
+    : config_{config}, cwnd_{config.initial_cwnd_segments},
+      ssthresh_{config.ssthresh_segments} {}
+
+double cubic::cubic_window(double t) const noexcept {
+  const double d = t - k_;
+  return config_.c * d * d * d + w_max_;
+}
+
+void cubic::on_ack(const ack_event& ev) {
+  if (ev.rtt > 0.0) {
+    srtt_ = srtt_ == 0.0 ? ev.rtt : 0.875 * srtt_ + 0.125 * ev.rtt;
+    if (min_rtt_ == 0.0 || ev.rtt < min_rtt_) min_rtt_ = ev.rtt;
+  }
+  const double acked_segments =
+      static_cast<double>(ev.newly_acked_bytes) / config_.mss;
+  if (in_slow_start()) {
+    // HyStart-style delay-based exit (Linux CUBIC): leave slow start when
+    // queueing delay builds noticeably instead of blasting until loss —
+    // in deep-buffered paths the overshoot would otherwise drop tens of
+    // thousands of segments at once.  Linux clamps the delay threshold to
+    // [4ms, 16ms], which keeps small jitter from triggering early exits.
+    const double delay_threshold =
+        std::clamp(min_rtt_ / 8.0, 4e-3, 16e-3);
+    if (min_rtt_ > 0.0 && ev.rtt > min_rtt_ + delay_threshold &&
+        cwnd_ > 16.0) {
+      ssthresh_ = cwnd_;
+      epoch_start_ = -1.0;
+      w_max_ = cwnd_;
+    } else {
+      cwnd_ += acked_segments;
+      return;
+    }
+  }
+  if (epoch_start_ < 0.0) {
+    // New congestion-avoidance epoch.
+    epoch_start_ = ev.now;
+    w_max_ = std::max(w_max_, cwnd_);
+    k_ = std::cbrt(std::max(0.0, (w_max_ - cwnd_) / config_.c));
+    tcp_cwnd_ = cwnd_;
+  }
+  const double t = ev.now - epoch_start_;
+  const double target = cubic_window(t + (srtt_ > 0.0 ? srtt_ : 0.0));
+  // TCP-friendly region (standard Reno estimate).
+  if (srtt_ > 0.0) {
+    tcp_cwnd_ += 3.0 * (1.0 - config_.beta) / (1.0 + config_.beta) *
+                 acked_segments / cwnd_;
+  }
+  const double goal = std::max(target, tcp_cwnd_);
+  if (goal > cwnd_) {
+    cwnd_ += (goal - cwnd_) / cwnd_ * acked_segments;
+  } else {
+    cwnd_ += 0.01 * acked_segments / cwnd_;  // slow max probing
+  }
+}
+
+void cubic::on_loss(double) {
+  w_max_ = cwnd_;
+  cwnd_ = std::max(2.0, cwnd_ * config_.beta);
+  ssthresh_ = cwnd_;
+  epoch_start_ = -1.0;
+}
+
+void cubic::on_timeout(double) {
+  w_max_ = cwnd_;
+  ssthresh_ = std::max(2.0, cwnd_ * config_.beta);
+  cwnd_ = 2.0;
+  epoch_start_ = -1.0;
+}
+
+double cubic::cwnd_bytes() const {
+  return cwnd_ * static_cast<double>(config_.mss);
+}
+
+}  // namespace lf::transport

@@ -1,0 +1,49 @@
+// CUBIC congestion control (Ha, Rhee, Xu 2008), the Linux default the paper
+// uses as a kernel-space baseline in Figs. 11/13.
+//
+// Implements the cubic window growth W(t) = C*(t - K)^3 + Wmax with beta
+// multiplicative decrease and slow start; the TCP-friendly region is
+// included since low-BDP runs rely on it.
+#pragma once
+
+#include "transport/cong_ctrl.hpp"
+
+namespace lf::transport {
+
+struct cubic_config {
+  double c = 0.4;           ///< cubic scaling constant (units: MSS/s^3)
+  double beta = 0.7;        ///< multiplicative decrease factor
+  std::uint32_t mss = 1460;
+  double initial_cwnd_segments = 10.0;
+  double ssthresh_segments = 1e9;  ///< effectively "slow start until loss"
+};
+
+class cubic final : public cong_ctrl {
+ public:
+  explicit cubic(cubic_config config = {});
+
+  void on_ack(const ack_event& ev) override;
+  void on_loss(double now) override;
+  void on_timeout(double now) override;
+
+  double cwnd_bytes() const override;
+  const char* name() const override { return "cubic"; }
+
+  double cwnd_segments() const noexcept { return cwnd_; }
+  bool in_slow_start() const noexcept { return cwnd_ < ssthresh_; }
+
+ private:
+  double cubic_window(double t) const noexcept;
+
+  cubic_config config_;
+  double cwnd_;      ///< segments
+  double ssthresh_;  ///< segments
+  double w_max_ = 0.0;
+  double k_ = 0.0;
+  double epoch_start_ = -1.0;
+  double srtt_ = 0.0;
+  double min_rtt_ = 0.0;
+  double tcp_cwnd_ = 0.0;  ///< TCP-friendly estimate
+};
+
+}  // namespace lf::transport

@@ -1,0 +1,58 @@
+#include "transport/dctcp.hpp"
+
+#include <algorithm>
+
+namespace lf::transport {
+
+dctcp::dctcp(dctcp_config config)
+    : config_{config}, cwnd_{config.initial_cwnd_segments} {}
+
+void dctcp::on_ack(const ack_event& ev) {
+  if (ev.rtt > 0.0) {
+    srtt_ = srtt_ == 0.0 ? ev.rtt : 0.875 * srtt_ + 0.125 * ev.rtt;
+  }
+  window_acked_ += ev.newly_acked_bytes;
+  if (ev.ecn_echo) window_marked_ += ev.newly_acked_bytes;
+
+  const double rtt = srtt_ > 0.0 ? srtt_ : 100e-6;
+  if (ev.now - window_start_ >= rtt) end_observation_window(ev.now);
+
+  const double acked_segments =
+      static_cast<double>(ev.newly_acked_bytes) / config_.mss;
+  if (cwnd_ < ssthresh_ && !ev.ecn_echo) {
+    cwnd_ += acked_segments;  // slow start
+  } else {
+    cwnd_ += acked_segments / cwnd_;  // congestion avoidance
+  }
+}
+
+void dctcp::end_observation_window(double now) {
+  const double f =
+      window_acked_ > 0
+          ? static_cast<double>(window_marked_) / static_cast<double>(window_acked_)
+          : 0.0;
+  alpha_ = (1.0 - config_.g) * alpha_ + config_.g * f;
+  if (window_marked_ > 0 && now - last_cut_time_ >= (srtt_ > 0.0 ? srtt_ : 0.0)) {
+    cwnd_ = std::max(2.0, cwnd_ * (1.0 - alpha_ / 2.0));
+    ssthresh_ = cwnd_;
+    last_cut_time_ = now;
+  }
+  window_acked_ = window_marked_ = 0;
+  window_start_ = now;
+}
+
+void dctcp::on_loss(double) {
+  cwnd_ = std::max(2.0, cwnd_ * 0.5);
+  ssthresh_ = cwnd_;
+}
+
+void dctcp::on_timeout(double) {
+  ssthresh_ = std::max(2.0, cwnd_ * 0.5);
+  cwnd_ = 2.0;
+}
+
+double dctcp::cwnd_bytes() const {
+  return cwnd_ * static_cast<double>(config_.mss);
+}
+
+}  // namespace lf::transport

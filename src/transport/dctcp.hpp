@@ -1,0 +1,49 @@
+// DCTCP (Alizadeh et al., SIGCOMM 2010) — the CC substrate of the paper's
+// flow-scheduling and load-balancing experiments (§5.2/§5.3), which run a
+// 2x2 spine-leaf with DCTCP and the web-search workload.
+//
+// Standard algorithm: per-RTT ECN fraction F, EWMA alpha <- (1-g)alpha + gF,
+// window cut cwnd *= (1 - alpha/2) at most once per RTT, slow start, and
+// Reno-style additive increase otherwise.
+#pragma once
+
+#include "transport/cong_ctrl.hpp"
+
+namespace lf::transport {
+
+struct dctcp_config {
+  double g = 1.0 / 16.0;  ///< alpha EWMA gain
+  std::uint32_t mss = 1460;
+  double initial_cwnd_segments = 10.0;
+};
+
+class dctcp final : public cong_ctrl {
+ public:
+  explicit dctcp(dctcp_config config = {});
+
+  void on_ack(const ack_event& ev) override;
+  void on_loss(double now) override;
+  void on_timeout(double now) override;
+
+  double cwnd_bytes() const override;
+  const char* name() const override { return "dctcp"; }
+
+  double alpha() const noexcept { return alpha_; }
+  double cwnd_segments() const noexcept { return cwnd_; }
+
+ private:
+  void end_observation_window(double now);
+
+  dctcp_config config_;
+  double cwnd_;
+  double ssthresh_ = 1e9;
+  double alpha_ = 0.0;
+  double srtt_ = 0.0;
+  // Per-window ECN accounting.
+  std::uint64_t window_acked_ = 0;
+  std::uint64_t window_marked_ = 0;
+  double window_start_ = 0.0;
+  double last_cut_time_ = -1.0;
+};
+
+}  // namespace lf::transport

@@ -1,0 +1,165 @@
+#include "transport/rate_sender.hpp"
+
+#include <algorithm>
+
+namespace lf::transport {
+
+rate_sender::rate_sender(netsim::host& src, netsim::host_id_t dst,
+                         netsim::flow_id_t flow, rate_sender_config config,
+                         std::unique_ptr<rate_controller> ctrl)
+    : src_{src}, dst_{dst}, flow_{flow}, config_{config},
+      ctrl_{std::move(ctrl)}, rate_bps_{config.initial_rate_bps} {
+  src_.register_sender(flow_, this);
+}
+
+rate_sender::~rate_sender() {
+  src_.unregister_sender(flow_);
+}
+
+void rate_sender::start() {
+  if (running_) return;
+  running_ = true;
+  mi_start_ = src_.simulator().now();
+  poll_time_ = mi_start_;
+  emit();
+  // Schedule the first MI boundary.
+  src_.simulator().schedule(config_.mi_floor, [this, gen = generation_]() {
+    if (running_ && gen == generation_) finish_monitor_interval();
+  });
+}
+
+void rate_sender::stop() {
+  if (!running_) return;
+  running_ = false;
+  ++generation_;
+  if (ctrl_) ctrl_->on_flow_close();
+}
+
+void rate_sender::emit() {
+  if (!running_) return;
+  netsim::packet pkt;
+  pkt.flow_id = flow_;
+  pkt.dst = dst_;
+  pkt.seq = next_seq_;
+  pkt.payload_bytes = config_.packet_bytes;
+  pkt.ecn_capable = true;
+  next_seq_ += config_.packet_bytes;
+  outstanding_[pkt.seq] = src_.simulator().now();
+  ++sent_packets_;
+  ++mi_sent_packets_;
+  src_.send_packet(pkt);
+  const double gap =
+      static_cast<double>(config_.packet_bytes + netsim::k_header_bytes) * 8.0 /
+      rate_bps_;
+  src_.simulator().schedule(gap, [this, gen = generation_]() {
+    if (gen == generation_) emit();
+  });
+}
+
+void rate_sender::on_ack(const netsim::packet& ack) {
+  const double now = src_.simulator().now();
+  const auto it = outstanding_.find(ack.ack_echo_seq);
+  if (it == outstanding_.end()) return;  // duplicate or already timed out
+  outstanding_.erase(it);
+
+  const double rtt = now - ack.ack_echo_send_time;
+  if (rtt > 0.0) {
+    srtt_ = srtt_ == 0.0 ? rtt : 0.875 * srtt_ + 0.125 * rtt;
+    min_rtt_ = min_rtt_ == 0.0 ? rtt : std::min(min_rtt_, rtt);
+    if (mi_first_rtt_ == 0.0) {
+      mi_first_rtt_ = rtt;
+      mi_first_rtt_time_ = now;
+    }
+    mi_last_rtt_ = rtt;
+    mi_last_rtt_time_ = now;
+    mi_rtt_sum_ += rtt;
+  }
+  ++mi_acked_packets_;
+  mi_acked_bytes_ += config_.packet_bytes;
+  poll_acked_bytes_ += config_.packet_bytes;
+  if (ack.ack_ecn_echo) ++mi_marked_packets_;
+}
+
+double rate_sender::acked_rate_since_last_poll() {
+  const double now = src_.simulator().now();
+  const double window = now - poll_time_;
+  const double rate =
+      window > 0.0 ? static_cast<double>(poll_acked_bytes_) * 8.0 / window
+                   : 0.0;
+  poll_acked_bytes_ = 0;
+  poll_time_ = now;
+  return rate;
+}
+
+void rate_sender::finish_monitor_interval() {
+  const double now = src_.simulator().now();
+  const double duration = now - mi_start_;
+
+  // Expire outstanding packets older than the loss timeout.  Before the
+  // first RTT sample there is no basis for declaring loss — expiring
+  // against a guess shorter than the real RTT would mark every packet lost
+  // and discard the ACKs that would have established the estimate.
+  if (srtt_ > 0.0) {
+    const double timeout = config_.loss_timeout_rtt * srtt_;
+    for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+      if (now - it->second > timeout) {
+        ++mi_lost_packets_;
+        ++lost_packets_;
+        it = outstanding_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  mi_observation obs;
+  obs.duration = duration;
+  obs.send_rate = rate_bps_;
+  obs.throughput =
+      duration > 0.0 ? static_cast<double>(mi_acked_bytes_) * 8.0 / duration
+                     : 0.0;
+  obs.avg_rtt = mi_acked_packets_ > 0
+                    ? mi_rtt_sum_ / static_cast<double>(mi_acked_packets_)
+                    : 0.0;
+  obs.min_rtt = min_rtt_;
+  if (mi_last_rtt_time_ > mi_first_rtt_time_) {
+    obs.rtt_gradient = (mi_last_rtt_ - mi_first_rtt_) /
+                       (mi_last_rtt_time_ - mi_first_rtt_time_);
+  }
+  const std::uint64_t accounted = mi_acked_packets_ + mi_lost_packets_;
+  obs.loss_rate = accounted > 0 ? static_cast<double>(mi_lost_packets_) /
+                                      static_cast<double>(accounted)
+                                : 0.0;
+  obs.ecn_fraction = mi_acked_packets_ > 0
+                         ? static_cast<double>(mi_marked_packets_) /
+                               static_cast<double>(mi_acked_packets_)
+                         : 0.0;
+  last_obs_ = obs;
+
+  // Reset accumulators for the next interval.
+  mi_start_ = now;
+  mi_sent_packets_ = mi_acked_packets_ = 0;
+  mi_acked_bytes_ = mi_marked_packets_ = 0;
+  mi_rtt_sum_ = mi_first_rtt_ = mi_last_rtt_ = 0.0;
+  mi_first_rtt_time_ = mi_last_rtt_time_ = 0.0;
+  mi_lost_packets_ = 0;
+
+  if (ctrl_) {
+    ctrl_->on_monitor_interval(
+        obs, [this, gen = generation_](double bps) {
+          if (gen == generation_) set_rate(bps);
+        });
+  }
+
+  const double next_mi = std::max(
+      config_.mi_floor, config_.mi_rtt_multiplier * (srtt_ > 0.0 ? srtt_ : 0.0));
+  src_.simulator().schedule(next_mi, [this, gen = generation_]() {
+    if (running_ && gen == generation_) finish_monitor_interval();
+  });
+}
+
+void rate_sender::set_rate(double bps) {
+  rate_bps_ = std::clamp(bps, config_.min_rate_bps, config_.max_rate_bps);
+}
+
+}  // namespace lf::transport

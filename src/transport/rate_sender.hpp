@@ -1,0 +1,104 @@
+// Rate-based paced sender: the transport under Aurora/MOCC-style NN
+// congestion control (the paper deploys Aurora over UDT, a paced
+// rate-controlled transport; the LiteFlow CC module enforces rates through
+// sk_pacing_rate — both are pacing, which this class models directly).
+//
+// The sender emits fixed-size packets at its current rate, tracks per-packet
+// ACK feedback, and at every monitor interval (MI) summarizes the signals
+// into an mi_observation handed to the attached rate_controller.  The
+// controller is where deployment mechanisms differ: in-kernel snapshot
+// inference, cross-space CCP, frozen snapshot, or in-kernel training.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "netsim/host.hpp"
+#include "transport/cong_ctrl.hpp"
+
+namespace lf::transport {
+
+struct rate_sender_config {
+  double initial_rate_bps = 100e6;
+  double min_rate_bps = 1e6;
+  double max_rate_bps = 20e9;
+  std::uint32_t packet_bytes = 1460;
+  /// Monitor interval as a multiple of sRTT (Aurora uses ~1 RTT MIs).
+  double mi_rtt_multiplier = 1.0;
+  /// Lower bound for the MI so early intervals (no RTT estimate) work.
+  double mi_floor = 2e-3;
+  /// ACKs older than this multiple of sRTT count as losses.
+  double loss_timeout_rtt = 2.0;
+};
+
+class rate_sender final : public netsim::flow_sender {
+ public:
+  rate_sender(netsim::host& src, netsim::host_id_t dst, netsim::flow_id_t flow,
+              rate_sender_config config, std::unique_ptr<rate_controller> ctrl);
+  ~rate_sender() override;
+
+  rate_sender(const rate_sender&) = delete;
+  rate_sender& operator=(const rate_sender&) = delete;
+
+  void start();
+  void stop();
+
+  void on_ack(const netsim::packet& ack) override;
+
+  double current_rate_bps() const noexcept { return rate_bps_; }
+  double smoothed_rtt() const noexcept { return srtt_; }
+  double min_rtt() const noexcept { return min_rtt_; }
+  netsim::flow_id_t flow() const noexcept { return flow_; }
+
+  /// Throughput acknowledged since the last call to this function (bps).
+  double acked_rate_since_last_poll();
+
+  const mi_observation& last_observation() const noexcept { return last_obs_; }
+  std::uint64_t packets_sent() const noexcept { return sent_packets_; }
+  std::uint64_t packets_lost() const noexcept { return lost_packets_; }
+
+ private:
+  void emit();
+  void finish_monitor_interval();
+  void set_rate(double bps);
+
+  netsim::host& src_;
+  netsim::host_id_t dst_;
+  netsim::flow_id_t flow_;
+  rate_sender_config config_;
+  std::unique_ptr<rate_controller> ctrl_;
+
+  bool running_ = false;
+  double rate_bps_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t generation_ = 0;  ///< invalidates stale emit timers
+
+  // RTT estimation.
+  double srtt_ = 0.0;
+  double min_rtt_ = 0.0;
+
+  // Outstanding packets: seq -> send time (for loss-by-timeout).
+  std::map<std::uint64_t, double> outstanding_;
+
+  // Current-MI accumulators.
+  double mi_start_ = 0.0;
+  std::uint64_t mi_sent_packets_ = 0;
+  std::uint64_t mi_acked_packets_ = 0;
+  std::uint64_t mi_acked_bytes_ = 0;
+  std::uint64_t mi_marked_packets_ = 0;
+  double mi_rtt_sum_ = 0.0;
+  double mi_first_rtt_ = 0.0;
+  double mi_first_rtt_time_ = 0.0;
+  double mi_last_rtt_ = 0.0;
+  double mi_last_rtt_time_ = 0.0;
+  std::uint64_t mi_lost_packets_ = 0;
+
+  mi_observation last_obs_{};
+  std::uint64_t sent_packets_ = 0;
+  std::uint64_t lost_packets_ = 0;
+  std::uint64_t poll_acked_bytes_ = 0;
+  double poll_time_ = 0.0;
+};
+
+}  // namespace lf::transport

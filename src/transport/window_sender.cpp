@@ -1,0 +1,158 @@
+#include "transport/window_sender.hpp"
+
+#include <algorithm>
+
+namespace lf::transport {
+
+window_sender::window_sender(netsim::host& src, netsim::host_id_t dst,
+                             netsim::flow_id_t flow, std::uint64_t size_bytes,
+                             window_sender_config config,
+                             std::unique_ptr<cong_ctrl> cc)
+    : src_{src}, dst_{dst}, flow_{flow}, size_{size_bytes}, config_{config},
+      cc_{std::move(cc)} {
+  src_.register_sender(flow_, this);
+}
+
+window_sender::~window_sender() { src_.unregister_sender(flow_); }
+
+void window_sender::start() {
+  if (started_) return;
+  started_ = true;
+  start_time_ = src_.simulator().now();
+  next_pace_time_ = start_time_;
+  arm_rto();
+  try_send();
+}
+
+void window_sender::try_send() {
+  if (finished_) return;
+  const double now = src_.simulator().now();
+  const double pacing = cc_->pacing_bps();
+  while (snd_nxt_ < size_ &&
+         snd_nxt_ < snd_una_ + static_cast<std::uint64_t>(cc_->cwnd_bytes())) {
+    if (pacing > 0.0 && now < next_pace_time_) {
+      if (!send_scheduled_) {
+        send_scheduled_ = true;
+        src_.simulator().schedule_at(next_pace_time_, [this]() {
+          send_scheduled_ = false;
+          try_send();
+        });
+      }
+      return;
+    }
+    const std::uint64_t seq = snd_nxt_;
+    send_segment(seq, /*retransmit=*/false);
+    if (pacing > 0.0) {
+      const auto bytes = std::min<std::uint64_t>(config_.mss, size_ - seq);
+      next_pace_time_ = std::max(next_pace_time_, now) +
+                        static_cast<double>(bytes + netsim::k_header_bytes) *
+                            8.0 / pacing;
+    }
+  }
+}
+
+void window_sender::send_segment(std::uint64_t seq, bool retransmit) {
+  const auto bytes =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(config_.mss,
+                                                         size_ - seq));
+  netsim::packet pkt;
+  pkt.flow_id = flow_;
+  pkt.dst = dst_;
+  pkt.seq = seq;
+  pkt.payload_bytes = bytes;
+  pkt.ecn_capable = true;
+  pkt.priority = config_.priority;
+  pkt.path_tag = config_.path_tag;
+  pkt.fin = (seq + bytes >= size_);
+  src_.send_packet(pkt);
+  if (retransmit) {
+    ++retransmissions_;
+  } else {
+    snd_nxt_ = seq + bytes;
+  }
+}
+
+void window_sender::on_ack(const netsim::packet& ack) {
+  if (finished_) return;
+  const double now = src_.simulator().now();
+
+  if (ack.ack_seq > snd_una_) {
+    const std::uint64_t newly = ack.ack_seq - snd_una_;
+    snd_una_ = ack.ack_seq;
+    dup_acks_ = 0;
+    if (in_recovery_) {
+      if (snd_una_ >= recovery_end_) {
+        in_recovery_ = false;
+      } else {
+        // NewReno-style partial ACK: the next hole starts at the new
+        // snd_una.  Retransmit a small run of segments from the hole —
+        // consecutive losses are the common case after a buffer-overflow
+        // burst, and healing one hole per RTT would crawl.
+        std::uint64_t seq = snd_una_;
+        for (int i = 0; i < 4 && seq < recovery_end_; ++i) {
+          send_segment(seq, /*retransmit=*/true);
+          seq += std::min<std::uint64_t>(config_.mss, size_ - seq);
+        }
+      }
+    }
+    ack_event ev;
+    ev.newly_acked_bytes = newly;
+    ev.ecn_echo = ack.ack_ecn_echo;
+    ev.rtt = ack.ack_echo_send_time > 0.0 ? now - ack.ack_echo_send_time : 0.0;
+    ev.now = now;
+    if (ev.rtt > 0.0) {
+      if (srtt_ == 0.0) {
+        srtt_ = ev.rtt;
+        rttvar_ = ev.rtt / 2.0;
+      } else {
+        rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - ev.rtt);
+        srtt_ = 0.875 * srtt_ + 0.125 * ev.rtt;
+      }
+    }
+    cc_->on_ack(ev);
+    if (ack_observer_) ack_observer_(ev);
+    arm_rto();
+    if (snd_una_ >= size_) {
+      complete();
+      return;
+    }
+    try_send();
+  } else if (ack.ack_seq == snd_una_ && snd_nxt_ > snd_una_) {
+    ++dup_acks_;
+    if (dup_acks_ == 3 && !in_recovery_) {
+      in_recovery_ = true;
+      recovery_end_ = snd_nxt_;
+      cc_->on_loss(now);
+      send_segment(snd_una_, /*retransmit=*/true);
+    }
+  }
+}
+
+void window_sender::arm_rto() {
+  const std::uint64_t epoch = ++rto_epoch_;
+  const double rto =
+      srtt_ > 0.0 ? std::max(config_.min_rto, srtt_ + 4.0 * rttvar_)
+                  : std::max(config_.min_rto, 50e-3);  // pre-sample default
+  src_.simulator().schedule(rto, [this, epoch]() { on_rto(epoch); });
+}
+
+void window_sender::on_rto(std::uint64_t armed_epoch) {
+  if (finished_ || armed_epoch != rto_epoch_) return;
+  ++timeouts_;
+  cc_->on_timeout(src_.simulator().now());
+  in_recovery_ = false;
+  dup_acks_ = 0;
+  // Go-back-N: rewind and resend from the last cumulative ACK.
+  snd_nxt_ = snd_una_;
+  arm_rto();
+  try_send();
+}
+
+void window_sender::complete() {
+  finished_ = true;
+  ++rto_epoch_;  // cancel pending RTO
+  const double fct = src_.simulator().now() - start_time_;
+  if (done_) done_(fct);
+}
+
+}  // namespace lf::transport

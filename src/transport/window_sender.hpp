@@ -1,0 +1,99 @@
+// Reliable window-based sender with pluggable congestion control.
+//
+// Implements the minimal TCP machinery the evaluation needs: cumulative
+// ACKs, triple-duplicate-ACK fast retransmit, RTO with go-back-N recovery,
+// optional pacing (BBR), ECN-capable transport (DCTCP), per-packet priority
+// tagging (flow scheduling module) and explicit path tags (path selection
+// module).  A flow carries a fixed number of bytes and reports its FCT on
+// completion.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "netsim/host.hpp"
+#include "transport/cong_ctrl.hpp"
+
+namespace lf::transport {
+
+struct window_sender_config {
+  std::uint32_t mss = 1460;
+  /// RTO floor; the effective RTO is max(min_rto, srtt + 4*rttvar)
+  /// (Jacobson/Karels), so queueing delay does not cause spurious timeouts.
+  double min_rto = 5e-3;
+  std::uint8_t priority = 4;   ///< strict-priority band (0 = highest)
+  std::uint32_t path_tag = 0;  ///< explicit path (0 = ECMP)
+};
+
+class window_sender final : public netsim::flow_sender {
+ public:
+  window_sender(netsim::host& src, netsim::host_id_t dst,
+                netsim::flow_id_t flow, std::uint64_t size_bytes,
+                window_sender_config config, std::unique_ptr<cong_ctrl> cc);
+  ~window_sender() override;
+
+  window_sender(const window_sender&) = delete;
+  window_sender& operator=(const window_sender&) = delete;
+
+  void start();
+
+  /// Fires once, when the final byte is cumulatively acknowledged.
+  using done_callback = std::function<void(double fct_seconds)>;
+  void set_done(done_callback cb) { done_ = std::move(cb); }
+
+  void on_ack(const netsim::packet& ack) override;
+
+  bool finished() const noexcept { return finished_; }
+  double start_time() const noexcept { return start_time_; }
+  std::uint64_t size_bytes() const noexcept { return size_; }
+  netsim::flow_id_t flow() const noexcept { return flow_; }
+  const cong_ctrl& controller() const noexcept { return *cc_; }
+
+  /// Re-tag priority (e.g. after a flow-size prediction arrives).
+  void set_priority(std::uint8_t priority) noexcept {
+    config_.priority = priority;
+  }
+  void set_path_tag(std::uint32_t tag) noexcept { config_.path_tag = tag; }
+
+  std::uint64_t retransmissions() const noexcept { return retransmissions_; }
+  std::uint64_t timeouts() const noexcept { return timeouts_; }
+
+  /// Observe every cumulative ACK's event (used by the load-balancing
+  /// module to maintain per-path congestion statistics).
+  using ack_observer = std::function<void(const ack_event&)>;
+  void set_ack_observer(ack_observer fn) { ack_observer_ = std::move(fn); }
+
+ private:
+  void try_send();
+  void send_segment(std::uint64_t seq, bool retransmit);
+  void arm_rto();
+  void on_rto(std::uint64_t armed_epoch);
+  void complete();
+
+  netsim::host& src_;
+  netsim::host_id_t dst_;
+  netsim::flow_id_t flow_;
+  std::uint64_t size_;
+  window_sender_config config_;
+  std::unique_ptr<cong_ctrl> cc_;
+
+  bool started_ = false;
+  bool finished_ = false;
+  double start_time_ = 0.0;
+  std::uint64_t snd_una_ = 0;
+  std::uint64_t snd_nxt_ = 0;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recovery_end_ = 0;
+  double next_pace_time_ = 0.0;
+  bool send_scheduled_ = false;
+  std::uint64_t rto_epoch_ = 0;
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t timeouts_ = 0;
+  done_callback done_;
+  ack_observer ack_observer_;
+};
+
+}  // namespace lf::transport

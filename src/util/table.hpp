@@ -1,0 +1,30 @@
+// Aligned text tables for the benchmark binaries.  Every bench prints the
+// rows/series its paper figure reports; this keeps the output format uniform
+// and trivially diffable against EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lf {
+
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> headers);
+
+  /// Add a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  std::string to_string() const;
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lf

@@ -1,0 +1,60 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lf {
+
+void time_series::record(double t, double value) {
+  if (!points_.empty() && t < points_.back().first) {
+    throw std::invalid_argument{"time_series::record: time went backwards"};
+  }
+  points_.emplace_back(t, value);
+}
+
+double time_series::average(double t0, double t1) const noexcept {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [t, v] : points_) {
+    if (t >= t0 && t < t1) {
+      sum += v;
+      ++n;
+    }
+    if (t >= t1) break;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::vector<std::pair<double, double>> time_series::resample(double t_start,
+                                                             double t_end,
+                                                             double dt) const {
+  std::vector<std::pair<double, double>> out;
+  if (dt <= 0.0 || t_end <= t_start) return out;
+  double last = 0.0;
+  for (double t0 = t_start; t0 < t_end; t0 += dt) {
+    const double t1 = std::min(t0 + dt, t_end);
+    double sum = 0.0;
+    std::size_t n = 0;
+    // points_ is sorted; a linear scan per bucket is fine for bench sizes,
+    // but start from a lower bound to stay O(total + buckets log n).
+    const auto it = std::lower_bound(
+        points_.begin(), points_.end(), t0,
+        [](const auto& p, double v) { return p.first < v; });
+    for (auto jt = it; jt != points_.end() && jt->first < t1; ++jt) {
+      sum += jt->second;
+      ++n;
+    }
+    if (n > 0) last = sum / static_cast<double>(n);
+    out.emplace_back(0.5 * (t0 + t1), last);
+  }
+  return out;
+}
+
+std::vector<double> time_series::values() const {
+  std::vector<double> v;
+  v.reserve(points_.size());
+  for (const auto& p : points_) v.push_back(p.second);
+  return v;
+}
+
+}  // namespace lf

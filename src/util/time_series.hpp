@@ -1,0 +1,47 @@
+// A tracer that records (time, value) pairs during a simulation run and can
+// resample them into fixed-interval averages for plotting paper-style
+// figures (goodput vs. time, queue length vs. time, ...).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lf {
+
+class time_series {
+ public:
+  time_series() = default;
+  explicit time_series(std::string name) : name_(std::move(name)) {}
+
+  void record(double t, double value);
+  void clear() noexcept { points_.clear(); }
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return points_.size(); }
+  bool empty() const noexcept { return points_.empty(); }
+  std::span<const std::pair<double, double>> points() const noexcept {
+    return points_;
+  }
+
+  /// Average of values with t in [t0, t1). Returns 0 if no points fall there.
+  double average(double t0, double t1) const noexcept;
+
+  /// Resample into buckets of width dt covering [t_start, t_end); each output
+  /// element is (bucket_mid_time, mean value in bucket). Empty buckets carry
+  /// the previous bucket's value (sample-and-hold), which matches how the
+  /// paper plots sparse rate traces.
+  std::vector<std::pair<double, double>> resample(double t_start, double t_end,
+                                                  double dt) const;
+
+  /// Values only (for percentile computations).
+  std::vector<double> values() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<double, double>> points_;  // sorted by record() order
+};
+
+}  // namespace lf

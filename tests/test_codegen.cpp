@@ -1,0 +1,194 @@
+// Unit tests for src/codegen: the template engine, the C emitter, and the
+// gcc+dlopen golden test proving generated code matches the interpreter.
+#include <gtest/gtest.h>
+
+#include "codegen/c_emitter.hpp"
+#include "codegen/compiled_snapshot.hpp"
+#include "codegen/snapshot.hpp"
+#include "codegen/template_engine.hpp"
+#include "nn/mlp.hpp"
+#include "quant/quantizer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lf;
+using namespace lf::codegen;
+
+// -------------------------------------------------------- template engine --
+
+TEST(TemplateEngine, PlainTextPassesThrough) {
+  EXPECT_EQ(render_template("hello world", {}), "hello world");
+}
+
+TEST(TemplateEngine, VariableSubstitution) {
+  tcontext ctx;
+  ctx["name"] = "fc_5";
+  ctx["n"] = std::int64_t{16};
+  EXPECT_EQ(render_template("static void {{ name }}_comp({{ n }})", ctx),
+            "static void fc_5_comp(16)");
+}
+
+TEST(TemplateEngine, ForOverRange) {
+  EXPECT_EQ(render_template("{% for i in range(0, 3) %}{{ i }},{% endfor %}",
+                            {}),
+            "0,1,2,");
+}
+
+TEST(TemplateEngine, ForOverArray) {
+  tcontext ctx;
+  ctx["xs"] = tvalue{std::vector<tvalue>{std::int64_t{7}, std::int64_t{9}}};
+  EXPECT_EQ(render_template("{% for x in xs %}[{{ x }}]{% endfor %}", ctx),
+            "[7][9]");
+}
+
+TEST(TemplateEngine, NestedLoopsAndIndexing) {
+  tcontext ctx;
+  ctx["m"] = tvalue{std::vector<tvalue>{
+      tvalue{std::vector<tvalue>{std::int64_t{1}, std::int64_t{2}}},
+      tvalue{std::vector<tvalue>{std::int64_t{3}, std::int64_t{4}}}}};
+  const auto out = render_template(
+      "{% for i in range(0, 2) %}{% for j in range(0, 2) %}"
+      "{{ m[i][j] }} {% endfor %}{% endfor %}",
+      ctx);
+  EXPECT_EQ(out, "1 2 3 4 ");
+}
+
+TEST(TemplateEngine, LoopLastControlsSeparators) {
+  const auto out = render_template(
+      "{% for i in range(0, 3) %}{{ i }}{% if not loop.last %} + "
+      "{% endif %}{% endfor %}",
+      {});
+  EXPECT_EQ(out, "0 + 1 + 2");
+}
+
+TEST(TemplateEngine, LoopFirstAndIndex0) {
+  const auto out = render_template(
+      "{% for i in range(5, 8) %}{% if loop.first %}^{% endif %}"
+      "{{ loop.index0 }}{% endfor %}",
+      {});
+  EXPECT_EQ(out, "^012");
+}
+
+TEST(TemplateEngine, WhitespaceTrimming) {
+  EXPECT_EQ(render_template("a   {{- 1 -}}   b", {}), "a1b");
+  EXPECT_EQ(render_template("x {%- if 1 -%} y {%- endif -%} z", {}), "xyz");
+}
+
+TEST(TemplateEngine, LiteralBraceBeforeTag) {
+  // "(void) {{% for ... %}" contains "{{%": a literal '{' then a tag.
+  const auto out = render_template(
+      "f(void) {{% for i in range(0, 2) %}x{{ i }};{% endfor %}}", {});
+  EXPECT_EQ(out, "f(void) {x0;x1;}");
+}
+
+TEST(TemplateEngine, IfTruthiness) {
+  tcontext ctx;
+  ctx["empty"] = "";
+  ctx["full"] = "yes";
+  EXPECT_EQ(render_template("{% if empty %}A{% endif %}", ctx), "");
+  EXPECT_EQ(render_template("{% if full %}A{% endif %}", ctx), "A");
+  EXPECT_EQ(render_template("{% if not empty %}B{% endif %}", ctx), "B");
+}
+
+TEST(TemplateEngine, ErrorsCarryOffsets) {
+  EXPECT_THROW(render_template("{{ unknown }}", {}), template_error);
+  EXPECT_THROW(render_template("{% for i in range(0, 2) %}x", {}),
+               template_error);
+  EXPECT_THROW(render_template("{{ broken", {}), template_error);
+  EXPECT_THROW(render_template("{% frob x %}", {}), template_error);
+  try {
+    render_template("abc {{ nope }}", {});
+    FAIL() << "expected throw";
+  } catch (const template_error& e) {
+    EXPECT_GT(e.offset(), 0u);
+  }
+}
+
+TEST(TemplateEngine, IndexOutOfRangeThrows) {
+  tcontext ctx;
+  ctx["a"] = tvalue{std::vector<tvalue>{std::int64_t{1}}};
+  EXPECT_THROW(render_template("{{ a[3] }}", ctx), template_error);
+}
+
+// ------------------------------------------------------------- c emitter --
+
+TEST(CEmitter, SourceContainsExpectedStructure) {
+  rng g{50};
+  const auto net = nn::make_aurora_net(g);
+  const auto snap = generate_snapshot(net, "aurora", 3);
+  const auto& src = snap.c_source;
+  // Per-layer functions like the paper's Listing 2.
+  EXPECT_NE(src.find("static void fc_0_comp"), std::string::npos);
+  EXPECT_NE(src.find("static void fc_1_comp"), std::string::npos);
+  EXPECT_NE(src.find("static void fc_2_comp"), std::string::npos);
+  // tanh layers got lookup tables.
+  EXPECT_NE(src.find("lut_0_values"), std::string::npos);
+  EXPECT_NE(src.find("lut_2_eval"), std::string::npos);
+  // Top-level inference entry point and kernel module registration.
+  EXPECT_NE(src.find("int lf_nn_infer"), std::string::npos);
+  EXPECT_NE(src.find("lf_register_model(\"aurora\", 3UL, 30, 1, 1000"),
+            std::string::npos);
+  EXPECT_NE(src.find("module_init"), std::string::npos);
+  EXPECT_NE(src.find("MODULE_LICENSE"), std::string::npos);
+}
+
+TEST(CEmitter, ReluNetsHaveNoLut) {
+  rng g{51};
+  const auto net = nn::make_ffnn_flow_size_net(g);
+  const auto snap = generate_snapshot(net, "ffnn", 1);
+  EXPECT_EQ(snap.c_source.find("lut_"), std::string::npos);
+  EXPECT_NE(snap.c_source.find("lf_relu("), std::string::npos);
+}
+
+TEST(Snapshot, MetadataMatchesModel) {
+  rng g{52};
+  const auto net = nn::make_lb_mlp_net(g, 4);
+  const auto snap = generate_snapshot(net, "lb-mlp", 7);
+  EXPECT_EQ(snap.name, "lb-mlp");
+  EXPECT_EQ(snap.version, 7u);
+  EXPECT_EQ(snap.input_size(), net.input_size());
+  EXPECT_EQ(snap.output_size(), 4u);
+}
+
+// ----------------------------------------------- compiled golden equality --
+
+class CompiledGolden : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompiledGolden, GeneratedCodeMatchesInterpreterBitForBit) {
+  if (!compiler_available()) GTEST_SKIP() << "no gcc on PATH";
+  rng g{static_cast<std::uint64_t>(60 + GetParam())};
+  nn::mlp net = [&]() {
+    switch (GetParam()) {
+      case 0:
+        return nn::make_aurora_net(g);
+      case 1:
+        return nn::make_ffnn_flow_size_net(g);
+      default:
+        return nn::make_lb_mlp_net(g);
+    }
+  }();
+  const auto snap = generate_snapshot(net, "golden", 1);
+  const auto compiled = compiled_snapshot::compile(snap.c_source);
+  rng xs{77};
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<fp::s64> x(net.input_size());
+    for (auto& v : x) v = xs.uniform_int(-3000, 3000);
+    const auto want = snap.program.infer(x);
+    const auto got = compiled.infer(x, net.output_size());
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i], got[i]) << "output " << i << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nets, CompiledGolden, ::testing::Values(0, 1, 2));
+
+TEST(CompiledSnapshot, RejectsGarbageSource) {
+  if (!compiler_available()) GTEST_SKIP() << "no gcc on PATH";
+  EXPECT_THROW(compiled_snapshot::compile("this is not C"),
+               std::runtime_error);
+}
+
+}  // namespace

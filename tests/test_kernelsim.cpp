@@ -1,0 +1,219 @@
+// Unit tests for the simulated kernel execution environment: CPU model,
+// cross-space channels, spinlock.
+#include <gtest/gtest.h>
+
+#include "kernelsim/channel.hpp"
+#include "kernelsim/cpu.hpp"
+#include "kernelsim/spinlock.hpp"
+#include "sim/sim.hpp"
+
+namespace {
+
+using namespace lf;
+using namespace lf::kernelsim;
+
+// ------------------------------------------------------------------- cpu --
+
+TEST(CpuModel, AccountsPerCategory) {
+  sim::simulation s;
+  cpu_model cpu{s};
+  cpu.submit(task_category::datapath, 0.5);
+  cpu.submit(task_category::softirq, 0.25);
+  s.run();
+  EXPECT_DOUBLE_EQ(cpu.busy_seconds(task_category::datapath), 0.5);
+  EXPECT_DOUBLE_EQ(cpu.busy_seconds(task_category::softirq), 0.25);
+  EXPECT_DOUBLE_EQ(cpu.total_busy_seconds(), 0.75);
+}
+
+TEST(CpuModel, FifoCompletionTimes) {
+  sim::simulation s;
+  cpu_model cpu{s};
+  double t1 = 0.0;
+  double t2 = 0.0;
+  cpu.submit(task_category::datapath, 1.0, [&]() { t1 = s.now(); });
+  cpu.submit(task_category::other, 2.0, [&]() { t2 = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(t1, 1.0);
+  EXPECT_DOUBLE_EQ(t2, 3.0);  // waits for the first item
+}
+
+TEST(CpuModel, CapacityScalesServiceTime) {
+  sim::simulation s;
+  cpu_model cpu{s, 2.0};  // double-speed CPU
+  double done_at = 0.0;
+  cpu.submit(task_category::datapath, 1.0, [&]() { done_at = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(done_at, 0.5);
+}
+
+TEST(CpuModel, SaturationDelaysWork) {
+  sim::simulation s;
+  cpu_model cpu{s};
+  // Offer 2x capacity for 1 second of work each.
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    cpu.submit(task_category::datapath, 0.1, [&]() { ++completed; });
+  }
+  s.run_until(1.0);
+  // Only ~capacity*1s of work fits (exact boundary is FP-accumulation
+  // sensitive: the 10th completion lands at 1.0 +/- 1ulp).
+  EXPECT_GE(completed, 9);
+  EXPECT_LE(completed, 10);
+  s.run_until(2.1);
+  EXPECT_EQ(completed, 20);
+}
+
+TEST(CpuModel, UtilizationSince) {
+  sim::simulation s;
+  cpu_model cpu{s};
+  const double busy0 = cpu.total_busy_seconds();
+  cpu.submit(task_category::datapath, 0.3);
+  s.run_until(1.0);
+  EXPECT_NEAR(cpu.utilization_since(0.0, busy0), 0.3, 1e-9);
+}
+
+TEST(CpuModel, BacklogClearTime) {
+  sim::simulation s;
+  cpu_model cpu{s};
+  cpu.submit(task_category::datapath, 1.0);
+  cpu.submit(task_category::datapath, 2.0);
+  // First item is in service (not queued); backlog covers the second.
+  EXPECT_DOUBLE_EQ(cpu.backlog_clear_time(), 2.0);
+  EXPECT_EQ(cpu.queue_depth(), 1u);
+}
+
+TEST(CpuModel, RejectsInvalid) {
+  sim::simulation s;
+  EXPECT_THROW(cpu_model(s, 0.0), std::invalid_argument);
+  cpu_model cpu{s};
+  EXPECT_THROW(cpu.submit(task_category::datapath, -1.0),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- channel --
+
+TEST(Channel, RoundTripLatencyMatchesKind) {
+  sim::simulation s;
+  cpu_model cpu{s};
+  cost_model costs;
+  crossspace_channel chardev{s, cpu, costs, channel_kind::char_device};
+  double latency = -1.0;
+  chardev.round_trip(64, 8, 0.0, task_category::user_nn,
+                     [&](double l) { latency = l; });
+  s.run();
+  // Latency = wire latency + kernel-side CPU (2 halves) on an idle CPU.
+  EXPECT_GT(latency, costs.chardev_roundtrip_latency * 0.99);
+  EXPECT_LT(latency, costs.chardev_roundtrip_latency + 10e-6);
+  EXPECT_EQ(chardev.round_trips(), 1u);
+}
+
+TEST(Channel, NetlinkSlowerThanChardev) {
+  sim::simulation s;
+  cpu_model cpu{s};
+  cost_model costs;
+  crossspace_channel chardev{s, cpu, costs, channel_kind::char_device};
+  crossspace_channel netlink{s, cpu, costs, channel_kind::netlink};
+  double lat_char = 0.0;
+  double lat_nl = 0.0;
+  chardev.round_trip(64, 8, 0.0, task_category::user_nn,
+                     [&](double l) { lat_char = l; });
+  s.run();
+  netlink.round_trip(64, 8, 0.0, task_category::user_nn,
+                     [&](double l) { lat_nl = l; });
+  s.run();
+  EXPECT_GT(lat_nl, lat_char);
+}
+
+TEST(Channel, RoundTripChargesSoftirqAndUserWork) {
+  sim::simulation s;
+  cpu_model cpu{s};
+  cost_model costs;
+  crossspace_channel ccp{s, cpu, costs, channel_kind::ccp_ipc};
+  ccp.round_trip(128, 8, 5e-6, task_category::user_nn, {});
+  s.run();
+  EXPECT_NEAR(cpu.busy_seconds(task_category::softirq),
+              costs.ccp_roundtrip_softirq_cost +
+                  136 * costs.crossspace_per_byte_cost,
+              1e-9);
+  EXPECT_NEAR(cpu.busy_seconds(task_category::user_nn), 5e-6, 1e-12);
+}
+
+TEST(Channel, CongestedCpuStretchesLatency) {
+  sim::simulation s;
+  cpu_model cpu{s};
+  cost_model costs;
+  crossspace_channel chardev{s, cpu, costs, channel_kind::char_device};
+  // Saturate the CPU with 5ms of datapath work first.
+  cpu.submit(task_category::datapath, 5e-3);
+  double latency = 0.0;
+  chardev.round_trip(64, 8, 0.0, task_category::user_nn,
+                     [&](double l) { latency = l; });
+  s.run();
+  EXPECT_GT(latency, 5e-3);  // had to wait behind the backlog
+}
+
+TEST(Channel, OneWayDeliveryCountsBytes) {
+  sim::simulation s;
+  cpu_model cpu{s};
+  cost_model costs;
+  crossspace_channel netlink{s, cpu, costs, channel_kind::netlink};
+  bool delivered = false;
+  netlink.send_to_user(4096, [&]() { delivered = true; });
+  s.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(netlink.bytes_transferred(), 4096u);
+  EXPECT_EQ(netlink.one_way_messages(), 1u);
+}
+
+TEST(Channel, SendToKernelPaysCpuAfterWire) {
+  sim::simulation s;
+  cpu_model cpu{s};
+  cost_model costs;
+  crossspace_channel netlink{s, cpu, costs, channel_kind::netlink};
+  bool delivered = false;
+  netlink.send_to_kernel(1000, [&]() { delivered = true; });
+  s.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_GT(cpu.busy_seconds(task_category::softirq), 0.0);
+}
+
+// -------------------------------------------------------------- spinlock --
+
+TEST(Spinlock, UncontendedHasNoWait) {
+  sim::simulation s;
+  spinlock lock{s};
+  EXPECT_DOUBLE_EQ(lock.acquire(1e-6), 0.0);
+  EXPECT_EQ(lock.acquisitions(), 1u);
+  EXPECT_EQ(lock.contended_acquisitions(), 0u);
+}
+
+TEST(Spinlock, BackToBackAcquiresWait) {
+  sim::simulation s;
+  spinlock lock{s};
+  lock.acquire(1e-3);
+  const double wait = lock.acquire(1e-3);  // same instant: must wait 1ms
+  EXPECT_DOUBLE_EQ(wait, 1e-3);
+  EXPECT_EQ(lock.contended_acquisitions(), 1u);
+  EXPECT_DOUBLE_EQ(lock.max_wait_seconds(), 1e-3);
+}
+
+TEST(Spinlock, FreeAfterHoldExpires) {
+  sim::simulation s;
+  spinlock lock{s};
+  lock.acquire(1e-3);
+  s.schedule(2e-3, []() {});
+  s.run();
+  EXPECT_DOUBLE_EQ(lock.acquire(1e-6), 0.0);
+}
+
+TEST(Spinlock, NanosecondHoldBarelyBlocks) {
+  // The paper's point: the pointer-flip lock is held ~ns, so even an
+  // immediately following datapath acquire waits only nanoseconds.
+  sim::simulation s;
+  spinlock lock{s};
+  lock.acquire(20e-9);
+  const double wait = lock.acquire(0.0);
+  EXPECT_LE(wait, 20e-9);
+}
+
+}  // namespace

@@ -1,0 +1,413 @@
+// Unit tests for the packet-level network simulator: links, switches,
+// hosts (reassembly/ACK generation), topologies, workload generators.
+#include <gtest/gtest.h>
+
+#include "netsim/host.hpp"
+#include "netsim/link.hpp"
+#include "netsim/node.hpp"
+#include "netsim/topology.hpp"
+#include "netsim/workload.hpp"
+
+namespace {
+
+using namespace lf;
+using namespace lf::netsim;
+
+/// Terminal node that records everything delivered to it.
+class sink_node final : public node {
+ public:
+  sink_node() : node{"sink"} {}
+  void deliver(packet pkt) override { packets.push_back(pkt); }
+  std::vector<packet> packets;
+};
+
+packet make_data(flow_id_t flow, std::uint64_t seq, std::uint32_t bytes,
+                 host_id_t dst = 0) {
+  packet p;
+  p.flow_id = flow;
+  p.seq = seq;
+  p.payload_bytes = bytes;
+  p.wire_bytes = bytes + k_header_bytes;
+  p.dst = dst;
+  return p;
+}
+
+// ------------------------------------------------------------------ link --
+
+TEST(Link, SerializesAtConfiguredRate) {
+  sim::simulation s;
+  sink_node sink;
+  link_config cfg;
+  cfg.rate_bps = 8e6;  // 1 byte/us
+  cfg.propagation_delay = 0.0;
+  netsim::link l{s, cfg, sink};
+  l.enqueue(make_data(1, 0, 960));  // 1000 wire bytes -> 1ms
+  s.run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_NEAR(s.now(), 1e-3, 1e-9);
+}
+
+TEST(Link, AddsPropagationDelay) {
+  sim::simulation s;
+  sink_node sink;
+  link_config cfg;
+  cfg.rate_bps = 1e9;
+  cfg.propagation_delay = 5e-3;
+  netsim::link l{s, cfg, sink};
+  l.enqueue(make_data(1, 0, 100));
+  s.run();
+  EXPECT_GT(s.now(), 5e-3);
+  EXPECT_LT(s.now(), 5.1e-3);
+}
+
+TEST(Link, DropTailWhenBufferFull) {
+  sim::simulation s;
+  sink_node sink;
+  link_config cfg;
+  cfg.rate_bps = 1e3;  // very slow so queue builds
+  cfg.buffer_bytes = 3000;
+  netsim::link l{s, cfg, sink};
+  for (int i = 0; i < 10; ++i) l.enqueue(make_data(1, i * 960, 960));
+  EXPECT_GT(l.dropped_packets(), 0u);
+  EXPECT_EQ(l.enqueued_packets(), 10u);
+}
+
+TEST(Link, EcnMarksAboveThreshold) {
+  sim::simulation s;
+  sink_node sink;
+  link_config cfg;
+  cfg.rate_bps = 1e3;
+  cfg.buffer_bytes = 1u << 20;
+  cfg.ecn_threshold_bytes = 2000;
+  netsim::link l{s, cfg, sink};
+  for (int i = 0; i < 5; ++i) {
+    auto p = make_data(1, i * 960, 960);
+    p.ecn_capable = true;
+    l.enqueue(p);
+  }
+  EXPECT_GT(l.marked_packets(), 0u);
+  // First packets (queue below threshold) are unmarked.
+  EXPECT_LT(l.marked_packets(), 5u);
+}
+
+TEST(Link, StrictPriorityDequeuesHighBandFirst) {
+  sim::simulation s;
+  sink_node sink;
+  link_config cfg;
+  cfg.rate_bps = 8e6;
+  cfg.propagation_delay = 0.0;
+  netsim::link l{s, cfg, sink};
+  auto low = make_data(1, 0, 960);
+  low.priority = 5;
+  auto low2 = make_data(1, 960, 960);
+  low2.priority = 5;
+  auto high = make_data(2, 0, 960);
+  high.priority = 1;
+  // Enqueue low, low, high while the first low is serializing: the high
+  // priority packet must jump ahead of the second low one.
+  l.enqueue(low);
+  l.enqueue(low2);
+  l.enqueue(high);
+  s.run();
+  ASSERT_EQ(sink.packets.size(), 3u);
+  EXPECT_EQ(sink.packets[0].flow_id, 1u);
+  EXPECT_EQ(sink.packets[1].flow_id, 2u);  // high jumped the queue
+  EXPECT_EQ(sink.packets[2].flow_id, 1u);
+}
+
+TEST(Link, QueueTraceRecordsDepth) {
+  sim::simulation s;
+  sink_node sink;
+  link_config cfg;
+  cfg.rate_bps = 1e6;
+  netsim::link l{s, cfg, sink};
+  l.enable_queue_trace();
+  l.enqueue(make_data(1, 0, 960));
+  l.enqueue(make_data(1, 960, 960));
+  s.run();
+  EXPECT_GE(l.queue_trace().size(), 2u);
+}
+
+// ---------------------------------------------------------------- switch --
+
+TEST(SwitchNode, RoutesByFunction) {
+  sim::simulation s;
+  sink_node a;
+  sink_node b;
+  switch_node sw{"sw"};
+  link_config cfg;
+  cfg.rate_bps = 1e9;
+  cfg.propagation_delay = 0.0;
+  sw.add_port(std::make_unique<netsim::link>(s, cfg, a));
+  sw.add_port(std::make_unique<netsim::link>(s, cfg, b));
+  sw.set_route([](const packet& p) { return p.dst == 7 ? 0u : 1u; });
+  sw.deliver(make_data(1, 0, 100, 7));
+  sw.deliver(make_data(2, 0, 100, 9));
+  s.run();
+  EXPECT_EQ(a.packets.size(), 1u);
+  EXPECT_EQ(b.packets.size(), 1u);
+}
+
+TEST(SwitchNode, ThrowsWithoutRoute) {
+  sim::simulation s;
+  switch_node sw{"sw"};
+  EXPECT_THROW(sw.deliver(make_data(1, 0, 100)), std::logic_error);
+}
+
+// ------------------------------------------------------------------ host --
+
+struct host_rig {
+  sim::simulation s;
+  kernelsim::cost_model costs;
+  std::unique_ptr<host> h;
+  std::unique_ptr<sink_node> sink;
+  std::unique_ptr<netsim::link> uplink;
+
+  host_rig() {
+    h = std::make_unique<host>(s, 1, "h", costs);
+    h->set_cpu_gating(false);
+    sink = std::make_unique<sink_node>();
+    link_config cfg;
+    cfg.rate_bps = 1e9;
+    cfg.propagation_delay = 0.0;
+    uplink = std::make_unique<netsim::link>(s, cfg, *sink);
+    h->set_egress(uplink.get());
+  }
+};
+
+TEST(Host, InOrderDeliveryCountsGoodputAndAcks) {
+  host_rig rig;
+  rig.h->deliver(make_data(5, 0, 1000));
+  rig.h->deliver(make_data(5, 1000, 1000));
+  rig.s.run();
+  EXPECT_EQ(rig.h->total_delivered_payload(), 2000u);
+  const auto* st = rig.h->flow_state(5);
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->next_expected, 2000u);
+  // Two ACKs emitted.
+  ASSERT_EQ(rig.sink->packets.size(), 2u);
+  EXPECT_TRUE(rig.sink->packets[0].is_ack);
+  EXPECT_EQ(rig.sink->packets[1].ack_seq, 2000u);
+}
+
+TEST(Host, OutOfOrderReassembly) {
+  host_rig rig;
+  rig.h->deliver(make_data(5, 1000, 1000));  // gap
+  rig.s.run();
+  EXPECT_EQ(rig.h->flow_state(5)->next_expected, 0u);
+  EXPECT_EQ(rig.h->total_delivered_payload(), 1000u);  // unique bytes count
+  rig.h->deliver(make_data(5, 0, 1000));  // fill the gap
+  rig.s.run();
+  EXPECT_EQ(rig.h->flow_state(5)->next_expected, 2000u);
+  EXPECT_EQ(rig.h->total_delivered_payload(), 2000u);
+}
+
+TEST(Host, DuplicatesDoNotDoubleCount) {
+  host_rig rig;
+  rig.h->deliver(make_data(5, 0, 1000));
+  rig.h->deliver(make_data(5, 0, 1000));
+  rig.s.run();
+  EXPECT_EQ(rig.h->total_delivered_payload(), 1000u);
+}
+
+TEST(Host, OverlappingSegmentsCountOnce) {
+  host_rig rig;
+  rig.h->deliver(make_data(5, 500, 1000));   // [500,1500)
+  rig.h->deliver(make_data(5, 0, 1000));     // [0,1000) overlaps
+  rig.s.run();
+  EXPECT_EQ(rig.h->total_delivered_payload(), 1500u);
+  EXPECT_EQ(rig.h->flow_state(5)->next_expected, 1500u);
+}
+
+TEST(Host, FinTriggersCompletionHook) {
+  host_rig rig;
+  flow_id_t completed = 0;
+  rig.h->set_completion_hook(
+      [&](flow_id_t f, const receive_state&) { completed = f; });
+  auto last = make_data(9, 0, 500);
+  last.fin = true;
+  rig.h->deliver(last);
+  rig.s.run();
+  EXPECT_EQ(completed, 9u);
+  EXPECT_TRUE(rig.h->flow_state(9)->completed);
+}
+
+TEST(Host, FinWaitsForMissingBytes) {
+  host_rig rig;
+  bool completed = false;
+  rig.h->set_completion_hook(
+      [&](flow_id_t, const receive_state&) { completed = true; });
+  auto fin = make_data(9, 1000, 500);
+  fin.fin = true;
+  rig.h->deliver(fin);
+  rig.s.run();
+  EXPECT_FALSE(completed);
+  rig.h->deliver(make_data(9, 0, 1000));
+  rig.s.run();
+  EXPECT_TRUE(completed);
+}
+
+TEST(Host, EcnEchoOnAck) {
+  host_rig rig;
+  auto p = make_data(5, 0, 1000);
+  p.ecn_marked = true;
+  rig.h->deliver(p);
+  rig.s.run();
+  ASSERT_EQ(rig.sink->packets.size(), 1u);
+  EXPECT_TRUE(rig.sink->packets[0].ack_ecn_echo);
+}
+
+TEST(Host, CpuGatingChargesDatapath) {
+  sim::simulation s;
+  kernelsim::cost_model costs;
+  host h{s, 1, "h", costs};
+  sink_node sink;
+  link_config cfg;
+  cfg.rate_bps = 1e9;
+  netsim::link uplink{s, cfg, sink};
+  h.set_egress(&uplink);
+  h.send_packet(make_data(5, 0, 1000));
+  s.run();
+  EXPECT_NEAR(h.cpu().busy_seconds(kernelsim::task_category::datapath),
+              costs.datapath_packet_cost, 1e-12);
+}
+
+// -------------------------------------------------------------- topology --
+
+TEST(Dumbbell, EndToEndDelivery) {
+  sim::simulation s;
+  dumbbell_config cfg;
+  cfg.rtt = 10e-3;
+  dumbbell net{s, cfg};
+  net.sender().set_cpu_gating(false);
+  auto p = make_data(1, 0, 1000, dumbbell::receiver_id);
+  net.sender().send_packet(p);
+  s.run();
+  EXPECT_EQ(net.receiver().total_delivered_payload(), 1000u);
+  // Sender got the ACK back after ~RTT.
+  EXPECT_GE(s.now(), cfg.rtt * 0.99);
+}
+
+TEST(SpineLeaf, CrossLeafRouting) {
+  sim::simulation s;
+  spine_leaf_config cfg;
+  cfg.hosts_per_leaf = 2;
+  spine_leaf net{s, cfg};
+  ASSERT_EQ(net.host_count(), 4u);
+  net.host_at(0).set_cpu_gating(false);
+  auto p = make_data(1, 0, 1000, 3);  // host 0 (leaf 0) -> host 3 (leaf 1)
+  p.fin = true;
+  net.host_at(0).send_packet(p);
+  s.run();
+  EXPECT_EQ(net.host_at(3).total_delivered_payload(), 1000u);
+}
+
+TEST(SpineLeaf, SameLeafStaysLocal) {
+  sim::simulation s;
+  spine_leaf_config cfg;
+  cfg.hosts_per_leaf = 2;
+  spine_leaf net{s, cfg};
+  auto p = make_data(1, 0, 500, 1);  // host 0 -> host 1, same leaf
+  net.host_at(0).send_packet(p);
+  s.run();
+  EXPECT_EQ(net.host_at(1).total_delivered_payload(), 500u);
+  // No spine uplink carried data.
+  EXPECT_EQ(net.uplink(0, 0).transmitted_packets() +
+                net.uplink(0, 1).transmitted_packets(),
+            0u);
+}
+
+TEST(SpineLeaf, PathTagSelectsSpine) {
+  sim::simulation s;
+  spine_leaf_config cfg;
+  cfg.hosts_per_leaf = 2;
+  spine_leaf net{s, cfg};
+  auto p = make_data(1, 0, 500, 3);
+  p.path_tag = 2;  // spine index 1
+  net.host_at(0).send_packet(p);
+  s.run();
+  EXPECT_EQ(net.uplink(0, 1).transmitted_packets(), 1u);
+  EXPECT_EQ(net.uplink(0, 0).transmitted_packets(), 0u);
+}
+
+TEST(SpineLeaf, EcmpIsFlowConsistent) {
+  sim::simulation s;
+  spine_leaf_config cfg;
+  cfg.hosts_per_leaf = 2;
+  spine_leaf net{s, cfg};
+  for (int i = 0; i < 10; ++i) {
+    net.host_at(0).send_packet(make_data(42, i * 500u, 500, 3));
+  }
+  s.run();
+  // All ten packets of flow 42 took the same uplink.
+  const auto up0 = net.uplink(0, 0).transmitted_packets();
+  const auto up1 = net.uplink(0, 1).transmitted_packets();
+  EXPECT_EQ(up0 + up1, 10u);
+  EXPECT_TRUE(up0 == 0 || up1 == 0);
+}
+
+// -------------------------------------------------------------- workload --
+
+TEST(CbrSource, EmitsAtConfiguredRate) {
+  sim::simulation s;
+  dumbbell net{s, {}};
+  cbr_source cbr{s, net.bg_sender(), dumbbell::receiver_id, 99, 100e6};
+  cbr.start();
+  s.run_until(0.1);
+  const double delivered =
+      static_cast<double>(net.receiver().total_delivered_payload()) * 8 / 0.1;
+  EXPECT_NEAR(delivered, 100e6, 10e6);
+}
+
+TEST(CbrSource, RateChangeTakesEffect) {
+  sim::simulation s;
+  dumbbell net{s, {}};
+  cbr_source cbr{s, net.bg_sender(), dumbbell::receiver_id, 99, 100e6};
+  cbr.start();
+  s.run_until(0.1);
+  const auto bytes_at_point_1 = net.receiver().total_delivered_payload();
+  cbr.set_rate(200e6);
+  s.run_until(0.2);
+  const auto second_window =
+      net.receiver().total_delivered_payload() - bytes_at_point_1;
+  EXPECT_NEAR(static_cast<double>(second_window) * 8 / 0.1, 200e6, 20e6);
+}
+
+TEST(WebSearchCdf, HeavyTailedShape) {
+  const auto cdf = web_search_flow_sizes();
+  EXPECT_LT(cdf.quantile(0.5), 100e3);   // median is smallish
+  EXPECT_GT(cdf.quantile(0.95), 3e6);    // tail is MBs
+  EXPECT_GT(cdf.mean_value(), cdf.quantile(0.5));  // mean >> median
+}
+
+TEST(FlowClassification, PaperThresholds) {
+  EXPECT_EQ(classify_flow(5'000), flow_class::short_flow);
+  EXPECT_EQ(classify_flow(50'000), flow_class::mid_flow);
+  EXPECT_EQ(classify_flow(500'000), flow_class::long_flow);
+  EXPECT_EQ(classify_flow(10'000), flow_class::mid_flow);  // boundary
+}
+
+TEST(PoissonGenerator, GeneratesRequestedFlows) {
+  sim::simulation s;
+  rng gen{3};
+  std::size_t started = 0;
+  double total_size = 0.0;
+  poisson_flow_generator pg{
+      s, gen, 1000.0, web_search_flow_sizes(),
+      [](rng& g) {
+        return std::pair<std::size_t, std::size_t>{
+            0, static_cast<std::size_t>(g.uniform_int(1, 3))};
+      },
+      [&](const poisson_flow_generator::flow_request& req) {
+        ++started;
+        total_size += static_cast<double>(req.size_bytes);
+        EXPECT_GE(req.dst, 1u);
+        EXPECT_LE(req.dst, 3u);
+      }};
+  pg.start(200);
+  s.run();
+  EXPECT_EQ(started, 200u);
+  EXPECT_GT(total_size / 200.0, 10e3);  // web-search mean is >> 10KB
+}
+
+}  // namespace

@@ -1,0 +1,317 @@
+// Unit tests for src/nn: activations, dense layers, MLP backprop (checked
+// against finite differences), losses, optimizers, trainer, serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lf;
+using namespace lf::nn;
+
+// ------------------------------------------------------------ activation --
+
+class ActivationGradCheck
+    : public ::testing::TestWithParam<std::tuple<activation, double>> {};
+
+TEST_P(ActivationGradCheck, MatchesFiniteDifference) {
+  const auto [act, x] = GetParam();
+  const double h = 1e-6;
+  const double fd = (activate(act, x + h) - activate(act, x - h)) / (2 * h);
+  EXPECT_NEAR(activate_grad(act, x), fd, 1e-4)
+      << to_string(act) << " at x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ActivationGradCheck,
+    ::testing::Combine(::testing::Values(activation::linear, activation::relu,
+                                         activation::tanh_act,
+                                         activation::sigmoid),
+                       // Avoid relu's kink at exactly 0.
+                       ::testing::Values(-2.0, -0.5, 0.3, 1.7, 4.0)));
+
+TEST(Activation, KnownValues) {
+  EXPECT_DOUBLE_EQ(activate(activation::linear, 3.5), 3.5);
+  EXPECT_DOUBLE_EQ(activate(activation::relu, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(activate(activation::relu, 2.0), 2.0);
+  EXPECT_NEAR(activate(activation::tanh_act, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(activate(activation::sigmoid, 0.0), 0.5, 1e-12);
+}
+
+TEST(Activation, StringRoundTrip) {
+  for (const auto a : {activation::linear, activation::relu,
+                       activation::tanh_act, activation::sigmoid}) {
+    EXPECT_EQ(activation_from_string(to_string(a)), a);
+  }
+  EXPECT_THROW(activation_from_string("gelu"), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- dense --
+
+TEST(DenseLayer, ForwardComputesAffine) {
+  dense_layer layer{2, 1, activation::linear};
+  layer.weights()[0] = 2.0;
+  layer.weights()[1] = -3.0;
+  layer.biases()[0] = 0.5;
+  const double x[] = {1.0, 2.0};
+  double y[1];
+  layer.forward(x, y, {});
+  EXPECT_DOUBLE_EQ(y[0], 2.0 - 6.0 + 0.5);
+}
+
+TEST(DenseLayer, ForwardAppliesActivation) {
+  dense_layer layer{1, 1, activation::relu};
+  layer.weights()[0] = 1.0;
+  layer.biases()[0] = -5.0;
+  const double x[] = {2.0};
+  double y[1];
+  layer.forward(x, y, {});
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+}
+
+TEST(DenseLayer, RejectsSizeMismatch) {
+  dense_layer layer{2, 3, activation::linear};
+  const double x[] = {1.0};
+  double y[3];
+  EXPECT_THROW(layer.forward(x, y, {}), std::invalid_argument);
+}
+
+TEST(DenseLayer, XavierInitBounded) {
+  rng g{5};
+  dense_layer layer{64, 32, activation::tanh_act, g};
+  const double limit = std::sqrt(6.0 / (64 + 32));
+  for (const double w : layer.weights()) {
+    EXPECT_LE(std::abs(w), limit + 1e-12);
+  }
+  for (const double b : layer.biases()) EXPECT_DOUBLE_EQ(b, 0.0);
+}
+
+// ------------------------------------------------------------------- mlp --
+
+TEST(Mlp, ForwardShapeAndDeterminism) {
+  rng g{3};
+  auto net = make_aurora_net(g);
+  EXPECT_EQ(net.input_size(), 30u);
+  EXPECT_EQ(net.output_size(), 1u);
+  std::vector<double> x(30, 0.1);
+  const auto y1 = net.forward(x);
+  const auto y2 = net.forward(x);
+  ASSERT_EQ(y1.size(), 1u);
+  EXPECT_DOUBLE_EQ(y1[0], y2[0]);
+  EXPECT_LE(std::abs(y1[0]), 1.0);  // tanh output head
+}
+
+TEST(Mlp, ParameterRoundTrip) {
+  rng g{4};
+  auto net = make_ffnn_flow_size_net(g);
+  auto params = net.parameters();
+  EXPECT_EQ(params.size(), net.parameter_count());
+  params[0] = 123.0;
+  net.set_parameters(params);
+  EXPECT_DOUBLE_EQ(net.parameters()[0], 123.0);
+}
+
+TEST(Mlp, GradientMatchesFiniteDifference) {
+  rng g{6};
+  const layer_spec specs[] = {{4, activation::tanh_act},
+                              {3, activation::relu},
+                              {2, activation::linear}};
+  mlp net{3, specs, g};
+  const std::vector<double> x{0.3, -0.7, 1.1};
+  const std::vector<double> grad_out{1.0, -0.5};  // arbitrary dL/dy
+
+  std::vector<double> grad(net.parameter_count(), 0.0);
+  net.accumulate_gradient(x, grad_out, grad);
+
+  // Finite-difference check on a scattering of parameters.
+  auto params = net.parameters();
+  const double h = 1e-6;
+  auto loss_at = [&](const std::vector<double>& p) {
+    mlp m{3, specs};
+    m.set_parameters(p);
+    const auto y = m.forward(x);
+    return y[0] * grad_out[0] + y[1] * grad_out[1];
+  };
+  for (std::size_t i = 0; i < params.size(); i += 7) {
+    auto p = params;
+    p[i] += h;
+    const double up = loss_at(p);
+    p[i] -= 2 * h;
+    const double dn = loss_at(p);
+    const double fd = (up - dn) / (2 * h);
+    EXPECT_NEAR(grad[i], fd, 1e-4) << "param " << i;
+  }
+}
+
+TEST(Mlp, SameStructureDetectsMismatch) {
+  rng g{8};
+  auto a = make_aurora_net(g);
+  auto b = make_aurora_net(g);
+  auto c = make_mocc_net(g);
+  EXPECT_TRUE(a.same_structure(b));
+  EXPECT_FALSE(a.same_structure(c));
+  EXPECT_THROW((void)a.parameter_distance(c), std::invalid_argument);
+}
+
+TEST(Mlp, ParameterDistanceZeroForCopies) {
+  rng g{8};
+  auto a = make_aurora_net(g);
+  auto b = a;
+  EXPECT_DOUBLE_EQ(a.parameter_distance(b), 0.0);
+  auto p = b.parameters();
+  p[0] += 1.0;
+  b.set_parameters(p);
+  EXPECT_GT(a.parameter_distance(b), 0.0);
+}
+
+TEST(Mlp, DescribeMentionsShapes) {
+  rng g{8};
+  const auto d = make_aurora_net(g).describe();
+  EXPECT_NE(d.find("30"), std::string::npos);
+  EXPECT_NE(d.find("32(tanh)"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ loss --
+
+TEST(Loss, MseValueAndGradient) {
+  const double pred[] = {1.0, 2.0};
+  const double target[] = {0.0, 4.0};
+  EXPECT_DOUBLE_EQ(loss_value(loss_kind::mse, pred, target), (1.0 + 4.0) / 2);
+  const auto g = loss_gradient(loss_kind::mse, pred, target);
+  EXPECT_DOUBLE_EQ(g[0], 2.0 * 1.0 / 2);
+  EXPECT_DOUBLE_EQ(g[1], 2.0 * -2.0 / 2);
+}
+
+TEST(Loss, SmoothL1LinearTail) {
+  const double pred[] = {10.0};
+  const double target[] = {0.0};
+  EXPECT_DOUBLE_EQ(loss_value(loss_kind::smooth_l1, pred, target), 9.5);
+  EXPECT_DOUBLE_EQ(loss_gradient(loss_kind::smooth_l1, pred, target)[0], 1.0);
+}
+
+TEST(Loss, SmoothL1QuadraticCore) {
+  const double pred[] = {0.5};
+  const double target[] = {0.0};
+  EXPECT_DOUBLE_EQ(loss_value(loss_kind::smooth_l1, pred, target), 0.125);
+  EXPECT_DOUBLE_EQ(loss_gradient(loss_kind::smooth_l1, pred, target)[0], 0.5);
+}
+
+// ------------------------------------------------------------- optimizer --
+
+TEST(Optimizer, SgdStepsDownhill) {
+  sgd opt{0.1};
+  std::vector<double> params{1.0};
+  const std::vector<double> grads{2.0};
+  opt.step(params, grads);
+  EXPECT_DOUBLE_EQ(params[0], 0.8);
+}
+
+TEST(Optimizer, AdamConvergesOnQuadratic) {
+  adam opt{0.1};
+  std::vector<double> params{5.0, -3.0};
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> grads{2.0 * params[0], 2.0 * params[1]};
+    opt.step(params, grads);
+  }
+  EXPECT_NEAR(params[0], 0.0, 1e-3);
+  EXPECT_NEAR(params[1], 0.0, 1e-3);
+}
+
+TEST(Optimizer, MomentumConvergesOnQuadratic) {
+  momentum_sgd opt{0.05, 0.9};
+  std::vector<double> params{4.0};
+  for (int i = 0; i < 300; ++i) {
+    const std::vector<double> grads{2.0 * params[0]};
+    opt.step(params, grads);
+  }
+  EXPECT_NEAR(params[0], 0.0, 1e-3);
+}
+
+TEST(Optimizer, GradientClipping) {
+  std::vector<double> g{3.0, 4.0};  // norm 5
+  const double norm = clip_gradient_norm(g, 1.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(std::hypot(g[0], g[1]), 1.0, 1e-12);
+  // Under the cap: untouched.
+  std::vector<double> g2{0.3, 0.4};
+  clip_gradient_norm(g2, 1.0);
+  EXPECT_DOUBLE_EQ(g2[0], 0.3);
+}
+
+TEST(Optimizer, RejectsSizeMismatch) {
+  sgd opt{0.1};
+  std::vector<double> params{1.0, 2.0};
+  const std::vector<double> grads{1.0};
+  EXPECT_THROW(opt.step(params, grads), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- trainer --
+
+TEST(Trainer, LearnsLinearFunction) {
+  rng g{21};
+  const layer_spec specs[] = {{8, activation::tanh_act},
+                              {1, activation::linear}};
+  mlp net{2, specs, g};
+  supervised_trainer trainer{net, loss_kind::mse, std::make_unique<adam>(0.01)};
+
+  // Target: y = 2*x0 - x1.
+  std::vector<training_sample> batch;
+  for (int i = 0; i < 64; ++i) {
+    const double x0 = g.uniform(-1, 1);
+    const double x1 = g.uniform(-1, 1);
+    batch.push_back({{x0, x1}, {2 * x0 - x1}});
+  }
+  const double before = trainer.evaluate(batch);
+  for (int epoch = 0; epoch < 400; ++epoch) trainer.train_batch(batch);
+  const double after = trainer.evaluate(batch);
+  EXPECT_LT(after, before * 0.05);
+  EXPECT_LT(after, 0.01);
+}
+
+TEST(Trainer, EmptyBatchIsNoop) {
+  rng g{22};
+  auto net = make_ffnn_flow_size_net(g);
+  const auto params = net.parameters();
+  supervised_trainer trainer{net, loss_kind::mse, std::make_unique<sgd>(0.1)};
+  const auto report = trainer.train_batch({});
+  EXPECT_DOUBLE_EQ(report.mean_loss, 0.0);
+  EXPECT_EQ(net.parameters(), params);
+}
+
+// ------------------------------------------------------------- serialize --
+
+TEST(Serialize, RoundTripPreservesOutputs) {
+  rng g{33};
+  auto net = make_mocc_net(g);
+  const auto text = save_mlp_to_string(net);
+  const auto loaded = load_mlp_from_string(text);
+  EXPECT_TRUE(net.same_structure(loaded));
+  std::vector<double> x(net.input_size());
+  for (auto& v : x) v = g.uniform(-1, 1);
+  const auto y0 = net.forward(x);
+  const auto y1 = loaded.forward(x);
+  for (std::size_t i = 0; i < y0.size(); ++i) EXPECT_DOUBLE_EQ(y0[i], y1[i]);
+}
+
+TEST(Serialize, RejectsCorruptHeader) {
+  EXPECT_THROW(load_mlp_from_string("not-a-model"), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedParams) {
+  rng g{34};
+  auto net = make_ffnn_flow_size_net(g);
+  auto text = save_mlp_to_string(net);
+  text.resize(text.size() / 2);
+  EXPECT_THROW(load_mlp_from_string(text), std::runtime_error);
+}
+
+}  // namespace

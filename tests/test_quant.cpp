@@ -1,0 +1,258 @@
+// Unit tests for src/quant: lookup tables, the integer snapshot program,
+// the quantizer's precision behaviour (the paper's Fig. 7 invariant: larger
+// scaling factors -> smaller accuracy loss) and the fidelity-loss machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/mlp.hpp"
+#include "quant/fidelity.hpp"
+#include "quant/lut.hpp"
+#include "quant/quantized_mlp.hpp"
+#include "quant/quantizer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lf;
+using namespace lf::quant;
+
+// ------------------------------------------------------------------- lut --
+
+TEST(Lut, TanhEndpointsSaturate) {
+  const auto lut = lookup_table::for_activation(nn::activation::tanh_act, 256,
+                                                1000);
+  EXPECT_EQ(lut.eval(-100000), lut.values().front());
+  EXPECT_EQ(lut.eval(100000), lut.values().back());
+  EXPECT_NEAR(lut.eval_float(0.0), 0.0, 1e-3);
+  EXPECT_NEAR(lut.eval_float(1.0), std::tanh(1.0), 2e-3);
+}
+
+TEST(Lut, SigmoidMidpoint) {
+  const auto lut = lookup_table::for_activation(nn::activation::sigmoid, 512,
+                                                10000);
+  EXPECT_NEAR(lut.eval_float(0.0), 0.5, 1e-3);
+  EXPECT_NEAR(lut.eval_float(-12.5), 0.0, 1e-3);
+  EXPECT_NEAR(lut.eval_float(12.5), 1.0, 1e-3);
+}
+
+TEST(Lut, RejectsUnsupportedActivation) {
+  EXPECT_THROW(lookup_table::for_activation(nn::activation::relu, 64, 1000),
+               std::invalid_argument);
+}
+
+TEST(Lut, RejectsDegenerateConfig) {
+  const auto f = [](double x) { return x; };
+  EXPECT_THROW(lookup_table(f, 0.0, 1.0, 1, 1000), std::invalid_argument);
+  EXPECT_THROW(lookup_table(f, 1.0, 0.0, 16, 1000), std::invalid_argument);
+  EXPECT_THROW(lookup_table(f, 0.0, 1.0, 16, 0), std::invalid_argument);
+}
+
+class LutPrecisionSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, fp::s64>> {};
+
+TEST_P(LutPrecisionSweep, ErrorShrinksWithResolution) {
+  const auto [entries, scale] = GetParam();
+  const auto lut =
+      lookup_table::for_activation(nn::activation::tanh_act, entries, scale);
+  const auto tanh_fn = [](double x) { return std::tanh(x); };
+  const double err = lut.max_abs_error(tanh_fn);
+  // Error bound: interpolation error O((dx)^2) plus quantization 1/scale.
+  const double dx = 16.0 / static_cast<double>(entries - 1);
+  const double bound = 0.2 * dx * dx + 2.0 / static_cast<double>(scale);
+  EXPECT_LE(err, bound) << "entries=" << entries << " scale=" << scale;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LutPrecisionSweep,
+    ::testing::Combine(::testing::Values(std::size_t{64}, std::size_t{256},
+                                         std::size_t{1024}, std::size_t{4096}),
+                       ::testing::Values(fp::s64{100}, fp::s64{1000},
+                                         fp::s64{100000})));
+
+// --------------------------------------------------------- quantized mlp --
+
+TEST(QuantizedMlp, ValidatesLayerChain) {
+  qdense_layer bad;
+  bad.input_size = 3;
+  bad.output_size = 2;
+  bad.weights.assign(6, 1);
+  bad.biases.assign(2, 0);
+  bad.weight_scale = 16;
+  // input_size 4 != layer's declared 3
+  EXPECT_THROW(quantized_mlp(4, 1000, {bad}), std::invalid_argument);
+}
+
+TEST(QuantizedMlp, HandComputedExample) {
+  // One layer: y = round((w*x + b) / w_scale); identity-ish check.
+  qdense_layer layer;
+  layer.input_size = 2;
+  layer.output_size = 1;
+  layer.weight_scale = 4;
+  layer.weights = {8, -4};  // real weights 2 and -1
+  layer.biases = {4000};    // real bias 1.0 at io_scale 1000 (4 * 1000)
+  layer.act = nn::activation::linear;
+  quantized_mlp q{2, 1000, {std::move(layer)}};
+  // x = (0.5, 1.0) -> 2*0.5 - 1*1.0 + 1.0 = 1.0 -> 1000 at io scale.
+  const fp::s64 in[] = {500, 1000};
+  const auto out = q.infer(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1000);
+}
+
+TEST(QuantizedMlp, ReluClampsNegativePreactivation) {
+  qdense_layer layer;
+  layer.input_size = 1;
+  layer.output_size = 1;
+  layer.weight_scale = 1;
+  layer.weights = {1};
+  layer.biases = {0};
+  layer.act = nn::activation::relu;
+  quantized_mlp q{1, 1000, {std::move(layer)}};
+  const fp::s64 neg[] = {-500};
+  EXPECT_EQ(q.infer(neg)[0], 0);
+  const fp::s64 pos[] = {700};
+  EXPECT_EQ(q.infer(pos)[0], 700);
+}
+
+TEST(QuantizedMlp, MacCountAndBytes) {
+  rng g{40};
+  const auto q = quantize(nn::make_aurora_net(g));
+  // 30*32 + 32*16 + 16*1 = 960 + 512 + 16.
+  EXPECT_EQ(q.mac_count(), 1488u);
+  EXPECT_GT(q.parameter_bytes(), 1488u * 8);
+}
+
+// --------------------------------------------------------------- quantizer --
+
+class QuantizerFidelitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizerFidelitySweep, AllPaperNetsStayAccurateAtC1000) {
+  rng g{static_cast<std::uint64_t>(GetParam())};
+  nn::mlp net = [&]() {
+    switch (GetParam() % 4) {
+      case 0:
+        return nn::make_aurora_net(g);
+      case 1:
+        return nn::make_mocc_net(g);
+      case 2:
+        return nn::make_ffnn_flow_size_net(g);
+      default:
+        return nn::make_lb_mlp_net(g);
+    }
+  }();
+  quantizer_config config;
+  config.io_scale = 1000;
+  const auto q = quantize(net, config);
+  rng xs{99};
+  double worst = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> x(net.input_size());
+    for (auto& v : x) v = xs.uniform(-1, 1);
+    const auto y = net.forward(x);
+    const auto yq = q.infer_float(x);
+    for (std::size_t k = 0; k < y.size(); ++k) {
+      worst = std::max(worst, std::abs(y[k] - yq[k]));
+    }
+  }
+  // Paper: ~2% average accuracy loss at 1000x scaling; our bound is the
+  // worst case over random inputs.
+  EXPECT_LT(worst, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nets, QuantizerFidelitySweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
+
+TEST(Quantizer, Figure7ShapeCoarseScalesLoseMoreAccuracy) {
+  rng g{41};
+  const auto net = nn::make_aurora_net(g);
+  rng xs{42};
+  std::vector<std::vector<double>> inputs;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<double> x(net.input_size());
+    for (auto& v : x) v = xs.uniform(-1, 1);
+    inputs.push_back(std::move(x));
+  }
+  auto mean_err = [&](fp::s64 scale) {
+    quantizer_config config;
+    config.io_scale = scale;
+    const auto q = quantize(net, config);
+    double total = 0.0;
+    for (const auto& x : inputs) {
+      const auto y = net.forward(x);
+      const auto yq = q.infer_float(x);
+      total += std::abs(y[0] - yq[0]);
+    }
+    return total / static_cast<double>(inputs.size());
+  };
+  const double e1 = mean_err(1);
+  const double e10 = mean_err(10);
+  const double e1000 = mean_err(1000);
+  EXPECT_GT(e1, e10);
+  EXPECT_GT(e10, e1000);
+  EXPECT_LT(e1000, 0.02);  // paper: ~2% at C=1000
+}
+
+TEST(Quantizer, RejectsNonPositiveScale) {
+  rng g{43};
+  const auto net = nn::make_ffnn_flow_size_net(g);
+  quantizer_config config;
+  config.io_scale = 0;
+  EXPECT_THROW(quantize(net, config), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- fidelity --
+
+TEST(Fidelity, FreshSnapshotHasLowLoss) {
+  rng g{44};
+  const auto net = nn::make_aurora_net(g);
+  const auto q = quantize(net);
+  rng xs{45};
+  std::vector<std::vector<double>> batch;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<double> x(net.input_size());
+    for (auto& v : x) v = xs.uniform(-1, 1);
+    batch.push_back(std::move(x));
+  }
+  const auto report = evaluate_fidelity(net, q, batch);
+  EXPECT_EQ(report.samples, 16u);
+  EXPECT_LE(report.min_loss, report.mean_loss);
+  EXPECT_LE(report.mean_loss, report.max_loss);
+  EXPECT_LT(report.max_loss, 0.05);
+  // Aurora outputs span [-1, 1]; alpha = 5% -> threshold 0.1.
+  EXPECT_FALSE(update_necessary(report, 0.05, -1.0, 1.0));
+}
+
+TEST(Fidelity, DriftedModelTriggersNecessity) {
+  rng g{46};
+  auto net = nn::make_aurora_net(g);
+  const auto q = quantize(net);  // snapshot of the *old* weights
+  // Tune the userspace model far away.
+  auto params = net.parameters();
+  for (auto& p : params) p += 0.8;
+  net.set_parameters(params);
+  rng xs{47};
+  std::vector<std::vector<double>> batch;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<double> x(net.input_size());
+    for (auto& v : x) v = xs.uniform(-1, 1);
+    batch.push_back(std::move(x));
+  }
+  const auto report = evaluate_fidelity(net, q, batch);
+  EXPECT_TRUE(update_necessary(report, 0.05, -1.0, 1.0));
+}
+
+TEST(Fidelity, EmptyBatchNeverNecessary) {
+  const fidelity_report empty{};
+  EXPECT_FALSE(update_necessary(empty, 0.0, 0.0, 1.0));
+}
+
+TEST(Fidelity, MismatchedShapesThrow) {
+  rng g{48};
+  const auto aurora = nn::make_aurora_net(g);
+  const auto ffnn_q = quantize(nn::make_ffnn_flow_size_net(g));
+  const std::vector<std::vector<double>> batch{std::vector<double>(30, 0.0)};
+  EXPECT_THROW(evaluate_fidelity(aurora, ffnn_q, batch), std::invalid_argument);
+}
+
+}  // namespace

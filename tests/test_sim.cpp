@@ -1,0 +1,80 @@
+// Unit tests for the discrete-event core.
+#include <gtest/gtest.h>
+
+#include "sim/sim.hpp"
+
+namespace {
+
+using lf::sim::simulation;
+
+TEST(Simulation, StartsAtZero) {
+  simulation s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  simulation s;
+  std::vector<int> order;
+  s.schedule_at(2.0, [&]() { order.push_back(2); });
+  s.schedule_at(1.0, [&]() { order.push_back(1); });
+  s.schedule_at(3.0, [&]() { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Simulation, FifoTieBreakAtEqualTimes) {
+  simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(1.0, [&, i]() { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, RelativeScheduling) {
+  simulation s;
+  double fired_at = -1.0;
+  s.schedule_at(5.0, [&]() {
+    s.schedule(2.5, [&]() { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulation, RunUntilStopsAndAdvancesClock) {
+  simulation s;
+  int fired = 0;
+  s.schedule_at(1.0, [&]() { ++fired; });
+  s.schedule_at(10.0, [&]() { ++fired; });
+  s.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run_until(20.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, HandlerMayScheduleMore) {
+  simulation s;
+  int count = 0;
+  std::function<void()> chain = [&]() {
+    if (++count < 100) s.schedule(0.001, chain);
+  };
+  s.schedule(0.0, chain);
+  s.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(s.executed_events(), 100u);
+}
+
+TEST(Simulation, RejectsPastAndNegative) {
+  simulation s;
+  s.schedule_at(5.0, []() {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(1.0, []() {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule(-1.0, []() {}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,471 @@
+// Tests for the transport layer: observation features, rate-based pacing,
+// the reliable window sender, and the CUBIC/DCTCP/BBR controllers — both as
+// units and end-to-end on the dumbbell topology.
+#include <gtest/gtest.h>
+
+#include "netsim/topology.hpp"
+#include "netsim/workload.hpp"
+#include "transport/bbr.hpp"
+#include "transport/cong_ctrl.hpp"
+#include "transport/cubic.hpp"
+#include "transport/dctcp.hpp"
+#include "transport/rate_sender.hpp"
+#include "transport/window_sender.hpp"
+
+namespace {
+
+using namespace lf;
+using namespace lf::transport;
+
+// ---------------------------------------------------------- observations --
+
+TEST(ObservationFeatures, NeutralWhenUncongested) {
+  mi_observation obs;
+  obs.send_rate = 100e6;
+  obs.throughput = 100e6;
+  obs.avg_rtt = 10e-3;
+  obs.min_rtt = 10e-3;
+  const auto f = observation_features(obs);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);  // gradient
+  EXPECT_DOUBLE_EQ(f[1], 0.0);  // latency ratio - 1
+  EXPECT_DOUBLE_EQ(f[2], 0.0);  // send ratio - 1
+}
+
+TEST(ObservationFeatures, CongestionRaisesRatios) {
+  mi_observation obs;
+  obs.send_rate = 200e6;
+  obs.throughput = 100e6;
+  obs.avg_rtt = 20e-3;
+  obs.min_rtt = 10e-3;
+  obs.rtt_gradient = 0.5;
+  const auto f = observation_features(obs);
+  EXPECT_DOUBLE_EQ(f[0], 0.5);
+  EXPECT_DOUBLE_EQ(f[1], 1.0);
+  EXPECT_DOUBLE_EQ(f[2], 1.0);
+}
+
+TEST(ObservationFeatures, ZeroThroughputSaturates) {
+  mi_observation obs;
+  obs.send_rate = 100e6;
+  obs.throughput = 0.0;
+  const auto f = observation_features(obs);
+  EXPECT_DOUBLE_EQ(f[2], 10.0);
+}
+
+TEST(ApplyRateAction, SymmetricUpDown) {
+  const double up = apply_rate_action(100.0, 1.0, 0.1, 1.0, 1e9);
+  EXPECT_DOUBLE_EQ(up, 110.0);
+  const double down = apply_rate_action(110.0, -1.0, 0.1, 1.0, 1e9);
+  EXPECT_DOUBLE_EQ(down, 100.0);  // exact inverse (Aurora's rule)
+}
+
+TEST(ApplyRateAction, ClampsToBounds) {
+  EXPECT_DOUBLE_EQ(apply_rate_action(100.0, 1.0, 0.5, 1.0, 120.0), 120.0);
+  EXPECT_DOUBLE_EQ(apply_rate_action(2.0, -1.0, 0.9, 1.5, 100.0), 1.5);
+  // Out-of-range actions clamp to [-1, 1].
+  EXPECT_DOUBLE_EQ(apply_rate_action(100.0, 5.0, 0.1, 1.0, 1e9), 110.0);
+}
+
+// ------------------------------------------------------------ rate sender --
+
+/// Controller that always outputs the same action.
+class const_controller final : public rate_controller {
+ public:
+  explicit const_controller(double action, double delta = 0.05)
+      : action_{action}, delta_{delta} {}
+  void on_monitor_interval(const mi_observation& obs,
+                           std::function<void(double)> set_rate) override {
+    ++intervals_;
+    last_obs_ = obs;
+    set_rate(apply_rate_action(obs.send_rate, action_, delta_, 1e6, 20e9));
+  }
+  int intervals_ = 0;
+  mi_observation last_obs_{};
+
+ private:
+  double action_;
+  double delta_;
+};
+
+TEST(RateSender, PacesAtConfiguredRate) {
+  sim::simulation s;
+  netsim::dumbbell net{s, {}};
+  rate_sender_config cfg;
+  cfg.initial_rate_bps = 100e6;
+  auto sender = std::make_unique<rate_sender>(
+      net.sender(), netsim::dumbbell::receiver_id, 1, cfg,
+      std::make_unique<const_controller>(0.0));  // hold rate
+  sender->start();
+  s.run_until(0.5);
+  sender->stop();
+  const double delivered =
+      static_cast<double>(net.receiver().total_delivered_payload()) * 8 / 0.5;
+  EXPECT_NEAR(delivered, 100e6, 15e6);
+}
+
+TEST(RateSender, PositiveActionsGrowRate) {
+  sim::simulation s;
+  netsim::dumbbell net{s, {}};
+  rate_sender_config cfg;
+  cfg.initial_rate_bps = 50e6;
+  auto sender = std::make_unique<rate_sender>(
+      net.sender(), netsim::dumbbell::receiver_id, 1, cfg,
+      std::make_unique<const_controller>(1.0));
+  sender->start();
+  s.run_until(1.0);
+  EXPECT_GT(sender->current_rate_bps(), 60e6);
+  sender->stop();
+}
+
+TEST(RateSender, MeasuresRttNearConfigured) {
+  sim::simulation s;
+  netsim::dumbbell_config dcfg;
+  dcfg.rtt = 10e-3;
+  netsim::dumbbell net{s, dcfg};
+  rate_sender_config cfg;
+  cfg.initial_rate_bps = 50e6;
+  auto sender = std::make_unique<rate_sender>(
+      net.sender(), netsim::dumbbell::receiver_id, 1, cfg,
+      std::make_unique<const_controller>(0.0));
+  sender->start();
+  s.run_until(0.5);
+  EXPECT_NEAR(sender->min_rtt(), 10e-3, 2e-3);
+  EXPECT_GT(sender->smoothed_rtt(), 8e-3);
+  sender->stop();
+}
+
+TEST(RateSender, DetectsLossWhenOverdriving) {
+  sim::simulation s;
+  netsim::dumbbell_config dcfg;
+  dcfg.bottleneck_bps = 50e6;
+  dcfg.buffer_bytes = 30'000;
+  netsim::dumbbell net{s, dcfg};
+  rate_sender_config cfg;
+  cfg.initial_rate_bps = 200e6;  // 4x the bottleneck
+  auto sender = std::make_unique<rate_sender>(
+      net.sender(), netsim::dumbbell::receiver_id, 1, cfg,
+      std::make_unique<const_controller>(0.0));
+  sender->start();
+  s.run_until(1.0);
+  EXPECT_GT(sender->packets_lost(), 0u);
+  EXPECT_GT(sender->last_observation().loss_rate, 0.1);
+  sender->stop();
+}
+
+// ---------------------------------------------------------- window sender --
+
+TEST(WindowSender, CompletesFixedSizeFlow) {
+  sim::simulation s;
+  netsim::dumbbell_config dcfg;
+  dcfg.rtt = 1e-3;
+  netsim::dumbbell net{s, dcfg};
+  double fct = -1.0;
+  auto ws = std::make_unique<window_sender>(
+      net.sender(), netsim::dumbbell::receiver_id, 1, 100'000,
+      window_sender_config{}, std::make_unique<cubic>());
+  ws->set_done([&](double t) { fct = t; });
+  ws->start();
+  s.run_until(5.0);
+  EXPECT_TRUE(ws->finished());
+  EXPECT_GT(fct, 0.0);
+  EXPECT_EQ(net.receiver().flow_state(1)->delivered_payload, 100'000u);
+  EXPECT_TRUE(net.receiver().flow_state(1)->completed);
+}
+
+TEST(WindowSender, RecoversFromLossViaRetransmit) {
+  sim::simulation s;
+  netsim::dumbbell_config dcfg;
+  dcfg.bottleneck_bps = 20e6;
+  dcfg.buffer_bytes = 15'000;  // small: slow start overshoots and drops
+  dcfg.rtt = 2e-3;
+  netsim::dumbbell net{s, dcfg};
+  double fct = -1.0;
+  auto ws = std::make_unique<window_sender>(
+      net.sender(), netsim::dumbbell::receiver_id, 1, 400'000,
+      window_sender_config{}, std::make_unique<cubic>());
+  ws->set_done([&](double t) { fct = t; });
+  ws->start();
+  s.run_until(10.0);
+  EXPECT_TRUE(ws->finished());
+  EXPECT_GT(net.bottleneck().dropped_packets(), 0u);
+  EXPECT_GT(ws->retransmissions() + ws->timeouts(), 0u);
+  EXPECT_EQ(net.receiver().flow_state(1)->delivered_payload, 400'000u);
+}
+
+TEST(WindowSender, TinyFlowSinglePacket) {
+  sim::simulation s;
+  netsim::dumbbell_config dcfg;
+  dcfg.rtt = 1e-3;
+  netsim::dumbbell net{s, dcfg};
+  double fct = -1.0;
+  auto ws = std::make_unique<window_sender>(
+      net.sender(), netsim::dumbbell::receiver_id, 1, 700,
+      window_sender_config{}, std::make_unique<dctcp>());
+  ws->set_done([&](double t) { fct = t; });
+  ws->start();
+  s.run_until(1.0);
+  EXPECT_TRUE(ws->finished());
+  EXPECT_NEAR(fct, 1e-3, 0.5e-3);  // ~1 RTT
+}
+
+TEST(WindowSender, PriorityTagPropagates) {
+  sim::simulation s;
+  netsim::dumbbell net{s, {}};
+  window_sender_config wc;
+  wc.priority = 3;
+  auto ws = std::make_unique<window_sender>(
+      net.sender(), netsim::dumbbell::receiver_id, 1, 5000, wc,
+      std::make_unique<dctcp>());
+  std::uint8_t seen_priority = 255;
+  net.bottleneck().set_tx_hook([&](const netsim::packet& p) {
+    if (!p.is_ack) seen_priority = p.priority;
+  });
+  ws->start();
+  s.run_until(1.0);
+  EXPECT_EQ(seen_priority, 3);
+}
+
+// ------------------------------------------------------------------ cubic --
+
+TEST(Cubic, SlowStartDoublesPerRtt) {
+  cubic c;
+  const double w0 = c.cwnd_segments();
+  ack_event ev;
+  ev.newly_acked_bytes = 1460;
+  ev.rtt = 1e-3;
+  ev.now = 0.001;
+  for (int i = 0; i < 10; ++i) c.on_ack(ev);
+  EXPECT_NEAR(c.cwnd_segments(), w0 + 10, 1e-9);
+  EXPECT_TRUE(c.in_slow_start());
+}
+
+TEST(Cubic, LossCutsWindowByBeta) {
+  cubic c;
+  ack_event ev;
+  ev.newly_acked_bytes = 1460;
+  ev.rtt = 1e-3;
+  for (int i = 0; i < 100; ++i) c.on_ack(ev);
+  const double before = c.cwnd_segments();
+  c.on_loss(0.1);
+  EXPECT_NEAR(c.cwnd_segments(), before * 0.7, 1e-6);
+  EXPECT_FALSE(c.in_slow_start());
+}
+
+TEST(Cubic, GrowsTowardWmaxAfterLoss) {
+  cubic c;
+  ack_event ev;
+  ev.newly_acked_bytes = 1460;
+  ev.rtt = 1e-3;
+  ev.now = 0.0;
+  for (int i = 0; i < 100; ++i) c.on_ack(ev);
+  const double w_max = c.cwnd_segments();
+  c.on_loss(0.0);
+  // Feed ACKs over simulated time; cubic should recover toward w_max.
+  for (int i = 0; i < 2000; ++i) {
+    ev.now = 0.001 * i;
+    c.on_ack(ev);
+  }
+  EXPECT_GT(c.cwnd_segments(), w_max * 0.9);
+}
+
+TEST(Cubic, TimeoutResetsToMinimal) {
+  cubic c;
+  ack_event ev;
+  ev.newly_acked_bytes = 1460;
+  for (int i = 0; i < 50; ++i) c.on_ack(ev);
+  c.on_timeout(0.1);
+  EXPECT_NEAR(c.cwnd_segments(), 2.0, 1e-9);
+}
+
+// ------------------------------------------------------------------ dctcp --
+
+TEST(Dctcp, AlphaRisesUnderPersistentMarking) {
+  dctcp d;
+  ack_event ev;
+  ev.newly_acked_bytes = 1460;
+  ev.rtt = 100e-6;
+  ev.ecn_echo = true;
+  for (int i = 0; i < 200; ++i) {
+    ev.now = 150e-6 * i;
+    d.on_ack(ev);
+  }
+  EXPECT_GT(d.alpha(), 0.5);
+}
+
+TEST(Dctcp, AlphaDecaysWithoutMarks) {
+  dctcp d;
+  ack_event ev;
+  ev.newly_acked_bytes = 1460;
+  ev.rtt = 100e-6;
+  ev.ecn_echo = true;
+  for (int i = 0; i < 100; ++i) {
+    ev.now = 150e-6 * i;
+    d.on_ack(ev);
+  }
+  const double alpha_marked = d.alpha();
+  ev.ecn_echo = false;
+  for (int i = 100; i < 300; ++i) {
+    ev.now = 150e-6 * i;
+    d.on_ack(ev);
+  }
+  EXPECT_LT(d.alpha(), alpha_marked * 0.25);
+}
+
+TEST(Dctcp, FirstCutGentlerThanHalving) {
+  // DCTCP's defining property: the first window cut after marking begins is
+  // cwnd * (1 - alpha/2) with alpha still small (g = 1/16) — far gentler
+  // than TCP's halving.
+  dctcp d;
+  ack_event ev;
+  ev.newly_acked_bytes = 1460;
+  ev.rtt = 100e-6;
+  for (int i = 0; i < 100; ++i) {
+    ev.now = 150e-6 * i;
+    d.on_ack(ev);
+  }
+  double before = d.cwnd_segments();
+  ev.ecn_echo = true;
+  double after_first_cut = before;
+  for (int i = 100; i < 400; ++i) {
+    const double prev = d.cwnd_segments();
+    ev.now = 150e-6 * i;
+    d.on_ack(ev);
+    if (d.cwnd_segments() < prev) {
+      before = prev;
+      after_first_cut = d.cwnd_segments();
+      break;
+    }
+  }
+  ASSERT_LT(after_first_cut, before);
+  EXPECT_GT(after_first_cut, before * 0.9);  // alpha/2 <= ~6% at first cut
+}
+
+TEST(Dctcp, SustainedMarkingKeepsCuttingPerRtt) {
+  dctcp d;
+  ack_event ev;
+  ev.newly_acked_bytes = 1460;
+  ev.rtt = 100e-6;
+  for (int i = 0; i < 100; ++i) {
+    ev.now = 150e-6 * i;
+    d.on_ack(ev);
+  }
+  const double before = d.cwnd_segments();
+  ev.ecn_echo = true;
+  for (int i = 100; i < 400; ++i) {
+    ev.now = 150e-6 * i;
+    d.on_ack(ev);
+  }
+  // Persistent congestion drives the window way down (one cut per RTT).
+  EXPECT_LT(d.cwnd_segments(), before * 0.5);
+  EXPECT_GE(d.cwnd_segments(), 2.0);  // floor
+}
+
+// -------------------------------------------------------------------- bbr --
+
+TEST(Bbr, EndToEndFillsThePipe) {
+  sim::simulation s;
+  netsim::dumbbell_config dcfg;
+  dcfg.bottleneck_bps = 200e6;
+  dcfg.rtt = 5e-3;
+  dcfg.buffer_bytes = 300'000;
+  netsim::dumbbell net{s, dcfg};
+  auto ws = std::make_unique<window_sender>(
+      net.sender(), netsim::dumbbell::receiver_id, 1, 50'000'000,
+      window_sender_config{}, std::make_unique<bbr>());
+  ws->start();
+  s.run_until(2.0);
+  const double goodput =
+      static_cast<double>(net.receiver().total_delivered_payload()) * 8 / 2.0;
+  // BBR should reach a large fraction of the 200 Mbps bottleneck.
+  EXPECT_GT(goodput, 120e6);
+}
+
+TEST(Bbr, RtPropTracksMinimum) {
+  bbr b;
+  ack_event ev;
+  ev.newly_acked_bytes = 1460;
+  ev.rtt = 10e-3;
+  ev.now = 0.01;
+  b.on_ack(ev);
+  ev.rtt = 4e-3;
+  ev.now = 0.02;
+  b.on_ack(ev);
+  ev.rtt = 12e-3;
+  ev.now = 0.03;
+  b.on_ack(ev);
+  EXPECT_DOUBLE_EQ(b.rtprop(), 4e-3);
+}
+
+TEST(Bbr, TimeoutBacksOffButKeepsModel) {
+  bbr b;
+  ack_event ev;
+  ev.newly_acked_bytes = 1460;
+  ev.rtt = 1e-3;
+  for (int i = 0; i < 200; ++i) {
+    ev.now = 0.0012 * i;
+    b.on_ack(ev);
+  }
+  const double cwnd_before = b.cwnd_bytes();
+  const double btlbw_before = b.btlbw_bps();
+  ASSERT_GT(btlbw_before, 0.0);
+  b.on_timeout(1.0);
+  // BBR keeps its path model across an RTO; only the window backs off
+  // (halved, floored at 4 MSS).
+  EXPECT_LE(b.cwnd_bytes(), std::max(cwnd_before * 0.5, 4 * 1460.0) + 1);
+  EXPECT_GE(b.cwnd_bytes(), 4 * 1460.0 - 1);
+  EXPECT_DOUBLE_EQ(b.btlbw_bps(), btlbw_before);
+}
+
+// ------------------------------------------------ dumbbell CC comparisons --
+
+class CcFairness : public ::testing::TestWithParam<int> {};
+
+TEST_P(CcFairness, TwoFlowsShareTheBottleneck) {
+  // Property: with two identical window flows, neither starves (both get
+  // >20% of the bottleneck) under every controller.
+  sim::simulation s;
+  netsim::dumbbell_config dcfg;
+  dcfg.bottleneck_bps = 100e6;
+  dcfg.rtt = 4e-3;
+  dcfg.ecn_threshold_bytes = 30'000;  // lets dctcp see marks
+  netsim::dumbbell net{s, dcfg};
+  auto make_cc = [&]() -> std::unique_ptr<cong_ctrl> {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<cubic>();
+      case 1:
+        return std::make_unique<dctcp>();
+      default:
+        return std::make_unique<bbr>();
+    }
+  };
+  auto f1 = std::make_unique<window_sender>(
+      net.sender(), netsim::dumbbell::receiver_id, 1, 1'000'000'000,
+      window_sender_config{}, make_cc());
+  auto f2 = std::make_unique<window_sender>(
+      net.sender(), netsim::dumbbell::receiver_id, 2, 1'000'000'000,
+      window_sender_config{}, make_cc());
+  f1->start();
+  f2->start();
+  // Let convergence play out, then measure steady state over [3s, 6s].
+  s.run_until(3.0);
+  const auto bytes1_t3 = net.receiver().flow_state(1)->delivered_payload;
+  const auto bytes2_t3 = net.receiver().flow_state(2)->delivered_payload;
+  s.run_until(6.0);
+  const auto* st1 = net.receiver().flow_state(1);
+  const auto* st2 = net.receiver().flow_state(2);
+  ASSERT_NE(st1, nullptr);
+  ASSERT_NE(st2, nullptr);
+  const double g1 =
+      static_cast<double>(st1->delivered_payload - bytes1_t3) * 8 / 3.0;
+  const double g2 =
+      static_cast<double>(st2->delivered_payload - bytes2_t3) * 8 / 3.0;
+  EXPECT_GT(g1 + g2, 50e6);  // pipe reasonably used
+  EXPECT_GT(g1, 0.15 * 100e6 / 2);
+  EXPECT_GT(g2, 0.15 * 100e6 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Controllers, CcFairness, ::testing::Values(0, 1, 2));
+
+}  // namespace

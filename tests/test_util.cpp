@@ -1,0 +1,352 @@
+// Unit tests for src/util: RNG, statistics, fixed point, time series, table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/fixed_point.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/time_series.hpp"
+
+namespace {
+
+using namespace lf;
+
+// ------------------------------------------------------------------- rng --
+
+TEST(Rng, DeterministicForSameSeed) {
+  rng a{42};
+  rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  rng a{1};
+  rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  rng g{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  rng g{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = g.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  rng g{9};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(g.uniform_int(3, 8));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 8);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  rng g{11};
+  running_stats s;
+  for (int i = 0; i < 50000; ++i) s.add(g.normal(2.0, 3.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  rng g{13};
+  running_stats s;
+  for (int i = 0; i < 50000; ++i) s.add(g.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  rng g{17};
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += g.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  rng g{19};
+  const double w[] = {1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 20000; ++i) ones += (g.weighted_index(w) == 1);
+  EXPECT_NEAR(ones / 20000.0, 0.75, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  rng g{23};
+  rng child = g.split();
+  // Child differs from parent continuation.
+  EXPECT_NE(child.next_u64(), g.next_u64());
+}
+
+TEST(Rng, ParetoAboveScale) {
+  rng g{29};
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(g.pareto(1.5, 2.0), 2.0);
+}
+
+// ----------------------------------------------------------------- stats --
+
+TEST(RunningStats, MatchesDirectComputation) {
+  running_stats s;
+  const double xs[] = {1.0, 2.0, 3.0, 4.0, 10.0};
+  double sum = 0.0;
+  for (const double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.sum(), sum);
+  EXPECT_NEAR(s.mean(), 4.0, 1e-12);
+  double var = 0.0;
+  for (const double x : xs) var += (x - 4.0) * (x - 4.0);
+  var /= 5.0;
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  rng g{31};
+  running_stats a;
+  running_stats b;
+  running_stats all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = g.normal();
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 0; i < 57; ++i) {
+    const double x = g.uniform(0, 5);
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  running_stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  const double xs[] = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenSamples) {
+  const double xs[] = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Percentile, BatchMatchesSingle) {
+  const double xs[] = {9.0, 1.0, 7.0, 3.0, 5.0};
+  const double ps[] = {10.0, 50.0, 99.0};
+  const auto batch = percentiles(xs, ps);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], percentile(xs, ps[i]));
+  }
+}
+
+TEST(EmpiricalCdf, FromSamplesEvaluates) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  const auto c = empirical_cdf::from_samples(xs);
+  EXPECT_DOUBLE_EQ(c.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(c.cdf(4.0), 1.0);
+  EXPECT_NEAR(c.cdf(2.5), 0.625, 1e-9);
+}
+
+TEST(EmpiricalCdf, QuantileInvertsRoughly) {
+  const double xs[] = {10.0, 20.0, 30.0, 40.0, 50.0};
+  const auto c = empirical_cdf::from_samples(xs);
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 50.0);
+  EXPECT_LE(c.quantile(0.2), 20.0);
+  EXPECT_GE(c.quantile(0.9), 40.0);
+}
+
+TEST(EmpiricalCdf, FromKnotsInterpolates) {
+  auto c = empirical_cdf::from_knots({{0.0, 0.0}, {100.0, 1.0}});
+  EXPECT_DOUBLE_EQ(c.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(c.cdf(25.0), 0.25);
+  EXPECT_NEAR(c.mean_value(), 50.0, 1e-9);
+}
+
+TEST(EmpiricalCdf, RejectsBadKnots) {
+  EXPECT_THROW(empirical_cdf::from_knots({{0.0, 0.5}}), std::invalid_argument);
+  EXPECT_THROW(empirical_cdf::from_knots({{5.0, 0.0}, {1.0, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  histogram h{0.0, 10.0, 5};
+  h.add(1.0);   // bucket 0
+  h.add(9.9);   // bucket 4
+  h.add(-5.0);  // clamps to bucket 0
+  h.add(50.0);  // clamps to bucket 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(1), 4.0);
+}
+
+TEST(Histogram, RejectsDegenerateRange) {
+  EXPECT_THROW(histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- fixed point --
+
+TEST(FixedPoint, DivRoundHalfAwayFromZero) {
+  using fp::div_round;
+  EXPECT_EQ(div_round(7, 2), 4);    // 3.5 -> 4
+  EXPECT_EQ(div_round(-7, 2), -4);  // -3.5 -> -4
+  EXPECT_EQ(div_round(6, 4), 2);    // 1.5 -> 2
+  EXPECT_EQ(div_round(5, 4), 1);    // 1.25 -> 1
+  EXPECT_EQ(div_round(-5, 4), -1);
+  EXPECT_EQ(div_round(8, 4), 2);
+  EXPECT_EQ(div_round(0, 5), 0);
+}
+
+TEST(FixedPoint, DivFloor) {
+  using fp::div_floor;
+  EXPECT_EQ(div_floor(7, 2), 3);
+  EXPECT_EQ(div_floor(-7, 2), -4);
+  EXPECT_EQ(div_floor(-8, 2), -4);
+}
+
+TEST(FixedPoint, SaturatingArithmetic) {
+  using namespace fp;
+  EXPECT_EQ(sat_add(s64_max, 1), s64_max);
+  EXPECT_EQ(sat_add(s64_min, -1), s64_min);
+  EXPECT_EQ(sat_sub(s64_min, 1), s64_min);
+  EXPECT_EQ(sat_mul(s64_max, 2), s64_max);
+  EXPECT_EQ(sat_mul(s64_max, -2), s64_min);
+  EXPECT_EQ(sat_mul(s64_min, -1), s64_max);
+  EXPECT_EQ(sat_add(2, 3), 5);
+  EXPECT_EQ(sat_mul(-4, 5), -20);
+}
+
+TEST(FixedPoint, MulDivUses128BitIntermediate) {
+  using namespace fp;
+  // a*b overflows 64 bits but the quotient fits.
+  const s64 a = s64{1} << 40;
+  const s64 b = s64{1} << 30;
+  EXPECT_EQ(mul_div(a, b, s64{1} << 30), a);
+  EXPECT_EQ(mul_div(10, 10, 3), 33);    // 33.33 -> 33
+  EXPECT_EQ(mul_div(10, 10, 8), 13);    // 12.5 -> 13 (away from zero)
+  EXPECT_EQ(mul_div(-10, 10, 8), -13);
+}
+
+struct div_round_case {
+  fp::s64 num, den, expected;
+};
+
+class DivRoundSweep : public ::testing::TestWithParam<div_round_case> {};
+
+TEST_P(DivRoundSweep, MatchesNearestInteger) {
+  const auto& c = GetParam();
+  EXPECT_EQ(fp::div_round(c.num, c.den), c.expected)
+      << c.num << " / " << c.den;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DivRoundSweep,
+    ::testing::Values(div_round_case{10, 3, 3}, div_round_case{11, 3, 4},
+                      div_round_case{-10, 3, -3}, div_round_case{-11, 3, -4},
+                      div_round_case{1, 2, 1}, div_round_case{-1, 2, -1},
+                      div_round_case{99, 100, 1}, div_round_case{49, 100, 0},
+                      div_round_case{50, 100, 1}, div_round_case{-50, 100, -1},
+                      div_round_case{1000, 1, 1000},
+                      div_round_case{7, -2, -4}, div_round_case{-7, -2, 4}));
+
+// ------------------------------------------------------------ time series --
+
+TEST(TimeSeries, AverageOverWindow) {
+  time_series ts{"goodput"};
+  ts.record(0.0, 10.0);
+  ts.record(1.0, 20.0);
+  ts.record(2.0, 30.0);
+  EXPECT_DOUBLE_EQ(ts.average(0.0, 2.0), 15.0);
+  EXPECT_DOUBLE_EQ(ts.average(0.0, 3.0), 20.0);
+  EXPECT_DOUBLE_EQ(ts.average(5.0, 6.0), 0.0);
+}
+
+TEST(TimeSeries, RejectsTimeGoingBackwards) {
+  time_series ts;
+  ts.record(1.0, 0.0);
+  EXPECT_THROW(ts.record(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, ResampleSampleAndHold) {
+  time_series ts;
+  ts.record(0.1, 4.0);
+  ts.record(2.5, 8.0);
+  const auto rs = ts.resample(0.0, 4.0, 1.0);
+  ASSERT_EQ(rs.size(), 4u);
+  EXPECT_DOUBLE_EQ(rs[0].second, 4.0);
+  EXPECT_DOUBLE_EQ(rs[1].second, 4.0);  // empty bucket holds previous
+  EXPECT_DOUBLE_EQ(rs[2].second, 8.0);
+  EXPECT_DOUBLE_EQ(rs[3].second, 8.0);
+}
+
+TEST(TimeSeries, ValuesExtraction) {
+  time_series ts;
+  ts.record(0, 1);
+  ts.record(1, 2);
+  const auto v = ts.values();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+// ----------------------------------------------------------------- table --
+
+TEST(TextTable, FormatsAlignedColumns) {
+  text_table t{{"scheme", "goodput"}};
+  t.add_row({"BBR", "16.1"});
+  t.add_row({"LF-Aurora", "15.8"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("scheme"), std::string::npos);
+  EXPECT_NE(s.find("LF-Aurora"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  text_table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(text_table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(text_table::num(2.0, 0), "2");
+}
+
+}  // namespace
