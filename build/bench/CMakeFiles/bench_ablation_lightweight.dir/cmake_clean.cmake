@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lightweight.dir/bench_ablation_lightweight.cpp.o"
+  "CMakeFiles/bench_ablation_lightweight.dir/bench_ablation_lightweight.cpp.o.d"
+  "bench_ablation_lightweight"
+  "bench_ablation_lightweight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lightweight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_necessity.dir/bench_ablation_necessity.cpp.o"
+  "CMakeFiles/bench_ablation_necessity.dir/bench_ablation_necessity.cpp.o.d"
+  "bench_ablation_necessity"
+  "bench_ablation_necessity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_necessity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_dummy_nn_linerate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_softirq.dir/bench_fig04_softirq.cpp.o"
+  "CMakeFiles/bench_fig04_softirq.dir/bench_fig04_softirq.cpp.o.d"
+  "bench_fig04_softirq"
+  "bench_fig04_softirq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_softirq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

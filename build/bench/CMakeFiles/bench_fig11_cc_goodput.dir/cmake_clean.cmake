@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cc_goodput.dir/bench_fig11_cc_goodput.cpp.o"
+  "CMakeFiles/bench_fig11_cc_goodput.dir/bench_fig11_cc_goodput.cpp.o.d"
+  "bench_fig11_cc_goodput"
+  "bench_fig11_cc_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cc_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

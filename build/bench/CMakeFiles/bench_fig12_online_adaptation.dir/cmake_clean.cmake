@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_online_adaptation.dir/bench_fig12_online_adaptation.cpp.o"
+  "CMakeFiles/bench_fig12_online_adaptation.dir/bench_fig12_online_adaptation.cpp.o.d"
+  "bench_fig12_online_adaptation"
+  "bench_fig12_online_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_online_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_batch_interval.dir/bench_fig14_batch_interval.cpp.o"
+  "CMakeFiles/bench_fig14_batch_interval.dir/bench_fig14_batch_interval.cpp.o.d"
+  "bench_fig14_batch_interval"
+  "bench_fig14_batch_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_batch_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_flow_sched_fct.dir/bench_fig16_flow_sched_fct.cpp.o"
+  "CMakeFiles/bench_fig16_flow_sched_fct.dir/bench_fig16_flow_sched_fct.cpp.o.d"
+  "bench_fig16_flow_sched_fct"
+  "bench_fig16_flow_sched_fct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_flow_sched_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig16_flow_sched_fct.
+# This may be replaced when dependencies are built.

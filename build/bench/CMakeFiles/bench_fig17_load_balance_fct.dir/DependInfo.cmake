@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig17_load_balance_fct.cpp" "bench/CMakeFiles/bench_fig17_load_balance_fct.dir/bench_fig17_load_balance_fct.cpp.o" "gcc" "bench/CMakeFiles/bench_fig17_load_balance_fct.dir/bench_fig17_load_balance_fct.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/lf_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/lf_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/lf_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/lf_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/lf_kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/lf_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/lf_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_load_balance_fct.dir/bench_fig17_load_balance_fct.cpp.o"
+  "CMakeFiles/bench_fig17_load_balance_fct.dir/bench_fig17_load_balance_fct.cpp.o.d"
+  "bench_fig17_load_balance_fct"
+  "bench_fig17_load_balance_fct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_load_balance_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

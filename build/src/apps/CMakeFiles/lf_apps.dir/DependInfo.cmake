@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cc/aurora_adapter.cpp" "src/apps/CMakeFiles/lf_apps.dir/cc/aurora_adapter.cpp.o" "gcc" "src/apps/CMakeFiles/lf_apps.dir/cc/aurora_adapter.cpp.o.d"
+  "/root/repo/src/apps/cc/cc_controllers.cpp" "src/apps/CMakeFiles/lf_apps.dir/cc/cc_controllers.cpp.o" "gcc" "src/apps/CMakeFiles/lf_apps.dir/cc/cc_controllers.cpp.o.d"
+  "/root/repo/src/apps/cc/cc_deployment.cpp" "src/apps/CMakeFiles/lf_apps.dir/cc/cc_deployment.cpp.o" "gcc" "src/apps/CMakeFiles/lf_apps.dir/cc/cc_deployment.cpp.o.d"
+  "/root/repo/src/apps/cc/cc_experiment.cpp" "src/apps/CMakeFiles/lf_apps.dir/cc/cc_experiment.cpp.o" "gcc" "src/apps/CMakeFiles/lf_apps.dir/cc/cc_experiment.cpp.o.d"
+  "/root/repo/src/apps/common/liteflow_stack.cpp" "src/apps/CMakeFiles/lf_apps.dir/common/liteflow_stack.cpp.o" "gcc" "src/apps/CMakeFiles/lf_apps.dir/common/liteflow_stack.cpp.o.d"
+  "/root/repo/src/apps/common/probes.cpp" "src/apps/CMakeFiles/lf_apps.dir/common/probes.cpp.o" "gcc" "src/apps/CMakeFiles/lf_apps.dir/common/probes.cpp.o.d"
+  "/root/repo/src/apps/lb/lb_experiment.cpp" "src/apps/CMakeFiles/lf_apps.dir/lb/lb_experiment.cpp.o" "gcc" "src/apps/CMakeFiles/lf_apps.dir/lb/lb_experiment.cpp.o.d"
+  "/root/repo/src/apps/lb/load_balance.cpp" "src/apps/CMakeFiles/lf_apps.dir/lb/load_balance.cpp.o" "gcc" "src/apps/CMakeFiles/lf_apps.dir/lb/load_balance.cpp.o.d"
+  "/root/repo/src/apps/sched/flow_sched.cpp" "src/apps/CMakeFiles/lf_apps.dir/sched/flow_sched.cpp.o" "gcc" "src/apps/CMakeFiles/lf_apps.dir/sched/flow_sched.cpp.o.d"
+  "/root/repo/src/apps/sched/sched_experiment.cpp" "src/apps/CMakeFiles/lf_apps.dir/sched/sched_experiment.cpp.o" "gcc" "src/apps/CMakeFiles/lf_apps.dir/sched/sched_experiment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/lf_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/lf_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/lf_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/lf_kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/lf_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/lf_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

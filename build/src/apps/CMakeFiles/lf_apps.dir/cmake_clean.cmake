@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lf_apps.dir/cc/aurora_adapter.cpp.o"
+  "CMakeFiles/lf_apps.dir/cc/aurora_adapter.cpp.o.d"
+  "CMakeFiles/lf_apps.dir/cc/cc_controllers.cpp.o"
+  "CMakeFiles/lf_apps.dir/cc/cc_controllers.cpp.o.d"
+  "CMakeFiles/lf_apps.dir/cc/cc_deployment.cpp.o"
+  "CMakeFiles/lf_apps.dir/cc/cc_deployment.cpp.o.d"
+  "CMakeFiles/lf_apps.dir/cc/cc_experiment.cpp.o"
+  "CMakeFiles/lf_apps.dir/cc/cc_experiment.cpp.o.d"
+  "CMakeFiles/lf_apps.dir/common/liteflow_stack.cpp.o"
+  "CMakeFiles/lf_apps.dir/common/liteflow_stack.cpp.o.d"
+  "CMakeFiles/lf_apps.dir/common/probes.cpp.o"
+  "CMakeFiles/lf_apps.dir/common/probes.cpp.o.d"
+  "CMakeFiles/lf_apps.dir/lb/lb_experiment.cpp.o"
+  "CMakeFiles/lf_apps.dir/lb/lb_experiment.cpp.o.d"
+  "CMakeFiles/lf_apps.dir/lb/load_balance.cpp.o"
+  "CMakeFiles/lf_apps.dir/lb/load_balance.cpp.o.d"
+  "CMakeFiles/lf_apps.dir/sched/flow_sched.cpp.o"
+  "CMakeFiles/lf_apps.dir/sched/flow_sched.cpp.o.d"
+  "CMakeFiles/lf_apps.dir/sched/sched_experiment.cpp.o"
+  "CMakeFiles/lf_apps.dir/sched/sched_experiment.cpp.o.d"
+  "liblf_apps.a"
+  "liblf_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lf_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

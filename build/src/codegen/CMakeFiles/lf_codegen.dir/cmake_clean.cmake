@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lf_codegen.dir/c_emitter.cpp.o"
+  "CMakeFiles/lf_codegen.dir/c_emitter.cpp.o.d"
+  "CMakeFiles/lf_codegen.dir/compiled_snapshot.cpp.o"
+  "CMakeFiles/lf_codegen.dir/compiled_snapshot.cpp.o.d"
+  "CMakeFiles/lf_codegen.dir/snapshot.cpp.o"
+  "CMakeFiles/lf_codegen.dir/snapshot.cpp.o.d"
+  "CMakeFiles/lf_codegen.dir/template_engine.cpp.o"
+  "CMakeFiles/lf_codegen.dir/template_engine.cpp.o.d"
+  "liblf_codegen.a"
+  "liblf_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lf_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lf_core.dir/batch_collector.cpp.o"
+  "CMakeFiles/lf_core.dir/batch_collector.cpp.o.d"
+  "CMakeFiles/lf_core.dir/inference_router.cpp.o"
+  "CMakeFiles/lf_core.dir/inference_router.cpp.o.d"
+  "CMakeFiles/lf_core.dir/liteflow_core.cpp.o"
+  "CMakeFiles/lf_core.dir/liteflow_core.cpp.o.d"
+  "CMakeFiles/lf_core.dir/nn_manager.cpp.o"
+  "CMakeFiles/lf_core.dir/nn_manager.cpp.o.d"
+  "CMakeFiles/lf_core.dir/sync_evaluator.cpp.o"
+  "CMakeFiles/lf_core.dir/sync_evaluator.cpp.o.d"
+  "CMakeFiles/lf_core.dir/userspace_service.cpp.o"
+  "CMakeFiles/lf_core.dir/userspace_service.cpp.o.d"
+  "liblf_core.a"
+  "liblf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernelsim/channel.cpp" "src/kernelsim/CMakeFiles/lf_kernelsim.dir/channel.cpp.o" "gcc" "src/kernelsim/CMakeFiles/lf_kernelsim.dir/channel.cpp.o.d"
+  "/root/repo/src/kernelsim/cpu.cpp" "src/kernelsim/CMakeFiles/lf_kernelsim.dir/cpu.cpp.o" "gcc" "src/kernelsim/CMakeFiles/lf_kernelsim.dir/cpu.cpp.o.d"
+  "/root/repo/src/kernelsim/spinlock.cpp" "src/kernelsim/CMakeFiles/lf_kernelsim.dir/spinlock.cpp.o" "gcc" "src/kernelsim/CMakeFiles/lf_kernelsim.dir/spinlock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lf_kernelsim.dir/channel.cpp.o"
+  "CMakeFiles/lf_kernelsim.dir/channel.cpp.o.d"
+  "CMakeFiles/lf_kernelsim.dir/cpu.cpp.o"
+  "CMakeFiles/lf_kernelsim.dir/cpu.cpp.o.d"
+  "CMakeFiles/lf_kernelsim.dir/spinlock.cpp.o"
+  "CMakeFiles/lf_kernelsim.dir/spinlock.cpp.o.d"
+  "liblf_kernelsim.a"
+  "liblf_kernelsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lf_kernelsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

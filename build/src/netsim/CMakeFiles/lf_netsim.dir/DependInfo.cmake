@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/host.cpp" "src/netsim/CMakeFiles/lf_netsim.dir/host.cpp.o" "gcc" "src/netsim/CMakeFiles/lf_netsim.dir/host.cpp.o.d"
+  "/root/repo/src/netsim/link.cpp" "src/netsim/CMakeFiles/lf_netsim.dir/link.cpp.o" "gcc" "src/netsim/CMakeFiles/lf_netsim.dir/link.cpp.o.d"
+  "/root/repo/src/netsim/node.cpp" "src/netsim/CMakeFiles/lf_netsim.dir/node.cpp.o" "gcc" "src/netsim/CMakeFiles/lf_netsim.dir/node.cpp.o.d"
+  "/root/repo/src/netsim/topology.cpp" "src/netsim/CMakeFiles/lf_netsim.dir/topology.cpp.o" "gcc" "src/netsim/CMakeFiles/lf_netsim.dir/topology.cpp.o.d"
+  "/root/repo/src/netsim/workload.cpp" "src/netsim/CMakeFiles/lf_netsim.dir/workload.cpp.o" "gcc" "src/netsim/CMakeFiles/lf_netsim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/lf_kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lf_netsim.dir/host.cpp.o"
+  "CMakeFiles/lf_netsim.dir/host.cpp.o.d"
+  "CMakeFiles/lf_netsim.dir/link.cpp.o"
+  "CMakeFiles/lf_netsim.dir/link.cpp.o.d"
+  "CMakeFiles/lf_netsim.dir/node.cpp.o"
+  "CMakeFiles/lf_netsim.dir/node.cpp.o.d"
+  "CMakeFiles/lf_netsim.dir/topology.cpp.o"
+  "CMakeFiles/lf_netsim.dir/topology.cpp.o.d"
+  "CMakeFiles/lf_netsim.dir/workload.cpp.o"
+  "CMakeFiles/lf_netsim.dir/workload.cpp.o.d"
+  "liblf_netsim.a"
+  "liblf_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lf_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lf_nn.dir/activation.cpp.o"
+  "CMakeFiles/lf_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/lf_nn.dir/dense.cpp.o"
+  "CMakeFiles/lf_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/lf_nn.dir/loss.cpp.o"
+  "CMakeFiles/lf_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/lf_nn.dir/mlp.cpp.o"
+  "CMakeFiles/lf_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/lf_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/lf_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/lf_nn.dir/serialize.cpp.o"
+  "CMakeFiles/lf_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/lf_nn.dir/trainer.cpp.o"
+  "CMakeFiles/lf_nn.dir/trainer.cpp.o.d"
+  "liblf_nn.a"
+  "liblf_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lf_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

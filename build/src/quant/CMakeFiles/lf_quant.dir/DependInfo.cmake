@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/decision_tree.cpp" "src/quant/CMakeFiles/lf_quant.dir/decision_tree.cpp.o" "gcc" "src/quant/CMakeFiles/lf_quant.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/quant/fidelity.cpp" "src/quant/CMakeFiles/lf_quant.dir/fidelity.cpp.o" "gcc" "src/quant/CMakeFiles/lf_quant.dir/fidelity.cpp.o.d"
+  "/root/repo/src/quant/lut.cpp" "src/quant/CMakeFiles/lf_quant.dir/lut.cpp.o" "gcc" "src/quant/CMakeFiles/lf_quant.dir/lut.cpp.o.d"
+  "/root/repo/src/quant/quantized_mlp.cpp" "src/quant/CMakeFiles/lf_quant.dir/quantized_mlp.cpp.o" "gcc" "src/quant/CMakeFiles/lf_quant.dir/quantized_mlp.cpp.o.d"
+  "/root/repo/src/quant/quantizer.cpp" "src/quant/CMakeFiles/lf_quant.dir/quantizer.cpp.o" "gcc" "src/quant/CMakeFiles/lf_quant.dir/quantizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/lf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

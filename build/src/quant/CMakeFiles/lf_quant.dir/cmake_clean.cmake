@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lf_quant.dir/decision_tree.cpp.o"
+  "CMakeFiles/lf_quant.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/lf_quant.dir/fidelity.cpp.o"
+  "CMakeFiles/lf_quant.dir/fidelity.cpp.o.d"
+  "CMakeFiles/lf_quant.dir/lut.cpp.o"
+  "CMakeFiles/lf_quant.dir/lut.cpp.o.d"
+  "CMakeFiles/lf_quant.dir/quantized_mlp.cpp.o"
+  "CMakeFiles/lf_quant.dir/quantized_mlp.cpp.o.d"
+  "CMakeFiles/lf_quant.dir/quantizer.cpp.o"
+  "CMakeFiles/lf_quant.dir/quantizer.cpp.o.d"
+  "liblf_quant.a"
+  "liblf_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lf_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/link_env.cpp" "src/rl/CMakeFiles/lf_rl.dir/link_env.cpp.o" "gcc" "src/rl/CMakeFiles/lf_rl.dir/link_env.cpp.o.d"
+  "/root/repo/src/rl/pg_trainer.cpp" "src/rl/CMakeFiles/lf_rl.dir/pg_trainer.cpp.o" "gcc" "src/rl/CMakeFiles/lf_rl.dir/pg_trainer.cpp.o.d"
+  "/root/repo/src/rl/policy.cpp" "src/rl/CMakeFiles/lf_rl.dir/policy.cpp.o" "gcc" "src/rl/CMakeFiles/lf_rl.dir/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/lf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/lf_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/lf_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/lf_kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lf_rl.dir/link_env.cpp.o"
+  "CMakeFiles/lf_rl.dir/link_env.cpp.o.d"
+  "CMakeFiles/lf_rl.dir/pg_trainer.cpp.o"
+  "CMakeFiles/lf_rl.dir/pg_trainer.cpp.o.d"
+  "CMakeFiles/lf_rl.dir/policy.cpp.o"
+  "CMakeFiles/lf_rl.dir/policy.cpp.o.d"
+  "liblf_rl.a"
+  "liblf_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lf_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lf_sim.dir/sim.cpp.o"
+  "CMakeFiles/lf_sim.dir/sim.cpp.o.d"
+  "liblf_sim.a"
+  "liblf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

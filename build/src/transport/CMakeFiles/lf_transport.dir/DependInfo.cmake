@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/bbr.cpp" "src/transport/CMakeFiles/lf_transport.dir/bbr.cpp.o" "gcc" "src/transport/CMakeFiles/lf_transport.dir/bbr.cpp.o.d"
+  "/root/repo/src/transport/cong_ctrl.cpp" "src/transport/CMakeFiles/lf_transport.dir/cong_ctrl.cpp.o" "gcc" "src/transport/CMakeFiles/lf_transport.dir/cong_ctrl.cpp.o.d"
+  "/root/repo/src/transport/cubic.cpp" "src/transport/CMakeFiles/lf_transport.dir/cubic.cpp.o" "gcc" "src/transport/CMakeFiles/lf_transport.dir/cubic.cpp.o.d"
+  "/root/repo/src/transport/dctcp.cpp" "src/transport/CMakeFiles/lf_transport.dir/dctcp.cpp.o" "gcc" "src/transport/CMakeFiles/lf_transport.dir/dctcp.cpp.o.d"
+  "/root/repo/src/transport/rate_sender.cpp" "src/transport/CMakeFiles/lf_transport.dir/rate_sender.cpp.o" "gcc" "src/transport/CMakeFiles/lf_transport.dir/rate_sender.cpp.o.d"
+  "/root/repo/src/transport/window_sender.cpp" "src/transport/CMakeFiles/lf_transport.dir/window_sender.cpp.o" "gcc" "src/transport/CMakeFiles/lf_transport.dir/window_sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/lf_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/lf_kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lf_transport.dir/bbr.cpp.o"
+  "CMakeFiles/lf_transport.dir/bbr.cpp.o.d"
+  "CMakeFiles/lf_transport.dir/cong_ctrl.cpp.o"
+  "CMakeFiles/lf_transport.dir/cong_ctrl.cpp.o.d"
+  "CMakeFiles/lf_transport.dir/cubic.cpp.o"
+  "CMakeFiles/lf_transport.dir/cubic.cpp.o.d"
+  "CMakeFiles/lf_transport.dir/dctcp.cpp.o"
+  "CMakeFiles/lf_transport.dir/dctcp.cpp.o.d"
+  "CMakeFiles/lf_transport.dir/rate_sender.cpp.o"
+  "CMakeFiles/lf_transport.dir/rate_sender.cpp.o.d"
+  "CMakeFiles/lf_transport.dir/window_sender.cpp.o"
+  "CMakeFiles/lf_transport.dir/window_sender.cpp.o.d"
+  "liblf_transport.a"
+  "liblf_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lf_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lf_util.dir/rng.cpp.o"
+  "CMakeFiles/lf_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lf_util.dir/stats.cpp.o"
+  "CMakeFiles/lf_util.dir/stats.cpp.o.d"
+  "CMakeFiles/lf_util.dir/table.cpp.o"
+  "CMakeFiles/lf_util.dir/table.cpp.o.d"
+  "CMakeFiles/lf_util.dir/time_series.cpp.o"
+  "CMakeFiles/lf_util.dir/time_series.cpp.o.d"
+  "liblf_util.a"
+  "liblf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

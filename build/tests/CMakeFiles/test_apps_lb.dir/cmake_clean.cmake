@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_lb.dir/test_apps_lb.cpp.o"
+  "CMakeFiles/test_apps_lb.dir/test_apps_lb.cpp.o.d"
+  "test_apps_lb"
+  "test_apps_lb.pdb"
+  "test_apps_lb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

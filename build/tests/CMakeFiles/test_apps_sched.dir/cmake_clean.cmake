@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_sched.dir/test_apps_sched.cpp.o"
+  "CMakeFiles/test_apps_sched.dir/test_apps_sched.cpp.o.d"
+  "test_apps_sched"
+  "test_apps_sched.pdb"
+  "test_apps_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
