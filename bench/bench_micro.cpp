@@ -1,13 +1,21 @@
 // Micro-benchmarks (google-benchmark) for the snapshot pipeline itself:
-// FP32 forward vs integer-interpreter inference vs real GCC-compiled
-// snapshot inference, plus snapshot generation (quantize + translate) and
-// template rendering.  These back the Fig. 15 latency story with real
-// wall-clock numbers on this machine.
+// FP32 forward vs integer-interpreter inference (legacy allocating path vs
+// the arena-packed zero-allocation fast path) vs real GCC-compiled snapshot
+// inference, plus the open-addressing flow cache, snapshot generation
+// (quantize + translate) and template rendering.  These back the Fig. 15
+// latency story with real wall-clock numbers on this machine.
+//
+// On exit, the fast-path-relevant results are also written to
+// BENCH_fastpath.json (machine-readable; see EXPERIMENTS.md).
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <map>
 
 #include "codegen/compiled_snapshot.hpp"
 #include "codegen/snapshot.hpp"
 #include "codegen/template_engine.hpp"
+#include "core/flow_cache.hpp"
 #include "nn/mlp.hpp"
 #include "util/rng.hpp"
 
@@ -44,6 +52,77 @@ void bm_quantized_infer_aurora(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_quantized_infer_aurora);
+
+void bm_quantized_infer_ffnn(benchmark::State& state) {
+  static const auto snap = codegen::generate_snapshot(ffnn(), "f", 1);
+  std::vector<fp::s64> x(snap.input_size(), 500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snap.program.infer(x));
+  }
+}
+BENCHMARK(bm_quantized_infer_ffnn);
+
+void bm_quantized_infer_into_aurora(benchmark::State& state) {
+  static const auto snap = codegen::generate_snapshot(aurora(), "a", 1);
+  std::vector<fp::s64> x(snap.input_size(), 250);
+  std::vector<fp::s64> out(snap.output_size());
+  quant::inference_scratch scratch;
+  scratch.reserve(snap.program);
+  for (auto _ : state) {
+    snap.program.infer_into(x, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(bm_quantized_infer_into_aurora);
+
+void bm_quantized_infer_into_ffnn(benchmark::State& state) {
+  static const auto snap = codegen::generate_snapshot(ffnn(), "f", 1);
+  std::vector<fp::s64> x(snap.input_size(), 500);
+  std::vector<fp::s64> out(snap.output_size());
+  quant::inference_scratch scratch;
+  scratch.reserve(snap.program);
+  for (auto _ : state) {
+    snap.program.infer_into(x, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(bm_quantized_infer_into_ffnn);
+
+// ------------------------------------------------------------ flow cache --
+
+void bm_flow_cache_hit(benchmark::State& state) {
+  core::flow_cache cache{1024};
+  for (netsim::flow_id_t f = 0; f < 512; ++f) cache.insert(f, 1, 0.0);
+  netsim::flow_id_t f = 0;
+  for (auto _ : state) {
+    auto* e = cache.find(f);
+    benchmark::DoNotOptimize(e);
+    f = (f + 1) & 511;
+  }
+}
+BENCHMARK(bm_flow_cache_hit);
+
+void bm_flow_cache_churn(benchmark::State& state) {
+  // Steady-state insert + FIN-erase cycle: the pattern a busy datapath sees.
+  core::flow_cache cache{1024};
+  netsim::flow_id_t next = 0;
+  for (; next < 512; ++next) cache.insert(next, 1, 0.0);
+  for (auto _ : state) {
+    cache.erase(next - 512, {});
+    cache.insert(next, 1, 0.0);
+    ++next;
+  }
+}
+BENCHMARK(bm_flow_cache_churn);
+
+void bm_flow_cache_step_evict(benchmark::State& state) {
+  core::flow_cache cache{4096};
+  for (netsim::flow_id_t f = 0; f < 2048; ++f) cache.insert(f, 1, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.step_evict(1.0, 30.0, 2, {}));
+  }
+}
+BENCHMARK(bm_flow_cache_step_evict);
 
 void bm_compiled_infer_aurora(benchmark::State& state) {
   static const auto snap = codegen::generate_snapshot(aurora(), "a", 1);
@@ -94,6 +173,55 @@ void bm_template_render_fc_layer(benchmark::State& state) {
 }
 BENCHMARK(bm_template_render_fc_layer);
 
+/// Console reporter that also captures per-benchmark CPU times so main()
+/// can emit the machine-readable BENCH_fastpath.json summary.
+class capturing_reporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const auto& run : reports) {
+      if (!run.error_occurred) {
+        cpu_ns[run.benchmark_name()] = run.GetAdjustedCPUTime();
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::map<std::string, double> cpu_ns;
+};
+
+void write_fastpath_json(const std::map<std::string, double>& cpu_ns) {
+  std::ofstream os{"BENCH_fastpath.json"};
+  if (!os) return;
+  os << "{\n  \"benchmarks\": {";
+  bool first = true;
+  for (const auto& [name, ns] : cpu_ns) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": {\"cpu_ns\": " << ns
+       << "}";
+    first = false;
+  }
+  os << "\n  },\n  \"speedups\": {";
+  const auto ratio = [&](const char* num, const char* den) -> double {
+    const auto a = cpu_ns.find(num);
+    const auto b = cpu_ns.find(den);
+    if (a == cpu_ns.end() || b == cpu_ns.end() || b->second == 0.0) return 0.0;
+    return a->second / b->second;
+  };
+  os << "\n    \"infer_into_vs_infer_aurora\": "
+     << ratio("bm_quantized_infer_aurora", "bm_quantized_infer_into_aurora")
+     << ",";
+  os << "\n    \"infer_into_vs_infer_ffnn\": "
+     << ratio("bm_quantized_infer_ffnn", "bm_quantized_infer_into_ffnn");
+  os << "\n  }\n}\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  capturing_reporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  write_fastpath_json(reporter.cpu_ns);
+  return 0;
+}

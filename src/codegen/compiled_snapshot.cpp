@@ -87,15 +87,20 @@ compiled_snapshot::~compiled_snapshot() {
 
 std::vector<fp::s64> compiled_snapshot::infer(std::span<const fp::s64> input,
                                               std::size_t output_size) const {
-  if (!infer_fn_) throw std::runtime_error{"compiled snapshot not loaded"};
   std::vector<fp::s64> out(output_size, 0);
+  infer_into(input, out);
+  return out;
+}
+
+void compiled_snapshot::infer_into(std::span<const fp::s64> input,
+                                   std::span<fp::s64> out) const {
+  if (!infer_fn_) throw std::runtime_error{"compiled snapshot not loaded"};
   // The generated C uses `long long`; fp::s64 is int64_t (`long` on LP64).
   // Same width and representation, so the reinterpret is safe.
   static_assert(sizeof(fp::s64) == sizeof(long long));
   const int rc = infer_fn_(reinterpret_cast<const long long*>(input.data()),
                            reinterpret_cast<long long*>(out.data()));
   if (rc != 0) throw std::runtime_error{"lf_nn_infer returned error"};
-  return out;
 }
 
 }  // namespace lf::codegen

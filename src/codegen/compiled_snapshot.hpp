@@ -34,6 +34,10 @@ class compiled_snapshot {
   std::vector<fp::s64> infer(std::span<const fp::s64> input,
                              std::size_t output_size) const;
 
+  /// Zero-allocation variant: run the compiled lf_nn_infer into a
+  /// caller-owned buffer sized to the model's output.
+  void infer_into(std::span<const fp::s64> input, std::span<fp::s64> out) const;
+
  private:
   compiled_snapshot() = default;
 

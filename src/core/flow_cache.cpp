@@ -1,0 +1,138 @@
+#include "core/flow_cache.hpp"
+
+namespace lf::core {
+namespace {
+
+constexpr std::size_t k_min_capacity = 16;
+
+/// Max live load factor before doubling (70%), and max live+tombstone fill
+/// before an in-place rehash reclaims tombstones (85%).
+constexpr std::size_t grow_threshold(std::size_t cap) noexcept {
+  return cap - cap / 4 - cap / 16;  // ~0.69 * cap, integer-only
+}
+constexpr std::size_t scrub_threshold(std::size_t cap) noexcept {
+  return cap - cap / 8;  // ~0.875 * cap
+}
+
+constexpr std::size_t round_up_pow2(std::size_t v) noexcept {
+  std::size_t p = k_min_capacity;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// splitmix64 finalizer: flow ids are often small sequential integers, so a
+/// strong mix is what keeps linear probe chains short.
+constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+flow_cache::flow_cache(std::size_t initial_capacity)
+    : slots_(round_up_pow2(initial_capacity)) {}
+
+std::size_t flow_cache::bucket_of(netsim::flow_id_t flow) const noexcept {
+  return static_cast<std::size_t>(mix(flow)) & (slots_.size() - 1);
+}
+
+flow_cache::entry* flow_cache::find(netsim::flow_id_t flow) noexcept {
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t i = bucket_of(flow);; i = (i + 1) & mask) {
+    slot& s = slots_[i];
+    if (s.state == slot_state::empty) return nullptr;
+    if (s.state == slot_state::occupied && s.e.flow == flow) return &s.e;
+  }
+}
+
+void flow_cache::insert(netsim::flow_id_t flow, model_id model, double now) {
+  if (occupied_ + 1 > grow_threshold(slots_.size())) {
+    rehash(slots_.size() * 2);
+  } else if (occupied_ + tombstones_ + 1 > scrub_threshold(slots_.size())) {
+    rehash(slots_.size());  // reclaim tombstones, keep capacity
+  }
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t i = bucket_of(flow);; i = (i + 1) & mask) {
+    slot& s = slots_[i];
+    if (s.state == slot_state::occupied) continue;
+    if (s.state == slot_state::tombstone) --tombstones_;
+    s.state = slot_state::occupied;
+    s.e = entry{flow, model, now};
+    ++occupied_;
+    return;
+  }
+}
+
+void flow_cache::evict_slot(slot& s, const evict_fn& on_evict) {
+  s.state = slot_state::tombstone;
+  --occupied_;
+  ++tombstones_;
+  if (on_evict) on_evict(s.e.model);
+}
+
+bool flow_cache::erase(netsim::flow_id_t flow, const evict_fn& on_evict) {
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t i = bucket_of(flow);; i = (i + 1) & mask) {
+    slot& s = slots_[i];
+    if (s.state == slot_state::empty) return false;
+    if (s.state == slot_state::occupied && s.e.flow == flow) {
+      evict_slot(s, on_evict);
+      return true;
+    }
+  }
+}
+
+std::size_t flow_cache::step_evict(double now, double timeout,
+                                   std::size_t slots, const evict_fn& on_evict) {
+  std::size_t evicted = 0;
+  const std::size_t n = slots_.size();
+  for (std::size_t k = 0; k < slots && k < n; ++k) {
+    slot& s = slots_[sweep_cursor_];
+    sweep_cursor_ = (sweep_cursor_ + 1) & (n - 1);
+    if (s.state == slot_state::occupied && now - s.e.last_used > timeout) {
+      evict_slot(s, on_evict);
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+std::size_t flow_cache::expire_idle(double now, double timeout,
+                                    const evict_fn& on_evict) {
+  std::size_t evicted = 0;
+  for (slot& s : slots_) {
+    if (s.state == slot_state::occupied && now - s.e.last_used > timeout) {
+      evict_slot(s, on_evict);
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+void flow_cache::clear(const evict_fn& on_evict) {
+  for (slot& s : slots_) {
+    if (s.state == slot_state::occupied && on_evict) on_evict(s.e.model);
+    s.state = slot_state::empty;
+  }
+  occupied_ = 0;
+  tombstones_ = 0;
+  sweep_cursor_ = 0;
+}
+
+void flow_cache::rehash(std::size_t new_capacity) {
+  std::vector<slot> old = std::move(slots_);
+  slots_.assign(new_capacity, slot{});
+  occupied_ = 0;
+  tombstones_ = 0;
+  sweep_cursor_ = 0;
+  ++rehashes_;
+  for (const slot& s : old) {
+    if (s.state == slot_state::occupied) {
+      insert(s.e.flow, s.e.model, s.e.last_used);
+    }
+  }
+}
+
+}  // namespace lf::core

@@ -1,0 +1,89 @@
+// Open-addressing flow cache for the inference router (§3.4).
+//
+// The kernel's flow table must absorb one lookup per datapath event for
+// millions of concurrent flows, so the chaining std::unordered_map (one node
+// allocation per flow, pointer chase per lookup) is replaced by a
+// linear-probe open-addressing table: one flat slot array, a fibonacci-mixed
+// hash, and no allocation on insert (the array only reallocates on the
+// amortized power-of-two growth).  Erase leaves a tombstone; tombstones are
+// reclaimed by inserts that land on them and by the periodic rehash when
+// they accumulate.
+//
+// Idle eviction is incremental: step_evict() sweeps a handful of slots per
+// call (the router invokes it on every route()), so stale flows drain with
+// O(1) work per packet instead of a stop-the-world full scan.  The full-scan
+// expire_idle() remains for explicit maintenance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/nn_manager.hpp"
+#include "netsim/packet.hpp"
+
+namespace lf::core {
+
+class flow_cache {
+ public:
+  struct entry {
+    netsim::flow_id_t flow = 0;
+    model_id model = 0;
+    double last_used = 0.0;
+  };
+
+  /// Called with the model of every evicted/erased entry so the owner can
+  /// release the module reference the entry held.
+  using evict_fn = std::function<void(model_id)>;
+
+  explicit flow_cache(std::size_t initial_capacity = 1024);
+
+  /// Lookup; nullptr if absent.  The pointer is valid until the next
+  /// insert/erase/evict on this cache.
+  entry* find(netsim::flow_id_t flow) noexcept;
+
+  /// Insert a flow that must not already be present.  Allocation-free except
+  /// for the amortized growth rehash.
+  void insert(netsim::flow_id_t flow, model_id model, double now);
+
+  /// Remove one flow (e.g. TCP FIN).  Returns true if it was present; the
+  /// callback fires with the entry's model.
+  bool erase(netsim::flow_id_t flow, const evict_fn& on_evict);
+
+  /// Incremental idle eviction: examine up to `slots` buckets starting at
+  /// the sweep cursor, evicting entries idle longer than `timeout`.
+  /// Returns the number evicted.  O(slots), independent of table size.
+  std::size_t step_evict(double now, double timeout, std::size_t slots,
+                         const evict_fn& on_evict);
+
+  /// Full sweep of every bucket (explicit maintenance path).
+  std::size_t expire_idle(double now, double timeout, const evict_fn& on_evict);
+
+  /// Drop everything, firing the callback per live entry.
+  void clear(const evict_fn& on_evict);
+
+  std::size_t size() const noexcept { return occupied_; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  std::uint64_t rehashes() const noexcept { return rehashes_; }
+
+ private:
+  enum class slot_state : std::uint8_t { empty, occupied, tombstone };
+
+  struct slot {
+    entry e;
+    slot_state state = slot_state::empty;
+  };
+
+  std::size_t bucket_of(netsim::flow_id_t flow) const noexcept;
+  void rehash(std::size_t new_capacity);
+  void evict_slot(slot& s, const evict_fn& on_evict);
+
+  std::vector<slot> slots_;
+  std::size_t occupied_ = 0;
+  std::size_t tombstones_ = 0;
+  std::size_t sweep_cursor_ = 0;
+  std::uint64_t rehashes_ = 0;
+};
+
+}  // namespace lf::core

@@ -6,7 +6,12 @@ namespace lf::core {
 
 inference_router::inference_router(sim::simulation& sim, nn_manager& manager,
                                    router_config config)
-    : sim_{sim}, manager_{manager}, config_{config}, lock_{sim} {}
+    : sim_{sim},
+      manager_{manager},
+      config_{config},
+      lock_{sim},
+      cache_{config.cache_initial_capacity},
+      release_{[this](model_id m) { manager_.release(m); }} {}
 
 void inference_router::install_standby(model_id id) {
   if (!manager_.get(id)) {
@@ -39,43 +44,37 @@ std::optional<model_id> inference_router::route(netsim::flow_id_t flow) {
   if (!config_.flow_cache_enabled) {
     return active_;
   }
-  const auto it = cache_.find(flow);
-  if (it != cache_.end()) {
+  const double now = sim_.now();
+  // Amortized idle eviction: constant work per packet keeps the table free
+  // of dead flows without a stop-the-world scan.
+  if (config_.cache_evict_slots_per_route > 0) {
+    cache_.step_evict(now, config_.cache_idle_timeout,
+                      config_.cache_evict_slots_per_route, release_);
+  }
+  if (auto* e = cache_.find(flow)) {
     // Hit — but the pinned model may have been force-removed; fall back.
-    if (manager_.get(it->second.model)) {
+    if (manager_.get(e->model)) {
       ++hits_;
-      it->second.last_used = sim_.now();
-      return it->second.model;
+      e->last_used = now;
+      return e->model;
     }
-    cache_.erase(it);
+    // Model already gone from the manager: drop the stale entry without a
+    // release (the ref died with the force-removal).
+    cache_.erase(flow, {});
   }
   ++misses_;
   if (!active_) return std::nullopt;
   manager_.add_ref(*active_);
-  cache_[flow] = cache_entry{*active_, sim_.now()};
+  cache_.insert(flow, *active_, now);
   return active_;
 }
 
 void inference_router::flow_finished(netsim::flow_id_t flow) {
-  const auto it = cache_.find(flow);
-  if (it == cache_.end()) return;
-  manager_.release(it->second.model);
-  cache_.erase(it);
+  cache_.erase(flow, release_);
 }
 
 std::size_t inference_router::expire_idle() {
-  const double now = sim_.now();
-  std::size_t evicted = 0;
-  for (auto it = cache_.begin(); it != cache_.end();) {
-    if (now - it->second.last_used > config_.cache_idle_timeout) {
-      manager_.release(it->second.model);
-      it = cache_.erase(it);
-      ++evicted;
-    } else {
-      ++it;
-    }
-  }
-  return evicted;
+  return cache_.expire_idle(sim_.now(), config_.cache_idle_timeout, release_);
 }
 
 }  // namespace lf::core

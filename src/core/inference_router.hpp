@@ -5,18 +5,21 @@
 // no lock because the datapath never touches the standby copy.  Switching
 // roles flips one pointer under a spinlock held for nanoseconds.
 //
-// Flow consistency: the flow cache (a kernel hash table: flow id -> model)
-// pins every flow to the snapshot that served its first packet, so one flow
-// never mixes decisions from two model generations (which would, e.g., make
-// a CC flow's rate jump mid-connection).  Cached entries hold a reference
-// on their model; FIN or idle-timeout eviction releases it, and a module
-// becomes removable only at refcount zero.
+// Flow consistency: the flow cache (an open-addressing kernel hash table:
+// flow id -> model, see core/flow_cache.hpp) pins every flow to the snapshot
+// that served its first packet, so one flow never mixes decisions from two
+// model generations (which would, e.g., make a CC flow's rate jump
+// mid-connection).  Cached entries hold a reference on their model; FIN or
+// idle-timeout eviction releases it, and a module becomes removable only at
+// refcount zero.  Idle eviction is amortized into route(): every lookup also
+// sweeps a couple of table slots, so stale flows drain without a periodic
+// full scan.
 #pragma once
 
 #include <functional>
 #include <optional>
-#include <unordered_map>
 
+#include "core/flow_cache.hpp"
 #include "core/nn_manager.hpp"
 #include "kernelsim/spinlock.hpp"
 #include "netsim/packet.hpp"
@@ -29,6 +32,11 @@ struct router_config {
   double cache_idle_timeout = 30.0;  ///< seconds; inactive entries evicted
   /// Spinlock hold time of the pointer flip ("3 lines of code").
   double switch_lock_hold = 20e-9;
+  /// Table slots swept for idle entries on each route() call (0 disables
+  /// the incremental sweep; expire_idle() then does all eviction).
+  std::size_t cache_evict_slots_per_route = 2;
+  /// Initial flow-cache capacity (rounded up to a power of two).
+  std::size_t cache_initial_capacity = 1024;
 };
 
 class inference_router {
@@ -64,18 +72,14 @@ class inference_router {
   const kernelsim::spinlock& lock() const noexcept { return lock_; }
 
  private:
-  struct cache_entry {
-    model_id model;
-    double last_used;
-  };
-
   sim::simulation& sim_;
   nn_manager& manager_;
   router_config config_;
   kernelsim::spinlock lock_;
   std::optional<model_id> active_;
   std::optional<model_id> standby_;
-  std::unordered_map<netsim::flow_id_t, cache_entry> cache_;
+  flow_cache cache_;
+  flow_cache::evict_fn release_;  ///< built once; evictions drop model refs
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t switches_ = 0;

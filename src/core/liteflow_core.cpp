@@ -72,7 +72,8 @@ void liteflow_core::query_model(netsim::flow_id_t flow,
   cpu_.submit(kernelsim::task_category::datapath, query_cost(*snap),
               [this, id = *id, snap, input = std::move(input),
                done = std::move(done)]() {
-                auto out = snap->program.infer(input);
+                std::vector<fp::s64> out(snap->output_size());
+                snap->program.infer_into(input, out, scratch_);
                 manager_.release(id);
                 if (done) done(std::move(out));
               });
@@ -85,7 +86,9 @@ std::vector<fp::s64> liteflow_core::query_model_sync(
   const auto* snap = id ? manager_.get(*id) : nullptr;
   if (!snap || input.size() != snap->input_size()) return {};
   cpu_.submit(kernelsim::task_category::datapath, query_cost(*snap));
-  return snap->program.infer(input);
+  std::vector<fp::s64> out(snap->output_size());
+  snap->program.infer_into(input, out, scratch_);
+  return out;
 }
 
 fp::s64 liteflow_core::active_io_scale() const {

@@ -83,6 +83,9 @@ class liteflow_core {
   std::map<io_handle, io_module_spec> io_modules_;
   io_handle next_io_ = 1;
   std::uint64_t queries_ = 0;
+  /// Reused across queries so the datapath inference allocates nothing
+  /// beyond the caller-visible output vector (sim is single-threaded).
+  mutable quant::inference_scratch scratch_;
 };
 
 }  // namespace lf::core

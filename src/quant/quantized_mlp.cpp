@@ -1,9 +1,68 @@
 #include "quant/quantized_mlp.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
 namespace lf::quant {
+namespace {
+
+/// Arena-based LUT evaluation.  Must match lookup_table::eval bit-for-bit —
+/// infer_into routes through this so the hot path touches only the arena.
+inline s64 lut_eval_arena(const s64* values, s64 n, s64 lo_q, s64 step_num,
+                          s64 x) noexcept {
+  if (x <= lo_q) return values[0];
+  if (x >= lo_q + step_num) return values[n - 1];
+  const __int128 scaled = static_cast<__int128>(x - lo_q) * (n - 1);
+  const auto idx = static_cast<s64>(scaled / step_num);
+  if (idx >= n - 1) return values[n - 1];
+  const auto rem = static_cast<s64>(scaled % step_num);
+  const s64 y0 = values[idx];
+  const s64 y1 = values[idx + 1];
+  return y0 + fp::mul_div(y1 - y0, rem, step_num);
+}
+
+/// 64-bit-only LUT evaluation, valid when build_arena proved both
+/// (n-1)*step_num and max|y1-y0|*(step_num-1) fit in s64: then every
+/// intermediate equals the 128-bit version's exactly (div_round and mul_div
+/// share the round-to-nearest-ties-away rule), just without the __int128
+/// division — which is a libgcc call on x86-64 and dominates tanh layers.
+inline s64 lut_eval_small(const s64* values, s64 n, s64 lo_q, s64 step_num,
+                          s64 x) noexcept {
+  if (x <= lo_q) return values[0];
+  if (x >= lo_q + step_num) return values[n - 1];
+  const s64 scaled = (x - lo_q) * (n - 1);
+  const s64 idx = scaled / step_num;
+  if (idx >= n - 1) return values[n - 1];
+  const s64 rem = scaled % step_num;
+  const s64 y0 = values[idx];
+  const s64 y1 = values[idx + 1];
+  return y0 + fp::div_round((y1 - y0) * rem, step_num);
+}
+
+inline __int128 abs128(s64 v) noexcept {
+  return v < 0 ? -static_cast<__int128>(v) : static_cast<__int128>(v);
+}
+
+/// True when lut_eval_small's intermediates provably fit in s64 for any
+/// input, i.e. (n-1)*step_num and max adjacent delta * (step_num-1) do.
+bool lut_fits_64bit(const std::vector<s64>& values, s64 step_num) {
+  constexpr __int128 lim = fp::s64_max;
+  const auto n = static_cast<s64>(values.size());
+  if (static_cast<__int128>(n - 1) * step_num > lim) return false;
+  __int128 max_dy = 0;
+  for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+    max_dy = std::max(max_dy, abs128(values[i + 1]) + abs128(values[i]));
+  }
+  return max_dy * (step_num - 1) <= lim;
+}
+
+}  // namespace
+
+void inference_scratch::reserve(const quantized_mlp& program) {
+  buf_.resize(2 * program.max_width_);
+}
 
 quantized_mlp::quantized_mlp(std::size_t input_size, s64 io_scale,
                              std::vector<qdense_layer> layers)
@@ -29,6 +88,97 @@ quantized_mlp::quantized_mlp(std::size_t input_size, s64 io_scale,
           "quantized_mlp: lut presence inconsistent with activation"};
     }
     in = layer.output_size;
+  }
+  build_arena();
+}
+
+void quantized_mlp::build_arena() {
+  std::size_t total = 0;
+  for (const auto& l : layers_) {
+    total += l.weights.size() + l.biases.size();
+    if (l.lut) total += l.lut->values().size();
+  }
+  arena_.reserve(total);
+  descs_.reserve(layers_.size());
+  max_width_ = input_size_;
+
+  // Fast-path contract: the no-saturation proof assumes |input| <= bound.
+  // io_scale * 2^20 covers physical values up to ~a million in io units —
+  // far beyond anything the datapath feeds — while leaving the bound small
+  // enough that realistic layers prove saturation-free.
+  fastpath_input_bound_ = fp::sat_mul(io_scale_, s64{1} << 20);
+
+  constexpr __int128 lim = fp::s64_max;
+  __int128 in_bound = fastpath_input_bound_;
+  for (const auto& l : layers_) {
+    layer_desc d;
+    d.input_size = l.input_size;
+    d.output_size = l.output_size;
+    d.weight_scale = l.weight_scale;
+    d.act = l.act;
+    // The quantizer always picks power-of-two weight scales; requantization
+    // then reduces to a shift with a rounding bias (equal to div_round for
+    // every in-bound accumulator — the +half headroom is checked below).
+    if ((l.weight_scale & (l.weight_scale - 1)) == 0) {
+      d.shift =
+          std::countr_zero(static_cast<std::uint64_t>(l.weight_scale));
+      d.half = l.weight_scale >> 1;
+    }
+    d.weights_off = arena_.size();
+    arena_.insert(arena_.end(), l.weights.begin(), l.weights.end());
+    d.biases_off = arena_.size();
+    arena_.insert(arena_.end(), l.biases.begin(), l.biases.end());
+    if (l.lut) {
+      const auto& vals = l.lut->values();
+      d.lut_off = arena_.size();
+      arena_.insert(arena_.end(), vals.begin(), vals.end());
+      d.lut_entries = static_cast<s64>(vals.size());
+      d.lut_lo_q = l.lut->domain_low_q();
+      d.lut_step_num = l.lut->domain_span_q();
+      d.lut_small = lut_fits_64bit(vals, d.lut_step_num);
+    }
+
+    // Worst-case accumulator: |bias_i| + sum_j |w_ij| * in_bound.  If the
+    // worst neuron stays within s64, no partial sum of the MAC can overflow
+    // in any summation order, so plain wrapping-free arithmetic is exact.
+    bool sat_free = true;
+    __int128 layer_acc_max = 0;
+    for (std::size_t i = 0; i < l.output_size && sat_free; ++i) {
+      __int128 a = abs128(l.biases[i]);
+      const s64* row = &l.weights[i * l.input_size];
+      for (std::size_t j = 0; j < l.input_size; ++j) {
+        a += abs128(row[j]) * in_bound;
+        if (a > lim) {
+          sat_free = false;
+          break;
+        }
+      }
+      layer_acc_max = std::max(layer_acc_max, a);
+    }
+    // Shift-based rounding adds `half` to |acc| before the shift; fold that
+    // headroom into the proof so the fast path stays exact.
+    if (sat_free && d.shift >= 0 && layer_acc_max + d.half > lim) {
+      sat_free = false;
+    }
+    d.saturation_free = sat_free;
+
+    // Propagate this layer's output bound as the next layer's input bound.
+    if (l.lut) {
+      // LUT outputs clamp to the table's value range no matter the input.
+      __int128 lut_max = 0;
+      for (const s64 v : l.lut->values()) {
+        lut_max = std::max(lut_max, abs128(v));
+      }
+      in_bound = lut_max;
+    } else {
+      // linear/relu: |out| <= |div_round(acc, ws)| <= acc_bound/ws + 1, and
+      // the saturating fallback clamps to s64 either way.
+      __int128 pre = sat_free ? layer_acc_max / l.weight_scale + 1 : lim;
+      in_bound = std::min(pre, lim);
+    }
+
+    max_width_ = std::max(max_width_, l.output_size);
+    descs_.push_back(d);
   }
 }
 
@@ -71,6 +221,115 @@ std::vector<s64> quantized_mlp::infer(std::span<const s64> input_q) const {
   return cur;
 }
 
+template <bool Saturating, nn::activation Act>
+void quantized_mlp::run_layer(const layer_desc& d, const s64* in,
+                              s64* out) const {
+  const s64* __restrict w = arena_.data() + d.weights_off;
+  const s64* __restrict b = arena_.data() + d.biases_off;
+  const s64* lut = d.lut_entries != 0 ? arena_.data() + d.lut_off : nullptr;
+  const std::size_t n = d.input_size;
+  for (std::size_t i = 0; i < d.output_size; ++i) {
+    const s64* __restrict row = w + i * n;
+    s64 acc;
+    if constexpr (Saturating) {
+      acc = b[i];
+      for (std::size_t j = 0; j < n; ++j) {
+        acc = fp::sat_add(acc, fp::sat_mul(row[j], in[j]));
+      }
+    } else {
+      // The bound proof guarantees every partial sum is in range, so the
+      // four accumulators (breaking the add dependency chain) reassociate
+      // without changing the result — and without signed-overflow UB.
+      s64 a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+      std::size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        a0 += row[j] * in[j];
+        a1 += row[j + 1] * in[j + 1];
+        a2 += row[j + 2] * in[j + 2];
+        a3 += row[j + 3] * in[j + 3];
+      }
+      acc = b[i] + ((a0 + a1) + (a2 + a3));
+      for (; j < n; ++j) acc += row[j] * in[j];
+    }
+    s64 pre;
+    if constexpr (!Saturating) {
+      // Power-of-two requantization without the hardware divide: round to
+      // nearest, ties away from zero, on the magnitude.  Exact vs div_round
+      // for all in-bound accumulators (the +half headroom is proven).
+      if (d.shift >= 0) {
+        pre = acc >= 0 ? (acc + d.half) >> d.shift
+                       : -((-acc + d.half) >> d.shift);
+      } else {
+        pre = fp::div_round(acc, d.weight_scale);
+      }
+    } else {
+      pre = fp::div_round(acc, d.weight_scale);
+    }
+    if constexpr (Act == nn::activation::linear) {
+      out[i] = pre;
+    } else if constexpr (Act == nn::activation::relu) {
+      out[i] = pre > 0 ? pre : 0;
+    } else {
+      out[i] = d.lut_small ? lut_eval_small(lut, d.lut_entries, d.lut_lo_q,
+                                            d.lut_step_num, pre)
+                           : lut_eval_arena(lut, d.lut_entries, d.lut_lo_q,
+                                            d.lut_step_num, pre);
+    }
+  }
+}
+
+void quantized_mlp::infer_into(std::span<const s64> input_q, std::span<s64> out,
+                               inference_scratch& scratch) const {
+  if (input_q.size() != input_size_) {
+    throw std::invalid_argument{"quantized_mlp::infer_into input size mismatch"};
+  }
+  if (out.size() != output_size()) {
+    throw std::invalid_argument{
+        "quantized_mlp::infer_into output size mismatch"};
+  }
+  if (scratch.buf_.size() < 2 * max_width_) scratch.buf_.resize(2 * max_width_);
+
+  // One pass over the inputs picks the mode for the whole call: within the
+  // precomputed bound the per-layer proofs apply; beyond it everything runs
+  // saturating (bit-identical to infer() either way).
+  bool in_bounds = true;
+  for (const s64 x : input_q) {
+    if (x > fastpath_input_bound_ || x < -fastpath_input_bound_) {
+      in_bounds = false;
+      break;
+    }
+  }
+
+  s64* const half_a = scratch.buf_.data();
+  s64* const half_b = scratch.buf_.data() + max_width_;
+  const s64* cur = input_q.data();
+  for (std::size_t li = 0; li < descs_.size(); ++li) {
+    const auto& d = descs_[li];
+    s64* const dst = (li + 1 == descs_.size())
+                         ? out.data()
+                         : (li % 2 == 0 ? half_a : half_b);
+    // Activation dispatch hoisted out of the neuron loop: one switch per
+    // layer selects a fully specialized inner loop.
+    const bool fast = in_bounds && d.saturation_free;
+    switch (d.act) {
+      case nn::activation::linear:
+        fast ? run_layer<false, nn::activation::linear>(d, cur, dst)
+             : run_layer<true, nn::activation::linear>(d, cur, dst);
+        break;
+      case nn::activation::relu:
+        fast ? run_layer<false, nn::activation::relu>(d, cur, dst)
+             : run_layer<true, nn::activation::relu>(d, cur, dst);
+        break;
+      case nn::activation::tanh_act:
+      case nn::activation::sigmoid:
+        fast ? run_layer<false, nn::activation::tanh_act>(d, cur, dst)
+             : run_layer<true, nn::activation::tanh_act>(d, cur, dst);
+        break;
+    }
+    cur = dst;
+  }
+}
+
 std::vector<double> quantized_mlp::infer_float(
     std::span<const double> input) const {
   if (input.size() != input_size_) {
@@ -79,7 +338,8 @@ std::vector<double> quantized_mlp::infer_float(
   std::vector<s64> q(input.size());
   const auto scale = static_cast<double>(io_scale_);
   for (std::size_t i = 0; i < input.size(); ++i) {
-    q[i] = static_cast<s64>(std::llround(input[i] * scale));
+    // Saturate instead of llround's UB when the scaled value leaves s64.
+    q[i] = fp::sat_quantize(input[i] * scale);
   }
   const auto out_q = infer(q);
   std::vector<double> out(out_q.size());

@@ -21,6 +21,23 @@ namespace lf::quant {
 
 using fp::s64;
 
+class quantized_mlp;
+
+/// Caller-owned scratch for the zero-allocation fast path.  Holds the two
+/// ping-pong activation buffers `infer_into` works in; reusing one scratch
+/// across calls makes inference allocation-free after the first use.
+class inference_scratch {
+ public:
+  inference_scratch() = default;
+
+  /// Pre-size for a program (optional; infer_into grows it on demand).
+  void reserve(const quantized_mlp& program);
+
+ private:
+  friend class quantized_mlp;
+  std::vector<s64> buf_;
+};
+
 /// One quantized fully-connected layer followed by its activation.
 struct qdense_layer {
   std::size_t input_size = 0;
@@ -46,9 +63,31 @@ class quantized_mlp {
   /// This is the paper's scaling factor C ("1000x scaling").
   s64 io_scale() const noexcept { return io_scale_; }
 
-  /// Integer fast-path inference (this is the exact arithmetic the kernel
-  /// snapshot performs; no floating point anywhere on this path).
+  /// Integer reference inference (this is the exact arithmetic the kernel
+  /// snapshot performs; no floating point anywhere on this path).  Kept as
+  /// the allocating legacy path: it walks the per-layer vectors with fully
+  /// saturating arithmetic and is the oracle `infer_into` is property-tested
+  /// against bit-for-bit.
   std::vector<s64> infer(std::span<const s64> input_q) const;
+
+  /// Zero-allocation fast path: same outputs as infer(), bit-for-bit, but
+  /// reads parameters from one contiguous arena, reuses caller-owned scratch
+  /// (no heap traffic once warm), and — for layers whose precomputed
+  /// accumulator bound proves saturation can never trigger — runs a plain
+  /// +/* MAC loop with the activation dispatch hoisted out of the loop.
+  /// `out.size()` must equal output_size().
+  void infer_into(std::span<const s64> input_q, std::span<s64> out,
+                  inference_scratch& scratch) const;
+
+  /// Largest |input| (in io_scale units) for which the per-layer
+  /// no-saturation proof holds; inputs beyond it take the saturating path.
+  s64 fastpath_input_bound() const noexcept { return fastpath_input_bound_; }
+
+  /// True if layer i's MAC provably cannot saturate for inputs within
+  /// fastpath_input_bound() (drives both infer_into and the C emitter).
+  bool layer_saturation_free(std::size_t i) const {
+    return descs_.at(i).saturation_free;
+  }
 
   /// Float convenience wrapper: quantize inputs, run the integer program,
   /// dequantize outputs.  Used for fidelity evaluation against the FP model.
@@ -61,9 +100,41 @@ class quantized_mlp {
   std::size_t parameter_bytes() const noexcept;
 
  private:
+  friend class inference_scratch;
+
+  /// Flat per-layer view into the parameter arena plus everything the inner
+  /// loops need, so the hot path never chases the qdense_layer vectors.
+  struct layer_desc {
+    std::size_t input_size = 0;
+    std::size_t output_size = 0;
+    std::size_t weights_off = 0;  ///< arena offset, output-major rows
+    std::size_t biases_off = 0;   ///< arena offset
+    s64 weight_scale = 1;
+    int shift = -1;   ///< log2(weight_scale) if it is a power of two, else -1
+    s64 half = 0;     ///< weight_scale / 2, the round-to-nearest bias
+    nn::activation act = nn::activation::linear;
+    // LUT parameters (valid iff act is tanh/sigmoid):
+    std::size_t lut_off = 0;
+    s64 lut_entries = 0;
+    s64 lut_lo_q = 0;
+    s64 lut_step_num = 0;
+    bool lut_small = false;  ///< interpolation fits 64-bit arithmetic
+    bool saturation_free = false;
+  };
+
+  void build_arena();
+
+  template <bool Saturating, nn::activation Act>
+  void run_layer(const layer_desc& d, const s64* in, s64* out) const;
+
   std::size_t input_size_;
   s64 io_scale_;
   std::vector<qdense_layer> layers_;
+  // Fast-path state, derived from layers_ at construction:
+  std::vector<s64> arena_;          ///< weights | biases | lut, per layer
+  std::vector<layer_desc> descs_;
+  s64 fastpath_input_bound_ = 0;
+  std::size_t max_width_ = 0;       ///< widest activation vector
 };
 
 }  // namespace lf::quant

@@ -40,14 +40,22 @@ constexpr s64 sat_mul(s64 a, s64 b) noexcept {
 }
 
 /// Division rounding to nearest, ties away from zero. Divisor must be != 0.
+/// Total for all (num, den) pairs: s64_min / -1 saturates to s64_max, and the
+/// round-away test is written subtraction-style so it cannot overflow even
+/// when |den| > s64_max / 2 (agrees with mul_div(num, 1, den) everywhere).
 constexpr s64 div_round(s64 num, s64 den) noexcept {
+  if (num == s64_min && den == -1) return s64_max;
   const s64 q = num / den;
   const s64 rem = num % den;
   if (rem == 0) return q;
-  // |rem|*2 >= |den| -> round away from zero.
-  const s64 abs_rem = rem < 0 ? -rem : rem;
-  const s64 abs_den = den < 0 ? -den : den;
-  if (abs_rem * 2 >= abs_den) {
+  // |rem|*2 >= |den| -> round away from zero.  Magnitudes are taken in u64
+  // (|s64_min| = 2^63 fits) and compared as |rem| >= |den| - |rem|, which
+  // cannot wrap since 0 < |rem| < |den|.
+  const auto mag = [](s64 v) {
+    return v < 0 ? 0 - static_cast<std::uint64_t>(v)
+                 : static_cast<std::uint64_t>(v);
+  };
+  if (mag(rem) >= mag(den) - mag(rem)) {
     return ((num < 0) == (den < 0)) ? q + 1 : q - 1;
   }
   return q;
@@ -78,6 +86,18 @@ constexpr s64 mul_div(s64 a, s64 b, s64 den) noexcept {
   if (q > s64_max) return s64_max;
   if (q < s64_min) return s64_min;
   return static_cast<s64>(q);
+}
+
+/// Quantize a double to s64, saturating at the representable range instead of
+/// hitting the UB of llround on out-of-range values.  NaN maps to 0.
+inline s64 sat_quantize(double v) noexcept {
+  // 2^63 is exactly representable as a double; every double below it rounds
+  // to an in-range s64 (the nearest doubles are >= 1024 apart up there).
+  constexpr double hi = 9223372036854775808.0;  // 2^63
+  if (v != v) return 0;
+  if (v >= hi) return s64_max;
+  if (v < -hi) return s64_min;
+  return static_cast<s64>(__builtin_llround(v));
 }
 
 }  // namespace lf::fp

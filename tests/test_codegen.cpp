@@ -185,6 +185,84 @@ TEST_P(CompiledGolden, GeneratedCodeMatchesInterpreterBitForBit) {
 
 INSTANTIATE_TEST_SUITE_P(Nets, CompiledGolden, ::testing::Values(0, 1, 2));
 
+TEST(CEmitter, FastVariantEmittedForSaturationFreeLayers) {
+  rng g{53};
+  const auto net = nn::make_aurora_net(g);
+  const auto snap = generate_snapshot(net, "aurora", 1);
+  // The quantizer's nets prove saturation-free on every layer, so the source
+  // must carry both the saturating chain and the fast chain plus the runtime
+  // input-bound dispatch that selects between them.
+  EXPECT_NE(snap.c_source.find("fc_0_comp_fast"), std::string::npos);
+  EXPECT_NE(snap.c_source.find("lf_sat_add"), std::string::npos);
+  EXPECT_NE(snap.c_source.find("if (fast)"), std::string::npos);
+}
+
+TEST(CompiledGoldenSaturating, HugeInputsMatchInterpreterBitForBit) {
+  // The emitted module dispatches between a plain fast chain and a fully
+  // saturating chain exactly like the interpreter; inputs far outside the
+  // fast-path bound must still agree bit-for-bit (legacy emitter silently
+  // wrapped here).
+  if (!compiler_available()) GTEST_SKIP() << "no gcc on PATH";
+  rng g{61};
+  const auto net = nn::make_aurora_net(g);
+  const auto snap = generate_snapshot(net, "golden", 1);
+  const auto compiled = compiled_snapshot::compile(snap.c_source);
+  rng xs{78};
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<fp::s64> x(net.input_size());
+    for (auto& v : x) {
+      v = trial % 2 == 0
+              ? xs.uniform_int(fp::s64_min / 2, fp::s64_max / 2)  // saturates
+              : xs.uniform_int(-3000, 3000);  // straddle: fast chain
+    }
+    const auto want = snap.program.infer(x);
+    const auto got = compiled.infer(x, net.output_size());
+    ASSERT_EQ(want, got) << "trial " << trial;
+  }
+}
+
+TEST(CompiledGoldenSaturating, HugeWeightsForceSaturatingChain) {
+  // Directly-built program whose weights defeat the no-saturation proof: the
+  // emitter must fall back to an all-saturating chain that still matches.
+  if (!compiler_available()) GTEST_SKIP() << "no gcc on PATH";
+  quant::qdense_layer l;
+  l.input_size = 2;
+  l.output_size = 2;
+  l.weight_scale = 4;
+  l.weights = {fp::s64_max / 2, fp::s64_max / 3, -fp::s64_max / 2, 9};
+  l.biases = {fp::s64_max / 5, -7};
+  l.act = nn::activation::relu;
+  quant::quantized_mlp program{2, 1000, {std::move(l)}};
+  EXPECT_FALSE(program.layer_saturation_free(0));
+  const auto src = emit_c_source(program, {});
+  EXPECT_EQ(src.find("fc_0_comp_fast"), std::string::npos);
+  const auto compiled = compiled_snapshot::compile(src);
+  rng xs{79};
+  quant::inference_scratch scratch;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<fp::s64> x(2);
+    for (auto& v : x) v = xs.uniform_int(fp::s64_min / 2, fp::s64_max / 2);
+    const auto want = program.infer(x);
+    EXPECT_EQ(want, compiled.infer(x, 2)) << "trial " << trial;
+    // And the interpreter fast path agrees with its own oracle here too.
+    std::vector<fp::s64> got(2);
+    program.infer_into(x, got, scratch);
+    EXPECT_EQ(want, got) << "trial " << trial;
+  }
+}
+
+TEST(CompiledSnapshot, InferIntoMatchesInfer) {
+  if (!compiler_available()) GTEST_SKIP() << "no gcc on PATH";
+  rng g{62};
+  const auto net = nn::make_ffnn_flow_size_net(g);
+  const auto snap = generate_snapshot(net, "golden", 1);
+  const auto compiled = compiled_snapshot::compile(snap.c_source);
+  std::vector<fp::s64> x(net.input_size(), 321);
+  std::vector<fp::s64> out(net.output_size());
+  compiled.infer_into(x, out);
+  EXPECT_EQ(compiled.infer(x, net.output_size()), out);
+}
+
 TEST(CompiledSnapshot, RejectsGarbageSource) {
   if (!compiler_available()) GTEST_SKIP() << "no gcc on PATH";
   EXPECT_THROW(compiled_snapshot::compile("this is not C"),

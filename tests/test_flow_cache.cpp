@@ -1,0 +1,238 @@
+// Tests for the open-addressing flow cache (core/flow_cache.hpp) and its
+// integration with the inference router: insert/hit/FIN/idle-expiry, growth
+// and tombstone reclamation, incremental step_evict, and refcount draining
+// across a snapshot switch.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/flow_cache.hpp"
+#include "core/inference_router.hpp"
+#include "core/nn_manager.hpp"
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lf;
+using namespace lf::core;
+
+// ------------------------------------------------------------ flow cache --
+
+TEST(FlowCache, InsertFindErase) {
+  flow_cache c{16};
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.find(7), nullptr);
+  c.insert(7, 3, 1.0);
+  ASSERT_NE(c.find(7), nullptr);
+  EXPECT_EQ(c.find(7)->model, 3u);
+  EXPECT_EQ(c.find(7)->last_used, 1.0);
+  EXPECT_EQ(c.size(), 1u);
+  model_id released = 0;
+  EXPECT_TRUE(c.erase(7, [&](model_id m) { released = m; }));
+  EXPECT_EQ(released, 3u);
+  EXPECT_EQ(c.find(7), nullptr);
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_FALSE(c.erase(7, {}));  // absent; empty callback must be safe
+}
+
+TEST(FlowCache, GrowsPastInitialCapacityWithoutLosingEntries) {
+  flow_cache c{16};
+  const std::size_t cap0 = c.capacity();
+  for (netsim::flow_id_t f = 0; f < 1000; ++f) c.insert(f, f + 1, 0.0);
+  EXPECT_EQ(c.size(), 1000u);
+  EXPECT_GT(c.capacity(), cap0);
+  EXPECT_GT(c.rehashes(), 0u);
+  for (netsim::flow_id_t f = 0; f < 1000; ++f) {
+    ASSERT_NE(c.find(f), nullptr) << "flow " << f;
+    EXPECT_EQ(c.find(f)->model, f + 1);
+  }
+}
+
+TEST(FlowCache, TombstonesAreReclaimedByChurn) {
+  // Steady insert+erase churn at constant live size must not grow the table
+  // without bound: tombstones get reused or scrubbed by the periodic rehash.
+  flow_cache c{64};
+  netsim::flow_id_t next = 0;
+  for (; next < 32; ++next) c.insert(next, 1, 0.0);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_TRUE(c.erase(next - 32, {}));
+    c.insert(next, 1, 0.0);
+    ++next;
+  }
+  EXPECT_EQ(c.size(), 32u);
+  EXPECT_LE(c.capacity(), 256u);  // bounded despite 100k inserts
+  for (netsim::flow_id_t f = next - 32; f < next; ++f) {
+    ASSERT_NE(c.find(f), nullptr);
+  }
+}
+
+TEST(FlowCache, CollidingFlowsAllFindable) {
+  // Adversarial-ish: dense sequential ids plus ids that alias mod capacity.
+  flow_cache c{16};
+  std::vector<netsim::flow_id_t> flows;
+  for (int i = 0; i < 40; ++i) flows.push_back(1 + i * 16);
+  for (const auto f : flows) c.insert(f, f, 0.5);
+  for (const auto f : flows) {
+    ASSERT_NE(c.find(f), nullptr) << "flow " << f;
+    EXPECT_EQ(c.find(f)->model, f);
+  }
+  // Erase every other one, then verify probes still reach the survivors
+  // (tombstones must not terminate the probe chain).
+  for (std::size_t i = 0; i < flows.size(); i += 2) c.erase(flows[i], {});
+  for (std::size_t i = 1; i < flows.size(); i += 2) {
+    ASSERT_NE(c.find(flows[i]), nullptr) << "flow " << flows[i];
+  }
+}
+
+TEST(FlowCache, ExpireIdleSweepsEverything) {
+  flow_cache c{64};
+  for (netsim::flow_id_t f = 0; f < 20; ++f) {
+    c.insert(f, f + 100, f < 10 ? 0.0 : 50.0);  // half old, half fresh
+  }
+  std::multiset<model_id> released;
+  const auto n = c.expire_idle(60.0, 30.0, [&](model_id m) {
+    released.insert(m);
+  });
+  EXPECT_EQ(n, 10u);
+  EXPECT_EQ(c.size(), 10u);
+  EXPECT_EQ(released.size(), 10u);
+  for (netsim::flow_id_t f = 0; f < 10; ++f) EXPECT_EQ(c.find(f), nullptr);
+  for (netsim::flow_id_t f = 10; f < 20; ++f) EXPECT_NE(c.find(f), nullptr);
+}
+
+TEST(FlowCache, StepEvictDrainsIncrementally) {
+  flow_cache c{64};
+  for (netsim::flow_id_t f = 0; f < 30; ++f) c.insert(f, 1, 0.0);
+  // Sweeping `slots` buckets per call must reach every stale entry within
+  // one full lap of the table, regardless of where they hash.
+  std::size_t evicted = 0;
+  const std::size_t laps = c.capacity() / 4 + 1;
+  for (std::size_t i = 0; i < laps; ++i) {
+    evicted += c.step_evict(100.0, 30.0, 4, {});
+  }
+  EXPECT_EQ(evicted, 30u);
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(FlowCache, StepEvictSparesFreshEntries) {
+  flow_cache c{64};
+  for (netsim::flow_id_t f = 0; f < 16; ++f) c.insert(f, 1, 99.0);
+  std::size_t evicted = 0;
+  for (int i = 0; i < 200; ++i) evicted += c.step_evict(100.0, 30.0, 4, {});
+  EXPECT_EQ(evicted, 0u);
+  EXPECT_EQ(c.size(), 16u);
+}
+
+TEST(FlowCache, ClearReleasesEveryEntry) {
+  flow_cache c{32};
+  for (netsim::flow_id_t f = 0; f < 10; ++f) c.insert(f, 7, 0.0);
+  int calls = 0;
+  c.clear([&](model_id m) {
+    EXPECT_EQ(m, 7u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 10);
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.find(3), nullptr);
+}
+
+TEST(FlowCache, RandomizedAgainstReferenceMap) {
+  // Model-based check: random insert/erase/find against a std::map oracle.
+  flow_cache c{16};
+  std::map<netsim::flow_id_t, model_id> oracle;
+  rng g{0xcafe};
+  for (int step = 0; step < 20000; ++step) {
+    const auto f = static_cast<netsim::flow_id_t>(g.uniform_int(0, 400));
+    switch (g.uniform_int(0, 2)) {
+      case 0:
+        if (!oracle.count(f)) {
+          c.insert(f, f * 2 + 1, 0.0);
+          oracle[f] = f * 2 + 1;
+        }
+        break;
+      case 1: {
+        const bool present = oracle.erase(f) > 0;
+        EXPECT_EQ(c.erase(f, {}), present);
+        break;
+      }
+      default: {
+        auto* e = c.find(f);
+        const auto it = oracle.find(f);
+        if (it == oracle.end()) {
+          EXPECT_EQ(e, nullptr);
+        } else {
+          ASSERT_NE(e, nullptr);
+          EXPECT_EQ(e->model, it->second);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(c.size(), oracle.size());
+}
+
+// ---------------------------------------------------- router integration --
+
+codegen::snapshot tiny_snapshot(const std::string& name,
+                                std::uint64_t version) {
+  rng g{12};
+  const auto net = nn::make_ffnn_flow_size_net(g);
+  return codegen::generate_snapshot(net, name, version);
+}
+
+struct rig {
+  sim::simulation s;
+  nn_manager m;
+};
+
+TEST(RouterFlowCache, PinsFlowsAndDrainsRefsAcrossSwitch) {
+  rig r;
+  router_config cfg;
+  cfg.cache_initial_capacity = 16;
+  inference_router router{r.s, r.m, cfg};
+  const auto v1 = r.m.register_model(tiny_snapshot("ffnn", 1));
+  router.install_standby(v1);
+  router.switch_active();
+  for (netsim::flow_id_t f = 0; f < 100; ++f) {
+    EXPECT_EQ(router.route(f), v1);  // pins each flow, cache grows past 16
+  }
+  // 100 pinned flows + the active slot's own reference.
+  EXPECT_EQ(r.m.refcount(v1), 101u);
+  EXPECT_EQ(router.cache_size(), 100u);
+
+  const auto v2 = r.m.register_model(tiny_snapshot("ffnn", 2));
+  router.install_standby(v2);
+  router.switch_active();
+  // Existing flows stay pinned to v1; new flows go to v2.
+  EXPECT_EQ(router.route(5), v1);
+  EXPECT_EQ(router.route(1000), v2);
+  EXPECT_FALSE(r.m.try_remove(v1));  // blocked: 100 flows still pinned
+  for (netsim::flow_id_t f = 0; f < 100; ++f) router.flow_finished(f);
+  EXPECT_EQ(r.m.get(v1), nullptr);  // deferred unload fired at refcount 0
+  EXPECT_EQ(router.route(5), v2);   // re-routes to the new active
+}
+
+TEST(RouterFlowCache, IncrementalEvictionDrainsIdleFlowsDuringRouting) {
+  rig r;
+  router_config cfg;
+  cfg.cache_idle_timeout = 1.0;
+  cfg.cache_evict_slots_per_route = 8;
+  inference_router router{r.s, r.m, cfg};
+  const auto v1 = r.m.register_model(tiny_snapshot("ffnn", 1));
+  router.install_standby(v1);
+  router.switch_active();
+  for (netsim::flow_id_t f = 0; f < 64; ++f) router.route(f);
+  EXPECT_EQ(r.m.refcount(v1), 65u);  // 64 flows + the active slot's ref
+  // Advance time past the idle timeout, then keep routing one hot flow:
+  // the per-route sweep alone must drain all the stale entries.
+  r.s.schedule(5.0, []() {});
+  r.s.run();
+  for (int i = 0; i < 400; ++i) router.route(9999);
+  EXPECT_EQ(router.cache_size(), 1u);  // only the hot flow remains
+  EXPECT_EQ(r.m.refcount(v1), 2u);     // hot flow + the active slot's ref
+}
+
+}  // namespace

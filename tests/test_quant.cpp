@@ -115,6 +115,160 @@ TEST(QuantizedMlp, ReluClampsNegativePreactivation) {
   EXPECT_EQ(q.infer(pos)[0], 700);
 }
 
+// ------------------------------------------------- fast path (infer_into) --
+
+/// Build a random quantized MLP directly (not via the quantizer) so the
+/// property test also covers shapes/scales the quantizer never produces:
+/// non-power-of-two weight scales, huge weights that defeat the
+/// no-saturation proof, every activation kind.
+quantized_mlp random_qmlp(rng& g, bool extreme) {
+  const auto n_layers = static_cast<std::size_t>(g.uniform_int(1, 4));
+  std::size_t in = static_cast<std::size_t>(g.uniform_int(1, 9));
+  const std::size_t input_size = in;
+  std::vector<qdense_layer> layers;
+  for (std::size_t li = 0; li < n_layers; ++li) {
+    qdense_layer l;
+    l.input_size = in;
+    l.output_size = static_cast<std::size_t>(g.uniform_int(1, 9));
+    l.weight_scale = g.bernoulli(0.7)
+                         ? fp::s64{1} << g.uniform_int(0, 12)  // pow2 (typical)
+                         : g.uniform_int(1, 5000);             // odd scales
+    const fp::s64 wmax = extreme && g.bernoulli(0.3)
+                             ? fp::s64_max / 4  // forces the saturating path
+                             : l.weight_scale * 4;
+    for (std::size_t i = 0; i < l.input_size * l.output_size; ++i) {
+      l.weights.push_back(g.uniform_int(-wmax, wmax));
+    }
+    for (std::size_t i = 0; i < l.output_size; ++i) {
+      l.biases.push_back(g.uniform_int(-wmax, wmax));
+    }
+    switch (g.uniform_int(0, 3)) {
+      case 0:
+        l.act = nn::activation::linear;
+        break;
+      case 1:
+        l.act = nn::activation::relu;
+        break;
+      case 2:
+        l.act = nn::activation::tanh_act;
+        l.lut = lookup_table::for_activation(nn::activation::tanh_act, 128,
+                                             1000);
+        break;
+      default:
+        l.act = nn::activation::sigmoid;
+        l.lut = lookup_table::for_activation(nn::activation::sigmoid, 64,
+                                             1000);
+        break;
+    }
+    in = l.output_size;
+    layers.push_back(std::move(l));
+  }
+  return quantized_mlp{input_size, 1000, std::move(layers)};
+}
+
+TEST(QuantizedMlpFastPath, InferIntoMatchesInferBitForBit) {
+  rng g{0xfa57};
+  inference_scratch scratch;
+  for (int trial = 0; trial < 200; ++trial) {
+    const bool extreme = trial >= 100;
+    const auto q = random_qmlp(g, extreme);
+    for (int rep = 0; rep < 10; ++rep) {
+      std::vector<fp::s64> x(q.input_size());
+      for (auto& v : x) {
+        // Mix of in-bound inputs (fast mode) and enormous ones (forces the
+        // all-saturating mode); both must equal the legacy oracle exactly.
+        v = g.bernoulli(0.85) ? g.uniform_int(-2000, 2000)
+                              : g.uniform_int(fp::s64_min / 2, fp::s64_max / 2);
+      }
+      const auto expect = q.infer(x);
+      std::vector<fp::s64> got(q.output_size());
+      q.infer_into(x, got, scratch);
+      ASSERT_EQ(expect, got) << "trial " << trial << " rep " << rep;
+    }
+  }
+}
+
+TEST(QuantizedMlpFastPath, PaperNetsUseFastModeAndMatch) {
+  // The quantizer's own output (paper nets) must be saturation-free on every
+  // layer — the whole point of the bound precomputation — and bit-exact.
+  rng g{0x5eed};
+  for (int which = 0; which < 4; ++which) {
+    nn::mlp net = [&]() {
+      switch (which) {
+        case 0:
+          return nn::make_aurora_net(g);
+        case 1:
+          return nn::make_mocc_net(g);
+        case 2:
+          return nn::make_ffnn_flow_size_net(g);
+        default:
+          return nn::make_lb_mlp_net(g);
+      }
+    }();
+    const auto q = quantize(net);
+    for (std::size_t i = 0; i < q.layer_count(); ++i) {
+      EXPECT_TRUE(q.layer_saturation_free(i)) << "net " << which << " layer "
+                                              << i;
+    }
+    EXPECT_GE(q.fastpath_input_bound(), 1000 * 1000);
+    inference_scratch scratch;
+    scratch.reserve(q);
+    std::vector<fp::s64> x(q.input_size());
+    std::vector<fp::s64> out(q.output_size());
+    for (int rep = 0; rep < 50; ++rep) {
+      for (auto& v : x) v = g.uniform_int(-1000, 1000);
+      q.infer_into(x, out, scratch);
+      EXPECT_EQ(q.infer(x), out);
+    }
+  }
+}
+
+TEST(QuantizedMlpFastPath, ValidatesSpanSizes) {
+  rng g{50};
+  const auto q = quantize(nn::make_ffnn_flow_size_net(g));
+  inference_scratch scratch;
+  std::vector<fp::s64> in_bad(q.input_size() + 1, 0);
+  std::vector<fp::s64> out(q.output_size());
+  EXPECT_THROW(q.infer_into(in_bad, out, scratch), std::invalid_argument);
+  std::vector<fp::s64> in(q.input_size(), 0);
+  std::vector<fp::s64> out_bad(q.output_size() + 1);
+  EXPECT_THROW(q.infer_into(in, out_bad, scratch), std::invalid_argument);
+}
+
+TEST(QuantizedMlpFastPath, ScratchReusableAcrossPrograms) {
+  rng g{51};
+  const auto a = quantize(nn::make_aurora_net(g));
+  const auto f = quantize(nn::make_ffnn_flow_size_net(g));
+  inference_scratch scratch;
+  scratch.reserve(f);  // undersized for aurora; infer_into must grow it
+  std::vector<fp::s64> xa(a.input_size(), 250);
+  std::vector<fp::s64> oa(a.output_size());
+  a.infer_into(xa, oa, scratch);
+  EXPECT_EQ(a.infer(xa), oa);
+  std::vector<fp::s64> xf(f.input_size(), 500);
+  std::vector<fp::s64> of(f.output_size());
+  f.infer_into(xf, of, scratch);
+  EXPECT_EQ(f.infer(xf), of);
+}
+
+TEST(QuantizedMlp, InferFloatSaturatesOnHugeInputs) {
+  qdense_layer layer;
+  layer.input_size = 1;
+  layer.output_size = 1;
+  layer.weight_scale = 1;
+  layer.weights = {1};
+  layer.biases = {0};
+  layer.act = nn::activation::linear;
+  quantized_mlp q{1, 1000, {std::move(layer)}};
+  // 1e300 * 1000 is far outside s64: quantization must clamp, not UB.
+  const double huge[] = {1e300};
+  const auto out = q.infer_float(huge);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0], static_cast<double>(fp::s64_max) / 1000.0, 1e13);
+  const double nan_in[] = {std::nan("")};
+  EXPECT_EQ(q.infer_float(nan_in)[0], 0.0);
+}
+
 TEST(QuantizedMlp, MacCountAndBytes) {
   rng g{40};
   const auto q = quantize(nn::make_aurora_net(g));

@@ -288,6 +288,67 @@ INSTANTIATE_TEST_SUITE_P(
                       div_round_case{1000, 1, 1000},
                       div_round_case{7, -2, -4}, div_round_case{-7, -2, 4}));
 
+TEST(FixedPoint, DivRoundHugeDivisorDoesNotOverflow) {
+  using namespace fp;
+  // Regression: with |den| > s64_max / 2, the old `abs_rem * 2` round test
+  // overflowed (UB) and could flip the rounding direction.  E.g. num just
+  // above den/2 must round to 1, just below to 0 — for the largest divisors.
+  const s64 big = s64_max;  // odd: big/2 rounds down
+  EXPECT_EQ(div_round(big / 2, big), 0);      // 0.4999... -> 0
+  EXPECT_EQ(div_round(big / 2 + 1, big), 1);  // 0.5000... -> 1 (ties away)
+  EXPECT_EQ(div_round(-(big / 2), big), 0);
+  EXPECT_EQ(div_round(-(big / 2) - 1, big), -1);
+  EXPECT_EQ(div_round(big - 1, big), 1);
+  EXPECT_EQ(div_round(1 - big, big), -1);
+  // Even divisor just above the half-range threshold: exact tie.
+  const s64 even = (s64{1} << 62);  // 2^62 > s64_max / 2
+  EXPECT_EQ(div_round(even / 2, even), 1);      // exactly 0.5 -> away
+  EXPECT_EQ(div_round(even / 2 - 1, even), 0);
+  EXPECT_EQ(div_round(-(even / 2), even), -1);
+  EXPECT_EQ(div_round(-(even / 2) + 1, even), 0);
+  // Negative huge divisors, including s64_min itself (|den| = 2^63).
+  EXPECT_EQ(div_round(even, s64_min), -1);      // exactly -0.5 -> away
+  EXPECT_EQ(div_round(even - 1, s64_min), 0);
+  EXPECT_EQ(div_round(s64_max, s64_min), -1);
+  EXPECT_EQ(div_round(s64_min, s64_max), -1);
+}
+
+TEST(FixedPoint, DivRoundSaturatesMinOverMinusOne) {
+  EXPECT_EQ(fp::div_round(fp::s64_min, -1), fp::s64_max);
+  EXPECT_EQ(fp::div_round(fp::s64_min + 1, -1), fp::s64_max);
+  EXPECT_EQ(fp::div_round(fp::s64_max, 1), fp::s64_max);
+  EXPECT_EQ(fp::div_round(fp::s64_min, 1), fp::s64_min);
+}
+
+TEST(FixedPoint, DivRoundAgreesWithMulDivEverywhere) {
+  // mul_div(num, 1, den) computes the same quotient in 128-bit arithmetic
+  // where nothing can overflow; div_round must agree on random pairs drawn
+  // across the whole s64 range, including divisor magnitudes > s64_max / 2.
+  rng g{0xd1f};
+  for (int i = 0; i < 20000; ++i) {
+    const fp::s64 num = static_cast<fp::s64>(g.next_u64());
+    fp::s64 den = static_cast<fp::s64>(g.next_u64());
+    if (den == 0) den = 1;
+    EXPECT_EQ(fp::div_round(num, den), fp::mul_div(num, 1, den))
+        << num << " / " << den;
+  }
+}
+
+TEST(FixedPoint, SatQuantizeClampsInsteadOfUb) {
+  using namespace fp;
+  EXPECT_EQ(sat_quantize(0.0), 0);
+  EXPECT_EQ(sat_quantize(1.49), 1);
+  EXPECT_EQ(sat_quantize(1.5), 2);
+  EXPECT_EQ(sat_quantize(-1.5), -2);
+  EXPECT_EQ(sat_quantize(1e30), s64_max);
+  EXPECT_EQ(sat_quantize(-1e30), s64_min);
+  EXPECT_EQ(sat_quantize(9223372036854775808.0), s64_max);    // 2^63
+  EXPECT_EQ(sat_quantize(-9223372036854775808.0), s64_min);   // -2^63
+  EXPECT_EQ(sat_quantize(std::numeric_limits<double>::infinity()), s64_max);
+  EXPECT_EQ(sat_quantize(-std::numeric_limits<double>::infinity()), s64_min);
+  EXPECT_EQ(sat_quantize(std::numeric_limits<double>::quiet_NaN()), 0);
+}
+
 // ------------------------------------------------------------ time series --
 
 TEST(TimeSeries, AverageOverWindow) {
