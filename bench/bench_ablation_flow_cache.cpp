@@ -19,6 +19,10 @@ int main() {
 
   print_header("Ablation (§3.4)", "flow cache and flow consistency");
 
+  report rep{"ablation_flow_cache", "flow cache and flow consistency"};
+  rep.config("flows", 64.0);
+  rep.config("queries_per_flow", 40.0);
+
   text_table table{{"flow-cache", "mid-flow model changes", "cache hits",
                     "generations pinned at end"}};
 
@@ -74,11 +78,19 @@ int main() {
                    std::to_string(mid_flow_changes),
                    std::to_string(router.cache_hits()),
                    std::to_string(manager.installed_count())});
+    const std::string tag = cache_enabled ? "cache_on" : "cache_off";
+    rep.summary(tag + ".mid_flow_changes",
+                static_cast<double>(mid_flow_changes));
+    rep.summary(tag + ".cache_hits",
+                static_cast<double>(router.cache_hits()));
+    rep.summary(tag + ".generations_pinned",
+                static_cast<double>(manager.installed_count()));
   }
   std::cout << "\n" << table.to_string();
   std::cout << "\nDesign point: the cache guarantees one model generation "
                "per flow (no mid-flow decision discontinuities) at the cost "
                "of keeping superseded generations loaded until their flows "
                "drain; functions that tolerate switches (CC) disable it.\n";
+  write_report(rep);
   return 0;
 }

@@ -21,6 +21,8 @@ int main() {
 
   print_header("Ablation (§2.3)", "lightweight inference artifacts");
 
+  report rep{"ablation_lightweight", "lightweight inference artifacts"};
+
   // ------------------------------------------ quantized NN vs decision tree
   text_table table{{"teacher", "artifact", "mean|err|", "size(bytes)",
                     "work/inference"}};
@@ -52,6 +54,10 @@ int main() {
                    text_table::num(q_err / static_cast<double>(n), 4),
                    std::to_string(q.parameter_bytes()),
                    std::to_string(q.mac_count()) + " MACs"});
+    rep.summary(tc.name + ".quantized_nn_mean_abs_err",
+                q_err / static_cast<double>(n));
+    rep.summary(tc.name + ".quantized_nn_bytes",
+                static_cast<double>(q.parameter_bytes()));
 
     dt_config dc;
     dc.max_depth = 10;
@@ -61,6 +67,10 @@ int main() {
                    text_table::num(tree.mean_abs_error(tc.net, 300, 33), 4),
                    std::to_string(tree.node_count() * 24),
                    std::to_string(tree.depth()) + " compares"});
+    rep.summary(tc.name + ".decision_tree_mean_abs_err",
+                tree.mean_abs_error(tc.net, 300, 33));
+    rep.summary(tc.name + ".decision_tree_bytes",
+                static_cast<double>(tree.node_count() * 24));
   }
   std::cout << "\n" << table.to_string();
 
@@ -69,11 +79,12 @@ int main() {
   for (const std::size_t entries : {64u, 256u, 1024u, 4096u}) {
     const auto lut =
         lookup_table::for_activation(nn::activation::tanh_act, entries, 1000);
-    lut_table.add_row(
-        {std::to_string(entries),
-         text_table::num(lut.max_abs_error([](double x) { return std::tanh(x); }),
-                         5),
-         std::to_string(entries * sizeof(fp::s64))});
+    const double max_err =
+        lut.max_abs_error([](double x) { return std::tanh(x); });
+    lut_table.add_row({std::to_string(entries), text_table::num(max_err, 5),
+                       std::to_string(entries * sizeof(fp::s64))});
+    rep.add_point("tanh_lut_max_abs_err", static_cast<double>(entries),
+                  max_err);
   }
   std::cout << "\nactivation lookup-table resolution (scale 1000):\n"
             << lut_table.to_string();
@@ -81,5 +92,6 @@ int main() {
                "faithful on high-dimensional inputs; the quantized NN "
                "tracks the teacher to ~1e-3 — and only it has a slow path "
                "to stay current.\n";
+  write_report(rep);
   return 0;
 }

@@ -14,6 +14,10 @@ int main() {
   print_header("Ablation (§3.3)", "necessity threshold alpha sweep");
 
   const double phase_len = dur(16.0, 6.0);
+
+  report rep{"ablation_necessity", "necessity threshold alpha sweep"};
+  rep.config("phase_len", phase_len);
+
   text_table table{{"alpha", "snapshot-updates", "phase1(Mbps)",
                     "phase2(Mbps)"}};
 
@@ -37,6 +41,11 @@ int main() {
                    mbps(r.goodput.average(cfg.warmup, phase_len)),
                    mbps(r.goodput.average(phase_len + phase_len / 3,
                                           cfg.duration))});
+    rep.add_point("snapshot_updates", alpha,
+                  static_cast<double>(r.snapshot_updates));
+    rep.add_point("phase2_goodput_mbps", alpha,
+                  r.goodput.average(phase_len + phase_len / 3, cfg.duration) /
+                      1e6);
   }
   std::cout << "\n" << table.to_string();
   std::cout << "\nDesign point: alpha=0 syncs on nearly every batch "
@@ -45,5 +54,6 @@ int main() {
                "very large alpha stops syncing entirely and the flow stays "
                "collapsed like N-O-A. Notably even a single well-timed sync "
                "rescues the flow — conservatism is cheap.\n";
+  write_report(rep);
   return 0;
 }

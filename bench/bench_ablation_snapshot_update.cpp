@@ -30,6 +30,9 @@ int main() {
     double lock_hold;  ///< seconds the update holds the lock
   };
 
+  report rep{"ablation_snapshot_update",
+             "snapshot update locking: direct vs active-standby switch"};
+
   text_table table{{"model", "policy", "lock-hold",
                     "stalled-queries", "mean-stall", "max-stall"}};
 
@@ -73,11 +76,17 @@ int main() {
            std::to_string(stalled),
            text_table::num(stalls.mean() * 1e9, 2) + "ns",
            text_table::num(stalls.max() * 1e6, 3) + "us"});
+      const std::string tag =
+          std::string{net == &aurora ? "aurora" : "mocc"} + "." + pol.name;
+      rep.summary(tag + ".lock_hold_us", pol.lock_hold * 1e6);
+      rep.summary(tag + ".stalled_queries", static_cast<double>(stalled));
+      rep.summary(tag + ".max_stall_us", stalls.max() * 1e6);
     }
   }
   std::cout << "\n" << table.to_string();
   std::cout << "\nDesign point: the pointer flip holds the lock for tens of "
                "nanoseconds, so datapath stalls vanish; a direct install "
                "stalls queries for the whole parameter copy.\n";
+  write_report(rep);
   return 0;
 }

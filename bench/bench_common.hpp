@@ -12,6 +12,7 @@
 #include <string>
 
 #include "apps/cc/cc_experiment.hpp"
+#include "util/bench_report.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -21,6 +22,18 @@ inline void print_header(const std::string& figure, const std::string& title) {
   std::cout << "\n=== " << figure << ": " << title << " ===\n";
   if (apps::bench_fast_mode()) {
     std::cout << "(LF_BENCH_FAST: reduced durations)\n";
+  }
+}
+
+/// Emit the bench's BENCH_<figure>.json next to the text table and say where
+/// it went (every figure binary funnels through this).
+inline void write_report(const report& rep) {
+  const std::string path = rep.write();
+  if (path.empty()) {
+    std::cerr << "warning: failed to write BENCH_" << rep.figure()
+              << ".json\n";
+  } else {
+    std::cout << "[json] " << path << "\n";
   }
 }
 

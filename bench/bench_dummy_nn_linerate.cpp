@@ -12,6 +12,10 @@ int main() {
   print_header("§5.1 summary", "LF-Dummy-NN vs BBR at line rate (no netem)");
 
   const double duration = dur(1.5, 0.8);
+
+  report rep{"dummy_nn_linerate", "LF-Dummy-NN vs BBR at line rate"};
+  rep.config("duration", duration);
+
   text_table table{{"N", "BBR(Gbps)", "LF-Dummy-NN(Gbps)", "ratio"}};
 
   for (const std::size_t n : {2u, 4u, 6u}) {
@@ -31,8 +35,13 @@ int main() {
     table.add_row({std::to_string(n), text_table::num(bbr / 1e9, 2),
                    text_table::num(lf / 1e9, 2),
                    text_table::num(lf / bbr, 3)});
+    const double x = static_cast<double>(n);
+    rep.add_point("bbr_gbps", x, bbr / 1e9);
+    rep.add_point("lf_dummy_gbps", x, lf / 1e9);
+    rep.add_point("ratio", x, lf / bbr);
   }
   std::cout << "\n" << table.to_string();
   std::cout << "\nPaper shape: degradation within 5% of pure kernel BBR.\n";
+  write_report(rep);
   return 0;
 }

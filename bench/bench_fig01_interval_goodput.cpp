@@ -18,6 +18,11 @@ int main() {
   const double warmup = dur(3.0, 1.0);
   const std::size_t pretrain = count(800, 200);
 
+  report rep{"fig01", "cross-space interval vs goodput and queue"};
+  rep.config("duration", duration);
+  rep.config("warmup", warmup);
+  rep.config("bottleneck_bps", 1e9);
+
   text_table goodput_table{{"interval", "mean(Mbps)", "p10", "p50", "p90",
                             "stddev"}};
   text_table queue_table{{"interval", "queue-mean(KB)", "queue-p95(KB)",
@@ -58,6 +63,14 @@ int main() {
                          text_table::num(queue.mean() / 1e3),
                          text_table::num(percentile(qs, 95) / 1e3),
                          text_table::num(queue.stddev() / 1e3)});
+
+    const std::string tag = text_table::num(interval * 1e3, 0) + "ms";
+    rep.summary(tag + ".goodput_mbps", r.mean_goodput / 1e6);
+    rep.summary(tag + ".goodput_stddev_mbps", r.stddev_goodput / 1e6);
+    rep.summary(tag + ".queue_mean_kb", queue.mean() / 1e3);
+    rep.summary(tag + ".queue_p95_kb", percentile(qs, 95) / 1e3);
+    rep.add_series("goodput_bps_" + tag, r.goodput.points());
+    rep.add_series("queue_bytes_" + tag, r.queue.points());
   }
 
   std::cout << "\n(1a) goodput of one CCP-Aurora flow (1 Gbps bottleneck, "
@@ -67,5 +80,6 @@ int main() {
             << queue_table.to_string();
   std::cout << "\nPaper shape: goodput falls and queue grows/oscillates as "
                "the interval increases.\n";
+  write_report(rep);
   return 0;
 }

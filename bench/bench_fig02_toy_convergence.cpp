@@ -17,6 +17,11 @@ int main() {
   const double warmup = duration / 3.0;
   const std::size_t pretrain = count(800, 200);
 
+  report rep{"fig02", "toy link convergence at 10ms vs 2.5ms interval"};
+  rep.config("duration", duration);
+  rep.config("bottleneck_bps", 12e6);
+  rep.config("rtt", 20e-3);
+
   for (const double interval : {10e-3, 2.5e-3}) {
     cc_single_flow_config cfg;
     cfg.scheme = cc_scheme::ccp_aurora;
@@ -40,8 +45,14 @@ int main() {
     std::cout << "mean egress after warmup: " << mbps(r.mean_goodput)
               << " Mbps of 12 Mbps, stddev " << mbps(r.stddev_goodput, 2)
               << "\n";
+
+    const std::string tag = text_table::num(interval * 1e3, 1) + "ms";
+    rep.summary(tag + ".egress_mbps", r.mean_goodput / 1e6);
+    rep.summary(tag + ".egress_stddev_mbps", r.stddev_goodput / 1e6);
+    rep.add_series("egress_bps_" + tag, r.goodput.points());
   }
   std::cout << "\nPaper shape: the 2.5 ms interval converges near the link "
                "rate; 10 ms stays lower and oscillates.\n";
+  write_report(rep);
   return 0;
 }

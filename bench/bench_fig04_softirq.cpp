@@ -17,6 +17,10 @@ int main() {
   const double duration = dur(1.5, 0.8);
   const std::size_t pretrain = count(400, 100);
 
+  report rep{"fig04", "softirq time with 10 concurrent flows"};
+  rep.config("duration", duration);
+  rep.config("n_flows", 10.0);
+
   text_table table{{"scheme", "softirq(ms/s)", "softirq-share",
                     "datapath(ms/s)", "cpu-util"}};
 
@@ -34,6 +38,10 @@ int main() {
                    pct(r.softirq_share),
                    text_table::num(r.datapath_seconds / window * 1e3, 1),
                    pct(r.cpu_utilization)});
+    rep.summary(name + ".softirq_ms_per_s",
+                r.softirq_seconds / window * 1e3);
+    rep.summary(name + ".softirq_share", r.softirq_share);
+    rep.summary(name + ".cpu_utilization", r.cpu_utilization);
   };
 
   run(cc_scheme::bbr, 0.0, "BBR");
@@ -44,5 +52,6 @@ int main() {
   std::cout << "\n" << table.to_string();
   std::cout << "\nPaper shape: BBR softirq ~12.6% of CPU; CCP softirq share "
                "rises steeply as the interval shrinks (72.3% at 1ms).\n";
+  write_report(rep);
   return 0;
 }

@@ -30,6 +30,10 @@ int main() {
   rl::pg_trainer trainer{net, env, pg, rng{90}};
 
   const std::size_t total = count(1200, 300);
+  report rep{"fig08", "adaptation convergence vs snapshot quality"};
+  rep.config("iterations", static_cast<double>(total));
+  rep.config("available_bps", avail);
+
   text_table table{{"iteration", "train-reward", "stability",
                     "snapshot-goodput(Mbps)"}};
   // A greedy evaluation converts mean step reward back into goodput: the
@@ -45,6 +49,9 @@ int main() {
                      text_table::num(trainer.last_mean_reward(), 2),
                      stability > 1e6 ? "n/a" : text_table::num(stability, 2),
                      mbps(goodput)});
+      const double x = static_cast<double>(iter);
+      rep.add_point("train_reward", x, trainer.last_mean_reward());
+      rep.add_point("snapshot_goodput_mbps", x, goodput / 1e6);
     }
     if (iter < total) trainer.iterate();
   }
@@ -53,5 +60,6 @@ int main() {
                "per-100-iteration snapshots only reach ideal goodput after "
                "convergence; the stability metric flags when syncing is "
                "safe.\n";
+  write_report(rep);
   return 0;
 }

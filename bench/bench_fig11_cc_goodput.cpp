@@ -18,6 +18,13 @@ int main() {
   const double warmup = dur(3.0, 1.5);
   const std::size_t pretrain = count(800, 200);
 
+  report rep{"fig11", "goodput by deployment mechanism"};
+  rep.config("duration", duration);
+  rep.config("warmup", warmup);
+  rep.config("pretrain_iterations", static_cast<double>(pretrain));
+  rep.config("bottleneck_bps", 1e9);
+  rep.config("rtt", 10e-3);
+
   text_table table{{"scheme", "goodput(Mbps)", "stddev"}};
   double lf_aurora = 0.0;
   double ccp_aurora_100 = 0.0;
@@ -34,6 +41,8 @@ int main() {
     cfg.net.buffer_bytes = 150 * 1000;
     const auto r = run_cc_single_flow(cfg);
     table.add_row({name, mbps(r.mean_goodput), mbps(r.stddev_goodput)});
+    rep.summary(name + ".goodput_mbps", r.mean_goodput / 1e6);
+    rep.summary(name + ".stddev_mbps", r.stddev_goodput / 1e6);
     if (scheme == cc_scheme::lf_aurora) lf_aurora = r.mean_goodput;
     if (scheme == cc_scheme::ccp_aurora && interval == 100e-3) {
       ccp_aurora_100 = r.mean_goodput;
@@ -58,5 +67,10 @@ int main() {
   }
   std::cout << "Paper shape: LF-* ~= CCP-*-ACK, both clearly above the "
                "100ms deployments, and with much smaller stddev.\n";
+  if (ccp_aurora_100 > 0.0) {
+    rep.summary("lf_aurora_vs_ccp100_pct",
+                (lf_aurora / ccp_aurora_100 - 1.0) * 100.0);
+  }
+  write_report(rep);
   return 0;
 }

@@ -16,6 +16,10 @@ int main() {
   const double phase_len = dur(20.0, 8.0);
   const double duration = 2 * phase_len;
 
+  report rep{"fig12", "online adaptation under traffic dynamics"};
+  rep.config("phase_len", phase_len);
+  rep.config("duration", duration);
+
   text_table table{{"scheme", "phase1(Mbps)", "phase2(Mbps)",
                     "phase2-util", "snapshot-updates"}};
 
@@ -42,10 +46,18 @@ int main() {
     table.add_row({std::string{to_string(scheme)}, mbps(p1), mbps(p2),
                    pct(p2 / avail2),
                    std::to_string(r.snapshot_updates)});
+    const std::string name{to_string(scheme)};
+    rep.summary(name + ".phase1_mbps", p1 / 1e6);
+    rep.summary(name + ".phase2_mbps", p2 / 1e6);
+    rep.summary(name + ".phase2_util", p2 / avail2);
+    rep.summary(name + ".snapshot_updates",
+                static_cast<double>(r.snapshot_updates));
+    rep.add_series("goodput_bps_" + name, r.goodput.points());
   }
   std::cout << "\n" << table.to_string();
   std::cout << "\nPaper shape: LF-Aurora and LF-MOCC recover high utilization "
                "after the change (MOCC faster); N-O-A stays degraded and "
                "never updates the snapshot.\n";
+  write_report(rep);
   return 0;
 }

@@ -43,9 +43,14 @@ int main() {
   for (const auto& c : cases) headers.push_back(c.name);
   text_table table{headers};
 
+  report rep{"fig13", "deployment overhead: normalized throughput"};
+  rep.config("duration", duration);
+
   for (std::size_t i = 0; i < std::size(n_values); ++i) {
     std::vector<std::string> row{std::to_string(n_values[i]),
                                  text_table::num(bbr_tput[i] / 1e9, 2)};
+    rep.add_point("bbr_gbps", static_cast<double>(n_values[i]),
+                  bbr_tput[i] / 1e9);
     for (const auto& c : cases) {
       cc_overhead_config cfg;
       cfg.scheme = c.scheme;
@@ -55,6 +60,8 @@ int main() {
       cfg.pretrain_iterations = pretrain;
       const auto r = run_cc_overhead(cfg);
       row.push_back(text_table::num(r.aggregate_bps / bbr_tput[i], 2));
+      rep.add_point("norm_" + c.name, static_cast<double>(n_values[i]),
+                    r.aggregate_bps / bbr_tput[i]);
     }
     table.add_row(std::move(row));
   }
@@ -63,5 +70,6 @@ int main() {
   std::cout << "\nPaper shape: LF-* within ~5% of BBR and above CUBIC; CCP "
                "deployments degrade with N; in-kernel training is worst "
                "(~90% loss per §2.3).\n";
+  write_report(rep);
   return 0;
 }

@@ -15,6 +15,8 @@ int main() {
 
   print_header("Figure 15", "prediction latency CDF by deployment");
 
+  report rep{"fig15", "prediction latency CDF by deployment"};
+
   text_table table{{"deployment", "mean(us)", "p10", "p50", "p90", "p99"}};
 
   for (const auto d : {sched_deployment::liteflow, sched_deployment::chardev,
@@ -36,9 +38,14 @@ int main() {
                    text_table::num(pv[1] * 1e6, 2),
                    text_table::num(pv[2] * 1e6, 2),
                    text_table::num(pv[3] * 1e6, 2)});
+    const std::string name{to_string(d)};
+    rep.summary(name + ".mean_us", r.mean_prediction_latency * 1e6);
+    rep.summary(name + ".p50_us", pv[1] * 1e6);
+    rep.summary(name + ".p99_us", pv[3] * 1e6);
   }
   std::cout << "\nprediction latency (microseconds):\n" << table.to_string();
   std::cout << "\nPaper shape: LF-FFNN fastest and most stable (2.19us), "
                "char device ~2x slower, netlink ~3.7x slower.\n";
+  write_report(rep);
   return 0;
 }

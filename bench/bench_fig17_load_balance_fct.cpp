@@ -16,6 +16,12 @@ int main() {
 
   print_header("Figure 17", "load balancing FCT by deployment");
 
+  report rep{"fig17", "load balancing FCT by deployment"};
+  rep.config("hosts", 8.0);
+  rep.config("total_flows", static_cast<double>(count(1200, 300)));
+  rep.config("hotspot_bps", 8.5e9);
+  rep.config("reselect_interval", 5e-3);
+
   text_table table{{"deployment", "short-mean(us)", "mid-mean(us)",
                     "long-mean(us)", "long-p99(us)", "completed",
                     "selector-calls"}};
@@ -41,10 +47,19 @@ int main() {
                    text_table::num(r.long_flows.p99_seconds * 1e6, 0),
                    std::to_string(r.completed),
                    std::to_string(r.selector_calls)});
+    const std::string name{to_string(d)};
+    rep.summary(name + ".short_mean_us", r.short_flows.mean_seconds * 1e6);
+    rep.summary(name + ".mid_mean_us", r.mid_flows.mean_seconds * 1e6);
+    rep.summary(name + ".long_mean_us", r.long_flows.mean_seconds * 1e6);
+    rep.summary(name + ".long_p99_us", r.long_flows.p99_seconds * 1e6);
+    rep.summary(name + ".completed", static_cast<double>(r.completed));
+    rep.summary(name + ".selector_calls",
+                static_cast<double>(r.selector_calls));
   }
   std::cout << "\n" << table.to_string();
   std::cout << "\nPaper shape: LF-MLP best across classes; ECMP in between; "
                "char-MLP worse than ECMP (per-selection cross-space cost); "
                "N-O-A loses to LF-MLP as the hotspot moves.\n";
+  write_report(rep);
   return 0;
 }

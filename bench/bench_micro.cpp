@@ -6,10 +6,11 @@
 // latency story with real wall-clock numbers on this machine.
 //
 // On exit, the fast-path-relevant results are also written to
-// BENCH_fastpath.json (machine-readable; see EXPERIMENTS.md).
+// BENCH_fastpath.json via the shared reporter (honors LF_BENCH_OUT; see
+// EXPERIMENTS.md).
 #include <benchmark/benchmark.h>
 
-#include <fstream>
+#include <iostream>
 #include <map>
 
 #include "codegen/compiled_snapshot.hpp"
@@ -17,6 +18,7 @@
 #include "codegen/template_engine.hpp"
 #include "core/flow_cache.hpp"
 #include "nn/mlp.hpp"
+#include "util/bench_report.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -190,28 +192,27 @@ class capturing_reporter : public benchmark::ConsoleReporter {
 };
 
 void write_fastpath_json(const std::map<std::string, double>& cpu_ns) {
-  std::ofstream os{"BENCH_fastpath.json"};
-  if (!os) return;
-  os << "{\n  \"benchmarks\": {";
-  bool first = true;
+  bench::report rep{"fastpath", "snapshot fast-path micro-benchmarks"};
   for (const auto& [name, ns] : cpu_ns) {
-    os << (first ? "" : ",") << "\n    \"" << name << "\": {\"cpu_ns\": " << ns
-       << "}";
-    first = false;
+    rep.summary(name + ".cpu_ns", ns);
   }
-  os << "\n  },\n  \"speedups\": {";
   const auto ratio = [&](const char* num, const char* den) -> double {
     const auto a = cpu_ns.find(num);
     const auto b = cpu_ns.find(den);
     if (a == cpu_ns.end() || b == cpu_ns.end() || b->second == 0.0) return 0.0;
     return a->second / b->second;
   };
-  os << "\n    \"infer_into_vs_infer_aurora\": "
-     << ratio("bm_quantized_infer_aurora", "bm_quantized_infer_into_aurora")
-     << ",";
-  os << "\n    \"infer_into_vs_infer_ffnn\": "
-     << ratio("bm_quantized_infer_ffnn", "bm_quantized_infer_into_ffnn");
-  os << "\n  }\n}\n";
+  rep.summary("speedup.infer_into_vs_infer_aurora",
+              ratio("bm_quantized_infer_aurora",
+                    "bm_quantized_infer_into_aurora"));
+  rep.summary("speedup.infer_into_vs_infer_ffnn",
+              ratio("bm_quantized_infer_ffnn", "bm_quantized_infer_into_ffnn"));
+  const std::string path = rep.write();
+  if (path.empty()) {
+    std::cerr << "warning: failed to write BENCH_fastpath.json\n";
+  } else {
+    std::cout << "[json] " << path << "\n";
+  }
 }
 
 }  // namespace

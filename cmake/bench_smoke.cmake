@@ -1,0 +1,39 @@
+# Smoke-check the shared bench reporter: run one figure bench in fast mode
+# and verify it writes a structurally sound BENCH_<figure>.json.
+# Invoked by ctest with -DBENCH_BIN=... -DOUT_DIR=... -DFIGURE=...
+set(ENV{LF_BENCH_FAST} 1)
+set(ENV{LF_BENCH_OUT} "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+execute_process(COMMAND "${BENCH_BIN}" RESULT_VARIABLE rv
+                OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "bench exited with ${rv}: ${err}")
+endif()
+
+set(json_path "${OUT_DIR}/BENCH_${FIGURE}.json")
+if(NOT EXISTS "${json_path}")
+  message(FATAL_ERROR "bench did not write ${json_path}")
+endif()
+
+file(READ "${json_path}" content)
+if(NOT content MATCHES "^\\{")
+  message(FATAL_ERROR "${json_path} does not start with '{'")
+endif()
+foreach(key figure title fast_mode config series summary)
+  if(NOT content MATCHES "\"${key}\"")
+    message(FATAL_ERROR "${json_path} is missing the \"${key}\" key")
+  endif()
+endforeach()
+
+# Balanced braces/brackets (cheap structural validity; the unit tests in
+# test_metrics.cpp cover escaping and number encoding).
+string(REGEX MATCHALL "{" opens "${content}")
+string(REGEX MATCHALL "}" closes "${content}")
+list(LENGTH opens n_open)
+list(LENGTH closes n_close)
+if(NOT n_open EQUAL n_close)
+  message(FATAL_ERROR "${json_path} has unbalanced braces")
+endif()
+
+message(STATUS "ok: ${json_path}")

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "apps/cc/cc_deployment.hpp"
+#include "apps/common/experiment_driver.hpp"
 #include "kernelsim/cpu.hpp"
 #include "netsim/topology.hpp"
 #include "util/time_series.hpp"
@@ -56,14 +57,10 @@ struct cc_single_flow_config {
   bool trace_queue = false;
 };
 
-struct cc_single_flow_result {
-  time_series goodput;        ///< bps, sampled every sample_interval
-  double mean_goodput = 0.0;  ///< over [warmup, duration]
-  double stddev_goodput = 0.0;
-  time_series queue;          ///< bottleneck queue bytes (if traced)
-  std::uint64_t snapshot_updates = 0;
-  double softirq_share = 0.0; ///< softirq / total busy CPU at the sender
-};
+/// Single-flow goodput runs report straight through the unified run_result:
+/// goodput/queue series, mean/stddev over [warmup, duration], snapshot
+/// updates and the sender's softirq share.
+using cc_single_flow_result = run_result;
 
 cc_single_flow_result run_cc_single_flow(const cc_single_flow_config& config);
 
@@ -80,10 +77,11 @@ struct cc_overhead_config {
   std::uint64_t seed = 7;
 };
 
-struct cc_overhead_result {
+/// Overhead runs extend run_result with the legacy flat field names (the
+/// same numbers also live in run_result::cpu for the unified consumers).
+struct cc_overhead_result : run_result {
   double aggregate_bps = 0.0;     ///< goodput over [warmup, duration]
   double softirq_seconds = 0.0;   ///< sender softirq CPU in the window
-  double softirq_share = 0.0;     ///< softirq / total busy
   double cpu_utilization = 0.0;   ///< total busy / capacity
   double datapath_seconds = 0.0;
   /// Userspace slow-path CPU (inference + training) in the window.

@@ -1,0 +1,48 @@
+#include "apps/common/experiment_driver.hpp"
+
+#include "util/stats.hpp"
+
+namespace lf::apps {
+
+class_fct_stats fill_fct(const std::vector<double>& fct_seconds) {
+  class_fct_stats s;
+  s.count = fct_seconds.size();
+  s.mean_seconds = mean_of(fct_seconds);
+  s.p99_seconds = percentile(fct_seconds, 99.0);
+  return s;
+}
+
+run_result run_experiment(experiment& exp) {
+  sim::simulation simu;
+  metrics::registry reg;
+  driver_context ctx{simu, reg};
+
+  exp.setup(ctx);
+
+  const driver_config& cfg = exp.config();
+  if (cfg.warmup_hook) {
+    simu.schedule_at(cfg.warmup, [&]() { exp.at_warmup(ctx); });
+  }
+
+  if (cfg.slice > 0.0) {
+    // Sliced run: stop as soon as the experiment drains (e.g. every planned
+    // flow completed) instead of burning events until max_sim_time.
+    for (double t = cfg.slice; t <= cfg.max_sim_time; t += cfg.slice) {
+      simu.run_until(t);
+      if (exp.finished()) break;
+    }
+  } else {
+    simu.run_until(cfg.duration);
+  }
+
+  run_result out;
+  out.name = cfg.name;
+  out.seed = cfg.seed;
+  exp.report(ctx, out);
+  for (const auto& [name, value] : reg.scalars()) {
+    out.telemetry.emplace(name, value);
+  }
+  return out;
+}
+
+}  // namespace lf::apps

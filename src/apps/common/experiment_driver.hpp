@@ -1,0 +1,111 @@
+// Generic experiment runtime shared by the cc / sched / lb harnesses.
+//
+// Every end-to-end run in the paper's evaluation has the same skeleton:
+// build a topology and a deployment stack, optionally snapshot state at the
+// end of a warmup window, advance the simulation (either one shot to a fixed
+// duration, or in slices with an early exit once the flow plan drains), then
+// report summary statistics from a fixed seed.  The driver owns that
+// skeleton; an experiment implements the four hooks and the per-app harness
+// shrinks to topology wiring + reporting.
+//
+// The driver also owns a metrics::registry for the run: setup() wires
+// component telemetry into it, and the driver snapshots every registered
+// scalar into run_result::telemetry after the run — this is the flat
+// key/value block the bench_report JSON emitter writes out.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/sim.hpp"
+#include "util/metrics.hpp"
+#include "util/time_series.hpp"
+
+namespace lf::apps {
+
+/// FCT summary for one of the paper's flow-size classes.
+struct class_fct_stats {
+  std::size_t count = 0;
+  double mean_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+/// Build class_fct_stats (count / mean / p99) from raw FCT samples.
+class_fct_stats fill_fct(const std::vector<double>& fct_seconds);
+
+/// CPU accounting over the measurement window at the host under test.
+struct cpu_breakdown {
+  double softirq_seconds = 0.0;
+  double datapath_seconds = 0.0;
+  double slowpath_seconds = 0.0;  ///< userspace inference + training
+  double busy_seconds = 0.0;
+  double utilization = 0.0;  ///< busy / (capacity * window)
+};
+
+/// The unified result every experiment reports through.  An experiment fills
+/// the fields that apply (a goodput run leaves the FCT classes empty and
+/// vice versa); the driver fills name/seed/telemetry.
+struct run_result {
+  std::string name;        ///< experiment name (driver_config::name)
+  std::uint64_t seed = 0;  ///< the seed this run is deterministic under
+
+  // Goodput-shaped results (cc).
+  time_series goodput{"goodput_bps"};
+  double mean_goodput = 0.0;
+  double stddev_goodput = 0.0;
+  time_series queue{"queue_bytes"};
+
+  // FCT-shaped results (sched / lb).
+  class_fct_stats short_flows;
+  class_fct_stats mid_flows;
+  class_fct_stats long_flows;
+  std::size_t completed = 0;
+
+  cpu_breakdown cpu{};
+  double softirq_share = 0.0;  ///< softirq / total busy at the host under test
+  std::uint64_t snapshot_updates = 0;  ///< LiteFlow deployments only
+
+  /// Flat scalar snapshot of every metric registered during setup().
+  std::map<std::string, double> telemetry;
+};
+
+struct driver_config {
+  std::string name;
+  std::uint64_t seed = 0;
+  double warmup = 0.0;    ///< at_warmup() fires here when warmup_hook is set
+  double duration = 0.0;  ///< one-shot runs: run_until(duration)
+  /// Sliced runs: advance `slice` at a time up to max_sim_time, stopping as
+  /// soon as finished() reports true.  0 selects the one-shot shape.
+  double slice = 0.0;
+  double max_sim_time = 0.0;
+  /// Schedule the at_warmup() callback (off by default so experiments that
+  /// ignore it do not add an event to the run).
+  bool warmup_hook = false;
+};
+
+/// What the driver hands each hook: the simulation and the run's registry.
+struct driver_context {
+  sim::simulation& sim;
+  metrics::registry& metrics;
+};
+
+/// One end-to-end experiment.  Hooks run in order: setup (build topology,
+/// stacks, probes, schedule arrivals), at_warmup (snapshot accounting),
+/// finished (polled between slices), report (summarize into run_result).
+class experiment {
+ public:
+  virtual ~experiment() = default;
+
+  virtual const driver_config& config() const = 0;
+  virtual void setup(driver_context& ctx) = 0;
+  virtual void at_warmup(driver_context& ctx) { (void)ctx; }
+  virtual bool finished() const { return false; }
+  virtual void report(driver_context& ctx, run_result& out) = 0;
+};
+
+/// Run one experiment through the shared phases and return its result.
+run_result run_experiment(experiment& exp);
+
+}  // namespace lf::apps

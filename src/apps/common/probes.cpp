@@ -3,7 +3,11 @@
 namespace lf::apps {
 
 goodput_probe::goodput_probe(netsim::host& receiver, double sample_interval)
-    : receiver_{receiver}, dt_{sample_interval} {}
+    : receiver_{receiver}, dt_{sample_interval} {
+  // A non-positive interval would schedule a zero-delay self-perpetuating
+  // event; pin it to a sane floor instead.
+  if (!(dt_ > 0.0)) dt_ = 0.1;
+}
 
 void goodput_probe::start() {
   if (running_) return;
@@ -22,7 +26,13 @@ void goodput_probe::sample() {
 }
 
 double goodput_probe::average_bps(double t0, double t1) const {
+  if (!(t1 > t0)) return 0.0;
   return series_.average(t0, t1);
+}
+
+void goodput_probe::register_metrics(metrics::registry& reg,
+                                     const std::string& prefix) {
+  reg.register_series(prefix + ".goodput_bps", series_);
 }
 
 double aggregate_goodput_bps(const netsim::host& receiver, double t0, double t1,

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "netsim/host.hpp"
+#include "util/metrics.hpp"
 #include "util/time_series.hpp"
 
 namespace lf::apps {
@@ -20,8 +22,13 @@ class goodput_probe {
 
   const time_series& series() const noexcept { return series_; }
 
-  /// Average goodput over [t0, t1] from total byte deltas.
+  /// Average goodput over [t0, t1] from total byte deltas.  A zero-length
+  /// (or inverted) window, or a probe stopped before its first sample,
+  /// yields 0 rather than NaN.
   double average_bps(double t0, double t1) const;
+
+  /// Publish the goodput series as "<prefix>.goodput_bps".
+  void register_metrics(metrics::registry& reg, const std::string& prefix);
 
  private:
   void sample();

@@ -9,7 +9,7 @@
 #include <cstdint>
 #include <string>
 
-#include "apps/sched/sched_experiment.hpp"  // class_fct_stats
+#include "apps/common/experiment_driver.hpp"  // run_result, class_fct_stats
 
 namespace lf::apps {
 
@@ -42,13 +42,10 @@ struct lb_experiment_config {
   double max_sim_time = 30.0;
 };
 
-struct lb_result {
-  class_fct_stats short_flows;
-  class_fct_stats mid_flows;
-  class_fct_stats long_flows;
-  std::size_t completed = 0;
+/// FCT classes / completion / snapshot updates report through the unified
+/// run_result; the selector-call count rides alongside.
+struct lb_result : run_result {
   std::uint64_t selector_calls = 0;
-  std::uint64_t snapshot_updates = 0;
 };
 
 lb_result run_lb_experiment(const lb_experiment_config& config);

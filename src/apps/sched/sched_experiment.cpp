@@ -5,8 +5,10 @@
 #include <cstdlib>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "apps/common/deployment_registry.hpp"
 #include "apps/sched/flow_sched.hpp"
 #include "netsim/topology.hpp"
 #include "netsim/workload.hpp"
@@ -29,6 +31,59 @@ struct host_deployment {
   // Userspace modes still ship labels up in batches for adaptation.
   std::vector<core::train_sample> pending_labels;
 };
+
+/// What a sched stack builder gets: the per-host deployment slot (adapter
+/// already populated), the host, and the run config.  One builder per
+/// sched_deployment lives in the deployment registry.
+struct sched_build_context {
+  host_deployment& d;
+  netsim::host& host;
+  sim::simulation& sim;
+  const sched_experiment_config& config;
+};
+
+using sched_stack_builder = std::function<void(sched_build_context&)>;
+
+sched_stack_builder liteflow_sched_builder(bool adaptation) {
+  return [adaptation](sched_build_context& c) {
+    liteflow_stack_options opts;
+    opts.model_name = "ffnn";
+    opts.batch_interval = c.config.batch_interval;
+    opts.adaptation = adaptation;
+    // FFNN outputs live in (0, 1); necessity threshold scales with it.
+    opts.sync.output_min = 0.0;
+    opts.sync.output_max = 1.0;
+    c.d.lf = std::make_unique<liteflow_stack>(c.host, *c.d.adapter, opts);
+    c.d.lf->start();
+    c.d.predictor = std::make_unique<liteflow_size_predictor>(c.d.lf->core());
+  };
+}
+
+sched_stack_builder userspace_sched_builder(kernelsim::channel_kind kind) {
+  return [kind](sched_build_context& c) {
+    c.d.channel = std::make_unique<kernelsim::crossspace_channel>(
+        c.sim, c.host.cpu(), c.host.costs(), kind);
+    c.d.predictor = std::make_unique<userspace_size_predictor>(
+        *c.d.channel, c.host.costs(), c.d.adapter->model());
+  };
+}
+
+[[maybe_unused]] const bool k_sched_registered = [] {
+  register_deployment(app_kind::sched, sched_deployment::liteflow, "LF-FFNN",
+                      liteflow_sched_builder(true));
+  register_deployment(app_kind::sched, sched_deployment::liteflow_noa,
+                      "LF-FFNN-N-O-A", liteflow_sched_builder(false));
+  register_deployment(app_kind::sched, sched_deployment::chardev, "char-FFNN",
+                      userspace_sched_builder(
+                          kernelsim::channel_kind::char_device));
+  register_deployment(app_kind::sched, sched_deployment::netlink_dev,
+                      "netlink-FFNN",
+                      userspace_sched_builder(kernelsim::channel_kind::netlink));
+  register_deployment(app_kind::sched, sched_deployment::no_prediction,
+                      "no-prediction");
+  register_deployment(app_kind::sched, sched_deployment::oracle, "oracle");
+  return true;
+}();
 
 struct live_flow {
   std::size_t src = 0;
@@ -85,204 +140,211 @@ nn::mlp pretrained_ffnn(const sched_experiment_config& config) {
   return *best;
 }
 
-}  // namespace
-
-std::string_view to_string(sched_deployment d) noexcept {
-  switch (d) {
-    case sched_deployment::liteflow:
-      return "LF-FFNN";
-    case sched_deployment::liteflow_noa:
-      return "LF-FFNN-N-O-A";
-    case sched_deployment::chardev:
-      return "char-FFNN";
-    case sched_deployment::netlink_dev:
-      return "netlink-FFNN";
-    case sched_deployment::no_prediction:
-      return "no-prediction";
-    case sched_deployment::oracle:
-      return "oracle";
-  }
-  return "?";
-}
-
-sched_result run_sched_experiment(const sched_experiment_config& config) {
-  sim::simulation simu;
-  netsim::spine_leaf_config topo_config;
-  topo_config.hosts_per_leaf = config.hosts_per_leaf;
-  topo_config.host_bps = config.host_bps;
-  topo_config.fabric_bps = config.fabric_bps;
-  topo_config.cpu_gating = config.cpu_gating;
-  netsim::spine_leaf topo{simu, topo_config};
-  const std::size_t hosts = topo.host_count();
-
-  // Shared pretrained weights, copied into each host's deployment.
-  const bool needs_model = config.deployment != sched_deployment::no_prediction &&
-                           config.deployment != sched_deployment::oracle;
-  std::string frozen;
-  if (needs_model) {
-    frozen = nn::save_mlp_to_string(pretrained_ffnn(config));
+/// Spine-leaf flow-scheduling run (Figs. 15/16) through the shared driver.
+class sched_fct_experiment final : public experiment {
+ public:
+  explicit sched_fct_experiment(const sched_experiment_config& config)
+      : config_{config} {
+    driver_.name = std::string{to_string(config.deployment)};
+    driver_.seed = config.seed;
+    driver_.slice = 0.25;
+    driver_.max_sim_time = config.max_sim_time;
   }
 
-  std::vector<host_deployment> deploy(hosts);
-  for (std::size_t h = 0; h < hosts && needs_model; ++h) {
-    auto& d = deploy[h];
-    auto model = nn::load_mlp_from_string(frozen);
-    d.adapter = std::make_unique<supervised_adapter>(std::move(model), 3e-3,
-                                                     4, config.seed + h);
-    auto& host = topo.host_at(h);
-    switch (config.deployment) {
-      case sched_deployment::liteflow:
-      case sched_deployment::liteflow_noa: {
-        liteflow_stack_options opts;
-        opts.model_name = "ffnn";
-        opts.batch_interval = config.batch_interval;
-        opts.adaptation =
-            config.deployment == sched_deployment::liteflow;
-        // FFNN outputs live in (0, 1); necessity threshold scales with it.
-        opts.sync.output_min = 0.0;
-        opts.sync.output_max = 1.0;
-        d.lf = std::make_unique<liteflow_stack>(host, *d.adapter, opts);
-        d.lf->start();
-        d.predictor =
-            std::make_unique<liteflow_size_predictor>(d.lf->core());
-        break;
-      }
-      case sched_deployment::chardev:
-      case sched_deployment::netlink_dev: {
-        const auto kind = config.deployment == sched_deployment::chardev
-                              ? kernelsim::channel_kind::char_device
-                              : kernelsim::channel_kind::netlink;
-        d.channel = std::make_unique<kernelsim::crossspace_channel>(
-            simu, host.cpu(), host.costs(), kind);
-        d.predictor = std::make_unique<userspace_size_predictor>(
-            *d.channel, host.costs(), d.adapter->model());
-        break;
-      }
-      default:
-        break;
+  const driver_config& config() const override { return driver_; }
+
+  void setup(driver_context& ctx) override {
+    sim_ = &ctx.sim;
+    sim::simulation& simu = ctx.sim;
+    netsim::spine_leaf_config topo_config;
+    topo_config.hosts_per_leaf = config_.hosts_per_leaf;
+    topo_config.host_bps = config_.host_bps;
+    topo_config.fabric_bps = config_.fabric_bps;
+    topo_config.cpu_gating = config_.cpu_gating;
+    topo_.emplace(simu, topo_config);
+    const std::size_t hosts = topo_->host_count();
+
+    // Shared pretrained weights, copied into each host's deployment.
+    needs_model_ = config_.deployment != sched_deployment::no_prediction &&
+                   config_.deployment != sched_deployment::oracle;
+    std::string frozen;
+    if (needs_model_) {
+      frozen = nn::save_mlp_to_string(pretrained_ffnn(config_));
     }
-  }
 
-  // Userspace deployments adapt too: labels batch up and cross to
-  // userspace on the same cadence as LiteFlow's collector.
-  const bool userspace_adapts =
-      config.deployment == sched_deployment::chardev ||
-      config.deployment == sched_deployment::netlink_dev;
-  if (userspace_adapts) {
-    for (std::size_t h = 0; h < hosts; ++h) {
-      auto& d = deploy[h];
-      auto& host = topo.host_at(h);
-      // Heap-allocate the periodic tick so the self-referencing closure
-      // outlives this loop iteration.
-      auto tick = std::make_shared<std::function<void()>>();
-      *tick = [&simu, &d, &host, &config, tick]() {
-        if (!d.pending_labels.empty()) {
-          auto batch = std::move(d.pending_labels);
-          d.pending_labels.clear();
-          d.channel->send_to_user(batch.size() * 64, [&d, &host,
-                                                      batch = std::move(
-                                                          batch)]() {
-            const double cost =
-                host.costs().user_train_fixed_cost +
-                static_cast<double>(batch.size() * d.adapter->parameter_count()) *
-                    host.costs().user_train_cost_per_sample_param;
-            host.cpu().submit(kernelsim::task_category::user_train, cost,
-                              [&d, batch = std::move(batch)]() {
-                                d.adapter->adapt(batch);
-                              });
-          });
-        }
-        simu.schedule(config.batch_interval, *tick);
+    deploy_.resize(hosts);
+    const auto* build =
+        deployment_registry::instance().builder_as<sched_stack_builder>(
+            app_kind::sched, static_cast<int>(config_.deployment));
+    for (std::size_t h = 0; h < hosts && needs_model_; ++h) {
+      auto& d = deploy_[h];
+      auto model = nn::load_mlp_from_string(frozen);
+      d.adapter = std::make_unique<supervised_adapter>(std::move(model), 3e-3,
+                                                       4, config_.seed + h);
+      if (build) {
+        sched_build_context bc{d, topo_->host_at(h), simu, config_};
+        (*build)(bc);
+      }
+    }
+
+    // Userspace deployments adapt too: labels batch up and cross to
+    // userspace on the same cadence as LiteFlow's collector.
+    const bool userspace_adapts =
+        config_.deployment == sched_deployment::chardev ||
+        config_.deployment == sched_deployment::netlink_dev;
+    if (userspace_adapts) {
+      for (std::size_t h = 0; h < hosts; ++h) {
+        auto& d = deploy_[h];
+        auto& host = topo_->host_at(h);
+        // Heap-allocate the periodic tick so the self-referencing closure
+        // outlives this loop iteration.
+        auto tick = std::make_shared<std::function<void()>>();
+        *tick = [&simu, &d, &host, this, tick]() {
+          if (!d.pending_labels.empty()) {
+            auto batch = std::move(d.pending_labels);
+            d.pending_labels.clear();
+            d.channel->send_to_user(batch.size() * 64, [&d, &host,
+                                                        batch = std::move(
+                                                            batch)]() {
+              const double cost =
+                  host.costs().user_train_fixed_cost +
+                  static_cast<double>(batch.size() * d.adapter->parameter_count()) *
+                      host.costs().user_train_cost_per_sample_param;
+              host.cpu().submit(kernelsim::task_category::user_train, cost,
+                                [&d, batch = std::move(batch)]() {
+                                  d.adapter->adapt(batch);
+                                });
+            });
+          }
+          simu.schedule(config_.batch_interval, *tick);
+        };
+        simu.schedule(config_.batch_interval, *tick);
+      }
+    }
+
+    sizes_.emplace(hosts, config_.size_correlation, config_.seed + 4000);
+    if (config_.pattern_shift_period > 0.0) {
+      // Heap-allocate the self-referencing closure: the scheduled copies must
+      // outlive this scope.
+      auto shift = std::make_shared<std::function<void()>>();
+      *shift = [&simu, this, shift]() {
+        sizes_->shift_pattern();
+        simu.schedule(config_.pattern_shift_period, *shift);
       };
-      simu.schedule(config.batch_interval, *tick);
+      simu.schedule(config_.pattern_shift_period, *shift);
+    }
+
+    flows_.reserve(config_.total_flows);
+
+    rng arrival_gen{config_.seed + 5000};
+    double next_arrival = 0.0;
+
+    // Open-loop Poisson arrivals, precomputed so we can cap total flows.
+    plan_.reserve(config_.total_flows);
+    for (std::size_t i = 0; i < config_.total_flows; ++i) {
+      next_arrival += arrival_gen.exponential(config_.arrival_rate);
+      const auto src = static_cast<std::size_t>(
+          arrival_gen.uniform_int(0, static_cast<std::int64_t>(hosts) - 1));
+      auto dst = static_cast<std::size_t>(
+          arrival_gen.uniform_int(0, static_cast<std::int64_t>(hosts) - 2));
+      if (dst >= src) ++dst;
+      plan_.push_back({next_arrival, src, dst});
+    }
+
+    for (const auto& ap : plan_) {
+      simu.schedule_at(ap.t, [this, ap]() { start_flow(ap); });
+    }
+
+    // Telemetry: per-host FCT/CPU accounting plus each LiteFlow stack.
+    for (std::size_t h = 0; h < hosts; ++h) {
+      auto& host = topo_->host_at(h);
+      host.register_metrics(ctx.metrics, "sched");
+      if (deploy_[h].lf) {
+        const std::string base = "sched." + host.name();
+        deploy_[h].lf->core().register_metrics(ctx.metrics, base);
+        deploy_[h].lf->service().register_metrics(ctx.metrics, base);
+        deploy_[h].lf->collector().register_metrics(ctx.metrics,
+                                                    base + ".collector");
+      }
+    }
+    for (std::size_t l = 0; l < 2; ++l) {
+      for (std::size_t s = 0; s < topo_->config().spines; ++s) {
+        topo_->uplink(l, s).register_metrics(ctx.metrics, "sched.fabric");
+      }
     }
   }
 
-  correlated_size_process sizes{hosts, config.size_correlation,
-                                config.seed + 4000};
-  if (config.pattern_shift_period > 0.0) {
-    // Heap-allocate the self-referencing closure: the scheduled copies must
-    // outlive this if-block.
-    auto shift = std::make_shared<std::function<void()>>();
-    *shift = [&simu, &sizes, &config, shift]() {
-      sizes.shift_pattern();
-      simu.schedule(config.pattern_shift_period, *shift);
-    };
-    simu.schedule(config.pattern_shift_period, *shift);
+  bool finished() const override { return completed_ >= plan_.size(); }
+
+  void report(driver_context&, run_result& out) override {
+    out.short_flows = fill_fct(fct_short_);
+    out.mid_flows = fill_fct(fct_mid_);
+    out.long_flows = fill_fct(fct_long_);
+    out.completed = completed_;
+    for (auto& d : deploy_) {
+      if (d.lf) out.snapshot_updates += d.lf->service().snapshot_updates();
+    }
   }
 
-  sched_result result;
-  std::vector<double> fct_short, fct_mid, fct_long;
-  running_stats pred_latency;
-  running_stats pred_error;
-  std::vector<std::unique_ptr<live_flow>> flows;
-  flows.reserve(config.total_flows);
+  /// Move the prediction-quality extras into the legacy result shape.
+  void take_extras(sched_result& out) {
+    out.mean_prediction_latency = pred_latency_.mean();
+    out.mean_abs_log_error = pred_error_.mean();
+    out.prediction_latencies = std::move(prediction_latencies_);
+    out.predictions = std::move(predictions_);
+  }
 
-  rng arrival_gen{config.seed + 5000};
-  flow_id_t next_flow = 1;
-  double next_arrival = 0.0;
-
-  // Open-loop Poisson arrivals, precomputed so we can cap total flows.
+ private:
   struct arrival_plan {
     double t;
     std::size_t src;
     std::size_t dst;
   };
-  std::vector<arrival_plan> plan;
-  plan.reserve(config.total_flows);
-  for (std::size_t i = 0; i < config.total_flows; ++i) {
-    next_arrival += arrival_gen.exponential(config.arrival_rate);
-    const auto src = static_cast<std::size_t>(
-        arrival_gen.uniform_int(0, static_cast<std::int64_t>(hosts) - 1));
-    auto dst = static_cast<std::size_t>(
-        arrival_gen.uniform_int(0, static_cast<std::int64_t>(hosts) - 2));
-    if (dst >= src) ++dst;
-    plan.push_back({next_arrival, src, dst});
-  }
 
-  auto start_flow = [&](const arrival_plan& ap) {
+  void start_flow(const arrival_plan& ap) {
+    sim::simulation& simu = *sim_;
     auto flow = std::make_unique<live_flow>();
     flow->src = ap.src;
     flow->dst = ap.dst;
-    flow->size = sizes.next_size(ap.src, ap.dst);
+    flow->size = sizes_->next_size(ap.src, ap.dst);
     flow->arrival = simu.now();
-    auto& d = deploy[ap.src];
-    auto& src_host = topo.host_at(ap.src);
-    const flow_id_t id = next_flow++;
-    flow->features = needs_model
+    auto& d = deploy_[ap.src];
+    auto& src_host = topo_->host_at(ap.src);
+    const flow_id_t id = next_flow_++;
+    flow->features = needs_model_
                          ? d.tracker.features(ap.src, ap.dst, simu.now())
                          : std::vector<double>{};
     d.tracker.on_flow_start(ap.src, ap.dst, simu.now());
     if (std::getenv("LF_DEBUG_FEATURES") && flow->features.size() == 8) { fprintf(stderr, "feat %zu->%zu: %.3f %.3f %.3f %.3f %.3f %.3f %.3f %.3f\n", ap.src, ap.dst, flow->features[0], flow->features[1], flow->features[2], flow->features[3], flow->features[4], flow->features[5], flow->features[6], flow->features[7]); }
 
     live_flow* f = flow.get();
-    flows.push_back(std::move(flow));
+    flows_.push_back(std::move(flow));
 
-    auto launch = [&, f, id](std::uint8_t priority) {
+    auto launch = [this, &simu, &src_host, f, id](std::uint8_t priority) {
       transport::window_sender_config wc;
       wc.priority = priority;
       f->sender = std::make_unique<transport::window_sender>(
           src_host, static_cast<netsim::host_id_t>(f->dst), id, f->size, wc,
           std::make_unique<transport::dctcp>());
-      f->sender->set_done([&, f, id](double) {
+      f->sender->set_done([this, &simu, f, id](double) {
         // FCT counts from arrival, so prediction latency (the tagging
         // happens before the first packet) is part of the completion time.
         const double fct = simu.now() - f->arrival;
-        ++result.completed;
+        ++completed_;
         switch (netsim::classify_flow(f->size)) {
           case netsim::flow_class::short_flow:
-            fct_short.push_back(fct);
+            fct_short_.push_back(fct);
             break;
           case netsim::flow_class::mid_flow:
-            fct_mid.push_back(fct);
+            fct_mid_.push_back(fct);
             break;
           case netsim::flow_class::long_flow:
-            fct_long.push_back(fct);
+            fct_long_.push_back(fct);
             break;
         }
-        auto& dd = deploy[f->src];
+        auto& dd = deploy_[f->src];
         dd.tracker.on_flow_complete(f->src, f->dst, simu.now(), f->size);
-        if (needs_model) {
+        if (needs_model_) {
           core::train_sample label;
           label.features = f->features;
           label.aux = {encode_flow_size(static_cast<double>(f->size))};
@@ -297,56 +359,58 @@ sched_result run_sched_experiment(const sched_experiment_config& config) {
       f->sender->start();
     };
 
-    if (config.deployment == sched_deployment::no_prediction) {
+    if (config_.deployment == sched_deployment::no_prediction) {
       launch(k_unknown_priority);
-    } else if (config.deployment == sched_deployment::oracle) {
+    } else if (config_.deployment == sched_deployment::oracle) {
       launch(priority_for_predicted_size(static_cast<double>(f->size)));
     } else {
       const double t0 = simu.now();
       d.predictor->predict(
-          id, f->features, [&, f, t0, launch](double predicted) {
-            pred_latency.add(simu.now() - t0);
-            result.prediction_latencies.push_back(simu.now() - t0);
+          id, f->features, [this, &simu, f, t0, launch](double predicted) {
+            pred_latency_.add(simu.now() - t0);
+            prediction_latencies_.push_back(simu.now() - t0);
             if (predicted > 0.0) {
-              pred_error.add(std::abs(std::log10(
+              pred_error_.add(std::abs(std::log10(
                   predicted / static_cast<double>(f->size))));
-              result.predictions.emplace_back(predicted,
-                                              static_cast<double>(f->size));
+              predictions_.emplace_back(predicted,
+                                        static_cast<double>(f->size));
               launch(priority_for_predicted_size(predicted));
             } else {
               launch(k_unknown_priority);
             }
           });
     }
-  };
-
-  for (const auto& ap : plan) {
-    simu.schedule_at(ap.t, [&, ap]() { start_flow(ap); });
   }
 
-  // Run in slices and stop early once every planned flow has completed.
-  for (double t = 0.25; t <= config.max_sim_time; t += 0.25) {
-    simu.run_until(t);
-    if (result.completed >= plan.size()) break;
-  }
+  sched_experiment_config config_;
+  driver_config driver_;
+  sim::simulation* sim_ = nullptr;
+  std::optional<netsim::spine_leaf> topo_;
+  bool needs_model_ = false;
+  std::vector<host_deployment> deploy_;
+  std::optional<correlated_size_process> sizes_;
+  std::vector<arrival_plan> plan_;
+  std::vector<std::unique_ptr<live_flow>> flows_;
+  flow_id_t next_flow_ = 1;
+  std::size_t completed_ = 0;
+  std::vector<double> fct_short_, fct_mid_, fct_long_;
+  running_stats pred_latency_;
+  running_stats pred_error_;
+  std::vector<double> prediction_latencies_;
+  std::vector<std::pair<double, double>> predictions_;
+};
 
-  auto fill = [](std::vector<double>& v) {
-    class_fct_stats s;
-    s.count = v.size();
-    s.mean_seconds = mean_of(v);
-    s.p99_seconds = percentile(v, 99.0);
-    return s;
-  };
-  result.short_flows = fill(fct_short);
-  result.mid_flows = fill(fct_mid);
-  result.long_flows = fill(fct_long);
-  result.mean_prediction_latency = pred_latency.mean();
-  result.mean_abs_log_error = pred_error.mean();
-  for (std::size_t h = 0; h < hosts; ++h) {
-    if (deploy[h].lf) {
-      result.snapshot_updates += deploy[h].lf->service().snapshot_updates();
-    }
-  }
+}  // namespace
+
+std::string_view to_string(sched_deployment d) noexcept {
+  return deployment_label(app_kind::sched, d);
+}
+
+sched_result run_sched_experiment(const sched_experiment_config& config) {
+  sched_fct_experiment exp{config};
+  sched_result result;
+  static_cast<run_result&>(result) = run_experiment(exp);
+  exp.take_extras(result);
   return result;
 }
 

@@ -8,7 +8,10 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "apps/common/experiment_driver.hpp"
 #include "util/stats.hpp"
 
 namespace lf::apps {
@@ -43,23 +46,15 @@ struct sched_experiment_config {
   double max_sim_time = 30.0;
 };
 
-struct class_fct_stats {
-  std::size_t count = 0;
-  double mean_seconds = 0.0;
-  double p99_seconds = 0.0;
-};
-
-struct sched_result {
-  class_fct_stats short_flows;
-  class_fct_stats mid_flows;
-  class_fct_stats long_flows;
-  std::size_t completed = 0;
+/// FCT classes, completion count and snapshot updates report through the
+/// unified run_result; the prediction-quality extras ride alongside.
+/// (class_fct_stats itself now lives in apps/common/experiment_driver.hpp.)
+struct sched_result : run_result {
   double mean_prediction_latency = 0.0;
   std::vector<double> prediction_latencies;  ///< per-prediction seconds
   double mean_abs_log_error = 0.0;  ///< prediction quality, |log10 ratio|
   /// (predicted bytes, actual bytes) per prediction, arrival order.
   std::vector<std::pair<double, double>> predictions;
-  std::uint64_t snapshot_updates = 0;        ///< LF deployments only
 };
 
 sched_result run_sched_experiment(const sched_experiment_config& config);

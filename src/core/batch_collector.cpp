@@ -17,7 +17,7 @@ void batch_collector::collect(train_sample sample) {
   if (buffer_.size() >= config_.max_samples) {
     // Kernel buffer full: drop the oldest (ring semantics).
     buffer_.erase(buffer_.begin());
-    ++dropped_;
+    dropped_.inc();
   }
   sample.collected_at = sim_.now();
   buffer_.push_back(std::move(sample));
@@ -44,8 +44,9 @@ void batch_collector::deliver() {
     auto batch = std::move(buffer_);
     buffer_.clear();
     const std::size_t bytes = batch.size() * config_.bytes_per_sample;
-    ++batches_;
-    samples_ += batch.size();
+    batches_.inc();
+    samples_.inc(batch.size());
+    bytes_.inc(bytes);
     netlink_.send_to_user(
         bytes, [this, batch = std::move(batch)]() mutable {
           if (consumer_) consumer_(std::move(batch));
@@ -54,6 +55,14 @@ void batch_collector::deliver() {
   sim_.schedule(config_.interval, [this, e = epoch_]() {
     if (running_ && e == epoch_) deliver();
   });
+}
+
+void batch_collector::register_metrics(metrics::registry& reg,
+                                       const std::string& prefix) {
+  reg.register_counter(prefix + ".batches", batches_);
+  reg.register_counter(prefix + ".samples", samples_);
+  reg.register_counter(prefix + ".bytes", bytes_);
+  reg.register_counter(prefix + ".dropped", dropped_);
 }
 
 }  // namespace lf::core

@@ -9,10 +9,12 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "kernelsim/channel.hpp"
 #include "sim/sim.hpp"
+#include "util/metrics.hpp"
 
 namespace lf::core {
 
@@ -49,10 +51,15 @@ class batch_collector {
   void set_interval(double interval);
   double interval() const noexcept { return config_.interval; }
 
-  std::uint64_t batches_delivered() const noexcept { return batches_; }
-  std::uint64_t samples_delivered() const noexcept { return samples_; }
-  std::uint64_t samples_dropped() const noexcept { return dropped_; }
+  std::uint64_t batches_delivered() const noexcept { return batches_.value(); }
+  std::uint64_t samples_delivered() const noexcept { return samples_.value(); }
+  std::uint64_t samples_dropped() const noexcept { return dropped_.value(); }
+  std::uint64_t bytes_delivered() const noexcept { return bytes_.value(); }
   std::size_t pending() const noexcept { return buffer_.size(); }
+
+  /// Publish delivery counters under "<prefix>.batches", "<prefix>.samples",
+  /// "<prefix>.bytes", "<prefix>.dropped".
+  void register_metrics(metrics::registry& reg, const std::string& prefix);
 
  private:
   void deliver();
@@ -63,9 +70,10 @@ class batch_collector {
   std::vector<train_sample> buffer_;
   consumer consumer_;
   bool running_ = false;
-  std::uint64_t batches_ = 0;
-  std::uint64_t samples_ = 0;
-  std::uint64_t dropped_ = 0;
+  metrics::counter batches_;
+  metrics::counter samples_;
+  metrics::counter dropped_;
+  metrics::counter bytes_;
   std::uint64_t epoch_ = 0;
 };
 

@@ -51,6 +51,7 @@ void flow_cache::insert(netsim::flow_id_t flow, model_id model, double now) {
   if (occupied_ + 1 > grow_threshold(slots_.size())) {
     rehash(slots_.size() * 2);
   } else if (occupied_ + tombstones_ + 1 > scrub_threshold(slots_.size())) {
+    scrubs_.inc();
     rehash(slots_.size());  // reclaim tombstones, keep capacity
   }
   const std::size_t mask = slots_.size() - 1;
@@ -69,6 +70,7 @@ void flow_cache::evict_slot(slot& s, const evict_fn& on_evict) {
   s.state = slot_state::tombstone;
   --occupied_;
   ++tombstones_;
+  evictions_.inc();
   if (on_evict) on_evict(s.e.model);
 }
 
@@ -113,12 +115,22 @@ std::size_t flow_cache::expire_idle(double now, double timeout,
 
 void flow_cache::clear(const evict_fn& on_evict) {
   for (slot& s : slots_) {
-    if (s.state == slot_state::occupied && on_evict) on_evict(s.e.model);
+    if (s.state == slot_state::occupied) {
+      evictions_.inc();
+      if (on_evict) on_evict(s.e.model);
+    }
     s.state = slot_state::empty;
   }
   occupied_ = 0;
   tombstones_ = 0;
   sweep_cursor_ = 0;
+}
+
+void flow_cache::register_metrics(metrics::registry& reg,
+                                  const std::string& prefix) {
+  reg.register_counter(prefix + ".evictions", evictions_);
+  reg.register_counter(prefix + ".rehashes", rehashes_);
+  reg.register_counter(prefix + ".tombstone_scrubs", scrubs_);
 }
 
 void flow_cache::rehash(std::size_t new_capacity) {
@@ -127,7 +139,7 @@ void flow_cache::rehash(std::size_t new_capacity) {
   occupied_ = 0;
   tombstones_ = 0;
   sweep_cursor_ = 0;
-  ++rehashes_;
+  rehashes_.inc();
   for (const slot& s : old) {
     if (s.state == slot_state::occupied) {
       insert(s.e.flow, s.e.model, s.e.last_used);

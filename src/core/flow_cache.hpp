@@ -18,10 +18,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/nn_manager.hpp"
 #include "netsim/packet.hpp"
+#include "util/metrics.hpp"
 
 namespace lf::core {
 
@@ -65,7 +67,14 @@ class flow_cache {
 
   std::size_t size() const noexcept { return occupied_; }
   std::size_t capacity() const noexcept { return slots_.size(); }
-  std::uint64_t rehashes() const noexcept { return rehashes_; }
+  std::uint64_t rehashes() const noexcept { return rehashes_.value(); }
+  /// Same-capacity rehashes that only reclaimed tombstones.
+  std::uint64_t tombstone_scrubs() const noexcept { return scrubs_.value(); }
+  /// Entries dropped by erase/step_evict/expire_idle/clear.
+  std::uint64_t evictions() const noexcept { return evictions_.value(); }
+
+  /// Publish eviction/rehash counters under "<prefix>.evictions", ...
+  void register_metrics(metrics::registry& reg, const std::string& prefix);
 
  private:
   enum class slot_state : std::uint8_t { empty, occupied, tombstone };
@@ -83,7 +92,9 @@ class flow_cache {
   std::size_t occupied_ = 0;
   std::size_t tombstones_ = 0;
   std::size_t sweep_cursor_ = 0;
-  std::uint64_t rehashes_ = 0;
+  metrics::counter rehashes_;
+  metrics::counter scrubs_;
+  metrics::counter evictions_;
 };
 
 }  // namespace lf::core

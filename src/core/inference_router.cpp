@@ -30,7 +30,7 @@ double inference_router::switch_active() {
   }
   const double waited = lock_.acquire(config_.switch_lock_hold);
   std::swap(active_, standby_);
-  ++switches_;
+  switches_.inc();
   // Drop the standby slot's reference on the demoted model; if nothing else
   // references it the caller can remove it.
   if (standby_) {
@@ -54,7 +54,7 @@ std::optional<model_id> inference_router::route(netsim::flow_id_t flow) {
   if (auto* e = cache_.find(flow)) {
     // Hit — but the pinned model may have been force-removed; fall back.
     if (manager_.get(e->model)) {
-      ++hits_;
+      hits_.inc();
       e->last_used = now;
       return e->model;
     }
@@ -62,7 +62,7 @@ std::optional<model_id> inference_router::route(netsim::flow_id_t flow) {
     // release (the ref died with the force-removal).
     cache_.erase(flow, {});
   }
-  ++misses_;
+  misses_.inc();
   if (!active_) return std::nullopt;
   manager_.add_ref(*active_);
   cache_.insert(flow, *active_, now);
@@ -75,6 +75,15 @@ void inference_router::flow_finished(netsim::flow_id_t flow) {
 
 std::size_t inference_router::expire_idle() {
   return cache_.expire_idle(sim_.now(), config_.cache_idle_timeout, release_);
+}
+
+void inference_router::register_metrics(metrics::registry& reg,
+                                        const std::string& prefix) {
+  reg.register_counter(prefix + ".router.cache_hits", hits_);
+  reg.register_counter(prefix + ".router.cache_misses", misses_);
+  reg.register_counter(prefix + ".router.switches", switches_);
+  cache_.register_metrics(reg, prefix + ".router.cache");
+  lock_.register_metrics(reg, prefix + ".router.lock");
 }
 
 }  // namespace lf::core

@@ -65,11 +65,15 @@ class inference_router {
   std::optional<model_id> active() const noexcept { return active_; }
   std::optional<model_id> standby() const noexcept { return standby_; }
 
-  std::uint64_t cache_hits() const noexcept { return hits_; }
-  std::uint64_t cache_misses() const noexcept { return misses_; }
-  std::uint64_t switches() const noexcept { return switches_; }
+  std::uint64_t cache_hits() const noexcept { return hits_.value(); }
+  std::uint64_t cache_misses() const noexcept { return misses_.value(); }
+  std::uint64_t switches() const noexcept { return switches_.value(); }
   std::size_t cache_size() const noexcept { return cache_.size(); }
   const kernelsim::spinlock& lock() const noexcept { return lock_; }
+
+  /// Publish router switch count + lock hold/wait accounting and the flow
+  /// cache's hit/miss/eviction/scrub counters under "<prefix>.router.*".
+  void register_metrics(metrics::registry& reg, const std::string& prefix);
 
  private:
   sim::simulation& sim_;
@@ -80,9 +84,9 @@ class inference_router {
   std::optional<model_id> standby_;
   flow_cache cache_;
   flow_cache::evict_fn release_;  ///< built once; evictions drop model refs
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t switches_ = 0;
+  metrics::counter hits_;
+  metrics::counter misses_;
+  metrics::counter switches_;
 };
 
 }  // namespace lf::core

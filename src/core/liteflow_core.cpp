@@ -59,7 +59,7 @@ double liteflow_core::query_cost(const codegen::snapshot& snap) const noexcept {
 void liteflow_core::query_model(netsim::flow_id_t flow,
                                 std::vector<fp::s64> input,
                                 std::function<void(std::vector<fp::s64>)> done) {
-  ++queries_;
+  queries_.inc();
   const auto id = router_.route(flow);
   const auto* snap = id ? manager_.get(*id) : nullptr;
   if (!snap || input.size() != snap->input_size()) {
@@ -81,7 +81,7 @@ void liteflow_core::query_model(netsim::flow_id_t flow,
 
 std::vector<fp::s64> liteflow_core::query_model_sync(
     netsim::flow_id_t flow, std::span<const fp::s64> input) {
-  ++queries_;
+  queries_.inc();
   const auto id = router_.route(flow);
   const auto* snap = id ? manager_.get(*id) : nullptr;
   if (!snap || input.size() != snap->input_size()) return {};
@@ -96,6 +96,13 @@ fp::s64 liteflow_core::active_io_scale() const {
   if (!id) return 0;
   const auto* snap = manager_.get(*id);
   return snap ? snap->program.io_scale() : 0;
+}
+
+void liteflow_core::register_metrics(metrics::registry& reg,
+                                     const std::string& prefix) {
+  const std::string base = prefix + ".core";
+  reg.register_counter(base + ".queries", queries_);
+  router_.register_metrics(reg, base);
 }
 
 }  // namespace lf::core

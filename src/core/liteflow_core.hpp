@@ -69,8 +69,12 @@ class liteflow_core {
   /// io_scale (the quantizer's C) of the active snapshot, 0 if none.
   fp::s64 active_io_scale() const;
 
-  std::uint64_t queries() const noexcept { return queries_; }
+  std::uint64_t queries() const noexcept { return queries_.value(); }
   std::size_t io_module_count() const noexcept { return io_modules_.size(); }
+
+  /// Publish query count plus the router/cache/lock telemetry under
+  /// "<prefix>.core.*".
+  void register_metrics(metrics::registry& reg, const std::string& prefix);
 
  private:
   double query_cost(const codegen::snapshot& snap) const noexcept;
@@ -82,7 +86,7 @@ class liteflow_core {
   inference_router router_;
   std::map<io_handle, io_module_spec> io_modules_;
   io_handle next_io_ = 1;
-  std::uint64_t queries_ = 0;
+  metrics::counter queries_;
   /// Reused across queries so the datapath inference allocates nothing
   /// beyond the caller-visible output vector (sim is single-threaded).
   mutable quant::inference_scratch scratch_;

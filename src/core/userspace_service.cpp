@@ -30,7 +30,7 @@ double userspace_service::training_cost(std::size_t samples) const noexcept {
 }
 
 void userspace_service::on_batch(std::vector<train_sample> batch) {
-  ++batches_;
+  batches_.inc();
   if (!config_.adaptation_enabled || batch.empty()) return;
   // Slow-path tuning competes for the shared CPU as user_train work; the
   // actual model math runs when the simulated work completes.
@@ -44,7 +44,7 @@ void userspace_service::on_batch(std::vector<train_sample> batch) {
 }
 
 void userspace_service::maybe_update(std::span<const train_sample> batch) {
-  ++checks_;
+  checks_.inc();
   const auto active = core_.router().active();
   const auto* installed = active ? core_.manager().get(*active) : nullptr;
   if (!installed) return;
@@ -75,17 +75,26 @@ void userspace_service::maybe_update(std::span<const train_sample> batch) {
         if (!snap) return;
         last_decision_ = evaluator_.evaluate(tuned, snap->program, inputs);
         if (!last_decision_.converged) {
-          ++skip_conv_;
+          skip_conv_.inc();
           return;
         }
         if (!last_decision_.necessary) {
-          ++skip_nec_;
+          skip_nec_.inc();
           return;
         }
         // Full §3.1 pipeline on the tuned model.
         install_snapshot(codegen::generate_snapshot(
             tuned, config_.quantizer, config_.model_name, ++version_));
       });
+}
+
+void userspace_service::register_metrics(metrics::registry& reg,
+                                         const std::string& prefix) {
+  reg.register_counter(prefix + ".service.batches", batches_);
+  reg.register_counter(prefix + ".service.snapshot_updates", updates_);
+  reg.register_counter(prefix + ".service.sync_checks", checks_);
+  reg.register_counter(prefix + ".service.skipped_not_converged", skip_conv_);
+  reg.register_counter(prefix + ".service.skipped_not_necessary", skip_nec_);
 }
 
 void userspace_service::install_snapshot(codegen::snapshot snap) {
@@ -106,7 +115,7 @@ void userspace_service::install_snapshot(codegen::snapshot snap) {
           core_.router().switch_active();
           // The initial deployment is not a "snapshot update" (§3.3 counts
           // only conservative re-syncs).
-          if (!is_initial) ++updates_;
+          if (!is_initial) updates_.inc();
           // The demoted snapshot is removed once its flow-cache refs drain;
           // opportunistically try now.
           if (prev_active) core_.manager().try_remove(*prev_active);

@@ -68,14 +68,22 @@ class userspace_service {
   void start();
 
   /// Statistics.
-  std::uint64_t batches_processed() const noexcept { return batches_; }
-  std::uint64_t snapshot_updates() const noexcept { return updates_; }
-  std::uint64_t update_checks() const noexcept { return checks_; }
-  std::uint64_t skipped_not_converged() const noexcept { return skip_conv_; }
-  std::uint64_t skipped_not_necessary() const noexcept { return skip_nec_; }
+  std::uint64_t batches_processed() const noexcept { return batches_.value(); }
+  std::uint64_t snapshot_updates() const noexcept { return updates_.value(); }
+  std::uint64_t update_checks() const noexcept { return checks_.value(); }
+  std::uint64_t skipped_not_converged() const noexcept {
+    return skip_conv_.value();
+  }
+  std::uint64_t skipped_not_necessary() const noexcept {
+    return skip_nec_.value();
+  }
   std::uint64_t current_version() const noexcept { return version_; }
   const sync_decision& last_decision() const noexcept { return last_decision_; }
   sync_evaluator& evaluator() noexcept { return evaluator_; }
+
+  /// Publish slow-path accounting (batches, snapshot updates, sync-evaluator
+  /// accept/reject split) under "<prefix>.service.*".
+  void register_metrics(metrics::registry& reg, const std::string& prefix);
 
  private:
   void on_batch(std::vector<train_sample> batch);
@@ -93,11 +101,11 @@ class userspace_service {
   service_config config_;
   sync_evaluator evaluator_;
   std::uint64_t version_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t updates_ = 0;
-  std::uint64_t checks_ = 0;
-  std::uint64_t skip_conv_ = 0;
-  std::uint64_t skip_nec_ = 0;
+  metrics::counter batches_;
+  metrics::counter updates_;
+  metrics::counter checks_;
+  metrics::counter skip_conv_;
+  metrics::counter skip_nec_;
   sync_decision last_decision_{};
 };
 

@@ -42,7 +42,7 @@ void cpu_model::start_next() {
   busy_ = true;
   work_item item = std::move(queue_.front());
   queue_.pop_front();
-  busy_seconds_[static_cast<std::size_t>(item.category)] += item.cost;
+  busy_seconds_[static_cast<std::size_t>(item.category)].add(item.cost);
   const double duration = item.cost / capacity_;
   sim_.schedule(duration, [this, done = std::move(item.done)]() {
     if (done) done();
@@ -51,12 +51,12 @@ void cpu_model::start_next() {
 }
 
 double cpu_model::busy_seconds(task_category category) const noexcept {
-  return busy_seconds_[static_cast<std::size_t>(category)];
+  return busy_seconds_[static_cast<std::size_t>(category)].value();
 }
 
 double cpu_model::total_busy_seconds() const noexcept {
   double total = 0.0;
-  for (const double s : busy_seconds_) total += s;
+  for (const auto& s : busy_seconds_) total += s.value();
   return total;
 }
 
@@ -72,6 +72,18 @@ double cpu_model::backlog_clear_time() const noexcept {
   return sim_.now() + pending / capacity_;
 }
 
-void cpu_model::reset_accounting() noexcept { busy_seconds_.fill(0.0); }
+void cpu_model::reset_accounting() noexcept {
+  for (auto& s : busy_seconds_) s.reset();
+}
+
+void cpu_model::register_metrics(metrics::registry& reg,
+                                 const std::string& prefix) {
+  for (std::size_t c = 0; c < task_category_count; ++c) {
+    reg.register_gauge(
+        prefix + ".cpu." +
+            std::string{to_string(static_cast<task_category>(c))} + "_seconds",
+        busy_seconds_[c]);
+  }
+}
 
 }  // namespace lf::kernelsim

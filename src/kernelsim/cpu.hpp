@@ -14,9 +14,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <string_view>
 
 #include "sim/sim.hpp"
+#include "util/metrics.hpp"
 
 namespace lf::kernelsim {
 
@@ -69,6 +71,11 @@ class cpu_model {
   /// Zero all accounting (not the queue).
   void reset_accounting() noexcept;
 
+  /// Publish per-category busy-seconds gauges ("<prefix>.cpu.datapath", ...)
+  /// into a telemetry registry.  The gauges are the accounting backing
+  /// store, so readings are always live — no bespoke polling getters.
+  void register_metrics(metrics::registry& reg, const std::string& prefix);
+
  private:
   struct work_item {
     task_category category;
@@ -82,7 +89,7 @@ class cpu_model {
   double capacity_;
   std::deque<work_item> queue_;
   bool busy_ = false;
-  std::array<double, task_category_count> busy_seconds_{};
+  std::array<metrics::gauge, task_category_count> busy_seconds_{};
 };
 
 }  // namespace lf::kernelsim

@@ -12,12 +12,21 @@ double spinlock::acquire(double hold_seconds) {
   const double now = sim_->now();
   const double wait = std::max(0.0, busy_until_ - now);
   busy_until_ = now + wait + hold_seconds;
-  ++acquisitions_;
-  if (wait > 0.0) ++contended_;
-  total_wait_ += wait;
-  total_hold_ += hold_seconds;
-  max_wait_ = std::max(max_wait_, wait);
+  acquisitions_.inc();
+  if (wait > 0.0) contended_.inc();
+  total_wait_.add(wait);
+  total_hold_.add(hold_seconds);
+  max_wait_.set(std::max(max_wait_.value(), wait));
   return wait;
+}
+
+void spinlock::register_metrics(metrics::registry& reg,
+                                const std::string& prefix) {
+  reg.register_counter(prefix + ".acquisitions", acquisitions_);
+  reg.register_counter(prefix + ".contended", contended_);
+  reg.register_gauge(prefix + ".wait_seconds", total_wait_);
+  reg.register_gauge(prefix + ".hold_seconds", total_hold_);
+  reg.register_gauge(prefix + ".max_wait_seconds", max_wait_);
 }
 
 }  // namespace lf::kernelsim

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sim/sim.hpp"
+#include "util/metrics.hpp"
 
 namespace lf::kernelsim {
 
@@ -23,20 +25,26 @@ class spinlock {
   /// period ends.
   double acquire(double hold_seconds);
 
-  std::uint64_t acquisitions() const noexcept { return acquisitions_; }
-  std::uint64_t contended_acquisitions() const noexcept { return contended_; }
-  double total_wait_seconds() const noexcept { return total_wait_; }
-  double total_hold_seconds() const noexcept { return total_hold_; }
-  double max_wait_seconds() const noexcept { return max_wait_; }
+  std::uint64_t acquisitions() const noexcept { return acquisitions_.value(); }
+  std::uint64_t contended_acquisitions() const noexcept {
+    return contended_.value();
+  }
+  double total_wait_seconds() const noexcept { return total_wait_.value(); }
+  double total_hold_seconds() const noexcept { return total_hold_.value(); }
+  double max_wait_seconds() const noexcept { return max_wait_.value(); }
+
+  /// Publish acquisition/contention counters and hold/wait gauges under
+  /// "<prefix>.acquisitions", "<prefix>.hold_seconds", ...
+  void register_metrics(metrics::registry& reg, const std::string& prefix);
 
  private:
   sim::simulation* sim_;
   double busy_until_ = 0.0;
-  std::uint64_t acquisitions_ = 0;
-  std::uint64_t contended_ = 0;
-  double total_wait_ = 0.0;
-  double total_hold_ = 0.0;
-  double max_wait_ = 0.0;
+  metrics::counter acquisitions_;
+  metrics::counter contended_;
+  metrics::gauge total_wait_;
+  metrics::gauge total_hold_;
+  metrics::gauge max_wait_;
 };
 
 }  // namespace lf::kernelsim

@@ -121,6 +121,9 @@ void host::process_data(packet pkt) {
   if (complete) {
     state.completed = true;
     state.complete_time = sim_.now();
+    completed_flows_.inc();
+    fct_trace_.record(state.complete_time,
+                      state.complete_time - state.first_data_time);
   }
 
   // Generate an ACK (per packet, no delayed ACKs; NN-based CC wants a dense
@@ -144,6 +147,13 @@ void host::process_data(packet pkt) {
 const receive_state* host::flow_state(flow_id_t flow) const {
   const auto it = receive_.find(flow);
   return it == receive_.end() ? nullptr : &it->second;
+}
+
+void host::register_metrics(metrics::registry& reg, const std::string& prefix) {
+  const std::string base = prefix + "." + name();
+  reg.register_counter(base + ".completed_flows", completed_flows_);
+  reg.register_series(base + ".fct_seconds", fct_trace_);
+  cpu_.register_metrics(reg, base);
 }
 
 }  // namespace lf::netsim

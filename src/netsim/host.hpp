@@ -17,6 +17,8 @@
 #include "netsim/node.hpp"
 #include "netsim/packet.hpp"
 #include "sim/sim.hpp"
+#include "util/metrics.hpp"
+#include "util/time_series.hpp"
 
 namespace lf::netsim {
 
@@ -78,6 +80,15 @@ class host final : public node {
 
   const receive_state* flow_state(flow_id_t flow) const;
   std::uint64_t total_delivered_payload() const noexcept { return delivered_; }
+  std::uint64_t completed_flows() const noexcept {
+    return completed_flows_.value();
+  }
+  /// (completion time, FCT seconds) per flow completed at this host.
+  const time_series& fct_trace() const noexcept { return fct_trace_; }
+
+  /// Publish completed-flow count, the per-flow FCT series, and this host's
+  /// CPU category accounting under "<prefix>.<host name>.*".
+  void register_metrics(metrics::registry& reg, const std::string& prefix);
 
   /// Disable/enable ACK generation CPU cost modeling (on by default).
   void set_cpu_gating(bool enabled) noexcept { cpu_gating_ = enabled; }
@@ -97,6 +108,8 @@ class host final : public node {
   std::map<flow_id_t, flow_sender*> senders_;
   std::map<flow_id_t, receive_state> receive_;
   std::uint64_t delivered_ = 0;
+  metrics::counter completed_flows_;
+  time_series fct_trace_{"fct_seconds"};
   completion_hook on_complete_;
   delivery_hook on_delivery_;
 };

@@ -21,19 +21,19 @@ void link::record_queue() {
 }
 
 void link::enqueue(packet pkt) {
-  ++enqueued_;
+  enqueued_.inc();
   if (config_.random_loss_prob > 0.0 &&
       drop_gen_.bernoulli(config_.random_loss_prob)) {
-    ++random_dropped_;
+    random_dropped_.inc();
     return;
   }
   if (queued_bytes_ + pkt.wire_bytes > config_.buffer_bytes) {
-    ++dropped_;
+    dropped_.inc();
     return;
   }
   if (pkt.ecn_capable && queued_bytes_ >= config_.ecn_threshold_bytes) {
     pkt.ecn_marked = true;
-    ++marked_;
+    marked_.inc();
   }
   const auto band = static_cast<std::size_t>(
       pkt.priority < k_priority_bands ? pkt.priority : k_priority_bands - 1);
@@ -64,14 +64,25 @@ void link::try_transmit() {
   const double tx_time =
       static_cast<double>(pkt.wire_bytes) * 8.0 / config_.rate_bps;
   sim_.schedule(tx_time, [this, pkt]() mutable {
-    ++transmitted_;
-    tx_bytes_ += pkt.wire_bytes;
+    transmitted_.inc();
+    tx_bytes_.inc(pkt.wire_bytes);
     if (tx_hook_) tx_hook_(pkt);
     // Propagation happens in parallel with the next serialization.
     sim_.schedule(config_.propagation_delay,
                   [this, pkt]() mutable { dst_.deliver(pkt); });
     try_transmit();
   });
+}
+
+void link::register_metrics(metrics::registry& reg, const std::string& prefix) {
+  const std::string base = prefix + "." + config_.name;
+  reg.register_counter(base + ".enqueued", enqueued_);
+  reg.register_counter(base + ".dropped", dropped_);
+  reg.register_counter(base + ".random_dropped", random_dropped_);
+  reg.register_counter(base + ".transmitted", transmitted_);
+  reg.register_counter(base + ".tx_bytes", tx_bytes_);
+  reg.register_counter(base + ".ecn_marked", marked_);
+  if (trace_enabled_) reg.register_series(base + ".queue_bytes", queue_trace_);
 }
 
 }  // namespace lf::netsim

@@ -16,6 +16,7 @@
 
 #include "netsim/packet.hpp"
 #include "sim/sim.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/time_series.hpp"
 
@@ -51,12 +52,18 @@ class link {
   void enqueue(packet pkt);
 
   // Statistics.
-  std::uint64_t enqueued_packets() const noexcept { return enqueued_; }
-  std::uint64_t dropped_packets() const noexcept { return dropped_; }
-  std::uint64_t transmitted_packets() const noexcept { return transmitted_; }
-  std::uint64_t transmitted_bytes() const noexcept { return tx_bytes_; }
-  std::uint64_t marked_packets() const noexcept { return marked_; }
+  std::uint64_t enqueued_packets() const noexcept { return enqueued_.value(); }
+  std::uint64_t dropped_packets() const noexcept { return dropped_.value(); }
+  std::uint64_t transmitted_packets() const noexcept {
+    return transmitted_.value();
+  }
+  std::uint64_t transmitted_bytes() const noexcept { return tx_bytes_.value(); }
+  std::uint64_t marked_packets() const noexcept { return marked_.value(); }
   std::uint64_t queued_bytes() const noexcept { return queued_bytes_; }
+
+  /// Publish drop/ECN-mark/throughput counters (and the queue trace, when
+  /// enabled) under "<prefix>.<link name>.*".
+  void register_metrics(metrics::registry& reg, const std::string& prefix);
 
   const link_config& config() const noexcept { return config_; }
 
@@ -73,7 +80,9 @@ class link {
   void set_random_loss(double prob) noexcept {
     config_.random_loss_prob = prob;
   }
-  std::uint64_t random_dropped_packets() const noexcept { return random_dropped_; }
+  std::uint64_t random_dropped_packets() const noexcept {
+    return random_dropped_.value();
+  }
 
  private:
   void try_transmit();
@@ -87,12 +96,12 @@ class link {
   bool transmitting_ = false;
 
   rng drop_gen_;
-  std::uint64_t enqueued_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t random_dropped_ = 0;
-  std::uint64_t transmitted_ = 0;
-  std::uint64_t tx_bytes_ = 0;
-  std::uint64_t marked_ = 0;
+  metrics::counter enqueued_;
+  metrics::counter dropped_;
+  metrics::counter random_dropped_;
+  metrics::counter transmitted_;
+  metrics::counter tx_bytes_;
+  metrics::counter marked_;
   bool trace_enabled_ = false;
   time_series queue_trace_{"queue_bytes"};
   std::function<void(const packet&)> tx_hook_;

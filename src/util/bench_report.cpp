@@ -1,0 +1,157 @@
+#include "util/bench_report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace lf::bench {
+namespace {
+
+bool fast_mode_env() {
+  const char* v = std::getenv("LF_BENCH_FAST");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no NaN/Inf; encode those as null so the file stays parseable.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string output_dir() {
+  if (const char* dir = std::getenv("LF_BENCH_OUT"); dir && *dir) return dir;
+#ifdef LF_BENCH_OUT_DEFAULT
+  return LF_BENCH_OUT_DEFAULT;
+#else
+  return ".";
+#endif
+}
+
+report::report(std::string figure, std::string title)
+    : figure_{std::move(figure)}, title_{std::move(title)} {}
+
+void report::config(std::string key, double value) {
+  config_.emplace_back(std::move(key), json_number(value));
+}
+
+void report::config(std::string key, std::string value) {
+  config_.emplace_back(std::move(key), "\"" + json_escape(value) + "\"");
+}
+
+void report::config_bool(std::string key, bool value) {
+  config_.emplace_back(std::move(key), value ? "true" : "false");
+}
+
+void report::add_series(std::string name,
+                        std::span<const std::pair<double, double>> points) {
+  series_.emplace_back(std::move(name),
+                       series_points{points.begin(), points.end()});
+}
+
+void report::add_series(const time_series& ts) {
+  add_series(ts.name().empty() ? "series" : ts.name(), ts.points());
+}
+
+void report::add_point(std::string_view series, double x, double y) {
+  for (auto& [name, pts] : series_) {
+    if (name == series) {
+      pts.emplace_back(x, y);
+      return;
+    }
+  }
+  series_.emplace_back(std::string{series}, series_points{{x, y}});
+}
+
+void report::summary(std::string name, double value) {
+  summary_.emplace_back(std::move(name), value);
+}
+
+void report::summaries(std::span<const std::pair<std::string, double>> values) {
+  for (const auto& [name, value] : values) summary(name, value);
+}
+
+std::string report::json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"figure\": \"" << json_escape(figure_) << "\",\n";
+  os << "  \"title\": \"" << json_escape(title_) << "\",\n";
+  os << "  \"fast_mode\": " << (fast_mode_env() ? "true" : "false") << ",\n";
+
+  os << "  \"config\": {";
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    os << (i ? "," : "") << "\n    \"" << json_escape(config_[i].first)
+       << "\": " << config_[i].second;
+  }
+  os << (config_.empty() ? "" : "\n  ") << "},\n";
+
+  os << "  \"series\": {";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    os << (i ? "," : "") << "\n    \"" << json_escape(series_[i].first)
+       << "\": [";
+    const auto& pts = series_[i].second;
+    for (std::size_t p = 0; p < pts.size(); ++p) {
+      os << (p ? "," : "") << "[" << json_number(pts[p].first) << ","
+         << json_number(pts[p].second) << "]";
+    }
+    os << "]";
+  }
+  os << (series_.empty() ? "" : "\n  ") << "},\n";
+
+  os << "  \"summary\": {";
+  for (std::size_t i = 0; i < summary_.size(); ++i) {
+    os << (i ? "," : "") << "\n    \"" << json_escape(summary_[i].first)
+       << "\": " << json_number(summary_[i].second);
+  }
+  os << (summary_.empty() ? "" : "\n  ") << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string report::write() const {
+  const std::string path = output_dir() + "/BENCH_" + figure_ + ".json";
+  std::ofstream os{path};
+  if (!os) return {};
+  os << json();
+  return os ? path : std::string{};
+}
+
+}  // namespace lf::bench

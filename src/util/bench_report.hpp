@@ -1,0 +1,68 @@
+// Shared machine-readable benchmark reporter.
+//
+// Every figure bench writes one BENCH_<figure>.json with a common schema:
+//   {
+//     "figure":  "fig11",
+//     "title":   "goodput by deployment mechanism",
+//     "fast_mode": false,
+//     "config":  { "duration": 12.0, ... },
+//     "series":  { "goodput_bps": [[t, v], ...], ... },
+//     "summary": { "lf_aurora_mbps": 812.4, ... }
+//   }
+// Output directory: $LF_BENCH_OUT if set, else the compiled-in repository
+// root (LF_BENCH_OUT_DEFAULT), else the current working directory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/time_series.hpp"
+
+namespace lf::bench {
+
+/// Directory BENCH_*.json files land in (see header comment for the rules).
+std::string output_dir();
+
+class report {
+ public:
+  report(std::string figure, std::string title);
+
+  // Config scalars/strings (insertion order preserved).
+  void config(std::string key, double value);
+  void config(std::string key, std::string value);
+  void config_bool(std::string key, bool value);
+
+  // Named series of (x, y) points.
+  void add_series(std::string name,
+                  std::span<const std::pair<double, double>> points);
+  void add_series(const time_series& ts);  ///< uses the series' own name
+  void add_point(std::string_view series, double x, double y);
+
+  // Summary scalars.
+  void summary(std::string name, double value);
+  void summaries(std::span<const std::pair<std::string, double>> values);
+
+  const std::string& figure() const noexcept { return figure_; }
+
+  /// Serialize the full document (tests validate this directly).
+  std::string json() const;
+
+  /// Write BENCH_<figure>.json into output_dir().  Returns the path
+  /// written, or an empty string on I/O failure.
+  std::string write() const;
+
+ private:
+  using series_points = std::vector<std::pair<double, double>>;
+
+  std::string figure_;
+  std::string title_;
+  std::vector<std::pair<std::string, std::string>> config_;  // pre-encoded
+  std::vector<std::pair<std::string, series_points>> series_;
+  std::vector<std::pair<std::string, double>> summary_;
+};
+
+}  // namespace lf::bench

@@ -1,0 +1,135 @@
+// Telemetry registry: one metrics spine every layer reports through.
+//
+// Design rules (the kernel-datapath constraints of the paper apply to the
+// instrumentation too):
+//  - Components *own* their metric objects as plain members.  The hot-path
+//    operations (counter::inc, gauge::add, fixed_histogram::observe) are
+//    inline arithmetic on those members — no map lookup, no locking, no
+//    allocation, and identical cost whether or not a registry ever sees
+//    them ("zero-overhead when unregistered").
+//  - A registry is a borrowing name -> metric* index built at wiring time
+//    (experiment setup), used only on the reporting path: enumeration,
+//    scalar snapshots for BENCH_*.json, and reset between runs.
+//  - Re-registering a name rebinds it (components are torn down and rebuilt
+//    between runs); registering never transfers ownership.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/time_series.hpp"
+
+namespace lf::metrics {
+
+/// Monotonic event count.  The increment path is a single add.
+class counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A level that can move both ways (queue depth, accumulated CPU-seconds).
+class gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double v) noexcept { value_ += v; }
+  double value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [lo, hi).  Buckets are allocated once at
+/// construction; observe() clamps out-of-range values into the edge buckets
+/// (nothing is silently dropped) and never allocates.
+class fixed_histogram {
+ public:
+  fixed_histogram(double lo, double hi, std::size_t buckets);
+
+  void observe(double x) noexcept;
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const noexcept { return counts_[i]; }
+  double bucket_low(std::size_t i) const noexcept;
+  double bucket_high(std::size_t i) const noexcept;
+
+  std::uint64_t total() const noexcept { return total_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept;
+
+  /// Quantile q in [0, 1] estimated by linear interpolation within the
+  /// bucket that crosses the target rank.  0 for an empty histogram.
+  double quantile(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+enum class metric_kind { counter, gauge, histogram, series };
+
+std::string_view to_string(metric_kind k) noexcept;
+
+/// Borrowing name -> metric index.  Not an owner: the registered objects
+/// must outlive the registry or be unregistered/rebound first.
+class registry {
+ public:
+  void register_counter(std::string name, counter& c);
+  void register_gauge(std::string name, gauge& g);
+  void register_histogram(std::string name, fixed_histogram& h);
+  void register_series(std::string name, time_series& s);
+
+  /// Remove one binding; no-op if absent.
+  void unregister(std::string_view name);
+
+  counter* find_counter(std::string_view name) const noexcept;
+  gauge* find_gauge(std::string_view name) const noexcept;
+  fixed_histogram* find_histogram(std::string_view name) const noexcept;
+  time_series* find_series(std::string_view name) const noexcept;
+
+  bool contains(std::string_view name) const noexcept;
+  std::size_t size() const noexcept { return bindings_.size(); }
+
+  /// Every counter and gauge flattened to (name, value), plus each
+  /// histogram's count/mean as "<name>.count" / "<name>.mean".  Sorted by
+  /// name (map order) so output is deterministic.
+  std::vector<std::pair<std::string, double>> scalars() const;
+
+  /// Reset every registered metric (between experiment runs); registered
+  /// time series are cleared.
+  void reset_all();
+
+  /// Visit (name, kind) for every binding, in name order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [name, b] : bindings_) fn(name, b.kind);
+  }
+
+ private:
+  struct binding {
+    metric_kind kind;
+    void* ptr;
+  };
+
+  void bind(std::string name, metric_kind kind, void* ptr);
+  const binding* find(std::string_view name, metric_kind kind) const noexcept;
+
+  std::map<std::string, binding, std::less<>> bindings_;
+};
+
+}  // namespace lf::metrics

@@ -1,0 +1,239 @@
+// Telemetry registry semantics (util/metrics), measurement-probe edge
+// cases (apps/common/probes) and the shared BENCH_*.json reporter
+// (util/bench_report).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "apps/common/probes.hpp"
+#include "netsim/topology.hpp"
+#include "sim/sim.hpp"
+#include "util/bench_report.hpp"
+#include "util/metrics.hpp"
+
+using namespace lf;
+
+// ----------------------------------------------------------------- metrics --
+
+TEST(Metrics, CounterIncAndReset) {
+  metrics::counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeMovesBothWays) {
+  metrics::gauge g;
+  g.set(3.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, HistogramClampsIntoEdgeBuckets) {
+  metrics::fixed_histogram h{0.0, 10.0, 5};
+  h.observe(-100.0);  // below range: first bucket
+  h.observe(100.0);   // above range: last bucket
+  h.observe(5.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0);  // clamping affects buckets, not the sum
+}
+
+TEST(Metrics, HistogramQuantileAndMean) {
+  metrics::fixed_histogram h{0.0, 100.0, 100};
+  for (int i = 0; i < 100; ++i) h.observe(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.mean(), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 2.0);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Metrics, RegistryFindAndContains) {
+  metrics::registry reg;
+  metrics::counter c;
+  metrics::gauge g;
+  reg.register_counter("a.hits", c);
+  reg.register_gauge("a.level", g);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_TRUE(reg.contains("a.hits"));
+  EXPECT_FALSE(reg.contains("a.misses"));
+  ASSERT_NE(reg.find_counter("a.hits"), nullptr);
+  EXPECT_EQ(reg.find_counter("a.hits"), &c);
+  // Kind-checked lookup: a counter name is not a gauge.
+  EXPECT_EQ(reg.find_gauge("a.hits"), nullptr);
+}
+
+TEST(Metrics, ReRegistrationRebinds) {
+  // Components are torn down and rebuilt between runs; the new instance
+  // takes over the name.
+  metrics::registry reg;
+  metrics::counter first, second;
+  first.inc(7);
+  reg.register_counter("x", first);
+  reg.register_counter("x", second);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.find_counter("x"), &second);
+  EXPECT_EQ(reg.find_counter("x")->value(), 0u);
+}
+
+TEST(Metrics, ScalarsFlattensCountersGaugesHistograms) {
+  metrics::registry reg;
+  metrics::counter c;
+  c.inc(3);
+  metrics::gauge g;
+  g.set(1.5);
+  metrics::fixed_histogram h{0.0, 10.0, 10};
+  h.observe(2.0);
+  h.observe(4.0);
+  time_series ts{"t"};
+  ts.record(0.0, 1.0);
+  reg.register_counter("c", c);
+  reg.register_gauge("g", g);
+  reg.register_histogram("h", h);
+  reg.register_series("s", ts);
+
+  const auto flat = reg.scalars();
+  // Series contribute no scalars; the histogram contributes count + mean.
+  ASSERT_EQ(flat.size(), 4u);
+  EXPECT_EQ(flat[0].first, "c");
+  EXPECT_DOUBLE_EQ(flat[0].second, 3.0);
+  EXPECT_EQ(flat[1].first, "g");
+  EXPECT_DOUBLE_EQ(flat[1].second, 1.5);
+  EXPECT_EQ(flat[2].first, "h.count");
+  EXPECT_DOUBLE_EQ(flat[2].second, 2.0);
+  EXPECT_EQ(flat[3].first, "h.mean");
+  EXPECT_DOUBLE_EQ(flat[3].second, 3.0);
+}
+
+TEST(Metrics, ResetAllClearsEverythingBetweenRuns) {
+  metrics::registry reg;
+  metrics::counter c;
+  c.inc(9);
+  metrics::gauge g;
+  g.set(2.0);
+  time_series ts{"t"};
+  ts.record(1.0, 5.0);
+  reg.register_counter("c", c);
+  reg.register_gauge("g", g);
+  reg.register_series("s", ts);
+  reg.reset_all();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_TRUE(ts.points().empty());
+}
+
+TEST(Metrics, UnregisterRemovesBinding) {
+  metrics::registry reg;
+  metrics::counter c;
+  reg.register_counter("c", c);
+  reg.unregister("c");
+  EXPECT_FALSE(reg.contains("c"));
+  reg.unregister("never-there");  // no-op
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+// ------------------------------------------------------------------ probes --
+
+TEST(GoodputProbe, ZeroLengthWindowIsZero) {
+  sim::simulation s;
+  netsim::dumbbell_config cfg;
+  netsim::dumbbell net{s, cfg};
+  apps::goodput_probe probe{net.receiver(), 0.1};
+  probe.start();
+  s.run_until(1.0);
+  EXPECT_DOUBLE_EQ(probe.average_bps(0.5, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(probe.average_bps(0.8, 0.2), 0.0);  // inverted window
+}
+
+TEST(GoodputProbe, StoppedBeforeFirstSampleIsEmpty) {
+  sim::simulation s;
+  netsim::dumbbell_config cfg;
+  netsim::dumbbell net{s, cfg};
+  apps::goodput_probe probe{net.receiver(), 0.1};
+  probe.start();
+  probe.stop();  // before the first sample event fires
+  s.run_until(1.0);
+  EXPECT_TRUE(probe.series().points().empty());
+  EXPECT_DOUBLE_EQ(probe.average_bps(0.0, 1.0), 0.0);
+}
+
+TEST(GoodputProbe, NonPositiveIntervalIsPinned) {
+  sim::simulation s;
+  netsim::dumbbell_config cfg;
+  netsim::dumbbell net{s, cfg};
+  apps::goodput_probe probe{net.receiver(), 0.0};
+  probe.start();
+  s.run_until(1.0);  // must terminate (no zero-delay event storm)
+  EXPECT_LE(probe.series().points().size(), 11u);
+}
+
+TEST(GoodputProbe, RegistersSeriesUnderPrefix) {
+  sim::simulation s;
+  netsim::dumbbell_config cfg;
+  netsim::dumbbell net{s, cfg};
+  apps::goodput_probe probe{net.receiver(), 0.1};
+  metrics::registry reg;
+  probe.register_metrics(reg, "cc");
+  EXPECT_NE(reg.find_series("cc.goodput_bps"), nullptr);
+}
+
+// ------------------------------------------------------------ bench report --
+
+TEST(BenchReport, JsonCarriesConfigSeriesSummary) {
+  bench::report rep{"figtest", "unit \"quoted\" title"};
+  rep.config("duration", 2.5);
+  rep.config("scheme", std::string{"LF-Aurora"});
+  rep.config_bool("gated", true);
+  rep.add_point("goodput", 0.0, 1e6);
+  rep.add_point("goodput", 1.0, 2e6);
+  rep.summary("mean_mbps", 1.5);
+
+  const std::string j = rep.json();
+  EXPECT_NE(j.find("\"figure\": \"figtest\""), std::string::npos);
+  EXPECT_NE(j.find("\\\"quoted\\\""), std::string::npos);  // escaped
+  EXPECT_NE(j.find("\"duration\": 2.5"), std::string::npos);
+  EXPECT_NE(j.find("\"scheme\": \"LF-Aurora\""), std::string::npos);
+  EXPECT_NE(j.find("\"gated\": true"), std::string::npos);
+  EXPECT_NE(j.find("\"goodput\""), std::string::npos);
+  EXPECT_NE(j.find("\"mean_mbps\": 1.5"), std::string::npos);
+  // Balanced braces/brackets — a cheap structural validity check.
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+            std::count(j.begin(), j.end(), ']'));
+}
+
+TEST(BenchReport, WriteHonorsLfBenchOut) {
+  ::setenv("LF_BENCH_OUT", ::testing::TempDir().c_str(), 1);
+  bench::report rep{"figtest_write", "write test"};
+  rep.summary("x", 1.0);
+  const std::string path = rep.write();
+  ::unsetenv("LF_BENCH_OUT");
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("BENCH_figtest_write.json"), std::string::npos);
+  std::ifstream is{path};
+  ASSERT_TRUE(is.good());
+  std::stringstream ss;
+  ss << is.rdbuf();
+  EXPECT_EQ(ss.str(), rep.json());
+}
+
+TEST(BenchReport, TimeSeriesOverloadUsesSeriesName) {
+  time_series ts{"queue_bytes"};
+  ts.record(0.5, 1000.0);
+  bench::report rep{"figtest_ts", "series overload"};
+  rep.add_series(ts);
+  const std::string j = rep.json();
+  EXPECT_NE(j.find("\"queue_bytes\": [[0.5,1000]]"), std::string::npos);
+}
