@@ -20,6 +20,7 @@
 #include "nn/mlp.hpp"
 #include "util/bench_report.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -175,6 +176,64 @@ void bm_template_render_fc_layer(benchmark::State& state) {
 }
 BENCHMARK(bm_template_render_fc_layer);
 
+// ---------------------------------------------------------------- tracer --
+
+// The instrumented components pay one branch per emit when tracing is off
+// (the ring's buffer is empty).  These benches quantify that: the disabled
+// variant must track bm_quantized_infer_into_aurora, and the enabled one
+// bounds the per-event cost when a collector has switched the ring on.
+
+void bm_traced_infer_into_disabled(benchmark::State& state) {
+  static const auto snap = codegen::generate_snapshot(aurora(), "a", 1);
+  trace::ring ring{"bench"};  // never attached: emit() is a single branch
+  std::vector<fp::s64> x(snap.input_size(), 250);
+  std::vector<fp::s64> out(snap.output_size());
+  quant::inference_scratch scratch;
+  scratch.reserve(snap.program);
+  double t = 0.0;
+  for (auto _ : state) {
+    ring.emit(t, trace::event_type::inference_begin, 1, 1);
+    snap.program.infer_into(x, out, scratch);
+    ring.emit(t, trace::event_type::inference_end, 1, 1);
+    benchmark::DoNotOptimize(out.data());
+    t += 1e-6;
+  }
+}
+BENCHMARK(bm_traced_infer_into_disabled);
+
+void bm_traced_infer_into_enabled(benchmark::State& state) {
+  static const auto snap = codegen::generate_snapshot(aurora(), "a", 1);
+  trace::ring ring{"bench"};
+  ring.enable(4096);
+  std::vector<fp::s64> x(snap.input_size(), 250);
+  std::vector<fp::s64> out(snap.output_size());
+  quant::inference_scratch scratch;
+  scratch.reserve(snap.program);
+  double t = 0.0;
+  for (auto _ : state) {
+    ring.emit(t, trace::event_type::inference_begin, 1, 1);
+    snap.program.infer_into(x, out, scratch);
+    ring.emit(t, trace::event_type::inference_end, 1, 1);
+    benchmark::DoNotOptimize(out.data());
+    t += 1e-6;
+  }
+  benchmark::DoNotOptimize(ring.emitted());
+}
+BENCHMARK(bm_traced_infer_into_enabled);
+
+void bm_trace_ring_emit(benchmark::State& state) {
+  // Raw per-event cost with the ring hot: one store into a wrapped slot.
+  trace::ring ring{"bench"};
+  ring.enable(4096);
+  double t = 0.0;
+  for (auto _ : state) {
+    ring.emit(t, trace::event_type::pkt_enqueue, 42, 1500);
+    t += 1e-9;
+  }
+  benchmark::DoNotOptimize(ring.emitted());
+}
+BENCHMARK(bm_trace_ring_emit);
+
 /// Console reporter that also captures per-benchmark CPU times so main()
 /// can emit the machine-readable BENCH_fastpath.json summary.
 class capturing_reporter : public benchmark::ConsoleReporter {
@@ -207,6 +266,15 @@ void write_fastpath_json(const std::map<std::string, double>& cpu_ns) {
                     "bm_quantized_infer_into_aurora"));
   rep.summary("speedup.infer_into_vs_infer_ffnn",
               ratio("bm_quantized_infer_ffnn", "bm_quantized_infer_into_ffnn"));
+  // ~1.0 when the disabled tracer is free; >1 would flag a hot-path tax.
+  rep.summary("trace.disabled_overhead_ratio",
+              ratio("bm_traced_infer_into_disabled",
+                    "bm_quantized_infer_into_aurora"));
+  {
+    const auto it = cpu_ns.find("bm_trace_ring_emit");
+    rep.summary("trace.enabled_per_event_ns",
+                it == cpu_ns.end() ? 0.0 : it->second);
+  }
   const std::string path = rep.write();
   if (path.empty()) {
     std::cerr << "warning: failed to write BENCH_fastpath.json\n";

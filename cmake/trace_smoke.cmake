@@ -1,0 +1,58 @@
+# Smoke-check the datapath tracer end to end: run one driver-routed
+# experiment bench with LF_TRACE=1 and verify it writes a structurally
+# sound Perfetto TRACE_*.json next to its BENCH json.
+# Invoked by ctest with -DBENCH_BIN=... -DOUT_DIR=...
+set(ENV{LF_BENCH_FAST} 1)
+set(ENV{LF_TRACE} 1)
+set(ENV{LF_BENCH_OUT} "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+execute_process(COMMAND "${BENCH_BIN}" RESULT_VARIABLE rv
+                OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "bench exited with ${rv}: ${err}")
+endif()
+
+file(GLOB traces "${OUT_DIR}/TRACE_*.json")
+if(NOT traces)
+  message(FATAL_ERROR "LF_TRACE=1 run wrote no TRACE_*.json into ${OUT_DIR}")
+endif()
+
+foreach(json_path IN LISTS traces)
+  file(READ "${json_path}" content)
+  if(NOT content MATCHES "^\\{")
+    message(FATAL_ERROR "${json_path} does not start with '{'")
+  endif()
+  foreach(key displayTimeUnit traceEvents liteflow total_emitted components)
+    if(NOT content MATCHES "\"${key}\"")
+      message(FATAL_ERROR "${json_path} is missing the \"${key}\" key")
+    endif()
+  endforeach()
+  # The exporter names every ring thread; at least the sender CPU must be
+  # there, and some events must have been retained.
+  if(NOT content MATCHES "\"thread_name\"")
+    message(FATAL_ERROR "${json_path} has no thread_name metadata")
+  endif()
+  if(content MATCHES "\"total_emitted\": 0[^0-9]")
+    message(FATAL_ERROR "${json_path} recorded zero emitted events")
+  endif()
+
+  # Balanced braces/brackets (cheap structural validity; test_trace.cpp
+  # covers B/E balance and timestamp ordering properly).
+  string(REGEX MATCHALL "{" opens "${content}")
+  string(REGEX MATCHALL "}" closes "${content}")
+  list(LENGTH opens n_open)
+  list(LENGTH closes n_close)
+  if(NOT n_open EQUAL n_close)
+    message(FATAL_ERROR "${json_path} has unbalanced braces")
+  endif()
+  string(REGEX MATCHALL "\\[" bopens "${content}")
+  string(REGEX MATCHALL "\\]" bcloses "${content}")
+  list(LENGTH bopens nb_open)
+  list(LENGTH bcloses nb_close)
+  if(NOT nb_open EQUAL nb_close)
+    message(FATAL_ERROR "${json_path} has unbalanced brackets")
+  endif()
+
+  message(STATUS "ok: ${json_path}")
+endforeach()

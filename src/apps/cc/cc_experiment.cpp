@@ -204,15 +204,21 @@ void launch_flow(scheme_runtime& rt, cc_scheme scheme, netsim::host& sender,
 
 /// Register the sender-side telemetry every cc experiment shares: host CPU
 /// accounting plus the bottleneck counters, and the LiteFlow stack when one
-/// is deployed.
-void wire_cc_metrics(metrics::registry& reg, netsim::dumbbell& net,
+/// is deployed.  The trace rings wire alongside the metrics so LF_TRACE=1
+/// observes exactly the components the registry already covers.
+void wire_cc_metrics(driver_context& ctx, netsim::dumbbell& net,
                      scheme_runtime& rt) {
-  net.sender().register_metrics(reg, "cc");
-  net.bottleneck().register_metrics(reg, "cc");
+  net.sender().register_metrics(ctx.metrics, "cc");
+  net.bottleneck().register_metrics(ctx.metrics, "cc");
+  net.sender().register_trace(ctx.trace, "cc");
+  net.bottleneck().register_trace(ctx.trace, "cc");
   if (rt.lf) {
-    rt.lf->core().register_metrics(reg, "cc");
-    rt.lf->service().register_metrics(reg, "cc");
-    rt.lf->collector().register_metrics(reg, "cc.collector");
+    rt.lf->core().register_metrics(ctx.metrics, "cc");
+    rt.lf->service().register_metrics(ctx.metrics, "cc");
+    rt.lf->collector().register_metrics(ctx.metrics, "cc.collector");
+    rt.lf->core().register_trace(ctx.trace, "cc");
+    rt.lf->service().register_trace(ctx.trace, "cc");
+    rt.lf->collector().register_trace(ctx.trace, "cc.collector");
   }
 }
 
@@ -225,6 +231,7 @@ class cc_single_flow_experiment final : public experiment {
     driver_.seed = config.seed;
     driver_.duration = config.duration;
     driver_.warmup = config.warmup;
+    if (config.trace) driver_.trace = *config.trace;
   }
 
   const driver_config& config() const override { return driver_; }
@@ -269,7 +276,7 @@ class cc_single_flow_experiment final : public experiment {
     };
     simu.schedule(config_.sample_interval, *sampler_);
 
-    wire_cc_metrics(ctx.metrics, *net_, rt_);
+    wire_cc_metrics(ctx, *net_, rt_);
     ctx.metrics.register_series("cc.goodput_bps", goodput_);
   }
 
@@ -345,7 +352,7 @@ class cc_overhead_experiment final : public experiment {
                       static_cast<double>(config_.n_flows));
     }
 
-    wire_cc_metrics(ctx.metrics, *net_, rt_);
+    wire_cc_metrics(ctx, *net_, rt_);
   }
 
   void at_warmup(driver_context&) override {

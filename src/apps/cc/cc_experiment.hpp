@@ -55,6 +55,9 @@ struct cc_single_flow_config {
   std::uint64_t seed = 7;
   double sample_interval = 0.1;     ///< goodput sampling (paper: 0.1 s)
   bool trace_queue = false;
+  /// Programmatic event-tracing override; unset keeps the driver default
+  /// (the LF_TRACE / LF_TRACE_RING environment).
+  std::optional<trace_options> trace;
 };
 
 /// Single-flow goodput runs report straight through the unified run_result:

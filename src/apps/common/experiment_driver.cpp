@@ -1,6 +1,7 @@
 #include "apps/common/experiment_driver.hpp"
 
 #include "util/stats.hpp"
+#include "util/trace_report.hpp"
 
 namespace lf::apps {
 
@@ -13,13 +14,14 @@ class_fct_stats fill_fct(const std::vector<double>& fct_seconds) {
 }
 
 run_result run_experiment(experiment& exp) {
+  const driver_config& cfg = exp.config();
   sim::simulation simu;
   metrics::registry reg;
-  driver_context ctx{simu, reg};
+  trace::collector tracer{cfg.trace.collector};
+  driver_context ctx{simu, reg, tracer};
 
   exp.setup(ctx);
 
-  const driver_config& cfg = exp.config();
   if (cfg.warmup_hook) {
     simu.schedule_at(cfg.warmup, [&]() { exp.at_warmup(ctx); });
   }
@@ -39,6 +41,28 @@ run_result run_experiment(experiment& exp) {
   out.name = cfg.name;
   out.seed = cfg.seed;
   exp.report(ctx, out);
+
+  // Trace post-processing: fold per-phase span latencies back into the
+  // registry *before* the scalar snapshot so they land in telemetry like
+  // any other metric, record retained per-type event counts, and export
+  // the Perfetto file.
+  trace::span_stats span_stats;
+  if (tracer.enabled()) {
+    trace::derive_span_stats(tracer, span_stats);
+    trace::register_span_stats(span_stats, reg, "trace");
+    const auto counts = tracer.counts_by_type();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      out.telemetry.emplace(
+          "trace.events." +
+              std::string{to_string(static_cast<trace::event_type>(i))},
+          static_cast<double>(counts[i]));
+    }
+    if (cfg.trace.write_file) {
+      out.trace_path = trace::write_trace(
+          tracer, cfg.trace.label.empty() ? cfg.name : cfg.trace.label);
+    }
+  }
+
   for (const auto& [name, value] : reg.scalars()) {
     out.telemetry.emplace(name, value);
   }

@@ -22,6 +22,7 @@
 #include "sim/sim.hpp"
 #include "util/metrics.hpp"
 #include "util/time_series.hpp"
+#include "util/trace.hpp"
 
 namespace lf::apps {
 
@@ -67,8 +68,31 @@ struct run_result {
   double softirq_share = 0.0;  ///< softirq / total busy at the host under test
   std::uint64_t snapshot_updates = 0;  ///< LiteFlow deployments only
 
-  /// Flat scalar snapshot of every metric registered during setup().
+  /// Flat scalar snapshot of every metric registered during setup().  When
+  /// tracing is on this additionally carries "trace.events.<type>" retained
+  /// event counts and the "trace.span.*" histogram scalars.
   std::map<std::string, double> telemetry;
+
+  /// Path of the exported TRACE_<label>.json; empty when tracing was off
+  /// (or the write failed — a diagnostic lands on stderr in that case).
+  std::string trace_path;
+};
+
+/// Datapath tracing knobs for one run.  Off by default; the environment
+/// (LF_TRACE=1, LF_TRACE_RING=<events>) enables it for any driver-routed
+/// binary without code changes, and experiment configs can override
+/// programmatically.
+struct trace_options {
+  trace::collector_config collector{};  ///< enabled flag + ring capacity
+  /// TRACE_<label>.json file label; empty uses driver_config::name.
+  std::string label;
+  /// Write the Perfetto file at the end of the run (the derived span stats
+  /// always feed the metrics registry when tracing is enabled).
+  bool write_file = true;
+
+  static trace_options from_env() {
+    return trace_options{trace::config_from_env(), {}, true};
+  }
 };
 
 struct driver_config {
@@ -83,12 +107,17 @@ struct driver_config {
   /// Schedule the at_warmup() callback (off by default so experiments that
   /// ignore it do not add an event to the run).
   bool warmup_hook = false;
+  /// Event tracing; defaults to the LF_TRACE / LF_TRACE_RING environment.
+  trace_options trace = trace_options::from_env();
 };
 
-/// What the driver hands each hook: the simulation and the run's registry.
+/// What the driver hands each hook: the simulation, the run's registry, and
+/// the run's trace collector (setup() wires component rings into it exactly
+/// like it wires metrics; attach() is a no-op cost when tracing is off).
 struct driver_context {
   sim::simulation& sim;
   metrics::registry& metrics;
+  trace::collector& trace;
 };
 
 /// One end-to-end experiment.  Hooks run in order: setup (build topology,

@@ -27,4 +27,11 @@ liteflow_stack::liteflow_stack(netsim::host& h,
 
 void liteflow_stack::start() { service_->start(); }
 
+void liteflow_stack::register_trace(trace::collector& col,
+                                    const std::string& prefix) {
+  core_->register_trace(col, prefix);
+  service_->register_trace(col, prefix);
+  collector_->register_trace(col, prefix + ".collector");
+}
+
 }  // namespace lf::apps

@@ -28,6 +28,11 @@ class liteflow_stack {
   /// Installs snapshot v1 and starts batch delivery.
   void start();
 
+  /// Wire the bundle's trace rings into a collector with the same prefixes
+  /// the metrics wiring uses: core/router/cache/lock + service under
+  /// "<prefix>", the batch collector under "<prefix>.collector".
+  void register_trace(trace::collector& col, const std::string& prefix);
+
   core::liteflow_core& core() noexcept { return *core_; }
   core::batch_collector& collector() noexcept { return *collector_; }
   core::userspace_service& service() noexcept { return *service_; }

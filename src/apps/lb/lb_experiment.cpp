@@ -278,21 +278,25 @@ class lb_fct_experiment final : public experiment {
       simu.schedule(config_.reselect_interval, *resel);
     }
 
-    // Telemetry: per-host FCT/CPU accounting, LiteFlow stacks, fabric links.
+    // Telemetry: per-host FCT/CPU accounting, LiteFlow stacks, fabric links;
+    // the trace rings wire alongside under the same prefixes.
     for (std::size_t h = 0; h < hosts; ++h) {
       auto& host = topo_->host_at(h);
       host.register_metrics(ctx.metrics, "lb");
+      host.register_trace(ctx.trace, "lb");
       if (deploy_[h].lf) {
         const std::string base = "lb." + host.name();
         deploy_[h].lf->core().register_metrics(ctx.metrics, base);
         deploy_[h].lf->service().register_metrics(ctx.metrics, base);
         deploy_[h].lf->collector().register_metrics(ctx.metrics,
                                                     base + ".collector");
+        deploy_[h].lf->register_trace(ctx.trace, base);
       }
     }
     for (std::size_t l = 0; l < 2; ++l) {
       for (std::size_t s = 0; s < paths; ++s) {
         topo_->uplink(l, s).register_metrics(ctx.metrics, "lb.fabric");
+        topo_->uplink(l, s).register_trace(ctx.trace, "lb.fabric");
       }
     }
   }

@@ -255,21 +255,25 @@ class sched_fct_experiment final : public experiment {
       simu.schedule_at(ap.t, [this, ap]() { start_flow(ap); });
     }
 
-    // Telemetry: per-host FCT/CPU accounting plus each LiteFlow stack.
+    // Telemetry: per-host FCT/CPU accounting plus each LiteFlow stack; the
+    // trace rings wire alongside under the same prefixes.
     for (std::size_t h = 0; h < hosts; ++h) {
       auto& host = topo_->host_at(h);
       host.register_metrics(ctx.metrics, "sched");
+      host.register_trace(ctx.trace, "sched");
       if (deploy_[h].lf) {
         const std::string base = "sched." + host.name();
         deploy_[h].lf->core().register_metrics(ctx.metrics, base);
         deploy_[h].lf->service().register_metrics(ctx.metrics, base);
         deploy_[h].lf->collector().register_metrics(ctx.metrics,
                                                     base + ".collector");
+        deploy_[h].lf->register_trace(ctx.trace, base);
       }
     }
     for (std::size_t l = 0; l < 2; ++l) {
       for (std::size_t s = 0; s < topo_->config().spines; ++s) {
         topo_->uplink(l, s).register_metrics(ctx.metrics, "sched.fabric");
+        topo_->uplink(l, s).register_trace(ctx.trace, "sched.fabric");
       }
     }
   }

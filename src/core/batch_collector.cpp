@@ -47,6 +47,8 @@ void batch_collector::deliver() {
     batches_.inc();
     samples_.inc(batch.size());
     bytes_.inc(bytes);
+    trace_.emit(sim_.now(), trace::event_type::batch_flush, batch.size(),
+                bytes);
     netlink_.send_to_user(
         bytes, [this, batch = std::move(batch)]() mutable {
           if (consumer_) consumer_(std::move(batch));
@@ -63,6 +65,11 @@ void batch_collector::register_metrics(metrics::registry& reg,
   reg.register_counter(prefix + ".samples", samples_);
   reg.register_counter(prefix + ".bytes", bytes_);
   reg.register_counter(prefix + ".dropped", dropped_);
+}
+
+void batch_collector::register_trace(trace::collector& col,
+                                     const std::string& prefix) {
+  col.attach(trace_, prefix);
 }
 
 }  // namespace lf::core

@@ -15,6 +15,7 @@
 #include "kernelsim/channel.hpp"
 #include "sim/sim.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace lf::core {
 
@@ -61,6 +62,11 @@ class batch_collector {
   /// "<prefix>.bytes", "<prefix>.dropped".
   void register_metrics(metrics::registry& reg, const std::string& prefix);
 
+  /// Attach the batch-event ring to a trace collector under "<prefix>".
+  /// One batch_flush (samples, bytes) per non-empty delivery, so retained
+  /// event counts match the batches counter while the ring is large enough.
+  void register_trace(trace::collector& col, const std::string& prefix);
+
  private:
   void deliver();
 
@@ -74,6 +80,7 @@ class batch_collector {
   metrics::counter samples_;
   metrics::counter dropped_;
   metrics::counter bytes_;
+  trace::ring trace_{"collector"};
   std::uint64_t epoch_ = 0;
 };
 

@@ -48,6 +48,7 @@ flow_cache::entry* flow_cache::find(netsim::flow_id_t flow) noexcept {
 }
 
 void flow_cache::insert(netsim::flow_id_t flow, model_id model, double now) {
+  clock_ = now;
   if (occupied_ + 1 > grow_threshold(slots_.size())) {
     rehash(slots_.size() * 2);
   } else if (occupied_ + tombstones_ + 1 > scrub_threshold(slots_.size())) {
@@ -71,6 +72,8 @@ void flow_cache::evict_slot(slot& s, const evict_fn& on_evict) {
   --occupied_;
   ++tombstones_;
   evictions_.inc();
+  trace_.emit(clock_, trace::event_type::flow_cache_evict, s.e.flow,
+              s.e.model);
   if (on_evict) on_evict(s.e.model);
 }
 
@@ -88,6 +91,7 @@ bool flow_cache::erase(netsim::flow_id_t flow, const evict_fn& on_evict) {
 
 std::size_t flow_cache::step_evict(double now, double timeout,
                                    std::size_t slots, const evict_fn& on_evict) {
+  clock_ = now;
   std::size_t evicted = 0;
   const std::size_t n = slots_.size();
   for (std::size_t k = 0; k < slots && k < n; ++k) {
@@ -103,6 +107,7 @@ std::size_t flow_cache::step_evict(double now, double timeout,
 
 std::size_t flow_cache::expire_idle(double now, double timeout,
                                     const evict_fn& on_evict) {
+  clock_ = now;
   std::size_t evicted = 0;
   for (slot& s : slots_) {
     if (s.state == slot_state::occupied && now - s.e.last_used > timeout) {
@@ -131,6 +136,11 @@ void flow_cache::register_metrics(metrics::registry& reg,
   reg.register_counter(prefix + ".evictions", evictions_);
   reg.register_counter(prefix + ".rehashes", rehashes_);
   reg.register_counter(prefix + ".tombstone_scrubs", scrubs_);
+}
+
+void flow_cache::register_trace(trace::collector& col,
+                                const std::string& prefix) {
+  col.attach(trace_, prefix);
 }
 
 void flow_cache::rehash(std::size_t new_capacity) {

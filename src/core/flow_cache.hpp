@@ -24,6 +24,7 @@
 #include "core/nn_manager.hpp"
 #include "netsim/packet.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace lf::core {
 
@@ -76,6 +77,13 @@ class flow_cache {
   /// Publish eviction/rehash counters under "<prefix>.evictions", ...
   void register_metrics(metrics::registry& reg, const std::string& prefix);
 
+  /// Attach the eviction-event ring to a trace collector under "<prefix>".
+  /// Events are stamped with the cache's last-seen clock (updated by
+  /// insert/step_evict/expire_idle), which may trail the simulation by one
+  /// datapath event on the clock-free erase() path — close enough for
+  /// eviction attribution, and it keeps `now` out of the erase signature.
+  void register_trace(trace::collector& col, const std::string& prefix);
+
  private:
   enum class slot_state : std::uint8_t { empty, occupied, tombstone };
 
@@ -92,9 +100,11 @@ class flow_cache {
   std::size_t occupied_ = 0;
   std::size_t tombstones_ = 0;
   std::size_t sweep_cursor_ = 0;
+  double clock_ = 0.0;  ///< last `now` seen by a clock-bearing operation
   metrics::counter rehashes_;
   metrics::counter scrubs_;
   metrics::counter evictions_;
+  trace::ring trace_{"flow_cache"};
 };
 
 }  // namespace lf::core

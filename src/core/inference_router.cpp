@@ -22,6 +22,7 @@ void inference_router::install_standby(model_id id) {
   if (standby_) manager_.release(*standby_);
   standby_ = id;
   manager_.add_ref(id);
+  trace_.emit(sim_.now(), trace::event_type::snapshot_install, id);
 }
 
 double inference_router::switch_active() {
@@ -31,6 +32,8 @@ double inference_router::switch_active() {
   const double waited = lock_.acquire(config_.switch_lock_hold);
   std::swap(active_, standby_);
   switches_.inc();
+  trace_.emit(sim_.now(), trace::event_type::snapshot_switch, *active_,
+              static_cast<std::uint64_t>(waited * 1e9));
   // Drop the standby slot's reference on the demoted model; if nothing else
   // references it the caller can remove it.
   if (standby_) {
@@ -84,6 +87,13 @@ void inference_router::register_metrics(metrics::registry& reg,
   reg.register_counter(prefix + ".router.switches", switches_);
   cache_.register_metrics(reg, prefix + ".router.cache");
   lock_.register_metrics(reg, prefix + ".router.lock");
+}
+
+void inference_router::register_trace(trace::collector& col,
+                                      const std::string& prefix) {
+  col.attach(trace_, prefix + ".router");
+  cache_.register_trace(col, prefix + ".router.cache");
+  lock_.register_trace(col, prefix + ".router.lock");
 }
 
 }  // namespace lf::core

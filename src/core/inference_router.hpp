@@ -75,6 +75,11 @@ class inference_router {
   /// cache's hit/miss/eviction/scrub counters under "<prefix>.router.*".
   void register_metrics(metrics::registry& reg, const std::string& prefix);
 
+  /// Attach the router's rings to a trace collector: snapshot
+  /// install/switch events under "<prefix>.router", cache evictions under
+  /// "<prefix>.router.cache", lock events under "<prefix>.router.lock".
+  void register_trace(trace::collector& col, const std::string& prefix);
+
  private:
   sim::simulation& sim_;
   nn_manager& manager_;
@@ -87,6 +92,7 @@ class inference_router {
   metrics::counter hits_;
   metrics::counter misses_;
   metrics::counter switches_;
+  trace::ring trace_{"router"};
 };
 
 }  // namespace lf::core

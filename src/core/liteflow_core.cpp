@@ -69,11 +69,14 @@ void liteflow_core::query_model(netsim::flow_id_t flow,
   // Pin the module while the inference is queued on the CPU — a snapshot
   // update may otherwise unload it before the work item runs.
   manager_.add_ref(*id);
+  trace_.emit(sim_.now(), trace::event_type::inference_begin, flow, *id);
   cpu_.submit(kernelsim::task_category::datapath, query_cost(*snap),
-              [this, id = *id, snap, input = std::move(input),
+              [this, flow, id = *id, snap, input = std::move(input),
                done = std::move(done)]() {
                 std::vector<fp::s64> out(snap->output_size());
                 snap->program.infer_into(input, out, scratch_);
+                trace_.emit(sim_.now(), trace::event_type::inference_end,
+                            flow, id);
                 manager_.release(id);
                 if (done) done(std::move(out));
               });
@@ -86,8 +89,12 @@ std::vector<fp::s64> liteflow_core::query_model_sync(
   const auto* snap = id ? manager_.get(*id) : nullptr;
   if (!snap || input.size() != snap->input_size()) return {};
   cpu_.submit(kernelsim::task_category::datapath, query_cost(*snap));
+  // Synchronous path: begin/end collapse to a zero-duration span (the CPU
+  // charge above is fire-and-forget).
+  trace_.emit(sim_.now(), trace::event_type::inference_begin, flow, *id);
   std::vector<fp::s64> out(snap->output_size());
   snap->program.infer_into(input, out, scratch_);
+  trace_.emit(sim_.now(), trace::event_type::inference_end, flow, *id);
   return out;
 }
 
@@ -103,6 +110,13 @@ void liteflow_core::register_metrics(metrics::registry& reg,
   const std::string base = prefix + ".core";
   reg.register_counter(base + ".queries", queries_);
   router_.register_metrics(reg, base);
+}
+
+void liteflow_core::register_trace(trace::collector& col,
+                                   const std::string& prefix) {
+  const std::string base = prefix + ".core";
+  col.attach(trace_, base);
+  router_.register_trace(col, base);
 }
 
 }  // namespace lf::core

@@ -76,6 +76,12 @@ class liteflow_core {
   /// "<prefix>.core.*".
   void register_metrics(metrics::registry& reg, const std::string& prefix);
 
+  /// Attach the core rings to a trace collector: inference_begin/end spans
+  /// under "<prefix>.core" (begin at query submission, end when the CPU
+  /// services the inference — the gap is queueing + MAC service time) plus
+  /// the router's snapshot/cache/lock rings.
+  void register_trace(trace::collector& col, const std::string& prefix);
+
  private:
   double query_cost(const codegen::snapshot& snap) const noexcept;
 
@@ -87,6 +93,7 @@ class liteflow_core {
   std::map<io_handle, io_module_spec> io_modules_;
   io_handle next_io_ = 1;
   metrics::counter queries_;
+  trace::ring trace_{"core"};
   /// Reused across queries so the datapath inference allocates nothing
   /// beyond the caller-visible output vector (sim is single-threaded).
   mutable quant::inference_scratch scratch_;

@@ -74,6 +74,11 @@ void userspace_service::maybe_update(std::span<const train_sample> batch) {
             active_now ? core_.manager().get(*active_now) : nullptr;
         if (!snap) return;
         last_decision_ = evaluator_.evaluate(tuned, snap->program, inputs);
+        trace_.emit(
+            sim_.now(), trace::event_type::sync_decision,
+            (last_decision_.converged ? 1u : 0u) |
+                (last_decision_.necessary ? 2u : 0u),
+            static_cast<std::uint64_t>(last_decision_.fidelity.min_loss * 1e9));
         if (!last_decision_.converged) {
           skip_conv_.inc();
           return;
@@ -97,6 +102,11 @@ void userspace_service::register_metrics(metrics::registry& reg,
   reg.register_counter(prefix + ".service.skipped_not_necessary", skip_nec_);
 }
 
+void userspace_service::register_trace(trace::collector& col,
+                                       const std::string& prefix) {
+  col.attach(trace_, prefix + ".service");
+}
+
 void userspace_service::install_snapshot(codegen::snapshot snap) {
   const std::size_t param_bytes = snap.program.parameter_bytes();
   const bool is_initial = snap.version <= 1;
@@ -110,7 +120,10 @@ void userspace_service::install_snapshot(codegen::snapshot snap) {
         kernelsim::task_category::other,
         static_cast<double>(param_bytes) * costs_.snapshot_install_per_byte,
         [this, snap = std::move(snap), prev_active, is_initial]() mutable {
+          const std::uint64_t version = snap.version;
           const auto id = core_.register_model(std::move(snap));
+          trace_.emit(sim_.now(), trace::event_type::snapshot_install, id,
+                      version);
           core_.router().install_standby(id);
           core_.router().switch_active();
           // The initial deployment is not a "snapshot update" (§3.3 counts

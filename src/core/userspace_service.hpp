@@ -85,6 +85,15 @@ class userspace_service {
   /// accept/reject split) under "<prefix>.service.*".
   void register_metrics(metrics::registry& reg, const std::string& prefix);
 
+  /// Attach the slow-path ring to a trace collector under
+  /// "<prefix>.service".  Emits one sync_decision per evaluator verdict
+  /// (a: bit0 converged, bit1 necessary; b: min fidelity loss in 1e-9
+  /// units) and snapshot_install when a new version ships to the kernel.
+  /// The sync_evaluator itself stays clock-free — this service is the
+  /// clock-bearing caller that stamps its verdicts, mirroring how
+  /// nn_manager's installs are stamped by the router.
+  void register_trace(trace::collector& col, const std::string& prefix);
+
  private:
   void on_batch(std::vector<train_sample> batch);
   void maybe_update(std::span<const train_sample> batch);
@@ -106,6 +115,7 @@ class userspace_service {
   metrics::counter checks_;
   metrics::counter skip_conv_;
   metrics::counter skip_nec_;
+  trace::ring trace_{"service"};
   sync_decision last_decision_{};
 };
 

@@ -44,7 +44,11 @@ void cpu_model::start_next() {
   queue_.pop_front();
   busy_seconds_[static_cast<std::size_t>(item.category)].add(item.cost);
   const double duration = item.cost / capacity_;
-  sim_.schedule(duration, [this, done = std::move(item.done)]() {
+  const auto category = static_cast<std::uint64_t>(item.category);
+  trace_.emit(sim_.now(), trace::event_type::task_begin, category,
+              static_cast<std::uint64_t>(item.cost * 1e9));
+  sim_.schedule(duration, [this, category, done = std::move(item.done)]() {
+    trace_.emit(sim_.now(), trace::event_type::task_end, category);
     if (done) done();
     start_next();
   });
@@ -84,6 +88,11 @@ void cpu_model::register_metrics(metrics::registry& reg,
             std::string{to_string(static_cast<task_category>(c))} + "_seconds",
         busy_seconds_[c]);
   }
+}
+
+void cpu_model::register_trace(trace::collector& col,
+                               const std::string& prefix) {
+  col.attach(trace_, prefix + ".cpu");
 }
 
 }  // namespace lf::kernelsim

@@ -19,6 +19,7 @@
 
 #include "sim/sim.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace lf::kernelsim {
 
@@ -76,6 +77,11 @@ class cpu_model {
   /// store, so readings are always live — no bespoke polling getters.
   void register_metrics(metrics::registry& reg, const std::string& prefix);
 
+  /// Attach the task-span ring ("<prefix>.cpu") to a trace collector.
+  /// Emits task_begin/task_end around every serviced work item once the
+  /// collector enables the ring; free until then.
+  void register_trace(trace::collector& col, const std::string& prefix);
+
  private:
   struct work_item {
     task_category category;
@@ -90,6 +96,7 @@ class cpu_model {
   std::deque<work_item> queue_;
   bool busy_ = false;
   std::array<metrics::gauge, task_category_count> busy_seconds_{};
+  trace::ring trace_{"cpu"};
 };
 
 }  // namespace lf::kernelsim

@@ -17,6 +17,12 @@ double spinlock::acquire(double hold_seconds) {
   total_wait_.add(wait);
   total_hold_.add(hold_seconds);
   max_wait_.set(std::max(max_wait_.value(), wait));
+  const auto hold_ns = static_cast<std::uint64_t>(hold_seconds * 1e9);
+  const auto wait_ns = static_cast<std::uint64_t>(wait * 1e9);
+  trace_.emit(now, trace::event_type::lock_acquire, hold_ns, wait_ns);
+  if (wait > 0.0) {
+    trace_.emit(now, trace::event_type::lock_contend, wait_ns);
+  }
   return wait;
 }
 
@@ -27,6 +33,11 @@ void spinlock::register_metrics(metrics::registry& reg,
   reg.register_gauge(prefix + ".wait_seconds", total_wait_);
   reg.register_gauge(prefix + ".hold_seconds", total_hold_);
   reg.register_gauge(prefix + ".max_wait_seconds", max_wait_);
+}
+
+void spinlock::register_trace(trace::collector& col,
+                              const std::string& prefix) {
+  col.attach(trace_, prefix);
 }
 
 }  // namespace lf::kernelsim

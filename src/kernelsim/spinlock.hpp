@@ -12,6 +12,7 @@
 
 #include "sim/sim.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace lf::kernelsim {
 
@@ -37,6 +38,11 @@ class spinlock {
   /// "<prefix>.acquisitions", "<prefix>.hold_seconds", ...
   void register_metrics(metrics::registry& reg, const std::string& prefix);
 
+  /// Attach the lock-event ring to a trace collector under "<prefix>".
+  /// Every acquire emits lock_acquire (hold, wait ns); contended acquires
+  /// additionally emit lock_contend.
+  void register_trace(trace::collector& col, const std::string& prefix);
+
  private:
   sim::simulation* sim_;
   double busy_until_ = 0.0;
@@ -45,6 +51,7 @@ class spinlock {
   metrics::gauge total_wait_;
   metrics::gauge total_hold_;
   metrics::gauge max_wait_;
+  trace::ring trace_{"spinlock"};
 };
 
 }  // namespace lf::kernelsim

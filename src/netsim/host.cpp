@@ -122,8 +122,10 @@ void host::process_data(packet pkt) {
     state.completed = true;
     state.complete_time = sim_.now();
     completed_flows_.inc();
-    fct_trace_.record(state.complete_time,
-                      state.complete_time - state.first_data_time);
+    const double fct = state.complete_time - state.first_data_time;
+    fct_trace_.record(state.complete_time, fct);
+    trace_ring_.emit(state.complete_time, trace::event_type::flow_complete,
+                     pkt.flow_id, static_cast<std::uint64_t>(fct * 1e9));
   }
 
   // Generate an ACK (per packet, no delayed ACKs; NN-based CC wants a dense
@@ -154,6 +156,12 @@ void host::register_metrics(metrics::registry& reg, const std::string& prefix) {
   reg.register_counter(base + ".completed_flows", completed_flows_);
   reg.register_series(base + ".fct_seconds", fct_trace_);
   cpu_.register_metrics(reg, base);
+}
+
+void host::register_trace(trace::collector& col, const std::string& prefix) {
+  const std::string base = prefix + "." + name();
+  col.attach(trace_ring_, base);
+  cpu_.register_trace(col, base);
 }
 
 }  // namespace lf::netsim

@@ -19,6 +19,7 @@
 #include "sim/sim.hpp"
 #include "util/metrics.hpp"
 #include "util/time_series.hpp"
+#include "util/trace.hpp"
 
 namespace lf::netsim {
 
@@ -90,6 +91,11 @@ class host final : public node {
   /// CPU category accounting under "<prefix>.<host name>.*".
   void register_metrics(metrics::registry& reg, const std::string& prefix);
 
+  /// Attach this host's rings to a trace collector: flow_complete events
+  /// under "<prefix>.<host name>" plus the owned CPU's task spans under
+  /// "<prefix>.<host name>.cpu".
+  void register_trace(trace::collector& col, const std::string& prefix);
+
   /// Disable/enable ACK generation CPU cost modeling (on by default).
   void set_cpu_gating(bool enabled) noexcept { cpu_gating_ = enabled; }
 
@@ -110,6 +116,7 @@ class host final : public node {
   std::uint64_t delivered_ = 0;
   metrics::counter completed_flows_;
   time_series fct_trace_{"fct_seconds"};
+  trace::ring trace_ring_{"host"};
   completion_hook on_complete_;
   delivery_hook on_delivery_;
 };

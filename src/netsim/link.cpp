@@ -25,16 +25,24 @@ void link::enqueue(packet pkt) {
   if (config_.random_loss_prob > 0.0 &&
       drop_gen_.bernoulli(config_.random_loss_prob)) {
     random_dropped_.inc();
+    trace_ring_.emit(sim_.now(), trace::event_type::pkt_drop, pkt.flow_id,
+                     pkt.wire_bytes);
     return;
   }
   if (queued_bytes_ + pkt.wire_bytes > config_.buffer_bytes) {
     dropped_.inc();
+    trace_ring_.emit(sim_.now(), trace::event_type::pkt_drop, pkt.flow_id,
+                     pkt.wire_bytes);
     return;
   }
   if (pkt.ecn_capable && queued_bytes_ >= config_.ecn_threshold_bytes) {
     pkt.ecn_marked = true;
     marked_.inc();
+    trace_ring_.emit(sim_.now(), trace::event_type::ecn_mark, pkt.flow_id,
+                     queued_bytes_);
   }
+  trace_ring_.emit(sim_.now(), trace::event_type::pkt_enqueue, pkt.flow_id,
+                   pkt.wire_bytes);
   const auto band = static_cast<std::size_t>(
       pkt.priority < k_priority_bands ? pkt.priority : k_priority_bands - 1);
   queued_bytes_ += pkt.wire_bytes;
@@ -83,6 +91,10 @@ void link::register_metrics(metrics::registry& reg, const std::string& prefix) {
   reg.register_counter(base + ".tx_bytes", tx_bytes_);
   reg.register_counter(base + ".ecn_marked", marked_);
   if (trace_enabled_) reg.register_series(base + ".queue_bytes", queue_trace_);
+}
+
+void link::register_trace(trace::collector& col, const std::string& prefix) {
+  col.attach(trace_ring_, prefix + "." + config_.name);
 }
 
 }  // namespace lf::netsim

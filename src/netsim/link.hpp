@@ -19,6 +19,7 @@
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/time_series.hpp"
+#include "util/trace.hpp"
 
 namespace lf::netsim {
 
@@ -65,6 +66,11 @@ class link {
   /// enabled) under "<prefix>.<link name>.*".
   void register_metrics(metrics::registry& reg, const std::string& prefix);
 
+  /// Attach the packet-event ring ("<prefix>.<link name>") to a trace
+  /// collector: pkt_enqueue per accepted packet, pkt_drop for random and
+  /// drop-tail losses, ecn_mark per CE mark.
+  void register_trace(trace::collector& col, const std::string& prefix);
+
   const link_config& config() const noexcept { return config_; }
 
   /// When enabled, records (time, queued_bytes) on every change.
@@ -104,6 +110,7 @@ class link {
   metrics::counter marked_;
   bool trace_enabled_ = false;
   time_series queue_trace_{"queue_bytes"};
+  trace::ring trace_ring_{"link"};
   std::function<void(const packet&)> tx_hook_;
 };
 

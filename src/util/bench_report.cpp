@@ -3,8 +3,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 namespace lf::bench {
 namespace {
@@ -13,6 +15,16 @@ bool fast_mode_env() {
   const char* v = std::getenv("LF_BENCH_FAST");
   return v != nullptr && *v != '\0' && *v != '0';
 }
+
+/// Reports are numbered in emission order within the process.  Unlike a
+/// wall-clock timestamp this is identical across repeated runs, so
+/// fast-mode JSON output stays byte-diffable.
+std::uint64_t next_emitted_seq() {
+  static std::uint64_t seq = 0;
+  return seq++;
+}
+
+}  // namespace
 
 std::string json_escape(std::string_view s) {
   std::string out;
@@ -55,8 +67,6 @@ std::string json_number(double v) {
   return buf;
 }
 
-}  // namespace
-
 std::string output_dir() {
   if (const char* dir = std::getenv("LF_BENCH_OUT"); dir && *dir) return dir;
 #ifdef LF_BENCH_OUT_DEFAULT
@@ -67,7 +77,9 @@ std::string output_dir() {
 }
 
 report::report(std::string figure, std::string title)
-    : figure_{std::move(figure)}, title_{std::move(title)} {}
+    : figure_{std::move(figure)},
+      title_{std::move(title)},
+      emitted_seq_{next_emitted_seq()} {}
 
 void report::config(std::string key, double value) {
   config_.emplace_back(std::move(key), json_number(value));
@@ -115,6 +127,7 @@ std::string report::json() const {
   os << "  \"figure\": \"" << json_escape(figure_) << "\",\n";
   os << "  \"title\": \"" << json_escape(title_) << "\",\n";
   os << "  \"fast_mode\": " << (fast_mode_env() ? "true" : "false") << ",\n";
+  os << "  \"emitted_seq\": " << emitted_seq_ << ",\n";
 
   os << "  \"config\": {";
   for (std::size_t i = 0; i < config_.size(); ++i) {
@@ -147,11 +160,28 @@ std::string report::json() const {
 }
 
 std::string report::write() const {
-  const std::string path = output_dir() + "/BENCH_" + figure_ + ".json";
+  const std::string dir = output_dir();
+  const std::string path = dir + "/BENCH_" + figure_ + ".json";
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    std::fprintf(stderr,
+                 "bench_report: cannot write %s: output directory '%s' does "
+                 "not exist (check LF_BENCH_OUT)\n",
+                 path.c_str(), dir.c_str());
+    return {};
+  }
   std::ofstream os{path};
-  if (!os) return {};
+  if (!os) {
+    std::fprintf(stderr, "bench_report: cannot open %s for writing\n",
+                 path.c_str());
+    return {};
+  }
   os << json();
-  return os ? path : std::string{};
+  if (!os) {
+    std::fprintf(stderr, "bench_report: write to %s failed\n", path.c_str());
+    return {};
+  }
+  return path;
 }
 
 }  // namespace lf::bench

@@ -27,6 +27,14 @@ namespace lf::bench {
 /// Directory BENCH_*.json files land in (see header comment for the rules).
 std::string output_dir();
 
+/// Escape a string for inclusion inside a JSON string literal (quotes not
+/// added).  Shared with the trace exporter (util/trace_report.cpp).
+std::string json_escape(std::string_view s);
+
+/// Encode a double as a JSON number; NaN/Inf become null so the document
+/// stays parseable.
+std::string json_number(double v);
+
 class report {
  public:
   report(std::string figure, std::string title);
@@ -48,6 +56,11 @@ class report {
 
   const std::string& figure() const noexcept { return figure_; }
 
+  /// Per-process emission index (0 for the first report constructed);
+  /// serialized as a top-level "emitted_seq" field.  Monotonic but not
+  /// wall-clock, so repeated runs produce diffable JSON.
+  std::uint64_t emitted_seq() const noexcept { return emitted_seq_; }
+
   /// Serialize the full document (tests validate this directly).
   std::string json() const;
 
@@ -60,6 +73,7 @@ class report {
 
   std::string figure_;
   std::string title_;
+  std::uint64_t emitted_seq_;
   std::vector<std::pair<std::string, std::string>> config_;  // pre-encoded
   std::vector<std::pair<std::string, series_points>> series_;
   std::vector<std::pair<std::string, double>> summary_;

@@ -5,10 +5,21 @@
 
 namespace lf::metrics {
 
-fixed_histogram::fixed_histogram(double lo, double hi, std::size_t buckets)
-    : lo_{lo}, width_{(hi - lo) / static_cast<double>(buckets == 0 ? 1 : buckets)} {
+namespace {
+
+/// Validate before any arithmetic touches the arguments: the bucket width
+/// must never be computed from a zero bucket count or an empty/inverted
+/// range (hi <= lo, including NaN bounds, which fail the `hi > lo` test).
+double checked_bucket_width(double lo, double hi, std::size_t buckets) {
   if (buckets == 0) throw std::invalid_argument{"histogram needs >= 1 bucket"};
   if (!(hi > lo)) throw std::invalid_argument{"histogram range must be hi > lo"};
+  return (hi - lo) / static_cast<double>(buckets);
+}
+
+}  // namespace
+
+fixed_histogram::fixed_histogram(double lo, double hi, std::size_t buckets)
+    : lo_{lo}, width_{checked_bucket_width(lo, hi, buckets)} {
   counts_.assign(buckets, 0);
 }
 

@@ -54,6 +54,9 @@ class gauge {
 /// (nothing is silently dropped) and never allocates.
 class fixed_histogram {
  public:
+  /// Throws std::invalid_argument for buckets == 0 or any range where
+  /// !(hi > lo) — inverted, empty, or NaN bounds — before any width
+  /// arithmetic happens.
   fixed_histogram(double lo, double hi, std::size_t buckets);
 
   void observe(double x) noexcept;

@@ -1,0 +1,144 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace lf::trace {
+
+std::string_view to_string(event_type t) noexcept {
+  switch (t) {
+    case event_type::inference_begin: return "inference_begin";
+    case event_type::inference_end: return "inference_end";
+    case event_type::task_begin: return "task_begin";
+    case event_type::task_end: return "task_end";
+    case event_type::snapshot_install: return "snapshot_install";
+    case event_type::snapshot_switch: return "snapshot_switch";
+    case event_type::flow_cache_evict: return "flow_cache_evict";
+    case event_type::batch_flush: return "batch_flush";
+    case event_type::sync_decision: return "sync_decision";
+    case event_type::lock_acquire: return "lock_acquire";
+    case event_type::lock_contend: return "lock_contend";
+    case event_type::pkt_enqueue: return "pkt_enqueue";
+    case event_type::pkt_drop: return "pkt_drop";
+    case event_type::ecn_mark: return "ecn_mark";
+    case event_type::flow_complete: return "flow_complete";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void ring::enable(std::size_t capacity) {
+  if (capacity == 0) {
+    disable();
+    return;
+  }
+  const std::size_t cap = round_up_pow2(capacity);
+  buf_.assign(cap, event{});
+  mask_ = cap - 1;
+  head_ = 0;
+}
+
+void ring::disable() noexcept {
+  buf_.clear();
+  buf_.shrink_to_fit();
+  mask_ = 0;
+  head_ = 0;
+}
+
+std::size_t ring::size() const noexcept {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(head_, buf_.size()));
+}
+
+std::uint64_t ring::overwritten() const noexcept {
+  return head_ - size();
+}
+
+std::vector<event> ring::snapshot() const {
+  std::vector<event> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  for (std::uint64_t i = head_ - n; i != head_; ++i) {
+    out.push_back(buf_[static_cast<std::size_t>(i) & mask_]);
+  }
+  return out;
+}
+
+collector_config config_from_env() {
+  collector_config cfg;
+  if (const char* v = std::getenv("LF_TRACE")) {
+    cfg.enabled = std::atoi(v) != 0;
+  }
+  if (const char* v = std::getenv("LF_TRACE_RING")) {
+    const long cap = std::atol(v);
+    if (cap > 0) cfg.ring_capacity = static_cast<std::size_t>(cap);
+  }
+  return cfg;
+}
+
+std::uint32_t collector::attach(ring& r, std::string name) {
+  r.set_name(std::move(name));
+  if (config_.enabled) r.enable(config_.ring_capacity);
+  rings_.push_back(&r);
+  return static_cast<std::uint32_t>(rings_.size() - 1);
+}
+
+std::vector<merged_event> collector::merged() const {
+  std::vector<merged_event> out;
+  std::size_t total = 0;
+  for (const ring* r : rings_) total += r->size();
+  out.reserve(total);
+  for (std::uint32_t c = 0; c < rings_.size(); ++c) {
+    const ring& r = *rings_[c];
+    std::uint64_t seq = r.first_seq();
+    for (const event& e : r.snapshot()) {
+      out.push_back(merged_event{e, c, seq++});
+    }
+  }
+  // Per-ring runs are already in emission order, so sorting by (t,
+  // component) with a stable sort preserves the per-ring seq order for
+  // exact ties, giving the documented (t, component, seq) total order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const merged_event& x, const merged_event& y) {
+                     if (x.e.t != y.e.t) return x.e.t < y.e.t;
+                     return x.component < y.component;
+                   });
+  return out;
+}
+
+std::uint64_t collector::total_emitted() const noexcept {
+  std::uint64_t n = 0;
+  for (const ring* r : rings_) n += r->emitted();
+  return n;
+}
+
+std::uint64_t collector::total_overwritten() const noexcept {
+  std::uint64_t n = 0;
+  for (const ring* r : rings_) n += r->overwritten();
+  return n;
+}
+
+std::vector<std::uint64_t> collector::counts_by_type() const {
+  std::vector<std::uint64_t> counts(event_type_count, 0);
+  for (const ring* r : rings_) {
+    for (const event& e : r->snapshot()) {
+      ++counts[static_cast<std::size_t>(e.type)];
+    }
+  }
+  return counts;
+}
+
+void collector::clear_all() noexcept {
+  for (ring* r : rings_) r->clear();
+}
+
+}  // namespace lf::trace

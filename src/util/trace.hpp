@@ -1,0 +1,186 @@
+// Datapath event tracer: per-component ring buffers + a borrowing collector.
+//
+// The metrics spine (util/metrics.hpp) answers "how many / how much" at the
+// end of a run; this answers "when, in what order, and how long apart".  The
+// same kernel-datapath constraints apply to the instrumentation:
+//  - Components *own* a trace::ring as a plain member.  Emission is a bounds
+//    mask, a struct store and an increment into a fixed-capacity
+//    power-of-two buffer that overwrites the oldest event when full — no
+//    allocation, no locking, no branching beyond the single enabled check.
+//    A disabled ring (the default: capacity 0) costs exactly that one
+//    branch, which bench_micro's tracer-overhead benches pin down.
+//  - A trace::collector is a borrowing ring index built at wiring time
+//    (experiment setup), used only on the reporting path: it merges every
+//    attached ring into one causally-ordered stream (sorted by timestamp,
+//    ties broken by component id then per-ring emission order) for the
+//    Perfetto exporter and the derived span statistics in
+//    util/trace_report.hpp.
+//
+// Timestamps are simulation::now() seconds; the emitting component supplies
+// them (rings do not know about the clock).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lf::trace {
+
+/// Typed datapath events.  *_begin types open a span closed by the next
+/// enum value (is_span_begin/span_end_of), everything else is a point event.
+enum class event_type : std::uint8_t {
+  inference_begin = 0,  ///< a = flow id, b = model (snapshot) id
+  inference_end,        ///< a = flow id, b = model (snapshot) id
+  task_begin,           ///< a = kernelsim task category, b = cost (ns)
+  task_end,             ///< a = kernelsim task category
+  snapshot_install,     ///< a = model id or version (no lock taken)
+  snapshot_switch,      ///< a = new active model id, b = lock wait (ns)
+  flow_cache_evict,     ///< a = flow id, b = model id
+  batch_flush,          ///< a = samples in the batch, b = bytes shipped
+  sync_decision,        ///< a = bit0 converged, bit1 necessary; b = min fidelity loss (1e-9 units)
+  lock_acquire,         ///< a = hold (ns), b = wait (ns; 0 if uncontended)
+  lock_contend,         ///< a = wait (ns); emitted only when wait > 0
+  pkt_enqueue,          ///< a = flow id, b = wire bytes
+  pkt_drop,             ///< a = flow id, b = wire bytes (tail or random drop)
+  ecn_mark,             ///< a = flow id, b = queued bytes at mark time
+  flow_complete,        ///< a = flow id, b = FCT (ns)
+};
+
+inline constexpr std::size_t event_type_count = 15;
+
+std::string_view to_string(event_type t) noexcept;
+
+constexpr bool is_span_begin(event_type t) noexcept {
+  return t == event_type::inference_begin || t == event_type::task_begin;
+}
+
+/// The closing type of a span opener (valid only when is_span_begin).
+constexpr event_type span_end_of(event_type t) noexcept {
+  return static_cast<event_type>(static_cast<std::uint8_t>(t) + 1);
+}
+
+/// One trace record.  Fixed-size POD so ring storage is a flat array.
+struct event {
+  double t = 0.0;  ///< simulation seconds
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  event_type type{};
+};
+
+/// Fixed-capacity overwrite-oldest event buffer owned by one component.
+/// Disabled (capacity 0) until a collector attaches it or enable() is
+/// called; emit() on a disabled ring is a single branch.
+class ring {
+ public:
+  explicit ring(std::string name) : name_{std::move(name)} {}
+
+  ring(const ring&) = delete;
+  ring& operator=(const ring&) = delete;
+
+  /// Allocate storage (capacity rounded up to a power of two, minimum 2).
+  /// Existing events are discarded.  enable(0) disables.
+  void enable(std::size_t capacity);
+  void disable() noexcept;
+  bool enabled() const noexcept { return !buf_.empty(); }
+
+  /// Hot path: record one event.  Zero allocation; overwrites the oldest
+  /// record once the ring is full; no-op (one branch) when disabled.
+  void emit(double t, event_type type, std::uint64_t a = 0,
+            std::uint64_t b = 0) noexcept {
+    if (buf_.empty()) return;
+    event& e = buf_[static_cast<std::size_t>(head_) & mask_];
+    e.t = t;
+    e.a = a;
+    e.b = b;
+    e.type = type;
+    ++head_;
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  std::size_t capacity() const noexcept { return buf_.size(); }
+  /// Events currently retained (<= capacity).
+  std::size_t size() const noexcept;
+  /// Total events ever emitted (monotonic, survives overwrites).
+  std::uint64_t emitted() const noexcept { return head_; }
+  /// Events lost to overwrite-oldest.
+  std::uint64_t overwritten() const noexcept;
+
+  void clear() noexcept { head_ = 0; }
+
+  /// Retained events, oldest first (reporting path; allocates).
+  std::vector<event> snapshot() const;
+
+  /// Emission index of the oldest retained event (seq of snapshot()[0]).
+  std::uint64_t first_seq() const noexcept { return head_ - size(); }
+
+ private:
+  std::string name_;
+  std::vector<event> buf_;
+  std::size_t mask_ = 0;
+  std::uint64_t head_ = 0;
+};
+
+struct collector_config {
+  bool enabled = false;
+  std::size_t ring_capacity = 4096;  ///< applied to rings on attach
+};
+
+/// Environment defaults: LF_TRACE (nonzero enables) and LF_TRACE_RING
+/// (per-ring capacity, events).
+collector_config config_from_env();
+
+/// One event from the merged stream, tagged with its source ring.
+struct merged_event {
+  event e;
+  std::uint32_t component = 0;  ///< attach order, stable merge tie-break
+  std::uint64_t seq = 0;        ///< per-ring emission index
+};
+
+/// Borrowing name -> ring index; rings must outlive the collector.  attach()
+/// enables each ring with the configured capacity when tracing is on, so
+/// components constructed before wiring pay nothing until then.
+class collector {
+ public:
+  explicit collector(collector_config config = {}) : config_{config} {}
+
+  collector(const collector&) = delete;
+  collector& operator=(const collector&) = delete;
+
+  /// Register a ring under `name` (overrides the ring's own name) and
+  /// return its component id (attach order).
+  std::uint32_t attach(ring& r, std::string name);
+  std::uint32_t attach(ring& r) { return attach(r, r.name()); }
+
+  bool enabled() const noexcept { return config_.enabled; }
+  const collector_config& config() const noexcept { return config_; }
+  std::size_t ring_count() const noexcept { return rings_.size(); }
+  const ring& ring_at(std::uint32_t component) const {
+    return *rings_[component];
+  }
+  const std::string& component_name(std::uint32_t component) const {
+    return rings_[component]->name();
+  }
+
+  /// All retained events merged into causal order: sorted by timestamp,
+  /// equal timestamps ordered by component id, then per-ring emission order.
+  std::vector<merged_event> merged() const;
+
+  std::uint64_t total_emitted() const noexcept;
+  std::uint64_t total_overwritten() const noexcept;
+
+  /// Retained (post-overwrite) event count per event_type, indexed by the
+  /// enum value.
+  std::vector<std::uint64_t> counts_by_type() const;
+
+  void clear_all() noexcept;
+
+ private:
+  collector_config config_;
+  std::vector<ring*> rings_;  ///< borrowed
+};
+
+}  // namespace lf::trace

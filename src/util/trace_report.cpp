@@ -1,0 +1,274 @@
+#include "util/trace_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <system_error>
+#include <tuple>
+
+#include "util/bench_report.hpp"
+
+namespace lf::trace {
+namespace {
+
+using bench::json_escape;
+using bench::json_number;
+
+constexpr double k_us_per_second = 1e6;
+
+/// One serialized traceEvents entry plus its sort key.  Events are
+/// generated in merged-stream order and stable-sorted by timestamp, which
+/// keeps B before E (and E before the next same-ts B) for zero-duration
+/// spans — generation order is the tie-break.
+struct emitted {
+  double ts = 0.0;
+  std::string json;
+};
+
+std::string args_for(const event& e) {
+  std::ostringstream os;
+  switch (e.type) {
+    case event_type::snapshot_install:
+      os << "{\"model\":" << e.a << ",\"version\":" << e.b << "}";
+      break;
+    case event_type::snapshot_switch:
+      os << "{\"active_model\":" << e.a << ",\"lock_wait_ns\":" << e.b << "}";
+      break;
+    case event_type::flow_cache_evict:
+      os << "{\"flow\":" << e.a << ",\"model\":" << e.b << "}";
+      break;
+    case event_type::batch_flush:
+      os << "{\"samples\":" << e.a << ",\"bytes\":" << e.b << "}";
+      break;
+    case event_type::sync_decision:
+      os << "{\"converged\":" << ((e.a & 1) ? "true" : "false")
+         << ",\"necessary\":" << ((e.a & 2) ? "true" : "false")
+         << ",\"min_loss_1e9\":" << e.b << "}";
+      break;
+    case event_type::lock_acquire:
+      os << "{\"hold_ns\":" << e.a << ",\"wait_ns\":" << e.b << "}";
+      break;
+    case event_type::lock_contend:
+      os << "{\"wait_ns\":" << e.a << "}";
+      break;
+    case event_type::ecn_mark:
+      os << "{\"flow\":" << e.a << ",\"queued_bytes\":" << e.b << "}";
+      break;
+    case event_type::pkt_enqueue:
+    case event_type::pkt_drop:
+      os << "{\"flow\":" << e.a << ",\"bytes\":" << e.b << "}";
+      break;
+    case event_type::flow_complete:
+      os << "{\"flow\":" << e.a << ",\"fct_ns\":" << e.b << "}";
+      break;
+    default:
+      os << "{\"a\":" << e.a << ",\"b\":" << e.b << "}";
+  }
+  return os.str();
+}
+
+std::string instant_json(const merged_event& m) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << to_string(m.e.type) << "\",\"ph\":\"i\",\"s\":\"t\""
+     << ",\"ts\":" << json_number(m.e.t * k_us_per_second) << ",\"pid\":0"
+     << ",\"tid\":" << m.component << ",\"args\":" << args_for(m.e) << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string_view task_category_label(std::uint64_t category) noexcept {
+  switch (category) {
+    case 0: return "datapath";
+    case 1: return "softirq";
+    case 2: return "user_nn";
+    case 3: return "user_train";
+    case 4: return "kernel_train";
+    default: return "other";
+  }
+}
+
+std::vector<span> derive_spans(const std::vector<merged_event>& events) {
+  std::vector<span> out;
+  // FIFO per (component, open type, a): the merged stream is causally
+  // ordered, so the oldest open begin with a matching key is the pair.
+  std::map<std::tuple<std::uint32_t, event_type, std::uint64_t>,
+           std::vector<const merged_event*>>
+      open;
+  for (const merged_event& m : events) {
+    if (is_span_begin(m.e.type)) {
+      open[{m.component, m.e.type, m.e.a}].push_back(&m);
+      continue;
+    }
+    const event_type opener = [&]() {
+      switch (m.e.type) {
+        case event_type::inference_end: return event_type::inference_begin;
+        case event_type::task_end: return event_type::task_begin;
+        default: return m.e.type;  // not a span end
+      }
+    }();
+    if (opener == m.e.type) continue;
+    auto it = open.find({m.component, opener, m.e.a});
+    if (it == open.end() || it->second.empty()) continue;  // begin overwritten
+    const merged_event* b = it->second.front();
+    it->second.erase(it->second.begin());
+    out.push_back(span{b->e.t, m.e.t, m.component, opener, b->e.a, b->e.b});
+  }
+  return out;
+}
+
+void derive_span_stats(const collector& col, span_stats& out) {
+  const auto events = col.merged();
+  for (const span& s : derive_spans(events)) {
+    const double us = (s.end - s.begin) * k_us_per_second;
+    if (s.open == event_type::inference_begin) {
+      out.inference_us.observe(us);
+    } else {
+      out.task_us.observe(us);
+    }
+  }
+  for (const merged_event& m : events) {
+    if (m.e.type == event_type::lock_acquire) {
+      out.lock_hold_ns.observe(static_cast<double>(m.e.a));
+      out.lock_wait_ns.observe(static_cast<double>(m.e.b));
+    }
+  }
+}
+
+void register_span_stats(span_stats& stats, metrics::registry& reg,
+                         const std::string& prefix) {
+  reg.register_histogram(prefix + ".span.inference_us", stats.inference_us);
+  reg.register_histogram(prefix + ".span.task_us", stats.task_us);
+  reg.register_histogram(prefix + ".span.lock_hold_ns", stats.lock_hold_ns);
+  reg.register_histogram(prefix + ".span.lock_wait_ns", stats.lock_wait_ns);
+}
+
+std::string perfetto_json(const collector& col) {
+  const auto merged_events = col.merged();
+
+  std::vector<emitted> out;
+  out.reserve(merged_events.size() + col.ring_count());
+
+  // Walk the causal stream once: instants emit in place; span ends emit
+  // their whole pair (the begin entry carries the earlier timestamp and is
+  // moved into place by the final stable sort).
+  std::map<std::tuple<std::uint32_t, event_type, std::uint64_t>,
+           std::vector<double>>
+      open;
+  for (const merged_event& m : merged_events) {
+    switch (m.e.type) {
+      case event_type::inference_begin:
+      case event_type::task_begin:
+        open[{m.component, m.e.type, m.e.a}].push_back(m.e.t);
+        break;
+      case event_type::inference_end: {
+        auto it = open.find({m.component, event_type::inference_begin, m.e.a});
+        if (it == open.end() || it->second.empty()) break;
+        const double begin = it->second.front();
+        it->second.erase(it->second.begin());
+        std::ostringstream os;
+        os << "{\"name\":\"inference\",\"ph\":\"X\",\"ts\":"
+           << json_number(begin * k_us_per_second) << ",\"dur\":"
+           << json_number((m.e.t - begin) * k_us_per_second)
+           << ",\"pid\":0,\"tid\":" << m.component << ",\"args\":{\"flow\":"
+           << m.e.a << ",\"model\":" << m.e.b << "}}";
+        out.push_back(emitted{begin * k_us_per_second, os.str()});
+        break;
+      }
+      case event_type::task_end: {
+        auto it = open.find({m.component, event_type::task_begin, m.e.a});
+        if (it == open.end() || it->second.empty()) break;
+        const double begin = it->second.front();
+        it->second.erase(it->second.begin());
+        const std::string name{task_category_label(m.e.a)};
+        std::ostringstream b;
+        b << "{\"name\":\"" << name << "\",\"ph\":\"B\",\"ts\":"
+          << json_number(begin * k_us_per_second)
+          << ",\"pid\":0,\"tid\":" << m.component << "}";
+        out.push_back(emitted{begin * k_us_per_second, b.str()});
+        std::ostringstream e;
+        e << "{\"name\":\"" << name << "\",\"ph\":\"E\",\"ts\":"
+          << json_number(m.e.t * k_us_per_second)
+          << ",\"pid\":0,\"tid\":" << m.component << "}";
+        out.push_back(emitted{m.e.t * k_us_per_second, e.str()});
+        break;
+      }
+      default:
+        out.push_back(emitted{m.e.t * k_us_per_second, instant_json(m)});
+    }
+  }
+
+  // Perfetto wants ts-sorted streams per thread; stable keeps generation
+  // order as the tie-break (B before E at equal ts).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const emitted& x, const emitted& y) {
+                     return x.ts < y.ts;
+                   });
+
+  std::ostringstream os;
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  os << "\n    {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+        "\"args\":{\"name\":\"liteflow-sim\"}}";
+  for (std::uint32_t c = 0; c < col.ring_count(); ++c) {
+    os << ",\n    {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+       << c << ",\"args\":{\"name\":\""
+       << json_escape(col.component_name(c)) << "\"}}";
+  }
+  for (const emitted& e : out) {
+    os << ",\n    " << e.json;
+  }
+  os << "\n  ],\n";
+
+  os << "  \"liteflow\": {\n"
+     << "    \"total_emitted\": " << col.total_emitted() << ",\n"
+     << "    \"total_overwritten\": " << col.total_overwritten() << ",\n"
+     << "    \"components\": [";
+  for (std::uint32_t c = 0; c < col.ring_count(); ++c) {
+    const ring& r = col.ring_at(c);
+    os << (c ? "," : "") << "\n      {\"name\": \"" << json_escape(r.name())
+       << "\", \"emitted\": " << r.emitted()
+       << ", \"overwritten\": " << r.overwritten()
+       << ", \"capacity\": " << r.capacity() << "}";
+  }
+  os << (col.ring_count() ? "\n    " : "") << "]\n  }\n}\n";
+  return os.str();
+}
+
+std::string write_trace(const collector& col, std::string_view label) {
+  std::string safe;
+  safe.reserve(label.size());
+  for (const char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    safe += ok ? c : '-';
+  }
+  if (safe.empty()) safe = "trace";
+
+  const std::string dir = bench::output_dir();
+  const std::string path = dir + "/TRACE_" + safe + ".json";
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    std::fprintf(stderr,
+                 "trace_report: cannot write %s: output directory '%s' does "
+                 "not exist (check LF_BENCH_OUT)\n",
+                 path.c_str(), dir.c_str());
+    return {};
+  }
+  std::ofstream os{path};
+  if (!os) {
+    std::fprintf(stderr, "trace_report: cannot open %s for writing\n",
+                 path.c_str());
+    return {};
+  }
+  os << perfetto_json(col);
+  if (!os) {
+    std::fprintf(stderr, "trace_report: write to %s failed\n", path.c_str());
+    return {};
+  }
+  return path;
+}
+
+}  // namespace lf::trace

@@ -1,0 +1,72 @@
+// Reporting side of the datapath tracer (util/trace.hpp): merge the
+// per-component rings and export
+//  (a) Chrome/Perfetto trace-event JSON — load TRACE_*.json in
+//      ui.perfetto.dev or chrome://tracing.  CPU task spans become B/E
+//      pairs (they are sequential per component, the FIFO CPU guarantees
+//      it); inference spans become X complete events because queries from
+//      different flows overlap while queued on the CPU; everything else is
+//      an "i" instant with typed args.  pid 0 is the simulated machine,
+//      tid is the component id, named via "M" thread_name metadata.
+//  (b) derived span statistics (per-phase latency histograms, lock hold
+//      vs. wait) fed back into the metrics registry so TRACE-derived
+//      numbers land in the same telemetry scalar map as everything else.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace lf::trace {
+
+/// Perfetto label for a kernelsim task category id.  Hardcoded copies of
+/// kernelsim::to_string(task_category) — util sits below kernelsim in the
+/// layer order, so the labels live here and a unit test pins them to the
+/// kernelsim names.  Out-of-range ids label as "other".
+std::string_view task_category_label(std::uint64_t category) noexcept;
+
+/// A matched begin/end pair from the merged stream.
+struct span {
+  double begin = 0.0;
+  double end = 0.0;
+  std::uint32_t component = 0;
+  event_type open{};     ///< inference_begin or task_begin
+  std::uint64_t a = 0;   ///< opening event's a (flow id / task category)
+  std::uint64_t b = 0;   ///< opening event's b (model id / cost ns)
+};
+
+/// FIFO-match *_begin/*_end pairs keyed by (component, span kind, a).
+/// Unmatched events — begins still open at the end of the run, ends whose
+/// begin was overwritten in the ring — are dropped, which is what keeps
+/// the exported B/E stream balanced by construction.
+std::vector<span> derive_spans(const std::vector<merged_event>& events);
+
+/// Latency decomposition derived from a trace.  Histogram means are exact
+/// (observe() accumulates the raw value even when it clamps the bucket).
+struct span_stats {
+  metrics::fixed_histogram inference_us{0.0, 100.0, 100};
+  metrics::fixed_histogram task_us{0.0, 1000.0, 100};
+  metrics::fixed_histogram lock_hold_ns{0.0, 1000.0, 100};
+  metrics::fixed_histogram lock_wait_ns{0.0, 1000.0, 100};
+};
+
+void derive_span_stats(const collector& col, span_stats& out);
+
+/// Bind the four histograms under "<prefix>.span.*" so registry.scalars()
+/// flattens them into the run telemetry ("....count" / "....mean").
+void register_span_stats(span_stats& stats, metrics::registry& reg,
+                         const std::string& prefix);
+
+/// The full Chrome trace-event document ("traceEvents" array plus a
+/// "liteflow" block recording emitted/overwritten totals per component).
+std::string perfetto_json(const collector& col);
+
+/// Write TRACE_<label>.json into bench::output_dir() (same rules as
+/// BENCH_*.json).  Non-[A-Za-z0-9._-] label characters become '-'.
+/// Returns the path written, or an empty string after a stderr diagnostic.
+std::string write_trace(const collector& col, std::string_view label);
+
+}  // namespace lf::trace

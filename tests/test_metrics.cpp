@@ -6,7 +6,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 
 #include "apps/common/probes.hpp"
 #include "netsim/topology.hpp"
@@ -46,6 +48,23 @@ TEST(Metrics, HistogramClampsIntoEdgeBuckets) {
   EXPECT_EQ(h.bucket(0), 1u);
   EXPECT_EQ(h.bucket(4), 1u);
   EXPECT_DOUBLE_EQ(h.sum(), 5.0);  // clamping affects buckets, not the sum
+}
+
+TEST(Metrics, HistogramRejectsDegenerateConstruction) {
+  // Regression: zero buckets used to divide by zero and an inverted range
+  // produced a negative width; both must fail loudly at construction.
+  EXPECT_THROW((metrics::fixed_histogram{0.0, 10.0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((metrics::fixed_histogram{10.0, 10.0, 5}),
+               std::invalid_argument);
+  EXPECT_THROW((metrics::fixed_histogram{10.0, 0.0, 5}),
+               std::invalid_argument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((metrics::fixed_histogram{nan, 10.0, 5}),
+               std::invalid_argument);
+  EXPECT_THROW((metrics::fixed_histogram{0.0, nan, 5}),
+               std::invalid_argument);
+  EXPECT_NO_THROW((metrics::fixed_histogram{0.0, 1e-9, 1}));
 }
 
 TEST(Metrics, HistogramQuantileAndMean) {
@@ -227,6 +246,26 @@ TEST(BenchReport, WriteHonorsLfBenchOut) {
   std::stringstream ss;
   ss << is.rdbuf();
   EXPECT_EQ(ss.str(), rep.json());
+}
+
+TEST(BenchReport, EmittedSeqIsMonotonicAndSerialized) {
+  bench::report a{"figseq_a", "seq a"};
+  bench::report b{"figseq_b", "seq b"};
+  EXPECT_LT(a.emitted_seq(), b.emitted_seq());
+  const std::string j = a.json();
+  std::ostringstream expect;
+  expect << "\"emitted_seq\": " << a.emitted_seq();
+  EXPECT_NE(j.find(expect.str()), std::string::npos);
+}
+
+TEST(BenchReport, WriteToMissingDirectoryFailsWithEmptyPath) {
+  const std::string missing =
+      std::string{::testing::TempDir()} + "/no-such-dir-for-bench";
+  ::setenv("LF_BENCH_OUT", missing.c_str(), 1);
+  bench::report rep{"figtest_missing", "missing dir"};
+  const std::string path = rep.write();
+  ::unsetenv("LF_BENCH_OUT");
+  EXPECT_TRUE(path.empty());
 }
 
 TEST(BenchReport, TimeSeriesOverloadUsesSeriesName) {
