@@ -37,6 +37,10 @@ int main() {
     // Environment change: the path turns lossy (8% stochastic loss); the
     // slow path re-estimates the loss floor and retrains (§3.2).
     cfg.bg_schedule = {{phase_len, 0.1e9, 0.08}};
+    // Run the adaptation monitor so the report carries each scheme's
+    // snapshot lifecycle ledger (install/retire/drain per version).
+    cfg.monitor = core::monitor_config{};
+    cfg.monitor->enabled = true;
     const auto r = run_cc_single_flow(cfg);
 
     const double p1 = r.goodput.average(cfg.warmup, phase_len);
@@ -53,6 +57,20 @@ int main() {
     rep.summary(name + ".snapshot_updates",
                 static_cast<double>(r.snapshot_updates));
     rep.add_series("goodput_bps_" + name, r.goodput.points());
+    for (const auto& rec : r.lifecycle) {
+      const std::vector<std::pair<std::string, double>> row = {
+          {"version", static_cast<double>(rec.version)},
+          {"initial", rec.initial ? 1.0 : 0.0},
+          {"install_time", rec.install_time},
+          {"install_seconds", rec.install_seconds},
+          {"switch_wait_seconds", rec.switch_wait_seconds},
+          {"fidelity_min", rec.fidelity_min},
+          {"retire_time", rec.retire_time},
+          {"pinned_at_retire", static_cast<double>(rec.pinned_at_retire)},
+          {"drain_seconds", rec.drain_seconds()},
+      };
+      rep.add_row("lifecycle_" + name, row);
+    }
   }
   std::cout << "\n" << table.to_string();
   std::cout << "\nPaper shape: LF-Aurora and LF-MOCC recover high utilization "

@@ -16,6 +16,7 @@
 #include "codegen/compiled_snapshot.hpp"
 #include "codegen/snapshot.hpp"
 #include "codegen/template_engine.hpp"
+#include "core/adaptation_monitor.hpp"
 #include "core/flow_cache.hpp"
 #include "nn/mlp.hpp"
 #include "util/bench_report.hpp"
@@ -221,6 +222,70 @@ void bm_traced_infer_into_enabled(benchmark::State& state) {
 }
 BENCHMARK(bm_traced_infer_into_enabled);
 
+// The adaptation monitor is attached the same way: components call its
+// hooks through a pointer that stays null unless an enabled monitor was
+// registered.  The disabled variant measures the early-return guard; the
+// enabled ones bound the per-sync-check cost (six series appends plus the
+// watchdog rule pass) and the cheaper per-batch rule-only pass.
+
+core::check_observation bench_check_observation() {
+  core::check_observation obs;
+  obs.decision.necessary = true;
+  obs.decision.converged = false;
+  obs.decision.fidelity.min_loss = 0.02;
+  obs.decision.fidelity.mean_loss = 0.05;
+  obs.decision.fidelity.max_loss = 0.09;
+  obs.threshold = 0.1;
+  obs.stability_spread = 0.4;
+  obs.stability_samples = 10;
+  obs.stability_window = 10;
+  obs.cache_size = 120;
+  obs.cache_capacity = 1024;
+  obs.version = 3;
+  return obs;
+}
+
+void bm_monitor_sync_check_disabled(benchmark::State& state) {
+  core::adaptation_monitor mon{};  // enabled = false: hook early-returns
+  const auto obs = bench_check_observation();
+  double t = 0.0;
+  for (auto _ : state) {
+    mon.on_sync_check(t, obs);
+    t += 1e-3;
+  }
+  benchmark::DoNotOptimize(mon.checks());
+}
+BENCHMARK(bm_monitor_sync_check_disabled);
+
+void bm_monitor_sync_check_enabled(benchmark::State& state) {
+  core::monitor_config cfg;
+  cfg.enabled = true;
+  core::adaptation_monitor mon{cfg};
+  const auto obs = bench_check_observation();
+  double t = 0.0;
+  for (auto _ : state) {
+    mon.on_sync_check(t, obs);
+    t += 1e-3;
+  }
+  benchmark::DoNotOptimize(mon.checks());
+}
+// Each enabled check appends a point to six time series; cap the iteration
+// count so the bench measures steady-state appends, not allocator growth.
+BENCHMARK(bm_monitor_sync_check_enabled)->Iterations(1 << 17);
+
+void bm_monitor_batch_rules_enabled(benchmark::State& state) {
+  core::monitor_config cfg;
+  cfg.enabled = true;
+  core::adaptation_monitor mon{cfg};
+  double t = 0.0;
+  for (auto _ : state) {
+    mon.on_batch(t, 120, 1024);  // rule pass only, no series append
+    t += 1e-3;
+  }
+  benchmark::DoNotOptimize(mon.total_alerts());
+}
+BENCHMARK(bm_monitor_batch_rules_enabled);
+
 void bm_trace_ring_emit(benchmark::State& state) {
   // Raw per-event cost with the ring hot: one store into a wrapped slot.
   trace::ring ring{"bench"};
@@ -275,6 +340,23 @@ void write_fastpath_json(const std::map<std::string, double>& cpu_ns) {
     rep.summary("trace.enabled_per_event_ns",
                 it == cpu_ns.end() ? 0.0 : it->second);
   }
+  // Monitor hooks live on the slow path (sync checks / batch flushes), but
+  // the same free-when-disabled contract applies.
+  // Benches with fixed iteration counts report as "<name>/iterations:N".
+  const auto ns_of = [&](const std::string& name) -> double {
+    const auto it = cpu_ns.lower_bound(name);
+    if (it == cpu_ns.end()) return 0.0;
+    if (it->first == name || it->first.rfind(name + "/", 0) == 0) {
+      return it->second;
+    }
+    return 0.0;
+  };
+  rep.summary("monitor.disabled_check_ns",
+              ns_of("bm_monitor_sync_check_disabled"));
+  rep.summary("monitor.enabled_check_ns",
+              ns_of("bm_monitor_sync_check_enabled"));
+  rep.summary("monitor.enabled_batch_rules_ns",
+              ns_of("bm_monitor_batch_rules_enabled"));
   const std::string path = rep.write();
   if (path.empty()) {
     std::cerr << "warning: failed to write BENCH_fastpath.json\n";

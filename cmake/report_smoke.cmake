@@ -1,0 +1,68 @@
+# Smoke-check the per-run HTML flight report end to end: run one
+# driver-routed experiment bench with LF_REPORT=1 (plus tracing, so the
+# latency section renders) and verify each REPORT_*.html is a well-formed
+# self-contained page with every fixed section anchor.
+# Invoked by ctest with -DBENCH_BIN=... -DOUT_DIR=...
+set(ENV{LF_BENCH_FAST} 1)
+set(ENV{LF_REPORT} 1)
+set(ENV{LF_TRACE} 1)
+set(ENV{LF_BENCH_OUT} "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+execute_process(COMMAND "${BENCH_BIN}" RESULT_VARIABLE rv
+                OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "bench exited with ${rv}: ${err}")
+endif()
+
+file(GLOB reports "${OUT_DIR}/REPORT_*.html")
+if(NOT reports)
+  message(FATAL_ERROR "LF_REPORT=1 run wrote no REPORT_*.html into ${OUT_DIR}")
+endif()
+
+set(saw_lifecycle_update FALSE)
+foreach(html_path IN LISTS reports)
+  file(READ "${html_path}" content)
+  if(NOT content MATCHES "^<!doctype html>")
+    message(FATAL_ERROR "${html_path} does not start with <!doctype html>")
+  endif()
+  if(NOT content MATCHES "</html>")
+    message(FATAL_ERROR "${html_path} is truncated (no </html>)")
+  endif()
+  # The report must be self-contained: no external scripts, styles or images.
+  if(content MATCHES "<script" OR content MATCHES "href=\"http"
+     OR content MATCHES "src=\"http")
+    message(FATAL_ERROR "${html_path} references external resources")
+  endif()
+  # Every fixed section renders even when empty.
+  foreach(anchor summary goodput fidelity lifecycle alerts latency)
+    if(NOT content MATCHES "<section id=\"${anchor}\">")
+      message(FATAL_ERROR "${html_path} is missing section \"${anchor}\"")
+    endif()
+  endforeach()
+  # Structural sanity: sections and SVGs open and close in equal numbers.
+  string(REGEX MATCHALL "<section " sec_open "${content}")
+  string(REGEX MATCHALL "</section>" sec_close "${content}")
+  list(LENGTH sec_open n_sec_open)
+  list(LENGTH sec_close n_sec_close)
+  if(NOT n_sec_open EQUAL n_sec_close)
+    message(FATAL_ERROR "${html_path} has unbalanced <section> tags")
+  endif()
+  string(REGEX MATCHALL "<svg " svg_open "${content}")
+  string(REGEX MATCHALL "</svg>" svg_close "${content}")
+  list(LENGTH svg_open n_svg_open)
+  list(LENGTH svg_close n_svg_close)
+  if(NOT n_svg_open EQUAL n_svg_close)
+    message(FATAL_ERROR "${html_path} has unbalanced <svg> tags")
+  endif()
+  if(content MATCHES "class=\"lifecycle-update\"")
+    set(saw_lifecycle_update TRUE)
+  endif()
+  message(STATUS "ok: ${html_path}")
+endforeach()
+
+# At least one adaptive scheme in the bench must have re-synced a snapshot,
+# i.e. some report carries a non-initial lifecycle row.
+if(NOT saw_lifecycle_update)
+  message(FATAL_ERROR "no report carries a lifecycle-update row")
+endif()

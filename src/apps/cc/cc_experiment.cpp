@@ -219,6 +219,8 @@ void wire_cc_metrics(driver_context& ctx, netsim::dumbbell& net,
     rt.lf->core().register_trace(ctx.trace, "cc");
     rt.lf->service().register_trace(ctx.trace, "cc");
     rt.lf->collector().register_trace(ctx.trace, "cc.collector");
+    rt.lf->core().register_monitor(ctx.monitor);
+    rt.lf->service().register_monitor(ctx.monitor);
   }
 }
 
@@ -232,6 +234,8 @@ class cc_single_flow_experiment final : public experiment {
     driver_.duration = config.duration;
     driver_.warmup = config.warmup;
     if (config.trace) driver_.trace = *config.trace;
+    if (config.monitor) driver_.monitor = *config.monitor;
+    if (config.report) driver_.report = *config.report;
   }
 
   const driver_config& config() const override { return driver_; }

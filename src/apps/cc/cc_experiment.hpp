@@ -58,6 +58,10 @@ struct cc_single_flow_config {
   /// Programmatic event-tracing override; unset keeps the driver default
   /// (the LF_TRACE / LF_TRACE_RING environment).
   std::optional<trace_options> trace;
+  /// Adaptation-monitor override; unset keeps the LF_MONITOR default.
+  std::optional<core::monitor_config> monitor;
+  /// Flight-report override; unset keeps the LF_REPORT default.
+  std::optional<report_options> report;
 };
 
 /// Single-flow goodput runs report straight through the unified run_result:

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/adaptation_monitor.hpp"
 #include "sim/sim.hpp"
 #include "util/metrics.hpp"
 #include "util/time_series.hpp"
@@ -76,6 +77,14 @@ struct run_result {
   /// Path of the exported TRACE_<label>.json; empty when tracing was off
   /// (or the write failed — a diagnostic lands on stderr in that case).
   std::string trace_path;
+
+  /// Snapshot lifecycle ledger and fired health alerts, copied from the
+  /// run's adaptation monitor (empty when it was disabled).
+  std::vector<core::snapshot_record> lifecycle;
+  std::vector<core::alert_record> alerts;
+
+  /// Path of the written REPORT_<label>.html; empty when reporting was off.
+  std::string report_path;
 };
 
 /// Datapath tracing knobs for one run.  Off by default; the environment
@@ -95,6 +104,19 @@ struct trace_options {
   }
 };
 
+/// Per-run HTML flight report knobs.  Off by default; LF_REPORT=1 turns it
+/// on for any driver-routed binary.  Enabling the report force-enables the
+/// adaptation monitor for the run (the report renders its ledger/alerts).
+struct report_options {
+  bool enabled = false;
+  /// REPORT_<label>.html file label; empty uses driver_config::name.
+  std::string label;
+  bool write_file = true;
+
+  /// Environment default: LF_REPORT (nonzero enables).
+  static report_options from_env();
+};
+
 struct driver_config {
   std::string name;
   std::uint64_t seed = 0;
@@ -109,15 +131,21 @@ struct driver_config {
   bool warmup_hook = false;
   /// Event tracing; defaults to the LF_TRACE / LF_TRACE_RING environment.
   trace_options trace = trace_options::from_env();
+  /// Adaptation health monitor; defaults to the LF_MONITOR environment.
+  core::monitor_config monitor = core::monitor_config::from_env();
+  /// Per-run HTML flight report; defaults to the LF_REPORT environment.
+  report_options report = report_options::from_env();
 };
 
-/// What the driver hands each hook: the simulation, the run's registry, and
-/// the run's trace collector (setup() wires component rings into it exactly
-/// like it wires metrics; attach() is a no-op cost when tracing is off).
+/// What the driver hands each hook: the simulation, the run's registry, the
+/// run's trace collector, and the run's adaptation monitor (setup() wires
+/// component rings/hooks into them exactly like it wires metrics; attaching
+/// a disabled monitor is a no-op cost).
 struct driver_context {
   sim::simulation& sim;
   metrics::registry& metrics;
   trace::collector& trace;
+  core::adaptation_monitor& monitor;
 };
 
 /// One end-to-end experiment.  Hooks run in order: setup (build topology,

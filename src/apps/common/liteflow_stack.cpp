@@ -34,4 +34,9 @@ void liteflow_stack::register_trace(trace::collector& col,
   collector_->register_trace(col, prefix + ".collector");
 }
 
+void liteflow_stack::register_monitor(core::adaptation_monitor& monitor) {
+  core_->register_monitor(monitor);
+  service_->register_monitor(monitor);
+}
+
 }  // namespace lf::apps

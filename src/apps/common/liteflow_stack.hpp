@@ -33,6 +33,11 @@ class liteflow_stack {
   /// "<prefix>", the batch collector under "<prefix>.collector".
   void register_trace(trace::collector& col, const std::string& prefix);
 
+  /// Attach the run's adaptation health monitor to the core (module-unload
+  /// ledger hook) and the service (sync-check / install observations).
+  /// One branch per hook site when the monitor is disabled.
+  void register_monitor(core::adaptation_monitor& monitor);
+
   core::liteflow_core& core() noexcept { return *core_; }
   core::batch_collector& collector() noexcept { return *collector_; }
   core::userspace_service& service() noexcept { return *service_; }

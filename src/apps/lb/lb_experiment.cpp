@@ -291,6 +291,7 @@ class lb_fct_experiment final : public experiment {
         deploy_[h].lf->collector().register_metrics(ctx.metrics,
                                                     base + ".collector");
         deploy_[h].lf->register_trace(ctx.trace, base);
+        deploy_[h].lf->register_monitor(ctx.monitor);
       }
     }
     for (std::size_t l = 0; l < 2; ++l) {

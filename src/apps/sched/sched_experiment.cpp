@@ -268,6 +268,7 @@ class sched_fct_experiment final : public experiment {
         deploy_[h].lf->collector().register_metrics(ctx.metrics,
                                                     base + ".collector");
         deploy_[h].lf->register_trace(ctx.trace, base);
+        deploy_[h].lf->register_monitor(ctx.monitor);
       }
     }
     for (std::size_t l = 0; l < 2; ++l) {

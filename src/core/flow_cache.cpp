@@ -63,13 +63,23 @@ void flow_cache::insert(netsim::flow_id_t flow, model_id model, double now) {
     s.state = slot_state::occupied;
     s.e = entry{flow, model, now};
     ++occupied_;
+    note_occupancy();
     return;
   }
+}
+
+void flow_cache::note_occupancy() noexcept {
+  if (occupied_ > high_watermark_) {
+    high_watermark_ = occupied_;
+    hwm_gauge_.set(static_cast<double>(high_watermark_));
+  }
+  occupancy_gauge_.set(static_cast<double>(occupied_));
 }
 
 void flow_cache::evict_slot(slot& s, const evict_fn& on_evict) {
   s.state = slot_state::tombstone;
   --occupied_;
+  note_occupancy();
   ++tombstones_;
   evictions_.inc();
   trace_.emit(clock_, trace::event_type::flow_cache_evict, s.e.flow,
@@ -129,6 +139,7 @@ void flow_cache::clear(const evict_fn& on_evict) {
   occupied_ = 0;
   tombstones_ = 0;
   sweep_cursor_ = 0;
+  note_occupancy();
 }
 
 void flow_cache::register_metrics(metrics::registry& reg,
@@ -136,6 +147,8 @@ void flow_cache::register_metrics(metrics::registry& reg,
   reg.register_counter(prefix + ".evictions", evictions_);
   reg.register_counter(prefix + ".rehashes", rehashes_);
   reg.register_counter(prefix + ".tombstone_scrubs", scrubs_);
+  reg.register_gauge(prefix + ".occupancy", occupancy_gauge_);
+  reg.register_gauge(prefix + ".occupancy_hwm", hwm_gauge_);
 }
 
 void flow_cache::register_trace(trace::collector& col,

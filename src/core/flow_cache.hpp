@@ -73,8 +73,14 @@ class flow_cache {
   std::uint64_t tombstone_scrubs() const noexcept { return scrubs_.value(); }
   /// Entries dropped by erase/step_evict/expire_idle/clear.
   std::uint64_t evictions() const noexcept { return evictions_.value(); }
+  /// Lifetime maximum of size() (never reset by clear()).
+  std::size_t occupancy_high_watermark() const noexcept {
+    return high_watermark_;
+  }
 
-  /// Publish eviction/rehash counters under "<prefix>.evictions", ...
+  /// Publish eviction/rehash counters under "<prefix>.evictions", ... plus
+  /// the live-entry gauge "<prefix>.occupancy" and its lifetime maximum
+  /// "<prefix>.occupancy_hwm".
   void register_metrics(metrics::registry& reg, const std::string& prefix);
 
   /// Attach the eviction-event ring to a trace collector under "<prefix>".
@@ -95,15 +101,19 @@ class flow_cache {
   std::size_t bucket_of(netsim::flow_id_t flow) const noexcept;
   void rehash(std::size_t new_capacity);
   void evict_slot(slot& s, const evict_fn& on_evict);
+  void note_occupancy() noexcept;
 
   std::vector<slot> slots_;
   std::size_t occupied_ = 0;
+  std::size_t high_watermark_ = 0;
   std::size_t tombstones_ = 0;
   std::size_t sweep_cursor_ = 0;
   double clock_ = 0.0;  ///< last `now` seen by a clock-bearing operation
   metrics::counter rehashes_;
   metrics::counter scrubs_;
   metrics::counter evictions_;
+  metrics::gauge occupancy_gauge_;
+  metrics::gauge hwm_gauge_;
   trace::ring trace_{"flow_cache"};
 };
 

@@ -69,6 +69,7 @@ class inference_router {
   std::uint64_t cache_misses() const noexcept { return misses_.value(); }
   std::uint64_t switches() const noexcept { return switches_.value(); }
   std::size_t cache_size() const noexcept { return cache_.size(); }
+  std::size_t cache_capacity() const noexcept { return cache_.capacity(); }
   const kernelsim::spinlock& lock() const noexcept { return lock_; }
 
   /// Publish router switch count + lock hold/wait accounting and the flow

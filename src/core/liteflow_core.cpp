@@ -119,4 +119,11 @@ void liteflow_core::register_trace(trace::collector& col,
   router_.register_trace(col, base);
 }
 
+void liteflow_core::register_monitor(adaptation_monitor& monitor) {
+  if (!monitor.enabled()) return;
+  manager_.set_removal_hook([this, &monitor](model_id id) {
+    monitor.on_snapshot_removed(sim_.now(), id);
+  });
+}
+
 }  // namespace lf::core

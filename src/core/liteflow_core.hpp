@@ -14,6 +14,7 @@
 #include <functional>
 #include <string>
 
+#include "core/adaptation_monitor.hpp"
 #include "core/inference_router.hpp"
 #include "core/nn_manager.hpp"
 #include "kernelsim/cost_model.hpp"
@@ -81,6 +82,11 @@ class liteflow_core {
   /// services the inference — the gap is queueing + MAC service time) plus
   /// the router's snapshot/cache/lock rings.
   void register_trace(trace::collector& col, const std::string& prefix);
+
+  /// Attach the adaptation health monitor: wires the nn_manager removal
+  /// hook so the monitor's lifecycle ledger sees module unloads (deferred
+  /// last-reference drops included).  No-op for a disabled monitor.
+  void register_monitor(adaptation_monitor& monitor);
 
  private:
   double query_cost(const codegen::snapshot& snap) const noexcept;

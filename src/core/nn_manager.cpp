@@ -24,6 +24,7 @@ bool nn_manager::try_remove(model_id id) {
     return false;
   }
   models_.erase(it);
+  if (on_remove_) on_remove_(id);
   return true;
 }
 
@@ -49,6 +50,7 @@ void nn_manager::release(model_id id) {
   --it->second.refcount;
   if (it->second.refcount == 0 && it->second.pending_removal) {
     models_.erase(it);
+    if (on_remove_) on_remove_(id);
   }
 }
 

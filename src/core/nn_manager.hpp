@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 
@@ -45,6 +46,12 @@ class nn_manager {
   std::optional<model_id> find(std::string_view name,
                                std::uint64_t version) const;
 
+  /// Observer invoked after a module actually unloads (immediate try_remove
+  /// or the deferred last-reference drop).  One hook; empty clears it.
+  void set_removal_hook(std::function<void(model_id)> hook) {
+    on_remove_ = std::move(hook);
+  }
+
  private:
   struct entry {
     codegen::snapshot snap;
@@ -53,6 +60,7 @@ class nn_manager {
   };
   std::map<model_id, entry> models_;
   model_id next_id_ = 1;
+  std::function<void(model_id)> on_remove_;
 };
 
 }  // namespace lf::core

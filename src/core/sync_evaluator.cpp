@@ -20,14 +20,19 @@ void sync_evaluator::record_stability(double value) {
   while (history_.size() > config_.stability_window) history_.pop_front();
 }
 
-bool sync_evaluator::converged() const {
-  if (history_.size() < config_.stability_window) return false;
+double sync_evaluator::stability_spread() const {
+  if (history_.size() < 2) return 0.0;
   const auto [lo, hi] = std::minmax_element(history_.begin(), history_.end());
   double mean = 0.0;
   for (const double v : history_) mean += v;
   mean /= static_cast<double>(history_.size());
   const double denom = std::max(std::abs(mean), 1e-9);
-  return (*hi - *lo) / denom < config_.stability_threshold;
+  return (*hi - *lo) / denom;
+}
+
+bool sync_evaluator::converged() const {
+  if (history_.size() < config_.stability_window) return false;
+  return stability_spread() < config_.stability_threshold;
 }
 
 sync_decision sync_evaluator::evaluate(

@@ -43,6 +43,14 @@ class sync_evaluator {
   /// Correctness check only.
   bool converged() const;
 
+  /// Relative spread (max - min) / max(|mean|, 1e-9) of the recorded
+  /// stability samples; 0 with fewer than two samples.  converged() is
+  /// "window full && spread below the stability threshold".
+  double stability_spread() const;
+
+  /// Stability samples currently held (<= config().stability_window).
+  std::size_t stability_samples() const noexcept { return history_.size(); }
+
   /// Full decision for a candidate update.
   sync_decision evaluate(const nn::mlp& tuned,
                          const quant::quantized_mlp& installed,

@@ -31,6 +31,10 @@ double userspace_service::training_cost(std::size_t samples) const noexcept {
 
 void userspace_service::on_batch(std::vector<train_sample> batch) {
   batches_.inc();
+  if (monitor_) {
+    monitor_->on_batch(sim_.now(), core_.router().cache_size(),
+                       core_.router().cache_capacity());
+  }
   if (!config_.adaptation_enabled || batch.empty()) return;
   // Slow-path tuning competes for the shared CPU as user_train work; the
   // actual model math runs when the simulated work completes.
@@ -79,6 +83,22 @@ void userspace_service::maybe_update(std::span<const train_sample> batch) {
             (last_decision_.converged ? 1u : 0u) |
                 (last_decision_.necessary ? 2u : 0u),
             static_cast<std::uint64_t>(last_decision_.fidelity.min_loss * 1e9));
+        fid_min_.set(last_decision_.fidelity.min_loss);
+        fid_mean_.set(last_decision_.fidelity.mean_loss);
+        fid_max_.set(last_decision_.fidelity.max_loss);
+        if (monitor_) {
+          check_observation obs;
+          obs.decision = last_decision_;
+          obs.threshold = config_.sync.alpha *
+                          (config_.sync.output_max - config_.sync.output_min);
+          obs.stability_spread = evaluator_.stability_spread();
+          obs.stability_samples = evaluator_.stability_samples();
+          obs.stability_window = config_.sync.stability_window;
+          obs.cache_size = core_.router().cache_size();
+          obs.cache_capacity = core_.router().cache_capacity();
+          obs.version = version_;
+          monitor_->on_sync_check(sim_.now(), obs);
+        }
         if (!last_decision_.converged) {
           skip_conv_.inc();
           return;
@@ -100,6 +120,13 @@ void userspace_service::register_metrics(metrics::registry& reg,
   reg.register_counter(prefix + ".service.sync_checks", checks_);
   reg.register_counter(prefix + ".service.skipped_not_converged", skip_conv_);
   reg.register_counter(prefix + ".service.skipped_not_necessary", skip_nec_);
+  reg.register_gauge(prefix + ".service.fidelity.min", fid_min_);
+  reg.register_gauge(prefix + ".service.fidelity.mean", fid_mean_);
+  reg.register_gauge(prefix + ".service.fidelity.max", fid_max_);
+}
+
+void userspace_service::register_monitor(adaptation_monitor& monitor) {
+  if (monitor.enabled()) monitor_ = &monitor;
 }
 
 void userspace_service::register_trace(trace::collector& col,
@@ -116,19 +143,46 @@ void userspace_service::install_snapshot(codegen::snapshot snap) {
   netlink_.send_to_kernel(param_bytes, [this, snap = std::move(snap),
                                         param_bytes, prev_active,
                                         is_initial]() mutable {
+    const double install_seconds =
+        static_cast<double>(param_bytes) * costs_.snapshot_install_per_byte;
     cpu_.submit(
-        kernelsim::task_category::other,
-        static_cast<double>(param_bytes) * costs_.snapshot_install_per_byte,
-        [this, snap = std::move(snap), prev_active, is_initial]() mutable {
+        kernelsim::task_category::other, install_seconds,
+        [this, snap = std::move(snap), prev_active, is_initial,
+         install_seconds]() mutable {
           const std::uint64_t version = snap.version;
           const auto id = core_.register_model(std::move(snap));
           trace_.emit(sim_.now(), trace::event_type::snapshot_install, id,
                       version);
           core_.router().install_standby(id);
-          core_.router().switch_active();
+          // The demoted snapshot's pinned-flow count must be read before the
+          // flip retires it (refs only drain afterwards).
+          const std::uint64_t prev_pinned =
+              prev_active ? core_.manager().refcount(*prev_active) : 0;
+          const double switch_wait = core_.router().switch_active();
           // The initial deployment is not a "snapshot update" (§3.3 counts
           // only conservative re-syncs).
           if (!is_initial) updates_.inc();
+          if (monitor_) {
+            const double params =
+                static_cast<double>(user_.parameter_count());
+            install_observation obs;
+            obs.version = version;
+            obs.model = id;
+            obs.initial = is_initial;
+            obs.freeze_seconds = params * costs_.pipeline_freeze_per_param;
+            obs.quantize_seconds = params * costs_.pipeline_quantize_per_param;
+            obs.translate_seconds =
+                params * costs_.pipeline_translate_per_param;
+            obs.compile_seconds = costs_.pipeline_compile_fixed +
+                                  params * costs_.pipeline_compile_per_param;
+            obs.install_seconds = install_seconds;
+            obs.switch_wait_seconds = switch_wait;
+            // v1 ships before any sync check; its verdict fields stay zero.
+            if (!is_initial) obs.fidelity = last_decision_.fidelity;
+            obs.prev_model = prev_active.value_or(0);
+            obs.prev_pinned = prev_pinned;
+            monitor_->on_snapshot_install(sim_.now(), obs);
+          }
           // The demoted snapshot is removed once its flow-cache refs drain;
           // opportunistically try now.
           if (prev_active) core_.manager().try_remove(*prev_active);

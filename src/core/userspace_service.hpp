@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "core/adaptation_monitor.hpp"
 #include "core/batch_collector.hpp"
 #include "core/liteflow_core.hpp"
 #include "core/sync_evaluator.hpp"
@@ -82,8 +83,15 @@ class userspace_service {
   sync_evaluator& evaluator() noexcept { return evaluator_; }
 
   /// Publish slow-path accounting (batches, snapshot updates, sync-evaluator
-  /// accept/reject split) under "<prefix>.service.*".
+  /// accept/reject split) plus the last verdict's fidelity gauges
+  /// "<prefix>.service.fidelity.{min,mean,max}" under "<prefix>.service.*".
   void register_metrics(metrics::registry& reg, const std::string& prefix);
+
+  /// Attach the adaptation health monitor.  Stores the pointer only when the
+  /// monitor is enabled, so a disabled monitor costs one null check per hook
+  /// site and a fixed-seed run is bit-for-bit unaffected (the monitor is
+  /// strictly read-only).
+  void register_monitor(adaptation_monitor& monitor);
 
   /// Attach the slow-path ring to a trace collector under
   /// "<prefix>.service".  Emits one sync_decision per evaluator verdict
@@ -110,11 +118,15 @@ class userspace_service {
   service_config config_;
   sync_evaluator evaluator_;
   std::uint64_t version_ = 0;
+  adaptation_monitor* monitor_ = nullptr;  ///< non-null only when enabled
   metrics::counter batches_;
   metrics::counter updates_;
   metrics::counter checks_;
   metrics::counter skip_conv_;
   metrics::counter skip_nec_;
+  metrics::gauge fid_min_;
+  metrics::gauge fid_mean_;
+  metrics::gauge fid_max_;
   trace::ring trace_{"service"};
   sync_decision last_decision_{};
 };

@@ -121,6 +121,19 @@ void report::summaries(std::span<const std::pair<std::string, double>> values) {
   for (const auto& [name, value] : values) summary(name, value);
 }
 
+void report::add_row(std::string table,
+                     std::span<const std::pair<std::string, double>> columns) {
+  for (auto& [name, rows] : tables_) {
+    if (name == table) {
+      rows.emplace_back(columns.begin(), columns.end());
+      return;
+    }
+  }
+  tables_.emplace_back(
+      std::move(table),
+      std::vector<table_row>{table_row{columns.begin(), columns.end()}});
+}
+
 std::string report::json() const {
   std::ostringstream os;
   os << "{\n";
@@ -154,8 +167,27 @@ std::string report::json() const {
     os << (i ? "," : "") << "\n    \"" << json_escape(summary_[i].first)
        << "\": " << json_number(summary_[i].second);
   }
-  os << (summary_.empty() ? "" : "\n  ") << "}\n";
-  os << "}\n";
+  os << (summary_.empty() ? "" : "\n  ") << "}";
+
+  if (!tables_.empty()) {
+    os << ",\n  \"tables\": {";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      os << (t ? "," : "") << "\n    \"" << json_escape(tables_[t].first)
+         << "\": [";
+      const auto& rows = tables_[t].second;
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        os << (r ? "," : "") << "\n      {";
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+          os << (c ? "," : "") << "\"" << json_escape(rows[r][c].first)
+             << "\": " << json_number(rows[r][c].second);
+        }
+        os << "}";
+      }
+      os << (rows.empty() ? "" : "\n    ") << "]";
+    }
+    os << "\n  }";
+  }
+  os << "\n}\n";
   return os.str();
 }
 

@@ -54,6 +54,14 @@ class report {
   void summary(std::string name, double value);
   void summaries(std::span<const std::pair<std::string, double>> values);
 
+  /// Append one row to a named table (e.g. the snapshot lifecycle ledger:
+  /// one row per installed version).  Tables serialize as a top-level
+  /// "tables" object mapping each name to an array of {column: value}
+  /// row objects; documents with no rows omit the key entirely, so
+  /// existing BENCH JSON is byte-identical.
+  void add_row(std::string table,
+               std::span<const std::pair<std::string, double>> columns);
+
   const std::string& figure() const noexcept { return figure_; }
 
   /// Per-process emission index (0 for the first report constructed);
@@ -70,6 +78,7 @@ class report {
 
  private:
   using series_points = std::vector<std::pair<double, double>>;
+  using table_row = std::vector<std::pair<std::string, double>>;
 
   std::string figure_;
   std::string title_;
@@ -77,6 +86,7 @@ class report {
   std::vector<std::pair<std::string, std::string>> config_;  // pre-encoded
   std::vector<std::pair<std::string, series_points>> series_;
   std::vector<std::pair<std::string, double>> summary_;
+  std::vector<std::pair<std::string, std::vector<table_row>>> tables_;
 };
 
 }  // namespace lf::bench

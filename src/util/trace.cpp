@@ -22,6 +22,7 @@ std::string_view to_string(event_type t) noexcept {
     case event_type::pkt_drop: return "pkt_drop";
     case event_type::ecn_mark: return "ecn_mark";
     case event_type::flow_complete: return "flow_complete";
+    case event_type::alert: return "alert";
   }
   return "unknown";
 }

@@ -46,9 +46,10 @@ enum class event_type : std::uint8_t {
   pkt_drop,             ///< a = flow id, b = wire bytes (tail or random drop)
   ecn_mark,             ///< a = flow id, b = queued bytes at mark time
   flow_complete,        ///< a = flow id, b = FCT (ns)
+  alert,                ///< a = health alert kind, b = rule value (1e-9 units)
 };
 
-inline constexpr std::size_t event_type_count = 15;
+inline constexpr std::size_t event_type_count = 16;
 
 std::string_view to_string(event_type t) noexcept;
 

@@ -64,6 +64,9 @@ std::string args_for(const event& e) {
     case event_type::flow_complete:
       os << "{\"flow\":" << e.a << ",\"fct_ns\":" << e.b << "}";
       break;
+    case event_type::alert:
+      os << "{\"kind\":" << e.a << ",\"value_1e9\":" << e.b << "}";
+      break;
     default:
       os << "{\"a\":" << e.a << ",\"b\":" << e.b << "}";
   }

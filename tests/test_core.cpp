@@ -4,6 +4,8 @@
 // end-to-end userspace service pipeline.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/batch_collector.hpp"
 #include "core/inference_router.hpp"
 #include "core/liteflow_core.hpp"
@@ -389,6 +391,55 @@ TEST(SyncEvaluator, RejectsBadConfig) {
   bad2.output_min = 1.0;
   bad2.output_max = 0.0;
   EXPECT_THROW(sync_evaluator{bad2}, std::invalid_argument);
+}
+
+TEST(SyncEvaluator, PartialWindowExposesSpreadButNeverConverges) {
+  sync_config cfg;
+  cfg.stability_window = 4;
+  cfg.stability_threshold = 0.2;
+  sync_evaluator ev{cfg};
+  EXPECT_EQ(ev.stability_samples(), 0u);
+  EXPECT_DOUBLE_EQ(ev.stability_spread(), 0.0);  // no samples
+
+  ev.record_stability(5.0);
+  EXPECT_EQ(ev.stability_samples(), 1u);
+  EXPECT_DOUBLE_EQ(ev.stability_spread(), 0.0);  // one sample: no spread yet
+
+  ev.record_stability(5.0);
+  EXPECT_EQ(ev.stability_samples(), 2u);
+  EXPECT_DOUBLE_EQ(ev.stability_spread(), 0.0);  // identical values
+  // Dead-flat metric, but only half the window — correctness demands the
+  // full window before declaring convergence.
+  EXPECT_FALSE(ev.converged());
+
+  ev.record_stability(5.0);
+  ev.record_stability(10.0);
+  EXPECT_EQ(ev.stability_samples(), 4u);
+  // (10 - 5) / mean(6.25) = 0.8, above the threshold.
+  EXPECT_DOUBLE_EQ(ev.stability_spread(), 5.0 / 6.25);
+  EXPECT_FALSE(ev.converged());
+
+  // The window slides: four flat samples push the spike out.
+  for (int i = 0; i < 4; ++i) ev.record_stability(10.0);
+  EXPECT_DOUBLE_EQ(ev.stability_spread(), 0.0);
+  EXPECT_TRUE(ev.converged());
+}
+
+TEST(SyncEvaluator, NecessityAtExactThresholdIsNotNecessary) {
+  // §3.3: sync only when min fidelity loss *exceeds* alpha * (Omax - Omin).
+  // Equality means the drift bound is met, not beaten — no update.
+  quant::fidelity_report rep;
+  rep.samples = 8;  // an empty report is never "necessary"
+  rep.min_loss = 0.05 * 2.0;  // alpha=0.05, Omax-Omin=2 -> exactly at bound
+  rep.mean_loss = rep.max_loss = rep.min_loss;
+  EXPECT_FALSE(quant::update_necessary(rep, 0.05, -1.0, 1.0));
+  quant::fidelity_report empty;
+  empty.min_loss = 1.0;  // huge drift but zero samples: still no
+  EXPECT_FALSE(quant::update_necessary(empty, 0.05, -1.0, 1.0));
+  rep.min_loss = std::nextafter(0.1, 1.0);  // one ulp above
+  EXPECT_TRUE(quant::update_necessary(rep, 0.05, -1.0, 1.0));
+  rep.min_loss = std::nextafter(0.1, 0.0);  // one ulp below
+  EXPECT_FALSE(quant::update_necessary(rep, 0.05, -1.0, 1.0));
 }
 
 // ------------------------------------------------------ userspace service --

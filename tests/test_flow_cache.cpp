@@ -38,6 +38,46 @@ TEST(FlowCache, InsertFindErase) {
   EXPECT_FALSE(c.erase(7, {}));  // absent; empty callback must be safe
 }
 
+TEST(FlowCache, OccupancyGaugeAndHighWatermark) {
+  flow_cache c{16};
+  metrics::registry reg;
+  c.register_metrics(reg, "cache");
+  const auto* occ = reg.find_gauge("cache.occupancy");
+  const auto* hwm = reg.find_gauge("cache.occupancy_hwm");
+  ASSERT_NE(occ, nullptr);
+  ASSERT_NE(hwm, nullptr);
+
+  for (netsim::flow_id_t f = 0; f < 8; ++f) c.insert(f, 1, 0.0);
+  EXPECT_DOUBLE_EQ(occ->value(), 8.0);
+  EXPECT_DOUBLE_EQ(hwm->value(), 8.0);
+  EXPECT_EQ(c.occupancy_high_watermark(), 8u);
+
+  // Draining entries moves the gauge down but never the watermark.
+  for (netsim::flow_id_t f = 0; f < 5; ++f) c.erase(f, {});
+  EXPECT_DOUBLE_EQ(occ->value(), 3.0);
+  EXPECT_DOUBLE_EQ(hwm->value(), 8.0);
+
+  // clear() empties the cache; the watermark is a lifetime maximum.
+  c.clear({});
+  EXPECT_DOUBLE_EQ(occ->value(), 0.0);
+  EXPECT_EQ(c.occupancy_high_watermark(), 8u);
+
+  // A new peak pushes it up again.
+  for (netsim::flow_id_t f = 100; f < 112; ++f) c.insert(f, 1, 0.0);
+  EXPECT_DOUBLE_EQ(occ->value(), 12.0);
+  EXPECT_DOUBLE_EQ(hwm->value(), 12.0);
+}
+
+TEST(FlowCache, OccupancyGaugeSurvivesRehash) {
+  flow_cache c{16};
+  metrics::registry reg;
+  c.register_metrics(reg, "cache");
+  for (netsim::flow_id_t f = 0; f < 500; ++f) c.insert(f, 1, 0.0);
+  ASSERT_GT(c.rehashes(), 0u);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("cache.occupancy")->value(), 500.0);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("cache.occupancy_hwm")->value(), 500.0);
+}
+
 TEST(FlowCache, GrowsPastInitialCapacityWithoutLosingEntries) {
   flow_cache c{16};
   const std::size_t cap0 = c.capacity();

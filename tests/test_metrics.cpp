@@ -276,3 +276,34 @@ TEST(BenchReport, TimeSeriesOverloadUsesSeriesName) {
   const std::string j = rep.json();
   EXPECT_NE(j.find("\"queue_bytes\": [[0.5,1000]]"), std::string::npos);
 }
+
+TEST(BenchReport, TablesSerializeAsRowObjects) {
+  bench::report rep{"figtest_tables", "table test"};
+  const std::vector<std::pair<std::string, double>> row1 = {
+      {"version", 1.0}, {"install_time", 0.25}};
+  const std::vector<std::pair<std::string, double>> row2 = {
+      {"version", 2.0}, {"install_time", 1.5}};
+  rep.add_row("lifecycle", row1);
+  rep.add_row("lifecycle", row2);
+  const std::vector<std::pair<std::string, double>> other = {{"kind", 3.0}};
+  rep.add_row("alerts", other);
+
+  const std::string j = rep.json();
+  EXPECT_NE(j.find("\"tables\""), std::string::npos);
+  EXPECT_NE(j.find("\"lifecycle\""), std::string::npos);
+  EXPECT_NE(j.find("{\"version\": 1,\"install_time\": 0.25}"),
+            std::string::npos);
+  EXPECT_NE(j.find("{\"version\": 2,\"install_time\": 1.5}"),
+            std::string::npos);
+  EXPECT_NE(j.find("\"alerts\""), std::string::npos);
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+            std::count(j.begin(), j.end(), ']'));
+}
+
+TEST(BenchReport, NoTablesKeyWithoutRows) {
+  bench::report rep{"figtest_notables", "no tables"};
+  rep.summary("x", 1.0);
+  EXPECT_EQ(rep.json().find("\"tables\""), std::string::npos);
+}

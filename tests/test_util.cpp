@@ -379,6 +379,41 @@ TEST(TimeSeries, ResampleSampleAndHold) {
   EXPECT_DOUBLE_EQ(rs[3].second, 8.0);
 }
 
+TEST(TimeSeries, ResampleDegenerateWindowsReturnEmpty) {
+  time_series ts;
+  ts.record(0.5, 4.0);
+  ts.record(1.5, 8.0);
+  EXPECT_TRUE(ts.resample(0.0, 2.0, 0.0).empty());    // zero-width bucket
+  EXPECT_TRUE(ts.resample(0.0, 2.0, -1.0).empty());   // negative bucket
+  EXPECT_TRUE(ts.resample(2.0, 2.0, 0.5).empty());    // empty window
+  EXPECT_TRUE(ts.resample(3.0, 1.0, 0.5).empty());    // inverted window
+}
+
+TEST(TimeSeries, ResampleSinglePointHoldsAcrossAllBuckets) {
+  time_series ts;
+  ts.record(0.25, 7.0);
+  const auto rs = ts.resample(0.0, 3.0, 1.0);
+  ASSERT_EQ(rs.size(), 3u);
+  for (const auto& [t, v] : rs) EXPECT_DOUBLE_EQ(v, 7.0);
+  // Buckets entirely before the first point hold 0 (nothing to sample).
+  const auto early = ts.resample(-2.0, 1.0, 1.0);
+  ASSERT_EQ(early.size(), 3u);
+  EXPECT_DOUBLE_EQ(early[0].second, 0.0);
+  EXPECT_DOUBLE_EQ(early[1].second, 0.0);
+  EXPECT_DOUBLE_EQ(early[2].second, 7.0);
+}
+
+TEST(TimeSeries, AverageDegenerateWindows) {
+  time_series ts;
+  ts.record(1.0, 10.0);
+  EXPECT_DOUBLE_EQ(ts.average(1.0, 1.0), 0.0);  // empty [t0, t0)
+  EXPECT_DOUBLE_EQ(ts.average(2.0, 1.0), 0.0);  // inverted
+  EXPECT_DOUBLE_EQ(ts.average(1.0, 1.5), 10.0);  // closed-open includes t0
+  EXPECT_DOUBLE_EQ(ts.average(0.5, 1.0), 0.0);   // ... and excludes t1
+  const time_series empty;
+  EXPECT_DOUBLE_EQ(empty.average(0.0, 1.0), 0.0);
+}
+
 TEST(TimeSeries, ValuesExtraction) {
   time_series ts;
   ts.record(0, 1);
