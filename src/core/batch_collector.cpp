@@ -8,8 +8,11 @@ batch_collector::batch_collector(sim::simulation& sim,
                                  kernelsim::crossspace_channel& netlink,
                                  batch_collector_config config)
     : sim_{sim}, netlink_{netlink}, config_{config} {
-  if (config_.interval <= 0.0) {
-    throw std::invalid_argument{"batch_collector: interval must be > 0"};
+  // !(x > 0) instead of (x <= 0): also rejects NaN, which would otherwise
+  // slip through and schedule deliveries at a NaN interval forever.
+  if (!(config_.interval > 0.0)) {
+    throw std::invalid_argument{
+        "batch_collector: interval T must be a positive number of seconds"};
   }
 }
 
@@ -33,8 +36,9 @@ void batch_collector::start() {
 }
 
 void batch_collector::set_interval(double interval) {
-  if (interval <= 0.0) {
-    throw std::invalid_argument{"batch_collector: interval must be > 0"};
+  if (!(interval > 0.0)) {
+    throw std::invalid_argument{
+        "batch_collector: interval T must be a positive number of seconds"};
   }
   config_.interval = interval;
 }

@@ -161,13 +161,32 @@ void flow_cache::rehash(std::size_t new_capacity) {
   slots_.assign(new_capacity, slot{});
   occupied_ = 0;
   tombstones_ = 0;
-  sweep_cursor_ = 0;
+  // The rehash permutes slots, so the sweep cursor's old index is
+  // meaningless in the new layout — but restarting it at 0 is worse than
+  // meaningless: a scrub landing mid-sweep would send step_evict back to
+  // the head of the table every time, double-visiting the early slots and
+  // starving the tail of idle eviction whenever scrubs recur faster than
+  // one full sweep cycle.  Scale the cursor to the new capacity instead
+  // (exact for the power-of-two growth, identity for same-size scrubs):
+  // progress through the cycle is preserved and every slot is still
+  // visited within one table-length of sweep work.  The mask clamps the
+  // result into the new slot range.
+  sweep_cursor_ = old.empty()
+                      ? 0
+                      : (sweep_cursor_ * new_capacity / old.size()) &
+                            (new_capacity - 1);
   rehashes_.inc();
+  // Re-insertion goes through insert(), which stamps clock_ with each
+  // entry's historical last_used; restore the real clock afterwards so
+  // trace events and subsequent sweeps don't observe time running
+  // backwards.
+  const double saved_clock = clock_;
   for (const slot& s : old) {
     if (s.state == slot_state::occupied) {
       insert(s.e.flow, s.e.model, s.e.last_used);
     }
   }
+  clock_ = saved_clock;
 }
 
 }  // namespace lf::core

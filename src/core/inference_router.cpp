@@ -27,7 +27,12 @@ void inference_router::install_standby(model_id id) {
 
 double inference_router::switch_active() {
   if (!standby_) {
-    throw std::logic_error{"switch_active: no standby snapshot installed"};
+    // Explicit no-standby guard: flipping an empty optional into the active
+    // slot would silently deactivate the datapath (every route() falling
+    // back to nullopt).  A spurious switch request is an orchestration bug,
+    // not a datapath error — count it and leave the active snapshot alone.
+    noop_switches_.inc();
+    return 0.0;
   }
   const double waited = lock_.acquire(config_.switch_lock_hold);
   std::swap(active_, standby_);
@@ -85,6 +90,7 @@ void inference_router::register_metrics(metrics::registry& reg,
   reg.register_counter(prefix + ".router.cache_hits", hits_);
   reg.register_counter(prefix + ".router.cache_misses", misses_);
   reg.register_counter(prefix + ".router.switches", switches_);
+  reg.register_counter(prefix + ".router.switch_noops", noop_switches_);
   cache_.register_metrics(reg, prefix + ".router.cache");
   lock_.register_metrics(reg, prefix + ".router.lock");
 }

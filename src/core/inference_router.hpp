@@ -49,7 +49,10 @@ class inference_router {
 
   /// Flip active/standby under the spinlock.  Returns the time the flip
   /// waited on the lock.  The old active becomes standby (and is typically
-  /// removed by the caller once its refcount drains).
+  /// removed by the caller once its refcount drains).  With no standby
+  /// installed the switch is an explicit no-op: the active snapshot stays
+  /// in place, no lock is taken, switch_noops() increments, and 0 is
+  /// returned.
   double switch_active();
 
   /// Route one inference request: returns the model that must serve this
@@ -68,6 +71,8 @@ class inference_router {
   std::uint64_t cache_hits() const noexcept { return hits_.value(); }
   std::uint64_t cache_misses() const noexcept { return misses_.value(); }
   std::uint64_t switches() const noexcept { return switches_.value(); }
+  /// Switch requests that found no standby installed (no-ops).
+  std::uint64_t switch_noops() const noexcept { return noop_switches_.value(); }
   std::size_t cache_size() const noexcept { return cache_.size(); }
   std::size_t cache_capacity() const noexcept { return cache_.capacity(); }
   const kernelsim::spinlock& lock() const noexcept { return lock_; }
@@ -93,6 +98,7 @@ class inference_router {
   metrics::counter hits_;
   metrics::counter misses_;
   metrics::counter switches_;
+  metrics::counter noop_switches_;
   trace::ring trace_{"router"};
 };
 

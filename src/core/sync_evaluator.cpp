@@ -23,10 +23,12 @@ void sync_evaluator::record_stability(double value) {
 double sync_evaluator::stability_spread() const {
   if (history_.size() < 2) return 0.0;
   const auto [lo, hi] = std::minmax_element(history_.begin(), history_.end());
-  double mean = 0.0;
-  for (const double v : history_) mean += v;
-  mean /= static_cast<double>(history_.size());
-  const double denom = std::max(std::abs(mean), 1e-9);
+  // Normalize by the window's magnitude, not its mean: a stability metric
+  // oscillating around zero (e.g. mean reward of ±0.01) has a near-zero
+  // mean, and (max-min)/|mean| blows up — convergence would be
+  // undeclarable no matter how tight the oscillation.  The extreme
+  // magnitude max(|max|, |min|) is spread-stable at every operating point.
+  const double denom = std::max({std::abs(*hi), std::abs(*lo), 1e-9});
   return (*hi - *lo) / denom;
 }
 

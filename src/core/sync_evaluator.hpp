@@ -43,9 +43,11 @@ class sync_evaluator {
   /// Correctness check only.
   bool converged() const;
 
-  /// Relative spread (max - min) / max(|mean|, 1e-9) of the recorded
+  /// Relative spread (max - min) / max(|max|, |min|, eps) of the recorded
   /// stability samples; 0 with fewer than two samples.  converged() is
-  /// "window full && spread below the stability threshold".
+  /// "window full && spread below the stability threshold".  Normalizing by
+  /// the extreme magnitude (not |mean|) keeps convergence declarable when
+  /// the metric oscillates tightly around zero.
   double stability_spread() const;
 
   /// Stability samples currently held (<= config().stability_window).

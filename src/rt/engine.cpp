@@ -1,0 +1,117 @@
+#include "rt/engine.hpp"
+
+namespace lf::rt {
+
+void worker_handle::register_metrics(metrics::registry& reg,
+                                     const std::string& prefix) {
+  reg.register_counter(prefix + ".routes", routes_);
+  reg.register_counter(prefix + ".hits", hits_);
+  reg.register_counter(prefix + ".misses", misses_);
+  reg.register_counter(prefix + ".inferences", infers_);
+  reg.register_counter(prefix + ".fins", fins_);
+}
+
+datapath_engine::datapath_engine(engine_config cfg)
+    : cfg_{cfg},
+      epochs_{cfg.max_workers == 0 ? 1 : cfg.max_workers},
+      handle_{epochs_},
+      cache_{cfg.shards, cfg.shard_capacity} {}
+
+datapath_engine::~datapath_engine() {
+  // Contract: worker threads are joined.  Release every flow pin so the
+  // handle teardown (which runs next, then the epoch domain) can retire all
+  // versions.
+  cache_.clear(handle_);
+  handle_.maintain();
+}
+
+std::uint64_t datapath_engine::install(codegen::snapshot snap) {
+  const std::uint64_t gen = handle_.install_standby(std::move(snap));
+  // Opportunistic reclamation keeps the zombie list short without a
+  // dedicated maintenance thread.
+  handle_.maintain();
+  return gen;
+}
+
+bool datapath_engine::switch_active() {
+  const bool flipped = handle_.switch_active();
+  handle_.maintain();
+  return flipped;
+}
+
+std::size_t datapath_engine::maintain() { return handle_.maintain(); }
+
+worker_handle& datapath_engine::register_worker() {
+  std::lock_guard<std::mutex> g{workers_mu_};
+  worker_handle& w = workers_.emplace_back();
+  w.slot_ = epochs_.register_reader();
+  return w;
+}
+
+route_result datapath_engine::route(worker_handle& w, netsim::flow_id_t flow,
+                                    double now, std::span<const fp::s64> input,
+                                    std::span<fp::s64> out) {
+  route_result r;
+  w.routes_.inc();
+  // The epoch guard spans the whole route+infer: any version pointer we
+  // hold — cached pin or freshly pinned active — cannot be freed before we
+  // exit, even if a racing FIN/switch drops its last pin meanwhile.
+  epoch_domain::guard g{epochs_, w.slot_};
+  snapshot_version* v = cache_.lookup(flow, now, cfg_.idle_timeout,
+                                      cfg_.evict_slots_per_route, handle_);
+  if (v != nullptr) {
+    r.hit = true;
+    w.hits_.inc();
+  } else {
+    w.misses_.inc();
+    v = handle_.pin_active();
+    if (v == nullptr) return r;  // nothing deployed yet
+    v = cache_.insert(flow, v, now, handle_);
+  }
+  r.gen = v->gen;
+  const quant::quantized_mlp& prog = v->snap.program;
+  if (input.size() == prog.input_size() && out.size() == prog.output_size()) {
+    prog.infer_into(input, out, w.scratch_);
+    w.infers_.inc();
+    r.served = true;
+  }
+  return r;
+}
+
+bool datapath_engine::flow_finished(worker_handle& w, netsim::flow_id_t flow) {
+  const bool erased = cache_.erase(flow, handle_);
+  if (erased) w.fins_.inc();
+  return erased;
+}
+
+std::size_t datapath_engine::expire_idle(double now) {
+  return cache_.expire_idle(now, cfg_.idle_timeout, handle_);
+}
+
+void datapath_engine::register_metrics(metrics::registry& reg,
+                                       const std::string& prefix) {
+  handle_.register_metrics(reg, prefix + ".snapshots");
+  reg.register_gauge(prefix + ".cache.size", cache_size_);
+  reg.register_gauge(prefix + ".cache.evictions", cache_evictions_);
+  reg.register_gauge(prefix + ".cache.rehashes", cache_rehashes_);
+  reg.register_gauge(prefix + ".cache.lock_acquisitions", lock_acquisitions_);
+  reg.register_gauge(prefix + ".cache.lock_contended", lock_contended_);
+  reg.register_gauge(prefix + ".flip_lock.contended", flip_contended_);
+  reg.register_gauge(prefix + ".versions.live", live_versions_gauge_);
+  reg.register_gauge(prefix + ".versions.retired", retired_versions_gauge_);
+}
+
+void datapath_engine::publish_stats() {
+  const sharded_flow_cache::totals t = cache_.stats();
+  cache_size_.set(static_cast<double>(t.size));
+  cache_evictions_.set(static_cast<double>(t.evictions));
+  cache_rehashes_.set(static_cast<double>(t.rehashes));
+  lock_acquisitions_.set(static_cast<double>(t.lock_acquisitions));
+  lock_contended_.set(static_cast<double>(t.lock_contended));
+  flip_contended_.set(
+      static_cast<double>(handle_.flip_lock().contended_acquisitions()));
+  live_versions_gauge_.set(static_cast<double>(handle_.live_versions()));
+  retired_versions_gauge_.set(static_cast<double>(handle_.retired()));
+}
+
+}  // namespace lf::rt

@@ -1,0 +1,174 @@
+// Real-thread datapath engine (§3.4 exercised by actual std::threads).
+//
+// Everything else in this repository runs on the single-threaded simulated
+// clock, where the snapshot-update concurrency claims are *cost-accounted*
+// but never contended.  This engine is the parallel deployment target that
+// runs them for real: N worker threads route flows and execute compiled
+// integer inference (the same quant/codegen programs the sim installs)
+// while one writer installs standby snapshots lock-free and flips the
+// active pointer under a nanoseconds-held rt::spinlock.
+//
+// Composition:
+//   epoch_domain        grace periods for the lock-free read path
+//   snapshot_handle     active/standby flip + pin-gated, epoch-deferred
+//                       version retirement
+//   sharded_flow_cache  per-flow model pinning (flow consistency invariant)
+//
+// Time is caller-supplied (seconds on any monotonic clock shared by the
+// threads): the stress harness passes wall time, the deterministic tests
+// pass scripted instants.  The engine never reads a clock itself, which is
+// what keeps the 2-thread interleaving tests reproducible.
+//
+// What this deliberately does NOT do: it is not wired into the simulated
+// experiments.  The sim path (core::inference_router + kernelsim::spinlock)
+// is untouched, so every fixed-seed result stays bit-for-bit identical; the
+// rt engine is selected explicitly via the deployment registry (app_kind::rt)
+// or constructed directly by the harness/tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "codegen/snapshot.hpp"
+#include "quant/quantized_mlp.hpp"
+#include "rt/epoch.hpp"
+#include "rt/sharded_flow_cache.hpp"
+#include "rt/snapshot_handle.hpp"
+#include "util/fixed_point.hpp"
+#include "util/metrics.hpp"
+
+namespace lf::rt {
+
+struct engine_config {
+  std::size_t shards = 8;             ///< flow-cache shards (rounded to 2^k)
+  std::size_t shard_capacity = 1024;  ///< initial slots per shard
+  double idle_timeout = 30.0;         ///< seconds before idle eviction
+  std::size_t evict_slots_per_route = 2;  ///< incremental sweep per lookup
+  std::size_t max_workers = 64;       ///< epoch reader slots preallocated
+};
+
+struct route_result {
+  std::uint64_t gen = 0;  ///< generation that served the packet; 0 = none
+  bool hit = false;       ///< flow-cache hit (pinned generation reused)
+  bool served = false;    ///< inference executed into `out`
+};
+
+/// Per-worker state: the epoch reader slot, the inference scratch, and the
+/// worker's own counters (single-writer, so plain metrics::counter is safe;
+/// read them after the worker stops).  Over-aligned so adjacent workers in
+/// the engine's deque never false-share a cache line on the hot counters.
+class alignas(128) worker_handle {
+ public:
+  std::uint64_t routes() const noexcept { return routes_.value(); }
+  std::uint64_t cache_hits() const noexcept { return hits_.value(); }
+  std::uint64_t cache_misses() const noexcept { return misses_.value(); }
+  std::uint64_t inferences() const noexcept { return infers_.value(); }
+  std::uint64_t fins() const noexcept { return fins_.value(); }
+  std::size_t epoch_slot() const noexcept { return slot_; }
+
+  /// Publish this worker's counters under "<prefix>.routes", ".hits", ...
+  void register_metrics(metrics::registry& reg, const std::string& prefix);
+
+ private:
+  friend class datapath_engine;
+  std::size_t slot_ = 0;
+  quant::inference_scratch scratch_;
+  metrics::counter routes_;
+  metrics::counter hits_;
+  metrics::counter misses_;
+  metrics::counter infers_;
+  metrics::counter fins_;
+};
+
+class datapath_engine {
+ public:
+  explicit datapath_engine(engine_config cfg = {});
+
+  datapath_engine(const datapath_engine&) = delete;
+  datapath_engine& operator=(const datapath_engine&) = delete;
+
+  /// Teardown: requires worker threads joined.  Drains the flow cache and
+  /// waits out the final grace period.
+  ~datapath_engine();
+
+  // ------------------------------------------------------------- writer --
+
+  /// Install a generated snapshot as standby (no lock; readers unaffected).
+  /// Returns the generation number it will serve under.
+  std::uint64_t install(codegen::snapshot snap);
+
+  /// Flip active/standby (spinlock'd pointer exchange).  False + counter
+  /// when no standby is installed.
+  bool switch_active();
+
+  /// Retire/reclaim demoted versions whose pins and epochs have drained.
+  std::size_t maintain();
+
+  // ------------------------------------------------------------ readers --
+
+  /// Register the calling worker thread.  Thread-safe; the returned
+  /// reference is stable for the engine's lifetime.
+  worker_handle& register_worker();
+
+  /// Route one packet of `flow` at time `now` and run inference.
+  /// `input`/`out` must match the installed program's input/output sizes;
+  /// pass empty spans to route without inferring (tests).  The flow is
+  /// served by its pinned generation if cached, else pins the current
+  /// active.  Returns gen 0 (and no insert) when nothing is active.
+  route_result route(worker_handle& w, netsim::flow_id_t flow, double now,
+                     std::span<const fp::s64> input, std::span<fp::s64> out);
+
+  /// TCP FIN: drop the flow's pin.  False if the flow was not cached.
+  bool flow_finished(worker_handle& w, netsim::flow_id_t flow);
+
+  /// Full idle expiry across all shards (maintenance).
+  std::size_t expire_idle(double now);
+
+  // ------------------------------------------------------------- status --
+
+  bool has_active() const noexcept { return handle_.has_active(); }
+  std::uint64_t installs() const noexcept { return handle_.installs(); }
+  std::uint64_t switches() const noexcept { return handle_.switches(); }
+  std::uint64_t switch_noops() const noexcept {
+    return handle_.switch_noops();
+  }
+  std::uint64_t versions_retired() const noexcept { return handle_.retired(); }
+  std::uint64_t versions_live() const noexcept {
+    return handle_.live_versions();
+  }
+  std::size_t cached_flows() const { return cache_.stats().size; }
+  const engine_config& config() const noexcept { return cfg_; }
+  epoch_domain& epochs() noexcept { return epochs_; }
+  snapshot_handle& snapshots() noexcept { return handle_; }
+  sharded_flow_cache& cache() noexcept { return cache_; }
+
+  /// Register writer counters plus post-run aggregate gauges under
+  /// "<prefix>.*"; call publish_stats() after the workers stop to fill the
+  /// aggregates before reading the registry.
+  void register_metrics(metrics::registry& reg, const std::string& prefix);
+
+  /// Snapshot the sharded-cache totals and version lifecycle into the
+  /// registered gauges (quiesced read — run after worker threads join).
+  void publish_stats();
+
+ private:
+  engine_config cfg_;
+  epoch_domain epochs_;      // declared before handle_: destroyed after it
+  snapshot_handle handle_;
+  sharded_flow_cache cache_;
+  std::mutex workers_mu_;
+  std::deque<worker_handle> workers_;  // deque: stable references
+  metrics::gauge cache_size_;
+  metrics::gauge cache_evictions_;
+  metrics::gauge cache_rehashes_;
+  metrics::gauge lock_acquisitions_;
+  metrics::gauge lock_contended_;
+  metrics::gauge flip_contended_;
+  metrics::gauge live_versions_gauge_;
+  metrics::gauge retired_versions_gauge_;
+};
+
+}  // namespace lf::rt

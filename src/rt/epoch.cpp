@@ -1,0 +1,85 @@
+#include "rt/epoch.hpp"
+
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace lf::rt {
+
+epoch_domain::epoch_domain(std::size_t max_readers) : slots_(max_readers) {
+  if (max_readers == 0) {
+    throw std::invalid_argument{"epoch_domain: max_readers must be > 0"};
+  }
+}
+
+epoch_domain::~epoch_domain() {
+  // Callers must have stopped their readers; run the outstanding frees.
+  synchronize();
+}
+
+std::size_t epoch_domain::register_reader() {
+  const std::size_t slot = readers_.fetch_add(1, std::memory_order_acq_rel);
+  if (slot >= slots_.size()) {
+    readers_.fetch_sub(1, std::memory_order_acq_rel);
+    throw std::length_error{"epoch_domain: out of reader slots"};
+  }
+  return slot;
+}
+
+std::uint64_t epoch_domain::min_observed_epoch() const noexcept {
+  std::uint64_t min_epoch = k_quiescent;
+  const std::size_t n = readers_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+    if (e < min_epoch) min_epoch = e;
+  }
+  return min_epoch;
+}
+
+void epoch_domain::retire(std::function<void()> free_fn) {
+  const std::uint64_t target = advance();
+  std::lock_guard<std::mutex> g{retired_mu_};
+  retired_.push_back(retired_item{std::move(free_fn), target});
+}
+
+std::size_t epoch_domain::try_reclaim() {
+  std::vector<retired_item> ready;
+  {
+    std::lock_guard<std::mutex> g{retired_mu_};
+    if (retired_.empty()) return 0;
+    const std::uint64_t min_epoch = min_observed_epoch();
+    for (std::size_t i = 0; i < retired_.size();) {
+      if (min_epoch >= retired_[i].target) {
+        ready.push_back(std::move(retired_[i]));
+        retired_[i] = std::move(retired_.back());
+        retired_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  // Run the deleters outside the list lock: a free function may itself
+  // retire more garbage (a snapshot version releasing nested state).
+  for (retired_item& item : ready) item.free_fn();
+  reclaimed_.fetch_add(ready.size(), std::memory_order_acq_rel);
+  return ready.size();
+}
+
+void epoch_domain::synchronize() {
+  const std::uint64_t target = advance();
+  while (min_observed_epoch() < target) std::this_thread::yield();
+  while (true) {
+    {
+      std::lock_guard<std::mutex> g{retired_mu_};
+      if (retired_.empty()) return;
+    }
+    if (try_reclaim() == 0) std::this_thread::yield();
+  }
+}
+
+std::size_t epoch_domain::retired_pending() const {
+  std::lock_guard<std::mutex> g{retired_mu_};
+  return retired_.size();
+}
+
+}  // namespace lf::rt

@@ -1,0 +1,136 @@
+// Epoch-based reclamation for the real-thread datapath engine.
+//
+// The §3.4 read path must stay lock-free: an inference worker may hold a
+// raw snapshot pointer for the duration of one route+infer, and the writer
+// may not free a demoted snapshot while any such pointer is live.  Classic
+// epoch-based reclamation (EBR, as in kernel RCU and userspace-RCU) fits:
+//
+//  - Each reader thread owns one cache-line-sized slot.  Entering a critical
+//    section publishes the current global epoch into the slot (seq_cst, so
+//    the publish is ordered before every load inside the section); leaving
+//    stores the quiescent sentinel.
+//  - The writer retires garbage by recording it against `advance()` — a bump
+//    of the global epoch.  A retired object is freed once every slot is
+//    either quiescent or has observed an epoch >= the retire target, which
+//    proves no reader that could have seen the old pointer is still inside
+//    its critical section.
+//
+// The one subtle interleaving: a reader may load the global epoch, stall,
+// and publish a stale value after the writer has already scanned.  That is
+// benign here because readers dereference only pointers loaded *after* the
+// publish: if the writer's scan missed the reader, the writer's pointer swap
+// (seq_cst, before the scan) is already visible to the reader's subsequent
+// loads, so the reader cannot obtain the retired pointer at all.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace lf::rt {
+
+class epoch_domain {
+ public:
+  static constexpr std::uint64_t k_quiescent = ~std::uint64_t{0};
+
+  /// `max_readers` slots are allocated up front so the slot array never
+  /// reallocates under concurrent access.
+  explicit epoch_domain(std::size_t max_readers = 64);
+
+  epoch_domain(const epoch_domain&) = delete;
+  epoch_domain& operator=(const epoch_domain&) = delete;
+  ~epoch_domain();
+
+  /// Claim one reader slot (thread-safe).  Throws std::length_error once
+  /// max_readers slots are taken.  Slots are never recycled: an engine
+  /// registers each worker thread once at startup.
+  std::size_t register_reader();
+
+  /// Enter a read-side critical section on `slot`.  seq_cst so the slot
+  /// publish is globally ordered before the section's pointer loads.
+  void enter(std::size_t slot) noexcept {
+    slots_[slot].epoch.store(global_.load(std::memory_order_relaxed),
+                             std::memory_order_seq_cst);
+  }
+
+  /// Leave the critical section (release: orders every access inside the
+  /// section before the writer's acquire scan that enables the free).
+  void exit(std::size_t slot) noexcept {
+    slots_[slot].epoch.store(k_quiescent, std::memory_order_release);
+  }
+
+  /// RAII critical section.
+  class guard {
+   public:
+    guard(epoch_domain& d, std::size_t slot) noexcept : d_{d}, slot_{slot} {
+      d_.enter(slot_);
+    }
+    ~guard() { d_.exit(slot_); }
+    guard(const guard&) = delete;
+    guard& operator=(const guard&) = delete;
+
+   private:
+    epoch_domain& d_;
+    std::size_t slot_;
+  };
+
+  /// Writer side: queue `free_fn` to run once every reader slot has either
+  /// gone quiescent or observed an epoch newer than now.  Thread-safe (the
+  /// retire list is mutex-protected; contention is writer-rate, not
+  /// packet-rate).  Does not free anything itself — pair with
+  /// try_reclaim()/synchronize().
+  void retire(std::function<void()> free_fn);
+
+  /// Run the free functions of every retired item whose grace period has
+  /// elapsed.  Returns how many were freed.  Never blocks.
+  std::size_t try_reclaim();
+
+  /// Block (spin+yield) until all read-side critical sections that started
+  /// before this call have exited, then reclaim everything eligible.
+  /// Writer/teardown path only.
+  void synchronize();
+
+  std::size_t reader_count() const noexcept {
+    return readers_.load(std::memory_order_acquire);
+  }
+  std::uint64_t current_epoch() const noexcept {
+    return global_.load(std::memory_order_acquire);
+  }
+  /// Retired items whose grace period has not yet elapsed.
+  std::size_t retired_pending() const;
+  std::uint64_t reclaimed() const noexcept {
+    return reclaimed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct alignas(64) reader_slot {
+    std::atomic<std::uint64_t> epoch{k_quiescent};
+  };
+
+  struct retired_item {
+    std::function<void()> free_fn;
+    std::uint64_t target = 0;  ///< safe once min_observed_epoch() >= target
+  };
+
+  /// Bump the global epoch; returns the value every reader must reach (or
+  /// pass through quiescence) before garbage retired now may be freed.
+  std::uint64_t advance() noexcept {
+    return global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  /// Smallest epoch any active reader has published; k_quiescent if all
+  /// slots are quiescent.  seq_cst loads pair with enter()'s publish.
+  std::uint64_t min_observed_epoch() const noexcept;
+
+  std::atomic<std::uint64_t> global_{1};
+  std::atomic<std::size_t> readers_{0};
+  std::vector<reader_slot> slots_;
+  mutable std::mutex retired_mu_;
+  std::vector<retired_item> retired_;
+  std::atomic<std::uint64_t> reclaimed_{0};
+};
+
+}  // namespace lf::rt

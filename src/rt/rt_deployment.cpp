@@ -1,0 +1,43 @@
+#include "rt/rt_deployment.hpp"
+
+#include <stdexcept>
+
+namespace lf::rt {
+namespace {
+
+void do_register() {
+  apps::register_deployment(
+      apps::app_kind::rt, rt_deployment::engine, "rt-engine",
+      engine_builder{[](const engine_config& cfg) {
+        return std::make_unique<datapath_engine>(cfg);
+      }});
+}
+
+struct registrar {
+  registrar() { do_register(); }
+};
+const registrar auto_registrar{};
+
+}  // namespace
+
+void ensure_rt_deployments_registered() {
+  if (apps::deployment_registry::instance()
+          .builder_as<engine_builder>(
+              apps::app_kind::rt, static_cast<int>(rt_deployment::engine)) ==
+      nullptr) {
+    do_register();
+  }
+}
+
+std::unique_ptr<datapath_engine> build_engine(const engine_config& cfg) {
+  ensure_rt_deployments_registered();
+  const engine_builder* b =
+      apps::deployment_registry::instance().builder_as<engine_builder>(
+          apps::app_kind::rt, static_cast<int>(rt_deployment::engine));
+  if (b == nullptr) {
+    throw std::runtime_error{"rt-engine deployment not registered"};
+  }
+  return (*b)(cfg);
+}
+
+}  // namespace lf::rt

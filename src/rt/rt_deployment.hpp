@@ -1,0 +1,37 @@
+// Deployment-registry entry for the real-thread engine.
+//
+// The rt engine is a *parallel* deployment target: it never rides along in
+// the simulated experiments (whose fixed-seed outputs must stay bit-for-bit
+// stable) but is selected explicitly, the same way the cc/sched/lb apps
+// resolve their datapath flavours — through apps::deployment_registry under
+// app_kind::rt.  The registered builder constructs a datapath_engine from an
+// engine_config; the stress harness and tests resolve it by value.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "apps/common/deployment_registry.hpp"
+#include "rt/engine.hpp"
+
+namespace lf::rt {
+
+enum class rt_deployment {
+  engine = 0,  ///< "rt-engine": N real worker threads over compiled snapshots
+};
+
+/// Builder type stored (type-erased) in the deployment registry.
+using engine_builder =
+    std::function<std::unique_ptr<datapath_engine>(const engine_config&)>;
+
+/// Idempotently register the rt deployments.  The registrar also runs at
+/// static-init time when lf_rt is linked, but binaries should call this to
+/// guarantee the TU is not dropped by the archive linker.
+void ensure_rt_deployments_registered();
+
+/// Resolve the registered builder and construct an engine; throws
+/// std::runtime_error if the deployment is missing (never after
+/// ensure_rt_deployments_registered()).
+std::unique_ptr<datapath_engine> build_engine(const engine_config& cfg);
+
+}  // namespace lf::rt

@@ -1,0 +1,143 @@
+#include "rt/sharded_flow_cache.hpp"
+
+namespace lf::rt {
+namespace {
+
+constexpr std::size_t round_up_pow2(std::size_t v) noexcept {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// splitmix64 finalizer — same mixer family as core::flow_cache's bucket
+/// hash; we take the *top* bits so shard choice and in-shard bucket choice
+/// are decorrelated.
+constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+lf::core::model_id to_model_id(snapshot_version* v) noexcept {
+  return static_cast<lf::core::model_id>(reinterpret_cast<std::uintptr_t>(v));
+}
+
+snapshot_version* from_model_id(lf::core::model_id id) noexcept {
+  return reinterpret_cast<snapshot_version*>(static_cast<std::uintptr_t>(id));
+}
+
+}  // namespace
+
+sharded_flow_cache::sharded_flow_cache(std::size_t shards,
+                                       std::size_t shard_capacity) {
+  const std::size_t n = round_up_pow2(shards == 0 ? 1 : shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<shard>(shard_capacity));
+  }
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  shard_shift_ = 64 - bits;
+}
+
+std::size_t sharded_flow_cache::shard_of(netsim::flow_id_t flow) const noexcept {
+  if (shards_.size() == 1) return 0;
+  return static_cast<std::size_t>(mix(flow) >> shard_shift_);
+}
+
+snapshot_version* sharded_flow_cache::lookup(netsim::flow_id_t flow,
+                                             double now, double idle_timeout,
+                                             std::size_t evict_slots,
+                                             snapshot_handle& handle) {
+  shard& sh = *shards_[shard_of(flow)];
+  const core::flow_cache::evict_fn release = [&handle](core::model_id m) {
+    handle.unpin(from_model_id(m));
+  };
+  spin_guard g{sh.lock};
+  if (evict_slots > 0) {
+    sh.cache.step_evict(now, idle_timeout, evict_slots, release);
+  }
+  if (auto* e = sh.cache.find(flow)) {
+    e->last_used = now;
+    return from_model_id(e->model);
+  }
+  return nullptr;
+}
+
+snapshot_version* sharded_flow_cache::insert(netsim::flow_id_t flow,
+                                             snapshot_version* ver, double now,
+                                             snapshot_handle& handle) {
+  shard& sh = *shards_[shard_of(flow)];
+  snapshot_version* resident = nullptr;
+  {
+    spin_guard g{sh.lock};
+    if (auto* e = sh.cache.find(flow)) {
+      // Lost an insert race for the same flow: the resident entry wins so
+      // the flow stays on one generation.
+      e->last_used = now;
+      resident = from_model_id(e->model);
+    } else {
+      sh.cache.insert(flow, to_model_id(ver), now);
+    }
+  }
+  if (resident != nullptr) {
+    // Release the pin we brought; the caller's epoch guard keeps `resident`
+    // alive even if a racing FIN drops the entry's pin right now.
+    handle.unpin(ver);
+    return resident;
+  }
+  return ver;
+}
+
+bool sharded_flow_cache::erase(netsim::flow_id_t flow,
+                               snapshot_handle& handle) {
+  shard& sh = *shards_[shard_of(flow)];
+  const core::flow_cache::evict_fn release = [&handle](core::model_id m) {
+    handle.unpin(from_model_id(m));
+  };
+  spin_guard g{sh.lock};
+  return sh.cache.erase(flow, release);
+}
+
+std::size_t sharded_flow_cache::expire_idle(double now, double idle_timeout,
+                                            snapshot_handle& handle) {
+  const core::flow_cache::evict_fn release = [&handle](core::model_id m) {
+    handle.unpin(from_model_id(m));
+  };
+  std::size_t evicted = 0;
+  for (auto& sh : shards_) {
+    spin_guard g{sh->lock};
+    evicted += sh->cache.expire_idle(now, idle_timeout, release);
+  }
+  return evicted;
+}
+
+std::size_t sharded_flow_cache::clear(snapshot_handle& handle) {
+  const core::flow_cache::evict_fn release = [&handle](core::model_id m) {
+    handle.unpin(from_model_id(m));
+  };
+  std::size_t dropped = 0;
+  for (auto& sh : shards_) {
+    spin_guard g{sh->lock};
+    dropped += sh->cache.size();
+    sh->cache.clear(release);
+  }
+  return dropped;
+}
+
+sharded_flow_cache::totals sharded_flow_cache::stats() const {
+  totals t;
+  for (const auto& sh : shards_) {
+    t.size += sh->cache.size();
+    t.capacity += sh->cache.capacity();
+    t.evictions += sh->cache.evictions();
+    t.rehashes += sh->cache.rehashes();
+    t.tombstone_scrubs += sh->cache.tombstone_scrubs();
+    t.lock_acquisitions += sh->lock.acquisitions();
+    t.lock_contended += sh->lock.contended_acquisitions();
+  }
+  return t;
+}
+
+}  // namespace lf::rt

@@ -1,0 +1,102 @@
+// Sharded flow cache for the real-thread datapath engine.
+//
+// The sim router's core::flow_cache is a single-threaded open-addressing
+// table.  Under real concurrent workers one table plus one lock would
+// serialize every packet, so the rt engine shards: S independent
+// core::flow_cache instances (reusing the probe/tombstone/incremental-sweep
+// machinery unchanged), each behind its own rt::spinlock, with the shard
+// chosen from the high bits of a splitmix64 hash of the flow id (the cache's
+// internal bucket hash uses the low bits, so shard and bucket choice stay
+// uncorrelated).
+//
+// Entries pin a snapshot_version: the cache stores the version pointer in
+// the entry's model_id field (both 64-bit), and every eviction path — FIN
+// erase, incremental idle sweep, full expiry, clear — funnels through the
+// owner-provided release callback so model removal remains refcount-gated
+// exactly as in the sim (§3.4: a module unloads only at refcount zero).
+//
+// Per-shard metrics counters live inside each core::flow_cache and are
+// mutated only under that shard's lock; totals() sums them and must be read
+// only after the workers have stopped (or tolerated as a racy snapshot —
+// the engine reads them post-join).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/flow_cache.hpp"
+#include "rt/snapshot_handle.hpp"
+#include "rt/spinlock.hpp"
+
+namespace lf::rt {
+
+class sharded_flow_cache {
+ public:
+  /// `shards` is rounded up to a power of two; each shard starts with
+  /// `shard_capacity` slots (also rounded up, by core::flow_cache).
+  explicit sharded_flow_cache(std::size_t shards = 8,
+                              std::size_t shard_capacity = 1024);
+
+  sharded_flow_cache(const sharded_flow_cache&) = delete;
+  sharded_flow_cache& operator=(const sharded_flow_cache&) = delete;
+
+  /// Hit path: look up `flow`, touch its timestamp, and return the pinned
+  /// version (nullptr on miss).  Also advances the shard's incremental idle
+  /// sweep by `evict_slots` buckets, releasing expired pins via unpin.
+  /// The returned pointer stays valid because the entry's pin is only
+  /// released by an eviction path, and the caller is inside an epoch guard
+  /// (so even a racing FIN cannot lead to the version being freed under
+  /// the caller).
+  snapshot_version* lookup(netsim::flow_id_t flow, double now,
+                           double idle_timeout, std::size_t evict_slots,
+                           snapshot_handle& handle);
+
+  /// Miss path: insert `flow` pinned to `ver` (the caller already holds the
+  /// pin being transferred into the entry).  If another thread inserted the
+  /// flow concurrently, the existing entry wins: the transferred pin is
+  /// released and the resident version is returned so the caller serves the
+  /// flow consistently.
+  snapshot_version* insert(netsim::flow_id_t flow, snapshot_version* ver,
+                           double now, snapshot_handle& handle);
+
+  /// FIN: drop the flow's entry and release its pin.  False if absent.
+  bool erase(netsim::flow_id_t flow, snapshot_handle& handle);
+
+  /// Full idle expiry over every shard (maintenance path).
+  std::size_t expire_idle(double now, double idle_timeout,
+                          snapshot_handle& handle);
+
+  /// Drop everything (teardown), releasing all pins.
+  std::size_t clear(snapshot_handle& handle);
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t shard_of(netsim::flow_id_t flow) const noexcept;
+
+  struct totals {
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t rehashes = 0;
+    std::uint64_t tombstone_scrubs = 0;
+    std::uint64_t lock_acquisitions = 0;
+    std::uint64_t lock_contended = 0;
+  };
+
+  /// Sum of the per-shard tables' stats.  Quiesced read: call after the
+  /// worker threads have stopped for exact numbers.
+  totals stats() const;
+
+ private:
+  struct alignas(64) shard {
+    spinlock lock;
+    core::flow_cache cache;
+    explicit shard(std::size_t capacity) : cache{capacity} {}
+  };
+
+  std::vector<std::unique_ptr<shard>> shards_;
+  std::size_t shard_shift_ = 0;  ///< top bits of the mixed hash pick the shard
+};
+
+}  // namespace lf::rt

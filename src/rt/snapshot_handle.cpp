@@ -1,0 +1,129 @@
+#include "rt/snapshot_handle.hpp"
+
+#include <utility>
+
+namespace lf::rt {
+
+snapshot_handle::snapshot_handle(epoch_domain& epochs) : epochs_{epochs} {}
+
+snapshot_handle::~snapshot_handle() {
+  // Contract: readers are stopped and all flow pins are released, so the
+  // only remaining pins are the handle's own ownership pins.
+  if (standby_ != nullptr) {
+    release_ownership(std::exchange(standby_, nullptr));
+  }
+  if (snapshot_version* v = active_.exchange(nullptr,
+                                             std::memory_order_acq_rel)) {
+    v->demoted.store(true, std::memory_order_seq_cst);
+    release_ownership(v);
+  }
+  maintain();
+  epochs_.synchronize();
+}
+
+std::uint64_t snapshot_handle::install_standby(codegen::snapshot snap) {
+  auto* v = new snapshot_version{next_gen_++, std::move(snap)};
+  live_versions_.fetch_add(1, std::memory_order_acq_rel);
+  if (standby_ != nullptr) {
+    // Replaced before ever activating: demote the orphan standby directly.
+    snapshot_version* old = std::exchange(standby_, nullptr);
+    old->demoted.store(true, std::memory_order_seq_cst);
+    release_ownership(old);
+  }
+  standby_ = v;
+  installs_.inc();
+  return v->gen;
+}
+
+bool snapshot_handle::switch_active() {
+  if (standby_ == nullptr) {
+    // Explicit guard: flipping an empty standby would publish a null active
+    // and lose the running snapshot.  Mirror the sim router's fixed
+    // semantics: no-op plus a counter the caller can alarm on.
+    noops_.inc();
+    return false;
+  }
+  snapshot_version* incoming = std::exchange(standby_, nullptr);
+  snapshot_version* outgoing = nullptr;
+  {
+    // The paper's "3 lines of code" critical section: one pointer exchange.
+    spin_guard g{flip_lock_};
+    outgoing = active_.exchange(incoming, std::memory_order_seq_cst);
+  }
+  switches_.inc();
+  if (outgoing != nullptr) {
+    // Order matters: readers re-check demoted *after* pinning; publishing
+    // demoted before the ownership-pin drop is what makes their check
+    // conclusive (see pin_active).
+    outgoing->demoted.store(true, std::memory_order_seq_cst);
+    release_ownership(outgoing);
+  }
+  return true;
+}
+
+snapshot_version* snapshot_handle::pin_active() noexcept {
+  for (;;) {
+    snapshot_version* v = active_.load(std::memory_order_seq_cst);
+    if (v == nullptr) return nullptr;
+    v->pins.fetch_add(1, std::memory_order_seq_cst);
+    if (!v->demoted.load(std::memory_order_seq_cst)) {
+      // seq_cst: demoted was still false after our pin, so the writer's
+      // ownership-pin drop (which follows its demoted store) had not
+      // happened — the count never reached zero and this pin holds.
+      return v;
+    }
+    // A switch raced past us between the load and the pin; the surrounding
+    // epoch guard keeps `v` allocated, so the transient pin/unpin on a
+    // possibly-zombie version is memory-safe.
+    unpin(v);
+  }
+}
+
+std::uint64_t snapshot_handle::peek_gen() const noexcept {
+  const snapshot_version* v = active_.load(std::memory_order_seq_cst);
+  return v ? v->gen : 0;
+}
+
+void snapshot_handle::unpin(snapshot_version* v) noexcept {
+  if (v->pins.fetch_sub(1, std::memory_order_seq_cst) != 1) return;
+  // We dropped the last pin.  Only a demoted version can reach zero (the
+  // ownership pin outlives active/standby tenure), and only one dropper
+  // may queue it for retirement.
+  if (!v->retire_pushed.exchange(true, std::memory_order_seq_cst)) {
+    push_zombie(v);
+  }
+}
+
+void snapshot_handle::release_ownership(snapshot_version* v) noexcept {
+  unpin(v);
+}
+
+void snapshot_handle::push_zombie(snapshot_version* v) noexcept {
+  std::lock_guard<std::mutex> g{zombies_mu_};
+  zombies_.push_back(v);
+}
+
+std::size_t snapshot_handle::maintain() {
+  std::vector<snapshot_version*> batch;
+  {
+    std::lock_guard<std::mutex> g{zombies_mu_};
+    batch.swap(zombies_);
+  }
+  for (snapshot_version* v : batch) {
+    epochs_.retire([this, v]() {
+      delete v;
+      retired_versions_.fetch_add(1, std::memory_order_acq_rel);
+      live_versions_.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+  return epochs_.try_reclaim();
+}
+
+void snapshot_handle::register_metrics(metrics::registry& reg,
+                                       const std::string& prefix) {
+  reg.register_counter(prefix + ".installs", installs_);
+  reg.register_counter(prefix + ".switches", switches_);
+  reg.register_counter(prefix + ".switch_noops", noops_);
+}
+
+}  // namespace lf::rt

@@ -1,0 +1,153 @@
+// Active/standby snapshot handle for real threads (§3.4, made concurrent).
+//
+// This is the rt counterpart of core::inference_router's snapshot slots.
+// The simulated router flips an std::optional under an *analytic* spinlock;
+// here the flip is a real std::atomic pointer exchange under a real
+// rt::spinlock held for a few instructions, standby installation takes no
+// lock at all (the datapath never looks at the standby slot), and the
+// demoted snapshot is freed only after (a) its flow-cache pin count drains
+// to zero and (b) an epoch grace period proves no in-flight reader still
+// holds the raw pointer.
+//
+// Lifecycle of one snapshot_version:
+//
+//   install_standby()   heap-allocates the version, pins it once (the
+//                       handle's ownership pin), publishes nothing.
+//   switch_active()     exchanges the active pointer (spinlock'd flip),
+//                       marks the old active demoted, drops its ownership
+//                       pin.  No waiting, no reader stall.
+//   pin_active()        reader side, inside an epoch guard: load active,
+//                       pins.fetch_add, re-check demoted.  Seeing
+//                       demoted == false proves (seq_cst) the writer has
+//                       not yet dropped the ownership pin, so the count
+//                       can never have touched zero — the pin is safe and
+//                       the version cannot be retired while it is held.
+//                       Seeing demoted == true means the flip raced past
+//                       us: unpin and retry with the new active.
+//   unpin()             whoever drops the count to zero on a demoted
+//                       version pushes it to the zombie list exactly once
+//                       (retire_pushed_ gate).  Readers that transiently
+//                       resurrect a zombie's count (pin then observe
+//                       demoted) are safe: they are inside an epoch guard,
+//                       so the grace period cannot elapse under them.
+//   maintain()          writer side: moves zombies into the epoch domain's
+//                       retire list and reclaims whatever has drained.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "codegen/snapshot.hpp"
+#include "rt/epoch.hpp"
+#include "rt/spinlock.hpp"
+#include "util/metrics.hpp"
+
+namespace lf::rt {
+
+/// One installed model generation.  Immutable payload after construction;
+/// the atomics carry the concurrent lifecycle.
+struct snapshot_version {
+  snapshot_version(std::uint64_t g, codegen::snapshot s)
+      : gen{g}, snap{std::move(s)} {}
+
+  std::uint64_t gen;              ///< monotonic install generation
+  codegen::snapshot snap;         ///< the integer program (const after build)
+  std::atomic<std::uint64_t> pins{1};  ///< starts with the ownership pin
+  std::atomic<bool> demoted{false};
+  std::atomic<bool> retire_pushed{false};
+};
+
+class snapshot_handle {
+ public:
+  /// The handle retires garbage through `epochs`; every reader that calls
+  /// pin_active()/peek_gen() must be inside a guard on the same domain.
+  explicit snapshot_handle(epoch_domain& epochs);
+
+  snapshot_handle(const snapshot_handle&) = delete;
+  snapshot_handle& operator=(const snapshot_handle&) = delete;
+
+  /// Teardown: requires all readers stopped and all cache pins released.
+  ~snapshot_handle();
+
+  // ------------------------------------------------------------- writer --
+
+  /// Install `snap` as the standby snapshot.  Lock-free with respect to the
+  /// read path (readers never inspect the standby slot).  Replacing an
+  /// unswitched standby retires the old one.  Returns the new generation.
+  std::uint64_t install_standby(codegen::snapshot snap);
+
+  /// Flip active/standby: one pointer exchange under the flip spinlock
+  /// (held nanoseconds — the §3.4 claim this engine exists to validate).
+  /// With no standby installed this is an explicit no-op that bumps
+  /// switch_noops() and returns false.
+  bool switch_active();
+
+  /// Drain zombie versions into the epoch retire list and reclaim whatever
+  /// has passed its grace period.  Returns versions actually freed.  Call
+  /// from the writer loop (or any maintenance thread).
+  std::size_t maintain();
+
+  // ------------------------------------------------------------- reader --
+
+  /// Pin the current active version.  MUST be called inside an
+  /// epoch_domain::guard.  Returns nullptr if nothing is active.  The pin
+  /// keeps the version alive beyond the guard (a flow-cache entry holds it
+  /// across packets); release with unpin().
+  snapshot_version* pin_active() noexcept;
+
+  /// Current active generation without pinning (telemetry / tests).  Must
+  /// be called inside an epoch guard.  0 if nothing is active.
+  std::uint64_t peek_gen() const noexcept;
+
+  /// Drop one pin.  Safe from any thread; the zero-crossing on a demoted
+  /// version queues it for epoch retirement.
+  void unpin(snapshot_version* v) noexcept;
+
+  // ------------------------------------------------------------- status --
+
+  bool has_active() const noexcept {
+    return active_.load(std::memory_order_acquire) != nullptr;
+  }
+  bool has_standby() const noexcept { return standby_ != nullptr; }
+  std::uint64_t installs() const noexcept { return installs_.value(); }
+  std::uint64_t switches() const noexcept { return switches_.value(); }
+  std::uint64_t switch_noops() const noexcept { return noops_.value(); }
+  std::uint64_t retired() const noexcept {
+    return retired_versions_.load(std::memory_order_acquire);
+  }
+  /// Versions allocated and not yet freed (active + standby + flow-pinned +
+  /// zombies awaiting grace).
+  std::uint64_t live_versions() const noexcept {
+    return live_versions_.load(std::memory_order_acquire);
+  }
+  const spinlock& flip_lock() const noexcept { return flip_lock_; }
+
+  /// Writer-side counters under "<prefix>.installs", ".switches",
+  /// ".switch_noops".  Register/read from the writer (or after it stops).
+  void register_metrics(metrics::registry& reg, const std::string& prefix);
+
+ private:
+  void release_ownership(snapshot_version* v) noexcept;
+  void push_zombie(snapshot_version* v) noexcept;
+
+  epoch_domain& epochs_;
+  std::atomic<snapshot_version*> active_{nullptr};
+  snapshot_version* standby_ = nullptr;  ///< writer-only slot
+  spinlock flip_lock_;
+  std::uint64_t next_gen_ = 1;  ///< writer-only
+
+  std::mutex zombies_mu_;
+  std::vector<snapshot_version*> zombies_;
+
+  std::atomic<std::uint64_t> retired_versions_{0};
+  std::atomic<std::uint64_t> live_versions_{0};
+  metrics::counter installs_;   ///< writer-only
+  metrics::counter switches_;   ///< writer-only
+  metrics::counter noops_;      ///< writer-only
+};
+
+}  // namespace lf::rt

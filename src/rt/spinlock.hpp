@@ -1,0 +1,74 @@
+// Real spinlock for the real-thread datapath engine (rt/).
+//
+// Unlike kernelsim::spinlock — an *analytic model* that charges simulated
+// wait time on a single-threaded event loop — this is an actual
+// test-and-test-and-set lock taken by concurrent std::thread workers.  It
+// exists so the rt engine exercises the paper's §3.4 claim for real: the
+// active/standby flip holds this lock for a handful of instructions, and the
+// sharded flow cache holds one per shard for a probe-and-touch.
+//
+// Accounting: acquisitions and contended acquisitions are plain counters
+// mutated while the lock is held, so they are serialized by the lock itself
+// (the atomic_flag release/acquire pair publishes them).  Read them only
+// after the owning threads have stopped, or accept a slightly stale view.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace lf::rt {
+
+class spinlock {
+ public:
+  spinlock() = default;
+  spinlock(const spinlock&) = delete;
+  spinlock& operator=(const spinlock&) = delete;
+
+  void lock() noexcept {
+    bool contended = false;
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      contended = true;
+      // Test-and-test-and-set: spin on the cheap load, not the RMW.
+      while (flag_.test(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#else
+        std::this_thread::yield();
+#endif
+      }
+    }
+    ++acquisitions_;
+    if (contended) ++contended_;
+  }
+
+  bool try_lock() noexcept {
+    if (flag_.test_and_set(std::memory_order_acquire)) return false;
+    ++acquisitions_;
+    return true;
+  }
+
+  void unlock() noexcept { flag_.clear(std::memory_order_release); }
+
+  std::uint64_t acquisitions() const noexcept { return acquisitions_; }
+  std::uint64_t contended_acquisitions() const noexcept { return contended_; }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+  std::uint64_t acquisitions_ = 0;  ///< guarded by the lock
+  std::uint64_t contended_ = 0;     ///< guarded by the lock
+};
+
+/// std::lock_guard-style RAII for rt::spinlock.
+class spin_guard {
+ public:
+  explicit spin_guard(spinlock& l) noexcept : lock_{l} { lock_.lock(); }
+  ~spin_guard() { lock_.unlock(); }
+  spin_guard(const spin_guard&) = delete;
+  spin_guard& operator=(const spin_guard&) = delete;
+
+ private:
+  spinlock& lock_;
+};
+
+}  // namespace lf::rt

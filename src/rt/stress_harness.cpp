@@ -1,0 +1,313 @@
+// rt stress harness: real threads against the real-thread datapath engine.
+//
+// M flows × N worker threads route packets and run compiled integer
+// inference while one writer thread performs randomized install / switch /
+// no-op-switch cycles and the workers interleave FINs, idle expiry and
+// random think time.  Every worker asserts the §3.4 flow-consistency
+// invariant online: a flow-cache *hit* must return exactly the generation
+// the flow pinned at its last miss — i.e. no flow ever observes two model
+// generations within one cache incarnation.
+//
+// The binary doubles as the BENCH_rt_engine.json reporter: phase 1 measures
+// a single-threaded no-switch baseline, phase 2 the full N-thread stress,
+// and the report records per-thread route+infer throughput plus the speedup
+// so the bench trajectory tracks rt scaling next to the sim fast path.
+//
+// Exit status is nonzero on any invariant violation, on a missed switch
+// target, or on version-lifecycle leaks — this is what the TSan CI job runs.
+//
+// Env knobs:
+//   LF_RT_THREADS   worker threads        (default 4)
+//   LF_RT_FLOWS     flows per worker      (default 256)
+//   LF_RT_SWITCHES  min snapshot switches (default 120)
+//   LF_RT_SECONDS   stress duration       (default 2.0; 0.6 in fast mode)
+//   LF_RT_SHARDS    flow-cache shards     (default 16)
+//   LF_BENCH_FAST   shrink durations for smoke runs
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "codegen/snapshot.hpp"
+#include "nn/mlp.hpp"
+#include "rt/rt_deployment.hpp"
+#include "util/bench_report.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lf;
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long long n = std::atoll(v);
+  return n > 0 ? static_cast<std::size_t>(n) : fallback;
+}
+
+bool fast_mode() {
+  const char* v = std::getenv("LF_BENCH_FAST");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+double now_seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Pool of pre-generated snapshots the writer cycles through (generation is
+/// the §3.1 pipeline; it is paid once here so the stress loop measures the
+/// datapath, not gcc).
+std::vector<codegen::snapshot> make_snapshot_pool(std::size_t n) {
+  std::vector<codegen::snapshot> pool;
+  pool.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rng g{0x5eed0000 + i};
+    pool.push_back(codegen::generate_snapshot(nn::make_ffnn_flow_size_net(g),
+                                              "rt-ffnn", i + 1));
+  }
+  return pool;
+}
+
+struct worker_outcome {
+  std::uint64_t violations = 0;
+  std::uint64_t routes = 0;
+  std::uint64_t inferences = 0;
+};
+
+/// One worker thread: routes its own flow partition, FINs randomly, expires
+/// idle entries occasionally, and checks the consistency invariant.
+worker_outcome run_worker(rt::datapath_engine& engine, rt::worker_handle& w,
+                          std::uint64_t flow_base, std::size_t flows,
+                          std::uint64_t seed,
+                          std::chrono::steady_clock::time_point t0,
+                          const std::atomic<bool>& stop) {
+  rng g{seed};
+  worker_outcome out;
+  // expected generation per owned flow; 0 = not pinned (flows are
+  // worker-partitioned, so this thread is the only router/FINisher).
+  std::vector<std::uint64_t> expected(flows, 0);
+  std::vector<fp::s64> input(8);
+  std::vector<fp::s64> output(1);
+  std::uint64_t iter = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    ++iter;
+    const std::size_t idx =
+        static_cast<std::size_t>(g.uniform_int(0, static_cast<std::int64_t>(flows) - 1));
+    const auto flow = static_cast<netsim::flow_id_t>(flow_base + idx);
+    for (auto& x : input) x = g.uniform_int(-900, 900);  // within io_scale
+    const double now = now_seconds(t0);
+    const rt::route_result r = engine.route(w, flow, now, input, output);
+    if (r.gen != 0) {
+      ++out.routes;
+      if (r.served) ++out.inferences;
+      // The invariant: a hit serves exactly the generation pinned at this
+      // flow's last miss (expected != 0 always holds on a hit, because this
+      // worker owns the flow and every hit follows a miss).
+      if (r.hit && r.gen != expected[idx]) ++out.violations;
+      expected[idx] = r.gen;
+    }
+    // Interleavings: FIN ~3% of packets; a full idle-expiry sweep every few
+    // thousand iterations races the sweep against other workers' routes.
+    if (g.uniform() < 0.03) {
+      engine.flow_finished(w, flow);
+      expected[idx] = 0;
+    } else if ((iter & 0x1fff) == 0) {
+      engine.expire_idle(now_seconds(t0));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t threads = env_size("LF_RT_THREADS", 4);
+  const std::size_t flows = env_size("LF_RT_FLOWS", 256);
+  const std::size_t min_switches = env_size("LF_RT_SWITCHES", 120);
+  const double duration =
+      env_double("LF_RT_SECONDS", fast_mode() ? 0.6 : 2.0);
+  const std::size_t shards = env_size("LF_RT_SHARDS", 16);
+
+  rt::engine_config cfg;
+  cfg.shards = shards;
+  cfg.idle_timeout = 0.05;  // aggressive: force idle-expiry races
+  cfg.max_workers = threads + 1;
+
+  std::printf("rt stress: %zu workers x %zu flows, >= %zu switches, %.2fs\n",
+              threads, flows, min_switches, duration);
+  const std::vector<codegen::snapshot> pool = make_snapshot_pool(6);
+
+  // ---- phase 1: single-threaded, no-switch baseline --------------------
+  double baseline_rps = 0.0;
+  {
+    auto engine = rt::build_engine(cfg);
+    engine->install(pool[0]);
+    engine->switch_active();
+    rt::worker_handle& w = engine->register_worker();
+    std::atomic<bool> stop{false};
+    const auto t0 = std::chrono::steady_clock::now();
+    const double base_dur = std::min(duration * 0.5, 0.5);
+    std::thread stopper{[&]() {
+      std::this_thread::sleep_for(std::chrono::duration<double>(base_dur));
+      stop.store(true, std::memory_order_release);
+    }};
+    const worker_outcome base =
+        run_worker(*engine, w, 1, flows, 0xba5e, t0, stop);
+    stopper.join();
+    const double elapsed = now_seconds(t0);
+    baseline_rps = elapsed > 0 ? static_cast<double>(base.routes) / elapsed : 0;
+    std::printf("baseline (1 worker, no switches): %.0f routes/s\n",
+                baseline_rps);
+  }
+
+  // ---- phase 2: N workers + writer stress ------------------------------
+  metrics::registry reg;
+  auto engine = rt::build_engine(cfg);
+  engine->register_metrics(reg, "rt");
+  engine->install(pool[0]);
+  engine->switch_active();
+
+  std::vector<rt::worker_handle*> handles;
+  for (std::size_t i = 0; i < threads; ++i) {
+    rt::worker_handle& w = engine->register_worker();
+    w.register_metrics(reg, "rt.worker" + std::to_string(i));
+    handles.push_back(&w);
+  }
+
+  std::atomic<bool> stop{false};
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Writer: randomized install/switch/no-op interleavings until both the
+  // duration and the switch target are met.
+  std::thread writer{[&]() {
+    rng g{0x3717e4};
+    std::uint64_t version = 1;
+    while (now_seconds(t0) < duration ||
+           engine->switches() < min_switches + 1) {
+      const double dice = g.uniform();
+      if (dice < 0.75) {
+        codegen::snapshot snap = pool[version % pool.size()];
+        snap.version = ++version;
+        engine->install(std::move(snap));
+        engine->switch_active();
+      } else if (dice < 0.85) {
+        // Standby replaced before ever activating (orphan retirement path).
+        codegen::snapshot snap = pool[version % pool.size()];
+        snap.version = ++version;
+        engine->install(std::move(snap));
+      } else {
+        // No-standby switch: must be a counted no-op, never a null flip.
+        engine->switch_active();
+      }
+      engine->maintain();
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<int>(g.uniform(100.0, 4000.0))));
+    }
+    stop.store(true, std::memory_order_release);
+  }};
+
+  std::vector<std::thread> pool_threads;
+  std::vector<worker_outcome> outcomes(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    pool_threads.emplace_back([&, i]() {
+      outcomes[i] = run_worker(*engine, *handles[i],
+                               (i + 1) * 1'000'000ull, flows,
+                               0xf00d + i, t0, stop);
+    });
+  }
+  for (auto& t : pool_threads) t.join();
+  writer.join();
+  const double elapsed = now_seconds(t0);
+
+  // Drain: FIN every flow, then retire everything demoted.  After the
+  // grace period only the final active (and possibly standby) survive.
+  engine->cache().clear(engine->snapshots());
+  engine->maintain();
+  engine->epochs().synchronize();
+  engine->publish_stats();
+
+  std::uint64_t violations = 0, total_routes = 0, total_infers = 0;
+  for (std::size_t i = 0; i < threads; ++i) {
+    violations += outcomes[i].violations;
+    total_routes += outcomes[i].routes;
+    total_infers += outcomes[i].inferences;
+    std::printf("worker%zu: %.0f routes/s (%llu routes, %llu violations)\n",
+                i, outcomes[i].routes / elapsed,
+                static_cast<unsigned long long>(outcomes[i].routes),
+                static_cast<unsigned long long>(outcomes[i].violations));
+  }
+  const double total_rps = total_routes / elapsed;
+  const double speedup = baseline_rps > 0 ? total_rps / baseline_rps : 0.0;
+  const std::uint64_t live = engine->versions_live();
+  std::printf(
+      "total: %.0f routes/s (%.2fx single-thread), %llu switches, "
+      "%llu no-op switches, %llu versions retired, %llu live, "
+      "%llu violations\n",
+      total_rps, speedup,
+      static_cast<unsigned long long>(engine->switches()),
+      static_cast<unsigned long long>(engine->switch_noops()),
+      static_cast<unsigned long long>(engine->versions_retired()),
+      static_cast<unsigned long long>(live),
+      static_cast<unsigned long long>(violations));
+
+  // ---- report ----------------------------------------------------------
+  bench::report rep{"rt_engine", "real-thread datapath engine stress"};
+  rep.config("threads", static_cast<double>(threads));
+  rep.config("flows_per_worker", static_cast<double>(flows));
+  rep.config("min_switches", static_cast<double>(min_switches));
+  rep.config("shards", static_cast<double>(engine->config().shards));
+  rep.config("duration_seconds", elapsed);
+  rep.config_bool("fast_mode", fast_mode());
+  rep.summary("baseline_routes_per_sec", baseline_rps);
+  rep.summary("total_routes_per_sec", total_rps);
+  rep.summary("total_inferences_per_sec", total_infers / elapsed);
+  rep.summary("speedup_vs_single_thread", speedup);
+  rep.summary("violations", static_cast<double>(violations));
+  rep.summary("versions_live_after_drain", static_cast<double>(live));
+  for (std::size_t i = 0; i < threads; ++i) {
+    rep.add_point("per_worker_routes_per_sec", static_cast<double>(i),
+                  outcomes[i].routes / elapsed);
+  }
+  for (const auto& [name, value] : reg.scalars()) rep.summary(name, value);
+  const std::string path = rep.write();
+  if (!path.empty()) std::printf("[json] %s\n", path.c_str());
+
+  // ---- verdict ---------------------------------------------------------
+  bool ok = true;
+  if (violations != 0) {
+    std::fprintf(stderr, "FAIL: %llu flow-consistency violations\n",
+                 static_cast<unsigned long long>(violations));
+    ok = false;
+  }
+  if (engine->switches() < min_switches) {
+    std::fprintf(stderr, "FAIL: only %llu switches (target %zu)\n",
+                 static_cast<unsigned long long>(engine->switches()),
+                 min_switches);
+    ok = false;
+  }
+  if (engine->switch_noops() == 0) {
+    std::fprintf(stderr,
+                 "FAIL: no-op switch path never exercised (writer bug)\n");
+    ok = false;
+  }
+  // Refcount + epoch gating: after the drain, only the final active (and a
+  // possibly-uninstalled standby) may still be alive.
+  if (live > 2) {
+    std::fprintf(stderr, "FAIL: %llu versions leaked past the drain\n",
+                 static_cast<unsigned long long>(live));
+    ok = false;
+  }
+  std::printf(ok ? "rt stress: PASS\n" : "rt stress: FAIL\n");
+  return ok ? 0 : 1;
+}

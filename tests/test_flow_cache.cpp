@@ -179,6 +179,101 @@ TEST(FlowCache, ClearReleasesEveryEntry) {
   EXPECT_EQ(c.find(3), nullptr);
 }
 
+// splitmix64 finalizer, mirrored from flow_cache.cpp so tests can place
+// flows into known home buckets of a capacity-16 table.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+netsim::flow_id_t flow_for_bucket(std::size_t bucket,
+                                  netsim::flow_id_t start = 0) {
+  netsim::flow_id_t f = start;
+  while ((static_cast<std::size_t>(mix64(f)) & 15u) != bucket) ++f;
+  return f;
+}
+
+TEST(FlowCache, ScrubMidSweepDoesNotRestartTheSweep) {
+  // Regression for the sweep-cursor reset in rehash(): a tombstone scrub
+  // landing mid-sweep used to send the cursor back to slot 0, so with
+  // recurring scrubs the incremental sweep re-visited the head of the table
+  // forever and stale entries parked in the tail were never evicted.  The
+  // fix scales the cursor into the new layout (identity for a same-size
+  // scrub), so sweep progress survives the rehash.
+  flow_cache c{16};
+  ASSERT_EQ(c.capacity(), 16u);
+
+  // A stale victim in the tail (home bucket 14) and two fresh fillers in
+  // the head (buckets 0 and 1).  Distinct home buckets mean every entry
+  // sits exactly in its bucket, before and after the scrub's re-insertion.
+  const auto victim = flow_for_bucket(14);
+  const auto keep0 = flow_for_bucket(0);
+  const auto keep1 = flow_for_bucket(1);
+  c.insert(victim, 1, 0.0);     // will be idle by t=2000
+  c.insert(keep0, 2, 3000.0);   // stays fresh throughout
+  c.insert(keep1, 2, 3000.0);
+
+  // Advance the sweep cursor halfway through the table without evicting
+  // anything (victim is only 500s old against a 1000s timeout).
+  EXPECT_EQ(c.step_evict(500.0, 1000.0, 8, {}), 0u);
+
+  // Now force a tombstone scrub: park a tombstone in each remaining bucket
+  // (insert a short-lived flow into an empty bucket, erase it) until the
+  // occupied+tombstone fill crosses the scrub threshold and an insert
+  // performs the same-size rehash.
+  for (std::size_t b = 2; b <= 15; ++b) {
+    if (b == 14) continue;  // the victim's bucket
+    const auto tmp = flow_for_bucket(b, victim + 1);
+    c.insert(tmp, 9, 600.0);
+    if (c.tombstone_scrubs() > 0) {
+      c.erase(tmp, {});
+      break;
+    }
+    c.erase(tmp, {});
+  }
+  EXPECT_EQ(c.tombstone_scrubs(), 1u);
+  EXPECT_EQ(c.capacity(), 16u);  // scrub, not growth
+  EXPECT_EQ(c.size(), 3u);
+
+  // One more 8-slot sweep step must finish the lap — slots 8..15, which
+  // include the victim.  With the old reset-to-0 cursor this sweeps slots
+  // 0..7 again and evicts nothing.
+  std::vector<model_id> evicted;
+  const auto n =
+      c.step_evict(2000.0, 1000.0, 8, [&](model_id m) { evicted.push_back(m); });
+  EXPECT_EQ(n, 1u);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 1u);
+  EXPECT_EQ(c.find(victim), nullptr);
+  // The fresh fillers survive.
+  EXPECT_NE(c.find(keep0), nullptr);
+  EXPECT_NE(c.find(keep1), nullptr);
+}
+
+TEST(FlowCache, GrowthMidSweepPreservesSweepProgress) {
+  // The growth rehash doubles capacity; the scaled cursor keeps relative
+  // position, so a sweep that was halfway through stays halfway through
+  // instead of restarting and double-visiting the head.
+  flow_cache c{16};
+  ASSERT_EQ(c.capacity(), 16u);
+  // Advance the cursor to slot 8 of 16.
+  c.insert(flow_for_bucket(0), 1, 0.0);
+  EXPECT_EQ(c.step_evict(1.0, 1000.0, 8, {}), 0u);
+  // Trigger growth to 32 slots.
+  for (netsim::flow_id_t f = 1000; f < 1012; ++f) c.insert(f, 1, 1.0);
+  ASSERT_EQ(c.capacity(), 32u);
+  // Cursor should now sit at 16 of 32: one more 16-slot step completes the
+  // lap and a further full lap revisits everything — total sweep work to
+  // cover the table stays bounded by its (new) size.
+  std::size_t evicted = 0;
+  evicted += c.step_evict(5000.0, 1000.0, 16, {});
+  evicted += c.step_evict(5000.0, 1000.0, 16, {});
+  EXPECT_EQ(evicted, 13u);  // every entry is stale by t=5000
+  EXPECT_EQ(c.size(), 0u);
+}
+
 TEST(FlowCache, RandomizedAgainstReferenceMap) {
   // Model-based check: random insert/erase/find against a std::map oracle.
   flow_cache c{16};

@@ -1,0 +1,453 @@
+// Tests for the real-thread datapath engine (src/rt): epoch-based
+// reclamation grace periods, the pin/demote snapshot lifecycle, the sharded
+// flow cache's pin transfer and eviction paths, engine-level flow
+// consistency across switches, and a short deterministic 2-thread
+// interleaving smoke.  Everything here runs in the normal ctest tier; the
+// heavy randomized multi-thread stress lives in rt_stress_harness (TSan CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "codegen/snapshot.hpp"
+#include "nn/mlp.hpp"
+#include "rt/engine.hpp"
+#include "rt/epoch.hpp"
+#include "rt/rt_deployment.hpp"
+#include "rt/sharded_flow_cache.hpp"
+#include "rt/snapshot_handle.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lf;
+
+codegen::snapshot rt_snapshot(std::uint64_t version, std::uint64_t seed = 9) {
+  rng g{seed};
+  return codegen::generate_snapshot(nn::make_ffnn_flow_size_net(g), "rt-ffnn",
+                                    version);
+}
+
+// -------------------------------------------------------------- epochs --
+
+TEST(EpochDomain, SlotsAreFiniteAndNeverRecycled) {
+  rt::epoch_domain d{2};
+  EXPECT_EQ(d.register_reader(), 0u);
+  EXPECT_EQ(d.register_reader(), 1u);
+  EXPECT_EQ(d.reader_count(), 2u);
+  EXPECT_THROW(d.register_reader(), std::length_error);
+}
+
+TEST(EpochDomain, RetireWaitsForOpenCriticalSection) {
+  rt::epoch_domain d{2};
+  const auto slot = d.register_reader();
+  int freed = 0;
+  {
+    rt::epoch_domain::guard g{d, slot};
+    d.retire([&]() { ++freed; });
+    // The reader entered before the retire: its published epoch is older
+    // than the retire target, so reclamation must hold off.
+    EXPECT_EQ(d.try_reclaim(), 0u);
+    EXPECT_EQ(freed, 0);
+    EXPECT_EQ(d.retired_pending(), 1u);
+  }
+  // Section closed: the grace period has elapsed.
+  EXPECT_EQ(d.try_reclaim(), 1u);
+  EXPECT_EQ(freed, 1);
+  EXPECT_EQ(d.retired_pending(), 0u);
+  EXPECT_EQ(d.reclaimed(), 1u);
+}
+
+TEST(EpochDomain, ReaderEnteringAfterRetireDoesNotBlockIt) {
+  rt::epoch_domain d{2};
+  const auto slot = d.register_reader();
+  int freed = 0;
+  d.retire([&]() { ++freed; });
+  // This section began after the retire's epoch advance, so it observed the
+  // new epoch and can never hold the old pointer — reclamation proceeds.
+  rt::epoch_domain::guard g{d, slot};
+  EXPECT_EQ(d.try_reclaim(), 1u);
+  EXPECT_EQ(freed, 1);
+}
+
+TEST(EpochDomain, SynchronizeDrainsEverything) {
+  rt::epoch_domain d{2};
+  (void)d.register_reader();
+  int freed = 0;
+  for (int i = 0; i < 5; ++i) d.retire([&]() { ++freed; });
+  d.synchronize();
+  EXPECT_EQ(freed, 5);
+  EXPECT_EQ(d.retired_pending(), 0u);
+}
+
+// ---------------------------------------------------- snapshot lifecycle --
+
+struct handle_rig {
+  rt::epoch_domain epochs{4};
+  rt::snapshot_handle h{epochs};
+  std::size_t slot = epochs.register_reader();
+};
+
+TEST(SnapshotHandle, InstallSwitchActivates) {
+  handle_rig rig;
+  EXPECT_FALSE(rig.h.has_active());
+  EXPECT_EQ(rig.h.install_standby(rt_snapshot(1)), 1u);
+  EXPECT_TRUE(rig.h.has_standby());
+  EXPECT_TRUE(rig.h.switch_active());
+  EXPECT_TRUE(rig.h.has_active());
+  EXPECT_FALSE(rig.h.has_standby());
+  rt::epoch_domain::guard g{rig.epochs, rig.slot};
+  EXPECT_EQ(rig.h.peek_gen(), 1u);
+}
+
+TEST(SnapshotHandle, SwitchWithoutStandbyIsCountedNoop) {
+  handle_rig rig;
+  EXPECT_FALSE(rig.h.switch_active());
+  EXPECT_EQ(rig.h.switch_noops(), 1u);
+  EXPECT_EQ(rig.h.switches(), 0u);
+  EXPECT_FALSE(rig.h.has_active());
+
+  // With an active but no standby the active must survive the no-op.
+  rig.h.install_standby(rt_snapshot(1));
+  rig.h.switch_active();
+  EXPECT_FALSE(rig.h.switch_active());
+  EXPECT_EQ(rig.h.switch_noops(), 2u);
+  rt::epoch_domain::guard g{rig.epochs, rig.slot};
+  EXPECT_EQ(rig.h.peek_gen(), 1u);
+}
+
+TEST(SnapshotHandle, ReplacedStandbyIsRetiredWithoutEverActivating) {
+  handle_rig rig;
+  rig.h.install_standby(rt_snapshot(1));
+  rig.h.install_standby(rt_snapshot(2));  // orphans gen 1
+  EXPECT_EQ(rig.h.live_versions(), 2u);
+  rig.h.maintain();
+  EXPECT_EQ(rig.h.retired(), 1u);
+  EXPECT_EQ(rig.h.live_versions(), 1u);
+  rig.h.switch_active();
+  rt::epoch_domain::guard g{rig.epochs, rig.slot};
+  EXPECT_EQ(rig.h.peek_gen(), 2u);
+}
+
+TEST(SnapshotHandle, RetirementGatedOnPinDrain) {
+  handle_rig rig;
+  rig.h.install_standby(rt_snapshot(1));
+  rig.h.switch_active();
+
+  // A flow-cache-style pin outlives its epoch guard.
+  rt::snapshot_version* v1 = nullptr;
+  {
+    rt::epoch_domain::guard g{rig.epochs, rig.slot};
+    v1 = rig.h.pin_active();
+  }
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->gen, 1u);
+
+  rig.h.install_standby(rt_snapshot(2));
+  rig.h.switch_active();  // demotes gen 1, drops its ownership pin
+  EXPECT_TRUE(v1->demoted.load());
+  // The flow pin still holds the version: maintain() must not free it.
+  rig.h.maintain();
+  EXPECT_EQ(rig.h.retired(), 0u);
+  EXPECT_EQ(rig.h.live_versions(), 2u);
+
+  rig.h.unpin(v1);  // last pin: queues the zombie
+  rig.h.maintain();
+  EXPECT_EQ(rig.h.retired(), 1u);
+  EXPECT_EQ(rig.h.live_versions(), 1u);
+}
+
+TEST(SnapshotHandle, RetirementGatedOnEpochDrain) {
+  handle_rig rig;
+  rig.h.install_standby(rt_snapshot(1));
+  rig.h.switch_active();
+  {
+    // A reader sits inside its critical section across the whole demotion:
+    // it pinned and unpinned, but its raw pointer is notionally still live
+    // until the guard closes, so the free must wait for the grace period.
+    rt::epoch_domain::guard g{rig.epochs, rig.slot};
+    rt::snapshot_version* v1 = rig.h.pin_active();
+    ASSERT_NE(v1, nullptr);
+    rig.h.unpin(v1);
+    rig.h.install_standby(rt_snapshot(2));
+    rig.h.switch_active();  // zero-crossing happens here (ownership drop)
+    rig.h.maintain();       // zombie retired against a fresh epoch...
+    EXPECT_EQ(rig.h.retired(), 0u);  // ...but not freed under the guard
+    EXPECT_EQ(rig.h.live_versions(), 2u);
+  }
+  rig.h.maintain();  // guard closed: grace elapsed, free runs
+  EXPECT_EQ(rig.h.retired(), 1u);
+  EXPECT_EQ(rig.h.live_versions(), 1u);
+}
+
+// ------------------------------------------------------- sharded cache --
+
+TEST(ShardedFlowCache, ShardCountRoundsToPowerOfTwoAndCoversFlows) {
+  rt::sharded_flow_cache c{5, 16};
+  EXPECT_EQ(c.shard_count(), 8u);
+  for (netsim::flow_id_t f = 0; f < 10000; ++f) {
+    ASSERT_LT(c.shard_of(f), c.shard_count());
+  }
+}
+
+TEST(ShardedFlowCache, InsertTransfersPinAndLostRaceReleasesIt) {
+  handle_rig rig;
+  rt::sharded_flow_cache c{4, 64};
+  rig.h.install_standby(rt_snapshot(1));
+  rig.h.switch_active();
+
+  rt::epoch_domain::guard g{rig.epochs, rig.slot};
+  rt::snapshot_version* v1 = rig.h.pin_active();
+  ASSERT_NE(v1, nullptr);
+  const auto pins_before = v1->pins.load();
+  // The miss path: the caller's pin transfers into the entry.
+  EXPECT_EQ(c.insert(5, v1, 0.0, rig.h), v1);
+  EXPECT_EQ(v1->pins.load(), pins_before);  // transferred, not duplicated
+  EXPECT_EQ(c.lookup(5, 0.1, 30.0, 0, rig.h), v1);
+
+  // Lost race on the same flow with a *newer* version: the resident entry
+  // wins (flow consistency) and the loser's pin is released.
+  rig.h.install_standby(rt_snapshot(2));
+  rig.h.switch_active();
+  rt::snapshot_version* v2 = rig.h.pin_active();
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(v2->gen, 2u);
+  const auto v2_pins_before = v2->pins.load();
+  rt::snapshot_version* resident = c.insert(5, v2, 0.2, rig.h);
+  EXPECT_EQ(resident, v1);
+  EXPECT_EQ(resident->gen, 1u);
+  // The losing pin was released inside insert(); only v2's ownership pin
+  // remains, so no unpin is owed here.
+  EXPECT_EQ(v2->pins.load(), v2_pins_before - 1);
+
+  c.clear(rig.h);
+}
+
+TEST(ShardedFlowCache, FinAndIdleExpiryReleaseEachPinExactlyOnce) {
+  handle_rig rig;
+  rt::sharded_flow_cache c{4, 64};
+  rig.h.install_standby(rt_snapshot(1));
+  rig.h.switch_active();
+
+  {
+    rt::epoch_domain::guard g{rig.epochs, rig.slot};
+    for (netsim::flow_id_t f = 0; f < 8; ++f) {
+      rt::snapshot_version* v = rig.h.pin_active();
+      ASSERT_NE(v, nullptr);
+      EXPECT_EQ(c.insert(f, v, 0.0, rig.h), v);
+    }
+  }
+  EXPECT_EQ(c.stats().size, 8u);
+
+  // FIN drops exactly one pin; a duplicate FIN (the race where the idle
+  // sweep and the FIN both target the entry) finds nothing and must not
+  // double-release.
+  EXPECT_TRUE(c.erase(3, rig.h));
+  EXPECT_FALSE(c.erase(3, rig.h));
+  EXPECT_EQ(c.stats().size, 7u);
+
+  // Idle expiry drains the rest; a second sweep is a no-op.
+  EXPECT_EQ(c.expire_idle(100.0, 1.0, rig.h), 7u);
+  EXPECT_EQ(c.expire_idle(100.0, 1.0, rig.h), 0u);
+  EXPECT_EQ(c.stats().size, 0u);
+
+  // Every pin accounted for: demote the version and it retires cleanly.
+  rig.h.install_standby(rt_snapshot(2));
+  rig.h.switch_active();
+  rig.h.maintain();
+  EXPECT_EQ(rig.h.retired(), 1u);
+  EXPECT_EQ(rig.h.live_versions(), 1u);
+}
+
+TEST(ShardedFlowCache, LookupSweepEvictsIdleNeighborsAndReleasesPins) {
+  handle_rig rig;
+  rt::sharded_flow_cache c{1, 64};  // one shard: the sweep sees every flow
+  rig.h.install_standby(rt_snapshot(1));
+  rig.h.switch_active();
+  {
+    rt::epoch_domain::guard g{rig.epochs, rig.slot};
+    for (netsim::flow_id_t f = 0; f < 16; ++f) {
+      // The hot flow is inserted fresh so the first sweep (which runs
+      // before the lookup's find) cannot evict it along with the rest.
+      c.insert(f, rig.h.pin_active(), f == 7 ? 90.0 : 0.0, rig.h);
+    }
+  }
+  // One hot flow keeps routing far past the idle timeout; the per-lookup
+  // incremental sweep alone must evict the 15 stale entries.
+  for (int i = 0; i < 200; ++i) {
+    rt::epoch_domain::guard g{rig.epochs, rig.slot};
+    c.lookup(7, 100.0 + i, 30.0, 4, rig.h);
+  }
+  EXPECT_EQ(c.stats().size, 1u);
+  {
+    rt::epoch_domain::guard g{rig.epochs, rig.slot};
+    ASSERT_NE(c.lookup(7, 400.0, 1000.0, 0, rig.h), nullptr);
+  }
+  c.clear(rig.h);
+}
+
+// --------------------------------------------------------------- engine --
+
+TEST(RtEngine, RoutePinsFlowsAcrossSwitchUntilFin) {
+  rt::engine_config cfg;
+  cfg.shards = 4;
+  cfg.shard_capacity = 64;
+  cfg.max_workers = 2;
+  rt::datapath_engine e{cfg};
+  rt::worker_handle& w = e.register_worker();
+
+  // Nothing active: route serves nothing and caches nothing.
+  auto r = e.route(w, 1, 0.0, {}, {});
+  EXPECT_EQ(r.gen, 0u);
+  EXPECT_FALSE(r.served);
+  EXPECT_EQ(e.cached_flows(), 0u);
+
+  e.install(rt_snapshot(1));
+  EXPECT_TRUE(e.switch_active());
+  r = e.route(w, 1, 0.0, {}, {});
+  EXPECT_EQ(r.gen, 1u);
+  EXPECT_FALSE(r.hit);
+  r = e.route(w, 1, 0.1, {}, {});
+  EXPECT_EQ(r.gen, 1u);
+  EXPECT_TRUE(r.hit);
+
+  // Switch generations: the cached flow stays pinned to gen 1 (§3.4 flow
+  // consistency), new flows pick up gen 2.
+  e.install(rt_snapshot(2));
+  EXPECT_TRUE(e.switch_active());
+  r = e.route(w, 1, 0.2, {}, {});
+  EXPECT_EQ(r.gen, 1u);
+  EXPECT_TRUE(r.hit);
+  r = e.route(w, 2, 0.2, {}, {});
+  EXPECT_EQ(r.gen, 2u);
+
+  // FIN re-pins the flow to the current active on its next packet, and the
+  // drained gen-1 version retires.
+  EXPECT_TRUE(e.flow_finished(w, 1));
+  r = e.route(w, 1, 0.3, {}, {});
+  EXPECT_EQ(r.gen, 2u);
+  EXPECT_FALSE(r.hit);
+  e.maintain();
+  EXPECT_EQ(e.versions_retired(), 1u);
+  EXPECT_EQ(e.versions_live(), 1u);
+  EXPECT_EQ(e.switches(), 2u);
+  EXPECT_EQ(w.routes(), 6u);
+  EXPECT_EQ(w.cache_hits(), 2u);
+}
+
+TEST(RtEngine, RouteRunsCompiledInference) {
+  rt::engine_config cfg;
+  cfg.max_workers = 2;
+  rt::datapath_engine e{cfg};
+  rt::worker_handle& w = e.register_worker();
+  e.install(rt_snapshot(1));
+  e.switch_active();
+
+  std::vector<fp::s64> input(8, 100);
+  std::vector<fp::s64> out_a(1), out_b(1);
+  auto r = e.route(w, 42, 0.0, input, out_a);
+  EXPECT_TRUE(r.served);
+  EXPECT_EQ(w.inferences(), 1u);
+  // Same program, same input, same flow: bitwise-identical output.
+  r = e.route(w, 42, 0.1, input, out_b);
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(out_a[0], out_b[0]);
+}
+
+TEST(RtEngine, SwitchWithoutStandbyIsNoopAndIdleExpiryDrains) {
+  rt::engine_config cfg;
+  cfg.shards = 2;
+  cfg.idle_timeout = 1.0;
+  cfg.max_workers = 2;
+  rt::datapath_engine e{cfg};
+  rt::worker_handle& w = e.register_worker();
+  EXPECT_FALSE(e.switch_active());
+  EXPECT_EQ(e.switch_noops(), 1u);
+
+  e.install(rt_snapshot(1));
+  e.switch_active();
+  for (netsim::flow_id_t f = 0; f < 32; ++f) e.route(w, f, 0.0, {}, {});
+  EXPECT_EQ(e.cached_flows(), 32u);
+  EXPECT_EQ(e.expire_idle(100.0), 32u);
+  EXPECT_EQ(e.cached_flows(), 0u);
+}
+
+TEST(RtEngine, DeploymentRegistryBuildsEngine) {
+  rt::engine_config cfg;
+  cfg.shards = 2;
+  cfg.max_workers = 2;
+  auto e = rt::build_engine(cfg);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->config().shards, 2u);
+  e->install(rt_snapshot(1));
+  EXPECT_TRUE(e->switch_active());
+  EXPECT_TRUE(e->has_active());
+}
+
+// Deterministic 2-thread interleaving smoke for the normal ctest tier: one
+// writer performing a fixed number of install+switch+maintain cycles against
+// one routing thread checking the flow-consistency invariant.  Bounded by
+// iteration counts, not wall time, so it cannot hang or flake on load.
+TEST(RtEngine, TwoThreadInterleavingSmoke) {
+  rt::engine_config cfg;
+  cfg.shards = 4;
+  cfg.shard_capacity = 256;
+  cfg.idle_timeout = 0.5;
+  cfg.max_workers = 2;
+  rt::datapath_engine e{cfg};
+  e.install(rt_snapshot(1));
+  e.switch_active();
+  rt::worker_handle& w = e.register_worker();
+
+  constexpr int k_switch_cycles = 150;
+  std::atomic<bool> stop{false};
+  std::thread writer{[&]() {
+    for (int i = 0; i < k_switch_cycles; ++i) {
+      e.install(rt_snapshot(2 + i, 9 + (i % 3)));
+      e.switch_active();
+      e.maintain();
+      std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_release);
+  }};
+
+  constexpr std::size_t k_flows = 64;
+  std::vector<std::uint64_t> expected(k_flows, 0);
+  std::uint64_t violations = 0;
+  rng g{0x2b1e};
+  double now = 0.0;
+  while (!stop.load(std::memory_order_acquire)) {
+    now += 1e-4;
+    const auto idx = static_cast<std::size_t>(
+        g.uniform_int(0, static_cast<std::int64_t>(k_flows) - 1));
+    const auto flow = static_cast<netsim::flow_id_t>(1000 + idx);
+    const auto r = e.route(w, flow, now, {}, {});
+    if (r.gen != 0) {
+      // The invariant: a hit returns exactly the generation pinned at this
+      // flow's last miss.
+      if (r.hit && r.gen != expected[idx]) ++violations;
+      expected[idx] = r.gen;
+    }
+    if (g.uniform() < 0.05) {
+      e.flow_finished(w, flow);
+      expected[idx] = 0;
+    }
+  }
+  writer.join();
+  EXPECT_EQ(violations, 0u);
+  EXPECT_EQ(e.switches(), 1u + k_switch_cycles);
+
+  // Drain: after FINning everything and a full grace period, only the
+  // final active generation may remain alive.
+  e.cache().clear(e.snapshots());
+  e.maintain();
+  e.epochs().synchronize();
+  e.maintain();
+  EXPECT_LE(e.versions_live(), 2u);
+  EXPECT_EQ(e.versions_live() + e.versions_retired(),
+            static_cast<std::uint64_t>(1 + k_switch_cycles));
+}
+
+}  // namespace
