@@ -330,6 +330,80 @@ void quantized_mlp::infer_into(std::span<const s64> input_q, std::span<s64> out,
   }
 }
 
+void quantized_mlp::infer_batch_into(std::span<const s64> inputs,
+                                     std::size_t k, std::span<s64> outs,
+                                     inference_scratch& scratch) const {
+  if (inputs.size() != k * input_size_) {
+    throw std::invalid_argument{
+        "quantized_mlp::infer_batch_into input size mismatch"};
+  }
+  if (outs.size() != k * output_size()) {
+    throw std::invalid_argument{
+        "quantized_mlp::infer_batch_into output size mismatch"};
+  }
+  // Bound the scratch footprint for arbitrarily large batches: the weight
+  // pass is amortized within each chunk, and 32 samples already amortize
+  // the per-layer dispatch and weight streaming almost completely.
+  constexpr std::size_t k_chunk = 32;
+  const std::size_t chunk = k < k_chunk ? k : k_chunk;
+  if (scratch.buf_.size() < 2 * max_width_ * chunk) {
+    scratch.buf_.resize(2 * max_width_ * chunk);
+  }
+  const std::size_t out_sz = output_size();
+
+  for (std::size_t base = 0; base < k; base += k_chunk) {
+    const std::size_t c = std::min(k_chunk, k - base);
+    // Per-sample mode so each sample's result matches its scalar
+    // infer_into() exactly: within the bound the no-saturation proofs
+    // apply, beyond it that sample runs fully saturating.
+    bool fast_mode[k_chunk];
+    for (std::size_t s = 0; s < c; ++s) {
+      const s64* in = inputs.data() + (base + s) * input_size_;
+      bool in_bounds = true;
+      for (std::size_t j = 0; j < input_size_; ++j) {
+        if (in[j] > fastpath_input_bound_ || in[j] < -fastpath_input_bound_) {
+          in_bounds = false;
+          break;
+        }
+      }
+      fast_mode[s] = in_bounds;
+    }
+
+    s64* const half_a = scratch.buf_.data();
+    s64* const half_b = scratch.buf_.data() + max_width_ * chunk;
+    for (std::size_t li = 0; li < descs_.size(); ++li) {
+      const auto& d = descs_[li];
+      const bool last = li + 1 == descs_.size();
+      s64* const dst_base = last ? nullptr : (li % 2 == 0 ? half_a : half_b);
+      // Layer-outer / sample-inner: d's weight rows are read c times while
+      // hot instead of being evicted between samples by the other layers.
+      for (std::size_t s = 0; s < c; ++s) {
+        const s64* in = li == 0 ? inputs.data() + (base + s) * input_size_
+                                : (li % 2 == 0 ? half_b : half_a) +
+                                      s * max_width_;
+        s64* const dst = last ? outs.data() + (base + s) * out_sz
+                              : dst_base + s * max_width_;
+        const bool fast = fast_mode[s] && d.saturation_free;
+        switch (d.act) {
+          case nn::activation::linear:
+            fast ? run_layer<false, nn::activation::linear>(d, in, dst)
+                 : run_layer<true, nn::activation::linear>(d, in, dst);
+            break;
+          case nn::activation::relu:
+            fast ? run_layer<false, nn::activation::relu>(d, in, dst)
+                 : run_layer<true, nn::activation::relu>(d, in, dst);
+            break;
+          case nn::activation::tanh_act:
+          case nn::activation::sigmoid:
+            fast ? run_layer<false, nn::activation::tanh_act>(d, in, dst)
+                 : run_layer<true, nn::activation::tanh_act>(d, in, dst);
+            break;
+        }
+      }
+    }
+  }
+}
+
 std::vector<double> quantized_mlp::infer_float(
     std::span<const double> input) const {
   if (input.size() != input_size_) {

@@ -79,6 +79,18 @@ class quantized_mlp {
   void infer_into(std::span<const s64> input_q, std::span<s64> out,
                   inference_scratch& scratch) const;
 
+  /// Batched fast path: run `k` independent inferences in one call,
+  /// bit-for-bit identical to k scalar infer_into() calls.  `inputs` is
+  /// row-major k x input_size(), `outs` row-major k x output_size().  The
+  /// loop nest is layer-outer / sample-inner, so each layer's weight rows
+  /// stream from cache once per *batch* instead of once per sample — this
+  /// is the "one weight pass over K flows" the rt engine's route_batch
+  /// feeds (same-generation packet runs), and the shape the future SIMD/JIT
+  /// backend will specialize.  Zero-allocation once `scratch` is warm
+  /// (internally chunked, so scratch stays bounded for any k).
+  void infer_batch_into(std::span<const s64> inputs, std::size_t k,
+                        std::span<s64> outs, inference_scratch& scratch) const;
+
   /// Largest |input| (in io_scale units) for which the per-layer
   /// no-saturation proof holds; inputs beyond it take the saturating path.
   s64 fastpath_input_bound() const noexcept { return fastpath_input_bound_; }

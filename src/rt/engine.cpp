@@ -1,21 +1,43 @@
 #include "rt/engine.hpp"
 
 namespace lf::rt {
+namespace {
+
+/// L1 hits between forced L2 refreshes of a flow's last-used stamp.  At any
+/// plausible route rate this bounds stamp staleness far below any sane idle
+/// timeout while keeping ~98% of hits entirely worker-local.
+constexpr std::uint64_t k_l1_refresh_mask = 63;
+
+}  // namespace
 
 void worker_handle::register_metrics(metrics::registry& reg,
                                      const std::string& prefix) {
   reg.register_counter(prefix + ".routes", routes_);
+  reg.register_counter(prefix + ".l1_hits", l1_hits_);
   reg.register_counter(prefix + ".hits", hits_);
   reg.register_counter(prefix + ".misses", misses_);
   reg.register_counter(prefix + ".inferences", infers_);
   reg.register_counter(prefix + ".fins", fins_);
+  reg.register_counter(prefix + ".batches", batches_);
+}
+
+std::size_t datapath_engine::resolved_shards(
+    const engine_config& cfg) noexcept {
+  const std::size_t workers = cfg.max_workers == 0 ? 1 : cfg.max_workers;
+  return cfg.shards == 0 ? round_up_pow2(2 * workers)
+                         : round_up_pow2(cfg.shards);
 }
 
 datapath_engine::datapath_engine(engine_config cfg)
     : cfg_{cfg},
       epochs_{cfg.max_workers == 0 ? 1 : cfg.max_workers},
       handle_{epochs_},
-      cache_{cfg.shards, cfg.shard_capacity} {}
+      cache_{resolved_shards(cfg), cfg.shard_capacity, epochs_} {
+  // Reflect the resolved policy back into config() so callers (and the
+  // bench report) see the shard count actually in effect.
+  cfg_.shards = cache_.shard_count();
+  if (cfg_.l1_slots != 0) cfg_.l1_slots = round_up_pow2(cfg_.l1_slots);
+}
 
 datapath_engine::~datapath_engine() {
   // Contract: worker threads are joined.  Release every flow pin so the
@@ -45,7 +67,51 @@ worker_handle& datapath_engine::register_worker() {
   std::lock_guard<std::mutex> g{workers_mu_};
   worker_handle& w = workers_.emplace_back();
   w.slot_ = epochs_.register_reader();
+  if (cfg_.l1_slots != 0) {
+    w.l1_.resize(cfg_.l1_slots);
+    unsigned bits = 0;
+    while ((std::size_t{1} << bits) < cfg_.l1_slots) ++bits;
+    w.l1_shift_ = 64 - bits;
+  }
   return w;
+}
+
+snapshot_version* datapath_engine::resolve_flow(worker_handle& w,
+                                               netsim::flow_id_t flow,
+                                               double now, std::uint64_t se,
+                                               bool& hit) {
+  if (!w.l1_.empty()) {
+    worker_handle::l1_entry& e = w.l1_slot(flow);
+    if (e.epoch == se && e.flow == flow &&
+        (++w.l1_tick_ & k_l1_refresh_mask) != 0) {
+      // L1 hit: the unchanged switch epoch proves the binding is current
+      // and the pointer dereferenceable (snapshot_handle.hpp).  Every 64th
+      // hit falls through to the L2 probe purely to refresh the entry's
+      // idle stamp.
+      hit = true;
+      w.l1_hits_.inc();
+      return e.ver;
+    }
+  }
+  snapshot_version* v = cache_.lookup(flow, now);
+  if (v != nullptr) {
+    hit = true;
+    w.hits_.inc();
+  } else {
+    hit = false;
+    w.misses_.inc();
+    v = handle_.pin_active();
+    if (v == nullptr) return nullptr;  // nothing deployed yet
+    v = cache_.insert(flow, v, now, cfg_.idle_timeout,
+                      cfg_.evict_slots_per_route, handle_);
+  }
+  if (!w.l1_.empty()) {
+    // Stamp with the epoch loaded *before* the probe: if a flip or
+    // retirement raced this resolve, the entry is born stale and the next
+    // route re-validates against the shard instead of trusting it.
+    w.l1_slot(flow) = worker_handle::l1_entry{flow, v, se};
+  }
+  return v;
 }
 
 route_result datapath_engine::route(worker_handle& w, netsim::flow_id_t flow,
@@ -54,20 +120,13 @@ route_result datapath_engine::route(worker_handle& w, netsim::flow_id_t flow,
   route_result r;
   w.routes_.inc();
   // The epoch guard spans the whole route+infer: any version pointer we
-  // hold — cached pin or freshly pinned active — cannot be freed before we
-  // exit, even if a racing FIN/switch drops its last pin meanwhile.
+  // hold — L1-cached, shard-cached pin or freshly pinned active — cannot be
+  // freed before we exit, even if a racing FIN/switch drops its last pin
+  // meanwhile.
   epoch_domain::guard g{epochs_, w.slot_};
-  snapshot_version* v = cache_.lookup(flow, now, cfg_.idle_timeout,
-                                      cfg_.evict_slots_per_route, handle_);
-  if (v != nullptr) {
-    r.hit = true;
-    w.hits_.inc();
-  } else {
-    w.misses_.inc();
-    v = handle_.pin_active();
-    if (v == nullptr) return r;  // nothing deployed yet
-    v = cache_.insert(flow, v, now, handle_);
-  }
+  const std::uint64_t se = handle_.switch_epoch();
+  snapshot_version* v = resolve_flow(w, flow, now, se, r.hit);
+  if (v == nullptr) return r;
   r.gen = v->gen;
   const quant::quantized_mlp& prog = v->snap.program;
   if (input.size() == prog.input_size() && out.size() == prog.output_size()) {
@@ -78,7 +137,59 @@ route_result datapath_engine::route(worker_handle& w, netsim::flow_id_t flow,
   return r;
 }
 
+std::size_t datapath_engine::route_batch(
+    worker_handle& w, std::span<const netsim::flow_id_t> flows, double now,
+    std::span<const fp::s64> inputs, std::span<fp::s64> outs,
+    std::span<route_result> results) {
+  const std::size_t n = flows.size();
+  if (n == 0 || results.size() < n) return 0;
+  w.routes_.inc(n);
+  w.batches_.inc();
+  if (w.batch_vers_.size() < n) w.batch_vers_.resize(n);
+  // One guard + one switch-epoch load amortized over the whole batch.
+  epoch_domain::guard g{epochs_, w.slot_};
+  const std::uint64_t se = handle_.switch_epoch();
+  for (std::size_t i = 0; i < n; ++i) {
+    results[i] = route_result{};
+    snapshot_version* v = resolve_flow(w, flows[i], now, se, results[i].hit);
+    w.batch_vers_[i] = v;
+    if (v != nullptr) results[i].gen = v->gen;
+  }
+  // Inference over maximal runs of same-version packets: one batched weight
+  // pass per run.  Steady state is one run (everything on the active gen);
+  // during a switch drain it degrades gracefully to a few runs.
+  std::size_t served = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    snapshot_version* const v = w.batch_vers_[i];
+    std::size_t j = i + 1;
+    while (j < n && w.batch_vers_[j] == v) ++j;
+    if (v != nullptr) {
+      const quant::quantized_mlp& prog = v->snap.program;
+      const std::size_t in_sz = prog.input_size();
+      const std::size_t out_sz = prog.output_size();
+      if (inputs.size() == n * in_sz && outs.size() == n * out_sz) {
+        const std::size_t k = j - i;
+        prog.infer_batch_into(inputs.subspan(i * in_sz, k * in_sz), k,
+                              outs.subspan(i * out_sz, k * out_sz),
+                              w.scratch_);
+        w.infers_.inc(k);
+        served += k;
+        for (std::size_t s = i; s < j; ++s) results[s].served = true;
+      }
+    }
+    i = j;
+  }
+  return served;
+}
+
 bool datapath_engine::flow_finished(worker_handle& w, netsim::flow_id_t flow) {
+  if (!w.l1_.empty()) {
+    // Drop the worker's own binding first: after a FIN the next packet of
+    // this flow must take a miss, never an L1 hit on the closed entry.
+    worker_handle::l1_entry& e = w.l1_slot(flow);
+    if (e.flow == flow) e.epoch = 0;
+  }
   const bool erased = cache_.erase(flow, handle_);
   if (erased) w.fins_.inc();
   return erased;
@@ -96,6 +207,11 @@ void datapath_engine::register_metrics(metrics::registry& reg,
   reg.register_gauge(prefix + ".cache.rehashes", cache_rehashes_);
   reg.register_gauge(prefix + ".cache.lock_acquisitions", lock_acquisitions_);
   reg.register_gauge(prefix + ".cache.lock_contended", lock_contended_);
+  reg.register_gauge(prefix + ".cache.read_retries", read_retries_);
+  reg.register_gauge(prefix + ".cache.read_fallbacks", read_fallbacks_);
+  reg.register_gauge(prefix + ".lock.per_route", lock_per_route_);
+  reg.register_gauge(prefix + ".lock.contended_ratio", lock_contended_ratio_);
+  reg.register_gauge(prefix + ".l1.hit_rate", l1_hit_rate_);
   reg.register_gauge(prefix + ".flip_lock.contended", flip_contended_);
   reg.register_gauge(prefix + ".versions.live", live_versions_gauge_);
   reg.register_gauge(prefix + ".versions.retired", retired_versions_gauge_);
@@ -108,6 +224,31 @@ void datapath_engine::publish_stats() {
   cache_rehashes_.set(static_cast<double>(t.rehashes));
   lock_acquisitions_.set(static_cast<double>(t.lock_acquisitions));
   lock_contended_.set(static_cast<double>(t.lock_contended));
+  read_retries_.set(static_cast<double>(t.read_retries));
+  read_fallbacks_.set(static_cast<double>(t.read_fallbacks));
+  // Derived pressure rates for flight reports and the scaling bench: locks
+  // taken per route and the fraction of acquisitions that actually spun.
+  std::uint64_t total_routes = 0;
+  std::uint64_t total_l1_hits = 0;
+  {
+    std::lock_guard<std::mutex> g{workers_mu_};
+    for (const worker_handle& w : workers_) {
+      total_routes += w.routes();
+      total_l1_hits += w.l1_hits();
+    }
+  }
+  lock_per_route_.set(total_routes == 0
+                          ? 0.0
+                          : static_cast<double>(t.lock_acquisitions) /
+                                static_cast<double>(total_routes));
+  lock_contended_ratio_.set(t.lock_acquisitions == 0
+                                ? 0.0
+                                : static_cast<double>(t.lock_contended) /
+                                      static_cast<double>(t.lock_acquisitions));
+  l1_hit_rate_.set(total_routes == 0
+                       ? 0.0
+                       : static_cast<double>(total_l1_hits) /
+                             static_cast<double>(total_routes));
   flip_contended_.set(
       static_cast<double>(handle_.flip_lock().contended_acquisitions()));
   live_versions_gauge_.set(static_cast<double>(handle_.live_versions()));

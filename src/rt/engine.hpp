@@ -8,10 +8,24 @@
 // while one writer installs standby snapshots lock-free and flips the
 // active pointer under a nanoseconds-held rt::spinlock.
 //
+// Read-path layering (fastest first):
+//   L1    per-worker direct-mapped flow→version cache inside worker_handle.
+//         No atomics beyond one switch-epoch load; entries are stamped with
+//         snapshot_handle::switch_epoch() and rejected after any flip or
+//         version retirement (see snapshot_handle.hpp for why the epoch
+//         guard then keeps the raw pointer dereferenceable).
+//   L2    sharded_flow_cache: seqlock-validated lock-free probe; the shard
+//         spinlock is touched only by insert/erase/evict/rehash.
+//   miss  pin_active() + insert (pin transfer), under the shard lock.
+//
+// Every ~64th L1 hit is demoted to an L2 probe so the entry's last-used
+// stamp keeps moving and the idle sweep never evicts a hot flow whose
+// traffic the L1 absorbed.
+//
 // Composition:
 //   epoch_domain        grace periods for the lock-free read path
 //   snapshot_handle     active/standby flip + pin-gated, epoch-deferred
-//                       version retirement
+//                       version retirement + the L1 switch epoch
 //   sharded_flow_cache  per-flow model pinning (flow consistency invariant)
 //
 // Time is caller-supplied (seconds on any monotonic clock shared by the
@@ -31,6 +45,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "codegen/snapshot.hpp"
 #include "quant/quantized_mlp.hpp"
@@ -43,11 +58,18 @@
 namespace lf::rt {
 
 struct engine_config {
-  std::size_t shards = 8;             ///< flow-cache shards (rounded to 2^k)
+  /// Flow-cache shards.  0 (the default) derives the count from
+  /// `max_workers`: the next power of two >= 2x the worker budget, so the
+  /// shard count scales with the deployment instead of being a fixed 8.
+  /// Explicit values are rounded up to a power of two.
+  std::size_t shards = 0;
   std::size_t shard_capacity = 1024;  ///< initial slots per shard
   double idle_timeout = 30.0;         ///< seconds before idle eviction
-  std::size_t evict_slots_per_route = 2;  ///< incremental sweep per lookup
+  std::size_t evict_slots_per_route = 2;  ///< incremental sweep per miss
   std::size_t max_workers = 64;       ///< epoch reader slots preallocated
+  /// Per-worker L1 route-cache slots (rounded up to a power of two);
+  /// 0 disables the L1 so benches can measure the L2 path in isolation.
+  std::size_t l1_slots = 64;
 };
 
 struct route_result {
@@ -56,31 +78,56 @@ struct route_result {
   bool served = false;    ///< inference executed into `out`
 };
 
-/// Per-worker state: the epoch reader slot, the inference scratch, and the
-/// worker's own counters (single-writer, so plain metrics::counter is safe;
-/// read them after the worker stops).  Over-aligned so adjacent workers in
-/// the engine's deque never false-share a cache line on the hot counters.
+/// Per-worker state: the epoch reader slot, the inference scratch, the
+/// direct-mapped L1 route cache, and the worker's own counters
+/// (single-writer, so plain metrics::counter is safe; read them after the
+/// worker stops).  Over-aligned so adjacent workers in the engine's deque
+/// never false-share a cache line on the hot counters.
 class alignas(128) worker_handle {
  public:
   std::uint64_t routes() const noexcept { return routes_.value(); }
+  std::uint64_t l1_hits() const noexcept { return l1_hits_.value(); }
   std::uint64_t cache_hits() const noexcept { return hits_.value(); }
   std::uint64_t cache_misses() const noexcept { return misses_.value(); }
   std::uint64_t inferences() const noexcept { return infers_.value(); }
   std::uint64_t fins() const noexcept { return fins_.value(); }
+  std::uint64_t batches() const noexcept { return batches_.value(); }
   std::size_t epoch_slot() const noexcept { return slot_; }
+  std::size_t l1_capacity() const noexcept { return l1_.size(); }
 
   /// Publish this worker's counters under "<prefix>.routes", ".hits", ...
   void register_metrics(metrics::registry& reg, const std::string& prefix);
 
  private:
   friend class datapath_engine;
+
+  /// One L1 binding: serve `flow` from `ver` for as long as the global
+  /// switch epoch still equals `epoch` (0 = never valid; epochs start at 1).
+  struct l1_entry {
+    netsim::flow_id_t flow = 0;
+    snapshot_version* ver = nullptr;
+    std::uint64_t epoch = 0;
+  };
+
+  l1_entry& l1_slot(netsim::flow_id_t flow) noexcept {
+    // Fibonacci top-bits: one multiply, decorrelated from both the shard
+    // index (splitmix top bits) and the in-shard bucket (splitmix low bits).
+    return l1_[(flow * 0x9e3779b97f4a7c15ULL) >> l1_shift_];
+  }
+
   std::size_t slot_ = 0;
   quant::inference_scratch scratch_;
+  std::vector<l1_entry> l1_;  ///< direct-mapped; sized by engine_config
+  unsigned l1_shift_ = 63;
+  std::uint64_t l1_tick_ = 0;  ///< forces periodic L2 stamp refresh
+  std::vector<snapshot_version*> batch_vers_;  ///< route_batch scratch
   metrics::counter routes_;
+  metrics::counter l1_hits_;
   metrics::counter hits_;
   metrics::counter misses_;
   metrics::counter infers_;
   metrics::counter fins_;
+  metrics::counter batches_;
 };
 
 class datapath_engine {
@@ -116,12 +163,31 @@ class datapath_engine {
   /// Route one packet of `flow` at time `now` and run inference.
   /// `input`/`out` must match the installed program's input/output sizes;
   /// pass empty spans to route without inferring (tests).  The flow is
-  /// served by its pinned generation if cached, else pins the current
-  /// active.  Returns gen 0 (and no insert) when nothing is active.
+  /// served by its pinned generation if cached (L1 first, then the sharded
+  /// cache), else pins the current active.  Returns gen 0 (and no insert)
+  /// when nothing is active.
   route_result route(worker_handle& w, netsim::flow_id_t flow, double now,
                      std::span<const fp::s64> input, std::span<fp::s64> out);
 
-  /// TCP FIN: drop the flow's pin.  False if the flow was not cached.
+  /// Batched routing: route `flows.size()` packets under ONE epoch-guard
+  /// entry/exit and ONE switch-epoch load, then feed runs of same-version
+  /// flows through one batched weight pass (quantized_mlp::infer_batch_into).
+  /// `inputs` is row-major flows.size() x input_size, `outs` row-major
+  /// flows.size() x output_size; pass empty spans to route without
+  /// inferring.  `results` must have at least flows.size() entries; each is
+  /// filled exactly as the scalar route() would.  Returns the number of
+  /// packets actually served with inference.
+  std::size_t route_batch(worker_handle& w,
+                          std::span<const netsim::flow_id_t> flows, double now,
+                          std::span<const fp::s64> inputs,
+                          std::span<fp::s64> outs,
+                          std::span<route_result> results);
+
+  /// TCP FIN: drop the flow's pin and the calling worker's L1 binding.
+  /// False if the flow was not cached.  FINs for a flow must come from the
+  /// worker that routes it (other workers' L1 entries for the flow stay
+  /// valid until the next switch epoch bump — safe, but they would keep
+  /// serving the old binding until then).
   bool flow_finished(worker_handle& w, netsim::flow_id_t flow);
 
   /// Full idle expiry across all shards (maintenance).
@@ -145,16 +211,30 @@ class datapath_engine {
   snapshot_handle& snapshots() noexcept { return handle_; }
   sharded_flow_cache& cache() noexcept { return cache_; }
 
+  /// Shard count an engine_config resolves to: explicit values round up to
+  /// a power of two, 0 derives next_pow2(2 * max_workers).  Exposed so the
+  /// config test and the harness can assert the policy without building an
+  /// engine.
+  static std::size_t resolved_shards(const engine_config& cfg) noexcept;
+
   /// Register writer counters plus post-run aggregate gauges under
   /// "<prefix>.*"; call publish_stats() after the workers stop to fill the
   /// aggregates before reading the registry.
   void register_metrics(metrics::registry& reg, const std::string& prefix);
 
-  /// Snapshot the sharded-cache totals and version lifecycle into the
-  /// registered gauges (quiesced read — run after worker threads join).
+  /// Snapshot the sharded-cache totals, version lifecycle, and the derived
+  /// lock-pressure rates (lock.per_route, lock.contended_ratio, l1.hit_rate)
+  /// into the registered gauges (quiesced read — run after worker threads
+  /// join).
   void publish_stats();
 
  private:
+  /// Shared resolve step of route()/route_batch(): L1, then the lock-free
+  /// shard probe, then the pin+insert miss path.  Must be called inside the
+  /// worker's epoch guard with `se` loaded inside that same guard.
+  snapshot_version* resolve_flow(worker_handle& w, netsim::flow_id_t flow,
+                                 double now, std::uint64_t se, bool& hit);
+
   engine_config cfg_;
   epoch_domain epochs_;      // declared before handle_: destroyed after it
   snapshot_handle handle_;
@@ -166,6 +246,11 @@ class datapath_engine {
   metrics::gauge cache_rehashes_;
   metrics::gauge lock_acquisitions_;
   metrics::gauge lock_contended_;
+  metrics::gauge lock_per_route_;
+  metrics::gauge lock_contended_ratio_;
+  metrics::gauge read_retries_;
+  metrics::gauge read_fallbacks_;
+  metrics::gauge l1_hit_rate_;
   metrics::gauge flip_contended_;
   metrics::gauge live_versions_gauge_;
   metrics::gauge retired_versions_gauge_;

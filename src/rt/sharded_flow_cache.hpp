@@ -1,65 +1,97 @@
-// Sharded flow cache for the real-thread datapath engine.
+// Sharded flow cache for the real-thread datapath engine — read-mostly.
 //
-// The sim router's core::flow_cache is a single-threaded open-addressing
-// table.  Under real concurrent workers one table plus one lock would
-// serialize every packet, so the rt engine shards: S independent
-// core::flow_cache instances (reusing the probe/tombstone/incremental-sweep
-// machinery unchanged), each behind its own rt::spinlock, with the shard
-// chosen from the high bits of a splitmix64 hash of the flow id (the cache's
-// internal bucket hash uses the low bits, so shard and bucket choice stay
-// uncorrelated).
+// The first rt engine reused core::flow_cache behind one spinlock per shard,
+// which put ~1 lock RMW on every route and made 4 workers *slower* than one.
+// This version makes the shard hot path lock-free in the common case:
 //
-// Entries pin a snapshot_version: the cache stores the version pointer in
-// the entry's model_id field (both 64-bit), and every eviction path — FIN
-// erase, incremental idle sweep, full expiry, clear — funnels through the
-// owner-provided release callback so model removal remains refcount-gated
-// exactly as in the sim (§3.4: a module unloads only at refcount zero).
+//  - Every slot field is a std::atomic (flow id, pinned version pointer,
+//    last-used stamp, state byte), so concurrent probing is race-free by
+//    construction (TSan-clean) without any lock.
+//  - Lookups run a **seqlock-validated probe**: read the shard's sequence
+//    counter, probe with acquire loads, re-read the counter.  An unchanged
+//    even counter proves no erase/evict/rehash overlapped the probe, so the
+//    (flow → version) pair read is consistent.  A torn probe retries, and
+//    after a few failed attempts falls back to the shard spinlock (bounded
+//    wait; counted separately so the bench can see it).
+//  - Inserts publish with a release store of the state byte *last*, so a
+//    concurrent reader either misses the slot entirely or sees fully
+//    initialized fields — plain inserts do not bump the sequence counter
+//    and therefore do not disturb concurrent readers at all.
+//  - Structural mutation (insert/erase/incremental evict/expire/clear/grow)
+//    keeps the per-shard spinlock.  Erase/evict/rehash additionally wrap
+//    their slot writes in seq_write_begin()/seq_write_end() bumps, because
+//    only those can re-bind a slot a reader is mid-probe on.
+//  - Growth swaps in a new slot array and retires the old one through the
+//    engine's epoch_domain: a reader that loaded the stale array pointer
+//    keeps probing memory that stays allocated until its guard closes, then
+//    fails seq validation and retries against the new array.
 //
-// Per-shard metrics counters live inside each core::flow_cache and are
-// mutated only under that shard's lock; totals() sums them and must be read
-// only after the workers have stopped (or tolerated as a racy snapshot —
-// the engine reads them post-join).
+// Entries pin a snapshot_version exactly as before: every eviction path —
+// FIN erase, incremental idle sweep, full expiry, clear — funnels through
+// snapshot_handle::unpin, so model removal remains refcount-gated (§3.4).
+// The incremental idle sweep moved from the (now lock-free) lookup to the
+// miss/insert path: a steady state of pure hits performs no eviction work,
+// which is sound because idle entries are created by churn, and churn means
+// misses, FINs and inserts — exactly the operations that drive the sweep.
+//
+// Callers must be inside an epoch_domain::guard on the engine's domain for
+// lookup() and insert(): the guard is what keeps a just-erased version and
+// a just-retired slot array dereferenceable until the call returns.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
-#include "core/flow_cache.hpp"
+#include "netsim/packet.hpp"
+#include "rt/epoch.hpp"
 #include "rt/snapshot_handle.hpp"
 #include "rt/spinlock.hpp"
 
 namespace lf::rt {
 
+/// Round up to the next power of two (>= 1).  Shared by the shard count,
+/// per-shard capacity and the engine's worker-derived shard default.
+constexpr std::size_t round_up_pow2(std::size_t v) noexcept {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
 class sharded_flow_cache {
  public:
   /// `shards` is rounded up to a power of two; each shard starts with
-  /// `shard_capacity` slots (also rounded up, by core::flow_cache).
-  explicit sharded_flow_cache(std::size_t shards = 8,
-                              std::size_t shard_capacity = 1024);
+  /// `shard_capacity` slots (also rounded up).  Old slot arrays are retired
+  /// through `epochs`, which must outlive the cache.
+  explicit sharded_flow_cache(std::size_t shards, std::size_t shard_capacity,
+                              epoch_domain& epochs);
 
   sharded_flow_cache(const sharded_flow_cache&) = delete;
   sharded_flow_cache& operator=(const sharded_flow_cache&) = delete;
 
-  /// Hit path: look up `flow`, touch its timestamp, and return the pinned
-  /// version (nullptr on miss).  Also advances the shard's incremental idle
-  /// sweep by `evict_slots` buckets, releasing expired pins via unpin.
-  /// The returned pointer stays valid because the entry's pin is only
-  /// released by an eviction path, and the caller is inside an epoch guard
-  /// (so even a racing FIN cannot lead to the version being freed under
-  /// the caller).
-  snapshot_version* lookup(netsim::flow_id_t flow, double now,
-                           double idle_timeout, std::size_t evict_slots,
-                           snapshot_handle& handle);
+  /// Teardown: requires readers stopped (frees the live slot arrays
+  /// directly; arrays retired earlier drain through the epoch domain).
+  ~sharded_flow_cache();
+
+  /// Hit path: seqlock-validated lock-free probe.  Touches the entry's
+  /// last-used stamp on a hit and returns the pinned version (nullptr on
+  /// miss).  MUST be called inside an epoch guard.  Takes the shard lock
+  /// only after repeated seq-validation failures (counted).
+  snapshot_version* lookup(netsim::flow_id_t flow, double now) noexcept;
 
   /// Miss path: insert `flow` pinned to `ver` (the caller already holds the
-  /// pin being transferred into the entry).  If another thread inserted the
-  /// flow concurrently, the existing entry wins: the transferred pin is
-  /// released and the resident version is returned so the caller serves the
-  /// flow consistently.
+  /// pin being transferred into the entry).  Runs the shard's incremental
+  /// idle sweep (`evict_slots` buckets against `idle_timeout`) under the
+  /// same lock acquisition.  If another thread inserted the flow
+  /// concurrently, the resident entry wins: the transferred pin is released
+  /// and the resident version returned so the caller serves the flow
+  /// consistently.  MUST be called inside an epoch guard.
   snapshot_version* insert(netsim::flow_id_t flow, snapshot_version* ver,
-                           double now, snapshot_handle& handle);
+                           double now, double idle_timeout,
+                           std::size_t evict_slots, snapshot_handle& handle);
 
   /// FIN: drop the flow's entry and release its pin.  False if absent.
   bool erase(netsim::flow_id_t flow, snapshot_handle& handle);
@@ -79,22 +111,84 @@ class sharded_flow_cache {
     std::size_t capacity = 0;
     std::uint64_t evictions = 0;
     std::uint64_t rehashes = 0;
-    std::uint64_t tombstone_scrubs = 0;
     std::uint64_t lock_acquisitions = 0;
     std::uint64_t lock_contended = 0;
+    std::uint64_t read_retries = 0;    ///< seq-validation retries (lock-free)
+    std::uint64_t read_fallbacks = 0;  ///< lookups that fell back to the lock
   };
 
-  /// Sum of the per-shard tables' stats.  Quiesced read: call after the
-  /// worker threads have stopped for exact numbers.
+  /// Sum of the per-shard stats.  Quiesced read: call after the worker
+  /// threads have stopped for exact numbers.
   totals stats() const;
 
  private:
-  struct alignas(64) shard {
-    spinlock lock;
-    core::flow_cache cache;
-    explicit shard(std::size_t capacity) : cache{capacity} {}
+  enum : std::uint8_t { k_empty = 0, k_tombstone = 1, k_occupied = 2 };
+
+  /// One probe slot.  All fields atomic so lock-free readers race no plain
+  /// memory; writers publish occupancy with a release store of `state`.
+  struct slot {
+    std::atomic<netsim::flow_id_t> flow{0};
+    std::atomic<snapshot_version*> ver{nullptr};
+    std::atomic<std::uint64_t> stamp{0};  ///< bit-cast double, last_used
+    std::atomic<std::uint8_t> state{k_empty};
   };
 
+  /// Immutable-geometry slot array; the current one is published through an
+  /// atomic pointer and superseded arrays are epoch-retired.
+  struct table {
+    explicit table(std::size_t capacity)
+        : mask{capacity - 1}, slots(new slot[capacity]) {}
+    const std::size_t mask;  ///< capacity - 1 (capacity is a power of two)
+    std::unique_ptr<slot[]> slots;
+  };
+
+  struct alignas(64) shard {
+    explicit shard(std::size_t capacity)
+        : tbl{new table{round_up_pow2(capacity < 4 ? 4 : capacity)}} {}
+    ~shard() { delete tbl.load(std::memory_order_relaxed); }
+
+    spinlock lock;                   ///< insert/erase/evict/rehash
+    std::atomic<std::uint64_t> seq{0};  ///< odd while a writer mutates slots
+    std::atomic<table*> tbl;
+    // Writer-side bookkeeping, guarded by `lock`:
+    std::size_t occupied = 0;
+    std::size_t tombstones = 0;
+    std::size_t sweep_cursor = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t rehashes = 0;
+    // Reader-side slow-path accounting (atomic: touched only on seq
+    // conflicts, never on the clean lock-free fast path):
+    std::atomic<std::uint64_t> read_retries{0};
+    std::atomic<std::uint64_t> read_fallbacks{0};
+
+    void seq_write_begin() noexcept {
+      seq.fetch_add(1, std::memory_order_acq_rel);
+    }
+    void seq_write_end() noexcept {
+      seq.fetch_add(1, std::memory_order_release);
+    }
+  };
+
+  static std::size_t bucket_of(const table& t, netsim::flow_id_t flow) noexcept;
+
+  /// Writer-side probe (under the shard lock): returns the slot holding
+  /// `flow`, or the first reusable slot (tombstone preferred, else empty),
+  /// or nullptr if the table is full of mismatches.
+  static slot* probe_for_write(table& t, netsim::flow_id_t flow,
+                               slot** reusable) noexcept;
+
+  /// Drop one occupied slot (under the shard lock), releasing its pin.
+  void evict_slot(shard& sh, slot& s, snapshot_handle& handle);
+
+  /// Grow (or scrub) the shard's table to `new_capacity` (under the shard
+  /// lock); the old array is retired through the epoch domain.
+  void rehash(shard& sh, std::size_t new_capacity);
+
+  /// Incremental idle sweep (under the shard lock).
+  std::size_t step_evict(shard& sh, double now, double idle_timeout,
+                         std::size_t slots, snapshot_handle& handle);
+
+  epoch_domain& epochs_;
   std::vector<std::unique_ptr<shard>> shards_;
   std::size_t shard_shift_ = 0;  ///< top bits of the mixed hash pick the shard
 };

@@ -51,6 +51,10 @@ bool snapshot_handle::switch_active() {
     outgoing = active_.exchange(incoming, std::memory_order_seq_cst);
   }
   switches_.inc();
+  // L1 invalidation: any worker-cached flow→version binding may now differ
+  // from what a fresh shard lookup would pin (new flows bind to `incoming`),
+  // so every L1 entry stamped before this bump must fall back to the shard.
+  switch_epoch_.fetch_add(1, std::memory_order_seq_cst);
   if (outgoing != nullptr) {
     // Order matters: readers re-check demoted *after* pinning; publishing
     // demoted before the ownership-pin drop is what makes their check
@@ -99,6 +103,12 @@ void snapshot_handle::release_ownership(snapshot_version* v) noexcept {
 }
 
 void snapshot_handle::push_zombie(snapshot_version* v) noexcept {
+  // Bump-before-push: a worker that still reads the pre-bump switch epoch
+  // from inside its guard precedes this store in the seq_cst order, hence
+  // also precedes the retire()'s epoch advance — the grace period cannot
+  // elapse under that worker, so its L1 pointer stays dereferenceable for
+  // the remainder of its guard.  Workers that see the bump reject the entry.
+  switch_epoch_.fetch_add(1, std::memory_order_seq_cst);
   std::lock_guard<std::mutex> g{zombies_mu_};
   zombies_.push_back(v);
 }

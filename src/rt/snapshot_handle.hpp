@@ -32,6 +32,20 @@
 //                       so the grace period cannot elapse under them.
 //   maintain()          writer side: moves zombies into the epoch domain's
 //                       retire list and reclaims whatever has drained.
+//
+// The handle also carries the **switch epoch**: a monotonic counter bumped
+// on every active flip and on every zombie push (the moment a version's last
+// pin drains).  Per-worker L1 route caches stamp their entries with the
+// counter value read *inside* an epoch guard and reject any entry whose
+// stamp is stale.  The resulting guarantee: while a worker observes an
+// unchanged switch epoch from within a guard, (a) no version it cached has
+// been pushed toward retirement — the pointer is dereferenceable — and (b)
+// no resident flow→version binding has changed generation, so serving the
+// cached version preserves §3.4 flow consistency without touching the
+// sharded cache at all.  (Zombie pushes strictly precede their
+// epoch_domain::retire() call, so a reader that read a stale-free counter
+// value inside its guard is, by the seq_cst total order, also visible to
+// the grace-period scan that would enable the free.)
 #pragma once
 
 #include <atomic>
@@ -107,6 +121,14 @@ class snapshot_handle {
   /// version queues it for epoch retirement.
   void unpin(snapshot_version* v) noexcept;
 
+  /// Monotonic L1-invalidation counter: bumped on every active flip and on
+  /// every zombie push.  Read it inside an epoch guard; an L1 entry stamped
+  /// with an older value must not be served (see the file comment).
+  /// Starts at 1, so 0 is a natural "never valid" sentinel for L1 entries.
+  std::uint64_t switch_epoch() const noexcept {
+    return switch_epoch_.load(std::memory_order_seq_cst);
+  }
+
   // ------------------------------------------------------------- status --
 
   bool has_active() const noexcept {
@@ -142,6 +164,7 @@ class snapshot_handle {
 
   std::mutex zombies_mu_;
   std::vector<snapshot_version*> zombies_;
+  std::atomic<std::uint64_t> switch_epoch_{1};
 
   std::atomic<std::uint64_t> retired_versions_{0};
   std::atomic<std::uint64_t> live_versions_{0};

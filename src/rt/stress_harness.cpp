@@ -2,32 +2,43 @@
 //
 // M flows × N worker threads route packets and run compiled integer
 // inference while one writer thread performs randomized install / switch /
-// no-op-switch cycles and the workers interleave FINs, idle expiry and
-// random think time.  Every worker asserts the §3.4 flow-consistency
-// invariant online: a flow-cache *hit* must return exactly the generation
-// the flow pinned at its last miss — i.e. no flow ever observes two model
-// generations within one cache incarnation.
+// no-op-switch cycles and the workers interleave FINs, idle expiry, batched
+// routing and random think time.  Every worker asserts the §3.4
+// flow-consistency invariant online: a flow-cache *hit* must return exactly
+// the generation the flow pinned at its last miss — i.e. no flow ever
+// observes two model generations within one cache incarnation.  Batched
+// results are checked against the same invariant, result by result.
 //
-// The binary doubles as the BENCH_rt_engine.json reporter: phase 1 measures
-// a single-threaded no-switch baseline, phase 2 the full N-thread stress,
-// and the report records per-thread route+infer throughput plus the speedup
-// so the bench trajectory tracks rt scaling next to the sim fast path.
+// The binary doubles as the BENCH_rt_engine.json reporter:
+//   phase 1  single-threaded no-switch scalar baseline
+//   phase 2  single-threaded batched-vs-scalar throughput (route_batch)
+//   phase 3  worker-count sweep (default 1/2/4/8/16) under a live switch
+//            storm → the scaling curve, per-point L1 hit rate and lock
+//            acquisitions per route
+//   phase 4  the full N-thread invariant stress (what the TSan job runs)
 //
-// Exit status is nonzero on any invariant violation, on a missed switch
-// target, or on version-lifecycle leaks — this is what the TSan CI job runs.
+// Exit status is nonzero on any invariant violation (in any phase), on a
+// missed switch target, or on version-lifecycle leaks.
 //
 // Env knobs:
-//   LF_RT_THREADS   worker threads        (default 4)
-//   LF_RT_FLOWS     flows per worker      (default 256)
-//   LF_RT_SWITCHES  min snapshot switches (default 120)
-//   LF_RT_SECONDS   stress duration       (default 2.0; 0.6 in fast mode)
-//   LF_RT_SHARDS    flow-cache shards     (default 16)
-//   LF_BENCH_FAST   shrink durations for smoke runs
+//   LF_RT_THREADS        main-stress workers            (default 4)
+//   LF_RT_FLOWS          flows per worker               (default 256)
+//   LF_RT_SWITCHES       min snapshot switches          (default 120)
+//   LF_RT_SECONDS        main-stress duration           (default 2.0; 0.6 fast)
+//   LF_RT_SHARDS         flow-cache shards; 0 = derive from workers (default 0)
+//   LF_RT_L1             per-worker L1 slots; 0 disables (default 64)
+//   LF_RT_BATCH          batch size mixed into the stress; 0 = scalar only
+//                        (default 8; ~25% of iterations route a batch)
+//   LF_RT_SWEEP          comma list of worker counts    (default "1,2,4,8,16";
+//                        empty string skips the sweep phase)
+//   LF_RT_SWEEP_SECONDS  per-sweep-point duration       (default 0.5; 0.15 fast)
+//   LF_BENCH_FAST        shrink durations for smoke runs
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -52,7 +63,25 @@ std::size_t env_size(const char* name, std::size_t fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   const long long n = std::atoll(v);
-  return n > 0 ? static_cast<std::size_t>(n) : fallback;
+  return n >= 0 ? static_cast<std::size_t>(n) : fallback;
+}
+
+std::vector<std::size_t> env_size_list(const char* name,
+                                       const char* fallback) {
+  const char* v = std::getenv(name);
+  const std::string s = v != nullptr ? v : fallback;
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok =
+        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const long long n = std::atoll(tok.c_str());
+    if (n > 0) out.push_back(static_cast<std::size_t>(n));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
 }
 
 bool fast_mode() {
@@ -85,11 +114,13 @@ struct worker_outcome {
   std::uint64_t inferences = 0;
 };
 
-/// One worker thread: routes its own flow partition, FINs randomly, expires
-/// idle entries occasionally, and checks the consistency invariant.
+/// One worker thread: routes its own flow partition (scalar and — when
+/// `batch > 0` — batched, ~25% of iterations), FINs randomly, expires idle
+/// entries occasionally, and checks the consistency invariant on every
+/// result.
 worker_outcome run_worker(rt::datapath_engine& engine, rt::worker_handle& w,
                           std::uint64_t flow_base, std::size_t flows,
-                          std::uint64_t seed,
+                          std::size_t batch, std::uint64_t seed,
                           std::chrono::steady_clock::time_point t0,
                           const std::atomic<bool>& stop) {
   rng g{seed};
@@ -99,28 +130,55 @@ worker_outcome run_worker(rt::datapath_engine& engine, rt::worker_handle& w,
   std::vector<std::uint64_t> expected(flows, 0);
   std::vector<fp::s64> input(8);
   std::vector<fp::s64> output(1);
+  std::vector<netsim::flow_id_t> bflows(batch);
+  std::vector<std::size_t> bidx(batch);
+  std::vector<fp::s64> binputs(batch * 8);
+  std::vector<fp::s64> bouts(batch * 1);
+  std::vector<rt::route_result> bresults(batch);
   std::uint64_t iter = 0;
+
+  const auto check = [&](const rt::route_result& r, std::size_t idx) {
+    if (r.gen == 0) return;
+    ++out.routes;
+    if (r.served) ++out.inferences;
+    // The invariant: a hit serves exactly the generation pinned at this
+    // flow's last miss (expected != 0 always holds on a hit, because this
+    // worker owns the flow and every hit follows a miss).
+    if (r.hit && r.gen != expected[idx]) ++out.violations;
+    expected[idx] = r.gen;
+  };
+
   while (!stop.load(std::memory_order_acquire)) {
     ++iter;
-    const std::size_t idx =
-        static_cast<std::size_t>(g.uniform_int(0, static_cast<std::int64_t>(flows) - 1));
-    const auto flow = static_cast<netsim::flow_id_t>(flow_base + idx);
-    for (auto& x : input) x = g.uniform_int(-900, 900);  // within io_scale
     const double now = now_seconds(t0);
-    const rt::route_result r = engine.route(w, flow, now, input, output);
-    if (r.gen != 0) {
-      ++out.routes;
-      if (r.served) ++out.inferences;
-      // The invariant: a hit serves exactly the generation pinned at this
-      // flow's last miss (expected != 0 always holds on a hit, because this
-      // worker owns the flow and every hit follows a miss).
-      if (r.hit && r.gen != expected[idx]) ++out.violations;
-      expected[idx] = r.gen;
+    if (batch > 0 && (iter & 3) == 0) {
+      // Batched leg: `batch` random owned flows through one route_batch.
+      for (std::size_t b = 0; b < batch; ++b) {
+        const auto idx = static_cast<std::size_t>(
+            g.uniform_int(0, static_cast<std::int64_t>(flows) - 1));
+        bidx[b] = idx;
+        bflows[b] = static_cast<netsim::flow_id_t>(flow_base + idx);
+        for (std::size_t j = 0; j < 8; ++j) {
+          binputs[b * 8 + j] = g.uniform_int(-900, 900);
+        }
+      }
+      engine.route_batch(w, bflows, now, binputs, bouts, bresults);
+      for (std::size_t b = 0; b < batch; ++b) check(bresults[b], bidx[b]);
+    } else {
+      const std::size_t idx = static_cast<std::size_t>(
+          g.uniform_int(0, static_cast<std::int64_t>(flows) - 1));
+      const auto flow = static_cast<netsim::flow_id_t>(flow_base + idx);
+      for (auto& x : input) x = g.uniform_int(-900, 900);  // within io_scale
+      const rt::route_result r = engine.route(w, flow, now, input, output);
+      check(r, idx);
     }
-    // Interleavings: FIN ~3% of packets; a full idle-expiry sweep every few
-    // thousand iterations races the sweep against other workers' routes.
+    // Interleavings: FIN ~3% of iterations; a full idle-expiry sweep every
+    // few thousand iterations races the sweep against other workers.
     if (g.uniform() < 0.03) {
-      engine.flow_finished(w, flow);
+      const std::size_t idx = static_cast<std::size_t>(
+          g.uniform_int(0, static_cast<std::int64_t>(flows) - 1));
+      engine.flow_finished(w,
+                           static_cast<netsim::flow_id_t>(flow_base + idx));
       expected[idx] = 0;
     } else if ((iter & 0x1fff) == 0) {
       engine.expire_idle(now_seconds(t0));
@@ -129,59 +187,36 @@ worker_outcome run_worker(rt::datapath_engine& engine, rt::worker_handle& w,
   return out;
 }
 
-}  // namespace
+struct stress_stats {
+  double rps = 0.0;
+  double l1_hit_rate = 0.0;
+  double locks_per_route = 0.0;
+  std::uint64_t violations = 0;
+  std::uint64_t switches = 0;
+};
 
-int main() {
-  const std::size_t threads = env_size("LF_RT_THREADS", 4);
-  const std::size_t flows = env_size("LF_RT_FLOWS", 256);
-  const std::size_t min_switches = env_size("LF_RT_SWITCHES", 120);
-  const double duration =
-      env_double("LF_RT_SECONDS", fast_mode() ? 0.6 : 2.0);
-  const std::size_t shards = env_size("LF_RT_SHARDS", 16);
-
-  rt::engine_config cfg;
-  cfg.shards = shards;
-  cfg.idle_timeout = 0.05;  // aggressive: force idle-expiry races
-  cfg.max_workers = threads + 1;
-
-  std::printf("rt stress: %zu workers x %zu flows, >= %zu switches, %.2fs\n",
-              threads, flows, min_switches, duration);
-  const std::vector<codegen::snapshot> pool = make_snapshot_pool(6);
-
-  // ---- phase 1: single-threaded, no-switch baseline --------------------
-  double baseline_rps = 0.0;
-  {
-    auto engine = rt::build_engine(cfg);
-    engine->install(pool[0]);
-    engine->switch_active();
-    rt::worker_handle& w = engine->register_worker();
-    std::atomic<bool> stop{false};
-    const auto t0 = std::chrono::steady_clock::now();
-    const double base_dur = std::min(duration * 0.5, 0.5);
-    std::thread stopper{[&]() {
-      std::this_thread::sleep_for(std::chrono::duration<double>(base_dur));
-      stop.store(true, std::memory_order_release);
-    }};
-    const worker_outcome base =
-        run_worker(*engine, w, 1, flows, 0xba5e, t0, stop);
-    stopper.join();
-    const double elapsed = now_seconds(t0);
-    baseline_rps = elapsed > 0 ? static_cast<double>(base.routes) / elapsed : 0;
-    std::printf("baseline (1 worker, no switches): %.0f routes/s\n",
-                baseline_rps);
-  }
-
-  // ---- phase 2: N workers + writer stress ------------------------------
-  metrics::registry reg;
+/// One full stress run: n workers + one randomized writer for `duration`
+/// seconds (and, when `min_switches > 0`, until the switch target is met).
+stress_stats run_stress(const rt::engine_config& cfg,
+                        const std::vector<codegen::snapshot>& pool,
+                        std::size_t n_workers, std::size_t flows,
+                        std::size_t batch, double duration,
+                        std::size_t min_switches,
+                        metrics::registry* reg = nullptr,
+                        rt::datapath_engine** engine_out = nullptr,
+                        std::vector<worker_outcome>* outcomes_out = nullptr) {
+  static std::unique_ptr<rt::datapath_engine> keep_alive;  // for engine_out
   auto engine = rt::build_engine(cfg);
-  engine->register_metrics(reg, "rt");
+  if (reg != nullptr) engine->register_metrics(*reg, "rt");
   engine->install(pool[0]);
   engine->switch_active();
 
   std::vector<rt::worker_handle*> handles;
-  for (std::size_t i = 0; i < threads; ++i) {
+  for (std::size_t i = 0; i < n_workers; ++i) {
     rt::worker_handle& w = engine->register_worker();
-    w.register_metrics(reg, "rt.worker" + std::to_string(i));
+    if (reg != nullptr) {
+      w.register_metrics(*reg, "rt.worker" + std::to_string(i));
+    }
     handles.push_back(&w);
   }
 
@@ -218,17 +253,162 @@ int main() {
   }};
 
   std::vector<std::thread> pool_threads;
-  std::vector<worker_outcome> outcomes(threads);
-  for (std::size_t i = 0; i < threads; ++i) {
+  std::vector<worker_outcome> outcomes(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i) {
     pool_threads.emplace_back([&, i]() {
-      outcomes[i] = run_worker(*engine, *handles[i],
-                               (i + 1) * 1'000'000ull, flows,
-                               0xf00d + i, t0, stop);
+      outcomes[i] = run_worker(*engine, *handles[i], (i + 1) * 1'000'000ull,
+                               flows, batch, 0xf00d + i, t0, stop);
     });
   }
   for (auto& t : pool_threads) t.join();
   writer.join();
   const double elapsed = now_seconds(t0);
+
+  stress_stats st;
+  st.switches = engine->switches();
+  std::uint64_t routes = 0, l1_hits = 0;
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    st.violations += outcomes[i].violations;
+    routes += outcomes[i].routes;
+    l1_hits += handles[i]->l1_hits();
+  }
+  st.rps = elapsed > 0 ? static_cast<double>(routes) / elapsed : 0.0;
+  st.l1_hit_rate =
+      routes > 0 ? static_cast<double>(l1_hits) / static_cast<double>(routes)
+                 : 0.0;
+  const auto totals = engine->cache().stats();
+  st.locks_per_route =
+      routes > 0 ? static_cast<double>(totals.lock_acquisitions) /
+                       static_cast<double>(routes)
+                 : 0.0;
+
+  if (engine_out != nullptr) {
+    // Hand the drained engine back to the caller (main stress phase needs
+    // the lifecycle counters and registry gauges after the drain).
+    keep_alive = std::move(engine);
+    *engine_out = keep_alive.get();
+  }
+  if (outcomes_out != nullptr) *outcomes_out = std::move(outcomes);
+  return st;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t threads = env_size("LF_RT_THREADS", 4);
+  const std::size_t flows = env_size("LF_RT_FLOWS", 256);
+  const std::size_t min_switches = env_size("LF_RT_SWITCHES", 120);
+  const double duration = env_double("LF_RT_SECONDS", fast_mode() ? 0.6 : 2.0);
+  const std::size_t shards = env_size("LF_RT_SHARDS", 0);
+  const std::size_t l1_slots = env_size("LF_RT_L1", 64);
+  const std::size_t batch = env_size("LF_RT_BATCH", 8);
+  const std::vector<std::size_t> sweep =
+      env_size_list("LF_RT_SWEEP", "1,2,4,8,16");
+  const double sweep_seconds =
+      env_double("LF_RT_SWEEP_SECONDS", fast_mode() ? 0.15 : 0.5);
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+
+  rt::engine_config cfg;
+  cfg.shards = shards;
+  cfg.idle_timeout = 0.05;  // aggressive: force idle-expiry races
+  cfg.l1_slots = l1_slots;
+  cfg.max_workers = std::max<std::size_t>(
+      threads + 1,
+      (sweep.empty() ? 0 : *std::max_element(sweep.begin(), sweep.end())) + 1);
+
+  std::printf(
+      "rt stress: %zu workers x %zu flows, >= %zu switches, %.2fs "
+      "(batch %zu, l1 %zu, %u host cpus)\n",
+      threads, flows, min_switches, duration, batch, l1_slots, host_cpus);
+  const std::vector<codegen::snapshot> pool = make_snapshot_pool(6);
+
+  // ---- phase 1: single-threaded, no-switch scalar baseline -------------
+  double baseline_rps = 0.0;
+  {
+    auto engine = rt::build_engine(cfg);
+    engine->install(pool[0]);
+    engine->switch_active();
+    rt::worker_handle& w = engine->register_worker();
+    std::atomic<bool> stop{false};
+    const auto t0 = std::chrono::steady_clock::now();
+    const double base_dur = std::min(duration * 0.5, 0.5);
+    std::thread stopper{[&]() {
+      std::this_thread::sleep_for(std::chrono::duration<double>(base_dur));
+      stop.store(true, std::memory_order_release);
+    }};
+    const worker_outcome base =
+        run_worker(*engine, w, 1, flows, 0, 0xba5e, t0, stop);
+    stopper.join();
+    const double elapsed = now_seconds(t0);
+    baseline_rps = elapsed > 0 ? static_cast<double>(base.routes) / elapsed : 0;
+    std::printf("baseline (1 worker, no switches, scalar): %.0f routes/s\n",
+                baseline_rps);
+  }
+
+  // ---- phase 2: batched vs scalar (1 worker, no switches) --------------
+  double batched_rps = 0.0;
+  {
+    constexpr std::size_t k_bench_batch = 16;
+    auto engine = rt::build_engine(cfg);
+    engine->install(pool[0]);
+    engine->switch_active();
+    rt::worker_handle& w = engine->register_worker();
+    rng g{0xba7c4};
+    std::vector<netsim::flow_id_t> bflows(k_bench_batch);
+    std::vector<fp::s64> binputs(k_bench_batch * 8);
+    std::vector<fp::s64> bouts(k_bench_batch);
+    std::vector<rt::route_result> bresults(k_bench_batch);
+    const auto t0 = std::chrono::steady_clock::now();
+    const double dur = std::min(duration * 0.5, 0.5);
+    std::uint64_t routed = 0;
+    while (now_seconds(t0) < dur) {
+      for (std::size_t b = 0; b < k_bench_batch; ++b) {
+        bflows[b] = static_cast<netsim::flow_id_t>(
+            1 + g.uniform_int(0, static_cast<std::int64_t>(flows) - 1));
+        for (std::size_t j = 0; j < 8; ++j) {
+          binputs[b * 8 + j] = g.uniform_int(-900, 900);
+        }
+      }
+      engine->route_batch(w, bflows, now_seconds(t0), binputs, bouts,
+                          bresults);
+      routed += k_bench_batch;
+    }
+    const double elapsed = now_seconds(t0);
+    batched_rps = elapsed > 0 ? static_cast<double>(routed) / elapsed : 0.0;
+    std::printf("batched (1 worker, no switches, batch %zu): %.0f routes/s "
+                "(%.2fx scalar)\n",
+                k_bench_batch, batched_rps,
+                baseline_rps > 0 ? batched_rps / baseline_rps : 0.0);
+  }
+
+  // ---- phase 3: worker-count sweep under a switch storm ----------------
+  struct sweep_point {
+    std::size_t workers;
+    stress_stats st;
+  };
+  std::vector<sweep_point> curve;
+  std::uint64_t sweep_violations = 0;
+  for (const std::size_t n : sweep) {
+    const stress_stats st =
+        run_stress(cfg, pool, n, flows, batch, sweep_seconds, 0);
+    sweep_violations += st.violations;
+    curve.push_back({n, st});
+    std::printf(
+        "sweep %2zu workers: %9.0f routes/s (%.2fx), l1 %.3f, locks/route "
+        "%.4f\n",
+        n, st.rps, baseline_rps > 0 ? st.rps / baseline_rps : 0.0,
+        st.l1_hit_rate, st.locks_per_route);
+  }
+
+  // ---- phase 4: main N-worker invariant stress -------------------------
+  metrics::registry reg;
+  rt::datapath_engine* engine = nullptr;
+  std::vector<worker_outcome> outcomes;
+  const auto stress_t0 = std::chrono::steady_clock::now();
+  const stress_stats main_st =
+      run_stress(cfg, pool, threads, flows, batch, duration, min_switches,
+                 &reg, &engine, &outcomes);
+  const double elapsed = now_seconds(stress_t0);
 
   // Drain: FIN every flow, then retire everything demoted.  After the
   // grace period only the final active (and possibly standby) survive.
@@ -237,8 +417,9 @@ int main() {
   engine->epochs().synchronize();
   engine->publish_stats();
 
-  std::uint64_t violations = 0, total_routes = 0, total_infers = 0;
-  for (std::size_t i = 0; i < threads; ++i) {
+  std::uint64_t violations = sweep_violations, total_routes = 0,
+                total_infers = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
     violations += outcomes[i].violations;
     total_routes += outcomes[i].routes;
     total_infers += outcomes[i].inferences;
@@ -251,10 +432,10 @@ int main() {
   const double speedup = baseline_rps > 0 ? total_rps / baseline_rps : 0.0;
   const std::uint64_t live = engine->versions_live();
   std::printf(
-      "total: %.0f routes/s (%.2fx single-thread), %llu switches, "
-      "%llu no-op switches, %llu versions retired, %llu live, "
-      "%llu violations\n",
-      total_rps, speedup,
+      "total: %.0f routes/s (%.2fx single-thread), l1 %.3f, locks/route "
+      "%.4f, %llu switches, %llu no-op switches, %llu versions retired, "
+      "%llu live, %llu violations\n",
+      total_rps, speedup, main_st.l1_hit_rate, main_st.locks_per_route,
       static_cast<unsigned long long>(engine->switches()),
       static_cast<unsigned long long>(engine->switch_noops()),
       static_cast<unsigned long long>(engine->versions_retired()),
@@ -267,15 +448,32 @@ int main() {
   rep.config("flows_per_worker", static_cast<double>(flows));
   rep.config("min_switches", static_cast<double>(min_switches));
   rep.config("shards", static_cast<double>(engine->config().shards));
+  rep.config("l1_slots", static_cast<double>(engine->config().l1_slots));
+  rep.config("batch", static_cast<double>(batch));
+  rep.config("host_cpus", static_cast<double>(host_cpus));
   rep.config("duration_seconds", elapsed);
+  rep.config("sweep_seconds", sweep_seconds);
   rep.config_bool("fast_mode", fast_mode());
   rep.summary("baseline_routes_per_sec", baseline_rps);
+  rep.summary("batched_routes_per_sec", batched_rps);
+  rep.summary("batched_speedup_vs_scalar",
+              baseline_rps > 0 ? batched_rps / baseline_rps : 0.0);
   rep.summary("total_routes_per_sec", total_rps);
   rep.summary("total_inferences_per_sec", total_infers / elapsed);
   rep.summary("speedup_vs_single_thread", speedup);
+  rep.summary("l1_hit_rate", main_st.l1_hit_rate);
+  rep.summary("lock_acquisitions_per_route", main_st.locks_per_route);
   rep.summary("violations", static_cast<double>(violations));
   rep.summary("versions_live_after_drain", static_cast<double>(live));
-  for (std::size_t i = 0; i < threads; ++i) {
+  for (const sweep_point& p : curve) {
+    const double x = static_cast<double>(p.workers);
+    rep.add_point("scaling_routes_per_sec", x, p.st.rps);
+    rep.add_point("scaling_speedup", x,
+                  baseline_rps > 0 ? p.st.rps / baseline_rps : 0.0);
+    rep.add_point("scaling_l1_hit_rate", x, p.st.l1_hit_rate);
+    rep.add_point("scaling_locks_per_route", x, p.st.locks_per_route);
+  }
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
     rep.add_point("per_worker_routes_per_sec", static_cast<double>(i),
                   outcomes[i].routes / elapsed);
   }

@@ -188,6 +188,51 @@ TEST(QuantizedMlpFastPath, InferIntoMatchesInferBitForBit) {
   }
 }
 
+TEST(QuantizedMlpFastPath, InferBatchMatchesScalarBitForBit) {
+  // The batched kernel (layer-outer/sample-inner) must be indistinguishable
+  // from k scalar infer_into calls — including batches that mix fast-mode
+  // samples with ones beyond the no-saturation bound, and k values that
+  // exercise the internal chunking (k > 32) and the empty batch.
+  rng g{0xba7c};
+  inference_scratch scratch;
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto q = random_qmlp(g, trial >= 30);
+    const auto k = static_cast<std::size_t>(
+        trial % 5 == 0 ? g.uniform_int(33, 80) : g.uniform_int(0, 8));
+    std::vector<fp::s64> inputs(k * q.input_size());
+    for (auto& v : inputs) {
+      v = g.bernoulli(0.85) ? g.uniform_int(-2000, 2000)
+                            : g.uniform_int(fp::s64_min / 2, fp::s64_max / 2);
+    }
+    std::vector<fp::s64> expect(k * q.output_size());
+    inference_scratch scalar_scratch;
+    for (std::size_t s = 0; s < k; ++s) {
+      q.infer_into(
+          std::span<const fp::s64>{inputs}.subspan(s * q.input_size(),
+                                                   q.input_size()),
+          std::span<fp::s64>{expect}.subspan(s * q.output_size(),
+                                             q.output_size()),
+          scalar_scratch);
+    }
+    std::vector<fp::s64> got(k * q.output_size());
+    q.infer_batch_into(inputs, k, got, scratch);
+    ASSERT_EQ(expect, got) << "trial " << trial << " k " << k;
+  }
+}
+
+TEST(QuantizedMlpFastPath, InferBatchValidatesSpanSizes) {
+  rng g{52};
+  const auto q = quantize(nn::make_ffnn_flow_size_net(g));
+  inference_scratch scratch;
+  std::vector<fp::s64> in(3 * q.input_size(), 0);
+  std::vector<fp::s64> out(3 * q.output_size());
+  EXPECT_NO_THROW(q.infer_batch_into(in, 3, out, scratch));
+  EXPECT_THROW(q.infer_batch_into(in, 2, out, scratch), std::invalid_argument);
+  std::vector<fp::s64> out_bad(2 * q.output_size());
+  EXPECT_THROW(q.infer_batch_into(in, 3, out_bad, scratch),
+               std::invalid_argument);
+}
+
 TEST(QuantizedMlpFastPath, PaperNetsUseFastModeAndMatch) {
   // The quantizer's own output (paper nets) must be saturation-free on every
   // layer — the whole point of the bound precomputation — and bit-exact.

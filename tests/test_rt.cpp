@@ -185,7 +185,8 @@ TEST(SnapshotHandle, RetirementGatedOnEpochDrain) {
 // ------------------------------------------------------- sharded cache --
 
 TEST(ShardedFlowCache, ShardCountRoundsToPowerOfTwoAndCoversFlows) {
-  rt::sharded_flow_cache c{5, 16};
+  rt::epoch_domain d{1};
+  rt::sharded_flow_cache c{5, 16, d};
   EXPECT_EQ(c.shard_count(), 8u);
   for (netsim::flow_id_t f = 0; f < 10000; ++f) {
     ASSERT_LT(c.shard_of(f), c.shard_count());
@@ -194,7 +195,7 @@ TEST(ShardedFlowCache, ShardCountRoundsToPowerOfTwoAndCoversFlows) {
 
 TEST(ShardedFlowCache, InsertTransfersPinAndLostRaceReleasesIt) {
   handle_rig rig;
-  rt::sharded_flow_cache c{4, 64};
+  rt::sharded_flow_cache c{4, 64, rig.epochs};
   rig.h.install_standby(rt_snapshot(1));
   rig.h.switch_active();
 
@@ -203,9 +204,9 @@ TEST(ShardedFlowCache, InsertTransfersPinAndLostRaceReleasesIt) {
   ASSERT_NE(v1, nullptr);
   const auto pins_before = v1->pins.load();
   // The miss path: the caller's pin transfers into the entry.
-  EXPECT_EQ(c.insert(5, v1, 0.0, rig.h), v1);
+  EXPECT_EQ(c.insert(5, v1, 0.0, 30.0, 0, rig.h), v1);
   EXPECT_EQ(v1->pins.load(), pins_before);  // transferred, not duplicated
-  EXPECT_EQ(c.lookup(5, 0.1, 30.0, 0, rig.h), v1);
+  EXPECT_EQ(c.lookup(5, 0.1), v1);
 
   // Lost race on the same flow with a *newer* version: the resident entry
   // wins (flow consistency) and the loser's pin is released.
@@ -215,7 +216,7 @@ TEST(ShardedFlowCache, InsertTransfersPinAndLostRaceReleasesIt) {
   ASSERT_NE(v2, nullptr);
   EXPECT_EQ(v2->gen, 2u);
   const auto v2_pins_before = v2->pins.load();
-  rt::snapshot_version* resident = c.insert(5, v2, 0.2, rig.h);
+  rt::snapshot_version* resident = c.insert(5, v2, 0.2, 30.0, 0, rig.h);
   EXPECT_EQ(resident, v1);
   EXPECT_EQ(resident->gen, 1u);
   // The losing pin was released inside insert(); only v2's ownership pin
@@ -227,7 +228,7 @@ TEST(ShardedFlowCache, InsertTransfersPinAndLostRaceReleasesIt) {
 
 TEST(ShardedFlowCache, FinAndIdleExpiryReleaseEachPinExactlyOnce) {
   handle_rig rig;
-  rt::sharded_flow_cache c{4, 64};
+  rt::sharded_flow_cache c{4, 64, rig.epochs};
   rig.h.install_standby(rt_snapshot(1));
   rig.h.switch_active();
 
@@ -236,7 +237,7 @@ TEST(ShardedFlowCache, FinAndIdleExpiryReleaseEachPinExactlyOnce) {
     for (netsim::flow_id_t f = 0; f < 8; ++f) {
       rt::snapshot_version* v = rig.h.pin_active();
       ASSERT_NE(v, nullptr);
-      EXPECT_EQ(c.insert(f, v, 0.0, rig.h), v);
+      EXPECT_EQ(c.insert(f, v, 0.0, 30.0, 0, rig.h), v);
     }
   }
   EXPECT_EQ(c.stats().size, 8u);
@@ -261,31 +262,76 @@ TEST(ShardedFlowCache, FinAndIdleExpiryReleaseEachPinExactlyOnce) {
   EXPECT_EQ(rig.h.live_versions(), 1u);
 }
 
-TEST(ShardedFlowCache, LookupSweepEvictsIdleNeighborsAndReleasesPins) {
+TEST(ShardedFlowCache, InsertSweepEvictsIdleNeighborsAndReleasesPins) {
   handle_rig rig;
-  rt::sharded_flow_cache c{1, 64};  // one shard: the sweep sees every flow
+  rt::sharded_flow_cache c{1, 64, rig.epochs};  // one shard: sweep sees all
   rig.h.install_standby(rt_snapshot(1));
   rig.h.switch_active();
   {
     rt::epoch_domain::guard g{rig.epochs, rig.slot};
     for (netsim::flow_id_t f = 0; f < 16; ++f) {
-      // The hot flow is inserted fresh so the first sweep (which runs
-      // before the lookup's find) cannot evict it along with the rest.
-      c.insert(f, rig.h.pin_active(), f == 7 ? 90.0 : 0.0, rig.h);
+      c.insert(f, rig.h.pin_active(), 0.0, 30.0, 0, rig.h);
     }
   }
-  // One hot flow keeps routing far past the idle timeout; the per-lookup
-  // incremental sweep alone must evict the 15 stale entries.
+  // Lookups are lock-free and never evict; the incremental sweep rides the
+  // insert (miss/churn) path.  Churn short-lived flows far past the idle
+  // timeout: their sweeps alone must drain the 16 stale entries.
   for (int i = 0; i < 200; ++i) {
     rt::epoch_domain::guard g{rig.epochs, rig.slot};
-    c.lookup(7, 100.0 + i, 30.0, 4, rig.h);
+    c.insert(1000 + i, rig.h.pin_active(), 100.0 + i, 30.0, 4, rig.h);
+    c.erase(1000 + i, rig.h);
   }
-  EXPECT_EQ(c.stats().size, 1u);
-  {
+  EXPECT_EQ(c.stats().size, 0u);
+  EXPECT_GE(c.stats().evictions, 16u);
+
+  // Every evicted/erased pin was released exactly once: demoting gen 1
+  // leaves nothing to hold it and it retires on the next maintain.
+  rig.h.install_standby(rt_snapshot(2));
+  rig.h.switch_active();
+  rig.h.maintain();
+  EXPECT_EQ(rig.h.retired(), 1u);
+  EXPECT_EQ(rig.h.live_versions(), 1u);
+}
+
+TEST(ShardedFlowCache, LockFreeLookupSurvivesConcurrentChurn) {
+  // Seqlock read path vs writer churn (insert/erase/expire/rehash) on real
+  // threads: every hit dereferenced under the reader's epoch guard must see
+  // a sane, pinned version.  Bounded by iteration counts (no wall time), so
+  // it cannot flake on load; TSan tier-1 runs it.
+  handle_rig rig;
+  const std::size_t reader_slot = rig.epochs.register_reader();
+  rt::sharded_flow_cache c{2, 16, rig.epochs};  // small: forces rehashes
+  rig.h.install_standby(rt_snapshot(1));
+  rig.h.switch_active();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad{0};
+  std::thread reader{[&]() {
+    std::uint64_t iter = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      rt::epoch_domain::guard g{rig.epochs, reader_slot};
+      rt::snapshot_version* v =
+          c.lookup(static_cast<netsim::flow_id_t>(iter++ % 64), 0.5);
+      if (v != nullptr && v->gen != 1) bad.fetch_add(1);
+    }
+  }};
+  for (int round = 0; round < 400; ++round) {
     rt::epoch_domain::guard g{rig.epochs, rig.slot};
-    ASSERT_NE(c.lookup(7, 400.0, 1000.0, 0, rig.h), nullptr);
+    for (netsim::flow_id_t f = 0; f < 64; ++f) {
+      c.insert(f, rig.h.pin_active(), round * 1.0, 30.0, 1, rig.h);
+    }
+    if (round % 3 == 0) {
+      c.expire_idle(round + 100.0, 1.0, rig.h);  // tombstone storm
+    } else {
+      for (netsim::flow_id_t f = 0; f < 64; f += 2) c.erase(f, rig.h);
+    }
   }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_GT(c.stats().rehashes, 0u);
   c.clear(rig.h);
+  rig.epochs.synchronize();
 }
 
 // --------------------------------------------------------------- engine --
@@ -334,7 +380,10 @@ TEST(RtEngine, RoutePinsFlowsAcrossSwitchUntilFin) {
   EXPECT_EQ(e.versions_live(), 1u);
   EXPECT_EQ(e.switches(), 2u);
   EXPECT_EQ(w.routes(), 6u);
-  EXPECT_EQ(w.cache_hits(), 2u);
+  // Route 2 was an L1 hit (no flip in between); route 3 followed a switch,
+  // so the L1 entry was epoch-stale and the hit came from the shard.
+  EXPECT_EQ(w.l1_hits(), 1u);
+  EXPECT_EQ(w.cache_hits(), 1u);
 }
 
 TEST(RtEngine, RouteRunsCompiledInference) {
@@ -372,6 +421,229 @@ TEST(RtEngine, SwitchWithoutStandbyIsNoopAndIdleExpiryDrains) {
   EXPECT_EQ(e.cached_flows(), 32u);
   EXPECT_EQ(e.expire_idle(100.0), 32u);
   EXPECT_EQ(e.cached_flows(), 0u);
+}
+
+TEST(RtEngineConfig, ShardsDeriveFromWorkerBudget) {
+  // shards == 0 derives next_pow2(2 * max_workers); explicit values round
+  // up to a power of two and ignore the worker budget.
+  rt::engine_config cfg;
+  cfg.max_workers = 5;
+  EXPECT_EQ(rt::datapath_engine::resolved_shards(cfg), 16u);
+  cfg.max_workers = 4;
+  EXPECT_EQ(rt::datapath_engine::resolved_shards(cfg), 8u);
+  cfg.max_workers = 1;
+  EXPECT_EQ(rt::datapath_engine::resolved_shards(cfg), 2u);
+  cfg.max_workers = 0;  // degenerate: treated as one worker
+  EXPECT_EQ(rt::datapath_engine::resolved_shards(cfg), 2u);
+  cfg.max_workers = 64;
+  cfg.shards = 5;
+  EXPECT_EQ(rt::datapath_engine::resolved_shards(cfg), 8u);
+  cfg.shards = 1;
+  EXPECT_EQ(rt::datapath_engine::resolved_shards(cfg), 1u);
+
+  // A built engine reflects the resolved policy back into config().
+  rt::engine_config auto_cfg;
+  auto_cfg.max_workers = 3;
+  auto_cfg.l1_slots = 48;  // rounds up too
+  rt::datapath_engine e{auto_cfg};
+  EXPECT_EQ(e.config().shards, 8u);
+  EXPECT_EQ(e.cache().shard_count(), 8u);
+  EXPECT_EQ(e.config().l1_slots, 64u);
+  EXPECT_EQ(e.register_worker().l1_capacity(), 64u);
+}
+
+TEST(RtEngine, L1DisabledFallsBackToShardPath) {
+  rt::engine_config cfg;
+  cfg.max_workers = 2;
+  cfg.l1_slots = 0;
+  rt::datapath_engine e{cfg};
+  rt::worker_handle& w = e.register_worker();
+  EXPECT_EQ(w.l1_capacity(), 0u);
+  e.install(rt_snapshot(1));
+  e.switch_active();
+  EXPECT_FALSE(e.route(w, 7, 0.0, {}, {}).hit);
+  EXPECT_TRUE(e.route(w, 7, 0.1, {}, {}).hit);
+  EXPECT_EQ(w.l1_hits(), 0u);
+  EXPECT_EQ(w.cache_hits(), 1u);
+}
+
+// ------------------------------------------- L1 invalidation (scripted) --
+//
+// Deterministic 2-thread scripts for the two ways a worker's L1 binding can
+// go stale.  Both run in the ordinary ctest tier and are exercised under
+// ASan and TSan in CI: if the switch-epoch check ever failed to reject a
+// stale entry, the route would dereference a freed snapshot_version and
+// ASan would flag the use-after-free.
+
+/// Run `fn` on a fresh thread and join — the steps really execute on a
+/// different thread (distinct epoch slot, TSan-visible), while the script
+/// stays sequential and deterministic.
+template <typename Fn>
+void on_thread(Fn&& fn) {
+  std::thread t{std::forward<Fn>(fn)};
+  t.join();
+}
+
+TEST(RtL1Invalidation, SwitchRejectsStaleGenerationAcrossWorkers) {
+  rt::engine_config cfg;
+  cfg.max_workers = 3;
+  rt::datapath_engine e{cfg};
+  rt::worker_handle& wa = e.register_worker();
+  rt::worker_handle& wb = e.register_worker();
+  e.install(rt_snapshot(1));
+  e.switch_active();
+
+  // Worker A owns flow 7 and routes it; worker B routes it once too (a
+  // migration), filling B's L1 with the gen-1 binding.
+  EXPECT_EQ(e.route(wa, 7, 0.0, {}, {}).gen, 1u);
+  on_thread([&]() {
+    const auto r = e.route(wb, 7, 0.1, {}, {});
+    EXPECT_EQ(r.gen, 1u);
+    EXPECT_TRUE(r.hit);
+  });
+
+  // A FINs the flow (its own L1 entry is dropped, the shard pin released),
+  // then the writer installs gen 2 and flips.  gen 1 is now demoted with no
+  // pins; after maintain + grace it is freed.
+  EXPECT_TRUE(e.flow_finished(wa, 7));
+  e.install(rt_snapshot(2));
+  EXPECT_TRUE(e.switch_active());
+  e.maintain();
+  e.epochs().synchronize();
+  e.maintain();
+  EXPECT_EQ(e.versions_retired(), 1u);
+  EXPECT_EQ(e.versions_live(), 1u);
+
+  // B's L1 still holds the gen-1 pointer, but the flip bumped the switch
+  // epoch: the entry must be rejected and the route re-pins gen 2.  Were
+  // the epoch check broken, this would serve (and dereference) freed gen 1.
+  on_thread([&]() {
+    const auto r = e.route(wb, 7, 0.2, {}, {});
+    EXPECT_EQ(r.gen, 2u);
+    EXPECT_FALSE(r.hit);
+  });
+}
+
+TEST(RtL1Invalidation, FinDrainBumpsEpochBeforeFreeingDemotedVersion) {
+  // The subtler path: the L1 entry is refreshed *after* the flip (so its
+  // epoch stamp is current), the bound version is already demoted, and the
+  // binding dies later via a cross-thread FIN with no further switch.  The
+  // zero-crossing unpin must bump the switch epoch before queueing the
+  // zombie, or A's next route would serve the freed version.
+  rt::engine_config cfg;
+  cfg.max_workers = 3;
+  rt::datapath_engine e{cfg};
+  rt::worker_handle& wa = e.register_worker();
+  rt::worker_handle& wb = e.register_worker();
+  e.install(rt_snapshot(1));
+  e.switch_active();
+
+  EXPECT_EQ(e.route(wa, 9, 0.0, {}, {}).gen, 1u);
+  e.install(rt_snapshot(2));
+  EXPECT_TRUE(e.switch_active());  // demotes gen 1; flow 9 still pins it
+
+  // Post-flip route: A's L1 is stale (flip bump), the shard still serves
+  // gen 1 (flow consistency), and A's L1 is refreshed with a CURRENT epoch
+  // stamp bound to the demoted version.
+  auto r = e.route(wa, 9, 0.1, {}, {});
+  EXPECT_EQ(r.gen, 1u);
+  EXPECT_TRUE(r.hit);
+
+  // B FINs the flow from another thread: the shard entry's pin was the last
+  // one, so gen 1 zombifies — bumping the switch epoch — and after the
+  // grace period it is freed for real.
+  on_thread([&]() { EXPECT_TRUE(e.flow_finished(wb, 9)); });
+  e.maintain();
+  e.epochs().synchronize();
+  e.maintain();
+  EXPECT_EQ(e.versions_live(), 1u);
+
+  // A's L1 entry matches flow and — without the FIN-drain bump — would
+  // still match the epoch; serving it would dereference freed memory.  The
+  // bump forces the miss and the flow re-pins gen 2.
+  r = e.route(wa, 9, 0.2, {}, {});
+  EXPECT_EQ(r.gen, 2u);
+  EXPECT_FALSE(r.hit);
+}
+
+// -------------------------------------------------------- batched route --
+
+TEST(RtEngine, BatchedRouteMatchesScalarBitForBit) {
+  rt::engine_config cfg;
+  cfg.max_workers = 3;
+  rt::datapath_engine e{cfg};
+  rt::worker_handle& wbatch = e.register_worker();
+  rt::worker_handle& wscalar = e.register_worker();
+  e.install(rt_snapshot(1));
+  e.switch_active();
+
+  constexpr std::size_t k = 6;
+  rng g{0x6a7c};
+  std::vector<netsim::flow_id_t> flows{11, 12, 13, 11, 14, 12};  // dups too
+  std::vector<fp::s64> inputs(k * 8);
+  for (auto& v : inputs) v = g.uniform_int(-900, 900);
+  std::vector<fp::s64> outs(k, -1);
+  std::vector<rt::route_result> results(k);
+  EXPECT_EQ(e.route_batch(wbatch, flows, 0.0, inputs, outs, results), k);
+  EXPECT_EQ(wbatch.batches(), 1u);
+  EXPECT_EQ(wbatch.routes(), k);
+  EXPECT_EQ(wbatch.inferences(), k);
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_TRUE(results[i].served) << i;
+    EXPECT_EQ(results[i].gen, 1u) << i;
+    // The scalar path on a different worker must produce bit-identical
+    // output for the same flow+input.
+    std::vector<fp::s64> one(1, -2);
+    const auto r = e.route(
+        wscalar, flows[i], 0.1,
+        std::span<const fp::s64>{inputs}.subspan(i * 8, 8), one);
+    EXPECT_TRUE(r.served);
+    EXPECT_EQ(one[0], outs[i]) << i;
+  }
+
+  // Second identical batch: everything L1-hits and still serves.
+  const auto l1_before = wbatch.l1_hits();
+  EXPECT_EQ(e.route_batch(wbatch, flows, 0.2, inputs, outs, results), k);
+  EXPECT_GT(wbatch.l1_hits(), l1_before);
+  for (std::size_t i = 0; i < k; ++i) EXPECT_TRUE(results[i].hit) << i;
+}
+
+TEST(RtEngine, BatchedRouteSpansGenerationsAndRoutesWithoutInfer) {
+  rt::engine_config cfg;
+  cfg.max_workers = 2;
+  rt::datapath_engine e{cfg};
+  rt::worker_handle& w = e.register_worker();
+  e.install(rt_snapshot(1));
+  e.switch_active();
+  EXPECT_EQ(e.route(w, 21, 0.0, {}, {}).gen, 1u);  // pin flow 21 to gen 1
+
+  e.install(rt_snapshot(2));
+  EXPECT_TRUE(e.switch_active());
+
+  // Mixed-generation batch: flow 21 must stay on gen 1 (§3.4) while the new
+  // flows pick up gen 2 — two same-version runs, both served.
+  std::vector<netsim::flow_id_t> flows{21, 31, 32, 21};
+  std::vector<fp::s64> inputs(4 * 8, 250);
+  std::vector<fp::s64> outs(4, -1);
+  std::vector<rt::route_result> results(4);
+  EXPECT_EQ(e.route_batch(w, flows, 0.1, inputs, outs, results), 4u);
+  EXPECT_EQ(results[0].gen, 1u);
+  EXPECT_TRUE(results[0].hit);
+  EXPECT_EQ(results[1].gen, 2u);
+  EXPECT_FALSE(results[1].hit);
+  EXPECT_EQ(results[2].gen, 2u);
+  EXPECT_EQ(results[3].gen, 1u);
+  EXPECT_TRUE(results[3].hit);
+
+  // Empty data spans: routes (gens/hits filled) but serves nothing — the
+  // batch analogue of the scalar tests' route-without-infer idiom.
+  EXPECT_EQ(e.route_batch(w, flows, 0.2, {}, {}, results), 0u);
+  EXPECT_EQ(results[0].gen, 1u);
+  EXPECT_FALSE(results[0].served);
+  EXPECT_EQ(results[1].gen, 2u);
+
+  // An empty batch is a no-op.
+  EXPECT_EQ(e.route_batch(w, {}, 0.3, {}, {}, results), 0u);
 }
 
 TEST(RtEngine, DeploymentRegistryBuildsEngine) {
