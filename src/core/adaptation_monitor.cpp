@@ -126,6 +126,7 @@ void adaptation_monitor::on_snapshot_install(double now,
   snapshot_record rec;
   rec.version = obs.version;
   rec.model = obs.model;
+  rec.logical_model = obs.logical_model;
   rec.initial = obs.initial;
   rec.install_time = now;
   rec.freeze_seconds = obs.freeze_seconds;
@@ -157,6 +158,17 @@ void adaptation_monitor::on_snapshot_removed(double now, std::uint64_t model) {
       return;
     }
   }
+}
+
+void adaptation_monitor::on_shadow_gate(const gate_record& g) {
+  if (!config_.enabled) return;
+  gates_.push_back(g);
+  // Reuse the alert instant shape: a = admitted flag, b = divergence in
+  // 1e-9 units — enough to see blocked switches on the trace timeline.
+  trace_.emit(g.t, trace::event_type::alert,
+              static_cast<std::uint64_t>(g.admitted ? 1 : 0),
+              static_cast<std::uint64_t>(
+                  std::max(0.0, g.mean_divergence) * 1e9));
 }
 
 std::uint64_t adaptation_monitor::alert_count(alert_kind k) const noexcept {

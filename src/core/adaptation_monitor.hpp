@@ -90,6 +90,9 @@ struct alert_record {
 struct snapshot_record {
   std::uint64_t version = 0;
   std::uint64_t model = 0;  ///< nn_manager model id
+  /// Logical model (core::model_key) this snapshot serves; 0 for every
+  /// single-model deployment.
+  std::uint32_t logical_model = 0;
   bool initial = false;     ///< v1 bootstrap deployment (not a §3.3 re-sync)
   double install_time = 0.0;
 
@@ -123,6 +126,21 @@ struct snapshot_record {
   }
 };
 
+/// One shadow-gate consultation: a switch request ruled on by live
+/// divergence evidence (the run-time complement of the §3.3 offline
+/// fidelity check).  Both verdicts are ledgered — a blocked switch is as
+/// interesting as an admitted one.
+struct gate_record {
+  double t = 0.0;
+  std::uint32_t logical_model = 0;  ///< core::model_key ruled on
+  std::uint64_t candidate = 0;      ///< nn_manager id of the standby
+  std::uint64_t version = 0;        ///< snapshot version of the candidate
+  bool admitted = false;
+  std::uint64_t samples = 0;
+  double mean_divergence = 0.0;
+  double max_divergence = 0.0;
+};
+
 /// What the userspace service observed at one sync check.
 struct check_observation {
   sync_decision decision{};
@@ -139,6 +157,7 @@ struct check_observation {
 struct install_observation {
   std::uint64_t version = 0;
   std::uint64_t model = 0;
+  std::uint32_t logical_model = 0;
   bool initial = false;
   double freeze_seconds = 0.0;
   double quantize_seconds = 0.0;
@@ -179,12 +198,18 @@ class adaptation_monitor {
   /// A snapshot module unloaded (its last flow-cache reference drained).
   void on_snapshot_removed(double now, std::uint64_t model);
 
+  /// A shadow gate ruled on a switch request (admitted or blocked).
+  void on_shadow_gate(const gate_record& g);
+
   // ---- reporting ----
 
   const std::vector<snapshot_record>& ledger() const noexcept {
     return ledger_;
   }
   const std::vector<alert_record>& alerts() const noexcept { return alerts_; }
+  /// Shadow-gate ledger, in consultation order (empty unless a gated
+  /// deployment reported through on_shadow_gate).
+  const std::vector<gate_record>& gates() const noexcept { return gates_; }
   std::uint64_t alert_count(alert_kind k) const noexcept;
   std::uint64_t total_alerts() const noexcept;
   std::uint64_t checks() const noexcept { return checks_.value(); }
@@ -225,6 +250,7 @@ class adaptation_monitor {
 
   std::vector<snapshot_record> ledger_;
   std::vector<alert_record> alerts_;
+  std::vector<gate_record> gates_;
 
   metrics::counter checks_;
   metrics::counter alert_counters_[alert_kind_count];

@@ -36,22 +36,37 @@ const codegen::snapshot* nn_manager::get(model_id id) const {
 void nn_manager::add_ref(model_id id) {
   const auto it = models_.find(id);
   if (it == models_.end()) {
-    throw std::invalid_argument{"nn_manager::add_ref: unknown model"};
+    refcount_errors_.inc();
+    return;
   }
   ++it->second.refcount;
 }
 
 void nn_manager::release(model_id id) {
   const auto it = models_.find(id);
-  if (it == models_.end()) return;  // already removed
+  if (it == models_.end()) {
+    // A release can legitimately arrive after a deferred unload erased the
+    // module (the flow cache drains asynchronously), but the caller still
+    // held a ref when that happened only if release itself erased it — an
+    // id we have never seen or have fully unloaded means the pairing is
+    // broken somewhere.  Count it; don't crash the "kernel".
+    refcount_errors_.inc();
+    return;
+  }
   if (it->second.refcount == 0) {
-    throw std::logic_error{"nn_manager::release: refcount underflow"};
+    refcount_errors_.inc();  // would-be wraparound, refcount left at 0
+    return;
   }
   --it->second.refcount;
   if (it->second.refcount == 0 && it->second.pending_removal) {
     models_.erase(it);
     if (on_remove_) on_remove_(id);
   }
+}
+
+void nn_manager::register_metrics(metrics::registry& reg,
+                                  const std::string& prefix) {
+  reg.register_counter(prefix + ".refcount_errors", refcount_errors_);
 }
 
 std::uint64_t nn_manager::refcount(model_id id) const {

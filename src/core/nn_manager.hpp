@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "codegen/snapshot.hpp"
+#include "util/metrics.hpp"
 
 namespace lf::core {
 
@@ -33,9 +34,24 @@ class nn_manager {
   /// Executable program lookup; nullptr if not installed.
   const codegen::snapshot* get(model_id id) const;
 
+  /// Refcount a module.  An unknown id on add_ref, or a release against an
+  /// unknown or already-zero id, is a *counted* diagnostic, never a throw or
+  /// a wraparound: the kernel analogue (module_put on a stale handle) must
+  /// not panic the box, but it must not pass silently either — the count is
+  /// the bug report.  The refcount itself is left untouched on error.
   void add_ref(model_id id);
   void release(model_id id);
   std::uint64_t refcount(model_id id) const;
+
+  /// Total mis-paired refcount operations observed (see add_ref/release).
+  std::uint64_t refcount_errors() const noexcept {
+    return refcount_errors_.value();
+  }
+
+  /// Opt-in registration of "nn.refcount_errors" (and nothing else).  Kept
+  /// separate from the router/service register_metrics paths so existing
+  /// fast-seed telemetry snapshots stay byte-identical.
+  void register_metrics(metrics::registry& reg, const std::string& prefix);
 
   std::size_t installed_count() const noexcept { return models_.size(); }
 
@@ -61,6 +77,7 @@ class nn_manager {
   std::map<model_id, entry> models_;
   model_id next_id_ = 1;
   std::function<void(model_id)> on_remove_;
+  metrics::counter refcount_errors_;
 };
 
 }  // namespace lf::core

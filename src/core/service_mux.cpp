@@ -1,0 +1,42 @@
+#include "core/service_mux.hpp"
+
+#include <algorithm>
+
+namespace lf::core {
+
+service_mux::service_mux(sim::simulation& sim, kernelsim::cpu_model& cpu,
+                         mux_config config)
+    : sim_{sim}, cpu_{cpu}, config_{config} {}
+
+void service_mux::attach(userspace_service& svc) {
+  const int prio = svc.config().priority;
+  services_.push_back({&svc, prio});
+  max_priority_ = std::max(max_priority_, prio);
+  svc.set_admission([this, prio] { return admit(prio); });
+}
+
+bool service_mux::saturated() const {
+  return cpu_.backlog_clear_time() - sim_.now() > config_.saturation_backlog;
+}
+
+bool service_mux::admit(int priority) {
+  const double backlog = cpu_.backlog_clear_time() - sim_.now();
+  saturation_.set(backlog);
+  // Unsaturated: everyone trains.  Saturated: only the top priority class
+  // keeps its training budget — lower classes shed their (stale) batches.
+  if (backlog <= config_.saturation_backlog || priority >= max_priority_) {
+    admitted_.inc();
+    return true;
+  }
+  deferred_.inc();
+  return false;
+}
+
+void service_mux::register_metrics(metrics::registry& reg,
+                                   const std::string& prefix) {
+  reg.register_counter(prefix + ".mux.admitted", admitted_);
+  reg.register_counter(prefix + ".mux.deferred", deferred_);
+  reg.register_gauge(prefix + ".mux.backlog_seconds", saturation_);
+}
+
+}  // namespace lf::core

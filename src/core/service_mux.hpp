@@ -1,0 +1,72 @@
+// Userspace service multiplexer: N adaptation services, one CPU budget.
+//
+// The paper runs one userspace service per datapath function on a shared
+// box; when several of them retrain at once the user_train queue on the
+// simulated kernel CPU backs up and every service's sync loop slows down
+// together.  The mux is the simple arbitration layer the tentpole issue
+// asks for: it watches the shared cpu_model's backlog and, once the backlog
+// exceeds a threshold, admits training batches only from the
+// highest-priority registered services.  Everything else is deferred
+// (counted per service by userspace_service::deferred_batches and in
+// aggregate here).
+//
+// Deliberately minimal: no queueing of deferred work (the kernel keeps
+// producing batches — dropping stale ones is the correct load-shedding),
+// no fairness carousel, just a saturation check + priority floor.  The
+// check runs at admission time on the sim thread, so it costs one
+// backlog_clear_time() read per batch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/userspace_service.hpp"
+#include "kernelsim/cpu.hpp"
+
+namespace lf::core {
+
+struct mux_config {
+  /// user_train backlog (seconds of queued work on the shared CPU) above
+  /// which admission tightens to the highest-priority services only.
+  double saturation_backlog = 0.05;
+};
+
+class service_mux {
+ public:
+  service_mux(sim::simulation& sim, kernelsim::cpu_model& cpu,
+              mux_config config = {});
+
+  /// Wire one service into the mux: installs the admission hook (replacing
+  /// any previous one) and remembers the service's configured priority.
+  void attach(userspace_service& svc);
+
+  std::size_t service_count() const noexcept { return services_.size(); }
+
+  /// True when the shared CPU's queued work exceeds the saturation backlog.
+  bool saturated() const;
+
+  std::uint64_t admitted() const noexcept { return admitted_.value(); }
+  std::uint64_t deferred() const noexcept { return deferred_.value(); }
+
+  /// Publish "<prefix>.mux.{admitted,deferred}" + a saturation gauge.
+  /// Opt-in (the mux is new wiring; single-model telemetry is untouched).
+  void register_metrics(metrics::registry& reg, const std::string& prefix);
+
+ private:
+  bool admit(int priority);
+
+  sim::simulation& sim_;
+  kernelsim::cpu_model& cpu_;
+  mux_config config_;
+  struct entry {
+    userspace_service* svc = nullptr;
+    int priority = 0;
+  };
+  std::vector<entry> services_;
+  int max_priority_ = 0;
+  metrics::counter admitted_;
+  metrics::counter deferred_;
+  metrics::gauge saturation_;
+};
+
+}  // namespace lf::core

@@ -36,6 +36,13 @@ void userspace_service::on_batch(std::vector<train_sample> batch) {
                        core_.router().cache_capacity());
   }
   if (!config_.adaptation_enabled || batch.empty()) return;
+  // Admission point: when the shared CPU is saturated, the mux lets only
+  // the highest-priority services spend user_train cycles.  Deferring a
+  // batch drops it — the next kernel batch carries fresher samples.
+  if (admission_ && !admission_()) {
+    deferred_.inc();
+    return;
+  }
   // Slow-path tuning competes for the shared CPU as user_train work; the
   // actual model math runs when the simulated work completes.
   cpu_.submit(kernelsim::task_category::user_train,
@@ -49,7 +56,7 @@ void userspace_service::on_batch(std::vector<train_sample> batch) {
 
 void userspace_service::maybe_update(std::span<const train_sample> batch) {
   checks_.inc();
-  const auto active = core_.router().active();
+  const auto active = core_.router().active(config_.model);
   const auto* installed = active ? core_.manager().get(*active) : nullptr;
   if (!installed) return;
 
@@ -73,7 +80,7 @@ void userspace_service::maybe_update(std::span<const train_sample> batch) {
   netlink_.round_trip(
       bytes, bytes, 0.0, kernelsim::task_category::user_nn,
       [this, tuned, inputs = std::move(inputs)](double) {
-        const auto active_now = core_.router().active();
+        const auto active_now = core_.router().active(config_.model);
         const auto* snap =
             active_now ? core_.manager().get(*active_now) : nullptr;
         if (!snap) return;
@@ -137,7 +144,7 @@ void userspace_service::register_trace(trace::collector& col,
 void userspace_service::install_snapshot(codegen::snapshot snap) {
   const std::size_t param_bytes = snap.program.parameter_bytes();
   const bool is_initial = snap.version <= 1;
-  const auto prev_active = core_.router().active();
+  const auto prev_active = core_.router().active(config_.model);
   // Ship parameters into the kernel, pay the install cost, then register
   // the module and stage it as standby (no lock), then flip the pointer.
   netlink_.send_to_kernel(param_bytes, [this, snap = std::move(snap),
@@ -153,12 +160,21 @@ void userspace_service::install_snapshot(codegen::snapshot snap) {
           const auto id = core_.register_model(std::move(snap));
           trace_.emit(sim_.now(), trace::event_type::snapshot_install, id,
                       version);
-          core_.router().install_standby(id);
+          core_.install_standby(config_.model, id);
           // The demoted snapshot's pinned-flow count must be read before the
           // flip retires it (refs only drain afterwards).
           const std::uint64_t prev_pinned =
               prev_active ? core_.manager().refcount(*prev_active) : 0;
-          const double switch_wait = core_.router().switch_active();
+          // Shadow-gated flip: with shadowing configured and an incumbent
+          // active, the divergence evidence decides.  A block leaves the
+          // candidate as standby — it keeps accumulating shadow samples and
+          // the next install (after more retraining) gets a fresh trial.
+          last_gate_ = core_.switch_active(config_.model);
+          if (last_gate_.gate_blocked) {
+            gate_blocked_.inc();
+            return;
+          }
+          const double switch_wait = last_gate_.switch_wait;
           // The initial deployment is not a "snapshot update" (§3.3 counts
           // only conservative re-syncs).
           if (!is_initial) updates_.inc();
@@ -168,6 +184,7 @@ void userspace_service::install_snapshot(codegen::snapshot snap) {
             install_observation obs;
             obs.version = version;
             obs.model = id;
+            obs.logical_model = config_.model;
             obs.initial = is_initial;
             obs.freeze_seconds = params * costs_.pipeline_freeze_per_param;
             obs.quantize_seconds = params * costs_.pipeline_quantize_per_param;

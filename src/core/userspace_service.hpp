@@ -55,6 +55,12 @@ struct service_config {
   std::size_t fidelity_samples = 32;
   /// Allow disabling adaptation entirely (the paper's N-O-A ablations).
   bool adaptation_enabled = true;
+  /// Logical model this service adapts (one service per model; N services
+  /// share one liteflow_core).  Default keeps single-model wiring intact.
+  model_key model = k_default_model;
+  /// Scheduling weight when a service_mux arbitrates CPU-saturated training
+  /// across services (higher wins; ties admit everyone).
+  int priority = 0;
 };
 
 class userspace_service {
@@ -78,9 +84,27 @@ class userspace_service {
   std::uint64_t skipped_not_necessary() const noexcept {
     return skip_nec_.value();
   }
+  /// Batches whose training was refused by the admission hook (CPU
+  /// saturation arbitration; see set_admission).
+  std::uint64_t deferred_batches() const noexcept { return deferred_.value(); }
+  /// Snapshot installs whose switch the shadow-divergence gate refused; the
+  /// candidate stays standby and keeps accumulating evidence.
+  std::uint64_t gate_blocked_switches() const noexcept {
+    return gate_blocked_.value();
+  }
   std::uint64_t current_version() const noexcept { return version_; }
   const sync_decision& last_decision() const noexcept { return last_decision_; }
+  const gate_result& last_gate() const noexcept { return last_gate_; }
   sync_evaluator& evaluator() noexcept { return evaluator_; }
+  const service_config& config() const noexcept { return config_; }
+
+  /// Admission hook consulted before each batch's training is submitted to
+  /// the shared CPU.  Returning false defers that batch (counted, dropped —
+  /// the kernel will deliver fresher samples anyway).  Installed by
+  /// service_mux; empty (the default) admits everything.
+  void set_admission(std::function<bool()> admit) {
+    admission_ = std::move(admit);
+  }
 
   /// Publish slow-path accounting (batches, snapshot updates, sync-evaluator
   /// accept/reject split) plus the last verdict's fidelity gauges
@@ -119,11 +143,15 @@ class userspace_service {
   sync_evaluator evaluator_;
   std::uint64_t version_ = 0;
   adaptation_monitor* monitor_ = nullptr;  ///< non-null only when enabled
+  std::function<bool()> admission_;        ///< empty = always admit
   metrics::counter batches_;
   metrics::counter updates_;
   metrics::counter checks_;
   metrics::counter skip_conv_;
   metrics::counter skip_nec_;
+  metrics::counter deferred_;
+  metrics::counter gate_blocked_;
+  gate_result last_gate_{};
   metrics::gauge fid_min_;
   metrics::gauge fid_mean_;
   metrics::gauge fid_max_;

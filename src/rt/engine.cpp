@@ -31,37 +31,85 @@ std::size_t datapath_engine::resolved_shards(
 datapath_engine::datapath_engine(engine_config cfg)
     : cfg_{cfg},
       epochs_{cfg.max_workers == 0 ? 1 : cfg.max_workers},
-      handle_{epochs_},
       cache_{resolved_shards(cfg), cfg.shard_capacity, epochs_} {
   // Reflect the resolved policy back into config() so callers (and the
   // bench report) see the shard count actually in effect.
   cfg_.shards = cache_.shard_count();
   if (cfg_.l1_slots != 0) cfg_.l1_slots = round_up_pow2(cfg_.l1_slots);
+  if (cfg_.models == 0) cfg_.models = 1;
+  for (std::size_t m = 0; m < cfg_.models; ++m) {
+    handles_.emplace_back(epochs_, reclaim_);
+    shadows_.emplace_back();
+  }
 }
 
 datapath_engine::~datapath_engine() {
   // Contract: worker threads are joined.  Release every flow pin so the
   // handle teardown (which runs next, then the epoch domain) can retire all
-  // versions.
-  cache_.clear(handle_);
-  handle_.maintain();
+  // versions.  Any handle of the shared reclaim domain can do the unpin
+  // accounting, and one maintain() drains the shared zombie list.
+  cache_.clear(handles_[0]);
+  handles_[0].maintain();
 }
 
-std::uint64_t datapath_engine::install(codegen::snapshot snap) {
-  const std::uint64_t gen = handle_.install_standby(std::move(snap));
+std::uint64_t datapath_engine::install(core::model_key model,
+                                       codegen::snapshot snap) {
+  snapshot_handle& h = handles_[model];
+  const std::uint64_t gen = h.install_standby(std::move(snap));
+  {
+    // A fresh candidate invalidates whatever was measured for the old one.
+    spin_guard g{shadows_[model].mu};
+    shadows_[model].scorer.reset();
+  }
   // Opportunistic reclamation keeps the zombie list short without a
   // dedicated maintenance thread.
-  handle_.maintain();
+  h.maintain();
   return gen;
 }
 
-bool datapath_engine::switch_active() {
-  const bool flipped = handle_.switch_active();
-  handle_.maintain();
+bool datapath_engine::switch_active(core::model_key model) {
+  snapshot_handle& h = handles_[model];
+  const bool flipped = h.switch_active();
+  if (flipped) {
+    spin_guard g{shadows_[model].mu};
+    shadows_[model].scorer.reset();
+  }
+  h.maintain();
   return flipped;
 }
 
-std::size_t datapath_engine::maintain() { return handle_.maintain(); }
+switch_outcome datapath_engine::try_switch(core::model_key model) {
+  snapshot_handle& h = handles_[model];
+  switch_outcome out;
+  if (!h.has_standby()) {
+    h.switch_active();  // counts the no-op where it is always counted
+    out.status = switch_outcome::result::no_standby;
+    return out;
+  }
+  {
+    spin_guard g{shadows_[model].mu};
+    out.verdict = shadows_[model].scorer.check(cfg_.shadow);
+  }
+  // Jurisdiction: gate only a replacement.  The bootstrap switch (no
+  // incumbent) must ship regardless — there is nothing to diverge from.
+  const bool gated = cfg_.shadow.active() && cfg_.shadow.gate_enabled &&
+                     h.has_active();
+  if (gated && !out.verdict.admit) {
+    gate_blocks_.inc();
+    out.status = switch_outcome::result::gate_blocked;
+    return out;
+  }
+  h.switch_active();
+  {
+    spin_guard g{shadows_[model].mu};
+    shadows_[model].scorer.reset();
+  }
+  h.maintain();
+  out.status = switch_outcome::result::flipped;
+  return out;
+}
+
+std::size_t datapath_engine::maintain() { return handles_[0].maintain(); }
 
 worker_handle& datapath_engine::register_worker() {
   std::lock_guard<std::mutex> g{workers_mu_};
@@ -77,12 +125,13 @@ worker_handle& datapath_engine::register_worker() {
 }
 
 snapshot_version* datapath_engine::resolve_flow(worker_handle& w,
-                                               netsim::flow_id_t flow,
+                                               snapshot_handle& h,
+                                               netsim::flow_id_t key,
                                                double now, std::uint64_t se,
                                                bool& hit) {
   if (!w.l1_.empty()) {
-    worker_handle::l1_entry& e = w.l1_slot(flow);
-    if (e.epoch == se && e.flow == flow &&
+    worker_handle::l1_entry& e = w.l1_slot(key);
+    if (e.epoch == se && e.key == key &&
         (++w.l1_tick_ & k_l1_refresh_mask) != 0) {
       // L1 hit: the unchanged switch epoch proves the binding is current
       // and the pointer dereferenceable (snapshot_handle.hpp).  Every 64th
@@ -93,39 +142,63 @@ snapshot_version* datapath_engine::resolve_flow(worker_handle& w,
       return e.ver;
     }
   }
-  snapshot_version* v = cache_.lookup(flow, now);
+  snapshot_version* v = cache_.lookup(key, now);
   if (v != nullptr) {
     hit = true;
     w.hits_.inc();
   } else {
     hit = false;
     w.misses_.inc();
-    v = handle_.pin_active();
-    if (v == nullptr) return nullptr;  // nothing deployed yet
-    v = cache_.insert(flow, v, now, cfg_.idle_timeout,
-                      cfg_.evict_slots_per_route, handle_);
+    v = h.pin_active();
+    if (v == nullptr) return nullptr;  // nothing deployed yet for this model
+    v = cache_.insert(key, v, now, cfg_.idle_timeout,
+                      cfg_.evict_slots_per_route, h);
   }
   if (!w.l1_.empty()) {
     // Stamp with the epoch loaded *before* the probe: if a flip or
     // retirement raced this resolve, the entry is born stale and the next
     // route re-validates against the shard instead of trusting it.
-    w.l1_slot(flow) = worker_handle::l1_entry{flow, v, se};
+    w.l1_slot(key) = worker_handle::l1_entry{key, v, se};
   }
   return v;
 }
 
-route_result datapath_engine::route(worker_handle& w, netsim::flow_id_t flow,
-                                    double now, std::span<const fp::s64> input,
+void datapath_engine::shadow_score(worker_handle& w, core::model_key model,
+                                   snapshot_version* active,
+                                   std::span<const fp::s64> input,
+                                   std::span<const fp::s64> active_out) {
+  snapshot_version* sh = handles_[model].peek_shadow();
+  // `sh` is safe to dereference (not to keep): we are inside the caller's
+  // epoch guard and standby retirement goes through the epoch domain.
+  // Comparing against the just-promoted active (flip race) is skipped.
+  if (sh == nullptr || sh == active) return;
+  const quant::quantized_mlp& prog = sh->snap.program;
+  if (input.size() != prog.input_size()) return;  // shape drifted
+  w.shadow_out_.resize(prog.output_size());
+  prog.infer_into(input, w.shadow_out_, w.scratch_);
+  w.shadow_infers_.inc();
+  const double d = core::shadow_divergence(
+      active_out, active->snap.program.io_scale(), w.shadow_out_,
+      prog.io_scale());
+  spin_guard g{shadows_[model].mu};
+  shadows_[model].scorer.record(d);
+}
+
+route_result datapath_engine::route(worker_handle& w, core::model_key model,
+                                    netsim::flow_id_t flow, double now,
+                                    std::span<const fp::s64> input,
                                     std::span<fp::s64> out) {
   route_result r;
   w.routes_.inc();
+  const netsim::flow_id_t key = core::composite_flow_key(model, flow);
+  snapshot_handle& h = handles_[model];
   // The epoch guard spans the whole route+infer: any version pointer we
   // hold — L1-cached, shard-cached pin or freshly pinned active — cannot be
   // freed before we exit, even if a racing FIN/switch drops its last pin
-  // meanwhile.
+  // meanwhile.  The shadow peek rides the same guard.
   epoch_domain::guard g{epochs_, w.slot_};
-  const std::uint64_t se = handle_.switch_epoch();
-  snapshot_version* v = resolve_flow(w, flow, now, se, r.hit);
+  const std::uint64_t se = h.switch_epoch();
+  snapshot_version* v = resolve_flow(w, h, key, now, se, r.hit);
   if (v == nullptr) return r;
   r.gen = v->gen;
   const quant::quantized_mlp& prog = v->snap.program;
@@ -133,12 +206,19 @@ route_result datapath_engine::route(worker_handle& w, netsim::flow_id_t flow,
     prog.infer_into(input, out, w.scratch_);
     w.infers_.inc();
     r.served = true;
+    // Deterministic sampled slice: same (seed, model, flow) => same
+    // decision on every run and every worker.
+    if (cfg_.shadow.active() &&
+        core::shadow_scorer::sampled(cfg_.shadow, model, flow)) {
+      shadow_score(w, model, v, input, out);
+    }
   }
   return r;
 }
 
 std::size_t datapath_engine::route_batch(
-    worker_handle& w, std::span<const netsim::flow_id_t> flows, double now,
+    worker_handle& w, core::model_key model,
+    std::span<const netsim::flow_id_t> flows, double now,
     std::span<const fp::s64> inputs, std::span<fp::s64> outs,
     std::span<route_result> results) {
   const std::size_t n = flows.size();
@@ -146,12 +226,14 @@ std::size_t datapath_engine::route_batch(
   w.routes_.inc(n);
   w.batches_.inc();
   if (w.batch_vers_.size() < n) w.batch_vers_.resize(n);
+  snapshot_handle& h = handles_[model];
   // One guard + one switch-epoch load amortized over the whole batch.
   epoch_domain::guard g{epochs_, w.slot_};
-  const std::uint64_t se = handle_.switch_epoch();
+  const std::uint64_t se = h.switch_epoch();
   for (std::size_t i = 0; i < n; ++i) {
     results[i] = route_result{};
-    snapshot_version* v = resolve_flow(w, flows[i], now, se, results[i].hit);
+    const netsim::flow_id_t key = core::composite_flow_key(model, flows[i]);
+    snapshot_version* v = resolve_flow(w, h, key, now, se, results[i].hit);
     w.batch_vers_[i] = v;
     if (v != nullptr) results[i].gen = v->gen;
   }
@@ -183,25 +265,64 @@ std::size_t datapath_engine::route_batch(
   return served;
 }
 
-bool datapath_engine::flow_finished(worker_handle& w, netsim::flow_id_t flow) {
+bool datapath_engine::flow_finished(worker_handle& w, core::model_key model,
+                                    netsim::flow_id_t flow) {
+  const netsim::flow_id_t key = core::composite_flow_key(model, flow);
   if (!w.l1_.empty()) {
     // Drop the worker's own binding first: after a FIN the next packet of
     // this flow must take a miss, never an L1 hit on the closed entry.
-    worker_handle::l1_entry& e = w.l1_slot(flow);
-    if (e.flow == flow) e.epoch = 0;
+    worker_handle::l1_entry& e = w.l1_slot(key);
+    if (e.key == key) e.epoch = 0;
   }
-  const bool erased = cache_.erase(flow, handle_);
+  const bool erased = cache_.erase(key, handles_[model]);
   if (erased) w.fins_.inc();
   return erased;
 }
 
 std::size_t datapath_engine::expire_idle(double now) {
-  return cache_.expire_idle(now, cfg_.idle_timeout, handle_);
+  return cache_.expire_idle(now, cfg_.idle_timeout, handles_[0]);
+}
+
+std::uint64_t datapath_engine::installs() const noexcept {
+  std::uint64_t sum = 0;
+  for (const snapshot_handle& h : handles_) sum += h.installs();
+  return sum;
+}
+
+std::uint64_t datapath_engine::switches() const noexcept {
+  std::uint64_t sum = 0;
+  for (const snapshot_handle& h : handles_) sum += h.switches();
+  return sum;
+}
+
+std::uint64_t datapath_engine::switch_noops() const noexcept {
+  std::uint64_t sum = 0;
+  for (const snapshot_handle& h : handles_) sum += h.switch_noops();
+  return sum;
+}
+
+std::uint64_t datapath_engine::shadow_inferences() const {
+  std::uint64_t sum = 0;
+  std::lock_guard<std::mutex> g{workers_mu_};
+  for (const worker_handle& w : workers_) sum += w.shadow_inferences();
+  return sum;
+}
+
+core::shadow_verdict datapath_engine::shadow_evidence(
+    core::model_key model) const {
+  spin_guard g{shadows_[model].mu};
+  return shadows_[model].scorer.check(cfg_.shadow);
 }
 
 void datapath_engine::register_metrics(metrics::registry& reg,
                                        const std::string& prefix) {
-  handle_.register_metrics(reg, prefix + ".snapshots");
+  // Model 0 keeps the historical ".snapshots" names; extra models get a
+  // ".snapshots.m<k>" prefix so multi-model reports stay per-lifecycle.
+  handles_[0].register_metrics(reg, prefix + ".snapshots");
+  for (std::size_t m = 1; m < handles_.size(); ++m) {
+    handles_[m].register_metrics(
+        reg, prefix + ".snapshots.m" + std::to_string(m));
+  }
   reg.register_gauge(prefix + ".cache.size", cache_size_);
   reg.register_gauge(prefix + ".cache.evictions", cache_evictions_);
   reg.register_gauge(prefix + ".cache.rehashes", cache_rehashes_);
@@ -215,6 +336,10 @@ void datapath_engine::register_metrics(metrics::registry& reg,
   reg.register_gauge(prefix + ".flip_lock.contended", flip_contended_);
   reg.register_gauge(prefix + ".versions.live", live_versions_gauge_);
   reg.register_gauge(prefix + ".versions.retired", retired_versions_gauge_);
+  reg.register_counter(prefix + ".shadow.gate_blocks", gate_blocks_);
+  reg.register_gauge(prefix + ".shadow.samples", shadow_samples_);
+  reg.register_gauge(prefix + ".shadow.mean_divergence",
+                     shadow_mean_divergence_);
 }
 
 void datapath_engine::publish_stats() {
@@ -249,10 +374,24 @@ void datapath_engine::publish_stats() {
                        ? 0.0
                        : static_cast<double>(total_l1_hits) /
                              static_cast<double>(total_routes));
-  flip_contended_.set(
-      static_cast<double>(handle_.flip_lock().contended_acquisitions()));
-  live_versions_gauge_.set(static_cast<double>(handle_.live_versions()));
-  retired_versions_gauge_.set(static_cast<double>(handle_.retired()));
+  std::uint64_t flip_contended = 0;
+  for (const snapshot_handle& h : handles_) {
+    flip_contended += h.flip_lock().contended_acquisitions();
+  }
+  flip_contended_.set(static_cast<double>(flip_contended));
+  live_versions_gauge_.set(static_cast<double>(versions_live()));
+  retired_versions_gauge_.set(static_cast<double>(versions_retired()));
+  std::uint64_t samples = 0;
+  double weighted_mean = 0.0;
+  for (std::size_t m = 0; m < shadows_.size(); ++m) {
+    const core::shadow_verdict v = shadow_evidence(
+        static_cast<core::model_key>(m));
+    samples += v.samples;
+    weighted_mean += v.mean_divergence * static_cast<double>(v.samples);
+  }
+  shadow_samples_.set(static_cast<double>(samples));
+  shadow_mean_divergence_.set(
+      samples == 0 ? 0.0 : weighted_mean / static_cast<double>(samples));
 }
 
 }  // namespace lf::rt

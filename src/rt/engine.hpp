@@ -8,8 +8,18 @@
 // while one writer installs standby snapshots lock-free and flips the
 // active pointer under a nanoseconds-held rt::spinlock.
 //
+// Multi-model serving: one engine hosts `engine_config::models` logical
+// models.  Each gets its own snapshot_handle (its own active/standby pair
+// and flip lock), but ALL of them share one epoch domain, one
+// version_reclaim (hence ONE switch-epoch counter), one sharded flow cache
+// and one per-worker L1 — routing keys both caches by
+// core::composite_flow_key(model, flow), so the L1 tag doubles as the model
+// tag and a single stale-epoch check still covers every model.  Model 0
+// through the keyless legacy API is bit-compatible with the single-model
+// engine (composite key 0|flow == flow).
+//
 // Read-path layering (fastest first):
-//   L1    per-worker direct-mapped flow→version cache inside worker_handle.
+//   L1    per-worker direct-mapped key→version cache inside worker_handle.
 //         No atomics beyond one switch-epoch load; entries are stamped with
 //         snapshot_handle::switch_epoch() and rejected after any flip or
 //         version retirement (see snapshot_handle.hpp for why the epoch
@@ -22,10 +32,21 @@
 // stamp keeps moving and the idle sweep never evicts a hot flow whose
 // traffic the L1 absorbed.
 //
+// Shadow scoring (scalar route path only): with a nonzero
+// engine_config::shadow.sample_rate, routes on the deterministic sampled
+// slice also run the model's standby snapshot (peek_shadow — dereferenced
+// inside the same epoch guard, never pinned) and fold the output divergence
+// into a per-model, spinlocked scorer.  try_switch() consults that evidence
+// and refuses a flip whose candidate diverges beyond the threshold.  The
+// batch path deliberately does not shadow: it exists to measure peak
+// routing throughput, and harnesses that want shadow coverage route the
+// sampled slice through route().
+//
 // Composition:
 //   epoch_domain        grace periods for the lock-free read path
 //   snapshot_handle     active/standby flip + pin-gated, epoch-deferred
-//                       version retirement + the L1 switch epoch
+//                       version retirement (one per model)
+//   version_reclaim     the shared switch epoch + zombie/live accounting
 //   sharded_flow_cache  per-flow model pinning (flow consistency invariant)
 //
 // Time is caller-supplied (seconds on any monotonic clock shared by the
@@ -48,6 +69,7 @@
 #include <vector>
 
 #include "codegen/snapshot.hpp"
+#include "core/model_domain.hpp"
 #include "quant/quantized_mlp.hpp"
 #include "rt/epoch.hpp"
 #include "rt/sharded_flow_cache.hpp"
@@ -70,12 +92,30 @@ struct engine_config {
   /// Per-worker L1 route-cache slots (rounded up to a power of two);
   /// 0 disables the L1 so benches can measure the L2 path in isolation.
   std::size_t l1_slots = 64;
+  /// Logical models served by this engine (clamped to >= 1; must fit the
+  /// composite-key model bits).  Model keys are 0..models-1.
+  std::size_t models = 1;
+  /// Shadow scoring / switch gating knobs (rate 0 = off, zero overhead).
+  core::shadow_config shadow{};
 };
 
 struct route_result {
   std::uint64_t gen = 0;  ///< generation that served the packet; 0 = none
   bool hit = false;       ///< flow-cache hit (pinned generation reused)
   bool served = false;    ///< inference executed into `out`
+};
+
+/// Outcome of one try_switch() consultation.
+struct switch_outcome {
+  enum class result : std::uint8_t {
+    flipped,       ///< active/standby exchanged
+    no_standby,    ///< nothing to switch to (counted no-op)
+    gate_blocked,  ///< standby present but shadow divergence refused it
+  };
+  result status = result::no_standby;
+  core::shadow_verdict verdict{};  ///< evidence at the moment of the ruling
+
+  bool flipped() const noexcept { return status == result::flipped; }
 };
 
 /// Per-worker state: the epoch reader slot, the inference scratch, the
@@ -90,6 +130,9 @@ class alignas(128) worker_handle {
   std::uint64_t cache_hits() const noexcept { return hits_.value(); }
   std::uint64_t cache_misses() const noexcept { return misses_.value(); }
   std::uint64_t inferences() const noexcept { return infers_.value(); }
+  std::uint64_t shadow_inferences() const noexcept {
+    return shadow_infers_.value();
+  }
   std::uint64_t fins() const noexcept { return fins_.value(); }
   std::uint64_t batches() const noexcept { return batches_.value(); }
   std::size_t epoch_slot() const noexcept { return slot_; }
@@ -101,18 +144,20 @@ class alignas(128) worker_handle {
  private:
   friend class datapath_engine;
 
-  /// One L1 binding: serve `flow` from `ver` for as long as the global
-  /// switch epoch still equals `epoch` (0 = never valid; epochs start at 1).
+  /// One L1 binding: serve composite `key` from `ver` for as long as the
+  /// global switch epoch still equals `epoch` (0 = never valid; epochs
+  /// start at 1).  The key's top bits carry the model, so the slot hash and
+  /// the tag match both model and flow with no extra field.
   struct l1_entry {
-    netsim::flow_id_t flow = 0;
+    netsim::flow_id_t key = 0;
     snapshot_version* ver = nullptr;
     std::uint64_t epoch = 0;
   };
 
-  l1_entry& l1_slot(netsim::flow_id_t flow) noexcept {
+  l1_entry& l1_slot(netsim::flow_id_t key) noexcept {
     // Fibonacci top-bits: one multiply, decorrelated from both the shard
     // index (splitmix top bits) and the in-shard bucket (splitmix low bits).
-    return l1_[(flow * 0x9e3779b97f4a7c15ULL) >> l1_shift_];
+    return l1_[(key * 0x9e3779b97f4a7c15ULL) >> l1_shift_];
   }
 
   std::size_t slot_ = 0;
@@ -121,11 +166,13 @@ class alignas(128) worker_handle {
   unsigned l1_shift_ = 63;
   std::uint64_t l1_tick_ = 0;  ///< forces periodic L2 stamp refresh
   std::vector<snapshot_version*> batch_vers_;  ///< route_batch scratch
+  std::vector<fp::s64> shadow_out_;  ///< standby-output staging (no alloc/route)
   metrics::counter routes_;
   metrics::counter l1_hits_;
   metrics::counter hits_;
   metrics::counter misses_;
   metrics::counter infers_;
+  metrics::counter shadow_infers_;
   metrics::counter fins_;
   metrics::counter batches_;
 };
@@ -143,13 +190,24 @@ class datapath_engine {
 
   // ------------------------------------------------------------- writer --
 
-  /// Install a generated snapshot as standby (no lock; readers unaffected).
-  /// Returns the generation number it will serve under.
-  std::uint64_t install(codegen::snapshot snap);
+  /// Install a generated snapshot as one model's standby (no lock; readers
+  /// unaffected).  Returns the generation number it will serve under
+  /// (generations are per-model).  The keyless form serves model 0.
+  std::uint64_t install(codegen::snapshot snap) {
+    return install(core::k_default_model, std::move(snap));
+  }
+  std::uint64_t install(core::model_key model, codegen::snapshot snap);
 
   /// Flip active/standby (spinlock'd pointer exchange).  False + counter
-  /// when no standby is installed.
-  bool switch_active();
+  /// when no standby is installed.  Bypasses the shadow gate — this is the
+  /// unconditioned flip single-model harnesses and tests exercise.
+  bool switch_active() { return switch_active(core::k_default_model); }
+  bool switch_active(core::model_key model);
+
+  /// Shadow-gated flip: consult the model's divergence evidence first.
+  /// With shadowing off (rate 0), no gate, or no incumbent active this
+  /// degrades to switch_active().
+  switch_outcome try_switch(core::model_key model);
 
   /// Retire/reclaim demoted versions whose pins and epochs have drained.
   std::size_t maintain();
@@ -165,19 +223,33 @@ class datapath_engine {
   /// pass empty spans to route without inferring (tests).  The flow is
   /// served by its pinned generation if cached (L1 first, then the sharded
   /// cache), else pins the current active.  Returns gen 0 (and no insert)
-  /// when nothing is active.
+  /// when nothing is active.  The keyless form serves model 0.
   route_result route(worker_handle& w, netsim::flow_id_t flow, double now,
+                     std::span<const fp::s64> input, std::span<fp::s64> out) {
+    return route(w, core::k_default_model, flow, now, input, out);
+  }
+  route_result route(worker_handle& w, core::model_key model,
+                     netsim::flow_id_t flow, double now,
                      std::span<const fp::s64> input, std::span<fp::s64> out);
 
-  /// Batched routing: route `flows.size()` packets under ONE epoch-guard
-  /// entry/exit and ONE switch-epoch load, then feed runs of same-version
-  /// flows through one batched weight pass (quantized_mlp::infer_batch_into).
-  /// `inputs` is row-major flows.size() x input_size, `outs` row-major
-  /// flows.size() x output_size; pass empty spans to route without
-  /// inferring.  `results` must have at least flows.size() entries; each is
-  /// filled exactly as the scalar route() would.  Returns the number of
-  /// packets actually served with inference.
+  /// Batched routing: route `flows.size()` packets of ONE model under ONE
+  /// epoch-guard entry/exit and ONE switch-epoch load, then feed runs of
+  /// same-version flows through one batched weight pass
+  /// (quantized_mlp::infer_batch_into).  `inputs` is row-major
+  /// flows.size() x input_size, `outs` row-major flows.size() x output_size;
+  /// pass empty spans to route without inferring.  `results` must have at
+  /// least flows.size() entries; each is filled exactly as the scalar
+  /// route() would.  Returns the number of packets actually served with
+  /// inference.  Does NOT shadow-score (see the file comment).
   std::size_t route_batch(worker_handle& w,
+                          std::span<const netsim::flow_id_t> flows, double now,
+                          std::span<const fp::s64> inputs,
+                          std::span<fp::s64> outs,
+                          std::span<route_result> results) {
+    return route_batch(w, core::k_default_model, flows, now, inputs, outs,
+                       results);
+  }
+  std::size_t route_batch(worker_handle& w, core::model_key model,
                           std::span<const netsim::flow_id_t> flows, double now,
                           std::span<const fp::s64> inputs,
                           std::span<fp::s64> outs,
@@ -188,27 +260,47 @@ class datapath_engine {
   /// worker that routes it (other workers' L1 entries for the flow stay
   /// valid until the next switch epoch bump — safe, but they would keep
   /// serving the old binding until then).
-  bool flow_finished(worker_handle& w, netsim::flow_id_t flow);
+  bool flow_finished(worker_handle& w, netsim::flow_id_t flow) {
+    return flow_finished(w, core::k_default_model, flow);
+  }
+  bool flow_finished(worker_handle& w, core::model_key model,
+                     netsim::flow_id_t flow);
 
   /// Full idle expiry across all shards (maintenance).
   std::size_t expire_idle(double now);
 
   // ------------------------------------------------------------- status --
 
-  bool has_active() const noexcept { return handle_.has_active(); }
-  std::uint64_t installs() const noexcept { return handle_.installs(); }
-  std::uint64_t switches() const noexcept { return handle_.switches(); }
-  std::uint64_t switch_noops() const noexcept {
-    return handle_.switch_noops();
+  bool has_active() const noexcept { return handles_[0].has_active(); }
+  bool has_active(core::model_key model) const noexcept {
+    return handles_[model].has_active();
   }
-  std::uint64_t versions_retired() const noexcept { return handle_.retired(); }
+  /// Writer counters summed across every model's handle.
+  std::uint64_t installs() const noexcept;
+  std::uint64_t switches() const noexcept;
+  std::uint64_t switch_noops() const noexcept;
+  /// Switches refused by the shadow-divergence gate.
+  std::uint64_t gate_blocks() const noexcept { return gate_blocks_.value(); }
+  /// Version lifecycle accounting (shared reclaim domain, all models).
+  std::uint64_t versions_retired() const noexcept {
+    return handles_[0].retired();
+  }
   std::uint64_t versions_live() const noexcept {
-    return handle_.live_versions();
+    return handles_[0].live_versions();
   }
+  /// Shadow evidence currently accumulated for one model.
+  core::shadow_verdict shadow_evidence(core::model_key model) const;
+  /// Standby inferences run by the shadow sampler, summed over all workers
+  /// (quiesced read — take it after the worker threads join).
+  std::uint64_t shadow_inferences() const;
   std::size_t cached_flows() const { return cache_.stats().size; }
+  std::size_t model_count() const noexcept { return handles_.size(); }
   const engine_config& config() const noexcept { return cfg_; }
   epoch_domain& epochs() noexcept { return epochs_; }
-  snapshot_handle& snapshots() noexcept { return handle_; }
+  snapshot_handle& snapshots() noexcept { return handles_[0]; }
+  snapshot_handle& snapshots(core::model_key model) noexcept {
+    return handles_[model];
+  }
   sharded_flow_cache& cache() noexcept { return cache_; }
 
   /// Shard count an engine_config resolves to: explicit values round up to
@@ -219,7 +311,9 @@ class datapath_engine {
 
   /// Register writer counters plus post-run aggregate gauges under
   /// "<prefix>.*"; call publish_stats() after the workers stop to fill the
-  /// aggregates before reading the registry.
+  /// aggregates before reading the registry.  Model 0's handle registers
+  /// under "<prefix>.snapshots" (single-model names unchanged); additional
+  /// models register under "<prefix>.snapshots.m<k>".
   void register_metrics(metrics::registry& reg, const std::string& prefix);
 
   /// Snapshot the sharded-cache totals, version lifecycle, and the derived
@@ -230,17 +324,36 @@ class datapath_engine {
 
  private:
   /// Shared resolve step of route()/route_batch(): L1, then the lock-free
-  /// shard probe, then the pin+insert miss path.  Must be called inside the
-  /// worker's epoch guard with `se` loaded inside that same guard.
-  snapshot_version* resolve_flow(worker_handle& w, netsim::flow_id_t flow,
-                                 double now, std::uint64_t se, bool& hit);
+  /// shard probe, then the pin+insert miss path.  `key` is the composite
+  /// (model, flow) key and `h` the model's handle.  Must be called inside
+  /// the worker's epoch guard with `se` loaded inside that same guard.
+  snapshot_version* resolve_flow(worker_handle& w, snapshot_handle& h,
+                                 netsim::flow_id_t key, double now,
+                                 std::uint64_t se, bool& hit);
+  /// Run the standby on `input` and fold the divergence into the model's
+  /// scorer.  Inside the caller's epoch guard; `active_out` is the active's
+  /// freshly computed output for the same input.
+  void shadow_score(worker_handle& w, core::model_key model,
+                    snapshot_version* active, std::span<const fp::s64> input,
+                    std::span<const fp::s64> active_out);
+
+  /// Per-model divergence evidence; the spinlock serializes worker record()
+  /// against writer check()/reset().  Over-aligned: adjacent models' locks
+  /// must not false-share under concurrent shadow traffic.
+  struct alignas(64) model_shadow {
+    mutable spinlock mu;
+    core::shadow_scorer scorer;
+  };
 
   engine_config cfg_;
-  epoch_domain epochs_;      // declared before handle_: destroyed after it
-  snapshot_handle handle_;
+  epoch_domain epochs_;      // declared before handles_: destroyed after them
+  version_reclaim reclaim_;  // ditto — shared by every handle
+  std::deque<snapshot_handle> handles_;  // one per model; stable references
+  std::deque<model_shadow> shadows_;     // one per model
   sharded_flow_cache cache_;
-  std::mutex workers_mu_;
+  mutable std::mutex workers_mu_;
   std::deque<worker_handle> workers_;  // deque: stable references
+  metrics::counter gate_blocks_;  ///< writer-only
   metrics::gauge cache_size_;
   metrics::gauge cache_evictions_;
   metrics::gauge cache_rehashes_;
@@ -254,6 +367,9 @@ class datapath_engine {
   metrics::gauge flip_contended_;
   metrics::gauge live_versions_gauge_;
   metrics::gauge retired_versions_gauge_;
+  metrics::gauge shadow_samples_;
+  metrics::gauge shadow_mean_divergence_;
+  metrics::gauge gate_blocks_gauge_;
 };
 
 }  // namespace lf::rt

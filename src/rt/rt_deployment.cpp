@@ -11,6 +11,14 @@ void do_register() {
       engine_builder{[](const engine_config& cfg) {
         return std::make_unique<datapath_engine>(cfg);
       }});
+  apps::register_deployment(
+      apps::app_kind::rt, rt_deployment::multimodel, "rt-multimodel",
+      engine_builder{[](const engine_config& cfg) {
+        engine_config mm = cfg;
+        if (mm.models < 2) mm.models = 2;
+        if (mm.shadow.sample_rate <= 0.0) mm.shadow.sample_rate = 1.0 / 16.0;
+        return std::make_unique<datapath_engine>(mm);
+      }});
 }
 
 struct registrar {
@@ -23,19 +31,20 @@ const registrar auto_registrar{};
 void ensure_rt_deployments_registered() {
   if (apps::deployment_registry::instance()
           .builder_as<engine_builder>(
-              apps::app_kind::rt, static_cast<int>(rt_deployment::engine)) ==
-      nullptr) {
+              apps::app_kind::rt,
+              static_cast<int>(rt_deployment::multimodel)) == nullptr) {
     do_register();
   }
 }
 
-std::unique_ptr<datapath_engine> build_engine(const engine_config& cfg) {
+std::unique_ptr<datapath_engine> build_engine(const engine_config& cfg,
+                                              rt_deployment which) {
   ensure_rt_deployments_registered();
   const engine_builder* b =
       apps::deployment_registry::instance().builder_as<engine_builder>(
-          apps::app_kind::rt, static_cast<int>(rt_deployment::engine));
+          apps::app_kind::rt, static_cast<int>(which));
   if (b == nullptr) {
-    throw std::runtime_error{"rt-engine deployment not registered"};
+    throw std::runtime_error{"rt deployment not registered"};
   }
   return (*b)(cfg);
 }

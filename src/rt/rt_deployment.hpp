@@ -17,7 +17,8 @@
 namespace lf::rt {
 
 enum class rt_deployment {
-  engine = 0,  ///< "rt-engine": N real worker threads over compiled snapshots
+  engine = 0,      ///< "rt-engine": N real worker threads over compiled snapshots
+  multimodel = 1,  ///< "rt-multimodel": N models behind one engine, shadow-gated
 };
 
 /// Builder type stored (type-erased) in the deployment registry.
@@ -31,7 +32,11 @@ void ensure_rt_deployments_registered();
 
 /// Resolve the registered builder and construct an engine; throws
 /// std::runtime_error if the deployment is missing (never after
-/// ensure_rt_deployments_registered()).
-std::unique_ptr<datapath_engine> build_engine(const engine_config& cfg);
+/// ensure_rt_deployments_registered()).  "rt-multimodel" applies the
+/// multi-model profile before delegating to the same datapath_engine: at
+/// least two model slots, and shadow scoring on (1/16 sampling with the
+/// default gate) unless the caller configured a rate explicitly.
+std::unique_ptr<datapath_engine> build_engine(
+    const engine_config& cfg, rt_deployment which = rt_deployment::engine);
 
 }  // namespace lf::rt

@@ -4,11 +4,16 @@
 
 namespace lf::rt {
 
-snapshot_handle::snapshot_handle(epoch_domain& epochs) : epochs_{epochs} {}
+snapshot_handle::snapshot_handle(epoch_domain& epochs)
+    : epochs_{epochs}, rec_{owned_} {}
+
+snapshot_handle::snapshot_handle(epoch_domain& epochs, version_reclaim& reclaim)
+    : epochs_{epochs}, rec_{reclaim} {}
 
 snapshot_handle::~snapshot_handle() {
   // Contract: readers are stopped and all flow pins are released, so the
   // only remaining pins are the handle's own ownership pins.
+  shadow_.store(nullptr, std::memory_order_release);
   if (standby_ != nullptr) {
     release_ownership(std::exchange(standby_, nullptr));
   }
@@ -23,12 +28,18 @@ snapshot_handle::~snapshot_handle() {
 
 std::uint64_t snapshot_handle::install_standby(codegen::snapshot snap) {
   auto* v = new snapshot_version{next_gen_++, std::move(snap)};
-  live_versions_.fetch_add(1, std::memory_order_acq_rel);
+  rec_.live.fetch_add(1, std::memory_order_acq_rel);
   if (standby_ != nullptr) {
     // Replaced before ever activating: demote the orphan standby directly.
+    // Publish the replacement shadow first so a concurrent shadow read
+    // lands on the new candidate or the (epoch-protected) old one, never
+    // on a torn slot.
+    shadow_.store(v, std::memory_order_release);
     snapshot_version* old = std::exchange(standby_, nullptr);
     old->demoted.store(true, std::memory_order_seq_cst);
     release_ownership(old);
+  } else {
+    shadow_.store(v, std::memory_order_release);
   }
   standby_ = v;
   installs_.inc();
@@ -44,6 +55,10 @@ bool snapshot_handle::switch_active() {
     return false;
   }
   snapshot_version* incoming = std::exchange(standby_, nullptr);
+  // The candidate is being promoted: stop shadow-comparing against it.  A
+  // reader mid-guard may still compare one route against it — comparing the
+  // new active with itself yields divergence 0, which is harmless.
+  shadow_.store(nullptr, std::memory_order_release);
   snapshot_version* outgoing = nullptr;
   {
     // The paper's "3 lines of code" critical section: one pointer exchange.
@@ -54,7 +69,7 @@ bool snapshot_handle::switch_active() {
   // L1 invalidation: any worker-cached flow→version binding may now differ
   // from what a fresh shard lookup would pin (new flows bind to `incoming`),
   // so every L1 entry stamped before this bump must fall back to the shard.
-  switch_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  rec_.switch_epoch.fetch_add(1, std::memory_order_seq_cst);
   if (outgoing != nullptr) {
     // Order matters: readers re-check demoted *after* pinning; publishing
     // demoted before the ownership-pin drop is what makes their check
@@ -108,22 +123,26 @@ void snapshot_handle::push_zombie(snapshot_version* v) noexcept {
   // also precedes the retire()'s epoch advance — the grace period cannot
   // elapse under that worker, so its L1 pointer stays dereferenceable for
   // the remainder of its guard.  Workers that see the bump reject the entry.
-  switch_epoch_.fetch_add(1, std::memory_order_seq_cst);
-  std::lock_guard<std::mutex> g{zombies_mu_};
-  zombies_.push_back(v);
+  rec_.switch_epoch.fetch_add(1, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> g{rec_.zombies_mu};
+  rec_.zombies.push_back(v);
 }
 
 std::size_t snapshot_handle::maintain() {
   std::vector<snapshot_version*> batch;
   {
-    std::lock_guard<std::mutex> g{zombies_mu_};
-    batch.swap(zombies_);
+    std::lock_guard<std::mutex> g{rec_.zombies_mu};
+    batch.swap(rec_.zombies);
   }
   for (snapshot_version* v : batch) {
-    epochs_.retire([this, v]() {
+    // Capture the reclaim domain, not `this`: with a shared domain the
+    // deferred delete may run from another handle's maintain() after this
+    // handle is gone.
+    version_reclaim* rec = &rec_;
+    epochs_.retire([rec, v]() {
       delete v;
-      retired_versions_.fetch_add(1, std::memory_order_acq_rel);
-      live_versions_.fetch_sub(1, std::memory_order_acq_rel);
+      rec->retired.fetch_add(1, std::memory_order_acq_rel);
+      rec->live.fetch_sub(1, std::memory_order_acq_rel);
     });
   }
   return epochs_.try_reclaim();

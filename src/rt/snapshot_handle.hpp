@@ -75,11 +75,31 @@ struct snapshot_version {
   std::atomic<bool> retire_pushed{false};
 };
 
+/// Version-reclamation state shareable by several handles.  A multi-model
+/// engine gives each logical model its own snapshot_handle but ONE of these,
+/// so the whole engine has one switch-epoch counter (one L1 stamp to check
+/// per route regardless of model count), one zombie list, and one live/
+/// retired account — and a version pinned through one model's cache entry
+/// can be unpinned through any handle of the domain.  A handle constructed
+/// without one owns a private instance (single-model behavior unchanged).
+struct version_reclaim {
+  std::mutex zombies_mu;
+  std::vector<snapshot_version*> zombies;
+  /// Monotonic L1-invalidation counter (see snapshot_handle::switch_epoch).
+  std::atomic<std::uint64_t> switch_epoch{1};
+  std::atomic<std::uint64_t> retired{0};
+  std::atomic<std::uint64_t> live{0};
+};
+
 class snapshot_handle {
  public:
   /// The handle retires garbage through `epochs`; every reader that calls
   /// pin_active()/peek_gen() must be inside a guard on the same domain.
   explicit snapshot_handle(epoch_domain& epochs);
+
+  /// Share `reclaim` with the other handles of one engine (see
+  /// version_reclaim).  `reclaim` must outlive the handle.
+  snapshot_handle(epoch_domain& epochs, version_reclaim& reclaim);
 
   snapshot_handle(const snapshot_handle&) = delete;
   snapshot_handle& operator=(const snapshot_handle&) = delete;
@@ -117,6 +137,17 @@ class snapshot_handle {
   /// be called inside an epoch guard.  0 if nothing is active.
   std::uint64_t peek_gen() const noexcept;
 
+  /// The current shadow candidate (the installed-but-unswitched standby),
+  /// or nullptr.  MUST be called inside an epoch guard, and the pointer
+  /// must not outlive it: the standby's ownership pin plus epoch-deferred
+  /// reclamation keep the object alive for the guard's duration even if
+  /// the writer concurrently switches or replaces it, but nothing keeps it
+  /// alive beyond.  Shadow scoring dereferences it for one inference and
+  /// lets go — it never pins, so a shadow read can never delay retirement.
+  snapshot_version* peek_shadow() const noexcept {
+    return shadow_.load(std::memory_order_acquire);
+  }
+
   /// Drop one pin.  Safe from any thread; the zero-crossing on a demoted
   /// version queues it for epoch retirement.
   void unpin(snapshot_version* v) noexcept;
@@ -125,8 +156,9 @@ class snapshot_handle {
   /// every zombie push.  Read it inside an epoch guard; an L1 entry stamped
   /// with an older value must not be served (see the file comment).
   /// Starts at 1, so 0 is a natural "never valid" sentinel for L1 entries.
+  /// Shared across every handle bound to the same version_reclaim.
   std::uint64_t switch_epoch() const noexcept {
-    return switch_epoch_.load(std::memory_order_seq_cst);
+    return rec_.switch_epoch.load(std::memory_order_seq_cst);
   }
 
   // ------------------------------------------------------------- status --
@@ -138,13 +170,15 @@ class snapshot_handle {
   std::uint64_t installs() const noexcept { return installs_.value(); }
   std::uint64_t switches() const noexcept { return switches_.value(); }
   std::uint64_t switch_noops() const noexcept { return noops_.value(); }
+  /// Retired/live accounting is per-reclaim-domain: with a shared
+  /// version_reclaim these count versions across ALL its handles.
   std::uint64_t retired() const noexcept {
-    return retired_versions_.load(std::memory_order_acquire);
+    return rec_.retired.load(std::memory_order_acquire);
   }
   /// Versions allocated and not yet freed (active + standby + flow-pinned +
   /// zombies awaiting grace).
   std::uint64_t live_versions() const noexcept {
-    return live_versions_.load(std::memory_order_acquire);
+    return rec_.live.load(std::memory_order_acquire);
   }
   const spinlock& flip_lock() const noexcept { return flip_lock_; }
 
@@ -157,17 +191,16 @@ class snapshot_handle {
   void push_zombie(snapshot_version* v) noexcept;
 
   epoch_domain& epochs_;
+  version_reclaim owned_;       ///< backing store for the single-handle ctor
+  version_reclaim& rec_;        ///< the domain actually used (owned_ or shared)
   std::atomic<snapshot_version*> active_{nullptr};
+  /// Readable mirror of the standby slot for shadow scoring; readers deref
+  /// it only inside an epoch guard (see peek_shadow).
+  std::atomic<snapshot_version*> shadow_{nullptr};
   snapshot_version* standby_ = nullptr;  ///< writer-only slot
   spinlock flip_lock_;
   std::uint64_t next_gen_ = 1;  ///< writer-only
 
-  std::mutex zombies_mu_;
-  std::vector<snapshot_version*> zombies_;
-  std::atomic<std::uint64_t> switch_epoch_{1};
-
-  std::atomic<std::uint64_t> retired_versions_{0};
-  std::atomic<std::uint64_t> live_versions_{0};
   metrics::counter installs_;   ///< writer-only
   metrics::counter switches_;   ///< writer-only
   metrics::counter noops_;      ///< writer-only

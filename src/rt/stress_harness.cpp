@@ -32,6 +32,16 @@
 //   LF_RT_SWEEP          comma list of worker counts    (default "1,2,4,8,16";
 //                        empty string skips the sweep phase)
 //   LF_RT_SWEEP_SECONDS  per-sweep-point duration       (default 0.5; 0.15 fast)
+//   LF_RT_MODELS         logical models behind the one engine (default 1).
+//                        With N > 1 every worker routes its flow partition
+//                        across all N models and checks the consistency
+//                        invariant per (model, flow); the writer storms all
+//                        N lifecycles through the shared switch epoch.
+//   LF_RT_SHADOW         shadow sample rate in [0,1] (default 0).  Nonzero
+//                        turns on standby shadow inference on the sampled
+//                        slice — the gate itself stays disabled here so the
+//                        switch storm never stalls; this knob exists to put
+//                        the peek_shadow/install/switch races under TSan.
 //   LF_BENCH_FAST        shrink durations for smoke runs
 #include <algorithm>
 #include <atomic>
@@ -125,9 +135,11 @@ worker_outcome run_worker(rt::datapath_engine& engine, rt::worker_handle& w,
                           const std::atomic<bool>& stop) {
   rng g{seed};
   worker_outcome out;
-  // expected generation per owned flow; 0 = not pinned (flows are
-  // worker-partitioned, so this thread is the only router/FINisher).
-  std::vector<std::uint64_t> expected(flows, 0);
+  const std::size_t models = engine.model_count();
+  // expected generation per owned (model, flow); 0 = not pinned (flows are
+  // worker-partitioned, so this thread is the only router/FINisher — and
+  // each model's cache entry for a flow is an independent binding).
+  std::vector<std::uint64_t> expected(models * flows, 0);
   std::vector<fp::s64> input(8);
   std::vector<fp::s64> output(1);
   std::vector<netsim::flow_id_t> bflows(batch);
@@ -137,22 +149,31 @@ worker_outcome run_worker(rt::datapath_engine& engine, rt::worker_handle& w,
   std::vector<rt::route_result> bresults(batch);
   std::uint64_t iter = 0;
 
-  const auto check = [&](const rt::route_result& r, std::size_t idx) {
+  const auto pick_model = [&]() -> core::model_key {
+    return models == 1 ? core::k_default_model
+                       : static_cast<core::model_key>(g.uniform_int(
+                             0, static_cast<std::int64_t>(models) - 1));
+  };
+  const auto check = [&](const rt::route_result& r, core::model_key m,
+                         std::size_t idx) {
     if (r.gen == 0) return;
     ++out.routes;
     if (r.served) ++out.inferences;
     // The invariant: a hit serves exactly the generation pinned at this
-    // flow's last miss (expected != 0 always holds on a hit, because this
-    // worker owns the flow and every hit follows a miss).
-    if (r.hit && r.gen != expected[idx]) ++out.violations;
-    expected[idx] = r.gen;
+    // (model, flow)'s last miss (expected != 0 always holds on a hit,
+    // because this worker owns the flow and every hit follows a miss).
+    const std::size_t slot = static_cast<std::size_t>(m) * flows + idx;
+    if (r.hit && r.gen != expected[slot]) ++out.violations;
+    expected[slot] = r.gen;
   };
 
   while (!stop.load(std::memory_order_acquire)) {
     ++iter;
     const double now = now_seconds(t0);
     if (batch > 0 && (iter & 3) == 0) {
-      // Batched leg: `batch` random owned flows through one route_batch.
+      // Batched leg: `batch` random owned flows through one route_batch
+      // (batches are single-model per call, like a per-model NIC queue).
+      const core::model_key m = pick_model();
       for (std::size_t b = 0; b < batch; ++b) {
         const auto idx = static_cast<std::size_t>(
             g.uniform_int(0, static_cast<std::int64_t>(flows) - 1));
@@ -162,24 +183,26 @@ worker_outcome run_worker(rt::datapath_engine& engine, rt::worker_handle& w,
           binputs[b * 8 + j] = g.uniform_int(-900, 900);
         }
       }
-      engine.route_batch(w, bflows, now, binputs, bouts, bresults);
-      for (std::size_t b = 0; b < batch; ++b) check(bresults[b], bidx[b]);
+      engine.route_batch(w, m, bflows, now, binputs, bouts, bresults);
+      for (std::size_t b = 0; b < batch; ++b) check(bresults[b], m, bidx[b]);
     } else {
+      const core::model_key m = pick_model();
       const std::size_t idx = static_cast<std::size_t>(
           g.uniform_int(0, static_cast<std::int64_t>(flows) - 1));
       const auto flow = static_cast<netsim::flow_id_t>(flow_base + idx);
       for (auto& x : input) x = g.uniform_int(-900, 900);  // within io_scale
-      const rt::route_result r = engine.route(w, flow, now, input, output);
-      check(r, idx);
+      const rt::route_result r = engine.route(w, m, flow, now, input, output);
+      check(r, m, idx);
     }
     // Interleavings: FIN ~3% of iterations; a full idle-expiry sweep every
     // few thousand iterations races the sweep against other workers.
     if (g.uniform() < 0.03) {
+      const core::model_key m = pick_model();
       const std::size_t idx = static_cast<std::size_t>(
           g.uniform_int(0, static_cast<std::int64_t>(flows) - 1));
-      engine.flow_finished(w,
+      engine.flow_finished(w, m,
                            static_cast<netsim::flow_id_t>(flow_base + idx));
-      expected[idx] = 0;
+      expected[static_cast<std::size_t>(m) * flows + idx] = 0;
     } else if ((iter & 0x1fff) == 0) {
       engine.expire_idle(now_seconds(t0));
     }
@@ -208,8 +231,12 @@ stress_stats run_stress(const rt::engine_config& cfg,
   static std::unique_ptr<rt::datapath_engine> keep_alive;  // for engine_out
   auto engine = rt::build_engine(cfg);
   if (reg != nullptr) engine->register_metrics(*reg, "rt");
-  engine->install(pool[0]);
-  engine->switch_active();
+  const std::size_t models = engine->model_count();
+  for (std::size_t m = 0; m < models; ++m) {
+    const auto key = static_cast<core::model_key>(m);
+    engine->install(key, pool[m % pool.size()]);
+    engine->switch_active(key);
+  }
 
   std::vector<rt::worker_handle*> handles;
   for (std::size_t i = 0; i < n_workers; ++i) {
@@ -230,20 +257,26 @@ stress_stats run_stress(const rt::engine_config& cfg,
     std::uint64_t version = 1;
     while (now_seconds(t0) < duration ||
            engine->switches() < min_switches + 1) {
+      // All model lifecycles are driven from one writer thread (the rt
+      // contract), round-robining randomly so every model's flips land in
+      // the shared switch epoch interleaved with the others'.
+      const auto m = static_cast<core::model_key>(
+          models == 1 ? 0
+                      : g.uniform_int(0, static_cast<std::int64_t>(models) - 1));
       const double dice = g.uniform();
       if (dice < 0.75) {
         codegen::snapshot snap = pool[version % pool.size()];
         snap.version = ++version;
-        engine->install(std::move(snap));
-        engine->switch_active();
+        engine->install(m, std::move(snap));
+        engine->switch_active(m);
       } else if (dice < 0.85) {
         // Standby replaced before ever activating (orphan retirement path).
         codegen::snapshot snap = pool[version % pool.size()];
         snap.version = ++version;
-        engine->install(std::move(snap));
+        engine->install(m, std::move(snap));
       } else {
         // No-standby switch: must be a counted no-op, never a null flip.
-        engine->switch_active();
+        engine->switch_active(m);
       }
       engine->maintain();
       std::this_thread::sleep_for(std::chrono::microseconds(
@@ -306,20 +339,29 @@ int main() {
       env_size_list("LF_RT_SWEEP", "1,2,4,8,16");
   const double sweep_seconds =
       env_double("LF_RT_SWEEP_SECONDS", fast_mode() ? 0.15 : 0.5);
+  const std::size_t models = std::max<std::size_t>(env_size("LF_RT_MODELS", 1),
+                                                   1);
+  const double shadow_rate = env_double("LF_RT_SHADOW", 0.0);
   const unsigned host_cpus = std::thread::hardware_concurrency();
 
   rt::engine_config cfg;
   cfg.shards = shards;
   cfg.idle_timeout = 0.05;  // aggressive: force idle-expiry races
   cfg.l1_slots = l1_slots;
+  cfg.models = models;
+  cfg.shadow.sample_rate = shadow_rate;
+  // Shadow inference races are what we stress; the gate would starve the
+  // switch storm (the writer flips unconditionally), so keep it out.
+  cfg.shadow.gate_enabled = false;
   cfg.max_workers = std::max<std::size_t>(
       threads + 1,
       (sweep.empty() ? 0 : *std::max_element(sweep.begin(), sweep.end())) + 1);
 
   std::printf(
       "rt stress: %zu workers x %zu flows, >= %zu switches, %.2fs "
-      "(batch %zu, l1 %zu, %u host cpus)\n",
-      threads, flows, min_switches, duration, batch, l1_slots, host_cpus);
+      "(batch %zu, l1 %zu, %zu models, shadow %.3f, %u host cpus)\n",
+      threads, flows, min_switches, duration, batch, l1_slots, models,
+      shadow_rate, host_cpus);
   const std::vector<codegen::snapshot> pool = make_snapshot_pool(6);
 
   // ---- phase 1: single-threaded, no-switch scalar baseline -------------
@@ -451,6 +493,14 @@ int main() {
   rep.config("l1_slots", static_cast<double>(engine->config().l1_slots));
   rep.config("batch", static_cast<double>(batch));
   rep.config("host_cpus", static_cast<double>(host_cpus));
+  // Multi-model knobs are only reported when in use so the default
+  // single-model fast-seed JSON stays byte-identical across this change.
+  if (models > 1 || shadow_rate > 0.0) {
+    rep.config("models", static_cast<double>(models));
+    rep.config("shadow_sample_rate", shadow_rate);
+    rep.summary("shadow_inferences",
+                static_cast<double>(engine->shadow_inferences()));
+  }
   rep.config("duration_seconds", elapsed);
   rep.config("sweep_seconds", sweep_seconds);
   rep.config_bool("fast_mode", fast_mode());
@@ -499,9 +549,9 @@ int main() {
                  "FAIL: no-op switch path never exercised (writer bug)\n");
     ok = false;
   }
-  // Refcount + epoch gating: after the drain, only the final active (and a
-  // possibly-uninstalled standby) may still be alive.
-  if (live > 2) {
+  // Refcount + epoch gating: after the drain, only each model's final
+  // active (and a possibly-uninstalled standby) may still be alive.
+  if (live > 2 * models) {
     std::fprintf(stderr, "FAIL: %llu versions leaked past the drain\n",
                  static_cast<unsigned long long>(live));
     ok = false;

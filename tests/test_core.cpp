@@ -65,10 +65,40 @@ TEST(NnManager, RemoveWithoutRefsIsImmediate) {
   EXPECT_EQ(m.get(id), nullptr);
 }
 
-TEST(NnManager, ReleaseUnderflowThrows) {
+TEST(NnManager, ReleaseUnderflowIsCountedNotThrown) {
+  // Broken release pairing is a datapath-adjacent bug: diagnose it through
+  // a counter instead of unwinding through the caller (a kernel-side FIN
+  // handler has nowhere to catch).
   nn_manager m;
   const auto id = m.register_model(tiny_snapshot("ffnn", 1));
-  EXPECT_THROW(m.release(id), std::logic_error);
+  EXPECT_EQ(m.refcount_errors(), 0u);
+  EXPECT_NO_THROW(m.release(id));  // refcount already 0
+  EXPECT_EQ(m.refcount_errors(), 1u);
+  // The bogus release must not corrupt the count: a real ref/release pair
+  // still balances and the module stays installed throughout.
+  m.add_ref(id);
+  m.release(id);
+  EXPECT_EQ(m.refcount_errors(), 1u);
+  EXPECT_NE(m.get(id), nullptr);
+}
+
+TEST(NnManager, UnknownIdRefOpsAreCounted) {
+  nn_manager m;
+  const auto id = m.register_model(tiny_snapshot("ffnn", 1));
+  EXPECT_NO_THROW(m.add_ref(id + 99));
+  EXPECT_NO_THROW(m.release(id + 99));
+  EXPECT_EQ(m.refcount_errors(), 2u);
+
+  metrics::registry reg;
+  m.register_metrics(reg, "nn");
+  bool found = false;
+  for (const auto& [name, value] : reg.scalars()) {
+    if (name == "nn.refcount_errors") {
+      found = true;
+      EXPECT_DOUBLE_EQ(value, 2.0);
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST(NnManager, FindLatestPicksHighestVersion) {
