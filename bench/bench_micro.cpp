@@ -19,6 +19,8 @@
 #include "core/adaptation_monitor.hpp"
 #include "core/flow_cache.hpp"
 #include "nn/mlp.hpp"
+#include "rt/flight_recorder.hpp"
+#include "rt/latency_histogram.hpp"
 #include "util/bench_report.hpp"
 #include "util/rng.hpp"
 #include "util/trace.hpp"
@@ -299,6 +301,101 @@ void bm_trace_ring_emit(benchmark::State& state) {
 }
 BENCHMARK(bm_trace_ring_emit);
 
+// ---------------------------------------------------- rt live telemetry --
+
+// The rt engine's route path pays, per route:
+//   latency off      one predictable branch (bm_latency_route_disabled)
+//   latency sampled  branch + tick; clock reads 1-in-2^shift
+//   latency on       two steady_clock reads + one histogram record
+// and, for the flight recorder, a null check (off) or a sampled ring emit.
+// The *_record bench isolates the histogram store itself (the <= 5 ns
+// budget); the route-shaped ones measure the guard structure exactly as
+// engine.cpp writes it, with the enable flag laundered through
+// DoNotOptimize so the dead branch is not folded away.
+
+void bm_latency_record(benchmark::State& state) {
+  rt::latency_histogram h;
+  std::uint64_t ns = 0;
+  for (auto _ : state) {
+    h.record(ns);
+    ns = (ns + 147) & 1023;  // walk a handful of buckets, near-free update
+  }
+  rt::latency_snapshot s;
+  h.snapshot_into(s);
+  benchmark::DoNotOptimize(s.total());
+}
+BENCHMARK(bm_latency_record);
+
+void latency_route_shape(benchmark::State& state, bool enabled,
+                         std::uint64_t mask) {
+  benchmark::DoNotOptimize(enabled);
+  rt::latency_histogram h;
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    const bool timed = enabled && ((tick++ & mask) == 0);
+    const std::uint64_t t0 = timed ? rt::wall_ns() : 0;
+    benchmark::ClobberMemory();  // stands in for the routed work
+    if (timed) h.record(rt::wall_ns() - t0);
+  }
+  benchmark::DoNotOptimize(tick);
+  rt::latency_snapshot s;
+  h.snapshot_into(s);
+  benchmark::DoNotOptimize(s.total());
+}
+
+void bm_latency_route_disabled(benchmark::State& state) {
+  latency_route_shape(state, false, 0);
+}
+BENCHMARK(bm_latency_route_disabled);
+
+void bm_latency_route_timed(benchmark::State& state) {
+  latency_route_shape(state, true, 0);
+}
+BENCHMARK(bm_latency_route_timed);
+
+void bm_latency_route_sampled(benchmark::State& state) {
+  latency_route_shape(state, true, 63);  // 1-in-64, the recorder default
+}
+BENCHMARK(bm_latency_route_sampled);
+
+void bm_blackbox_emit_disabled(benchmark::State& state) {
+  rt::blackbox_ring ring;  // never enabled: emit is one null check
+  std::uint64_t f = 0;
+  for (auto _ : state) {
+    ring.emit(trace::event_type::route_summary, f, 1);
+    ++f;
+  }
+  benchmark::DoNotOptimize(ring.emitted());
+}
+BENCHMARK(bm_blackbox_emit_disabled);
+
+void bm_blackbox_emit_enabled(benchmark::State& state) {
+  rt::blackbox_ring ring;
+  ring.enable(4096);
+  std::uint64_t f = 0;
+  for (auto _ : state) {
+    ring.emit(trace::event_type::route_summary, f, 1);
+    ++f;
+  }
+  benchmark::DoNotOptimize(ring.emitted());
+}
+BENCHMARK(bm_blackbox_emit_enabled);
+
+void bm_blackbox_emit_sampled(benchmark::State& state) {
+  // The route-summary shape: per-worker tick, emit 1-in-64.
+  rt::blackbox_ring ring;
+  ring.enable(4096);
+  std::uint64_t f = 0, tick = 0;
+  for (auto _ : state) {
+    if ((tick++ & 63) == 0) {
+      ring.emit(trace::event_type::route_summary, f, 1);
+    }
+    ++f;
+  }
+  benchmark::DoNotOptimize(ring.emitted());
+}
+BENCHMARK(bm_blackbox_emit_sampled);
+
 /// Console reporter that also captures per-benchmark CPU times so main()
 /// can emit the machine-readable BENCH_fastpath.json summary.
 class capturing_reporter : public benchmark::ConsoleReporter {
@@ -357,6 +454,22 @@ void write_fastpath_json(const std::map<std::string, double>& cpu_ns) {
               ns_of("bm_monitor_sync_check_enabled"));
   rep.summary("monitor.enabled_batch_rules_ns",
               ns_of("bm_monitor_batch_rules_enabled"));
+  // rt live telemetry: the histogram record itself must stay within the
+  // <= 5 ns scalar budget, and the disabled route guard within noise of a
+  // bare loop (so shipping the layer off costs nothing).
+  rep.summary("rt.latency_record_ns", ns_of("bm_latency_record"));
+  rep.summary("rt.latency_route_disabled_ns",
+              ns_of("bm_latency_route_disabled"));
+  rep.summary("rt.latency_route_timed_ns", ns_of("bm_latency_route_timed"));
+  rep.summary("rt.latency_route_sampled_ns",
+              ns_of("bm_latency_route_sampled"));
+  rep.summary("rt.blackbox_emit_disabled_ns",
+              ns_of("bm_blackbox_emit_disabled"));
+  rep.summary("rt.blackbox_emit_ns", ns_of("bm_blackbox_emit_enabled"));
+  rep.summary("rt.blackbox_emit_sampled_ns",
+              ns_of("bm_blackbox_emit_sampled"));
+  rep.summary("rt.latency_sampled_overhead_ratio",
+              ratio("bm_latency_route_disabled", "bm_latency_route_sampled"));
   const std::string path = rep.write();
   if (path.empty()) {
     std::cerr << "warning: failed to write BENCH_fastpath.json\n";

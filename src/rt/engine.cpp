@@ -17,6 +17,7 @@ void worker_handle::register_metrics(metrics::registry& reg,
   reg.register_counter(prefix + ".hits", hits_);
   reg.register_counter(prefix + ".misses", misses_);
   reg.register_counter(prefix + ".inferences", infers_);
+  reg.register_counter(prefix + ".shadow_inferences", shadow_infers_);
   reg.register_counter(prefix + ".fins", fins_);
   reg.register_counter(prefix + ".batches", batches_);
 }
@@ -37,6 +38,20 @@ datapath_engine::datapath_engine(engine_config cfg)
   cfg_.shards = cache_.shard_count();
   if (cfg_.l1_slots != 0) cfg_.l1_slots = round_up_pow2(cfg_.l1_slots);
   if (cfg_.models == 0) cfg_.models = 1;
+  if (cfg_.telemetry.latency) {
+    lat_mask_ =
+        (std::uint64_t{1} << cfg_.telemetry.latency_sample_shift) - 1;
+  }
+  if (cfg_.telemetry.blackbox_events != 0) {
+    recorder_ = std::make_unique<flight_recorder>(
+        flight_recorder_config{cfg_.telemetry.blackbox_events,
+                               cfg_.telemetry.blackbox_route_shift},
+        cfg_.max_workers == 0 ? 1 : cfg_.max_workers);
+    bb_route_mask_ = recorder_->route_sample_mask();
+    // Single-threaded here (before any worker exists), which satisfies the
+    // version_reclaim contract of setting the recorder before concurrency.
+    reclaim_.recorder = &recorder_->control();
+  }
   for (std::size_t m = 0; m < cfg_.models; ++m) {
     handles_.emplace_back(epochs_, reclaim_);
     shadows_.emplace_back();
@@ -56,6 +71,9 @@ std::uint64_t datapath_engine::install(core::model_key model,
                                        codegen::snapshot snap) {
   snapshot_handle& h = handles_[model];
   const std::uint64_t gen = h.install_standby(std::move(snap));
+  if (recorder_ != nullptr) {
+    recorder_->control().emit(trace::event_type::snapshot_install, model, gen);
+  }
   {
     // A fresh candidate invalidates whatever was measured for the old one.
     spin_guard g{shadows_[model].mu};
@@ -71,6 +89,9 @@ bool datapath_engine::switch_active(core::model_key model) {
   snapshot_handle& h = handles_[model];
   const bool flipped = h.switch_active();
   if (flipped) {
+    if (recorder_ != nullptr) {
+      recorder_->control().emit(trace::event_type::snapshot_switch, model, 0);
+    }
     spin_guard g{shadows_[model].mu};
     shadows_[model].scorer.reset();
   }
@@ -94,12 +115,22 @@ switch_outcome datapath_engine::try_switch(core::model_key model) {
   // incumbent) must ship regardless — there is nothing to diverge from.
   const bool gated = cfg_.shadow.active() && cfg_.shadow.gate_enabled &&
                      h.has_active();
+  if (recorder_ != nullptr && gated) {
+    recorder_->control().emit(
+        trace::event_type::gate_verdict,
+        (static_cast<std::uint64_t>(model) << 1) |
+            (out.verdict.admit ? 1u : 0u),
+        static_cast<std::uint64_t>(out.verdict.mean_divergence * 1e9));
+  }
   if (gated && !out.verdict.admit) {
     gate_blocks_.inc();
     out.status = switch_outcome::result::gate_blocked;
     return out;
   }
   h.switch_active();
+  if (recorder_ != nullptr) {
+    recorder_->control().emit(trace::event_type::snapshot_switch, model, 0);
+  }
   {
     spin_guard g{shadows_[model].mu};
     shadows_[model].scorer.reset();
@@ -120,6 +151,9 @@ worker_handle& datapath_engine::register_worker() {
     unsigned bits = 0;
     while ((std::size_t{1} << bits) < cfg_.l1_slots) ++bits;
     w.l1_shift_ = 64 - bits;
+  }
+  if (recorder_ != nullptr && w.slot_ < recorder_->worker_rings()) {
+    w.bb_ = &recorder_->worker(w.slot_);
   }
   return w;
 }
@@ -190,28 +224,45 @@ route_result datapath_engine::route(worker_handle& w, core::model_key model,
                                     std::span<fp::s64> out) {
   route_result r;
   w.routes_.inc();
+  // Telemetry off costs one predictable branch here (short-circuit before
+  // the tick) plus the null bb_ check at the bottom; sampled-off routes pay
+  // the tick but no clock read.
+  const bool timed =
+      cfg_.telemetry.latency && ((w.lat_tick_++ & lat_mask_) == 0);
+  const std::uint64_t t0 = timed ? wall_ns() : 0;
   const netsim::flow_id_t key = core::composite_flow_key(model, flow);
   snapshot_handle& h = handles_[model];
-  // The epoch guard spans the whole route+infer: any version pointer we
-  // hold — L1-cached, shard-cached pin or freshly pinned active — cannot be
-  // freed before we exit, even if a racing FIN/switch drops its last pin
-  // meanwhile.  The shadow peek rides the same guard.
-  epoch_domain::guard g{epochs_, w.slot_};
-  const std::uint64_t se = h.switch_epoch();
-  snapshot_version* v = resolve_flow(w, h, key, now, se, r.hit);
-  if (v == nullptr) return r;
-  r.gen = v->gen;
-  const quant::quantized_mlp& prog = v->snap.program;
-  if (input.size() == prog.input_size() && out.size() == prog.output_size()) {
-    prog.infer_into(input, out, w.scratch_);
-    w.infers_.inc();
-    r.served = true;
-    // Deterministic sampled slice: same (seed, model, flow) => same
-    // decision on every run and every worker.
-    if (cfg_.shadow.active() &&
-        core::shadow_scorer::sampled(cfg_.shadow, model, flow)) {
-      shadow_score(w, model, v, input, out);
+  {
+    // The epoch guard spans the whole route+infer: any version pointer we
+    // hold — L1-cached, shard-cached pin or freshly pinned active — cannot
+    // be freed before we exit, even if a racing FIN/switch drops its last
+    // pin meanwhile.  The shadow peek rides the same guard.  Closed before
+    // the latency stamp so the guard's own exit cost is inside the sample
+    // (it is part of the route) but the telemetry writes are not extending
+    // the grace period.
+    epoch_domain::guard g{epochs_, w.slot_};
+    const std::uint64_t se = h.switch_epoch();
+    snapshot_version* v = resolve_flow(w, h, key, now, se, r.hit);
+    if (v != nullptr) {
+      r.gen = v->gen;
+      const quant::quantized_mlp& prog = v->snap.program;
+      if (input.size() == prog.input_size() &&
+          out.size() == prog.output_size()) {
+        prog.infer_into(input, out, w.scratch_);
+        w.infers_.inc();
+        r.served = true;
+        // Deterministic sampled slice: same (seed, model, flow) => same
+        // decision on every run and every worker.
+        if (cfg_.shadow.active() &&
+            core::shadow_scorer::sampled(cfg_.shadow, model, flow)) {
+          shadow_score(w, model, v, input, out);
+        }
+      }
     }
+  }
+  if (timed) w.lat_.record(wall_ns() - t0);
+  if (w.bb_ != nullptr && (w.bb_tick_++ & bb_route_mask_) == 0) {
+    w.bb_->emit(trace::event_type::route_summary, key, r.gen);
   }
   return r;
 }
@@ -225,6 +276,11 @@ std::size_t datapath_engine::route_batch(
   if (n == 0 || results.size() < n) return 0;
   w.routes_.inc(n);
   w.batches_.inc();
+  // One timing decision per batch; the per-flow mean is recorded n times so
+  // batched and scalar routes weigh equally in the merged histogram.
+  const bool timed =
+      cfg_.telemetry.latency && ((w.lat_tick_++ & lat_mask_) == 0);
+  const std::uint64_t t0 = timed ? wall_ns() : 0;
   if (w.batch_vers_.size() < n) w.batch_vers_.resize(n);
   snapshot_handle& h = handles_[model];
   // One guard + one switch-epoch load amortized over the whole batch.
@@ -261,6 +317,10 @@ std::size_t datapath_engine::route_batch(
       }
     }
     i = j;
+  }
+  if (timed) w.lat_.record((wall_ns() - t0) / n, n);
+  if (w.bb_ != nullptr && (w.bb_tick_++ & bb_route_mask_) == 0) {
+    w.bb_->emit(trace::event_type::batch_flush, n, served);
   }
   return served;
 }
@@ -312,6 +372,55 @@ core::shadow_verdict datapath_engine::shadow_evidence(
     core::model_key model) const {
   spin_guard g{shadows_[model].mu};
   return shadows_[model].scorer.check(cfg_.shadow);
+}
+
+datapath_engine::live_counters datapath_engine::counters_now() const {
+  live_counters c;
+  {
+    std::lock_guard<std::mutex> g{workers_mu_};
+    for (const worker_handle& w : workers_) {
+      c.routes += w.routes();
+      c.l1_hits += w.l1_hits();
+      c.l2_hits += w.cache_hits();
+      c.misses += w.cache_misses();
+      c.inferences += w.inferences();
+      c.shadow_inferences += w.shadow_inferences();
+      c.fins += w.fins();
+      c.batches += w.batches();
+    }
+  }
+  const sharded_flow_cache::totals t = cache_.stats();
+  c.cache_size = t.size;
+  c.cache_evictions = t.evictions;
+  c.lock_acquisitions = t.lock_acquisitions;
+  c.lock_contended = t.lock_contended;
+  c.read_retries = t.read_retries;
+  c.read_fallbacks = t.read_fallbacks;
+  c.installs = installs();
+  c.switches = switches();
+  c.switch_noops = switch_noops();
+  c.gate_blocks = gate_blocks_.value();
+  c.versions_live = versions_live();
+  c.versions_retired = versions_retired();
+  return c;
+}
+
+void datapath_engine::latency_snapshot_into(latency_snapshot& out) const {
+  std::lock_guard<std::mutex> g{workers_mu_};
+  for (const worker_handle& w : workers_) w.latency().snapshot_into(out);
+}
+
+void datapath_engine::record_violation(worker_handle& w, netsim::flow_id_t key,
+                                       std::uint64_t expected_gen,
+                                       std::uint64_t observed_gen) noexcept {
+  if (recorder_ == nullptr) return;
+  const std::uint64_t packed =
+      (expected_gen << 32) | (observed_gen & 0xffffffffULL);
+  if (w.bb_ != nullptr) {
+    w.bb_->emit(trace::event_type::invariant_violation, key, packed);
+  }
+  recorder_->control().emit(trace::event_type::invariant_violation, key,
+                            packed);
 }
 
 void datapath_engine::register_metrics(metrics::registry& reg,

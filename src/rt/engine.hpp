@@ -68,16 +68,36 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "codegen/snapshot.hpp"
 #include "core/model_domain.hpp"
 #include "quant/quantized_mlp.hpp"
 #include "rt/epoch.hpp"
+#include "rt/flight_recorder.hpp"
+#include "rt/latency_histogram.hpp"
 #include "rt/sharded_flow_cache.hpp"
 #include "rt/snapshot_handle.hpp"
 #include "util/fixed_point.hpp"
 #include "util/metrics.hpp"
 
 namespace lf::rt {
+
+/// Live-telemetry knobs.  Everything defaults OFF: the route path then pays
+/// one predictable branch for the histogram and one null check for the
+/// recorder (bench_micro pins both), and no ring memory is allocated.
+struct telemetry_config {
+  /// Record route latency into the per-worker log2 histograms.
+  bool latency = false;
+  /// Sample 1-in-2^shift routes for timing (0 = every route).  Sampled
+  /// routes pay two steady_clock reads; unsampled ones a branch + tick.
+  unsigned latency_sample_shift = 0;
+  /// Per-ring flight-recorder capacity in events; 0 disables the recorder.
+  std::size_t blackbox_events = 0;
+  /// Route summaries are sampled 1-in-2^shift per worker; lifecycle events
+  /// (switches, verdicts, zombie pushes, reclaims, violations) always record.
+  unsigned blackbox_route_shift = 6;
+};
 
 struct engine_config {
   /// Flow-cache shards.  0 (the default) derives the count from
@@ -97,6 +117,8 @@ struct engine_config {
   std::size_t models = 1;
   /// Shadow scoring / switch gating knobs (rate 0 = off, zero overhead).
   core::shadow_config shadow{};
+  /// Latency histograms + flight recorder (off by default).
+  telemetry_config telemetry{};
 };
 
 struct route_result {
@@ -119,10 +141,13 @@ struct switch_outcome {
 };
 
 /// Per-worker state: the epoch reader slot, the inference scratch, the
-/// direct-mapped L1 route cache, and the worker's own counters
-/// (single-writer, so plain metrics::counter is safe; read them after the
-/// worker stops).  Over-aligned so adjacent workers in the engine's deque
-/// never false-share a cache line on the hot counters.
+/// direct-mapped L1 route cache, the latency histogram, and the worker's own
+/// counters.  Counters and histogram buckets are single-writer relaxed
+/// atomics (metrics::atomic_counter semantics): only the owning worker
+/// mutates them, so increments stay RMW-free, while the stats sampler and a
+/// mid-run publish_stats() read recent untorn values from other threads.
+/// Over-aligned so adjacent workers in the engine's deque never false-share
+/// a cache line on the hot counters.
 class alignas(128) worker_handle {
  public:
   std::uint64_t routes() const noexcept { return routes_.value(); }
@@ -137,6 +162,9 @@ class alignas(128) worker_handle {
   std::uint64_t batches() const noexcept { return batches_.value(); }
   std::size_t epoch_slot() const noexcept { return slot_; }
   std::size_t l1_capacity() const noexcept { return l1_.size(); }
+  /// This worker's route-latency histogram (empty unless
+  /// telemetry_config::latency is on).  Readable from any thread.
+  const latency_histogram& latency() const noexcept { return lat_; }
 
   /// Publish this worker's counters under "<prefix>.routes", ".hits", ...
   void register_metrics(metrics::registry& reg, const std::string& prefix);
@@ -167,14 +195,18 @@ class alignas(128) worker_handle {
   std::uint64_t l1_tick_ = 0;  ///< forces periodic L2 stamp refresh
   std::vector<snapshot_version*> batch_vers_;  ///< route_batch scratch
   std::vector<fp::s64> shadow_out_;  ///< standby-output staging (no alloc/route)
-  metrics::counter routes_;
-  metrics::counter l1_hits_;
-  metrics::counter hits_;
-  metrics::counter misses_;
-  metrics::counter infers_;
-  metrics::counter shadow_infers_;
-  metrics::counter fins_;
-  metrics::counter batches_;
+  latency_histogram lat_;            ///< route latency (telemetry.latency)
+  std::uint64_t lat_tick_ = 0;       ///< latency sampling counter
+  blackbox_ring* bb_ = nullptr;      ///< this worker's flight-recorder ring
+  std::uint64_t bb_tick_ = 0;        ///< route-summary sampling counter
+  metrics::atomic_counter routes_;
+  metrics::atomic_counter l1_hits_;
+  metrics::atomic_counter hits_;
+  metrics::atomic_counter misses_;
+  metrics::atomic_counter infers_;
+  metrics::atomic_counter shadow_infers_;
+  metrics::atomic_counter fins_;
+  metrics::atomic_counter batches_;
 };
 
 class datapath_engine {
@@ -290,9 +322,51 @@ class datapath_engine {
   }
   /// Shadow evidence currently accumulated for one model.
   core::shadow_verdict shadow_evidence(core::model_key model) const;
-  /// Standby inferences run by the shadow sampler, summed over all workers
-  /// (quiesced read — take it after the worker threads join).
+  /// Standby inferences run by the shadow sampler, summed over all workers.
+  /// Safe mid-run (single-writer atomic counters).
   std::uint64_t shadow_inferences() const;
+
+  /// One coherent-enough snapshot of every live counter the stats sampler
+  /// windows over.  Each field is individually untorn and monotonic; the
+  /// set is not transactional (fields may be a few events apart).
+  struct live_counters {
+    std::uint64_t routes = 0;
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inferences = 0;
+    std::uint64_t shadow_inferences = 0;
+    std::uint64_t fins = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t cache_size = 0;
+    std::uint64_t cache_evictions = 0;
+    std::uint64_t lock_acquisitions = 0;
+    std::uint64_t lock_contended = 0;
+    std::uint64_t read_retries = 0;
+    std::uint64_t read_fallbacks = 0;
+    std::uint64_t installs = 0;
+    std::uint64_t switches = 0;
+    std::uint64_t switch_noops = 0;
+    std::uint64_t gate_blocks = 0;
+    std::uint64_t versions_live = 0;
+    std::uint64_t versions_retired = 0;
+  };
+
+  /// Relaxed mid-run snapshot of the engine-wide counters (any thread).
+  live_counters counters_now() const;
+
+  /// Merge every worker's latency histogram into `out` (any thread).
+  void latency_snapshot_into(latency_snapshot& out) const;
+
+  /// The flight recorder, or nullptr when telemetry.blackbox_events == 0.
+  flight_recorder* recorder() noexcept { return recorder_.get(); }
+
+  /// Record a flow-consistency violation into the flight recorder (the
+  /// worker's ring AND the control ring, so a dump finds it even if one
+  /// ring's history was overwritten).  No-op without a recorder.
+  void record_violation(worker_handle& w, netsim::flow_id_t key,
+                        std::uint64_t expected_gen,
+                        std::uint64_t observed_gen) noexcept;
   std::size_t cached_flows() const { return cache_.stats().size; }
   std::size_t model_count() const noexcept { return handles_.size(); }
   const engine_config& config() const noexcept { return cfg_; }
@@ -318,8 +392,11 @@ class datapath_engine {
 
   /// Snapshot the sharded-cache totals, version lifecycle, and the derived
   /// lock-pressure rates (lock.per_route, lock.contended_ratio, l1.hit_rate)
-  /// into the registered gauges (quiesced read — run after worker threads
-  /// join).
+  /// into the registered gauges.  Safe to call MID-RUN from any thread:
+  /// every input is a single-writer relaxed atomic (worker counters, shard
+  /// bookkeeping, spinlock accounting), so the gauges get a recent untorn
+  /// view while workers keep routing.  Call again after join for exact
+  /// end-of-run numbers.
   void publish_stats();
 
  private:
@@ -348,12 +425,17 @@ class datapath_engine {
   engine_config cfg_;
   epoch_domain epochs_;      // declared before handles_: destroyed after them
   version_reclaim reclaim_;  // ditto — shared by every handle
+  /// Flight recorder; declared before handles_ because reclaim_.recorder
+  /// points into it and handle teardown can still push zombies.
+  std::unique_ptr<flight_recorder> recorder_;
   std::deque<snapshot_handle> handles_;  // one per model; stable references
   std::deque<model_shadow> shadows_;     // one per model
   sharded_flow_cache cache_;
+  std::uint64_t lat_mask_ = 0;       ///< (1 << latency_sample_shift) - 1
+  std::uint64_t bb_route_mask_ = 0;  ///< (1 << blackbox_route_shift) - 1
   mutable std::mutex workers_mu_;
   std::deque<worker_handle> workers_;  // deque: stable references
-  metrics::counter gate_blocks_;  ///< writer-only
+  metrics::atomic_counter gate_blocks_;  ///< written by the writer thread only
   metrics::gauge cache_size_;
   metrics::gauge cache_evictions_;
   metrics::gauge cache_rehashes_;

@@ -33,6 +33,11 @@
 //   LF_MM_WORKERS  router threads          (default 2)
 //   LF_MM_FLOWS    flows per worker/model  (default 256)
 //   LF_MM_SHADOW   shadow sample rate      (default 0.25)
+//   LF_RT_LAT / LF_RT_LAT_SHIFT / LF_RT_BLACKBOX /
+//   LF_RT_STATS_INTERVAL_MS / LF_RT_STATS_OUT
+//                  live-telemetry knobs, same semantics as the stress
+//                  harness (latency and the 100 ms sampler default ON here;
+//                  stats text lands in STATS_multimodel.prom)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -46,6 +51,7 @@
 #include "core/adaptation_monitor.hpp"
 #include "nn/mlp.hpp"
 #include "rt/rt_deployment.hpp"
+#include "rt/stats_sampler.hpp"
 #include "util/bench_report.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -60,6 +66,14 @@ std::size_t env_size(const char* name, std::size_t fallback) {
   if (v == nullptr || *v == '\0') return fallback;
   const long long n = std::atoll(v);
   return n > 0 ? static_cast<std::size_t>(n) : fallback;
+}
+
+/// Like env_size but an explicit 0 is a real value (telemetry off switches).
+std::size_t env_size0(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long long n = std::atoll(v);
+  return n >= 0 ? static_cast<std::size_t>(n) : fallback;
 }
 
 double env_double(const char* name, double fallback) {
@@ -107,11 +121,22 @@ int main() {
   cfg.max_workers = workers;
   cfg.l1_slots = 64;
   cfg.shadow.sample_rate = shadow_rate;  // gate stays at its defaults
+  cfg.telemetry.latency = env_size0("LF_RT_LAT", 1) != 0;
+  cfg.telemetry.latency_sample_shift =
+      static_cast<unsigned>(env_size0("LF_RT_LAT_SHIFT", 0));
+  cfg.telemetry.blackbox_events = env_size0("LF_RT_BLACKBOX", 2048);
   auto engine = rt::build_engine(cfg, rt::rt_deployment::multimodel);
   const core::shadow_config& sh = engine->config().shadow;
 
   metrics::registry reg;
   engine->register_metrics(reg, "rt");
+  rt::stats_sampler_config scfg = rt::stats_config_from_env();
+  if (scfg.interval_ms <= 0.0) scfg.interval_ms = 100.0;  // harness default
+  if (scfg.text_out.empty()) {
+    scfg.text_out = bench::output_dir() + "/STATS_multimodel.prom";
+  }
+  rt::stats_sampler sampler{*engine, scfg};
+  sampler.register_metrics(reg, "rt");
   core::monitor_config mon_cfg;
   mon_cfg.enabled = true;
   core::adaptation_monitor mon{mon_cfg};
@@ -127,6 +152,7 @@ int main() {
   for (std::size_t i = 0; i < workers; ++i) {
     handles.push_back(&engine->register_worker());
   }
+  sampler.start();
   std::atomic<bool> stop{false};
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<worker_outcome> outcomes(workers);
@@ -226,6 +252,7 @@ int main() {
 
   stop.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
+  sampler.stop();  // final window fold + final stats text snapshot
   const double elapsed = now_seconds(t0);
 
   // Drain and account.
@@ -288,6 +315,29 @@ int main() {
     rep.add_point("gate_mean_divergence", static_cast<double>(g.logical_model),
                   g.mean_divergence);
   }
+
+  // ---- live telemetry: whole-run percentiles + per-window time series --
+  rt::latency_snapshot lat;
+  engine->latency_snapshot_into(lat);
+  if (lat.total() != 0) {
+    rep.summary("latency_samples", static_cast<double>(lat.total()));
+    rep.summary("latency_p50_ns", lat.quantile(0.50));
+    rep.summary("latency_p99_ns", lat.quantile(0.99));
+    rep.summary("latency_p999_ns", lat.quantile(0.999));
+  }
+  const std::vector<rt::stats_window> windows = sampler.windows();
+  for (const rt::stats_window& w : windows) {
+    rep.add_point("ts_routes_per_sec", w.t_s, w.routes_per_sec);
+    if (w.samples != 0) {
+      rep.add_point("ts_p50_ns", w.t_s, w.p50_ns);
+      rep.add_point("ts_p99_ns", w.t_s, w.p99_ns);
+      rep.add_point("ts_p999_ns", w.t_s, w.p999_ns);
+    }
+  }
+  if (!windows.empty()) {
+    rep.summary("stats_windows", static_cast<double>(windows.size()));
+  }
+
   for (const auto& [name, value] : reg.scalars()) rep.summary(name, value);
   const std::string path = rep.write();
   if (!path.empty()) std::printf("[json] %s\n", path.c_str());
@@ -303,6 +353,29 @@ int main() {
   fr.summary.emplace_back("admitted after block",
                           std::to_string(admitted_after_block));
   fr.summary.emplace_back("violations", std::to_string(violations));
+  if (!windows.empty()) {
+    report::chart_data tele;
+    tele.id = "telemetry";
+    tele.title = "Routes/s and p99 route latency (per sampler window)";
+    tele.y_label = "routes/s | ns";
+    report::series_data rps_series{"routes/s", {}};
+    report::series_data p99_series{"p99 ns", {}};
+    for (const rt::stats_window& w : windows) {
+      rps_series.points.emplace_back(w.t_s, w.routes_per_sec);
+      if (w.samples != 0) p99_series.points.emplace_back(w.t_s, w.p99_ns);
+    }
+    tele.series.push_back(std::move(rps_series));
+    tele.series.push_back(std::move(p99_series));
+    // Gate rulings as chart markers: the latency timeline shows whether a
+    // blocked or admitted switch perturbed the datapath.
+    for (const core::gate_record& g : mon.gates()) {
+      tele.markers.push_back(
+          {g.t, std::string{g.admitted ? "admit m" : "block m"} +
+                    std::to_string(g.logical_model),
+           !g.admitted});
+    }
+    fr.charts.push_back(std::move(tele));
+  }
   report::table_data gates;
   gates.id = "gates";
   gates.title = "Shadow gate decisions";
@@ -343,6 +416,17 @@ int main() {
     std::fprintf(stderr, "FAIL: %llu versions leaked past the drain\n",
                  static_cast<unsigned long long>(live));
     ok = false;
+  }
+  if (!ok) {
+    // Post-mortem before the nonzero exit (same contract as the stress
+    // harness): black-box dump + final stats snapshot for CI to archive.
+    if (engine->recorder() != nullptr) {
+      const std::string bb = engine->recorder()->dump("multimodel");
+      if (!bb.empty()) std::printf("[blackbox] %s\n", bb.c_str());
+    }
+    if (sampler.write_text()) {
+      std::printf("[stats] %s\n", sampler.config().text_out.c_str());
+    }
   }
   std::printf(ok ? "multimodel: PASS\n" : "multimodel: FAIL\n");
   return ok ? 0 : 1;

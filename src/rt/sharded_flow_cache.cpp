@@ -162,10 +162,11 @@ snapshot_version* sharded_flow_cache::insert(netsim::flow_id_t flow,
       resident = s->ver.load(std::memory_order_relaxed);
     } else {
       const std::size_t cap = t->mask + 1;
-      if ((sh.occupied + sh.tombstones + 1) * 4 > cap * 3) {
+      const std::size_t occ = sh.occupied.load(std::memory_order_relaxed);
+      if ((occ + sh.tombstones + 1) * 4 > cap * 3) {
         // Grow on genuine pressure, scrub in place when tombstones alone
         // crossed the load factor.
-        rehash(sh, sh.occupied + 1 > cap / 2 ? cap * 2 : cap);
+        rehash(sh, occ + 1 > cap / 2 ? cap * 2 : cap);
         t = sh.tbl.load(std::memory_order_relaxed);
         reusable = nullptr;
         (void)probe_for_write(*t, flow, &reusable);
@@ -182,7 +183,7 @@ snapshot_version* sharded_flow_cache::insert(netsim::flow_id_t flow,
       dst.ver.store(ver, std::memory_order_relaxed);
       dst.stamp.store(stamp_bits(now), std::memory_order_relaxed);
       dst.state.store(k_occupied, std::memory_order_release);
-      ++sh.occupied;
+      shard::bump(sh.occupied);
       if (reusing_tombstone) --sh.tombstones;
     }
   }
@@ -203,9 +204,9 @@ void sharded_flow_cache::evict_slot(shard& sh, slot& s,
   sh.seq_write_begin();
   s.state.store(k_tombstone, std::memory_order_relaxed);
   sh.seq_write_end();
-  --sh.occupied;
+  shard::bump_sub(sh.occupied);
   ++sh.tombstones;
-  ++sh.evictions;
+  shard::bump(sh.evictions);
   handle.unpin(v);
 }
 
@@ -237,7 +238,7 @@ void sharded_flow_cache::rehash(shard& sh, std::size_t new_capacity) {
                         : (sh.sweep_cursor * (fresh->mask + 1)) /
                               (old->mask + 1) & fresh->mask;
   sh.tombstones = 0;
-  ++sh.rehashes;
+  shard::bump(sh.rehashes);
   sh.seq_write_begin();
   sh.tbl.store(fresh, std::memory_order_release);
   sh.seq_write_end();
@@ -328,10 +329,10 @@ sharded_flow_cache::totals sharded_flow_cache::stats() const {
   totals t;
   for (const auto& shp : shards_) {
     const shard& sh = *shp;
-    t.size += sh.occupied;
+    t.size += sh.occupied.load(std::memory_order_relaxed);
     t.capacity += sh.tbl.load(std::memory_order_relaxed)->mask + 1;
-    t.evictions += sh.evictions;
-    t.rehashes += sh.rehashes;
+    t.evictions += sh.evictions.load(std::memory_order_relaxed);
+    t.rehashes += sh.rehashes.load(std::memory_order_relaxed);
     t.lock_acquisitions += sh.lock.acquisitions();
     t.lock_contended += sh.lock.contended_acquisitions();
     t.read_retries += sh.read_retries.load(std::memory_order_relaxed);

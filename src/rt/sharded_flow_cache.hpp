@@ -117,8 +117,10 @@ class sharded_flow_cache {
     std::uint64_t read_fallbacks = 0;  ///< lookups that fell back to the lock
   };
 
-  /// Sum of the per-shard stats.  Quiesced read: call after the worker
-  /// threads have stopped for exact numbers.
+  /// Sum of the per-shard stats.  Safe to call mid-run from any thread (the
+  /// stats sampler does): the counters it reads are single-writer-under-lock
+  /// relaxed atomics, so a concurrent read sees recent, untorn, monotonic
+  /// values.  For exact end-of-run numbers, call after the workers stop.
   totals stats() const;
 
  private:
@@ -150,12 +152,16 @@ class sharded_flow_cache {
     spinlock lock;                   ///< insert/erase/evict/rehash
     std::atomic<std::uint64_t> seq{0};  ///< odd while a writer mutates slots
     std::atomic<table*> tbl;
-    // Writer-side bookkeeping, guarded by `lock`:
-    std::size_t occupied = 0;
+    // Written only under `lock`.  occupied/evictions/rehashes are relaxed
+    // atomics because stats() reads them mid-run from sampler threads;
+    // the lock still serializes writers, so plain load+add+store updates
+    // (see bump/bump_sub) never lose an increment.  tombstones/sweep_cursor
+    // are writer-internal and stay plain.
+    std::atomic<std::size_t> occupied{0};
     std::size_t tombstones = 0;
     std::size_t sweep_cursor = 0;
-    std::uint64_t evictions = 0;
-    std::uint64_t rehashes = 0;
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> rehashes{0};
     // Reader-side slow-path accounting (atomic: touched only on seq
     // conflicts, never on the clean lock-free fast path):
     std::atomic<std::uint64_t> read_retries{0};
@@ -166,6 +172,18 @@ class sharded_flow_cache {
     }
     void seq_write_end() noexcept {
       seq.fetch_add(1, std::memory_order_release);
+    }
+
+    /// Lock-holder-only counter updates (RMW-free; see the member comment).
+    template <typename T>
+    static void bump(std::atomic<T>& c, T n = 1) noexcept {
+      c.store(c.load(std::memory_order_relaxed) + n,
+              std::memory_order_relaxed);
+    }
+    template <typename T>
+    static void bump_sub(std::atomic<T>& c, T n = 1) noexcept {
+      c.store(c.load(std::memory_order_relaxed) - n,
+              std::memory_order_relaxed);
     }
   };
 

@@ -124,6 +124,14 @@ void snapshot_handle::push_zombie(snapshot_version* v) noexcept {
   // elapse under that worker, so its L1 pointer stays dereferenceable for
   // the remainder of its guard.  Workers that see the bump reject the entry.
   rec_.switch_epoch.fetch_add(1, std::memory_order_seq_cst);
+  if (rec_.recorder != nullptr) {
+    // This runs on whatever thread dropped the last pin — worker or writer
+    // — which is exactly why the recorder ring tolerates multi-producer
+    // emission.  b = the post-bump switch epoch, so a dump shows which L1
+    // invalidation the push rode on.
+    rec_.recorder->emit(trace::event_type::zombie_push, v->gen,
+                        rec_.switch_epoch.load(std::memory_order_relaxed));
+  }
   std::lock_guard<std::mutex> g{rec_.zombies_mu};
   rec_.zombies.push_back(v);
 }
@@ -145,7 +153,12 @@ std::size_t snapshot_handle::maintain() {
       rec->live.fetch_sub(1, std::memory_order_acq_rel);
     });
   }
-  return epochs_.try_reclaim();
+  const std::size_t freed = epochs_.try_reclaim();
+  if (freed != 0 && rec_.recorder != nullptr) {
+    rec_.recorder->emit(trace::event_type::version_reclaim, freed,
+                        rec_.retired.load(std::memory_order_relaxed));
+  }
+  return freed;
 }
 
 void snapshot_handle::register_metrics(metrics::registry& reg,

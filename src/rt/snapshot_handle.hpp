@@ -57,6 +57,7 @@
 
 #include "codegen/snapshot.hpp"
 #include "rt/epoch.hpp"
+#include "rt/flight_recorder.hpp"
 #include "rt/spinlock.hpp"
 #include "util/metrics.hpp"
 
@@ -89,6 +90,10 @@ struct version_reclaim {
   std::atomic<std::uint64_t> switch_epoch{1};
   std::atomic<std::uint64_t> retired{0};
   std::atomic<std::uint64_t> live{0};
+  /// Optional flight-recorder ring for lifecycle events (zombie pushes —
+  /// which happen on arbitrary reader threads — and reclaim batches).  Set
+  /// once before any concurrency starts; nullptr keeps the paths silent.
+  blackbox_ring* recorder = nullptr;
 };
 
 class snapshot_handle {
@@ -167,6 +172,7 @@ class snapshot_handle {
     return active_.load(std::memory_order_acquire) != nullptr;
   }
   bool has_standby() const noexcept { return standby_ != nullptr; }
+  /// Mid-run-readable from any thread (atomic_counter, relaxed).
   std::uint64_t installs() const noexcept { return installs_.value(); }
   std::uint64_t switches() const noexcept { return switches_.value(); }
   std::uint64_t switch_noops() const noexcept { return noops_.value(); }
@@ -183,7 +189,8 @@ class snapshot_handle {
   const spinlock& flip_lock() const noexcept { return flip_lock_; }
 
   /// Writer-side counters under "<prefix>.installs", ".switches",
-  /// ".switch_noops".  Register/read from the writer (or after it stops).
+  /// ".switch_noops".  Written only by the writer thread; readable mid-run
+  /// from any thread (single-writer atomic_counter).
   void register_metrics(metrics::registry& reg, const std::string& prefix);
 
  private:
@@ -201,9 +208,9 @@ class snapshot_handle {
   spinlock flip_lock_;
   std::uint64_t next_gen_ = 1;  ///< writer-only
 
-  metrics::counter installs_;   ///< writer-only
-  metrics::counter switches_;   ///< writer-only
-  metrics::counter noops_;      ///< writer-only
+  metrics::atomic_counter installs_;   ///< written by the writer thread only
+  metrics::atomic_counter switches_;   ///< written by the writer thread only
+  metrics::atomic_counter noops_;      ///< written by the writer thread only
 };
 
 }  // namespace lf::rt

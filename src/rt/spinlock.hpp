@@ -7,10 +7,13 @@
 // active/standby flip holds this lock for a handful of instructions, and the
 // sharded flow cache holds one per shard for a probe-and-touch.
 //
-// Accounting: acquisitions and contended acquisitions are plain counters
-// mutated while the lock is held, so they are serialized by the lock itself
-// (the atomic_flag release/acquire pair publishes them).  Read them only
-// after the owning threads have stopped, or accept a slightly stale view.
+// Accounting: acquisitions and contended acquisitions are mutated only while
+// the lock is held, so writes are serialized by the lock itself — which is
+// why the increment can stay a plain load+add+store (no lock-prefixed RMW)
+// on relaxed atomics.  The atomics exist for the *readers*: the rt stats
+// sampler and a mid-run publish_stats() read these from other threads while
+// workers still hold and release the lock, and a relaxed load gives them a
+// recent, untorn, monotonic value instead of a data race.
 #pragma once
 
 #include <atomic>
@@ -38,25 +41,35 @@ class spinlock {
 #endif
       }
     }
-    ++acquisitions_;
-    if (contended) ++contended_;
+    bump(acquisitions_);
+    if (contended) bump(contended_);
   }
 
   bool try_lock() noexcept {
     if (flag_.test_and_set(std::memory_order_acquire)) return false;
-    ++acquisitions_;
+    bump(acquisitions_);
     return true;
   }
 
   void unlock() noexcept { flag_.clear(std::memory_order_release); }
 
-  std::uint64_t acquisitions() const noexcept { return acquisitions_; }
-  std::uint64_t contended_acquisitions() const noexcept { return contended_; }
+  std::uint64_t acquisitions() const noexcept {
+    return acquisitions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t contended_acquisitions() const noexcept {
+    return contended_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Holder-only increment: serialized by the lock, so load+add+store
+  /// never loses an update and stays RMW-free.
+  static void bump(std::atomic<std::uint64_t>& c) noexcept {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
   std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
-  std::uint64_t acquisitions_ = 0;  ///< guarded by the lock
-  std::uint64_t contended_ = 0;     ///< guarded by the lock
+  std::atomic<std::uint64_t> acquisitions_{0};  ///< written under the lock
+  std::atomic<std::uint64_t> contended_{0};     ///< written under the lock
 };
 
 /// std::lock_guard-style RAII for rt::spinlock.

@@ -1,0 +1,135 @@
+// Windowed stats sampler for the rt engine: a background thread that folds
+// the engine's single-writer relaxed counters into fixed-interval windows
+// while the workers are still routing.
+//
+// Every tick it takes a counters_now() snapshot plus a merged latency
+// snapshot, subtracts the previous tick's values (valid because every input
+// is monotonically non-decreasing on its writer thread), and appends one
+// window: routes/sec, latency p50/p99/p999 over the window's own samples,
+// locks per route, L1 hit rate, live/retired version counts, and per-model
+// shadow divergence.  The windows feed:
+//  - lf::time_series registered under "<prefix>.ts.*" so the bench report
+//    and the HTML run report can plot telemetry over time, and
+//  - an optional Prometheus-style text exposition (render_text), rewritten
+//    atomically-enough (truncate + write) every tick so an external scraper
+//    or a post-mortem always finds a recent snapshot on disk.
+//
+// The sampler only *reads* engine state through mid-run-safe paths
+// (counters_now, latency_snapshot_into, shadow_evidence, publish_stats), so
+// it imposes zero cost on the route hot path beyond the cache traffic of
+// reading the workers' counter lines ~10x a second.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rt/engine.hpp"
+#include "util/metrics.hpp"
+#include "util/time_series.hpp"
+
+namespace lf::rt {
+
+struct stats_sampler_config {
+  /// Window length.  <= 0 disables the sampler entirely (start() no-ops).
+  double interval_ms = 100.0;
+  /// Prometheus-style text dump rewritten every tick ("" = no file).
+  std::string text_out;
+  /// Cap on retained windows (oldest dropped past this; keeps a runaway
+  /// soak test from growing the vector unboundedly).
+  std::size_t max_windows = 100000;
+};
+
+/// Environment defaults: LF_RT_STATS_INTERVAL_MS (window length; 0 or unset
+/// disables) and LF_RT_STATS_OUT (text exposition path).
+stats_sampler_config stats_config_from_env();
+
+/// One folded window.
+struct stats_window {
+  double t_s = 0.0;    ///< window end, seconds since sampler start
+  double dt_s = 0.0;   ///< measured window length (not the nominal interval)
+  std::uint64_t routes = 0;        ///< routes completed in this window
+  double routes_per_sec = 0.0;
+  std::uint64_t samples = 0;       ///< latency samples in this window
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+  double l1_hit_rate = 0.0;        ///< window L1 hits / window routes
+  double locks_per_route = 0.0;    ///< window lock acquisitions / routes
+  std::uint64_t versions_live = 0;
+  std::uint64_t versions_retired = 0;
+};
+
+class stats_sampler {
+ public:
+  stats_sampler(datapath_engine& engine, stats_sampler_config cfg);
+  stats_sampler(const stats_sampler&) = delete;
+  stats_sampler& operator=(const stats_sampler&) = delete;
+  ~stats_sampler();  ///< stop()s if still running
+
+  bool enabled() const noexcept { return cfg_.interval_ms > 0.0; }
+  const stats_sampler_config& config() const noexcept { return cfg_; }
+
+  /// Spawn the background thread (idempotent; no-op when disabled).
+  void start();
+
+  /// Stop the thread, fold one final window, and write the final text dump.
+  /// Safe to call repeatedly; called by the destructor.
+  void stop();
+
+  /// Fold one window right now (what the thread does each interval; also
+  /// callable directly from tests without starting the thread).
+  void tick();
+
+  /// Copy of the windows folded so far (any thread).
+  std::vector<stats_window> windows() const;
+
+  /// Register the windowed series under "<prefix>.ts.*" and per-model
+  /// shadow divergence under "<prefix>.ts.shadow_divergence.m<k>".
+  void register_metrics(metrics::registry& reg, const std::string& prefix);
+
+  /// Prometheus-style text exposition: cumulative counters, version gauges,
+  /// and the merged route-latency histogram with cumulative `le` buckets.
+  std::string render_text() const;
+
+  /// Rewrite config().text_out with render_text().  False when no path is
+  /// configured or the write failed (diagnostic on stderr).
+  bool write_text() const;
+
+ private:
+  void run();
+
+  datapath_engine& engine_;
+  stats_sampler_config cfg_;
+
+  std::thread thread_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+
+  // Everything below is guarded by fold_mu_: tick() may be called from the
+  // sampler thread, from stop(), or directly by a test.
+  mutable std::mutex fold_mu_;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t prev_ns_ = 0;
+  datapath_engine::live_counters prev_counters_{};
+  latency_snapshot prev_latency_{};
+  std::vector<stats_window> windows_;
+  time_series ts_routes_per_sec_{"rt.ts.routes_per_sec"};
+  time_series ts_p50_{"rt.ts.p50_ns"};
+  time_series ts_p99_{"rt.ts.p99_ns"};
+  time_series ts_p999_{"rt.ts.p999_ns"};
+  time_series ts_l1_hit_rate_{"rt.ts.l1_hit_rate"};
+  time_series ts_locks_per_route_{"rt.ts.locks_per_route"};
+  time_series ts_versions_live_{"rt.ts.versions_live"};
+  time_series ts_versions_retired_{"rt.ts.versions_retired"};
+  std::vector<std::unique_ptr<time_series>> ts_shadow_divergence_;
+};
+
+}  // namespace lf::rt

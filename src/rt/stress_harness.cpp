@@ -42,6 +42,15 @@
 //                        slice — the gate itself stays disabled here so the
 //                        switch storm never stalls; this knob exists to put
 //                        the peek_shadow/install/switch races under TSan.
+//   LF_RT_LAT            route-latency histograms: 1 (default) on, 0 off.
+//                        Applied to every phase so the scaling ratios
+//                        compare like with like.
+//   LF_RT_LAT_SHIFT      time 1-in-2^shift routes (default 0 = all)
+//   LF_RT_BLACKBOX       flight-recorder events per ring (default 4096;
+//                        0 disables the recorder)
+//   LF_RT_STATS_INTERVAL_MS  stats-sampler window (default 100; <= 0 off)
+//   LF_RT_STATS_OUT      Prometheus text dump path (default
+//                        <bench dir>/STATS_rt_engine.prom)
 //   LF_BENCH_FAST        shrink durations for smoke runs
 #include <algorithm>
 #include <atomic>
@@ -56,9 +65,11 @@
 #include "codegen/snapshot.hpp"
 #include "nn/mlp.hpp"
 #include "rt/rt_deployment.hpp"
+#include "rt/stats_sampler.hpp"
 #include "util/bench_report.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/run_report.hpp"
 
 namespace {
 
@@ -163,7 +174,16 @@ worker_outcome run_worker(rt::datapath_engine& engine, rt::worker_handle& w,
     // (model, flow)'s last miss (expected != 0 always holds on a hit,
     // because this worker owns the flow and every hit follows a miss).
     const std::size_t slot = static_cast<std::size_t>(m) * flows + idx;
-    if (r.hit && r.gen != expected[slot]) ++out.violations;
+    if (r.hit && r.gen != expected[slot]) {
+      ++out.violations;
+      // Black-box first, accounting second: the recorder gets the violating
+      // flow's key and both generations while the rings still hold the
+      // events leading up to it.
+      engine.record_violation(
+          w, core::composite_flow_key(m, static_cast<netsim::flow_id_t>(
+                                             flow_base + idx)),
+          expected[slot], r.gen);
+    }
     expected[slot] = r.gen;
   };
 
@@ -227,8 +247,12 @@ stress_stats run_stress(const rt::engine_config& cfg,
                         std::size_t min_switches,
                         metrics::registry* reg = nullptr,
                         rt::datapath_engine** engine_out = nullptr,
-                        std::vector<worker_outcome>* outcomes_out = nullptr) {
+                        std::vector<worker_outcome>* outcomes_out = nullptr,
+                        rt::stats_sampler** sampler_out = nullptr) {
   static std::unique_ptr<rt::datapath_engine> keep_alive;  // for engine_out
+  // Declared after keep_alive: the sampler borrows the engine, so static
+  // teardown must destroy it first (reverse declaration order).
+  static std::unique_ptr<rt::stats_sampler> keep_sampler;
   auto engine = rt::build_engine(cfg);
   if (reg != nullptr) engine->register_metrics(*reg, "rt");
   const std::size_t models = engine->model_count();
@@ -245,6 +269,21 @@ stress_stats run_stress(const rt::engine_config& cfg,
       w.register_metrics(*reg, "rt.worker" + std::to_string(i));
     }
     handles.push_back(&w);
+  }
+
+  // The windowed stats sampler rides the instrumented (registry) run only:
+  // the sweep phases measure scaling and should not pay even the sampler's
+  // cache traffic.
+  std::unique_ptr<rt::stats_sampler> sampler;
+  if (reg != nullptr) {
+    rt::stats_sampler_config scfg = rt::stats_config_from_env();
+    if (scfg.interval_ms <= 0.0) scfg.interval_ms = 100.0;  // harness default
+    if (scfg.text_out.empty()) {
+      scfg.text_out = bench::output_dir() + "/STATS_rt_engine.prom";
+    }
+    sampler = std::make_unique<rt::stats_sampler>(*engine, scfg);
+    sampler->register_metrics(*reg, "rt");
+    sampler->start();
   }
 
   std::atomic<bool> stop{false};
@@ -295,6 +334,9 @@ stress_stats run_stress(const rt::engine_config& cfg,
   }
   for (auto& t : pool_threads) t.join();
   writer.join();
+  // Stop after the joins: the final fold captures the tail of the run and
+  // rewrites the on-disk text snapshot one last time.
+  if (sampler != nullptr) sampler->stop();
   const double elapsed = now_seconds(t0);
 
   stress_stats st;
@@ -321,6 +363,10 @@ stress_stats run_stress(const rt::engine_config& cfg,
     keep_alive = std::move(engine);
     *engine_out = keep_alive.get();
   }
+  if (sampler_out != nullptr) {
+    keep_sampler = std::move(sampler);
+    *sampler_out = keep_sampler.get();
+  }
   if (outcomes_out != nullptr) *outcomes_out = std::move(outcomes);
   return st;
 }
@@ -342,6 +388,9 @@ int main() {
   const std::size_t models = std::max<std::size_t>(env_size("LF_RT_MODELS", 1),
                                                    1);
   const double shadow_rate = env_double("LF_RT_SHADOW", 0.0);
+  const bool lat_on = env_size("LF_RT_LAT", 1) != 0;
+  const std::size_t lat_shift = env_size("LF_RT_LAT_SHIFT", 0);
+  const std::size_t blackbox = env_size("LF_RT_BLACKBOX", 4096);
   const unsigned host_cpus = std::thread::hardware_concurrency();
 
   rt::engine_config cfg;
@@ -353,6 +402,11 @@ int main() {
   // Shadow inference races are what we stress; the gate would starve the
   // switch storm (the writer flips unconditionally), so keep it out.
   cfg.shadow.gate_enabled = false;
+  // Telemetry applies to EVERY phase (baseline, batched, sweep, stress) so
+  // the speedup ratios compare runs with identical per-route overhead.
+  cfg.telemetry.latency = lat_on;
+  cfg.telemetry.latency_sample_shift = static_cast<unsigned>(lat_shift);
+  cfg.telemetry.blackbox_events = blackbox;
   cfg.max_workers = std::max<std::size_t>(
       threads + 1,
       (sweep.empty() ? 0 : *std::max_element(sweep.begin(), sweep.end())) + 1);
@@ -445,11 +499,12 @@ int main() {
   // ---- phase 4: main N-worker invariant stress -------------------------
   metrics::registry reg;
   rt::datapath_engine* engine = nullptr;
+  rt::stats_sampler* sampler = nullptr;
   std::vector<worker_outcome> outcomes;
   const auto stress_t0 = std::chrono::steady_clock::now();
   const stress_stats main_st =
       run_stress(cfg, pool, threads, flows, batch, duration, min_switches,
-                 &reg, &engine, &outcomes);
+                 &reg, &engine, &outcomes, &sampler);
   const double elapsed = now_seconds(stress_t0);
 
   // Drain: FIN every flow, then retire everything demoted.  After the
@@ -504,6 +559,12 @@ int main() {
   rep.config("duration_seconds", elapsed);
   rep.config("sweep_seconds", sweep_seconds);
   rep.config_bool("fast_mode", fast_mode());
+  rep.config_bool("latency_telemetry", lat_on);
+  rep.config("latency_sample_shift", static_cast<double>(lat_shift));
+  rep.config("blackbox_events", static_cast<double>(blackbox));
+  if (sampler != nullptr) {
+    rep.config("stats_interval_ms", sampler->config().interval_ms);
+  }
   rep.summary("baseline_routes_per_sec", baseline_rps);
   rep.summary("batched_routes_per_sec", batched_rps);
   rep.summary("batched_speedup_vs_scalar",
@@ -527,9 +588,103 @@ int main() {
     rep.add_point("per_worker_routes_per_sec", static_cast<double>(i),
                   outcomes[i].routes / elapsed);
   }
+
+  // ---- live telemetry: whole-run percentiles + per-window time series --
+  rt::latency_snapshot lat;
+  engine->latency_snapshot_into(lat);
+  if (lat.total() != 0) {
+    rep.summary("latency_samples", static_cast<double>(lat.total()));
+    rep.summary("latency_p50_ns", lat.quantile(0.50));
+    rep.summary("latency_p99_ns", lat.quantile(0.99));
+    rep.summary("latency_p999_ns", lat.quantile(0.999));
+    rep.summary("latency_mean_ns", lat.approx_mean_ns());
+  }
+  std::vector<rt::stats_window> windows;
+  if (sampler != nullptr) windows = sampler->windows();
+  for (const rt::stats_window& w : windows) {
+    rep.add_point("ts_routes_per_sec", w.t_s, w.routes_per_sec);
+    if (w.samples != 0) {
+      rep.add_point("ts_p50_ns", w.t_s, w.p50_ns);
+      rep.add_point("ts_p99_ns", w.t_s, w.p99_ns);
+      rep.add_point("ts_p999_ns", w.t_s, w.p999_ns);
+    }
+    if (w.routes != 0) {
+      rep.add_point("ts_l1_hit_rate", w.t_s, w.l1_hit_rate);
+      rep.add_point("ts_locks_per_route", w.t_s, w.locks_per_route);
+    }
+  }
+  if (!windows.empty()) {
+    rep.summary("stats_windows", static_cast<double>(windows.size()));
+  }
+
   for (const auto& [name, value] : reg.scalars()) rep.summary(name, value);
   const std::string path = rep.write();
   if (!path.empty()) std::printf("[json] %s\n", path.c_str());
+
+  // ---- REPORT_rt_engine.html ------------------------------------------
+  {
+    report::flight_report fr;
+    fr.title = "LiteFlow flight report: rt engine stress";
+    fr.summary.emplace_back("workers", std::to_string(threads));
+    fr.summary.emplace_back("routes/s",
+                            std::to_string(static_cast<long long>(total_rps)));
+    fr.summary.emplace_back("switches", std::to_string(engine->switches()));
+    fr.summary.emplace_back("violations", std::to_string(violations));
+    if (lat.total() != 0) {
+      fr.summary.emplace_back(
+          "latency p50/p99/p999 (ns)",
+          std::to_string(static_cast<long long>(lat.quantile(0.50))) + " / " +
+              std::to_string(static_cast<long long>(lat.quantile(0.99))) +
+              " / " +
+              std::to_string(static_cast<long long>(lat.quantile(0.999))));
+    }
+    if (!windows.empty()) {
+      report::chart_data rate;
+      rate.id = "throughput";
+      rate.title = "Routes per second (per sampler window)";
+      rate.y_label = "routes/s";
+      report::series_data rps_series;
+      rps_series.name = "routes/s";
+      for (const rt::stats_window& w : windows) {
+        rps_series.points.emplace_back(w.t_s, w.routes_per_sec);
+      }
+      rate.series.push_back(std::move(rps_series));
+      fr.charts.push_back(std::move(rate));
+
+      report::chart_data pct;
+      pct.id = "latency_percentiles";
+      pct.title = "Route latency percentiles (per sampler window)";
+      pct.y_label = "ns";
+      report::series_data p50{"p50", {}}, p99{"p99", {}}, p999{"p999", {}};
+      for (const rt::stats_window& w : windows) {
+        if (w.samples == 0) continue;
+        p50.points.emplace_back(w.t_s, w.p50_ns);
+        p99.points.emplace_back(w.t_s, w.p99_ns);
+        p999.points.emplace_back(w.t_s, w.p999_ns);
+      }
+      pct.series.push_back(std::move(p50));
+      pct.series.push_back(std::move(p99));
+      pct.series.push_back(std::move(p999));
+      fr.charts.push_back(std::move(pct));
+    }
+    if (lat.total() != 0) {
+      report::histogram_data h;
+      h.name = "route latency (ns)";
+      h.mean = lat.approx_mean_ns();
+      h.total = lat.total();
+      for (std::size_t i = 0; i < rt::latency_snapshot::k_buckets; ++i) {
+        if (lat.counts[i] == 0) continue;
+        h.buckets.push_back(
+            {static_cast<double>(rt::latency_histogram::bucket_floor(i)),
+             static_cast<double>(rt::latency_histogram::bucket_floor(i) +
+                                 rt::latency_histogram::bucket_width(i)),
+             lat.counts[i]});
+      }
+      fr.histograms.push_back(std::move(h));
+    }
+    const std::string html = report::write_flight_report(fr, "rt_engine");
+    if (!html.empty()) std::printf("[html] %s\n", html.c_str());
+  }
 
   // ---- verdict ---------------------------------------------------------
   bool ok = true;
@@ -555,6 +710,18 @@ int main() {
     std::fprintf(stderr, "FAIL: %llu versions leaked past the drain\n",
                  static_cast<unsigned long long>(live));
     ok = false;
+  }
+  if (!ok) {
+    // Post-mortem before the nonzero exit: dump the black-box rings (the
+    // recorder holds the events leading up to any violation) and a final
+    // stats snapshot so CI can archive both.
+    if (engine->recorder() != nullptr) {
+      const std::string bb = engine->recorder()->dump("rt_engine");
+      if (!bb.empty()) std::printf("[blackbox] %s\n", bb.c_str());
+    }
+    if (sampler != nullptr && sampler->write_text()) {
+      std::printf("[stats] %s\n", sampler->config().text_out.c_str());
+    }
   }
   std::printf(ok ? "rt stress: PASS\n" : "rt stress: FAIL\n");
   return ok ? 0 : 1;

@@ -73,6 +73,8 @@ std::string_view to_string(metric_kind k) noexcept {
   switch (k) {
     case metric_kind::counter:
       return "counter";
+    case metric_kind::atomic_counter:
+      return "atomic_counter";
     case metric_kind::gauge:
       return "gauge";
     case metric_kind::histogram:
@@ -89,6 +91,10 @@ void registry::bind(std::string name, metric_kind kind, void* ptr) {
 
 void registry::register_counter(std::string name, counter& c) {
   bind(std::move(name), metric_kind::counter, &c);
+}
+
+void registry::register_counter(std::string name, atomic_counter& c) {
+  bind(std::move(name), metric_kind::atomic_counter, &c);
 }
 
 void registry::register_gauge(std::string name, gauge& g) {
@@ -121,6 +127,12 @@ counter* registry::find_counter(std::string_view name) const noexcept {
   return b ? static_cast<counter*>(b->ptr) : nullptr;
 }
 
+atomic_counter* registry::find_atomic_counter(
+    std::string_view name) const noexcept {
+  const auto* b = find(name, metric_kind::atomic_counter);
+  return b ? static_cast<atomic_counter*>(b->ptr) : nullptr;
+}
+
 gauge* registry::find_gauge(std::string_view name) const noexcept {
   const auto* b = find(name, metric_kind::gauge);
   return b ? static_cast<gauge*>(b->ptr) : nullptr;
@@ -149,6 +161,11 @@ std::vector<std::pair<std::string, double>> registry::scalars() const {
         out.emplace_back(name, static_cast<double>(
                                    static_cast<counter*>(b.ptr)->value()));
         break;
+      case metric_kind::atomic_counter:
+        out.emplace_back(
+            name, static_cast<double>(
+                      static_cast<atomic_counter*>(b.ptr)->value()));
+        break;
       case metric_kind::gauge:
         out.emplace_back(name, static_cast<gauge*>(b.ptr)->value());
         break;
@@ -170,6 +187,9 @@ void registry::reset_all() {
     switch (b.kind) {
       case metric_kind::counter:
         static_cast<counter*>(b.ptr)->reset();
+        break;
+      case metric_kind::atomic_counter:
+        static_cast<atomic_counter*>(b.ptr)->reset();
         break;
       case metric_kind::gauge:
         static_cast<gauge*>(b.ptr)->reset();

@@ -14,6 +14,7 @@
 //    between runs); registering never transfers ownership.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -35,6 +36,29 @@ class counter {
 
  private:
   std::uint64_t value_ = 0;
+};
+
+/// Single-writer counter whose value may be *read* from other threads while
+/// the writer is still incrementing (the rt stats sampler, a mid-run
+/// publish_stats()).  The increment stays a plain load+add+store — no
+/// lock-prefixed RMW on the hot path — which is exactly correct for the
+/// one-writer-many-readers shape: the owning thread is the only mutator, so
+/// load(relaxed)+n never loses an update, and readers get some recent value
+/// without a data race.  Cross-thread readers must tolerate slightly stale
+/// counts; they never see torn or decreasing ones.
+class atomic_counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.store(value_.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// A level that can move both ways (queue depth, accumulated CPU-seconds).
@@ -84,7 +108,7 @@ class fixed_histogram {
   double sum_ = 0.0;
 };
 
-enum class metric_kind { counter, gauge, histogram, series };
+enum class metric_kind { counter, atomic_counter, gauge, histogram, series };
 
 std::string_view to_string(metric_kind k) noexcept;
 
@@ -93,6 +117,7 @@ std::string_view to_string(metric_kind k) noexcept;
 class registry {
  public:
   void register_counter(std::string name, counter& c);
+  void register_counter(std::string name, atomic_counter& c);
   void register_gauge(std::string name, gauge& g);
   void register_histogram(std::string name, fixed_histogram& h);
   void register_series(std::string name, time_series& s);
@@ -101,6 +126,7 @@ class registry {
   void unregister(std::string_view name);
 
   counter* find_counter(std::string_view name) const noexcept;
+  atomic_counter* find_atomic_counter(std::string_view name) const noexcept;
   gauge* find_gauge(std::string_view name) const noexcept;
   fixed_histogram* find_histogram(std::string_view name) const noexcept;
   time_series* find_series(std::string_view name) const noexcept;

@@ -23,6 +23,11 @@ std::string_view to_string(event_type t) noexcept {
     case event_type::ecn_mark: return "ecn_mark";
     case event_type::flow_complete: return "flow_complete";
     case event_type::alert: return "alert";
+    case event_type::route_summary: return "route_summary";
+    case event_type::gate_verdict: return "gate_verdict";
+    case event_type::zombie_push: return "zombie_push";
+    case event_type::version_reclaim: return "version_reclaim";
+    case event_type::invariant_violation: return "invariant_violation";
   }
   return "unknown";
 }
@@ -102,15 +107,18 @@ std::vector<merged_event> collector::merged() const {
     const ring& r = *rings_[c];
     std::uint64_t seq = r.first_seq();
     for (const event& e : r.snapshot()) {
-      out.push_back(merged_event{e, c, seq++});
+      out.push_back(
+          merged_event{e, to_export_us(r.domain(), e.t), c, seq++, r.domain()});
     }
   }
-  // Per-ring runs are already in emission order, so sorting by (t,
+  // Per-ring runs are already in emission order, so sorting by (us,
   // component) with a stable sort preserves the per-ring seq order for
-  // exact ties, giving the documented (t, component, seq) total order.
+  // exact ties, giving the documented (us, component, seq) total order.
+  // Sorting on the normalized microseconds (not raw e.t) is what lets a
+  // wall-ns flight-recorder ring merge against sim-second rings.
   std::stable_sort(out.begin(), out.end(),
                    [](const merged_event& x, const merged_event& y) {
-                     if (x.e.t != y.e.t) return x.e.t < y.e.t;
+                     if (x.us != y.us) return x.us < y.us;
                      return x.component < y.component;
                    });
   return out;

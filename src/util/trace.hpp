@@ -47,9 +47,16 @@ enum class event_type : std::uint8_t {
   ecn_mark,             ///< a = flow id, b = queued bytes at mark time
   flow_complete,        ///< a = flow id, b = FCT (ns)
   alert,                ///< a = health alert kind, b = rule value (1e-9 units)
+  // rt flight-recorder events (wall-clock rings).  Appended so existing
+  // numeric values stay stable for stored traces.
+  route_summary,        ///< a = composite flow key, b = snapshot generation
+  gate_verdict,         ///< a = (model id << 1) | admitted, b = mean divergence (1e-9 units)
+  zombie_push,          ///< a = demoted generation, b = switch epoch after bump
+  version_reclaim,      ///< a = versions freed, b = versions still retired
+  invariant_violation,  ///< a = composite flow key, b = (expected gen << 32) | observed gen
 };
 
-inline constexpr std::size_t event_type_count = 16;
+inline constexpr std::size_t event_type_count = 21;
 
 std::string_view to_string(event_type t) noexcept;
 
@@ -62,9 +69,20 @@ constexpr event_type span_end_of(event_type t) noexcept {
   return static_cast<event_type>(static_cast<std::uint8_t>(t) + 1);
 }
 
+/// The unit of event::t for one ring.  Sim components stamp seconds from
+/// simulation::now(); the rt flight recorder stamps steady_clock
+/// nanoseconds.  The exporter normalizes both to microseconds so mixed
+/// dumps merge into one causally-ordered Perfetto stream.
+enum class time_domain : std::uint8_t { sim_seconds, wall_ns };
+
+/// event::t converted to exported microseconds under domain `d`.
+constexpr double to_export_us(time_domain d, double t) noexcept {
+  return d == time_domain::sim_seconds ? t * 1e6 : t * 1e-3;
+}
+
 /// One trace record.  Fixed-size POD so ring storage is a flat array.
 struct event {
-  double t = 0.0;  ///< simulation seconds
+  double t = 0.0;  ///< ring time_domain units (sim seconds or wall ns)
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   event_type type{};
@@ -102,6 +120,11 @@ class ring {
   const std::string& name() const noexcept { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
+  /// Unit of event::t for this ring (default: simulation seconds, which
+  /// keeps every existing sim component unchanged).
+  time_domain domain() const noexcept { return domain_; }
+  void set_domain(time_domain d) noexcept { domain_ = d; }
+
   std::size_t capacity() const noexcept { return buf_.size(); }
   /// Events currently retained (<= capacity).
   std::size_t size() const noexcept;
@@ -123,6 +146,7 @@ class ring {
   std::vector<event> buf_;
   std::size_t mask_ = 0;
   std::uint64_t head_ = 0;
+  time_domain domain_ = time_domain::sim_seconds;
 };
 
 struct collector_config {
@@ -137,8 +161,13 @@ collector_config config_from_env();
 /// One event from the merged stream, tagged with its source ring.
 struct merged_event {
   event e;
+  double us = 0.0;              ///< e.t normalized to exported microseconds
   std::uint32_t component = 0;  ///< attach order, stable merge tie-break
   std::uint64_t seq = 0;        ///< per-ring emission index
+  /// Source ring's domain.  Span durations are computed as
+  /// to_export_us(domain, end.t - begin.t) — one rounding on the raw
+  /// delta, not a difference of two separately-rounded timestamps.
+  time_domain domain = time_domain::sim_seconds;
 };
 
 /// Borrowing name -> ring index; rings must outlive the collector.  attach()
@@ -166,8 +195,10 @@ class collector {
     return rings_[component]->name();
   }
 
-  /// All retained events merged into causal order: sorted by timestamp,
-  /// equal timestamps ordered by component id, then per-ring emission order.
+  /// All retained events merged into causal order: sorted by normalized
+  /// microsecond timestamp (so sim-second and wall-ns rings interleave
+  /// correctly), equal timestamps ordered by component id, then per-ring
+  /// emission order.
   std::vector<merged_event> merged() const;
 
   std::uint64_t total_emitted() const noexcept;

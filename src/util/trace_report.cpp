@@ -17,8 +17,6 @@ namespace {
 using bench::json_escape;
 using bench::json_number;
 
-constexpr double k_us_per_second = 1e6;
-
 /// One serialized traceEvents entry plus its sort key.  Events are
 /// generated in merged-stream order and stable-sorted by timestamp, which
 /// keeps B before E (and E before the next same-ts B) for zero-duration
@@ -67,6 +65,24 @@ std::string args_for(const event& e) {
     case event_type::alert:
       os << "{\"kind\":" << e.a << ",\"value_1e9\":" << e.b << "}";
       break;
+    case event_type::route_summary:
+      os << "{\"key\":" << e.a << ",\"gen\":" << e.b << "}";
+      break;
+    case event_type::gate_verdict:
+      os << "{\"model\":" << (e.a >> 1)
+         << ",\"admitted\":" << ((e.a & 1) ? "true" : "false")
+         << ",\"mean_divergence_1e9\":" << e.b << "}";
+      break;
+    case event_type::zombie_push:
+      os << "{\"gen\":" << e.a << ",\"switch_epoch\":" << e.b << "}";
+      break;
+    case event_type::version_reclaim:
+      os << "{\"freed\":" << e.a << ",\"retired\":" << e.b << "}";
+      break;
+    case event_type::invariant_violation:
+      os << "{\"key\":" << e.a << ",\"expected_gen\":" << (e.b >> 32)
+         << ",\"observed_gen\":" << (e.b & 0xffffffffULL) << "}";
+      break;
     default:
       os << "{\"a\":" << e.a << ",\"b\":" << e.b << "}";
   }
@@ -76,7 +92,7 @@ std::string args_for(const event& e) {
 std::string instant_json(const merged_event& m) {
   std::ostringstream os;
   os << "{\"name\":\"" << to_string(m.e.type) << "\",\"ph\":\"i\",\"s\":\"t\""
-     << ",\"ts\":" << json_number(m.e.t * k_us_per_second) << ",\"pid\":0"
+     << ",\"ts\":" << json_number(m.us) << ",\"pid\":0"
      << ",\"tid\":" << m.component << ",\"args\":" << args_for(m.e) << "}";
   return os.str();
 }
@@ -118,7 +134,8 @@ std::vector<span> derive_spans(const std::vector<merged_event>& events) {
     if (it == open.end() || it->second.empty()) continue;  // begin overwritten
     const merged_event* b = it->second.front();
     it->second.erase(it->second.begin());
-    out.push_back(span{b->e.t, m.e.t, m.component, opener, b->e.a, b->e.b});
+    out.push_back(span{b->e.t, m.e.t, b->us, m.us, m.domain, m.component,
+                       opener, b->e.a, b->e.b});
   }
   return out;
 }
@@ -126,7 +143,10 @@ std::vector<span> derive_spans(const std::vector<merged_event>& events) {
 void derive_span_stats(const collector& col, span_stats& out) {
   const auto events = col.merged();
   for (const span& s : derive_spans(events)) {
-    const double us = (s.end - s.begin) * k_us_per_second;
+    // One rounding on the raw delta (not a difference of two
+    // separately-rounded timestamps): durations stay bit-exact with the
+    // pre-time-domain exporter for sim rings.
+    const double us = to_export_us(s.domain, s.end - s.begin);
     if (s.open == event_type::inference_begin) {
       out.inference_us.observe(us);
     } else {
@@ -158,49 +178,58 @@ std::string perfetto_json(const collector& col) {
   // Walk the causal stream once: instants emit in place; span ends emit
   // their whole pair (the begin entry carries the earlier timestamp and is
   // moved into place by the final stable sort).
+  struct open_mark {
+    double t = 0.0;   ///< raw ring-domain units, for single-rounding durs
+    double us = 0.0;  ///< exported microseconds
+  };
   std::map<std::tuple<std::uint32_t, event_type, std::uint64_t>,
-           std::vector<double>>
+           std::vector<open_mark>>
       open;
+  // All exported timestamps come from merged_event::us (already normalized
+  // per the source ring's time domain), so wall-ns flight-recorder rings and
+  // sim-second rings share one timeline.  Durations convert the raw delta
+  // once instead of subtracting two rounded timestamps.
   for (const merged_event& m : merged_events) {
     switch (m.e.type) {
       case event_type::inference_begin:
       case event_type::task_begin:
-        open[{m.component, m.e.type, m.e.a}].push_back(m.e.t);
+        open[{m.component, m.e.type, m.e.a}].push_back(
+            open_mark{m.e.t, m.us});
         break;
       case event_type::inference_end: {
         auto it = open.find({m.component, event_type::inference_begin, m.e.a});
         if (it == open.end() || it->second.empty()) break;
-        const double begin = it->second.front();
+        const open_mark begin = it->second.front();
         it->second.erase(it->second.begin());
         std::ostringstream os;
         os << "{\"name\":\"inference\",\"ph\":\"X\",\"ts\":"
-           << json_number(begin * k_us_per_second) << ",\"dur\":"
-           << json_number((m.e.t - begin) * k_us_per_second)
+           << json_number(begin.us) << ",\"dur\":"
+           << json_number(to_export_us(m.domain, m.e.t - begin.t))
            << ",\"pid\":0,\"tid\":" << m.component << ",\"args\":{\"flow\":"
            << m.e.a << ",\"model\":" << m.e.b << "}}";
-        out.push_back(emitted{begin * k_us_per_second, os.str()});
+        out.push_back(emitted{begin.us, os.str()});
         break;
       }
       case event_type::task_end: {
         auto it = open.find({m.component, event_type::task_begin, m.e.a});
         if (it == open.end() || it->second.empty()) break;
-        const double begin = it->second.front();
+        const double begin = it->second.front().us;
         it->second.erase(it->second.begin());
         const std::string name{task_category_label(m.e.a)};
         std::ostringstream b;
         b << "{\"name\":\"" << name << "\",\"ph\":\"B\",\"ts\":"
-          << json_number(begin * k_us_per_second)
+          << json_number(begin)
           << ",\"pid\":0,\"tid\":" << m.component << "}";
-        out.push_back(emitted{begin * k_us_per_second, b.str()});
+        out.push_back(emitted{begin, b.str()});
         std::ostringstream e;
         e << "{\"name\":\"" << name << "\",\"ph\":\"E\",\"ts\":"
-          << json_number(m.e.t * k_us_per_second)
+          << json_number(m.us)
           << ",\"pid\":0,\"tid\":" << m.component << "}";
-        out.push_back(emitted{m.e.t * k_us_per_second, e.str()});
+        out.push_back(emitted{m.us, e.str()});
         break;
       }
       default:
-        out.push_back(emitted{m.e.t * k_us_per_second, instant_json(m)});
+        out.push_back(emitted{m.us, instant_json(m)});
     }
   }
 
@@ -240,7 +269,8 @@ std::string perfetto_json(const collector& col) {
   return os.str();
 }
 
-std::string write_trace(const collector& col, std::string_view label) {
+std::string write_trace(const collector& col, std::string_view label,
+                        std::string_view prefix) {
   std::string safe;
   safe.reserve(label.size());
   for (const char c : label) {
@@ -251,7 +281,8 @@ std::string write_trace(const collector& col, std::string_view label) {
   if (safe.empty()) safe = "trace";
 
   const std::string dir = bench::output_dir();
-  const std::string path = dir + "/TRACE_" + safe + ".json";
+  const std::string path =
+      dir + "/" + std::string{prefix} + "_" + safe + ".json";
   std::error_code ec;
   if (!std::filesystem::is_directory(dir, ec)) {
     std::fprintf(stderr,

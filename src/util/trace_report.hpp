@@ -28,10 +28,16 @@ namespace lf::trace {
 /// kernelsim names.  Out-of-range ids label as "other".
 std::string_view task_category_label(std::uint64_t category) noexcept;
 
-/// A matched begin/end pair from the merged stream.
+/// A matched begin/end pair from the merged stream.  begin/end are in the
+/// source ring's raw time units (sim seconds or wall ns); begin_us/end_us
+/// are normalized to exported microseconds, which is what duration math
+/// must use when rings of different time domains are mixed.
 struct span {
-  double begin = 0.0;
+  double begin = 0.0;  ///< raw ring-domain units (sim seconds or wall ns)
   double end = 0.0;
+  double begin_us = 0.0;  ///< exported-microsecond timestamps
+  double end_us = 0.0;
+  time_domain domain = time_domain::sim_seconds;
   std::uint32_t component = 0;
   event_type open{};     ///< inference_begin or task_begin
   std::uint64_t a = 0;   ///< opening event's a (flow id / task category)
@@ -64,9 +70,12 @@ void register_span_stats(span_stats& stats, metrics::registry& reg,
 /// "liteflow" block recording emitted/overwritten totals per component).
 std::string perfetto_json(const collector& col);
 
-/// Write TRACE_<label>.json into bench::output_dir() (same rules as
+/// Write <prefix>_<label>.json into bench::output_dir() (same rules as
 /// BENCH_*.json).  Non-[A-Za-z0-9._-] label characters become '-'.
-/// Returns the path written, or an empty string after a stderr diagnostic.
-std::string write_trace(const collector& col, std::string_view label);
+/// The default prefix is "TRACE"; the rt flight recorder dumps with
+/// "BLACKBOX" through the same exporter.  Returns the path written, or an
+/// empty string after a stderr diagnostic.
+std::string write_trace(const collector& col, std::string_view label,
+                        std::string_view prefix = "TRACE");
 
 }  // namespace lf::trace

@@ -78,6 +78,39 @@ TEST(Metrics, HistogramQuantileAndMean) {
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
 }
 
+TEST(Metrics, AtomicCounterSingleWriterSemantics) {
+  // The rt engine's per-worker counters: inc() is load+store (no RMW), so
+  // only the owning thread may write, and any thread may read a slightly
+  // stale but never-torn value.
+  metrics::atomic_counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, AtomicCounterRegistryBindingAndScalars) {
+  metrics::registry reg;
+  metrics::atomic_counter c;
+  c.inc(7);
+  reg.register_counter("rt.w0.routes", c);
+  ASSERT_NE(reg.find_atomic_counter("rt.w0.routes"), nullptr);
+  EXPECT_EQ(reg.find_atomic_counter("rt.w0.routes"), &c);
+  // Kind-checked: an atomic counter is not a plain counter or gauge.
+  EXPECT_EQ(reg.find_counter("rt.w0.routes"), nullptr);
+  EXPECT_EQ(reg.find_gauge("rt.w0.routes"), nullptr);
+  const auto flat = reg.scalars();
+  const auto it = std::find_if(flat.begin(), flat.end(), [](const auto& kv) {
+    return kv.first == "rt.w0.routes";
+  });
+  ASSERT_NE(it, flat.end());
+  EXPECT_EQ(it->second, 7.0);
+  reg.reset_all();
+  EXPECT_EQ(c.value(), 0u);
+}
+
 TEST(Metrics, RegistryFindAndContains) {
   metrics::registry reg;
   metrics::counter c;

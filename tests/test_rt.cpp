@@ -7,6 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -15,9 +19,13 @@
 #include "nn/mlp.hpp"
 #include "rt/engine.hpp"
 #include "rt/epoch.hpp"
+#include "rt/flight_recorder.hpp"
+#include "rt/latency_histogram.hpp"
 #include "rt/rt_deployment.hpp"
 #include "rt/sharded_flow_cache.hpp"
 #include "rt/snapshot_handle.hpp"
+#include "rt/stats_sampler.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -720,6 +728,276 @@ TEST(RtEngine, TwoThreadInterleavingSmoke) {
   EXPECT_LE(e.versions_live(), 2u);
   EXPECT_EQ(e.versions_live() + e.versions_retired(),
             static_cast<std::uint64_t>(1 + k_switch_cycles));
+}
+
+// ---------------------------------------------------- latency histogram --
+
+TEST(RtLatencyHistogram, BucketIndexFloorAndWidthRoundTrip) {
+  using h = rt::latency_histogram;
+  EXPECT_EQ(h::bucket_index(0), 0u);
+  EXPECT_EQ(h::bucket_index(1), 1u);
+  for (std::size_t i = 2; i < h::k_buckets; ++i) {
+    const std::uint64_t lo = h::bucket_floor(i);
+    const std::uint64_t w = h::bucket_width(i);
+    EXPECT_EQ(h::bucket_index(lo), i) << "floor of bucket " << i;
+    EXPECT_EQ(h::bucket_index(lo + w - 1), i) << "last ns of bucket " << i;
+    if (i + 1 < h::k_buckets) {
+      EXPECT_EQ(h::bucket_index(lo + w), i + 1) << "first ns past " << i;
+    }
+  }
+  // Values beyond the covered range clamp into the top bucket instead of
+  // indexing out of bounds.
+  EXPECT_EQ(h::bucket_index(~std::uint64_t{0}), h::k_buckets - 1);
+}
+
+TEST(RtLatencyHistogram, QuantilesOrderedMergeAndDeltaSubtract) {
+  rt::latency_histogram h;
+  for (const std::uint64_t ns : {1u, 10u, 100u, 1000u, 100000u}) {
+    h.record(ns, 100);
+  }
+  rt::latency_snapshot a;
+  h.snapshot_into(a);
+  EXPECT_EQ(a.total(), 500u);
+  const double p50 = a.quantile(0.50);
+  const double p99 = a.quantile(0.99);
+  const double p999 = a.quantile(0.999);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  // 250th sample falls in the 100 ns value's bucket ([96, 128)).
+  EXPECT_GE(p50, 96.0);
+  EXPECT_LE(p50, 128.0);
+  EXPECT_GT(a.approx_mean_ns(), 0.0);
+
+  // Windowed delta isolates exactly the new samples.
+  h.record(50, 7);
+  rt::latency_snapshot b;
+  h.snapshot_into(b);
+  const rt::latency_snapshot d = b.delta_since(a);
+  EXPECT_EQ(d.total(), 7u);
+  EXPECT_EQ(d.counts[rt::latency_histogram::bucket_index(50)], 7u);
+
+  // merge(a) + merge(delta) reassembles the later snapshot.
+  rt::latency_snapshot m;
+  m.merge(a).merge(d);
+  EXPECT_EQ(m.total(), b.total());
+
+  // Empty snapshots answer 0, never NaN.
+  const rt::latency_snapshot z;
+  EXPECT_EQ(z.quantile(0.99), 0.0);
+  EXPECT_EQ(z.approx_mean_ns(), 0.0);
+}
+
+TEST(RtLatencyHistogram, EngineRecordsOnlyWhenEnabled) {
+  rt::engine_config off;
+  off.max_workers = 2;
+  rt::datapath_engine e_off{off};
+  rt::worker_handle& w_off = e_off.register_worker();
+  e_off.install(rt_snapshot(1));
+  e_off.switch_active();
+  for (int i = 0; i < 16; ++i) e_off.route(w_off, 7, i * 0.01, {}, {});
+  rt::latency_snapshot s_off;
+  e_off.latency_snapshot_into(s_off);
+  EXPECT_EQ(s_off.total(), 0u);  // telemetry off by default
+
+  rt::engine_config on;
+  on.max_workers = 2;
+  on.telemetry.latency = true;  // shift 0: every route timed
+  rt::datapath_engine e{on};
+  rt::worker_handle& w = e.register_worker();
+  e.install(rt_snapshot(1));
+  e.switch_active();
+  for (int i = 0; i < 64; ++i) e.route(w, 7, i * 0.01, {}, {});
+  rt::latency_snapshot s;
+  e.latency_snapshot_into(s);
+  EXPECT_EQ(s.total(), 64u);
+  EXPECT_GT(s.quantile(0.5), 0.0);
+}
+
+// ------------------------------------------------------ flight recorder --
+
+TEST(RtFlightRecorder, RingOverwritesOldestAndDecodesInOrder) {
+  rt::blackbox_ring r;
+  EXPECT_FALSE(r.enabled());
+  r.emit(trace::event_type::route_summary, 1, 1);  // disabled: dropped
+  EXPECT_EQ(r.emitted(), 0u);
+
+  r.enable(4);
+  EXPECT_EQ(r.capacity(), 4u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    r.emit(trace::event_type::route_summary, i, i * 2);
+  }
+  EXPECT_EQ(r.emitted(), 10u);
+  const auto evs = r.snapshot();
+  ASSERT_EQ(evs.size(), 4u);
+  // Only the newest capacity events survive, decoded oldest first.
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    EXPECT_EQ(evs[i].seq, 6u + i);
+    EXPECT_EQ(evs[i].a, 6u + i);
+    EXPECT_EQ(evs[i].b, (6u + i) * 2);
+    EXPECT_EQ(evs[i].type, trace::event_type::route_summary);
+    if (i > 0) {
+      EXPECT_GE(evs[i].t_ns, evs[i - 1].t_ns);
+    }
+  }
+  r.clear();
+  EXPECT_TRUE(r.snapshot().empty());
+  EXPECT_TRUE(r.enabled());  // clear resets contents, not capacity
+}
+
+TEST(RtFlightRecorder, ViolationDumpIsParseableAndKeepsTheFlowsLastEvents) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "lf_blackbox_unit";
+  fs::create_directories(dir);
+  ::setenv("LF_BENCH_OUT", dir.string().c_str(), 1);
+
+  rt::engine_config cfg;
+  cfg.max_workers = 2;
+  cfg.telemetry.blackbox_events = 64;
+  cfg.telemetry.blackbox_route_shift = 0;  // record every route summary
+  rt::datapath_engine e{cfg};
+  rt::worker_handle& w = e.register_worker();
+  e.install(rt_snapshot(1));
+  EXPECT_TRUE(e.switch_active());
+  for (int i = 0; i < 8; ++i) e.route(w, 42, i * 0.01, {}, {});
+  e.record_violation(w, 42, /*expected_gen=*/1, /*observed_gen=*/3);
+
+  ASSERT_NE(e.recorder(), nullptr);
+  const std::string path = e.recorder()->dump("unit");
+  ::unsetenv("LF_BENCH_OUT");
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("BLACKBOX_unit.json"), std::string::npos);
+
+  std::ifstream is{path};
+  ASSERT_TRUE(is.good());
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string json = ss.str();
+
+  // The dump must carry the violating flow's history: the violation record
+  // with both generations decoded, the flow's sampled route summaries, and
+  // the snapshot lifecycle events leading up to it.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"invariant_violation\""), std::string::npos);
+  EXPECT_NE(json.find("\"expected_gen\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"observed_gen\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"route_summary\""), std::string::npos);
+  EXPECT_NE(json.find("\"snapshot_switch\""), std::string::npos);
+
+  // Parseable: braces and brackets balance (no string literal in the
+  // exporter's output contains either).
+  long depth = 0;
+  long square = 0;
+  for (const char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    if (c == '[') ++square;
+    if (c == ']') --square;
+    ASSERT_GE(depth, 0);
+    ASSERT_GE(square, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(square, 0);
+  fs::remove_all(dir);
+}
+
+// ------------------------------------------------------- live telemetry --
+
+TEST(RtTelemetry, PublishStatsZeroRoutesAndZeroAcquisitionsReadZero) {
+  rt::engine_config cfg;
+  cfg.max_workers = 2;
+  rt::datapath_engine e{cfg};
+  metrics::registry reg;
+  e.register_metrics(reg, "rt");
+  // Nothing has routed and no shard lock was ever taken: every derived
+  // rate must read 0, not NaN (0/0) — this is what makes publish_stats
+  // safe to call before traffic starts.
+  e.publish_stats();
+  ASSERT_NE(reg.find_gauge("rt.lock.per_route"), nullptr);
+  EXPECT_EQ(reg.find_gauge("rt.lock.per_route")->value(), 0.0);
+  EXPECT_EQ(reg.find_gauge("rt.lock.contended_ratio")->value(), 0.0);
+  EXPECT_EQ(reg.find_gauge("rt.l1.hit_rate")->value(), 0.0);
+}
+
+TEST(RtTelemetry, PublishStatsMidRunMatchesLiveCounters) {
+  rt::engine_config cfg;
+  cfg.max_workers = 2;
+  rt::datapath_engine e{cfg};
+  rt::worker_handle& w = e.register_worker();
+  e.install(rt_snapshot(1));
+  e.switch_active();
+  // Mixed traffic: 16 distinct flows (misses) then the same 16 again
+  // (hits, mostly L1).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (netsim::flow_id_t f = 0; f < 16; ++f) {
+      e.route(w, 100 + f, pass * 0.1, {}, {});
+    }
+  }
+  metrics::registry reg;
+  e.register_metrics(reg, "rt");
+  e.publish_stats();
+
+  const auto c = e.counters_now();
+  EXPECT_EQ(c.routes, 32u);
+  const double per_route = reg.find_gauge("rt.lock.per_route")->value();
+  const double hit_rate = reg.find_gauge("rt.l1.hit_rate")->value();
+  const double contended = reg.find_gauge("rt.lock.contended_ratio")->value();
+  EXPECT_NEAR(per_route,
+              static_cast<double>(c.lock_acquisitions) /
+                  static_cast<double>(c.routes),
+              1e-12);
+  EXPECT_NEAR(hit_rate,
+              static_cast<double>(c.l1_hits) / static_cast<double>(c.routes),
+              1e-12);
+  EXPECT_GE(contended, 0.0);
+  EXPECT_LE(contended, 1.0);
+  EXPECT_GT(hit_rate, 0.0);  // the second pass hit the per-worker L1
+}
+
+TEST(RtTelemetry, SamplerTicksFoldWindowsAndRenderPrometheusText) {
+  rt::engine_config cfg;
+  cfg.max_workers = 2;
+  cfg.telemetry.latency = true;
+  rt::datapath_engine e{cfg};
+  rt::worker_handle& w = e.register_worker();
+  e.install(rt_snapshot(1));
+  e.switch_active();
+
+  rt::stats_sampler_config scfg;
+  scfg.interval_ms = 0.0;  // no thread: tick manually from the test
+  rt::stats_sampler s{e, scfg};
+  EXPECT_FALSE(s.enabled());
+  s.start();  // no-op when disabled
+
+  for (netsim::flow_id_t f = 0; f < 32; ++f) e.route(w, f, 0.0, {}, {});
+  s.tick();
+  auto ws = s.windows();
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ(ws[0].routes, 32u);
+  EXPECT_EQ(ws[0].samples, 32u);  // shift 0: every route timed
+  EXPECT_GT(ws[0].p50_ns, 0.0);
+  EXPECT_LE(ws[0].p50_ns, ws[0].p99_ns);
+  EXPECT_LE(ws[0].p99_ns, ws[0].p999_ns);
+  EXPECT_GE(ws[0].l1_hit_rate, 0.0);
+  EXPECT_EQ(ws[0].versions_live, 1u);
+
+  // An idle window folds cleanly: zero routes, zero samples, and the
+  // zero-division edges answer 0.
+  s.tick();
+  ws = s.windows();
+  ASSERT_EQ(ws.size(), 2u);
+  EXPECT_EQ(ws[1].routes, 0u);
+  EXPECT_EQ(ws[1].samples, 0u);
+  EXPECT_EQ(ws[1].p50_ns, 0.0);
+  EXPECT_EQ(ws[1].l1_hit_rate, 0.0);
+  EXPECT_EQ(ws[1].locks_per_route, 0.0);
+
+  const std::string text = s.render_text();
+  EXPECT_NE(text.find("lf_rt_routes_total 32"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lf_rt_route_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("lf_rt_route_latency_ns_count 32"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 32"), std::string::npos);
+  EXPECT_NE(text.find("lf_rt_versions_live 1"), std::string::npos);
 }
 
 }  // namespace

@@ -277,6 +277,56 @@ TEST(TracePerfetto, BalancedSpansAndSortedTimestamps) {
   EXPECT_EQ(completes, 2);
 }
 
+TEST(TracePerfetto, MixedTimeDomainsExportBalancedAndOrdered) {
+  // A sim-seconds ring (the simulator tracer) and a wall-ns ring (the rt
+  // flight recorder) share one collector.  Both convert to microseconds on
+  // export, so the merged stream must interleave correctly: 500 ns lands
+  // before 1 us of sim time, which lands before 2500 ns.
+  trace::collector col{trace::collector_config{true, 64}};
+  trace::ring sim{"sim"};
+  trace::ring wall{"rt"};
+  wall.set_domain(trace::time_domain::wall_ns);
+  ASSERT_EQ(sim.domain(), trace::time_domain::sim_seconds);
+  ASSERT_EQ(wall.domain(), trace::time_domain::wall_ns);
+  col.attach(sim);
+  col.attach(wall);
+
+  sim.emit(1e-6, trace::event_type::task_begin, 0, 100);
+  sim.emit(3e-6, trace::event_type::task_end, 0, 0);
+  wall.emit(500.0, trace::event_type::route_summary, 42, 1);
+  wall.emit(2500.0, trace::event_type::invariant_violation, 42,
+            (std::uint64_t{1} << 32) | 2);
+  wall.emit(4000.0, trace::event_type::snapshot_switch, 0, 0);
+
+  const std::string json = trace::perfetto_json(col);
+  EXPECT_NE(json.find("\"invariant_violation\""), std::string::npos);
+  EXPECT_NE(json.find("\"expected_gen\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"observed_gen\":2"), std::string::npos);
+
+  const auto events = scan_trace_events(json);
+  ASSERT_FALSE(events.empty());
+  // One exported microsecond timeline: non-decreasing throughout, spans
+  // balanced even though instants from the other domain interleave.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts, events[i].ts) << "at entry " << i;
+  }
+  int depth = 0;
+  int instants = 0;
+  for (const auto& ev : events) {
+    if (ev.ph == 'B') ++depth;
+    if (ev.ph == 'E') {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+    if (ev.ph == 'i') ++instants;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(instants, 3);
+  // The wall-ns instant at 500 ns precedes the sim-seconds span begin at
+  // 1 us in export order.
+  EXPECT_DOUBLE_EQ(events.front().ts, 0.5);
+}
+
 TEST(TracePerfetto, TaskCategoryLabelsPinnedToKernelsim) {
   // util cannot include kernelsim, so trace_report hardcodes the labels;
   // this pins the copies to the kernelsim names (plus the out-of-range
