@@ -35,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -201,6 +202,18 @@ class adaptation_monitor {
   /// A shadow gate ruled on a switch request (admitted or blocked).
   void on_shadow_gate(const gate_record& g);
 
+  /// Sink for control-plane lifecycle stages (train/freeze/quantize/…).
+  /// core cannot depend on rt, so mirroring slow-path activity into the rt
+  /// flight recorder's control ring is a callback the deployment wires
+  /// (typically to datapath_engine::record_lifecycle).  Stage costs are
+  /// nanoseconds.  Null (the default) disables mirroring.
+  using lifecycle_mirror =
+      std::function<void(trace::lifecycle_phase phase, std::uint32_t model,
+                         std::uint64_t version, std::uint64_t cost_ns)>;
+  void set_lifecycle_mirror(lifecycle_mirror fn) {
+    mirror_ = std::move(fn);
+  }
+
   // ---- reporting ----
 
   const std::vector<snapshot_record>& ledger() const noexcept {
@@ -251,6 +264,8 @@ class adaptation_monitor {
   std::vector<snapshot_record> ledger_;
   std::vector<alert_record> alerts_;
   std::vector<gate_record> gates_;
+
+  lifecycle_mirror mirror_;
 
   metrics::counter checks_;
   metrics::counter alert_counters_[alert_kind_count];

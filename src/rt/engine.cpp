@@ -45,7 +45,9 @@ datapath_engine::datapath_engine(engine_config cfg)
   if (cfg_.telemetry.blackbox_events != 0) {
     recorder_ = std::make_unique<flight_recorder>(
         flight_recorder_config{cfg_.telemetry.blackbox_events,
-                               cfg_.telemetry.blackbox_route_shift},
+                               cfg_.telemetry.blackbox_route_shift,
+                               cfg_.telemetry.blackbox_dump_interval_ns,
+                               cfg_.telemetry.blackbox_max_dumps},
         cfg_.max_workers == 0 ? 1 : cfg_.max_workers);
     bb_route_mask_ = recorder_->route_sample_mask();
     // Single-threaded here (before any worker exists), which satisfies the
@@ -421,6 +423,16 @@ void datapath_engine::record_violation(worker_handle& w, netsim::flow_id_t key,
   }
   recorder_->control().emit(trace::event_type::invariant_violation, key,
                             packed);
+}
+
+void datapath_engine::record_lifecycle(trace::lifecycle_phase phase,
+                                       core::model_key model,
+                                       std::uint64_t version,
+                                       std::uint64_t cost_ns) noexcept {
+  if (recorder_ == nullptr) return;
+  recorder_->control().emit(trace::event_type::lifecycle_stage,
+                            trace::pack_lifecycle(phase, model, version),
+                            cost_ns);
 }
 
 void datapath_engine::register_metrics(metrics::registry& reg,

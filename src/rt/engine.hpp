@@ -97,6 +97,10 @@ struct telemetry_config {
   /// Route summaries are sampled 1-in-2^shift per worker; lifecycle events
   /// (switches, verdicts, zombie pushes, reclaims, violations) always record.
   unsigned blackbox_route_shift = 6;
+  /// flight_recorder::try_dump rate limit (anomaly capture): minimum
+  /// spacing between dumps and a lifetime cap.  0 = unlimited.
+  std::uint64_t blackbox_dump_interval_ns = 0;
+  std::uint64_t blackbox_max_dumps = 0;
 };
 
 struct engine_config {
@@ -367,6 +371,15 @@ class datapath_engine {
   void record_violation(worker_handle& w, netsim::flow_id_t key,
                         std::uint64_t expected_gen,
                         std::uint64_t observed_gen) noexcept;
+
+  /// Mirror one control-plane pipeline stage (train/freeze/quantize/…)
+  /// into the flight recorder's control ring, so an anomaly dump shows what
+  /// the slow path was doing when the datapath degraded.  Call from the
+  /// writer/admin threads (the control ring's fetch_add head makes the emit
+  /// safe there).  No-op without a recorder.
+  void record_lifecycle(trace::lifecycle_phase phase, core::model_key model,
+                        std::uint64_t version,
+                        std::uint64_t cost_ns = 0) noexcept;
   std::size_t cached_flows() const { return cache_.stats().size; }
   std::size_t model_count() const noexcept { return handles_.size(); }
   const engine_config& config() const noexcept { return cfg_; }

@@ -66,7 +66,8 @@ void blackbox_ring::clear() noexcept {
 }
 
 flight_recorder::flight_recorder(const flight_recorder_config& cfg,
-                                 std::size_t max_workers) {
+                                 std::size_t max_workers)
+    : cfg_{cfg} {
   if (cfg.events_per_ring == 0) return;
   route_mask_ = (std::uint64_t{1} << cfg.route_sample_shift) - 1;
   control_.enable(cfg.events_per_ring);
@@ -123,6 +124,32 @@ std::string flight_recorder::dump(std::string_view label,
     rings.push_back(std::move(ring));
   }
   return trace::write_trace(col, label, "BLACKBOX");
+}
+
+std::string flight_recorder::try_dump(std::string_view prefix,
+                                      std::uint64_t window_ns) {
+  std::uint64_t seq = 0;
+  {
+    // Admission under a lock: the interval check and the sequence claim
+    // must be one step or two racing watchdog ticks could both pass the
+    // interval test.  Slow path only — dumps happen at most once per
+    // min_dump_interval_ns.
+    std::lock_guard<std::mutex> g{dump_mu_};
+    const std::uint64_t now = wall_ns();
+    const std::uint64_t written =
+        dumps_written_.load(std::memory_order_relaxed);
+    const bool capped = cfg_.max_dumps != 0 && written >= cfg_.max_dumps;
+    const bool too_soon = cfg_.min_dump_interval_ns != 0 && written != 0 &&
+                          now - last_dump_ns_ < cfg_.min_dump_interval_ns;
+    if (capped || too_soon) {
+      dumps_suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return {};
+    }
+    last_dump_ns_ = now;
+    seq = written + 1;
+    dumps_written_.store(seq, std::memory_order_relaxed);
+  }
+  return dump(std::string{prefix} + "_" + std::to_string(seq), window_ns);
 }
 
 }  // namespace lf::rt

@@ -21,9 +21,11 @@
 //    latency histograms use, so dumped events and latency windows line up.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -100,6 +102,11 @@ struct flight_recorder_config {
   /// switches, verdicts, zombie pushes, reclaims, violations — is recorded
   /// unconditionally).
   unsigned route_sample_shift = 6;
+  /// try_dump() rate limit: dumps closer together than this are suppressed
+  /// (counted, not written).  0 = no interval limit.
+  std::uint64_t min_dump_interval_ns = 0;
+  /// try_dump() lifetime cap; dumps past it are suppressed.  0 = no cap.
+  std::uint64_t max_dumps = 0;
 };
 
 /// The recorder proper: one control ring (writer/admin events) plus one ring
@@ -122,11 +129,32 @@ class flight_recorder {
   /// Returns the path written, or "" on failure (diagnostic on stderr).
   std::string dump(std::string_view label, std::uint64_t window_ns = 0) const;
 
+  /// Rate-limited dump for anomaly capture: writes
+  /// BLACKBOX_<prefix>_<n>.json where n is a monotonic per-recorder dump
+  /// sequence number, unless the config's min interval or lifetime cap says
+  /// this dump must be suppressed (then counts the drop and returns "").
+  /// A flapping watchdog therefore cannot flood the disk; the suppressed
+  /// count is exported as rt.watchdog.dumps_suppressed.
+  std::string try_dump(std::string_view prefix, std::uint64_t window_ns = 0);
+
+  /// try_dump()s actually written / suppressed so far (any thread).
+  std::uint64_t dumps() const noexcept {
+    return dumps_written_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dumps_suppressed() const noexcept {
+    return dumps_suppressed_.load(std::memory_order_relaxed);
+  }
+
  private:
   blackbox_ring control_;
   std::unique_ptr<blackbox_ring[]> workers_;
   std::size_t n_workers_ = 0;
   std::uint64_t route_mask_ = 0;
+  flight_recorder_config cfg_{};
+  std::mutex dump_mu_;  ///< serializes the try_dump admission decision
+  std::uint64_t last_dump_ns_ = 0;
+  std::atomic<std::uint64_t> dumps_written_{0};
+  std::atomic<std::uint64_t> dumps_suppressed_{0};
 };
 
 }  // namespace lf::rt

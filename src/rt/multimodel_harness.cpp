@@ -38,6 +38,11 @@
 //                  live-telemetry knobs, same semantics as the stress
 //                  harness (latency and the 100 ms sampler default ON here;
 //                  stats text lands in STATS_multimodel.prom)
+//   LF_RT_WATCHDOG / LF_RT_WATCHDOG_*
+//                  anomaly watchdog knobs (rt/anomaly_watchdog.hpp); fired
+//                  incidents land in INCIDENT_multimodel.json and as chart
+//                  markers in the HTML report, but never fail this harness —
+//                  the scripted lifecycle is the verdict here
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -50,6 +55,7 @@
 #include "codegen/snapshot.hpp"
 #include "core/adaptation_monitor.hpp"
 #include "nn/mlp.hpp"
+#include "rt/anomaly_watchdog.hpp"
 #include "rt/rt_deployment.hpp"
 #include "rt/stats_sampler.hpp"
 #include "util/bench_report.hpp"
@@ -135,11 +141,29 @@ int main() {
   if (scfg.text_out.empty()) {
     scfg.text_out = bench::output_dir() + "/STATS_multimodel.prom";
   }
+  // Watchdog before the sampler: the sampler holds a raw pointer and must
+  // die first (it does — reverse declaration order).
+  rt::watchdog_config wcfg = rt::watchdog_config_from_env();
+  wcfg.incident_label = "multimodel";
+  rt::anomaly_watchdog watchdog{wcfg, engine.get()};
   rt::stats_sampler sampler{*engine, scfg};
   sampler.register_metrics(reg, "rt");
+  if (watchdog.enabled()) {
+    watchdog.register_metrics(reg, "rt.watchdog");
+    sampler.attach_watchdog(&watchdog);
+  }
   core::monitor_config mon_cfg;
   mon_cfg.enabled = true;
   core::adaptation_monitor mon{mon_cfg};
+  // Deployment wiring for incident capture: lifecycle stages the monitor
+  // ledgers are mirrored into the engine's control ring, so a black-box dump
+  // taken around an anomaly carries the slow-path work that preceded it.
+  mon.set_lifecycle_mirror([&engine](trace::lifecycle_phase p, std::uint32_t m,
+                                     std::uint64_t version,
+                                     std::uint64_t cost_ns) {
+    engine->record_lifecycle(p, static_cast<core::model_key>(m), version,
+                             cost_ns);
+  });
 
   std::printf(
       "multimodel: %zu models x %zu workers x %zu flows, shadow %.3f "
@@ -209,6 +233,32 @@ int main() {
     rec.max_divergence = o.verdict.max_divergence;
     mon.on_shadow_gate(rec);
   };
+  // Each install is a fresh "training run": its wall cost lands in the
+  // control ring as a `train` lifecycle stage directly, and the standby
+  // install goes through the adaptation monitor, whose mirror pushes the
+  // `install` stage in — both halves of the slow-path evidence a black-box
+  // anomaly dump correlates with datapath events.
+  const auto install_trained = [&](core::model_key m, std::uint64_t seed,
+                                   std::uint64_t version) {
+    const auto c0 = std::chrono::steady_clock::now();
+    codegen::snapshot snap = train(m, seed, version);
+    const auto c1 = std::chrono::steady_clock::now();
+    engine->record_lifecycle(
+        trace::lifecycle_phase::train, m, version,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(c1 - c0)
+                .count()));
+    engine->install(m, std::move(snap));
+    core::install_observation obs;
+    obs.version = version;
+    obs.model = version;  // no nn_manager here: model id == version
+    obs.logical_model = m;
+    obs.initial = version == 1;
+    obs.install_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - c1)
+            .count();
+    mon.on_snapshot_install(now_seconds(t0), obs);
+  };
 
   bool script_ok = true;
   std::uint64_t blocked = 0, admitted_after_block = 0;
@@ -223,12 +273,12 @@ int main() {
     const std::uint64_t base_seed = 0x5eed0000 + mi;
 
     // Stage A: bootstrap deployment — no incumbent, gate has no say.
-    engine->install(m, train(m, base_seed, 1));
+    install_trained(m, base_seed, 1);
     rt::switch_outcome a = engine->try_switch(m);
     expect(a.flipped(), m, "bootstrap switch did not flip");
 
     // Stage B: drifted candidate — must be blocked on live evidence.
-    engine->install(m, train(m, base_seed ^ 0xbad0bad0ull, 2));
+    install_trained(m, base_seed ^ 0xbad0bad0ull, 2);
     wait_evidence(m);
     rt::switch_outcome b = engine->try_switch(m);
     record_gate(m, 2, b);
@@ -240,7 +290,7 @@ int main() {
 
     // Stage C: retrained candidate reproduces the active's behavior — the
     // same evidence pipeline now admits it.
-    engine->install(m, train(m, base_seed, 3));
+    install_trained(m, base_seed, 3);
     wait_evidence(m);
     rt::switch_outcome c = engine->try_switch(m);
     record_gate(m, 3, c);
@@ -342,6 +392,14 @@ int main() {
   const std::string path = rep.write();
   if (!path.empty()) std::printf("[json] %s\n", path.c_str());
 
+  // Watchdog incidents are advisory here (the scripted lifecycle is the
+  // verdict) but still published for the record.
+  const std::vector<rt::incident_record> incidents = watchdog.incidents();
+  const std::string incident_path = watchdog.write_incidents();
+  if (!incident_path.empty()) {
+    std::printf("[incidents] %s\n", incident_path.c_str());
+  }
+
   // ---- REPORT_multimodel.html -----------------------------------------
   report::flight_report fr;
   fr.title = "LiteFlow flight report: multimodel";
@@ -353,6 +411,8 @@ int main() {
   fr.summary.emplace_back("admitted after block",
                           std::to_string(admitted_after_block));
   fr.summary.emplace_back("violations", std::to_string(violations));
+  fr.summary.emplace_back("watchdog incidents",
+                          std::to_string(incidents.size()));
   if (!windows.empty()) {
     report::chart_data tele;
     tele.id = "telemetry";
@@ -374,8 +434,12 @@ int main() {
                     std::to_string(g.logical_model),
            !g.admitted});
     }
+    for (const report::marker& mk : watchdog.incident_markers()) {
+      tele.markers.push_back(mk);
+    }
     fr.charts.push_back(std::move(tele));
   }
+  if (!incidents.empty()) fr.tables.push_back(watchdog.incidents_table());
   report::table_data gates;
   gates.id = "gates";
   gates.title = "Shadow gate decisions";

@@ -1,10 +1,20 @@
 #include "rt/stats_sampler.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "rt/anomaly_watchdog.hpp"
 
 namespace lf::rt {
 
@@ -16,6 +26,9 @@ stats_sampler_config stats_config_from_env() {
   }
   if (const char* v = std::getenv("LF_RT_STATS_OUT")) {
     cfg.text_out = v;
+  }
+  if (const char* v = std::getenv("LF_RT_STATS_FIFO")) {
+    cfg.fifo_out = v;
   }
   return cfg;
 }
@@ -39,6 +52,7 @@ void stats_sampler::start() {
   if (!enabled() || started_) return;
   started_ = true;
   stopping_ = false;
+  final_folded_ = false;
   thread_ = std::thread{[this] { run(); }};
 }
 
@@ -54,8 +68,15 @@ void stats_sampler::stop() {
   }
   // Final fold so the tail of the run (joined-but-unsampled work) still
   // lands in a window and the on-disk text dump reflects end-of-run state.
+  // Exactly once: tick() stamps the window with the measured (shorter)
+  // tail duration, so a second stop — the destructor after an explicit
+  // stop() — must not fold again or it would append a near-zero-dt window
+  // and skew the tail routes/sec.
+  if (final_folded_) return;
+  final_folded_ = true;
   tick();
   write_text();
+  write_fifo();
 }
 
 void stats_sampler::run() {
@@ -67,6 +88,7 @@ void stats_sampler::run() {
     lk.unlock();
     tick();
     write_text();
+    write_fifo();
     lk.lock();
   }
 }
@@ -124,13 +146,19 @@ void stats_sampler::tick() {
   }
   ts_versions_live_.record(w.t_s, static_cast<double>(w.versions_live));
   ts_versions_retired_.record(w.t_s, static_cast<double>(w.versions_retired));
+  double max_shadow_divergence = 0.0;
   for (std::size_t m = 0; m < ts_shadow_divergence_.size(); ++m) {
     const core::shadow_verdict v =
         engine_.shadow_evidence(static_cast<core::model_key>(m));
     if (v.samples != 0) {
       ts_shadow_divergence_[m]->record(w.t_s, v.mean_divergence);
+      max_shadow_divergence =
+          std::max(max_shadow_divergence, v.mean_divergence);
     }
   }
+  // Anomaly detection rides the fold: the sampler thread is the watchdog's
+  // evaluation thread, so detection costs the datapath nothing.
+  if (watchdog_ != nullptr) watchdog_->observe(w, max_shadow_divergence);
   prev_ns_ = now_ns;
   prev_counters_ = c;
   prev_latency_ = lat;
@@ -193,6 +221,12 @@ std::string stats_sampler::render_text() const {
   gauge("lf_rt_cache_size", c.cache_size);
   gauge("lf_rt_versions_live", c.versions_live);
   gauge("lf_rt_versions_retired", c.versions_retired);
+  if (watchdog_ != nullptr) {
+    counter("lf_rt_watchdog_incidents_total", watchdog_->incident_count());
+    counter("lf_rt_watchdog_dumps_total", watchdog_->dumps());
+    counter("lf_rt_watchdog_dumps_suppressed_total",
+            watchdog_->dumps_suppressed());
+  }
 
   // Cumulative-`le` histogram in nanoseconds; _sum is approximated from
   // bucket midpoints (the recorder keeps counts, not exact sums).
@@ -220,14 +254,66 @@ std::string stats_sampler::render_text() const {
 bool stats_sampler::write_text() const {
   if (cfg_.text_out.empty()) return false;
   const std::string body = render_text();
-  std::ofstream os{cfg_.text_out, std::ios::trunc};
-  if (!os) {
-    std::fprintf(stderr, "stats_sampler: cannot open %s for writing\n",
-                 cfg_.text_out.c_str());
+  // Publish atomically: a scraper racing the tick must parse either the
+  // previous exposition or this one, never a truncated half-write.  The
+  // temp file is a sibling so the rename stays within one filesystem.
+  const std::string tmp = cfg_.text_out + ".tmp";
+  {
+    std::ofstream os{tmp, std::ios::trunc};
+    if (!os) {
+      std::fprintf(stderr, "stats_sampler: cannot open %s for writing\n",
+                   tmp.c_str());
+      return false;
+    }
+    os << body;
+    if (!os) {
+      std::fprintf(stderr, "stats_sampler: write to %s failed\n",
+                   tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), cfg_.text_out.c_str()) != 0) {
+    std::fprintf(stderr, "stats_sampler: rename %s -> %s failed\n",
+                 tmp.c_str(), cfg_.text_out.c_str());
     return false;
   }
-  os << body;
-  return static_cast<bool>(os);
+  return true;
+}
+
+bool stats_sampler::write_fifo() const {
+#if defined(__unix__) || defined(__APPLE__)
+  if (cfg_.fifo_out.empty()) return false;
+  if (!fifo_ready_) {
+    if (mkfifo(cfg_.fifo_out.c_str(), 0644) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "stats_sampler: mkfifo %s failed (errno %d)\n",
+                   cfg_.fifo_out.c_str(), errno);
+      return false;
+    }
+    fifo_ready_ = true;
+  }
+  // O_NONBLOCK open fails with ENXIO while nobody holds the read end —
+  // exactly the "pay nothing when nobody looks" contract.  Opened per tick
+  // so a reader can attach and detach at will mid-soak.
+  const int fd = ::open(cfg_.fifo_out.c_str(), O_WRONLY | O_NONBLOCK);
+  if (fd < 0) return false;
+  const std::string body = render_text();
+  std::size_t off = 0;
+  bool ok = true;
+  while (off < body.size()) {
+    const ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+    if (n <= 0) {
+      // EAGAIN (reader not draining) or a vanished reader: drop the rest of
+      // this tick's exposition rather than block the sampler thread.
+      ok = false;
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return ok;
+#else
+  return false;
+#endif
 }
 
 }  // namespace lf::rt

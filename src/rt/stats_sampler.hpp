@@ -39,14 +39,22 @@ struct stats_sampler_config {
   /// Window length.  <= 0 disables the sampler entirely (start() no-ops).
   double interval_ms = 100.0;
   /// Prometheus-style text dump rewritten every tick ("" = no file).
+  /// Published atomically (temp file + rename) so a concurrent scraper
+  /// never reads a torn exposition.
   std::string text_out;
+  /// Optional POSIX FIFO re-fed with the exposition every tick ("" = off).
+  /// Created on first use; writes are O_NONBLOCK and silently skipped while
+  /// no reader is attached, so a soak can be watched with `cat <fifo>`
+  /// without touching the process and pays nothing when nobody looks.
+  std::string fifo_out;
   /// Cap on retained windows (oldest dropped past this; keeps a runaway
   /// soak test from growing the vector unboundedly).
   std::size_t max_windows = 100000;
 };
 
 /// Environment defaults: LF_RT_STATS_INTERVAL_MS (window length; 0 or unset
-/// disables) and LF_RT_STATS_OUT (text exposition path).
+/// disables), LF_RT_STATS_OUT (text exposition path) and LF_RT_STATS_FIFO
+/// (live-scrape FIFO path).
 stats_sampler_config stats_config_from_env();
 
 /// One folded window.
@@ -65,6 +73,8 @@ struct stats_window {
   std::uint64_t versions_retired = 0;
 };
 
+class anomaly_watchdog;
+
 class stats_sampler {
  public:
   stats_sampler(datapath_engine& engine, stats_sampler_config cfg);
@@ -79,8 +89,17 @@ class stats_sampler {
   void start();
 
   /// Stop the thread, fold one final window, and write the final text dump.
-  /// Safe to call repeatedly; called by the destructor.
+  /// Safe to call repeatedly; called by the destructor.  The final tail
+  /// fold happens exactly once per start (a second stop — e.g. explicit
+  /// stop followed by the destructor — must not append a spurious
+  /// near-zero-duration window that would misreport the tail rate).
   void stop();
+
+  /// Run every folded window through this watchdog from inside tick() (the
+  /// sampler thread IS the watchdog's evaluation thread — detection adds
+  /// zero hot-path work).  Call before start(); null detaches.
+  void attach_watchdog(anomaly_watchdog* wd) noexcept { watchdog_ = wd; }
+  anomaly_watchdog* watchdog() const noexcept { return watchdog_; }
 
   /// Fold one window right now (what the thread does each interval; also
   /// callable directly from tests without starting the thread).
@@ -97,21 +116,31 @@ class stats_sampler {
   /// and the merged route-latency histogram with cumulative `le` buckets.
   std::string render_text() const;
 
-  /// Rewrite config().text_out with render_text().  False when no path is
-  /// configured or the write failed (diagnostic on stderr).
+  /// Atomically replace config().text_out with render_text() (sibling temp
+  /// file + rename, so a mid-tick reader parses either the old or the new
+  /// exposition, never a truncated one).  False when no path is configured
+  /// or the write failed (diagnostic on stderr).
   bool write_text() const;
+
+  /// Push render_text() into config().fifo_out (created on first call).
+  /// Non-blocking: returns false without writing when no path is
+  /// configured, no reader is attached, or the FIFO is full.
+  bool write_fifo() const;
 
  private:
   void run();
 
   datapath_engine& engine_;
   stats_sampler_config cfg_;
+  anomaly_watchdog* watchdog_ = nullptr;
 
   std::thread thread_;
   std::mutex wake_mu_;
   std::condition_variable wake_cv_;
   bool stopping_ = false;
   bool started_ = false;
+  bool final_folded_ = false;    ///< tail window folded (stop ran once)
+  mutable bool fifo_ready_ = false;  ///< mkfifo attempted and succeeded
 
   // Everything below is guarded by fold_mu_: tick() may be called from the
   // sampler thread, from stop(), or directly by a test.

@@ -51,6 +51,18 @@
 //   LF_RT_STATS_INTERVAL_MS  stats-sampler window (default 100; <= 0 off)
 //   LF_RT_STATS_OUT      Prometheus text dump path (default
 //                        <bench dir>/STATS_rt_engine.prom)
+//   LF_RT_STATS_FIFO     live-scrape FIFO path (default off)
+//   LF_RT_WATCHDOG*      anomaly watchdog knobs (see anomaly_watchdog.hpp;
+//                        default on, riding the phase-4 stats sampler)
+//   LF_RT_INJECT_STALL   nonzero: swap a ~250x-MACs model into every logical
+//                        model for the [0.30d, 0.50d) window — a true p999 /
+//                        throughput regression the watchdog must catch
+//   LF_RT_INJECT_SWITCH_STORM  nonzero: tight install+switch flip loop over
+//                        [0.65d, 0.85d) — every flip bumps the shared switch
+//                        epoch, so worker L1 hit rate collapses
+//                        With either injection on, the exit verdict also
+//                        FAILs unless the expected incidents fired and no
+//                        incident fired during the clean prefix.
 //   LF_BENCH_FAST        shrink durations for smoke runs
 #include <algorithm>
 #include <atomic>
@@ -64,6 +76,7 @@
 
 #include "codegen/snapshot.hpp"
 #include "nn/mlp.hpp"
+#include "rt/anomaly_watchdog.hpp"
 #include "rt/rt_deployment.hpp"
 #include "rt/stats_sampler.hpp"
 #include "util/bench_report.hpp"
@@ -127,6 +140,39 @@ std::vector<codegen::snapshot> make_snapshot_pool(std::size_t n) {
                                               "rt-ffnn", i + 1));
   }
   return pool;
+}
+
+/// Scripted fault injection for the main stress run (phase 4 only).  Phases
+/// are fractions of the nominal duration so a clean prefix always exists for
+/// the watchdog to build baselines over before anything is injected.
+struct inject_plan {
+  bool stall = false;  ///< heavy-model swap (p999 / throughput regression)
+  bool storm = false;  ///< tight flip loop (L1 hit-rate collapse)
+  double stall_start = 0.0, stall_end = 0.0;
+  double storm_start = 0.0, storm_end = 0.0;
+  /// Pre-generated heavy snapshots (one per logical model) plus the measured
+  /// §3.1 generation cost, mirrored into the control ring as a `train`
+  /// lifecycle stage when the fault is injected.
+  std::vector<codegen::snapshot> heavy;
+  std::uint64_t heavy_train_ns = 0;
+  bool any() const noexcept { return stall || storm; }
+};
+
+/// The stall fault: same 8 -> 1 I/O shape as the pool nets (worker inputs
+/// stay valid) but ~250x the multiply-accumulates — integer inference per
+/// route genuinely balloons, which is what a p999 regression looks like.
+std::vector<codegen::snapshot> make_heavy_pool(std::size_t n) {
+  std::vector<codegen::snapshot> out;
+  out.reserve(n);
+  const nn::layer_spec layers[] = {{128, nn::activation::relu},
+                                   {128, nn::activation::relu},
+                                   {1, nn::activation::linear}};
+  for (std::size_t i = 0; i < n; ++i) {
+    rng g{0xbeef0000 + i};
+    nn::mlp net{8, layers, g};
+    out.push_back(codegen::generate_snapshot(net, "rt-heavy", 1));
+  }
+  return out;
 }
 
 struct worker_outcome {
@@ -248,10 +294,14 @@ stress_stats run_stress(const rt::engine_config& cfg,
                         metrics::registry* reg = nullptr,
                         rt::datapath_engine** engine_out = nullptr,
                         std::vector<worker_outcome>* outcomes_out = nullptr,
-                        rt::stats_sampler** sampler_out = nullptr) {
+                        rt::stats_sampler** sampler_out = nullptr,
+                        const inject_plan* inject = nullptr,
+                        rt::anomaly_watchdog** watchdog_out = nullptr) {
   static std::unique_ptr<rt::datapath_engine> keep_alive;  // for engine_out
-  // Declared after keep_alive: the sampler borrows the engine, so static
-  // teardown must destroy it first (reverse declaration order).
+  // Statics tear down in reverse declaration order, so borrow direction
+  // dictates this order: the watchdog borrows the engine, and the sampler
+  // borrows both — sampler dies first, watchdog second, engine last.
+  static std::unique_ptr<rt::anomaly_watchdog> keep_watchdog;
   static std::unique_ptr<rt::stats_sampler> keep_sampler;
   auto engine = rt::build_engine(cfg);
   if (reg != nullptr) engine->register_metrics(*reg, "rt");
@@ -274,6 +324,9 @@ stress_stats run_stress(const rt::engine_config& cfg,
   // The windowed stats sampler rides the instrumented (registry) run only:
   // the sweep phases measure scaling and should not pay even the sampler's
   // cache traffic.
+  // Same borrow-direction ordering as the keep_* statics: the sampler is
+  // declared after the watchdog it calls into, so it is destroyed first.
+  std::unique_ptr<rt::anomaly_watchdog> watchdog;
   std::unique_ptr<rt::stats_sampler> sampler;
   if (reg != nullptr) {
     rt::stats_sampler_config scfg = rt::stats_config_from_env();
@@ -283,6 +336,14 @@ stress_stats run_stress(const rt::engine_config& cfg,
     }
     sampler = std::make_unique<rt::stats_sampler>(*engine, scfg);
     sampler->register_metrics(*reg, "rt");
+    rt::watchdog_config wcfg = rt::watchdog_config_from_env();
+    if (wcfg.enabled) {
+      wcfg.incident_label = "rt_engine";
+      watchdog = std::make_unique<rt::anomaly_watchdog>(std::move(wcfg),
+                                                        engine.get());
+      watchdog->register_metrics(*reg, "rt.watchdog");
+      sampler->attach_watchdog(watchdog.get());
+    }
     sampler->start();
   }
 
@@ -294,8 +355,75 @@ stress_stats run_stress(const rt::engine_config& cfg,
   std::thread writer{[&]() {
     rng g{0x3717e4};
     std::uint64_t version = 1;
+    bool stall_active = false;
+    std::uint64_t storm_flips = 0;
     while (now_seconds(t0) < duration ||
            engine->switches() < min_switches + 1) {
+      const double now = now_seconds(t0);
+      // ---- fault injection (phase-4 only; see inject_plan) ----
+      if (inject != nullptr && inject->stall && now >= inject->stall_start &&
+          now < inject->stall_end) {
+        if (!stall_active) {
+          stall_active = true;
+          // Swap the heavy net into every logical model and hold it there:
+          // per-route inference balloons, p999 and routes/sec regress for
+          // real.  The generation cost is mirrored as a `train` lifecycle
+          // stage so the anomaly dump correlates the regression with the
+          // slow-path work that caused it.
+          for (std::size_t m = 0; m < models; ++m) {
+            const auto key = static_cast<core::model_key>(m);
+            codegen::snapshot snap = inject->heavy[m % inject->heavy.size()];
+            snap.version = ++version;
+            engine->record_lifecycle(trace::lifecycle_phase::train, key,
+                                     version, inject->heavy_train_ns);
+            engine->install(key, std::move(snap));
+            engine->switch_active(key);
+          }
+        }
+        engine->maintain();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        continue;
+      }
+      if (stall_active) {
+        // Stall window over: revert every model to a pool net so the
+        // watchdog sees recovery (and re-arms) before the storm phase.
+        stall_active = false;
+        for (std::size_t m = 0; m < models; ++m) {
+          const auto key = static_cast<core::model_key>(m);
+          codegen::snapshot snap = pool[version % pool.size()];
+          snap.version = ++version;
+          engine->install(key, std::move(snap));
+          engine->switch_active(key);
+        }
+      }
+      if (inject != nullptr && inject->storm && now >= inject->storm_start &&
+          now < inject->storm_end) {
+        // Tight flip loop: every switch bumps the shared switch epoch, so
+        // every worker's L1 invalidates between consecutive routes, and the
+        // install rate outruns reclamation — the live version count holds
+        // an order of magnitude above the steady churn level.
+        const auto m = static_cast<core::model_key>(
+            models == 1
+                ? 0
+                : g.uniform_int(0, static_cast<std::int64_t>(models) - 1));
+        codegen::snapshot snap = pool[version % pool.size()];
+        snap.version = ++version;
+        engine->install(m, std::move(snap));
+        engine->switch_active(m);
+        engine->maintain();
+        if ((++storm_flips & 255) == 0) {
+          // Breathe every 256 flips: on a starved single-core host a
+          // no-sleep loop can monopolize the CPU so thoroughly that the
+          // stats sampler never folds a storm-era window — and an anomaly
+          // nobody sampled is an anomaly nobody can detect.  The cadence is
+          // deliberately coarse: the live-version level the watchdog
+          // detects is flip rate x version residency, so breathing too
+          // often would let reclamation keep pace and dissolve the very
+          // anomaly being injected.
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        continue;
+      }
       // All model lifecycles are driven from one writer thread (the rt
       // contract), round-robining randomly so every model's flips land in
       // the shared switch epoch interleaved with the others'.
@@ -367,6 +495,10 @@ stress_stats run_stress(const rt::engine_config& cfg,
     keep_sampler = std::move(sampler);
     *sampler_out = keep_sampler.get();
   }
+  if (watchdog_out != nullptr) {
+    keep_watchdog = std::move(watchdog);
+    *watchdog_out = keep_watchdog.get();
+  }
   if (outcomes_out != nullptr) *outcomes_out = std::move(outcomes);
   return st;
 }
@@ -391,6 +523,8 @@ int main() {
   const bool lat_on = env_size("LF_RT_LAT", 1) != 0;
   const std::size_t lat_shift = env_size("LF_RT_LAT_SHIFT", 0);
   const std::size_t blackbox = env_size("LF_RT_BLACKBOX", 4096);
+  const bool inject_stall = env_size("LF_RT_INJECT_STALL", 0) != 0;
+  const bool inject_storm = env_size("LF_RT_INJECT_SWITCH_STORM", 0) != 0;
   const unsigned host_cpus = std::thread::hardware_concurrency();
 
   rt::engine_config cfg;
@@ -407,6 +541,10 @@ int main() {
   cfg.telemetry.latency = lat_on;
   cfg.telemetry.latency_sample_shift = static_cast<unsigned>(lat_shift);
   cfg.telemetry.blackbox_events = blackbox;
+  // Anomaly dumps are rate-limited at the recorder: a flapping rule cannot
+  // flood the bench directory (suppressions are counted, not silent).
+  cfg.telemetry.blackbox_dump_interval_ns = 250'000'000;  // 250ms
+  cfg.telemetry.blackbox_max_dumps = 16;
   cfg.max_workers = std::max<std::size_t>(
       threads + 1,
       (sweep.empty() ? 0 : *std::max_element(sweep.begin(), sweep.end())) + 1);
@@ -497,14 +635,38 @@ int main() {
   }
 
   // ---- phase 4: main N-worker invariant stress -------------------------
+  inject_plan inject;
+  inject.stall = inject_stall;
+  inject.storm = inject_storm;
+  inject.stall_start = 0.30 * duration;
+  inject.stall_end = 0.50 * duration;
+  inject.storm_start = 0.65 * duration;
+  inject.storm_end = 0.85 * duration;
+  if (inject.stall) {
+    // Pay heavy-model generation before the clock starts so the stall
+    // window measures the datapath regression, not codegen; the measured
+    // cost is what the writer mirrors as the `train` lifecycle stage.
+    const auto gen_t0 = std::chrono::steady_clock::now();
+    inject.heavy = make_heavy_pool(models);
+    inject.heavy_train_ns = static_cast<std::uint64_t>(
+        now_seconds(gen_t0) * 1e9 / static_cast<double>(models));
+    std::printf("inject: stall window [%.2fs, %.2fs) (heavy pool: %zu nets)\n",
+                inject.stall_start, inject.stall_end, inject.heavy.size());
+  }
+  if (inject.storm) {
+    std::printf("inject: switch storm window [%.2fs, %.2fs)\n",
+                inject.storm_start, inject.storm_end);
+  }
   metrics::registry reg;
   rt::datapath_engine* engine = nullptr;
   rt::stats_sampler* sampler = nullptr;
+  rt::anomaly_watchdog* watchdog = nullptr;
   std::vector<worker_outcome> outcomes;
   const auto stress_t0 = std::chrono::steady_clock::now();
   const stress_stats main_st =
       run_stress(cfg, pool, threads, flows, batch, duration, min_switches,
-                 &reg, &engine, &outcomes, &sampler);
+                 &reg, &engine, &outcomes, &sampler,
+                 inject.any() ? &inject : nullptr, &watchdog);
   const double elapsed = now_seconds(stress_t0);
 
   // Drain: FIN every flow, then retire everything demoted.  After the
@@ -559,6 +721,15 @@ int main() {
   rep.config("duration_seconds", elapsed);
   rep.config("sweep_seconds", sweep_seconds);
   rep.config_bool("fast_mode", fast_mode());
+  // Injection knobs only appear when in use (same contract as the
+  // multi-model knobs above: the default JSON stays stable).
+  const double clean_end =
+      inject.stall ? inject.stall_start : inject.storm_start;
+  if (inject.any()) {
+    rep.config_bool("inject_stall", inject.stall);
+    rep.config_bool("inject_switch_storm", inject.storm);
+    rep.config("inject_clean_prefix_seconds", clean_end);
+  }
   rep.config_bool("latency_telemetry", lat_on);
   rep.config("latency_sample_shift", static_cast<double>(lat_shift));
   rep.config("blackbox_events", static_cast<double>(blackbox));
@@ -612,6 +783,13 @@ int main() {
       rep.add_point("ts_l1_hit_rate", w.t_s, w.l1_hit_rate);
       rep.add_point("ts_locks_per_route", w.t_s, w.locks_per_route);
     }
+    // The series the retired_leak rule watches: post-mortems of a missed or
+    // spurious leak verdict need the per-window live count, not just the
+    // end-of-run gauge.
+    rep.add_point("ts_versions_live", w.t_s,
+                  static_cast<double>(w.versions_live));
+    rep.add_point("ts_versions_retired", w.t_s,
+                  static_cast<double>(w.versions_retired));
   }
   if (!windows.empty()) {
     rep.summary("stats_windows", static_cast<double>(windows.size()));
@@ -620,6 +798,14 @@ int main() {
   for (const auto& [name, value] : reg.scalars()) rep.summary(name, value);
   const std::string path = rep.write();
   if (!path.empty()) std::printf("[json] %s\n", path.c_str());
+
+  // Incident file (absent when the run was clean — CI asserts exactly that).
+  std::vector<rt::incident_record> incidents;
+  if (watchdog != nullptr) {
+    incidents = watchdog->incidents();
+    const std::string inc_path = watchdog->write_incidents();
+    if (!inc_path.empty()) std::printf("[incidents] %s\n", inc_path.c_str());
+  }
 
   // ---- REPORT_rt_engine.html ------------------------------------------
   {
@@ -638,7 +824,16 @@ int main() {
               " / " +
               std::to_string(static_cast<long long>(lat.quantile(0.999))));
     }
+    if (watchdog != nullptr) {
+      fr.summary.emplace_back("watchdog incidents",
+                              std::to_string(incidents.size()));
+    }
     if (!windows.empty()) {
+      // Incident markers land on both telemetry charts: the regression and
+      // the detection are readable off the same time axis.
+      const std::vector<report::marker> markers =
+          watchdog != nullptr ? watchdog->incident_markers()
+                              : std::vector<report::marker>{};
       report::chart_data rate;
       rate.id = "throughput";
       rate.title = "Routes per second (per sampler window)";
@@ -649,6 +844,7 @@ int main() {
         rps_series.points.emplace_back(w.t_s, w.routes_per_sec);
       }
       rate.series.push_back(std::move(rps_series));
+      rate.markers = markers;
       fr.charts.push_back(std::move(rate));
 
       report::chart_data pct;
@@ -665,7 +861,11 @@ int main() {
       pct.series.push_back(std::move(p50));
       pct.series.push_back(std::move(p99));
       pct.series.push_back(std::move(p999));
+      pct.markers = markers;
       fr.charts.push_back(std::move(pct));
+    }
+    if (watchdog != nullptr && !incidents.empty()) {
+      fr.tables.push_back(watchdog->incidents_table());
     }
     if (lat.total() != 0) {
       report::histogram_data h;
@@ -710,6 +910,41 @@ int main() {
     std::fprintf(stderr, "FAIL: %llu versions leaked past the drain\n",
                  static_cast<unsigned long long>(live));
     ok = false;
+  }
+  // Injection verdict: each injected fault must have been detected as the
+  // incident kind it provokes, and nothing may have fired during the clean
+  // prefix (true-positive AND zero-false-positive, asserted in-process).
+  if (inject.any() && watchdog != nullptr) {
+    std::uint64_t spikes = 0, leaks = 0, early = 0;
+    for (const rt::incident_record& inc : incidents) {
+      if (inc.kind == rt::anomaly_kind::p999_spike) ++spikes;
+      if (inc.kind == rt::anomaly_kind::retired_leak) ++leaks;
+      // Small slack: the sampler clock starts a beat before the writer's.
+      if (inc.t_s < clean_end - 0.1) ++early;
+    }
+    if (inject.stall && spikes == 0) {
+      std::fprintf(stderr,
+                   "FAIL: injected stall produced no p999_spike incident\n");
+      ok = false;
+    }
+    // The storm's scheduler-independent signature is reclamation losing to
+    // the flip rate (live-version explosion).  An L1 hit-rate collapse only
+    // shows on hosts with real parallelism — on a single CPU the writer's
+    // flips batch into scheduler quanta and workers repopulate the L1
+    // between them — so it is not the asserted kind here.
+    if (inject.storm && leaks == 0) {
+      std::fprintf(stderr,
+                   "FAIL: injected switch storm produced no retired_leak "
+                   "incident\n");
+      ok = false;
+    }
+    if (early != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu incident(s) fired during the clean prefix "
+                   "(< %.2fs)\n",
+                   static_cast<unsigned long long>(early), clean_end);
+      ok = false;
+    }
   }
   if (!ok) {
     // Post-mortem before the nonzero exit: dump the black-box rings (the

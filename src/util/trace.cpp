@@ -28,6 +28,21 @@ std::string_view to_string(event_type t) noexcept {
     case event_type::zombie_push: return "zombie_push";
     case event_type::version_reclaim: return "version_reclaim";
     case event_type::invariant_violation: return "invariant_violation";
+    case event_type::anomaly: return "anomaly";
+    case event_type::lifecycle_stage: return "lifecycle_stage";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(lifecycle_phase p) noexcept {
+  switch (p) {
+    case lifecycle_phase::train: return "train";
+    case lifecycle_phase::freeze: return "freeze";
+    case lifecycle_phase::quantize: return "quantize";
+    case lifecycle_phase::translate: return "translate";
+    case lifecycle_phase::compile: return "compile";
+    case lifecycle_phase::install: return "install";
+    case lifecycle_phase::remove: return "remove";
   }
   return "unknown";
 }

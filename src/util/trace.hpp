@@ -54,11 +54,48 @@ enum class event_type : std::uint8_t {
   zombie_push,          ///< a = demoted generation, b = switch epoch after bump
   version_reclaim,      ///< a = versions freed, b = versions still retired
   invariant_violation,  ///< a = composite flow key, b = (expected gen << 32) | observed gen
+  anomaly,              ///< a = watchdog anomaly kind, b = observed value (1e-3 units)
+  lifecycle_stage,      ///< a = pack_lifecycle(stage, model, version), b = stage cost (ns)
 };
 
-inline constexpr std::size_t event_type_count = 21;
+inline constexpr std::size_t event_type_count = 23;
 
 std::string_view to_string(event_type t) noexcept;
+
+/// Control-plane pipeline stages mirrored into the rt flight recorder as
+/// `lifecycle_stage` events (§3.1's freeze → quantize → translate → compile
+/// → install sequence, bracketed by train and closed by remove).
+enum class lifecycle_phase : std::uint8_t {
+  train = 0,
+  freeze,
+  quantize,
+  translate,
+  compile,
+  install,
+  remove,
+};
+
+inline constexpr std::size_t lifecycle_phase_count = 7;
+
+std::string_view to_string(lifecycle_phase p) noexcept;
+
+/// Pack a lifecycle_stage event's `a` payload: low byte the phase, next
+/// byte the logical model, the rest the snapshot version.
+constexpr std::uint64_t pack_lifecycle(lifecycle_phase p, std::uint64_t model,
+                                       std::uint64_t version) noexcept {
+  return (version << 16) | ((model & 0xff) << 8) |
+         static_cast<std::uint64_t>(p);
+}
+
+constexpr lifecycle_phase lifecycle_phase_of(std::uint64_t a) noexcept {
+  return static_cast<lifecycle_phase>(a & 0xff);
+}
+constexpr std::uint64_t lifecycle_model_of(std::uint64_t a) noexcept {
+  return (a >> 8) & 0xff;
+}
+constexpr std::uint64_t lifecycle_version_of(std::uint64_t a) noexcept {
+  return a >> 16;
+}
 
 constexpr bool is_span_begin(event_type t) noexcept {
   return t == event_type::inference_begin || t == event_type::task_begin;

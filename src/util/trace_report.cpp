@@ -83,6 +83,15 @@ std::string args_for(const event& e) {
       os << "{\"key\":" << e.a << ",\"expected_gen\":" << (e.b >> 32)
          << ",\"observed_gen\":" << (e.b & 0xffffffffULL) << "}";
       break;
+    case event_type::anomaly:
+      os << "{\"kind\":" << e.a << ",\"value_1e3\":" << e.b << "}";
+      break;
+    case event_type::lifecycle_stage:
+      os << "{\"stage\":\"" << to_string(lifecycle_phase_of(e.a))
+         << "\",\"model\":" << lifecycle_model_of(e.a)
+         << ",\"version\":" << lifecycle_version_of(e.a)
+         << ",\"cost_ns\":" << e.b << "}";
+      break;
     default:
       os << "{\"a\":" << e.a << ",\"b\":" << e.b << "}";
   }
