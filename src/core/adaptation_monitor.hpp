@@ -140,6 +140,11 @@ struct gate_record {
   std::uint64_t samples = 0;
   double mean_divergence = 0.0;
   double max_divergence = 0.0;
+  /// True for a gate-aware rollback: `candidate` is the *re-promoted*
+  /// previous active, not a fresh standby, and `admitted` is always true
+  /// (a rollback never consults the shadow gate — it undoes a switch the
+  /// gate already admitted and live evidence then condemned).
+  bool rollback = false;
 };
 
 /// What the userspace service observed at one sync check.

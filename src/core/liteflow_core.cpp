@@ -99,6 +99,42 @@ gate_result liteflow_core::switch_active(model_key model) {
   return r;
 }
 
+gate_result liteflow_core::rollback(model_key model, model_id prev) {
+  gate_result r;
+  const auto* prev_snap = manager_.get(prev);
+  if (prev_snap == nullptr) return r;  // rollback target already unloaded
+  const std::uint64_t prev_version = prev_snap->version;
+  r.had_standby = true;
+  // Evidence snapshot before the flip consumes it: the ledger should show
+  // what the scorer knew about the *regressed* incumbent at rollback time.
+  auto& scorer = scorers_[model];
+  r.verdict = scorer.check(shadow_);
+  // Stage the previous active through the standby slot so the re-promotion
+  // is the same one-pointer exchange as a forward switch (same lock, same
+  // trace events, same flow-cache pinning semantics).  A fresh candidate
+  // sitting in the slot is displaced and unloaded like any replaced standby.
+  const auto displaced = router_.standby(model);
+  router_.install_standby(model, prev);
+  if (displaced && *displaced != prev) manager_.try_remove(*displaced);
+  r.admitted = true;
+  r.switch_wait = router_.switch_active(model);
+  scorer.reset();  // divergence vs the regressed model is now meaningless
+  if (monitor_ != nullptr) {
+    gate_record g;
+    g.t = sim_.now();
+    g.logical_model = model;
+    g.candidate = prev;
+    g.version = prev_version;
+    g.admitted = true;
+    g.samples = r.verdict.samples;
+    g.mean_divergence = r.verdict.mean_divergence;
+    g.max_divergence = r.verdict.max_divergence;
+    g.rollback = true;
+    monitor_->on_shadow_gate(g);
+  }
+  return r;
+}
+
 double liteflow_core::query_cost(const codegen::snapshot& snap) const noexcept {
   return costs_.snapshot_query_overhead +
          static_cast<double>(snap.program.mac_count()) *

@@ -89,6 +89,20 @@ class liteflow_core {
   gate_result switch_active() { return switch_active(k_default_model); }
   gate_result switch_active(model_key model);
 
+  /// Gate-aware rollback: re-promote `prev` (the module that was active
+  /// before the last switch and that the caller kept registered through its
+  /// probation window).  Installs `prev` as standby and flips it active
+  /// through the router's ordinary one-pointer exchange — never consulting
+  /// the shadow gate, because live evidence already condemned the incumbent.
+  /// The demoted (regressed) module stays registered; removing it is the
+  /// caller's close-out, exactly like an admitted switch.  Recorded in the
+  /// monitor's gate ledger with gate_record::rollback set.  Returns an
+  /// unadmitted no-op result when `prev` is no longer registered.
+  gate_result rollback(model_id prev) {
+    return rollback(k_default_model, prev);
+  }
+  gate_result rollback(model_key model, model_id prev);
+
   /// lf_query_model (asynchronous): integer-domain inference through the
   /// active snapshot for `flow`, honoring the flow cache.  `done` receives
   /// the output vector; it fires with an empty vector if no model is active

@@ -62,6 +62,15 @@ void shadow_scorer::record(double divergence) noexcept {
   max_ = std::max(max_, divergence);
 }
 
+void shadow_scorer::record(double divergence,
+                           std::uint64_t candidate_gen) noexcept {
+  if (candidate_gen == 0 || candidate_gen != bound_gen_) {
+    ++gen_drops_;
+    return;
+  }
+  record(divergence);
+}
+
 shadow_verdict shadow_scorer::check(const shadow_config& cfg) const noexcept {
   shadow_verdict v;
   v.samples = samples_;
@@ -77,6 +86,7 @@ void shadow_scorer::reset() noexcept {
   samples_ = 0;
   sum_ = 0.0;
   max_ = 0.0;
+  bound_gen_ = 0;
 }
 
 double shadow_divergence(std::span<const std::int64_t> active_out,

@@ -142,6 +142,22 @@ class shadow_scorer {
   /// vector, in io_scale-normalized units).
   void record(double divergence) noexcept;
 
+  /// Gen-tagged record: drops (and counts) the sample unless `candidate_gen`
+  /// matches the bound generation.  This closes a misattribution race in
+  /// concurrent callers: a worker that peeked candidate A inside its epoch
+  /// guard can reach the scorer after the writer replaced A with B and
+  /// reset/re-bound the evidence — A's divergence must not gate B.  The
+  /// single-threaded sim path keeps using the untagged record().
+  void record(double divergence, std::uint64_t candidate_gen) noexcept;
+
+  /// Bind the evidence to one candidate generation (0 = unbound: every
+  /// tagged record drops).  reset() unbinds.
+  void bind(std::uint64_t candidate_gen) noexcept { bound_gen_ = candidate_gen; }
+  std::uint64_t bound_gen() const noexcept { return bound_gen_; }
+  /// Tagged records dropped for naming a generation other than the bound
+  /// one (cumulative; survives reset()).
+  std::uint64_t gen_mismatch_drops() const noexcept { return gen_drops_; }
+
   std::size_t samples() const noexcept { return samples_; }
   double mean_divergence() const noexcept {
     return samples_ == 0 ? 0.0 : sum_ / static_cast<double>(samples_);
@@ -151,13 +167,17 @@ class shadow_scorer {
   /// Gate decision for the current evidence (pure; does not reset).
   shadow_verdict check(const shadow_config& cfg) const noexcept;
 
-  /// Forget the evidence (a new standby invalidates the old one's score).
+  /// Forget the evidence (a new standby invalidates the old one's score)
+  /// and unbind the generation, so in-flight tagged records for the old
+  /// candidate drop instead of polluting the fresh accumulator.
   void reset() noexcept;
 
  private:
   std::size_t samples_ = 0;
   double sum_ = 0.0;
   double max_ = 0.0;
+  std::uint64_t bound_gen_ = 0;
+  std::uint64_t gen_drops_ = 0;
 };
 
 /// Mean absolute elementwise difference between two quantized output

@@ -201,10 +201,45 @@ void userspace_service::install_snapshot(codegen::snapshot snap) {
             monitor_->on_snapshot_install(sim_.now(), obs);
           }
           // The demoted snapshot is removed once its flow-cache refs drain;
-          // opportunistically try now.
-          if (prev_active) core_.manager().try_remove(*prev_active);
+          // opportunistically try now.  Under probation the module is
+          // retained instead — it is the rollback target — and removal
+          // becomes the close-out of the *previous* hold, which this newer
+          // switch supersedes.
+          if (config_.probation) {
+            if (probation_prev_) core_.manager().try_remove(*probation_prev_);
+            probation_prev_ = prev_active;
+            const auto* prev_snap =
+                prev_active ? core_.manager().get(*prev_active) : nullptr;
+            probation_prev_version_ =
+                prev_snap != nullptr ? prev_snap->version : 0;
+          } else if (prev_active) {
+            core_.manager().try_remove(*prev_active);
+          }
         });
   });
+}
+
+bool userspace_service::rollback_last() {
+  if (!config_.probation || !probation_prev_) return false;
+  const model_id prev = *probation_prev_;
+  const std::uint64_t prev_version = probation_prev_version_;
+  probation_prev_.reset();
+  probation_prev_version_ = 0;
+  const auto regressed = core_.router().active(config_.model);
+  const auto* regressed_snap =
+      regressed ? core_.manager().get(*regressed) : nullptr;
+  const std::uint64_t regressed_version =
+      regressed_snap != nullptr ? regressed_snap->version : 0;
+  const gate_result r = core_.rollback(config_.model, prev);
+  if (!r.admitted) return false;  // the target unloaded out from under us
+  rollbacks_.inc();
+  trace_.emit(sim_.now(), trace::event_type::snapshot_rollback,
+              (static_cast<std::uint64_t>(config_.model) << 32) |
+                  (prev_version & 0xffffffffULL),
+              regressed_version);
+  // The regressed module unloads once its pinned flows drain.
+  if (regressed && *regressed != prev) core_.manager().try_remove(*regressed);
+  return true;
 }
 
 }  // namespace lf::core

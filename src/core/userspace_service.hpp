@@ -61,6 +61,13 @@ struct service_config {
   /// Scheduling weight when a service_mux arbitrates CPU-saturated training
   /// across services (higher wins; ties admit everyone).
   int priority = 0;
+  /// Probation hold (gate-aware rollback): retain the demoted module after
+  /// each admitted switch instead of removing it immediately, so
+  /// rollback_last() can re-promote it if live evidence condemns the new
+  /// active.  The hold closes — and the retained module unloads — when the
+  /// *next* install supersedes it.  Off preserves the historical
+  /// remove-on-switch behavior bit for bit.
+  bool probation = false;
 };
 
 class userspace_service {
@@ -92,6 +99,13 @@ class userspace_service {
   std::uint64_t gate_blocked_switches() const noexcept {
     return gate_blocked_.value();
   }
+  /// Switches undone by rollback_last().
+  std::uint64_t rollbacks() const noexcept { return rollbacks_.value(); }
+  /// The probation hold's rollback target, nullopt when no hold is open
+  /// (probation off, no admitted switch yet, or already rolled back).
+  std::optional<model_id> probation_prev() const noexcept {
+    return probation_prev_;
+  }
   std::uint64_t current_version() const noexcept { return version_; }
   const sync_decision& last_decision() const noexcept { return last_decision_; }
   const gate_result& last_gate() const noexcept { return last_gate_; }
@@ -105,6 +119,14 @@ class userspace_service {
   void set_admission(std::function<bool()> admit) {
     admission_ = std::move(admit);
   }
+
+  /// Undo the last admitted switch: re-promote the probation hold's retained
+  /// module through liteflow_core::rollback and unload the regressed one.
+  /// Returns false (a counted no-op at the core layer is not reached) when
+  /// probation is off or no hold is open.  The version counter stays
+  /// monotonic — the next install ships a fresh version, never reuses the
+  /// regressed one.
+  bool rollback_last();
 
   /// Publish slow-path accounting (batches, snapshot updates, sync-evaluator
   /// accept/reject split) plus the last verdict's fidelity gauges
@@ -151,6 +173,11 @@ class userspace_service {
   metrics::counter skip_nec_;
   metrics::counter deferred_;
   metrics::counter gate_blocked_;
+  metrics::counter rollbacks_;
+  /// Open probation hold: the module demoted by the last admitted switch,
+  /// retained as the rollback target until the next install closes it out.
+  std::optional<model_id> probation_prev_;
+  std::uint64_t probation_prev_version_ = 0;
   gate_result last_gate_{};
   metrics::gauge fid_min_;
   metrics::gauge fid_mean_;

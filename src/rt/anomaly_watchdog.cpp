@@ -172,6 +172,16 @@ void anomaly_watchdog::observe(const stats_window& w,
   }
 }
 
+bool anomaly_watchdog::classifiable(anomaly_kind k) noexcept {
+  // The datapath symptoms a freshly admitted bad candidate produces: slower
+  // inference (p999), output drift vs. the next standby (shadow), and a
+  // throughput collapse from the heavier program.  The control-plane rules
+  // (retired_leak) and the cache-shape rules (l1_collapse, locks_spike) say
+  // nothing about the candidate itself.
+  return k == anomaly_kind::p999_spike || k == anomaly_kind::shadow_drift ||
+         k == anomaly_kind::rps_collapse;
+}
+
 void anomaly_watchdog::fire(anomaly_kind k, const stats_window& w,
                             double observed, double threshold,
                             rule_state& r) {
@@ -193,11 +203,35 @@ void anomaly_watchdog::fire(anomaly_kind k, const stats_window& w,
     inc.installs = c.installs;
     inc.gate_blocks = c.gate_blocks;
     if (flight_recorder* rec = engine_->recorder()) {
-      // The trigger goes into the control ring BEFORE the dump, so the dump
-      // itself contains the anomaly event that caused it.
+      // The trigger goes into the control ring BEFORE the rollback and the
+      // dump, so the dump reads causally: anomaly, then the
+      // snapshot_rollback the policy issued for it.
       rec->control().emit(
           trace::event_type::anomaly, static_cast<std::uint64_t>(k),
           static_cast<std::uint64_t>(std::max(0.0, observed) * 1e3));
+    }
+    // Cross-rule correlation: a datapath symptom while a switch's probation
+    // hold is still open names the admitted candidate as the suspect.
+    if (classifiable(k)) {
+      for (std::size_t m = 0; m < engine_->model_count(); ++m) {
+        const snapshot_handle::probation_status st =
+            engine_->probation(static_cast<core::model_key>(m));
+        if (!st.open) continue;
+        inc.post_switch = true;
+        inc.suspect_model = m;
+        inc.suspect_gen = st.promoted_gen;
+        post_switch_.inc();
+        // The rollback policy: detect -> act, still on the sampler thread.
+        if (cfg_.auto_rollback &&
+            engine_->try_rollback(static_cast<core::model_key>(m))) {
+          inc.rollback_gen = st.held_gen;
+          rollbacks_issued_.inc();
+        }
+        break;  // one suspect per incident; N simultaneous holds are a
+                // switch storm, not a classifiable regression
+      }
+    }
+    if (flight_recorder* rec = engine_->recorder()) {
       inc.dump_path = rec->try_dump("anomaly", cfg_.dump_window_ns);
       dumps_gauge_.set(static_cast<double>(rec->dumps()));
       dumps_suppressed_gauge_.set(
@@ -233,6 +267,16 @@ std::uint64_t anomaly_watchdog::incident_count(anomaly_kind k) const {
   return per_kind_[static_cast<std::size_t>(k)].value();
 }
 
+std::uint64_t anomaly_watchdog::post_switch_incidents() const {
+  std::lock_guard<std::mutex> g{mu_};
+  return post_switch_.value();
+}
+
+std::uint64_t anomaly_watchdog::rollbacks_issued() const {
+  std::lock_guard<std::mutex> g{mu_};
+  return rollbacks_issued_.value();
+}
+
 baseline_stats anomaly_watchdog::baseline(anomaly_kind k) const {
   std::lock_guard<std::mutex> g{mu_};
   return rules_[static_cast<std::size_t>(k)].base;
@@ -264,6 +308,13 @@ void anomaly_watchdog::register_metrics(metrics::registry& reg,
   }
   reg.register_gauge(prefix + ".dumps", dumps_gauge_);
   reg.register_gauge(prefix + ".dumps_suppressed", dumps_suppressed_gauge_);
+  if (engine_ != nullptr && engine_->config().probation_windows != 0) {
+    // The classifier and the rollback policy only exist while probation
+    // holds can open; registering their counters conditionally keeps the
+    // probation-less clean-run artifacts' key set byte-identical.
+    reg.register_counter(prefix + ".post_switch_regressions", post_switch_);
+    reg.register_counter(prefix + ".rollbacks_issued", rollbacks_issued_);
+  }
 }
 
 namespace {
@@ -304,7 +355,15 @@ std::string anomaly_watchdog::write_incidents_locked() const {
        << inc.versions_live << ",\"versions_retired\":"
        << inc.versions_retired << ",\"switches\":" << inc.switches
        << ",\"installs\":" << inc.installs << ",\"gate_blocks\":"
-       << inc.gate_blocks << ",\"window\":";
+       << inc.gate_blocks;
+    if (inc.post_switch) {
+      // Appended only for classified incidents, so the non-probation legs'
+      // incident files keep their historical shape byte-for-byte.
+      os << ",\"class\":\"post_switch_regression\",\"suspect_model\":"
+         << inc.suspect_model << ",\"suspect_gen\":" << inc.suspect_gen
+         << ",\"rollback_gen\":" << inc.rollback_gen;
+    }
+    os << ",\"window\":";
     append_window_json(os, inc.window);
     os << "}";
   }
@@ -364,9 +423,17 @@ report::table_data anomaly_watchdog::incidents_table() const {
   t.columns = {"t (s)",     "rule",     "observed", "baseline",
                "threshold", "windows",  "dump"};
   for (const incident_record& inc : incidents_) {
-    t.rows.push_back({num4(inc.t_s), std::string{to_string(inc.kind)},
-                      num4(inc.observed), num4(inc.baseline),
-                      num4(inc.threshold), std::to_string(inc.breach_windows),
+    std::string rule{to_string(inc.kind)};
+    if (inc.post_switch) {
+      rule += " [post-switch gen " + std::to_string(inc.suspect_gen);
+      if (inc.rollback_gen != 0) {
+        rule += " → rolled back to gen " + std::to_string(inc.rollback_gen);
+      }
+      rule += "]";
+    }
+    t.rows.push_back({num4(inc.t_s), std::move(rule), num4(inc.observed),
+                      num4(inc.baseline), num4(inc.threshold),
+                      std::to_string(inc.breach_windows),
                       inc.dump_path.empty() ? "(suppressed)"
                                             : inc.dump_path});
     t.row_classes.push_back("incident");

@@ -134,6 +134,12 @@ struct watchdog_config {
   std::uint64_t dump_window_ns = 0;
   /// INCIDENT_<label>.json basename; "" disables the incident file.
   std::string incident_label;
+  /// Rollback policy: when a firing rule is classified
+  /// `post_switch_regression` (see incident_record), invoke
+  /// engine::try_rollback on the offending model from the sampler thread.
+  /// Off by default — the watchdog stays a pure observer unless the
+  /// deployment opted into probation holds.
+  bool auto_rollback = false;
 };
 
 /// Environment defaults, all optional:
@@ -169,6 +175,16 @@ struct incident_record {
   std::uint64_t switches = 0;
   std::uint64_t installs = 0;
   std::uint64_t gate_blocks = 0;
+  // Post-switch classifier (cross-rule correlation): a p999_spike /
+  // shadow_drift / rps_collapse that fires while a snapshot switch's
+  // probation hold is still open is a different incident class than a bare
+  // spike — the admitted candidate is the prime suspect.
+  bool post_switch = false;        ///< classed post_switch_regression
+  std::uint64_t suspect_model = 0;  ///< model whose probation hold was open
+  std::uint64_t suspect_gen = 0;    ///< gen the suspect switch installed
+  std::uint64_t rollback_gen = 0;   ///< previous gen re-promoted by the
+                                    ///< rollback policy (0: policy off or
+                                    ///< the rollback lost a race)
 };
 
 class anomaly_watchdog {
@@ -193,6 +209,10 @@ class anomaly_watchdog {
   std::vector<incident_record> incidents() const;
   std::uint64_t incident_count() const;
   std::uint64_t incident_count(anomaly_kind k) const;
+  /// Incidents classified post_switch_regression / rollbacks the policy
+  /// actually executed (auto_rollback on, engine rollback succeeded).
+  std::uint64_t post_switch_incidents() const;
+  std::uint64_t rollbacks_issued() const;
   baseline_stats baseline(anomaly_kind k) const;
   std::size_t windows_seen() const;
 
@@ -232,6 +252,9 @@ class anomaly_watchdog {
   void evaluate(anomaly_kind k, const stats_window& w, double v);
   void fire(anomaly_kind k, const stats_window& w, double observed,
             double threshold, rule_state& r);
+  /// True for the rules the post-switch classifier correlates with an open
+  /// probation hold (datapath symptoms a bad candidate produces).
+  static bool classifiable(anomaly_kind k) noexcept;
   double envelope(anomaly_kind k, const baseline_stats& b) const;
   /// Clean windows needed to close a breach run: retired_leak_rearm for
   /// that rule, 1 (re-arm on any clean window) for every other.
@@ -247,6 +270,8 @@ class anomaly_watchdog {
   std::vector<incident_record> incidents_;
   metrics::counter incidents_total_;
   metrics::counter per_kind_[anomaly_kind_count];
+  metrics::counter post_switch_;
+  metrics::counter rollbacks_issued_;
   metrics::gauge dumps_gauge_;
   metrics::gauge dumps_suppressed_gauge_;
 };

@@ -58,6 +58,9 @@ datapath_engine::datapath_engine(engine_config cfg)
     handles_.emplace_back(epochs_, reclaim_);
     shadows_.emplace_back();
   }
+  if (cfg_.probation_windows != 0) {
+    for (snapshot_handle& h : handles_) h.set_probation(true);
+  }
 }
 
 datapath_engine::~datapath_engine() {
@@ -78,8 +81,13 @@ std::uint64_t datapath_engine::install(core::model_key model,
   }
   {
     // A fresh candidate invalidates whatever was measured for the old one.
+    // Binding the new generation makes workers' gen-tagged records for the
+    // replaced candidate drop instead of gating this one (a racing worker
+    // can reach the scorer after this reset with a divergence it measured
+    // against the previous standby).
     spin_guard g{shadows_[model].mu};
     shadows_[model].scorer.reset();
+    shadows_[model].scorer.bind(gen);
   }
   // Opportunistic reclamation keeps the zombie list short without a
   // dedicated maintenance thread.
@@ -143,6 +151,49 @@ switch_outcome datapath_engine::try_switch(core::model_key model) {
 }
 
 std::size_t datapath_engine::maintain() { return handles_[0].maintain(); }
+
+bool datapath_engine::try_rollback(core::model_key model) {
+  snapshot_handle& h = handles_[model];
+  // Captured before the flip for the rollback event's payload; the policy
+  // callers are single-threaded per model, so the status cannot change
+  // between the read and the rollback.
+  const snapshot_handle::probation_status st = h.probation();
+  const bool rolled = h.rollback();
+  if (rolled) {
+    if (recorder_ != nullptr) {
+      recorder_->control().emit(
+          trace::event_type::snapshot_rollback,
+          (static_cast<std::uint64_t>(model) << 32) |
+              (st.held_gen & 0xffffffffULL),
+          st.promoted_gen);
+    }
+    // Whatever divergence a standby accumulated was measured against the
+    // regressed active; the next install starts the evidence over.
+    spin_guard g{shadows_[model].mu};
+    shadows_[model].scorer.reset();
+  }
+  h.maintain();
+  return rolled;
+}
+
+std::size_t datapath_engine::probation_tick() {
+  if (cfg_.probation_windows == 0) return 0;
+  std::size_t closed = 0;
+  for (snapshot_handle& h : handles_) {
+    if (h.probation_tick(cfg_.probation_windows)) ++closed;
+  }
+  if (closed != 0) handles_[0].maintain();
+  return closed;
+}
+
+std::size_t datapath_engine::close_probation() {
+  std::size_t closed = 0;
+  for (snapshot_handle& h : handles_) {
+    if (h.close_probation()) ++closed;
+  }
+  if (closed != 0) handles_[0].maintain();
+  return closed;
+}
 
 worker_handle& datapath_engine::register_worker() {
   std::lock_guard<std::mutex> g{workers_mu_};
@@ -208,6 +259,11 @@ void datapath_engine::shadow_score(worker_handle& w, core::model_key model,
   // epoch guard and standby retirement goes through the epoch domain.
   // Comparing against the just-promoted active (flip race) is skipped.
   if (sh == nullptr || sh == active) return;
+  // Capture the candidate's generation BEFORE inferring: install_standby can
+  // replace the candidate while we compute, and the tag is what keeps this
+  // divergence from being attributed to the replacement (the scorer drops
+  // gen-mismatched records).
+  const std::uint64_t candidate_gen = sh->gen;
   const quant::quantized_mlp& prog = sh->snap.program;
   if (input.size() != prog.input_size()) return;  // shape drifted
   w.shadow_out_.resize(prog.output_size());
@@ -217,7 +273,7 @@ void datapath_engine::shadow_score(worker_handle& w, core::model_key model,
       active_out, active->snap.program.io_scale(), w.shadow_out_,
       prog.io_scale());
   spin_guard g{shadows_[model].mu};
-  shadows_[model].scorer.record(d);
+  shadows_[model].scorer.record(d, candidate_gen);
 }
 
 route_result datapath_engine::route(worker_handle& w, core::model_key model,
@@ -363,6 +419,33 @@ std::uint64_t datapath_engine::switch_noops() const noexcept {
   return sum;
 }
 
+std::uint64_t datapath_engine::rollbacks() const noexcept {
+  std::uint64_t sum = 0;
+  for (const snapshot_handle& h : handles_) sum += h.rollbacks();
+  return sum;
+}
+
+std::uint64_t datapath_engine::rollback_noops() const noexcept {
+  std::uint64_t sum = 0;
+  for (const snapshot_handle& h : handles_) sum += h.rollback_noops();
+  return sum;
+}
+
+std::uint64_t datapath_engine::probation_retires() const noexcept {
+  std::uint64_t sum = 0;
+  for (const snapshot_handle& h : handles_) sum += h.probation_retires();
+  return sum;
+}
+
+std::uint64_t datapath_engine::shadow_gen_drops() const {
+  std::uint64_t sum = 0;
+  for (const model_shadow& s : shadows_) {
+    spin_guard g{s.mu};
+    sum += s.scorer.gen_mismatch_drops();
+  }
+  return sum;
+}
+
 std::uint64_t datapath_engine::shadow_inferences() const {
   std::uint64_t sum = 0;
   std::lock_guard<std::mutex> g{workers_mu_};
@@ -404,6 +487,8 @@ datapath_engine::live_counters datapath_engine::counters_now() const {
   c.gate_blocks = gate_blocks_.value();
   c.versions_live = versions_live();
   c.versions_retired = versions_retired();
+  c.rollbacks = rollbacks();
+  c.rollback_noops = rollback_noops();
   return c;
 }
 

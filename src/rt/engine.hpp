@@ -119,6 +119,12 @@ struct engine_config {
   /// Logical models served by this engine (clamped to >= 1; must fit the
   /// composite-key model bits).  Model keys are 0..models-1.
   std::size_t models = 1;
+  /// Probation / gate-aware rollback: hold the outgoing version for this
+  /// many stats-sampler windows after every switch (instead of demoting it
+  /// at flip time) so a post-switch regression can auto-rollback.  0 = off:
+  /// the historical demote-at-flip behavior, with byte-identical clean-run
+  /// artifacts.
+  std::size_t probation_windows = 0;
   /// Shadow scoring / switch gating knobs (rate 0 = off, zero overhead).
   core::shadow_config shadow{};
   /// Latency histograms + flight recorder (off by default).
@@ -248,6 +254,31 @@ class datapath_engine {
   /// Retire/reclaim demoted versions whose pins and epochs have drained.
   std::size_t maintain();
 
+  /// Roll back `model`'s last switch: re-promote the probation-held
+  /// previous version through the flip critical section (switch-epoch bump,
+  /// L1 invalidation) and demote the regressed incumbent into the ordinary
+  /// retire path.  Resets the model's shadow evidence (it was measured
+  /// against the regressed active).  Counted no-op (false) when no hold is
+  /// open — probation off, expired, or already rolled back.  Callable from
+  /// the sampler thread; this is the rollback policy's entry point.
+  bool try_rollback(core::model_key model);
+
+  /// Advance every model's probation clock one stats-sampler window; holds
+  /// older than engine_config::probation_windows close cleanly (the
+  /// historical demote + retire).  No-op when probation is off.  Returns
+  /// the number of holds closed this tick.
+  std::size_t probation_tick();
+
+  /// Close every open probation hold (clean retire, as if each had aged
+  /// out).  Orderly-shutdown path: call before drain accounting so a hold
+  /// opened by the final switch is not mistaken for a version leak.
+  std::size_t close_probation();
+
+  /// Probation status of one model (all-zero when no hold is open).
+  snapshot_handle::probation_status probation(core::model_key model) const {
+    return handles_[model].probation();
+  }
+
   // ------------------------------------------------------------ readers --
 
   /// Register the calling worker thread.  Thread-safe; the returned
@@ -317,6 +348,14 @@ class datapath_engine {
   std::uint64_t switch_noops() const noexcept;
   /// Switches refused by the shadow-divergence gate.
   std::uint64_t gate_blocks() const noexcept { return gate_blocks_.value(); }
+  /// Rollbacks executed / refused-for-no-hold, summed over all models.
+  std::uint64_t rollbacks() const noexcept;
+  std::uint64_t rollback_noops() const noexcept;
+  /// Probation holds that closed cleanly (expiry, supersede, teardown).
+  std::uint64_t probation_retires() const noexcept;
+  /// Shadow samples dropped for carrying a stale candidate generation
+  /// (install replaced the candidate mid-measurement), summed over models.
+  std::uint64_t shadow_gen_drops() const;
   /// Version lifecycle accounting (shared reclaim domain, all models).
   std::uint64_t versions_retired() const noexcept {
     return handles_[0].retired();
@@ -354,6 +393,8 @@ class datapath_engine {
     std::uint64_t gate_blocks = 0;
     std::uint64_t versions_live = 0;
     std::uint64_t versions_retired = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t rollback_noops = 0;
   };
 
   /// Relaxed mid-run snapshot of the engine-wide counters (any thread).

@@ -43,6 +43,16 @@
 //                  incidents land in INCIDENT_multimodel.json and as chart
 //                  markers in the HTML report, but never fail this harness —
 //                  the scripted lifecycle is the verdict here
+//   LF_RT_INJECT_BAD_SWITCH  nonzero: append stage D — switch model 0 to a
+//                  degraded (~250x MACs) net *bypassing* the gate, with
+//                  probation (LF_RT_PROBATION_WINDOWS, default 100: the
+//                  heavy net carries only ~1/K of routes here and the
+//                  scripted churn inflates the p999 baseline, so detection
+//                  needs more windows than the stress harness) and the
+//                  watchdog rollback policy armed.  The verdict then also
+//                  requires the post_switch_regression classification and
+//                  exactly one auto-rollback re-promoting the pre-switch
+//                  gen, and the rolled-back row shows up in the gate table.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -102,6 +112,17 @@ codegen::snapshot train(core::model_key m, std::uint64_t seed,
                                     "mm-m" + std::to_string(m), version);
 }
 
+/// Stage D's fault: same 8 -> 1 I/O shape but ~250x the MACs (the stress
+/// harness's stall net) — a degraded snapshot that "slipped past the gate".
+codegen::snapshot make_heavy(std::uint64_t version) {
+  const nn::layer_spec layers[] = {{128, nn::activation::relu},
+                                   {128, nn::activation::relu},
+                                   {1, nn::activation::linear}};
+  rng g{0xbeef00};
+  nn::mlp net{8, layers, g};
+  return codegen::generate_snapshot(net, "mm-bad", version);
+}
+
 std::string num(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.4g", v);
@@ -121,6 +142,7 @@ int main() {
   const std::size_t workers = env_size("LF_MM_WORKERS", 2);
   const std::size_t flows = env_size("LF_MM_FLOWS", 256);
   const double shadow_rate = env_double("LF_MM_SHADOW", 0.25);
+  const bool inject_bad = env_size0("LF_RT_INJECT_BAD_SWITCH", 0) != 0;
 
   rt::engine_config cfg;
   cfg.models = models;
@@ -131,6 +153,12 @@ int main() {
   cfg.telemetry.latency_sample_shift =
       static_cast<unsigned>(env_size0("LF_RT_LAT_SHIFT", 0));
   cfg.telemetry.blackbox_events = env_size0("LF_RT_BLACKBOX", 2048);
+  // Stage D needs a probation hold to roll back into; clean runs keep
+  // probation off so their artifacts stay byte-identical.  100 windows
+  // (10 s at the 100 ms default): detection here is slower than in the
+  // stress harness because the degraded net carries only ~1/K of routes.
+  cfg.probation_windows =
+      inject_bad ? env_size("LF_RT_PROBATION_WINDOWS", 100) : 0;
   auto engine = rt::build_engine(cfg, rt::rt_deployment::multimodel);
   const core::shadow_config& sh = engine->config().shadow;
 
@@ -145,6 +173,7 @@ int main() {
   // die first (it does — reverse declaration order).
   rt::watchdog_config wcfg = rt::watchdog_config_from_env();
   wcfg.incident_label = "multimodel";
+  wcfg.auto_rollback = cfg.probation_windows != 0;
   rt::anomaly_watchdog watchdog{wcfg, engine.get()};
   rt::stats_sampler sampler{*engine, scfg};
   sampler.register_metrics(reg, "rt");
@@ -300,13 +329,77 @@ int main() {
     }
   }
 
+  // ---- stage D (opt-in): a bad switch past the gate, auto-rolled-back --
+  // A degraded net replaces model 0's active *without* consulting the gate
+  // (the failure mode §3.3's gate cannot catch: regression only visible
+  // under production load).  The probation hold keeps the outgoing version
+  // re-promotable; the watchdog classifies the ensuing anomaly as
+  // post_switch_regression and re-promotes it from the sampler thread while
+  // the workers keep routing.
+  std::uint64_t bad_gen = 0, bad_prev_gen = 0;
+  bool rolled_back = false;
+  if (inject_bad) {
+    const auto m = static_cast<core::model_key>(0);
+    // Let the watchdog re-settle its baselines after the stage-C churn so
+    // the spike attributes to stage D, not to a scripted switch.
+    std::this_thread::sleep_for(std::chrono::milliseconds(800));
+    const auto c0 = std::chrono::steady_clock::now();
+    codegen::snapshot snap = make_heavy(4);
+    engine->record_lifecycle(
+        trace::lifecycle_phase::train, m, 4,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - c0)
+                .count()));
+    engine->install(m, std::move(snap));
+    engine->switch_active(m);  // deliberately bypasses try_switch
+    const rt::snapshot_handle::probation_status st = engine->probation(m);
+    bad_prev_gen = st.held_gen;
+    bad_gen = st.promoted_gen;
+    std::printf("stage D: bad switch on model 0 -> gen %llu (hold on %llu)\n",
+                static_cast<unsigned long long>(bad_gen),
+                static_cast<unsigned long long>(bad_prev_gen));
+    // The rollback policy runs on the sampler thread; wait, bounded.
+    const double deadline = now_seconds(t0) + 20.0;
+    while (engine->rollbacks() == 0 && now_seconds(t0) < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    rolled_back = engine->rollbacks() != 0;
+    if (rolled_back) {
+      // Mirror the action into the gate ledger the way the sim stack's
+      // userspace_service does, so the flight report carries the row.
+      core::gate_record rec;
+      rec.t = now_seconds(t0);
+      rec.logical_model = m;
+      rec.candidate = 3;  // stage C's retrained version, re-promoted
+      rec.version = 3;
+      rec.admitted = true;
+      rec.rollback = true;
+      mon.on_shadow_gate(rec);
+    }
+  }
+
   stop.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
   sampler.stop();  // final window fold + final stats text snapshot
   const double elapsed = now_seconds(t0);
 
+  // Single-threaded probe of what readers now see on model 0: a flow id no
+  // worker ever touched, so the answer comes from the active pointer, not a
+  // cache.  Must equal the re-promoted (held) gen after a rollback.
+  std::uint64_t post_rollback_gen = 0;
+  if (inject_bad) {
+    std::vector<fp::s64> probe_in(8, 1);
+    std::vector<fp::s64> probe_out(1);
+    const rt::route_result pr =
+        engine->route(*handles[0], 0, 0xbadf100u, now_seconds(t0), probe_in,
+                      probe_out);
+    post_rollback_gen = pr.gen;
+  }
+
   // Drain and account.
   engine->cache().clear(engine->snapshots());
+  if (inject_bad) engine->close_probation();  // a timed-out hold is not a leak
   engine->maintain();
   engine->epochs().synchronize();
   engine->publish_stats();
@@ -356,6 +449,12 @@ int main() {
               static_cast<double>(engine->shadow_inferences()));
   rep.summary("violations", static_cast<double>(violations));
   rep.summary("versions_live_after_drain", static_cast<double>(live));
+  if (inject_bad) {
+    rep.config("probation_windows", static_cast<double>(cfg.probation_windows));
+    rep.summary("rollbacks", static_cast<double>(engine->rollbacks()));
+    rep.summary("bad_switch_gen", static_cast<double>(bad_gen));
+    rep.summary("bad_switch_prev_gen", static_cast<double>(bad_prev_gen));
+  }
   for (std::size_t mi = 0; mi < models; ++mi) {
     const auto m = static_cast<core::model_key>(mi);
     rep.add_point("per_model_switches", static_cast<double>(mi),
@@ -430,9 +529,12 @@ int main() {
     // blocked or admitted switch perturbed the datapath.
     for (const core::gate_record& g : mon.gates()) {
       tele.markers.push_back(
-          {g.t, std::string{g.admitted ? "admit m" : "block m"} +
-                    std::to_string(g.logical_model),
-           !g.admitted});
+          {g.t,
+           std::string{g.rollback    ? "rollback m"
+                       : g.admitted ? "admit m"
+                                    : "block m"} +
+               std::to_string(g.logical_model),
+           !g.admitted || g.rollback});
     }
     for (const report::marker& mk : watchdog.incident_markers()) {
       tele.markers.push_back(mk);
@@ -445,17 +547,20 @@ int main() {
   gates.title = "Shadow gate decisions";
   gates.caption =
       "Each row is one switch_active that went through the shadow "
-      "divergence gate.";
+      "divergence gate.  A rolled-back row is a gate-aware rollback: the "
+      "previous active re-promoted out of its probation hold.";
   gates.columns = {"t (s)",   "domain model", "candidate", "version",
                    "outcome", "samples",      "mean div",  "max div"};
   for (const core::gate_record& g : mon.gates()) {
-    gates.rows.push_back({num(g.t), std::to_string(g.logical_model),
-                          std::to_string(g.candidate),
-                          std::to_string(g.version),
-                          g.admitted ? "admitted" : "blocked",
-                          std::to_string(g.samples), num(g.mean_divergence),
-                          num(g.max_divergence)});
-    gates.row_classes.push_back(g.admitted ? "gate-admitted" : "gate-blocked");
+    gates.rows.push_back(
+        {num(g.t), std::to_string(g.logical_model),
+         std::to_string(g.candidate), std::to_string(g.version),
+         g.rollback ? "rolled-back" : g.admitted ? "admitted" : "blocked",
+         std::to_string(g.samples), num(g.mean_divergence),
+         num(g.max_divergence)});
+    gates.row_classes.push_back(g.rollback    ? "gate-rollback"
+                                : g.admitted ? "gate-admitted"
+                                             : "gate-blocked");
   }
   fr.tables.push_back(std::move(gates));
   const std::string report_path = report::write_flight_report(fr, "multimodel");
@@ -480,6 +585,60 @@ int main() {
     std::fprintf(stderr, "FAIL: %llu versions leaked past the drain\n",
                  static_cast<unsigned long long>(live));
     ok = false;
+  }
+  if (inject_bad) {
+    if (bad_gen == 0 || bad_prev_gen == 0) {
+      std::fprintf(stderr,
+                   "FAIL: stage D did not open a probation hold "
+                   "(gen %llu, prev %llu)\n",
+                   static_cast<unsigned long long>(bad_gen),
+                   static_cast<unsigned long long>(bad_prev_gen));
+      ok = false;
+    }
+    if (!rolled_back) {
+      std::fprintf(stderr,
+                   "FAIL: stage D regression was never auto-rolled-back\n");
+      ok = false;
+    }
+    if (engine->rollbacks() != 1) {
+      std::fprintf(stderr, "FAIL: expected exactly 1 rollback, saw %llu\n",
+                   static_cast<unsigned long long>(engine->rollbacks()));
+      ok = false;
+    }
+    bool classified = false, rb_recorded = false;
+    for (const rt::incident_record& ir : incidents) {
+      if (ir.post_switch && ir.suspect_gen == bad_gen) classified = true;
+      if (ir.rollback_gen != 0 && ir.rollback_gen == bad_prev_gen) {
+        rb_recorded = true;
+      }
+    }
+    if (!classified) {
+      std::fprintf(stderr,
+                   "FAIL: no incident classed post_switch_regression with "
+                   "suspect gen %llu\n",
+                   static_cast<unsigned long long>(bad_gen));
+      ok = false;
+    }
+    if (!rb_recorded) {
+      std::fprintf(stderr,
+                   "FAIL: no incident recorded rollback to gen %llu\n",
+                   static_cast<unsigned long long>(bad_prev_gen));
+      ok = false;
+    }
+    if (post_rollback_gen != bad_prev_gen) {
+      std::fprintf(stderr,
+                   "FAIL: readers see gen %llu after rollback, want %llu\n",
+                   static_cast<unsigned long long>(post_rollback_gen),
+                   static_cast<unsigned long long>(bad_prev_gen));
+      ok = false;
+    }
+    if (ok) {
+      std::printf(
+          "stage D: regression gen %llu classified and rolled back to gen "
+          "%llu\n",
+          static_cast<unsigned long long>(bad_gen),
+          static_cast<unsigned long long>(bad_prev_gen));
+    }
   }
   if (!ok) {
     // Post-mortem before the nonzero exit (same contract as the stress

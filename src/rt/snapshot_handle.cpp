@@ -13,6 +13,10 @@ snapshot_handle::snapshot_handle(epoch_domain& epochs, version_reclaim& reclaim)
 snapshot_handle::~snapshot_handle() {
   // Contract: readers are stopped and all flow pins are released, so the
   // only remaining pins are the handle's own ownership pins.
+  {
+    std::lock_guard<std::mutex> pl{probation_mu_};
+    if (held_ != nullptr) retire_held_locked();
+  }
   shadow_.store(nullptr, std::memory_order_release);
   if (standby_ != nullptr) {
     release_ownership(std::exchange(standby_, nullptr));
@@ -59,6 +63,11 @@ bool snapshot_handle::switch_active() {
   // reader mid-guard may still compare one route against it — comparing the
   // new active with itself yields divergence 0, which is harmless.
   shadow_.store(nullptr, std::memory_order_release);
+  // With probation on, the whole flip tail serializes against a concurrent
+  // sampler-thread rollback(); without it the mutex is never touched and
+  // the historical single-writer path is unchanged.
+  std::unique_lock<std::mutex> plock;
+  if (probation_enabled_) plock = std::unique_lock<std::mutex>{probation_mu_};
   snapshot_version* outgoing = nullptr;
   {
     // The paper's "3 lines of code" critical section: one pointer exchange.
@@ -71,13 +80,90 @@ bool snapshot_handle::switch_active() {
   // so every L1 entry stamped before this bump must fall back to the shard.
   rec_.switch_epoch.fetch_add(1, std::memory_order_seq_cst);
   if (outgoing != nullptr) {
-    // Order matters: readers re-check demoted *after* pinning; publishing
-    // demoted before the ownership-pin drop is what makes their check
-    // conclusive (see pin_active).
-    outgoing->demoted.store(true, std::memory_order_seq_cst);
-    release_ownership(outgoing);
+    if (probation_enabled_) {
+      // Probation hold: keep the ownership pin and skip the demote — the
+      // outgoing version stays re-promotable until the hold closes.  A
+      // still-open hold from an earlier switch is superseded: close it as
+      // its clean expiry would have.
+      if (held_ != nullptr) retire_held_locked();
+      held_ = outgoing;
+      held_promoted_gen_ = incoming->gen;
+      held_age_ = 0;
+    } else {
+      // Order matters: readers re-check demoted *after* pinning; publishing
+      // demoted before the ownership-pin drop is what makes their check
+      // conclusive (see pin_active).
+      outgoing->demoted.store(true, std::memory_order_seq_cst);
+      release_ownership(outgoing);
+    }
   }
   return true;
+}
+
+bool snapshot_handle::rollback() {
+  std::lock_guard<std::mutex> pl{probation_mu_};
+  if (held_ == nullptr) {
+    rollback_noops_.inc();
+    return false;
+  }
+  snapshot_version* prev = std::exchange(held_, nullptr);
+  held_promoted_gen_ = 0;
+  held_age_ = 0;
+  // A standby installed after the suspect switch was shadow-scored against
+  // the regressed active; pause scoring until the next install re-arms it.
+  shadow_.store(nullptr, std::memory_order_release);
+  // Same critical section as the forward flip.  `prev` still carries its
+  // ownership pin and was never demoted, so the reader protocol needs no
+  // resurrection: a pin_active() that loads it post-exchange passes the
+  // demoted re-check exactly as it would for a fresh promotion.
+  snapshot_version* regressed = nullptr;
+  {
+    spin_guard g{flip_lock_};
+    regressed = active_.exchange(prev, std::memory_order_seq_cst);
+  }
+  rollbacks_.inc();
+  rec_.switch_epoch.fetch_add(1, std::memory_order_seq_cst);
+  if (regressed != nullptr) {
+    regressed->demoted.store(true, std::memory_order_seq_cst);
+    release_ownership(regressed);
+  }
+  return true;
+}
+
+bool snapshot_handle::close_probation() {
+  std::lock_guard<std::mutex> pl{probation_mu_};
+  if (held_ == nullptr) return false;
+  retire_held_locked();
+  return true;
+}
+
+bool snapshot_handle::probation_tick(std::uint64_t max_windows) {
+  std::lock_guard<std::mutex> pl{probation_mu_};
+  if (held_ == nullptr) return false;
+  if (++held_age_ < max_windows) return false;
+  retire_held_locked();
+  return true;
+}
+
+snapshot_handle::probation_status snapshot_handle::probation() const {
+  std::lock_guard<std::mutex> pl{probation_mu_};
+  probation_status s;
+  if (held_ != nullptr) {
+    s.open = true;
+    s.held_gen = held_->gen;
+    s.promoted_gen = held_promoted_gen_;
+    s.age_windows = held_age_;
+  }
+  return s;
+}
+
+void snapshot_handle::retire_held_locked() noexcept {
+  snapshot_version* v = std::exchange(held_, nullptr);
+  held_promoted_gen_ = 0;
+  held_age_ = 0;
+  v->demoted.store(true, std::memory_order_seq_cst);
+  release_ownership(v);
+  probation_retires_.inc();
 }
 
 snapshot_version* snapshot_handle::pin_active() noexcept {
@@ -166,6 +252,13 @@ void snapshot_handle::register_metrics(metrics::registry& reg,
   reg.register_counter(prefix + ".installs", installs_);
   reg.register_counter(prefix + ".switches", switches_);
   reg.register_counter(prefix + ".switch_noops", noops_);
+  if (probation_enabled_) {
+    // Registered only when probation is in play so the single-model
+    // clean-run Prometheus text stays byte-identical.
+    reg.register_counter(prefix + ".rollbacks", rollbacks_);
+    reg.register_counter(prefix + ".rollback_noops", rollback_noops_);
+    reg.register_counter(prefix + ".probation_retires", probation_retires_);
+  }
 }
 
 }  // namespace lf::rt

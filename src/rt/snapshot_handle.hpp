@@ -33,6 +33,32 @@
 //   maintain()          writer side: moves zombies into the epoch domain's
 //                       retire list and reclaims whatever has drained.
 //
+// Probation (gate-aware rollback, opt-in via set_probation): with probation
+// enabled, switch_active() does NOT demote the outgoing version.  It keeps
+// its ownership pin and parks in a probation hold — still un-demoted, so
+// readers with cached pins keep serving it and a re-promotion needs no
+// resurrection.  The hold ends one of three ways:
+//   rollback()          re-promotes the held version through the same
+//                       one-pointer-exchange critical section as the forward
+//                       flip (flip_lock_, switch-epoch bump => L1
+//                       invalidation, shadow clear) and demotes the
+//                       regressed incumbent, which then retires through the
+//                       ordinary zombie path.
+//   probation_tick()    the probation clock (stats-sampler windows) expires:
+//                       the held version is demoted + released exactly as a
+//                       probation-less switch would have done at flip time.
+//   switch_active()     a newer switch supersedes the open hold: the old
+//                       held version closes cleanly first.
+// Because the held version was never demoted, rollback() re-uses the
+// unmodified reader protocol: after the exchange, pin_active() loads the
+// re-promoted pointer and its demoted re-check still proves the ownership
+// pin is live (it never left).  The regressed version's demote + release
+// happen after the exchange in seq_cst order, so a reader that pinned it
+// pre-exchange drains through the zombie path and no reader that observes
+// the new active can pin the regressed version again.  All probation state
+// transitions (and the flip they wrap) serialize under probation_mu_, so a
+// sampler-thread rollback() cannot interleave with a writer-thread switch.
+//
 // The handle also carries the **switch epoch**: a monotonic counter bumped
 // on every active flip and on every zombie push (the moment a version's last
 // pin drains).  Per-worker L1 route caches stamp their entries with the
@@ -130,6 +156,50 @@ class snapshot_handle {
   /// from the writer loop (or any maintenance thread).
   std::size_t maintain();
 
+  // ---------------------------------------------------------- probation --
+
+  /// Enable/disable probation holds (see the file comment).  Must be set
+  /// before any switch traffic; default off keeps the historical
+  /// demote-at-flip behavior (and its tests) bit-identical.
+  void set_probation(bool on) noexcept { probation_enabled_ = on; }
+  bool probation_enabled() const noexcept { return probation_enabled_; }
+
+  /// Re-promote the probation-held previous active (any thread; the
+  /// rollback policy calls this from the stats-sampler thread).  Returns
+  /// false — and counts a rollback no-op — when no hold is open (probation
+  /// expired, already rolled back, or probation disabled).
+  bool rollback();
+
+  /// Close an open hold cleanly: demote + release the held version exactly
+  /// as a probation-less switch would have.  Returns false when no hold is
+  /// open.
+  bool close_probation();
+
+  /// Advance the probation clock one stats-sampler window; closes the hold
+  /// (clean retire) once it has aged `max_windows` ticks.  Returns true if
+  /// this tick closed the hold.
+  bool probation_tick(std::uint64_t max_windows);
+
+  /// Snapshot of the open hold (all-zero when none).  `promoted_gen` is the
+  /// generation whose switch opened the hold — the suspect the watchdog's
+  /// post-switch classifier names in its incident record.
+  struct probation_status {
+    bool open = false;
+    std::uint64_t held_gen = 0;      ///< rollback target (previous active)
+    std::uint64_t promoted_gen = 0;  ///< generation the suspect switch installed
+    std::uint64_t age_windows = 0;   ///< probation_tick()s since the hold opened
+  };
+  probation_status probation() const;
+
+  std::uint64_t rollbacks() const noexcept { return rollbacks_.value(); }
+  std::uint64_t rollback_noops() const noexcept {
+    return rollback_noops_.value();
+  }
+  /// Holds that closed cleanly (expiry, supersede, or teardown).
+  std::uint64_t probation_retires() const noexcept {
+    return probation_retires_.value();
+  }
+
   // ------------------------------------------------------------- reader --
 
   /// Pin the current active version.  MUST be called inside an
@@ -196,6 +266,9 @@ class snapshot_handle {
  private:
   void release_ownership(snapshot_version* v) noexcept;
   void push_zombie(snapshot_version* v) noexcept;
+  /// Demote + release the held version and clear the hold.  Caller holds
+  /// probation_mu_ and held_ is non-null.
+  void retire_held_locked() noexcept;
 
   epoch_domain& epochs_;
   version_reclaim owned_;       ///< backing store for the single-handle ctor
@@ -208,9 +281,23 @@ class snapshot_handle {
   spinlock flip_lock_;
   std::uint64_t next_gen_ = 1;  ///< writer-only
 
+  /// Probation state.  The mutex serializes switch_active's flip tail,
+  /// rollback(), close_probation() and probation_tick() against each other
+  /// (writer thread vs. sampler thread); it is never touched on the read
+  /// path.  The counters below are only incremented under it, so their
+  /// non-RMW single-writer increments stay exact.
+  bool probation_enabled_ = false;  ///< set before any switch traffic
+  mutable std::mutex probation_mu_;
+  snapshot_version* held_ = nullptr;    ///< outgoing version on probation
+  std::uint64_t held_promoted_gen_ = 0;  ///< gen whose switch opened the hold
+  std::uint64_t held_age_ = 0;           ///< probation_tick()s so far
+
   metrics::atomic_counter installs_;   ///< written by the writer thread only
   metrics::atomic_counter switches_;   ///< written by the writer thread only
   metrics::atomic_counter noops_;      ///< written by the writer thread only
+  metrics::atomic_counter rollbacks_;        ///< guarded by probation_mu_
+  metrics::atomic_counter rollback_noops_;   ///< guarded by probation_mu_
+  metrics::atomic_counter probation_retires_;  ///< guarded by probation_mu_
 };
 
 }  // namespace lf::rt

@@ -157,8 +157,15 @@ void stats_sampler::tick() {
     }
   }
   // Anomaly detection rides the fold: the sampler thread is the watchdog's
-  // evaluation thread, so detection costs the datapath nothing.
+  // evaluation thread, so detection costs the datapath nothing.  A
+  // post-switch regression may roll the last switch back right here (the
+  // watchdog's rollback policy), before the probation clock below ages the
+  // hold toward its clean close.
   if (watchdog_ != nullptr) watchdog_->observe(w, max_shadow_divergence);
+  // Probation clock: open holds age one sampler window per fold and close
+  // cleanly at engine_config::probation_windows.  No-op when probation is
+  // off, which keeps the probation-less tick byte-identical.
+  engine_.probation_tick();
   prev_ns_ = now_ns;
   prev_counters_ = c;
   prev_latency_ = lat;
@@ -218,6 +225,12 @@ std::string stats_sampler::render_text() const {
   counter("lf_rt_switches_total", c.switches);
   counter("lf_rt_switch_noops_total", c.switch_noops);
   counter("lf_rt_gate_blocks_total", c.gate_blocks);
+  if (engine_.config().probation_windows != 0) {
+    // Only rendered for probation deployments: the clean-run exposition
+    // must stay byte-identical when the feature is off.
+    counter("lf_rt_rollbacks_total", c.rollbacks);
+    counter("lf_rt_rollback_noops_total", c.rollback_noops);
+  }
   gauge("lf_rt_cache_size", c.cache_size);
   gauge("lf_rt_versions_live", c.versions_live);
   gauge("lf_rt_versions_retired", c.versions_retired);

@@ -60,9 +60,22 @@
 //   LF_RT_INJECT_SWITCH_STORM  nonzero: tight install+switch flip loop over
 //                        [0.65d, 0.85d) — every flip bumps the shared switch
 //                        epoch, so worker L1 hit rate collapses
-//                        With either injection on, the exit verdict also
+//   LF_RT_INJECT_BAD_SWITCH  nonzero: at 0.40d the writer installs and
+//                        switches to a degraded (~250x MACs) net on model 0
+//                        and then stops churning — a bad snapshot that
+//                        slipped past the gate.  Implies probation + the
+//                        watchdog rollback policy; the verdict FAILs unless
+//                        a post_switch_regression incident named the
+//                        installed gen, exactly one rollback re-promoted the
+//                        pre-switch gen, and the post-rollback p999 tail
+//                        recovered to the clean-prefix level.
+//                        With any injection on, the exit verdict also
 //                        FAILs unless the expected incidents fired and no
 //                        incident fired during the clean prefix.
+//   LF_RT_PROBATION_WINDOWS  probation hold length in sampler windows
+//                        (default 0 = off; LF_RT_INJECT_BAD_SWITCH defaults
+//                        it to 30).  Nonzero also arms the watchdog's
+//                        auto-rollback policy.
 //   LF_BENCH_FAST        shrink durations for smoke runs
 #include <algorithm>
 #include <atomic>
@@ -148,14 +161,30 @@ std::vector<codegen::snapshot> make_snapshot_pool(std::size_t n) {
 struct inject_plan {
   bool stall = false;  ///< heavy-model swap (p999 / throughput regression)
   bool storm = false;  ///< tight flip loop (L1 hit-rate collapse)
+  bool bad = false;    ///< one bad switch past the gate (probation rollback)
   double stall_start = 0.0, stall_end = 0.0;
   double storm_start = 0.0, storm_end = 0.0;
+  double bad_start = 0.0;
   /// Pre-generated heavy snapshots (one per logical model) plus the measured
   /// §3.1 generation cost, mirrored into the control ring as a `train`
   /// lifecycle stage when the fault is injected.
   std::vector<codegen::snapshot> heavy;
   std::uint64_t heavy_train_ns = 0;
-  bool any() const noexcept { return stall || storm; }
+  /// Filled by the writer thread when the bad switch lands (read by the
+  /// verdict after the joins): the probation hold's pre-switch gen (the
+  /// rollback target) and the degraded gen it installed.
+  mutable std::atomic<std::uint64_t> bad_prev_gen{0};
+  mutable std::atomic<std::uint64_t> bad_gen{0};
+  bool any() const noexcept { return stall || storm || bad; }
+  /// Earliest injected disturbance: incidents before this are false
+  /// positives.
+  double clean_end() const noexcept {
+    double e = 1e300;
+    if (stall) e = std::min(e, stall_start);
+    if (storm) e = std::min(e, storm_start);
+    if (bad) e = std::min(e, bad_start);
+    return e;
+  }
 };
 
 /// The stall fault: same 8 -> 1 I/O shape as the pool nets (worker inputs
@@ -339,6 +368,9 @@ stress_stats run_stress(const rt::engine_config& cfg,
     rt::watchdog_config wcfg = rt::watchdog_config_from_env();
     if (wcfg.enabled) {
       wcfg.incident_label = "rt_engine";
+      // Probation without a policy is just a slower retire: whenever holds
+      // are open the watchdog is the component that acts on them.
+      wcfg.auto_rollback = cfg.probation_windows != 0;
       watchdog = std::make_unique<rt::anomaly_watchdog>(std::move(wcfg),
                                                         engine.get());
       watchdog->register_metrics(*reg, "rt.watchdog");
@@ -356,11 +388,38 @@ stress_stats run_stress(const rt::engine_config& cfg,
     rng g{0x3717e4};
     std::uint64_t version = 1;
     bool stall_active = false;
+    bool bad_active = false;
     std::uint64_t storm_flips = 0;
+    // The bad-switch fault waives the switch target once it lands: the
+    // writer deliberately stops churning so the rollback flip is the last
+    // lifecycle event the tail windows see.
     while (now_seconds(t0) < duration ||
-           engine->switches() < min_switches + 1) {
+           (!bad_active && engine->switches() < min_switches + 1)) {
       const double now = now_seconds(t0);
       // ---- fault injection (phase-4 only; see inject_plan) ----
+      if (inject != nullptr && inject->bad && now >= inject->bad_start) {
+        if (!bad_active) {
+          bad_active = true;
+          // One degraded net through the ordinary install+switch path on
+          // model 0 — the shadow gate is off here, i.e. the candidate was
+          // admitted — then hold still.  The probation hold now retains the
+          // healthy incumbent; detection and the rollback flip are entirely
+          // the watchdog/sampler thread's job while workers keep routing.
+          codegen::snapshot snap = inject->heavy[0];
+          snap.version = ++version;
+          engine->record_lifecycle(trace::lifecycle_phase::train,
+                                   core::k_default_model, version,
+                                   inject->heavy_train_ns);
+          engine->install(core::k_default_model, std::move(snap));
+          engine->switch_active(core::k_default_model);
+          const auto st = engine->probation(core::k_default_model);
+          inject->bad_prev_gen.store(st.held_gen, std::memory_order_release);
+          inject->bad_gen.store(st.promoted_gen, std::memory_order_release);
+        }
+        engine->maintain();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        continue;
+      }
       if (inject != nullptr && inject->stall && now >= inject->stall_start &&
           now < inject->stall_end) {
         if (!stall_active) {
@@ -525,9 +584,13 @@ int main() {
   const std::size_t blackbox = env_size("LF_RT_BLACKBOX", 4096);
   const bool inject_stall = env_size("LF_RT_INJECT_STALL", 0) != 0;
   const bool inject_storm = env_size("LF_RT_INJECT_SWITCH_STORM", 0) != 0;
+  const bool inject_bad = env_size("LF_RT_INJECT_BAD_SWITCH", 0) != 0;
+  const std::size_t probation_windows =
+      env_size("LF_RT_PROBATION_WINDOWS", inject_bad ? 30 : 0);
   const unsigned host_cpus = std::thread::hardware_concurrency();
 
   rt::engine_config cfg;
+  cfg.probation_windows = probation_windows;
   cfg.shards = shards;
   cfg.idle_timeout = 0.05;  // aggressive: force idle-expiry races
   cfg.l1_slots = l1_slots;
@@ -638,24 +701,33 @@ int main() {
   inject_plan inject;
   inject.stall = inject_stall;
   inject.storm = inject_storm;
+  inject.bad = inject_bad;
   inject.stall_start = 0.30 * duration;
   inject.stall_end = 0.50 * duration;
   inject.storm_start = 0.65 * duration;
   inject.storm_end = 0.85 * duration;
-  if (inject.stall) {
+  inject.bad_start = 0.40 * duration;
+  if (inject.stall || inject.bad) {
     // Pay heavy-model generation before the clock starts so the stall
     // window measures the datapath regression, not codegen; the measured
     // cost is what the writer mirrors as the `train` lifecycle stage.
     const auto gen_t0 = std::chrono::steady_clock::now();
-    inject.heavy = make_heavy_pool(models);
+    inject.heavy = make_heavy_pool(inject.stall ? models : 1);
     inject.heavy_train_ns = static_cast<std::uint64_t>(
-        now_seconds(gen_t0) * 1e9 / static_cast<double>(models));
+        now_seconds(gen_t0) * 1e9 / static_cast<double>(inject.heavy.size()));
+  }
+  if (inject.stall) {
     std::printf("inject: stall window [%.2fs, %.2fs) (heavy pool: %zu nets)\n",
                 inject.stall_start, inject.stall_end, inject.heavy.size());
   }
   if (inject.storm) {
     std::printf("inject: switch storm window [%.2fs, %.2fs)\n",
                 inject.storm_start, inject.storm_end);
+  }
+  if (inject.bad) {
+    std::printf(
+        "inject: bad switch at %.2fs (probation %zu windows, auto-rollback)\n",
+        inject.bad_start, probation_windows);
   }
   metrics::registry reg;
   rt::datapath_engine* engine = nullptr;
@@ -672,6 +744,8 @@ int main() {
   // Drain: FIN every flow, then retire everything demoted.  After the
   // grace period only the final active (and possibly standby) survive.
   engine->cache().clear(engine->snapshots());
+  // A hold left open by the final switch is an orderly close, not a leak.
+  engine->close_probation();
   engine->maintain();
   engine->epochs().synchronize();
   engine->publish_stats();
@@ -723,12 +797,24 @@ int main() {
   rep.config_bool("fast_mode", fast_mode());
   // Injection knobs only appear when in use (same contract as the
   // multi-model knobs above: the default JSON stays stable).
-  const double clean_end =
-      inject.stall ? inject.stall_start : inject.storm_start;
+  const double clean_end = inject.clean_end();
   if (inject.any()) {
     rep.config_bool("inject_stall", inject.stall);
     rep.config_bool("inject_switch_storm", inject.storm);
+    rep.config_bool("inject_bad_switch", inject.bad);
     rep.config("inject_clean_prefix_seconds", clean_end);
+  }
+  if (inject.bad) {
+    rep.config("probation_windows", static_cast<double>(probation_windows));
+    rep.summary("rollbacks", static_cast<double>(engine->rollbacks()));
+    rep.summary("rollback_noops",
+                static_cast<double>(engine->rollback_noops()));
+    rep.summary("bad_switch_gen", static_cast<double>(
+                                      inject.bad_gen.load(
+                                          std::memory_order_acquire)));
+    rep.summary("bad_switch_prev_gen",
+                static_cast<double>(inject.bad_prev_gen.load(
+                    std::memory_order_acquire)));
   }
   rep.config_bool("latency_telemetry", lat_on);
   rep.config("latency_sample_shift", static_cast<double>(lat_shift));
@@ -944,6 +1030,97 @@ int main() {
                    "(< %.2fs)\n",
                    static_cast<unsigned long long>(early), clean_end);
       ok = false;
+    }
+    // Bad-switch verdict: the full detect -> classify -> rollback -> recover
+    // loop must have closed, in process, within the probation window.
+    if (inject.bad) {
+      const std::uint64_t bad_gen =
+          inject.bad_gen.load(std::memory_order_acquire);
+      const std::uint64_t prev_gen =
+          inject.bad_prev_gen.load(std::memory_order_acquire);
+      if (bad_gen == 0 || prev_gen == 0) {
+        std::fprintf(stderr,
+                     "FAIL: bad switch never landed (no probation hold)\n");
+        ok = false;
+      }
+      bool classified = false, repromoted = false;
+      for (const rt::incident_record& inc : incidents) {
+        if (inc.post_switch && inc.suspect_gen == bad_gen) classified = true;
+        if (inc.rollback_gen == prev_gen && prev_gen != 0) repromoted = true;
+      }
+      if (!classified) {
+        std::fprintf(stderr,
+                     "FAIL: no post_switch_regression incident named the "
+                     "degraded gen %llu\n",
+                     static_cast<unsigned long long>(bad_gen));
+        ok = false;
+      }
+      if (!repromoted) {
+        std::fprintf(stderr,
+                     "FAIL: no incident recorded a rollback to the "
+                     "pre-switch gen %llu\n",
+                     static_cast<unsigned long long>(prev_gen));
+        ok = false;
+      }
+      if (engine->rollbacks() != 1) {
+        std::fprintf(stderr, "FAIL: %llu rollbacks (expected exactly 1)\n",
+                     static_cast<unsigned long long>(engine->rollbacks()));
+        ok = false;
+      }
+      // The datapath must be serving the re-promoted generation again.
+      {
+        rt::worker_handle& probe = engine->register_worker();
+        std::vector<fp::s64> pin(8, 0), pout(1, 0);
+        const rt::route_result pr =
+            engine->route(probe, 0xbadf10u, now_seconds(stress_t0), pin, pout);
+        if (pr.gen != prev_gen) {
+          std::fprintf(stderr,
+                       "FAIL: active gen %llu after the run (expected the "
+                       "re-promoted gen %llu)\n",
+                       static_cast<unsigned long long>(pr.gen),
+                       static_cast<unsigned long long>(prev_gen));
+          ok = false;
+        }
+      }
+      // Post-rollback p999 must drop back to the clean-prefix level (the
+      // regression is ~250x MACs, so "recovered" and "still degraded" are
+      // separated by orders of magnitude; 5x + scheduler slack is generous).
+      std::vector<double> clean_p999, tail_p999;
+      for (const rt::stats_window& w : windows) {
+        if (w.samples == 0) continue;
+        if (w.t_s < clean_end - 0.1) clean_p999.push_back(w.p999_ns);
+      }
+      for (auto it = windows.rbegin(); it != windows.rend(); ++it) {
+        if (it->samples == 0) continue;
+        tail_p999.push_back(it->p999_ns);
+        if (tail_p999.size() == 3) break;
+      }
+      const auto median = [](std::vector<double>& v) {
+        std::sort(v.begin(), v.end());
+        return v[v.size() / 2];
+      };
+      if (clean_p999.empty() || tail_p999.empty()) {
+        std::fprintf(stderr,
+                     "FAIL: not enough sampler windows for the p999 "
+                     "recovery check\n");
+        ok = false;
+      } else {
+        const double clean_med = median(clean_p999);
+        const double tail_med = median(tail_p999);
+        if (tail_med > 5.0 * clean_med + 50e3) {
+          std::fprintf(stderr,
+                       "FAIL: post-rollback p999 %.0fns never recovered "
+                       "(clean prefix median %.0fns)\n",
+                       tail_med, clean_med);
+          ok = false;
+        } else {
+          std::printf(
+              "bad-switch: detected gen %llu, rolled back to gen %llu, "
+              "tail p999 %.0fns vs clean %.0fns\n",
+              static_cast<unsigned long long>(bad_gen),
+              static_cast<unsigned long long>(prev_gen), tail_med, clean_med);
+        }
+      }
     }
   }
   if (!ok) {

@@ -240,6 +240,7 @@ constexpr const char* k_css =
     "th,td{border:1px solid #ccc;padding:3px 8px;text-align:right}"
     "th{background:#eee}td:first-child,th:first-child{text-align:left}"
     "tr.alert-row td{background:#fdecea}"
+    "tr.gate-rollback td{background:#fff4e5}"
     "svg{width:100%;height:auto;background:#fff;border:1px solid #ddd}"
     ".frame{fill:none;stroke:#999;stroke-width:1}"
     ".series{fill:none;stroke-width:1.6}"

@@ -30,6 +30,7 @@ std::string_view to_string(event_type t) noexcept {
     case event_type::invariant_violation: return "invariant_violation";
     case event_type::anomaly: return "anomaly";
     case event_type::lifecycle_stage: return "lifecycle_stage";
+    case event_type::snapshot_rollback: return "snapshot_rollback";
   }
   return "unknown";
 }

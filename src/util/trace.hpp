@@ -56,9 +56,10 @@ enum class event_type : std::uint8_t {
   invariant_violation,  ///< a = composite flow key, b = (expected gen << 32) | observed gen
   anomaly,              ///< a = watchdog anomaly kind, b = observed value (1e-3 units)
   lifecycle_stage,      ///< a = pack_lifecycle(stage, model, version), b = stage cost (ns)
+  snapshot_rollback,    ///< a = (model id << 32) | re-promoted gen, b = demoted (regressed) gen
 };
 
-inline constexpr std::size_t event_type_count = 23;
+inline constexpr std::size_t event_type_count = 24;
 
 std::string_view to_string(event_type t) noexcept;
 

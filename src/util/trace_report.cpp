@@ -92,6 +92,11 @@ std::string args_for(const event& e) {
          << ",\"version\":" << lifecycle_version_of(e.a)
          << ",\"cost_ns\":" << e.b << "}";
       break;
+    case event_type::snapshot_rollback:
+      os << "{\"model\":" << (e.a >> 32)
+         << ",\"repromoted_gen\":" << (e.a & 0xffffffffULL)
+         << ",\"regressed_gen\":" << e.b << "}";
+      break;
     default:
       os << "{\"a\":" << e.a << ",\"b\":" << e.b << "}";
   }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "codegen/snapshot.hpp"
+#include "core/model_domain.hpp"
 #include "nn/mlp.hpp"
 #include "rt/engine.hpp"
 #include "rt/epoch.hpp"
@@ -188,6 +189,235 @@ TEST(SnapshotHandle, RetirementGatedOnEpochDrain) {
   rig.h.maintain();  // guard closed: grace elapsed, free runs
   EXPECT_EQ(rig.h.retired(), 1u);
   EXPECT_EQ(rig.h.live_versions(), 1u);
+}
+
+// --------------------------------------------- probation hold + rollback --
+
+// Full-reclaim idiom: zombies queued by the first maintain() retire against
+// a fresh epoch; synchronize() elapses the grace period; the second
+// maintain() runs the frees.
+template <typename Rig>
+void reclaim_all(Rig& rig) {
+  rig.h.maintain();
+  rig.epochs.synchronize();
+  rig.h.maintain();
+}
+
+TEST(SnapshotProbation, OutgoingRetainsPinThroughProbation) {
+  handle_rig rig;
+  rig.h.set_probation(true);
+  rig.h.install_standby(rt_snapshot(1));
+  rig.h.switch_active();
+  rig.h.install_standby(rt_snapshot(2));
+  rig.h.switch_active();  // demotes nothing: gen 1 goes on probation
+
+  const auto st = rig.h.probation();
+  EXPECT_TRUE(st.open);
+  EXPECT_EQ(st.held_gen, 1u);
+  EXPECT_EQ(st.promoted_gen, 2u);
+  EXPECT_EQ(st.age_windows, 0u);
+  // The hold keeps the ownership pin: no demote flag, nothing reclaimable.
+  reclaim_all(rig);
+  EXPECT_EQ(rig.h.retired(), 0u);
+  EXPECT_EQ(rig.h.live_versions(), 2u);
+  rt::epoch_domain::guard g{rig.epochs, rig.slot};
+  EXPECT_EQ(rig.h.peek_gen(), 2u);
+}
+
+TEST(SnapshotProbation, CleanExpiryRetiresTheHeldVersion) {
+  handle_rig rig;
+  rig.h.set_probation(true);
+  rig.h.install_standby(rt_snapshot(1));
+  rig.h.switch_active();
+  rig.h.install_standby(rt_snapshot(2));
+  rig.h.switch_active();
+
+  // Age the hold one sampler window at a time; it closes exactly at the
+  // configured horizon, through the historical demote + retire path.
+  EXPECT_FALSE(rig.h.probation_tick(3));
+  EXPECT_FALSE(rig.h.probation_tick(3));
+  EXPECT_TRUE(rig.h.probation_tick(3));
+  EXPECT_FALSE(rig.h.probation().open);
+  EXPECT_EQ(rig.h.probation_retires(), 1u);
+  reclaim_all(rig);
+  EXPECT_EQ(rig.h.retired(), 1u);
+  EXPECT_EQ(rig.h.live_versions(), 1u);
+  rt::epoch_domain::guard g{rig.epochs, rig.slot};
+  EXPECT_EQ(rig.h.peek_gen(), 2u);
+}
+
+TEST(SnapshotProbation, RollbackRePromotesWithEpochBumpAndRetiresSuspect) {
+  handle_rig rig;
+  rig.h.set_probation(true);
+  rig.h.install_standby(rt_snapshot(1));
+  rig.h.switch_active();
+  rig.h.install_standby(rt_snapshot(2));
+  rig.h.switch_active();
+  const std::uint64_t epoch_before = rig.h.switch_epoch();
+
+  EXPECT_TRUE(rig.h.rollback());
+  EXPECT_EQ(rig.h.rollbacks(), 1u);
+  EXPECT_FALSE(rig.h.probation().open);  // the hold is consumed
+  // Rollback is the same one-pointer-exchange critical section as the
+  // forward flip: the switch epoch must bump so every L1 entry stamped
+  // under gen 2 falls back to the shard.
+  EXPECT_GT(rig.h.switch_epoch(), epoch_before);
+  {
+    // Readers never pin the regressed version again: gen 2 is demoted and
+    // pin_active's pin-then-recheck protocol lands on the re-promoted gen 1.
+    rt::epoch_domain::guard g{rig.epochs, rig.slot};
+    rt::snapshot_version* v = rig.h.pin_active();
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->gen, 1u);
+    rig.h.unpin(v);
+  }
+  reclaim_all(rig);
+  EXPECT_EQ(rig.h.retired(), 1u);  // the regressed gen 2
+  EXPECT_EQ(rig.h.live_versions(), 1u);
+}
+
+TEST(SnapshotProbation, RollbackAfterExpiryIsCountedNoop) {
+  handle_rig rig;
+  rig.h.set_probation(true);
+  rig.h.install_standby(rt_snapshot(1));
+  rig.h.switch_active();
+  rig.h.install_standby(rt_snapshot(2));
+  rig.h.switch_active();
+  EXPECT_TRUE(rig.h.probation_tick(1));  // hold expires cleanly
+
+  EXPECT_FALSE(rig.h.rollback());
+  EXPECT_EQ(rig.h.rollback_noops(), 1u);
+  EXPECT_EQ(rig.h.rollbacks(), 0u);
+  rt::epoch_domain::guard g{rig.epochs, rig.slot};
+  EXPECT_EQ(rig.h.peek_gen(), 2u);  // the suspect keeps serving
+}
+
+TEST(SnapshotProbation, NewSwitchSupersedesOpenHold) {
+  handle_rig rig;
+  rig.h.set_probation(true);
+  rig.h.install_standby(rt_snapshot(1));
+  rig.h.switch_active();
+  rig.h.install_standby(rt_snapshot(2));
+  rig.h.switch_active();  // hold on gen 1
+  rig.h.install_standby(rt_snapshot(3));
+  rig.h.switch_active();  // supersedes: gen 1 closes as its expiry would
+
+  EXPECT_EQ(rig.h.probation_retires(), 1u);
+  const auto st = rig.h.probation();
+  EXPECT_TRUE(st.open);
+  EXPECT_EQ(st.held_gen, 2u);
+  EXPECT_EQ(st.promoted_gen, 3u);
+  // Only the most recent switch is reversible.
+  EXPECT_TRUE(rig.h.rollback());
+  rt::epoch_domain::guard g{rig.epochs, rig.slot};
+  EXPECT_EQ(rig.h.peek_gen(), 2u);
+}
+
+TEST(SnapshotProbation, EngineRollbackRoutesPreviousGenAndResetsShadow) {
+  rt::engine_config cfg;
+  cfg.max_workers = 1;
+  cfg.probation_windows = 8;
+  rt::datapath_engine e{cfg};
+  rt::worker_handle& w = e.register_worker();
+  e.install(core::k_default_model, rt_snapshot(1));
+  EXPECT_TRUE(e.switch_active());
+  e.install(core::k_default_model, rt_snapshot(2, 11));
+  EXPECT_TRUE(e.switch_active());
+  EXPECT_EQ(e.route(w, 7, 0.0, {}, {}).gen, 2u);
+
+  EXPECT_TRUE(e.try_rollback(core::k_default_model));
+  EXPECT_EQ(e.rollbacks(), 1u);
+  // A second rollback has no hold to consume.
+  EXPECT_FALSE(e.try_rollback(core::k_default_model));
+  EXPECT_EQ(e.rollback_noops(), 1u);
+  // §3.4 consistency holds across a rollback exactly as across a forward
+  // switch: the already-bound flow stays on the (regressed) gen it started
+  // on until FIN, while new flows land on the re-promoted version.
+  EXPECT_EQ(e.route(w, 7, 0.0, {}, {}).gen, 2u);
+  EXPECT_EQ(e.route(w, 8, 0.0, {}, {}).gen, 1u);
+  EXPECT_TRUE(e.flow_finished(w, 7));  // FIN unbinds the regressed gen
+  // Rollback pauses shadow scoring until the next install re-arms it.
+  EXPECT_EQ(e.shadow_evidence(core::k_default_model).samples, 0u);
+  e.cache().clear(e.snapshots());  // drop the flows' pins on both gens
+  e.maintain();
+  e.epochs().synchronize();
+  e.maintain();
+  EXPECT_EQ(e.versions_live(), 1u);
+}
+
+// --------------------------------------------- shadow evidence gen-binding --
+
+TEST(RtShadowGenBinding, TaggedRecordDropsGenMismatch) {
+  core::shadow_scorer s;
+  s.bind(7);
+  s.record(0.25, 7);  // matches the bound candidate: counted
+  s.record(0.50, 6);  // a replaced candidate's in-flight sample: dropped
+  s.record(0.75, 0);  // untagged caller on the tagged path: dropped
+  EXPECT_EQ(s.samples(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean_divergence(), 0.25);
+  EXPECT_DOUBLE_EQ(s.max_divergence(), 0.25);
+  EXPECT_EQ(s.gen_mismatch_drops(), 2u);
+}
+
+TEST(RtShadowGenBinding, ReplaceMidGuardDropsTheStaleSample) {
+  // The misattribution race, scripted: a worker peeks candidate A inside
+  // its epoch guard and captures A's gen before inferring; while it
+  // computes, the writer replaces A with B (reset + re-bind).  A's
+  // divergence must not land on B's fresh accumulator.
+  core::shadow_scorer s;
+  s.bind(1);                              // install_standby(A)
+  const std::uint64_t captured = s.bound_gen();  // worker: gen before infer
+  s.reset();                              // writer: install_standby(B)...
+  s.bind(2);                              // ...re-arms the evidence
+  s.record(0.9, captured);                // worker lands late: dropped
+  EXPECT_EQ(s.samples(), 0u);
+  EXPECT_EQ(s.gen_mismatch_drops(), 1u);
+  s.record(0.01, 2);                      // B's own evidence accumulates
+  EXPECT_EQ(s.samples(), 1u);
+  // The drop counter is cumulative across reset(): it is an observability
+  // signal, not per-candidate evidence.
+  s.reset();
+  EXPECT_EQ(s.gen_mismatch_drops(), 1u);
+  EXPECT_EQ(s.bound_gen(), 0u);           // unbound: everything drops
+  s.record(0.5, 2);
+  EXPECT_EQ(s.samples(), 0u);
+  EXPECT_EQ(s.gen_mismatch_drops(), 2u);
+}
+
+TEST(RtShadowGenBinding, EngineCleanShadowPathCountsNoDrops) {
+  rt::engine_config cfg;
+  cfg.max_workers = 1;
+  cfg.shadow.sample_rate = 1.0;  // every flow shadow-scored
+  rt::datapath_engine e{cfg};
+  rt::worker_handle& w = e.register_worker();
+  e.install(core::k_default_model, rt_snapshot(1));
+  ASSERT_TRUE(e.switch_active());
+  e.install(core::k_default_model, rt_snapshot(2, 11));  // standby, bound
+
+  std::vector<fp::s64> in(8, 100);
+  std::vector<fp::s64> out(1);
+  for (int i = 0; i < 16; ++i) e.route(w, 7 + i, i * 0.01, in, out);
+  // Uncontended install/score interleaving: every sample carries the bound
+  // gen, so the evidence accumulates and nothing drops.
+  EXPECT_GT(e.shadow_evidence(core::k_default_model).samples, 0u);
+  EXPECT_EQ(e.shadow_gen_drops(), 0u);
+}
+
+TEST(SnapshotProbation, CloseProbationDrainsHoldForShutdown) {
+  rt::engine_config cfg;
+  cfg.max_workers = 1;
+  cfg.probation_windows = 1000;  // never expires on its own here
+  rt::datapath_engine e{cfg};
+  e.install(core::k_default_model, rt_snapshot(1));
+  EXPECT_TRUE(e.switch_active());
+  e.install(core::k_default_model, rt_snapshot(2, 11));
+  EXPECT_TRUE(e.switch_active());
+  EXPECT_EQ(e.close_probation(), 1u);
+  EXPECT_EQ(e.close_probation(), 0u);  // idempotent
+  e.maintain();
+  e.epochs().synchronize();
+  e.maintain();
+  EXPECT_EQ(e.versions_live(), 1u);  // no leak verdict at drain time
 }
 
 // ------------------------------------------------------- sharded cache --

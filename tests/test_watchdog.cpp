@@ -11,6 +11,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -434,6 +435,201 @@ TEST(RtDumpRateLimit, LifetimeCapAndMonotonicSequenceNumbers) {
   EXPECT_EQ(rec.try_dump("anomaly"), "");
   EXPECT_EQ(rec.dumps(), 2u);
   EXPECT_EQ(rec.dumps_suppressed(), 1u);
+}
+
+TEST(RtDumpRateLimit, ConcurrentTryDumpAdmitsExactlyTheBudget) {
+  bench_dir out{"lf_dump_race"};
+  rt::flight_recorder_config rcfg;
+  rcfg.events_per_ring = 16;
+  rcfg.max_dumps = 8;  // no interval limit: the cap is the only gate
+  rt::flight_recorder rec{rcfg, 1};
+  rec.control().emit(trace::event_type::snapshot_switch, 1, 1);
+
+  // Two threads hammer try_dump concurrently.  Admission is serialized
+  // under the dump mutex, so exactly max_dumps attempts may win, every
+  // winner gets its own monotonic sequence number (distinct file), and
+  // written + suppressed must reconcile with the attempt count — a lost
+  // update in the budget check would break one of those.
+  constexpr int kThreads = 2;
+  constexpr int kAttempts = 64;
+  std::vector<std::string> won[kThreads];
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&rec, &won, i] {
+      for (int a = 0; a < kAttempts; ++a) {
+        const std::string p = rec.try_dump("race");
+        if (!p.empty()) won[i].push_back(p);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<std::string> all;
+  for (const auto& v : won) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all.size(), 8u);
+  EXPECT_EQ(std::unique(all.begin(), all.end()), all.end());  // no dup seqs
+  for (const std::string& p : all) EXPECT_TRUE(fs::exists(p));
+  EXPECT_EQ(rec.dumps(), 8u);
+  EXPECT_EQ(rec.dumps_suppressed(),
+            static_cast<std::uint64_t>(kThreads * kAttempts) - 8u);
+}
+
+// ------------------------------------------------------- rollback policy --
+
+TEST(RtRollbackPolicy, IncidentInsideProbationClassifiesAndRollsBack) {
+  bench_dir out{"lf_rollback_policy"};
+  rt::engine_config cfg;
+  cfg.max_workers = 1;
+  cfg.probation_windows = 50;
+  rt::datapath_engine e{cfg};
+  rt::worker_handle& w = e.register_worker();
+  e.install(wd_snapshot(1));
+  ASSERT_TRUE(e.switch_active());
+  e.install(wd_snapshot(2, 11));
+  ASSERT_TRUE(e.switch_active());  // opens the hold: gen 1 re-promotable
+  ASSERT_TRUE(e.probation(core::k_default_model).open);
+
+  rt::watchdog_config wcfg = wd_config();
+  wcfg.incident_label = "rbunit";
+  wcfg.auto_rollback = true;
+  rt::anomaly_watchdog wd{wcfg, &e};
+  double t = 0.0;
+  for (int i = 0; i < 4; ++i) wd.observe(mk_window(t += 0.1));
+  wd.observe(mk_window(t += 0.1, 1000, 2e6));
+  wd.observe(mk_window(t += 0.1, 1000, 2e6));
+  ASSERT_EQ(wd.incident_count(), 1u);
+
+  // The p999 spike inside the probation window names the promoted gen as
+  // the suspect and the policy re-promotes the held previous active.
+  const rt::incident_record inc = wd.incidents()[0];
+  EXPECT_TRUE(inc.post_switch);
+  EXPECT_EQ(inc.suspect_model, 0u);
+  EXPECT_EQ(inc.suspect_gen, 2u);
+  EXPECT_EQ(inc.rollback_gen, 1u);
+  EXPECT_EQ(wd.post_switch_incidents(), 1u);
+  EXPECT_EQ(wd.rollbacks_issued(), 1u);
+  EXPECT_EQ(e.rollbacks(), 1u);
+  EXPECT_FALSE(e.probation(core::k_default_model).open);  // hold consumed
+  EXPECT_EQ(e.route(w, 7, 0.0, {}, {}).gen, 1u);  // readers see gen 1 again
+
+  // The incident file carries the classification.
+  const std::string ij = slurp(wd.write_incidents());
+  EXPECT_NE(ij.find("\"class\":\"post_switch_regression\""),
+            std::string::npos);
+  EXPECT_NE(ij.find("\"suspect_gen\":2"), std::string::npos);
+  EXPECT_NE(ij.find("\"rollback_gen\":1"), std::string::npos);
+  expect_balanced_json(ij);
+
+  // A second excursion after re-arm finds no hold: incident, but no class
+  // and no second rollback — the policy acts at most once per switch.
+  wd.observe(mk_window(t += 0.1));
+  wd.observe(mk_window(t += 0.1, 1000, 2e6));
+  wd.observe(mk_window(t += 0.1, 1000, 2e6));
+  ASSERT_EQ(wd.incident_count(), 2u);
+  EXPECT_FALSE(wd.incidents()[1].post_switch);
+  EXPECT_EQ(e.rollbacks(), 1u);
+}
+
+TEST(RtRollbackPolicy, ExpiredHoldIsNotClassified) {
+  rt::engine_config cfg;
+  cfg.max_workers = 1;
+  cfg.probation_windows = 2;
+  rt::datapath_engine e{cfg};
+  e.install(wd_snapshot(1));
+  ASSERT_TRUE(e.switch_active());
+  e.install(wd_snapshot(2, 11));
+  ASSERT_TRUE(e.switch_active());
+  // Probation ages out before the anomaly: the switch is no longer suspect.
+  EXPECT_EQ(e.probation_tick(), 0u);
+  EXPECT_EQ(e.probation_tick(), 1u);
+
+  rt::watchdog_config wcfg = wd_config();
+  wcfg.auto_rollback = true;
+  rt::anomaly_watchdog wd{wcfg, &e};
+  double t = 0.0;
+  for (int i = 0; i < 4; ++i) wd.observe(mk_window(t += 0.1));
+  wd.observe(mk_window(t += 0.1, 1000, 2e6));
+  wd.observe(mk_window(t += 0.1, 1000, 2e6));
+  ASSERT_EQ(wd.incident_count(), 1u);
+  EXPECT_FALSE(wd.incidents()[0].post_switch);
+  EXPECT_EQ(e.rollbacks(), 0u);
+  EXPECT_EQ(e.rollback_noops(), 0u);  // the policy never even tried
+}
+
+TEST(RtRollbackPolicy, ControlPlaneRulesNeverNameASuspect) {
+  rt::engine_config cfg;
+  cfg.max_workers = 1;
+  cfg.probation_windows = 50;
+  rt::datapath_engine e{cfg};
+  e.install(wd_snapshot(1));
+  ASSERT_TRUE(e.switch_active());
+  e.install(wd_snapshot(2, 11));
+  ASSERT_TRUE(e.switch_active());
+  ASSERT_TRUE(e.probation(core::k_default_model).open);
+
+  rt::watchdog_config wcfg = wd_config();
+  wcfg.auto_rollback = true;
+  rt::anomaly_watchdog wd{wcfg, &e};
+  double t = 0.0;
+  const auto at_live = [&](std::uint64_t live) {
+    wd.observe(mk_window(t += 0.1, 1000, 1000.0, 1e6, 0.9, 0.01, live));
+  };
+  for (int i = 0; i < 6; ++i) at_live(50);
+  at_live(1000);
+  at_live(1000);  // retired_leak fires — a reclamation symptom, not the
+                  // candidate's: the open hold must stay untouched
+  ASSERT_EQ(wd.incident_count(rt::anomaly_kind::retired_leak), 1u);
+  EXPECT_FALSE(wd.incidents()[0].post_switch);
+  EXPECT_EQ(e.rollbacks(), 0u);
+  EXPECT_TRUE(e.probation(core::k_default_model).open);
+}
+
+TEST(RtRollbackPolicy, ClassifierWithoutAutoRollbackOnlyAnnotates) {
+  rt::engine_config cfg;
+  cfg.max_workers = 1;
+  cfg.probation_windows = 50;
+  rt::datapath_engine e{cfg};
+  e.install(wd_snapshot(1));
+  ASSERT_TRUE(e.switch_active());
+  e.install(wd_snapshot(2, 11));
+  ASSERT_TRUE(e.switch_active());
+
+  rt::watchdog_config wcfg = wd_config();  // auto_rollback stays false
+  rt::anomaly_watchdog wd{wcfg, &e};
+  double t = 0.0;
+  for (int i = 0; i < 4; ++i) wd.observe(mk_window(t += 0.1));
+  wd.observe(mk_window(t += 0.1, 1000, 2e6));
+  wd.observe(mk_window(t += 0.1, 1000, 2e6));
+  ASSERT_EQ(wd.incident_count(), 1u);
+  EXPECT_TRUE(wd.incidents()[0].post_switch);
+  EXPECT_EQ(wd.incidents()[0].suspect_gen, 2u);
+  EXPECT_EQ(wd.incidents()[0].rollback_gen, 0u);  // detect-only mode
+  EXPECT_EQ(e.rollbacks(), 0u);
+  EXPECT_TRUE(e.probation(core::k_default_model).open);
+}
+
+TEST(RtRollbackPolicy, RollbackCountersRegisterOnlyWithProbation) {
+  // Probation off: the classifier cannot act, so its counters must not
+  // appear — the clean-run Prometheus/BENCH key set stays byte-identical.
+  rt::engine_config cfg;
+  cfg.max_workers = 1;
+  rt::datapath_engine off{cfg};
+  rt::anomaly_watchdog wd_off{wd_config(), &off};
+  metrics::registry reg_off;
+  wd_off.register_metrics(reg_off, "rt.watchdog");
+  EXPECT_EQ(reg_off.find_counter("rt.watchdog.post_switch_regressions"),
+            nullptr);
+  EXPECT_EQ(reg_off.find_counter("rt.watchdog.rollbacks_issued"), nullptr);
+
+  cfg.probation_windows = 8;
+  rt::datapath_engine on{cfg};
+  rt::anomaly_watchdog wd_on{wd_config(), &on};
+  metrics::registry reg_on;
+  wd_on.register_metrics(reg_on, "rt.watchdog");
+  EXPECT_NE(reg_on.find_counter("rt.watchdog.post_switch_regressions"),
+            nullptr);
+  EXPECT_NE(reg_on.find_counter("rt.watchdog.rollbacks_issued"), nullptr);
 }
 
 // ------------------------------------------------------- sampler contracts --
